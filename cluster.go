@@ -1,0 +1,113 @@
+package hierlock
+
+import (
+	"fmt"
+	"time"
+
+	"hierlock/internal/proto"
+	"hierlock/internal/transport"
+)
+
+// Cluster is an in-process deployment of n members communicating over an
+// in-memory transport. It is the easiest way to embed hierarchical
+// locking in a single program (one member per shard/worker) and the
+// backbone of the examples and tests.
+type Cluster struct {
+	net     *transport.ChanNetwork
+	members []*Member
+}
+
+// NewCluster creates n members (IDs 0..n-1). Member 0 initially holds
+// every lock's token; the tree adapts from there.
+func NewCluster(n int) (*Cluster, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("hierlock: cluster size must be positive, got %d", n)
+	}
+	c := &Cluster{net: transport.NewChanNetwork()}
+	for i := 0; i < n; i++ {
+		m, err := newMember(proto.NodeID(i), 0, c.net.Node(proto.NodeID(i)))
+		if err != nil {
+			_ = c.Close()
+			return nil, err
+		}
+		c.members = append(c.members, m)
+	}
+	return c, nil
+}
+
+// Size returns the number of members.
+func (c *Cluster) Size() int { return len(c.members) }
+
+// Member returns the i-th member.
+func (c *Cluster) Member(i int) *Member { return c.members[i] }
+
+// Close shuts down every member and the network.
+func (c *Cluster) Close() error {
+	for _, m := range c.members {
+		_ = m.Close()
+	}
+	return c.net.Close()
+}
+
+// Err returns the first internal error observed by any member, if any.
+func (c *Cluster) Err() error {
+	for _, m := range c.members {
+		if err := m.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TCPMemberConfig configures a member of a TCP cluster.
+type TCPMemberConfig struct {
+	// ID is this node's identifier (dense small integers).
+	ID int
+	// Root is the node that initially holds every token (default 0). All
+	// members of one cluster must agree.
+	Root int
+	// ListenAddr is this node's accept address, e.g. ":7420".
+	ListenAddr string
+	// Peers maps every other member ID to its listen address.
+	Peers map[int]string
+	// DialTimeout bounds connection attempts (default 5s).
+	DialTimeout time.Duration
+}
+
+// NewTCPMember creates and starts a member that communicates over TCP.
+// The returned member is ready once its peers are reachable; requests
+// issued earlier are queued by the transport.
+func NewTCPMember(cfg TCPMemberConfig) (*Member, error) {
+	if cfg.ID < 0 {
+		return nil, fmt.Errorf("hierlock: invalid member id %d", cfg.ID)
+	}
+	peers := make(map[proto.NodeID]string, len(cfg.Peers))
+	for id, addr := range cfg.Peers {
+		peers[proto.NodeID(id)] = addr
+	}
+	tr, err := transport.NewTCP(transport.TCPConfig{
+		Self:        proto.NodeID(cfg.ID),
+		ListenAddr:  cfg.ListenAddr,
+		Peers:       peers,
+		DialTimeout: cfg.DialTimeout,
+	})
+	if err != nil {
+		return nil, err
+	}
+	m, err := newMember(proto.NodeID(cfg.ID), proto.NodeID(cfg.Root), tr)
+	if err != nil {
+		_ = tr.Close()
+		return nil, err
+	}
+	return m, nil
+}
+
+// TCPAddr returns the actual listen address of a member created with
+// NewTCPMember (useful with ":0" listeners); empty for in-process
+// members.
+func (m *Member) TCPAddr() string {
+	if t, ok := m.tr.(*transport.TCPTransport); ok {
+		return t.Addr()
+	}
+	return ""
+}

@@ -1,0 +1,234 @@
+// Command airline runs the paper's evaluation application — a
+// multi-airline reservation system — live on an in-process hierlock
+// cluster: every member is an airline front end issuing randomized
+// hierarchical lock requests against a shared fare table (IR 80 %, R
+// 10 %, U 4 %, IW 5 %, W 1 %), holding critical sections and reporting
+// throughput, latency and protocol-message statistics.
+//
+//	airline -nodes 8 -entries 16 -duration 5s
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hierlock"
+)
+
+type opStats struct {
+	count   atomic.Uint64
+	latency atomic.Int64 // nanoseconds, summed
+}
+
+func main() {
+	var (
+		nodes    = flag.Int("nodes", 8, "cluster members (airline front ends)")
+		entries  = flag.Int("entries", 16, "fare-table entries")
+		duration = flag.Duration("duration", 5*time.Second, "run length")
+		csMean   = flag.Duration("cs", 2*time.Millisecond, "mean critical-section length")
+		idleMean = flag.Duration("idle", 5*time.Millisecond, "mean idle time between requests")
+		seed     = flag.Int64("seed", time.Now().UnixNano(), "workload seed")
+	)
+	flag.Parse()
+
+	cluster, err := hierlock.NewCluster(*nodes)
+	if err != nil {
+		log.Fatalf("airline: %v", err)
+	}
+	defer cluster.Close()
+
+	fares := make([]int, *entries) // the shared table: fare per route
+	for i := range fares {
+		fares[i] = 100 + i
+	}
+	var tableMu sync.Mutex // protects the slice header accesses in the demo
+
+	stats := map[string]*opStats{
+		"browse (IR+R)": {}, "audit (R)": {}, "reprice (U→W)": {},
+		"book (IW+W)": {}, "rebuild (W)": {},
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *duration)
+	defer cancel()
+	start := time.Now()
+
+	var wg sync.WaitGroup
+	for i := 0; i < *nodes; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(i)))
+			m := cluster.Member(i)
+			for ctx.Err() == nil {
+				sleep(ctx, expDur(rng, *idleMean))
+				runOp(ctx, m, rng, fares, &tableMu, stats, expDur(rng, *csMean))
+			}
+		}()
+	}
+	wg.Wait()
+
+	if err := cluster.Err(); err != nil {
+		log.Fatalf("airline: protocol error: %v", err)
+	}
+
+	elapsed := time.Since(start)
+	fmt.Printf("airline reservation demo: %d nodes, %d fare entries, %v\n\n", *nodes, *entries, elapsed.Round(time.Millisecond))
+	names := make([]string, 0, len(stats))
+	for name := range stats {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var total uint64
+	for _, name := range names {
+		s := stats[name]
+		n := s.count.Load()
+		total += n
+		avg := time.Duration(0)
+		if n > 0 {
+			avg = time.Duration(uint64(s.latency.Load()) / n)
+		}
+		fmt.Printf("  %-16s %8d ops   avg acquire %v\n", name, n, avg.Round(time.Microsecond))
+	}
+	fmt.Printf("\n  total %d ops (%.0f ops/s)\n\n", total, float64(total)/elapsed.Seconds())
+
+	var msgs uint64
+	byKind := map[string]uint64{}
+	for i := 0; i < *nodes; i++ {
+		for k, v := range cluster.Member(i).MessagesSent() {
+			byKind[k] += v
+			msgs += v
+		}
+	}
+	kinds := make([]string, 0, len(byKind))
+	for k := range byKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	fmt.Println("  protocol messages:")
+	for _, k := range kinds {
+		fmt.Printf("    %-8s %8d\n", k, byKind[k])
+	}
+	if total > 0 {
+		fmt.Printf("    %-8s %8.2f per operation\n", "=", float64(msgs)/float64(total))
+	}
+}
+
+// runOp draws an operation from the paper's mix and executes it.
+func runOp(ctx context.Context, m *hierlock.Member, rng *rand.Rand, fares []int, tableMu *sync.Mutex, stats map[string]*opStats, cs time.Duration) {
+	entry := rng.Intn(len(fares))
+	row := fmt.Sprintf("fares/%d", entry)
+	begin := time.Now()
+	record := func(name string) {
+		s := stats[name]
+		s.count.Add(1)
+		s.latency.Add(int64(time.Since(begin)))
+	}
+
+	switch p := rng.Intn(100); {
+	case p < 80: // browse one fare: IR on the table, R on the row
+		tl, err := m.Lock(ctx, "fares", hierlock.IR)
+		if err != nil {
+			return
+		}
+		rl, err := m.Lock(ctx, row, hierlock.R)
+		if err != nil {
+			_ = tl.Unlock()
+			return
+		}
+		record("browse (IR+R)")
+		tableMu.Lock()
+		_ = fares[entry]
+		tableMu.Unlock()
+		sleep(ctx, cs)
+		_ = rl.Unlock()
+		_ = tl.Unlock()
+	case p < 90: // audit the whole table: R on the table
+		tl, err := m.Lock(ctx, "fares", hierlock.R)
+		if err != nil {
+			return
+		}
+		record("audit (R)")
+		tableMu.Lock()
+		sum := 0
+		for _, f := range fares {
+			sum += f
+		}
+		tableMu.Unlock()
+		_ = sum
+		sleep(ctx, cs)
+		_ = tl.Unlock()
+	case p < 94: // reprice: U read, then upgrade to W and write
+		tl, err := m.Lock(ctx, "fares", hierlock.U)
+		if err != nil {
+			return
+		}
+		sleep(ctx, cs)
+		if err := tl.Upgrade(ctx); err != nil {
+			_ = tl.Unlock()
+			return
+		}
+		record("reprice (U→W)")
+		tableMu.Lock()
+		for i := range fares {
+			fares[i]++
+		}
+		tableMu.Unlock()
+		sleep(ctx, cs)
+		_ = tl.Unlock()
+	case p < 99: // book one seat: IW on the table, W on the row
+		tl, err := m.Lock(ctx, "fares", hierlock.IW)
+		if err != nil {
+			return
+		}
+		rl, err := m.Lock(ctx, row, hierlock.W)
+		if err != nil {
+			_ = tl.Unlock()
+			return
+		}
+		record("book (IW+W)")
+		tableMu.Lock()
+		fares[entry]++
+		tableMu.Unlock()
+		sleep(ctx, cs)
+		_ = rl.Unlock()
+		_ = tl.Unlock()
+	default: // rebuild the table: exclusive W
+		tl, err := m.Lock(ctx, "fares", hierlock.W)
+		if err != nil {
+			return
+		}
+		record("rebuild (W)")
+		tableMu.Lock()
+		for i := range fares {
+			fares[i] = 100 + i
+		}
+		tableMu.Unlock()
+		sleep(ctx, cs)
+		_ = tl.Unlock()
+	}
+}
+
+func expDur(rng *rand.Rand, mean time.Duration) time.Duration {
+	d := time.Duration(rng.ExpFloat64() * float64(mean))
+	if max := 10 * mean; d > max {
+		return max
+	}
+	return d
+}
+
+func sleep(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}

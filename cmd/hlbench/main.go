@@ -1,0 +1,142 @@
+// Command hlbench regenerates the evaluation figures of Desai & Mueller,
+// "Scalable Distributed Concurrency Services for Hierarchical Locking"
+// (ICDCS 2003), by running the airline-reservation workload on simulated
+// clusters of increasing size under the three protocol configurations the
+// paper compares (our protocol, Naimi "same work", Naimi "pure").
+//
+// Usage:
+//
+//	hlbench -fig 5            # message overhead vs nodes (Figure 5)
+//	hlbench -fig 6            # request latency factor vs nodes (Figure 6)
+//	hlbench -fig 7            # message-type breakdown (Figure 7)
+//	hlbench -fig ablation     # feature-ablation overhead sweep
+//	hlbench -fig all          # everything
+//
+// Flags tune the sweep (node counts, table entries, virtual duration,
+// seed); -csv emits machine-readable output.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"hierlock/internal/experiment"
+	"hierlock/internal/metrics"
+	"hierlock/internal/workload"
+)
+
+func main() {
+	var (
+		fig      = flag.String("fig", "all", "figure to regenerate: 5, 6, 7, ablation, priority, mix, depth, related, cells or all")
+		nodes    = flag.String("nodes", "", "comma-separated node counts (default: the paper's 2..120 sweep)")
+		entries  = flag.Int("entries", workload.DefaultEntries, "fare-table entries (paper: unspecified; see EXPERIMENTS.md)")
+		duration = flag.Duration("duration", 300*time.Second, "virtual measurement window per cell")
+		warmup   = flag.Duration("warmup", 10*time.Second, "virtual warmup per cell")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	cfg := experiment.Config{
+		Entries:  *entries,
+		Duration: *duration,
+		Warmup:   *warmup,
+		Seed:     *seed,
+	}
+	if *nodes != "" {
+		for _, part := range strings.Split(*nodes, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n <= 0 {
+				fatalf("invalid -nodes value %q", part)
+			}
+			cfg.NodeCounts = append(cfg.NodeCounts, n)
+		}
+	}
+
+	emit := func(t *metrics.Table, err error) {
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if *csv {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Println(t.String())
+		}
+	}
+
+	runAll := *fig == "all"
+	ran := false
+	if runAll || *fig == "5" {
+		emit(experiment.Figure5(cfg))
+		ran = true
+	}
+	if runAll || *fig == "6" {
+		emit(experiment.Figure6(cfg))
+		ran = true
+	}
+	if runAll || *fig == "7" {
+		emit(experiment.Figure7(cfg))
+		ran = true
+	}
+	if runAll || *fig == "ablation" {
+		emit(experiment.AblationOverhead(cfg))
+		ran = true
+	}
+	if runAll || *fig == "priority" {
+		emit(experiment.PriorityLatency(cfg))
+		ran = true
+	}
+	if runAll || *fig == "related" {
+		emit(experiment.RelatedWork(cfg))
+		ran = true
+	}
+	if runAll || *fig == "depth" {
+		emit(experiment.DepthComparison(cfg))
+		ran = true
+	}
+	if runAll || *fig == "mix" {
+		n := 60
+		if len(cfg.NodeCounts) > 0 {
+			n = cfg.NodeCounts[len(cfg.NodeCounts)-1]
+		}
+		mixCfg := cfg
+		mixCfg.NodeCounts = nil
+		t, err := experiment.MixSensitivity(mixCfg, n)
+		if err == nil {
+			for i, nm := range experiment.SensitivityMixes {
+				fmt.Printf("# mix %d = %s\n", i, nm.Name)
+			}
+		}
+		emit(t, err)
+		ran = true
+	}
+	if *fig == "cells" {
+		// Raw per-cell dumps for debugging and EXPERIMENTS.md.
+		full := cfg
+		if len(full.NodeCounts) == 0 {
+			full.NodeCounts = experiment.PaperNodeCounts
+		}
+		for _, n := range full.NodeCounts {
+			for _, m := range []workload.Mapping{workload.Hierarchical, workload.SameWork, workload.Pure} {
+				cell, err := experiment.RunCell(full, m, n)
+				if err != nil {
+					fatalf("%v", err)
+				}
+				fmt.Println(cell.Dump())
+			}
+		}
+		ran = true
+	}
+	if !ran {
+		fatalf("unknown -fig %q (want 5, 6, 7, ablation, cells or all)", *fig)
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "hlbench: "+format+"\n", args...)
+	os.Exit(1)
+}

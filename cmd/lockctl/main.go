@@ -1,0 +1,106 @@
+// Command lockctl is a client for lockd's text protocol.
+//
+// One-shot (acquire, hold, release):
+//
+//	lockctl -addr host:8400 lock fares/row17 W -hold 2s
+//
+// Query commands:
+//
+//	lockctl -addr host:8400 stats
+//	lockctl -addr host:8400 held
+//
+// Interactive (raw protocol pass-through):
+//
+//	lockctl -addr host:8400 -i
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"time"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:8400", "lockd client address")
+		interactive = flag.Bool("i", false, "interactive mode: pass stdin lines through")
+		hold        = flag.Duration("hold", 0, "how long to hold a lock before releasing (lock command)")
+		timeout     = flag.Duration("timeout", 10*time.Second, "dial timeout")
+	)
+	flag.Parse()
+
+	conn, err := net.DialTimeout("tcp", *addr, *timeout)
+	if err != nil {
+		fatalf("dial %s: %v", *addr, err)
+	}
+	defer conn.Close()
+	rd := bufio.NewScanner(conn)
+
+	send := func(line string) string {
+		if _, err := fmt.Fprintln(conn, line); err != nil {
+			fatalf("send: %v", err)
+		}
+		if !rd.Scan() {
+			fatalf("connection closed: %v", rd.Err())
+		}
+		return rd.Text()
+	}
+
+	if *interactive {
+		in := bufio.NewScanner(os.Stdin)
+		for in.Scan() {
+			line := strings.TrimSpace(in.Text())
+			if line == "" {
+				continue
+			}
+			resp := send(line)
+			fmt.Println(resp)
+			if strings.EqualFold(line, "quit") {
+				return
+			}
+		}
+		return
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		fatalf("usage: lockctl [-addr A] lock <resource> <mode> [-hold D] | unlock <resource> | upgrade <resource> | held | stats")
+	}
+	switch strings.ToLower(args[0]) {
+	case "lock":
+		if len(args) != 3 {
+			fatalf("usage: lockctl lock <resource> <mode>")
+		}
+		resp := send(fmt.Sprintf("LOCK %s %s", args[1], args[2]))
+		fmt.Println(resp)
+		if !strings.HasPrefix(resp, "OK") {
+			os.Exit(1)
+		}
+		if *hold > 0 {
+			fmt.Fprintf(os.Stderr, "holding %s for %v...\n", args[1], *hold)
+			time.Sleep(*hold)
+			fmt.Println(send("UNLOCK " + args[1]))
+		}
+	case "unlock", "upgrade", "held", "stats":
+		line := strings.ToUpper(args[0])
+		if len(args) > 1 {
+			line += " " + strings.Join(args[1:], " ")
+		}
+		resp := send(line)
+		fmt.Println(resp)
+		if !strings.HasPrefix(resp, "OK") {
+			os.Exit(1)
+		}
+	default:
+		fatalf("unknown command %q", args[0])
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "lockctl: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,112 @@
+// Command lockd is a hierarchical distributed lock daemon: one member of
+// a hierlock cluster plus a line-oriented client front end (see
+// internal/lockserver for the protocol).
+//
+// Example three-node cluster:
+//
+//	lockd -id 0 -listen :7400 -client :8400 -peers 1=h2:7401,2=h3:7402
+//	lockd -id 1 -listen :7401 -client :8401 -peers 0=h1:7400,2=h3:7402
+//	lockd -id 2 -listen :7402 -client :8402 -peers 0=h1:7400,1=h2:7401
+//
+// Applications then connect to the -client port with lockctl (or any
+// line-oriented client) and issue LOCK/UNLOCK/UPGRADE commands. Locks
+// belong to the client connection and die with it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"hierlock"
+	"hierlock/internal/lockserver"
+)
+
+func main() {
+	var (
+		id      = flag.Int("id", 0, "this node's member id")
+		root    = flag.Int("root", 0, "member id that initially holds all tokens")
+		listen  = flag.String("listen", ":7400", "peer (protocol) listen address")
+		client  = flag.String("client", ":8400", "client listen address")
+		peers   = flag.String("peers", "", "peer map: id=host:port,id=host:port")
+		timeout = flag.Duration("timeout", 0, "per-request lock timeout (0 = wait forever)")
+		debug   = flag.String("debug", "", "debug HTTP listen address for /healthz and /stats (disabled if empty)")
+	)
+	flag.Parse()
+
+	peerMap, err := parsePeers(*peers)
+	if err != nil {
+		log.Fatalf("lockd: %v", err)
+	}
+	m, err := hierlock.NewTCPMember(hierlock.TCPMemberConfig{
+		ID:         *id,
+		Root:       *root,
+		ListenAddr: *listen,
+		Peers:      peerMap,
+	})
+	if err != nil {
+		log.Fatalf("lockd: %v", err)
+	}
+	defer m.Close()
+
+	ln, err := net.Listen("tcp", *client)
+	if err != nil {
+		log.Fatalf("lockd: client listen: %v", err)
+	}
+	log.Printf("lockd: member %d, peers on %s, clients on %s", *id, *listen, ln.Addr())
+
+	srv := lockserver.New(m)
+	srv.Timeout = *timeout
+
+	if *debug != "" {
+		dln, err := net.Listen("tcp", *debug)
+		if err != nil {
+			log.Fatalf("lockd: debug listen: %v", err)
+		}
+		log.Printf("lockd: debug endpoints on http://%s/stats", dln.Addr())
+		go func() {
+			if err := http.Serve(dln, srv.DebugHandler()); err != nil {
+				log.Printf("lockd: debug server: %v", err)
+			}
+		}()
+	}
+
+	// Graceful shutdown: stop accepting, drain client sessions (their
+	// locks are released as connections close), then exit.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		log.Printf("lockd: %v received, shutting down", s)
+		_ = srv.Close()
+	}()
+
+	err = srv.Serve(ln)
+	log.Printf("lockd: serve stopped: %v", err)
+}
+
+func parsePeers(s string) (map[int]string, error) {
+	peers := make(map[int]string)
+	if s == "" {
+		return peers, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad peer %q (want id=host:port)", part)
+		}
+		id, err := strconv.Atoi(kv[0])
+		if err != nil {
+			return nil, fmt.Errorf("bad peer id %q", kv[0])
+		}
+		peers[id] = kv[1]
+	}
+	return peers, nil
+}

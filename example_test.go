@@ -1,0 +1,92 @@
+package hierlock_test
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"hierlock"
+)
+
+// Basic usage: an in-process cluster, an exclusive lock, shared readers.
+func ExampleNewCluster() {
+	cluster, err := hierlock.NewCluster(3)
+	if err != nil {
+		panic(err)
+	}
+	defer cluster.Close()
+	ctx := context.Background()
+
+	w, _ := cluster.Member(0).Lock(ctx, "config", hierlock.W)
+	fmt.Println("member 0 holds", w.Mode())
+	_ = w.Unlock()
+
+	r1, _ := cluster.Member(1).Lock(ctx, "config", hierlock.R)
+	r2, _ := cluster.Member(2).Lock(ctx, "config", hierlock.R)
+	fmt.Println("members 1 and 2 share", r1.Mode(), r2.Mode())
+	_ = r1.Unlock()
+	_ = r2.Unlock()
+	// Output:
+	// member 0 holds W
+	// members 1 and 2 share R R
+}
+
+// Hierarchical locking: intention modes on ancestors let disjoint
+// fine-grained writers run concurrently.
+func ExampleMember_LockPath() {
+	cluster, _ := hierlock.NewCluster(3)
+	defer cluster.Close()
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	for i := 1; i <= 2; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// IW on "fares", W on the member's own row.
+			pl, err := cluster.Member(i).LockPath(ctx,
+				[]string{"fares", fmt.Sprintf("row-%d", i)}, hierlock.W)
+			if err != nil {
+				panic(err)
+			}
+			defer pl.Unlock()
+			// …update the row…
+		}()
+	}
+	wg.Wait()
+	fmt.Println("disjoint rows written concurrently")
+	// Output: disjoint rows written concurrently
+}
+
+// Upgrade locks: exclusive read now, atomic conversion to write later.
+func ExampleLock_Upgrade() {
+	cluster, _ := hierlock.NewCluster(2)
+	defer cluster.Close()
+	ctx := context.Background()
+
+	l, _ := cluster.Member(1).Lock(ctx, "balance", hierlock.U)
+	fmt.Println("reading under", l.Mode())
+	// …compute the new value…
+	if err := l.Upgrade(ctx); err != nil {
+		panic(err)
+	}
+	fmt.Println("writing under", l.Mode())
+	_ = l.Unlock()
+	// Output:
+	// reading under U
+	// writing under W
+}
+
+// Compatibility of the five CORBA lock modes.
+func ExampleCompatible() {
+	fmt.Println(hierlock.Compatible(hierlock.IR, hierlock.IW))
+	fmt.Println(hierlock.Compatible(hierlock.R, hierlock.U))
+	fmt.Println(hierlock.Compatible(hierlock.U, hierlock.U))
+	fmt.Println(hierlock.Compatible(hierlock.R, hierlock.W))
+	// Output:
+	// true
+	// true
+	// false
+	// false
+}

@@ -1,0 +1,78 @@
+// Priority arbitration: an urgent maintenance operation jumps a queue of
+// routine writers (strict priority ordering at the lock's token queue,
+// FIFO within each priority level).
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"hierlock"
+)
+
+func main() {
+	cluster, err := hierlock.NewCluster(6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+	ctx := context.Background()
+
+	// Member 0 holds the lock while the others line up.
+	holder, err := cluster.Member(0).Lock(ctx, "catalog", hierlock.W)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	var order []string
+	var wg sync.WaitGroup
+
+	routine := func(member int) {
+		defer wg.Done()
+		l, err := cluster.Member(member).Lock(ctx, "catalog", hierlock.W)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mu.Lock()
+		order = append(order, fmt.Sprintf("routine-%d", member))
+		mu.Unlock()
+		time.Sleep(5 * time.Millisecond)
+		_ = l.Unlock()
+	}
+	urgent := func(member int) {
+		defer wg.Done()
+		l, err := cluster.Member(member).LockWithPriority(ctx, "catalog", hierlock.W, 9)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mu.Lock()
+		order = append(order, fmt.Sprintf("URGENT-%d", member))
+		mu.Unlock()
+		time.Sleep(5 * time.Millisecond)
+		_ = l.Unlock()
+	}
+
+	// Routine writers queue first…
+	for m := 1; m <= 3; m++ {
+		wg.Add(1)
+		go routine(m)
+	}
+	time.Sleep(300 * time.Millisecond) // let them reach the queue
+	// …then the urgent one arrives last.
+	wg.Add(1)
+	go urgent(4)
+	time.Sleep(300 * time.Millisecond)
+
+	_ = holder.Unlock()
+	wg.Wait()
+
+	fmt.Println("service order:", order)
+	if order[0] != "URGENT-4" {
+		log.Fatal("the urgent operation should have been served first")
+	}
+	fmt.Println("the urgent writer overtook the routine queue")
+}

@@ -1,0 +1,84 @@
+// Upgrade locks: read-then-write without deadlock.
+//
+// Two transactions that both read a balance and then write it back would
+// deadlock with plain R→W locking (each holds R, each waits for the
+// other's release to get W). The CORBA U mode is an exclusive read: only
+// one U holder exists at a time, and it upgrades to W atomically (Rule 7
+// of the paper), so the pattern is safe.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"hierlock"
+)
+
+func main() {
+	cluster, err := hierlock.NewCluster(3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+	ctx := context.Background()
+
+	balance := 100
+	var mu sync.Mutex // local memory safety; hierlock orders the accesses
+
+	withdraw := func(member, amount int) {
+		// U: exclusive read — a second U waits right here instead of
+		// deadlocking later.
+		l, err := cluster.Member(member).Lock(ctx, "account", hierlock.U)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mu.Lock()
+		current := balance
+		mu.Unlock()
+		fmt.Printf("member %d read balance %d under U\n", member, current)
+		time.Sleep(10 * time.Millisecond) // "thinking"
+
+		// Upgrade to W: waits for plain readers to drain, then converts
+		// atomically — no other U can have slipped in.
+		if err := l.Upgrade(ctx); err != nil {
+			log.Fatal(err)
+		}
+		mu.Lock()
+		balance = current - amount
+		mu.Unlock()
+		fmt.Printf("member %d wrote balance %d under %v\n", member, current-amount, l.Mode())
+		if err := l.Unlock(); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Concurrent plain readers are fine alongside a U holder.
+	r, err := cluster.Member(0).Lock(ctx, "account", hierlock.R)
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		fmt.Println("reader done, releasing R")
+		_ = r.Unlock()
+	}()
+
+	var wg sync.WaitGroup
+	for m, amt := range map[int]int{1: 30, 2: 20} {
+		m, amt := m, amt
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			withdraw(m, amt)
+		}()
+	}
+	wg.Wait()
+
+	fmt.Printf("final balance: %d (both withdrawals applied, no deadlock)\n", balance)
+	if balance != 50 {
+		log.Fatalf("lost update! balance = %d, want 50", balance)
+	}
+}

@@ -1,0 +1,3 @@
+module hierlock
+
+go 1.22

@@ -1,0 +1,537 @@
+package hierlock_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hierlock"
+)
+
+func newCluster(t *testing.T, n int) *hierlock.Cluster {
+	t.Helper()
+	c, err := hierlock.NewCluster(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := c.Err(); err != nil {
+			t.Errorf("cluster protocol error: %v", err)
+		}
+		_ = c.Close()
+	})
+	return c
+}
+
+func TestSingleMemberLockUnlock(t *testing.T) {
+	c := newCluster(t, 1)
+	ctx := context.Background()
+	l, err := c.Member(0).Lock(ctx, "res", hierlock.W)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Mode() != hierlock.W || l.Resource() != "res" {
+		t.Fatalf("handle: %v %v", l.Mode(), l.Resource())
+	}
+	if err := l.Unlock(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Unlock(); !errors.Is(err, hierlock.ErrReleased) {
+		t.Fatalf("double unlock = %v", err)
+	}
+}
+
+func TestConcurrentReaders(t *testing.T) {
+	c := newCluster(t, 5)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	var inCS atomic.Int32
+	var maxCS atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 5; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			l, err := c.Member(i).Lock(ctx, "shared", hierlock.R)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			n := inCS.Add(1)
+			for {
+				old := maxCS.Load()
+				if n <= old || maxCS.CompareAndSwap(old, n) {
+					break
+				}
+			}
+			time.Sleep(20 * time.Millisecond)
+			inCS.Add(-1)
+			if err := l.Unlock(); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if maxCS.Load() < 2 {
+		t.Errorf("readers should overlap, max concurrency = %d", maxCS.Load())
+	}
+}
+
+func TestWritersExclusive(t *testing.T) {
+	c := newCluster(t, 4)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	var inCS atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		i := i
+		for rep := 0; rep < 3; rep++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				l, err := c.Member(i).Lock(ctx, "excl", hierlock.W)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if n := inCS.Add(1); n != 1 {
+					t.Errorf("mutual exclusion violated: %d writers in CS", n)
+				}
+				time.Sleep(2 * time.Millisecond)
+				inCS.Add(-1)
+				if err := l.Unlock(); err != nil {
+					t.Error(err)
+				}
+			}()
+		}
+	}
+	wg.Wait()
+}
+
+func TestReaderWriterConflict(t *testing.T) {
+	c := newCluster(t, 3)
+	ctx := context.Background()
+	r, err := c.Member(1).Lock(ctx, "doc", hierlock.R)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wDone := make(chan error, 1)
+	go func() {
+		w, err := c.Member(2).Lock(ctx, "doc", hierlock.W)
+		if err != nil {
+			wDone <- err
+			return
+		}
+		wDone <- w.Unlock()
+	}()
+	select {
+	case <-wDone:
+		t.Fatal("writer acquired while reader held")
+	case <-time.After(300 * time.Millisecond):
+	}
+	if err := r.Unlock(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-wDone:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("writer starved")
+	}
+}
+
+func TestHierarchicalConcurrency(t *testing.T) {
+	// Two members write different rows concurrently under IW table locks.
+	c := newCluster(t, 3)
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	var overlap atomic.Int32
+	var sawOverlap atomic.Bool
+	for i := 1; i <= 2; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tl, err := c.Member(i).Lock(ctx, "table", hierlock.IW)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			rl, err := c.Member(i).Lock(ctx, fmt.Sprintf("table/row%d", i), hierlock.W)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if overlap.Add(1) == 2 {
+				sawOverlap.Store(true)
+			}
+			time.Sleep(50 * time.Millisecond)
+			overlap.Add(-1)
+			_ = rl.Unlock()
+			_ = tl.Unlock()
+		}()
+	}
+	wg.Wait()
+	if !sawOverlap.Load() {
+		t.Error("disjoint row writers under IW should overlap")
+	}
+}
+
+func TestUpgradeFlow(t *testing.T) {
+	c := newCluster(t, 3)
+	ctx := context.Background()
+	u, err := c.Member(1).Lock(ctx, "acct", hierlock.U)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A reader coexists with U.
+	r, err := c.Member(2).Lock(ctx, "acct", hierlock.R)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Upgrade must wait for the reader.
+	upDone := make(chan error, 1)
+	go func() { upDone <- u.Upgrade(ctx) }()
+	select {
+	case <-upDone:
+		t.Fatal("upgrade completed while reader held")
+	case <-time.After(200 * time.Millisecond):
+	}
+	if err := r.Unlock(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-upDone; err != nil {
+		t.Fatal(err)
+	}
+	if u.Mode() != hierlock.W {
+		t.Fatalf("mode after upgrade = %v", u.Mode())
+	}
+	if err := u.Unlock(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpgradeErrors(t *testing.T) {
+	c := newCluster(t, 2)
+	ctx := context.Background()
+	r, err := c.Member(0).Lock(ctx, "x", hierlock.R)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Upgrade(ctx); !errors.Is(err, hierlock.ErrNotUpgradable) {
+		t.Fatalf("upgrade from R = %v", err)
+	}
+	if err := r.Unlock(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Upgrade(ctx); !errors.Is(err, hierlock.ErrReleased) {
+		t.Fatalf("upgrade after release = %v", err)
+	}
+}
+
+func TestContextCancelledWait(t *testing.T) {
+	c := newCluster(t, 3)
+	ctx := context.Background()
+	w, err := c.Member(1).Lock(ctx, "busy", hierlock.W)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cctx, cancel := context.WithTimeout(ctx, 150*time.Millisecond)
+	defer cancel()
+	if _, err := c.Member(2).Lock(cctx, "busy", hierlock.R); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expected deadline, got %v", err)
+	}
+	// The abandoned request is auto-released on grant, so the next writer
+	// is not blocked by a ghost reader.
+	if err := w.Unlock(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := c.Member(0).Lock(ctx, "busy", hierlock.W)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Unlock(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSameMemberSharedAndExclusiveHolds(t *testing.T) {
+	c := newCluster(t, 2)
+	ctx := context.Background()
+
+	// Self-compatible modes (IR, R, IW) are shared between local clients
+	// of one member: the second R joins the existing hold immediately.
+	l, err := c.Member(1).Lock(ctx, "serial", hierlock.R)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := c.Member(1).Lock(ctx, "serial", hierlock.R)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The hold survives until the last sharer unlocks: after l releases,
+	// a remote writer must still wait for l2.
+	if err := l.Unlock(); err != nil {
+		t.Fatal(err)
+	}
+	wDone := make(chan error, 1)
+	go func() {
+		w, err := c.Member(0).Lock(ctx, "serial", hierlock.W)
+		if err == nil {
+			err = w.Unlock()
+		}
+		wDone <- err
+	}()
+	select {
+	case <-wDone:
+		t.Fatal("writer acquired while a sharer still held R")
+	case <-time.After(200 * time.Millisecond):
+	}
+	if err := l2.Unlock(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-wDone; err != nil {
+		t.Fatal(err)
+	}
+
+	// Exclusive modes are never shared: the same member's second W waits.
+	w1, err := c.Member(1).Lock(ctx, "serial", hierlock.W)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second := make(chan error, 1)
+	go func() {
+		w2, err := c.Member(1).Lock(ctx, "serial", hierlock.W)
+		if err == nil {
+			err = w2.Unlock()
+		}
+		second <- err
+	}()
+	select {
+	case <-second:
+		t.Fatal("same member acquired W twice concurrently")
+	case <-time.After(200 * time.Millisecond):
+	}
+	if err := w1.Unlock(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-second; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLockPath(t *testing.T) {
+	c := newCluster(t, 3)
+	ctx := context.Background()
+	pl, err := c.Member(1).LockPath(ctx, []string{"db", "fares", "row17"}, hierlock.W)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Leaf().Mode() != hierlock.W {
+		t.Fatalf("leaf mode = %v", pl.Leaf().Mode())
+	}
+	// A second member can write a different row concurrently.
+	pl2, err := c.Member(2).LockPath(ctx, []string{"db", "fares", "row18"}, hierlock.W)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pl2.Unlock(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.Unlock(); err != nil {
+		t.Fatal(err)
+	}
+	// Errors.
+	if _, err := c.Member(0).LockPath(ctx, nil, hierlock.R); err == nil {
+		t.Error("empty path must fail")
+	}
+	if _, err := c.Member(0).LockPath(ctx, []string{"a", ""}, hierlock.R); err == nil {
+		t.Error("empty component must fail")
+	}
+}
+
+func TestLockPathReleasesOnFailure(t *testing.T) {
+	c := newCluster(t, 2)
+	// Hold W on the leaf from member 0 so member 1's path lock stalls at
+	// the leaf; cancel and verify the ancestor locks were released.
+	ctx := context.Background()
+	leaf, err := c.Member(0).Lock(ctx, "a/b", hierlock.W)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cctx, cancel := context.WithTimeout(ctx, 200*time.Millisecond)
+	defer cancel()
+	if _, err := c.Member(1).LockPath(cctx, []string{"a", "b"}, hierlock.W); err == nil {
+		t.Fatal("path lock should have failed")
+	}
+	if err := leaf.Unlock(); err != nil {
+		t.Fatal(err)
+	}
+	// Ancestors must be free: a W on "a" succeeds promptly.
+	wctx, wcancel := context.WithTimeout(ctx, 5*time.Second)
+	defer wcancel()
+	l, err := c.Member(0).Lock(wctx, "a", hierlock.W)
+	if err != nil {
+		t.Fatalf("ancestor leaked: %v", err)
+	}
+	_ = l.Unlock()
+}
+
+func TestInvalidInputs(t *testing.T) {
+	c := newCluster(t, 1)
+	ctx := context.Background()
+	if _, err := c.Member(0).Lock(ctx, "x", hierlock.Mode(0)); err == nil {
+		t.Error("mode None must fail")
+	}
+	if _, err := c.Member(0).Lock(ctx, "x", hierlock.Mode(99)); err == nil {
+		t.Error("invalid mode must fail")
+	}
+	if _, err := hierlock.NewCluster(0); err == nil {
+		t.Error("empty cluster must fail")
+	}
+}
+
+func TestCloseRejectsOps(t *testing.T) {
+	c, err := hierlock.NewCluster(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Member(0).Lock(context.Background(), "x", hierlock.R); !errors.Is(err, hierlock.ErrClosed) {
+		t.Fatalf("lock after close = %v", err)
+	}
+	if err := c.Member(0).Close(); err != nil {
+		t.Error("double close must be nil")
+	}
+}
+
+func TestCompatibleAndResourceID(t *testing.T) {
+	if !hierlock.Compatible(hierlock.IR, hierlock.IW) || hierlock.Compatible(hierlock.R, hierlock.W) {
+		t.Error("compatibility re-export broken")
+	}
+	if hierlock.ResourceID("a") == hierlock.ResourceID("b") {
+		t.Error("distinct resources must map to distinct ids")
+	}
+	if hierlock.ResourceID("a") != hierlock.ResourceID("a") {
+		t.Error("resource ids must be stable")
+	}
+}
+
+func TestMessagesSent(t *testing.T) {
+	c := newCluster(t, 2)
+	ctx := context.Background()
+	l, err := c.Member(1).Lock(ctx, "m", hierlock.W)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = l.Unlock()
+	sent := c.Member(1).MessagesSent()
+	if sent["request"] == 0 {
+		t.Errorf("expected request messages, got %v", sent)
+	}
+}
+
+// TestConcurrentStress hammers a cluster from many goroutines with mixed
+// modes and verifies compatibility with an oracle.
+func TestConcurrentStress(t *testing.T) {
+	const nodes = 6
+	c := newCluster(t, nodes)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	var mu sync.Mutex
+	held := map[int]hierlock.Mode{}
+	modesAll := []hierlock.Mode{hierlock.IR, hierlock.R, hierlock.U, hierlock.IW, hierlock.W}
+
+	var wg sync.WaitGroup
+	for i := 0; i < nodes; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(i)))
+			for op := 0; op < 30; op++ {
+				m := modesAll[rng.Intn(len(modesAll))]
+				l, err := c.Member(i).Lock(ctx, "stress", m)
+				if err != nil {
+					t.Errorf("member %d: %v", i, err)
+					return
+				}
+				mu.Lock()
+				for other, om := range held {
+					if !hierlock.Compatible(om, m) {
+						t.Errorf("INCOMPATIBLE: member %d holds %v while %d acquires %v", other, om, i, m)
+					}
+				}
+				held[i] = m
+				mu.Unlock()
+				time.Sleep(time.Duration(rng.Intn(3)) * time.Millisecond)
+				mu.Lock()
+				delete(held, i)
+				mu.Unlock()
+				if err := l.Unlock(); err != nil {
+					t.Errorf("member %d unlock: %v", i, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestLockWithPriority(t *testing.T) {
+	c := newCluster(t, 4)
+	ctx := context.Background()
+	w, err := c.Member(0).Lock(ctx, "queue", hierlock.W)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two waiters: low priority first, then high priority.
+	type result struct {
+		who int
+		err error
+	}
+	results := make(chan result, 2)
+	lockAs := func(member int, prio uint8) {
+		l, err := c.Member(member).LockWithPriority(ctx, "queue", hierlock.W, prio)
+		if err == nil {
+			results <- result{member, nil}
+			time.Sleep(10 * time.Millisecond)
+			err = l.Unlock()
+		}
+		if err != nil {
+			results <- result{member, err}
+		}
+	}
+	go lockAs(1, 0)
+	time.Sleep(200 * time.Millisecond) // let the low-priority request queue
+	go lockAs(2, 9)
+	time.Sleep(200 * time.Millisecond)
+	if err := w.Unlock(); err != nil {
+		t.Fatal(err)
+	}
+	first := <-results
+	if first.err != nil {
+		t.Fatal(first.err)
+	}
+	if first.who != 2 {
+		t.Fatalf("high-priority waiter should win, got member %d", first.who)
+	}
+	second := <-results
+	if second.err != nil {
+		t.Fatal(second.err)
+	}
+	if second.who != 1 {
+		t.Fatalf("low-priority waiter second, got member %d", second.who)
+	}
+}

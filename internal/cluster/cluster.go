@@ -1,0 +1,562 @@
+// Package cluster assembles complete simulated deployments: N nodes, each
+// running one protocol engine per lock, connected by a latency-modelled
+// network with per-link FIFO delivery, driven by the discrete-event
+// simulator. It hosts both the paper's hierarchical protocol
+// (internal/hlock) and the Naimi–Trehel baseline (internal/naimi) behind
+// one client interface, so workloads and experiments are protocol-agnostic.
+//
+// A built-in oracle continuously verifies mutual exclusion: the multiset
+// of modes held across all nodes of any lock must stay pairwise
+// compatible. Violations and engine-level protocol errors are recorded on
+// the cluster and fail the run.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"hierlock/internal/hlock"
+	"hierlock/internal/metrics"
+	"hierlock/internal/modes"
+	"hierlock/internal/naimi"
+	"hierlock/internal/proto"
+	"hierlock/internal/raymond"
+	"hierlock/internal/ricart"
+	"hierlock/internal/sim"
+	"hierlock/internal/suzuki"
+	"hierlock/internal/trace"
+)
+
+// Protocol selects the locking protocol a cluster runs.
+type Protocol uint8
+
+// Available protocols.
+const (
+	// Hierarchical is the paper's protocol with the five CORBA modes.
+	Hierarchical Protocol = iota
+	// Naimi is the exclusive-only Naimi–Trehel baseline; all modes map to
+	// exclusive ownership.
+	Naimi
+	// Raymond is the static-tree token baseline (related work [16]):
+	// exclusive-only, O(log n) messages on a fixed balanced binary tree.
+	Raymond
+	// Suzuki is the Suzuki–Kasami broadcast baseline (related work [20]):
+	// exclusive-only, Θ(n) messages per request.
+	Suzuki
+	// Ricart is the Ricart–Agrawala permission-based baseline (the
+	// paper's §2 non-token class): exclusive-only, 2(n−1) messages per
+	// request.
+	Ricart
+)
+
+// String names the protocol.
+func (p Protocol) String() string {
+	switch p {
+	case Naimi:
+		return "naimi"
+	case Raymond:
+		return "raymond"
+	case Suzuki:
+		return "suzuki"
+	case Ricart:
+		return "ricart"
+	default:
+		return "hierarchical"
+	}
+}
+
+// Config describes a simulated deployment.
+type Config struct {
+	Protocol Protocol
+	Nodes    int
+	Locks    []proto.LockID
+	// Latency is the message-delay distribution (defaults to
+	// sim.UniformAround(150ms), the paper's mean point-to-point latency).
+	Latency sim.Dist
+	// Options ablate hierarchical-protocol features (ignored for Naimi).
+	Options hlock.Options
+	Seed    int64
+	// Trace, when non-nil, records sends, deliveries and client events.
+	Trace *trace.Recorder
+}
+
+// DefaultLatencyMean is the paper's mean network latency.
+const DefaultLatencyMean = 150 * time.Millisecond
+
+// Cluster is a simulated deployment. All access happens on the simulator
+// goroutine.
+type Cluster struct {
+	Sim   *sim.Sim
+	Net   *Network
+	Nodes []*Node
+
+	// Requests counts client lock requests issued (including message-free
+	// local acquisitions), the denominator of the paper's Figure 5.
+	Requests uint64
+
+	oracle map[proto.LockID]map[proto.NodeID]modes.Mode
+	errs   []error
+	trace  *trace.Recorder
+}
+
+// New builds a cluster per cfg. Node 0 initially holds every token and is
+// every other node's initial parent (the star the paper starts from).
+func New(cfg Config) *Cluster {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 1
+	}
+	if cfg.Latency == nil {
+		cfg.Latency = sim.UniformAround(DefaultLatencyMean)
+	}
+	s := sim.New(cfg.Seed)
+	c := &Cluster{
+		Sim:    s,
+		trace:  cfg.Trace,
+		oracle: make(map[proto.LockID]map[proto.NodeID]modes.Mode, len(cfg.Locks)),
+	}
+	c.Net = NewNetwork(s, cfg.Latency)
+	c.Net.trace = cfg.Trace
+	for _, l := range cfg.Locks {
+		c.oracle[l] = make(map[proto.NodeID]modes.Mode)
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		n := newNode(c, proto.NodeID(i), cfg)
+		c.Nodes = append(c.Nodes, n)
+		c.Net.Register(n.ID, n.handle)
+	}
+	return c
+}
+
+// Err returns the first recorded failure (protocol error or oracle
+// violation), or nil.
+func (c *Cluster) Err() error {
+	if len(c.errs) == 0 {
+		return nil
+	}
+	return c.errs[0]
+}
+
+func (c *Cluster) fail(err error) {
+	if err != nil {
+		c.errs = append(c.errs, err)
+	}
+}
+
+// oracleAcquire records node holding lock in mode and checks pairwise
+// compatibility against all other holders.
+func (c *Cluster) oracleAcquire(lock proto.LockID, node proto.NodeID, m modes.Mode) {
+	c.trace.Record(trace.Entry{
+		At: c.Sim.Now(), Op: trace.OpGranted, Node: node, Lock: lock, Mode: m,
+	})
+	holders := c.oracle[lock]
+	for other, om := range holders {
+		if other != node && !modes.Compatible(om, m) {
+			c.fail(fmt.Errorf("cluster: mutual exclusion violated on lock %d: node %d holds %v while node %d acquires %v",
+				lock, other, om, node, m))
+		}
+	}
+	holders[node] = m
+}
+
+func (c *Cluster) oracleRelease(lock proto.LockID, node proto.NodeID) {
+	c.trace.Record(trace.Entry{
+		At: c.Sim.Now(), Op: trace.OpRelease, Node: node, Lock: lock,
+	})
+	delete(c.oracle[lock], node)
+}
+
+// HoldersOf returns a snapshot of the oracle's holder map for a lock.
+func (c *Cluster) HoldersOf(lock proto.LockID) map[proto.NodeID]modes.Mode {
+	out := make(map[proto.NodeID]modes.Mode, len(c.oracle[lock]))
+	for k, v := range c.oracle[lock] {
+		out[k] = v
+	}
+	return out
+}
+
+// Quiesced reports whether no node has an outstanding request and the
+// network is silent.
+func (c *Cluster) Quiesced() bool {
+	if c.Sim.Pending() > 0 {
+		return false
+	}
+	for _, n := range c.Nodes {
+		if len(n.waiters) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Node is one simulated participant running every lock's engine.
+type Node struct {
+	ID proto.NodeID
+
+	c       *Cluster
+	clock   proto.Clock
+	hier    map[proto.LockID]*hlock.Engine
+	naimi   map[proto.LockID]*naimi.Engine
+	raymond map[proto.LockID]*raymond.Engine
+	suzuki  map[proto.LockID]*suzuki.Engine
+	ricart  map[proto.LockID]*ricart.Engine
+
+	// waiters holds the completion callback of the outstanding request
+	// per lock (at most one per lock).
+	waiters map[proto.LockID]waiting
+}
+
+func newNode(c *Cluster, id proto.NodeID, cfg Config) *Node {
+	n := &Node{ID: id, c: c, waiters: make(map[proto.LockID]waiting)}
+	hasToken := id == 0
+	const initialParent proto.NodeID = 0
+	switch cfg.Protocol {
+	case Naimi:
+		n.naimi = make(map[proto.LockID]*naimi.Engine, len(cfg.Locks))
+		for _, l := range cfg.Locks {
+			n.naimi[l] = naimi.New(id, l, initialParent, hasToken, &n.clock)
+		}
+	case Raymond:
+		n.raymond = make(map[proto.LockID]*raymond.Engine, len(cfg.Locks))
+		for _, l := range cfg.Locks {
+			n.raymond[l] = raymond.New(id, l, raymond.BinaryTreeHolder(id), &n.clock)
+		}
+	case Suzuki:
+		n.suzuki = make(map[proto.LockID]*suzuki.Engine, len(cfg.Locks))
+		for _, l := range cfg.Locks {
+			n.suzuki[l] = suzuki.New(id, l, cfg.Nodes, hasToken, &n.clock)
+		}
+	case Ricart:
+		n.ricart = make(map[proto.LockID]*ricart.Engine, len(cfg.Locks))
+		for _, l := range cfg.Locks {
+			n.ricart[l] = ricart.New(id, l, cfg.Nodes, &n.clock)
+		}
+	default:
+		n.hier = make(map[proto.LockID]*hlock.Engine, len(cfg.Locks))
+		for _, l := range cfg.Locks {
+			n.hier[l] = hlock.New(id, l, initialParent, hasToken, &n.clock, cfg.Options)
+		}
+	}
+	return n
+}
+
+// Acquire requests lock in mode m; done runs when the lock is held
+// (immediately for local acquisitions). For Naimi clusters the mode is
+// ignored — every lock is exclusive.
+func (n *Node) Acquire(lock proto.LockID, m modes.Mode, done func()) {
+	n.AcquirePri(lock, m, 0, done)
+}
+
+// AcquirePri is Acquire with a request priority (hierarchical protocol
+// only; Naimi ignores it).
+func (n *Node) AcquirePri(lock proto.LockID, m modes.Mode, priority uint8, done func()) {
+	n.c.Requests++
+	n.c.trace.Record(trace.Entry{
+		At: n.c.Sim.Now(), Op: trace.OpAcquire, Node: n.ID, Lock: lock, Mode: m,
+	})
+	if e, ok := n.naimi[lock]; ok {
+		out, err := e.Acquire()
+		if err != nil {
+			n.c.fail(fmt.Errorf("node %d lock %d: %w", n.ID, lock, err))
+			return
+		}
+		n.dispatchExcl(lock, out.Msgs, out.Acquired, done)
+		return
+	}
+	if e, ok := n.raymond[lock]; ok {
+		out, err := e.Acquire()
+		if err != nil {
+			n.c.fail(fmt.Errorf("node %d lock %d: %w", n.ID, lock, err))
+			return
+		}
+		n.dispatchExcl(lock, out.Msgs, out.Acquired, done)
+		return
+	}
+	if e, ok := n.suzuki[lock]; ok {
+		out, err := e.Acquire()
+		if err != nil {
+			n.c.fail(fmt.Errorf("node %d lock %d: %w", n.ID, lock, err))
+			return
+		}
+		n.dispatchExcl(lock, out.Msgs, out.Acquired, done)
+		return
+	}
+	if e, ok := n.ricart[lock]; ok {
+		out, err := e.Acquire()
+		if err != nil {
+			n.c.fail(fmt.Errorf("node %d lock %d: %w", n.ID, lock, err))
+			return
+		}
+		n.dispatchExcl(lock, out.Msgs, out.Acquired, done)
+		return
+	}
+	e, ok := n.hier[lock]
+	if !ok {
+		n.c.fail(fmt.Errorf("cluster: node %d has no engine for lock %d", n.ID, lock))
+		return
+	}
+	out, err := e.AcquirePri(m, priority)
+	if err != nil {
+		n.c.fail(fmt.Errorf("node %d lock %d: %w", n.ID, lock, err))
+		return
+	}
+	n.dispatchHier(lock, out, done)
+}
+
+// Upgrade converts a held U lock to W (hierarchical protocol only).
+func (n *Node) Upgrade(lock proto.LockID, done func()) {
+	n.UpgradePri(lock, 0, done)
+}
+
+// UpgradePri is Upgrade with a queue priority for the W self-request.
+func (n *Node) UpgradePri(lock proto.LockID, priority uint8, done func()) {
+	e, ok := n.hier[lock]
+	if !ok {
+		n.c.fail(fmt.Errorf("cluster: upgrade on non-hierarchical lock %d", lock))
+		return
+	}
+	n.c.Requests++
+	out, err := e.UpgradePri(priority)
+	if err != nil {
+		n.c.fail(fmt.Errorf("node %d lock %d: %w", n.ID, lock, err))
+		return
+	}
+	n.dispatchHier(lock, out, done)
+}
+
+// Release leaves the critical section of a lock.
+func (n *Node) Release(lock proto.LockID) {
+	n.c.oracleRelease(lock, n.ID)
+	if e, ok := n.naimi[lock]; ok {
+		out, err := e.Release()
+		if err != nil {
+			n.c.fail(fmt.Errorf("node %d lock %d: %w", n.ID, lock, err))
+			return
+		}
+		n.dispatchExcl(lock, out.Msgs, out.Acquired, nil)
+		return
+	}
+	if e, ok := n.raymond[lock]; ok {
+		out, err := e.Release()
+		if err != nil {
+			n.c.fail(fmt.Errorf("node %d lock %d: %w", n.ID, lock, err))
+			return
+		}
+		n.dispatchExcl(lock, out.Msgs, out.Acquired, nil)
+		return
+	}
+	if e, ok := n.suzuki[lock]; ok {
+		out, err := e.Release()
+		if err != nil {
+			n.c.fail(fmt.Errorf("node %d lock %d: %w", n.ID, lock, err))
+			return
+		}
+		n.dispatchExcl(lock, out.Msgs, out.Acquired, nil)
+		return
+	}
+	if e, ok := n.ricart[lock]; ok {
+		out, err := e.Release()
+		if err != nil {
+			n.c.fail(fmt.Errorf("node %d lock %d: %w", n.ID, lock, err))
+			return
+		}
+		n.dispatchExcl(lock, out.Msgs, out.Acquired, nil)
+		return
+	}
+	out, err := n.hier[lock].Release()
+	if err != nil {
+		n.c.fail(fmt.Errorf("node %d lock %d: %w", n.ID, lock, err))
+		return
+	}
+	n.dispatchHier(lock, out, nil)
+}
+
+// Held returns the mode this node holds on the lock (None if not held).
+func (n *Node) Held(lock proto.LockID) modes.Mode {
+	if e, ok := n.naimi[lock]; ok {
+		return e.Mode()
+	}
+	if e, ok := n.raymond[lock]; ok {
+		return e.Mode()
+	}
+	if e, ok := n.suzuki[lock]; ok {
+		return e.Mode()
+	}
+	if e, ok := n.ricart[lock]; ok {
+		return e.Mode()
+	}
+	if e, ok := n.hier[lock]; ok {
+		return e.Held()
+	}
+	return modes.None
+}
+
+// HierEngine exposes the hierarchical engine for a lock (tests and
+// structural checks); nil for Naimi clusters.
+func (n *Node) HierEngine(lock proto.LockID) *hlock.Engine { return n.hier[lock] }
+
+// NaimiEngine exposes the baseline engine for a lock; nil for
+// hierarchical clusters.
+func (n *Node) NaimiEngine(lock proto.LockID) *naimi.Engine { return n.naimi[lock] }
+
+func (n *Node) handle(msg *proto.Message) {
+	if e, ok := n.naimi[msg.Lock]; ok {
+		out, err := e.Handle(msg)
+		if err != nil {
+			n.c.fail(fmt.Errorf("node %d lock %d: %w", n.ID, msg.Lock, err))
+			return
+		}
+		n.dispatchExcl(msg.Lock, out.Msgs, out.Acquired, nil)
+		return
+	}
+	if e, ok := n.raymond[msg.Lock]; ok {
+		out, err := e.Handle(msg)
+		if err != nil {
+			n.c.fail(fmt.Errorf("node %d lock %d: %w", n.ID, msg.Lock, err))
+			return
+		}
+		n.dispatchExcl(msg.Lock, out.Msgs, out.Acquired, nil)
+		return
+	}
+	if e, ok := n.suzuki[msg.Lock]; ok {
+		out, err := e.Handle(msg)
+		if err != nil {
+			n.c.fail(fmt.Errorf("node %d lock %d: %w", n.ID, msg.Lock, err))
+			return
+		}
+		n.dispatchExcl(msg.Lock, out.Msgs, out.Acquired, nil)
+		return
+	}
+	if e, ok := n.ricart[msg.Lock]; ok {
+		out, err := e.Handle(msg)
+		if err != nil {
+			n.c.fail(fmt.Errorf("node %d lock %d: %w", n.ID, msg.Lock, err))
+			return
+		}
+		n.dispatchExcl(msg.Lock, out.Msgs, out.Acquired, nil)
+		return
+	}
+	e, ok := n.hier[msg.Lock]
+	if !ok {
+		n.c.fail(fmt.Errorf("cluster: node %d received message for unknown lock %d", n.ID, msg.Lock))
+		return
+	}
+	out, err := e.Handle(msg)
+	if err != nil {
+		n.c.fail(fmt.Errorf("node %d lock %d: %w", n.ID, msg.Lock, err))
+		return
+	}
+	n.dispatchHier(msg.Lock, out, nil)
+}
+
+// dispatchHier routes an engine step's output: messages to the network,
+// acquisition events to the oracle and the waiting callback.
+func (n *Node) dispatchHier(lock proto.LockID, out hlock.Out, done func()) {
+	if done != nil {
+		if _, dup := n.waiters[lock]; dup {
+			n.c.fail(fmt.Errorf("cluster: node %d issued overlapping requests on lock %d", n.ID, lock))
+			return
+		}
+		n.waiters[lock] = waiting{mode: n.hier[lock].Pending(), done: done}
+	}
+	for i := range out.Msgs {
+		n.c.Net.Send(out.Msgs[i])
+	}
+	for _, ev := range out.Events {
+		switch ev.Kind {
+		case hlock.EventAcquired, hlock.EventUpgraded:
+			n.c.oracleAcquire(lock, n.ID, ev.Mode)
+			w, ok := n.waiters[lock]
+			if !ok {
+				n.c.fail(fmt.Errorf("cluster: node %d lock %d acquired with no waiter", n.ID, lock))
+				continue
+			}
+			delete(n.waiters, lock)
+			w.done()
+		}
+	}
+}
+
+// dispatchExcl routes output of the exclusive-only baseline engines
+// (Naimi, Raymond, Suzuki–Kasami), which share the {Msgs, Acquired}
+// shape.
+func (n *Node) dispatchExcl(lock proto.LockID, msgs []proto.Message, acquired bool, done func()) {
+	if done != nil {
+		if _, dup := n.waiters[lock]; dup {
+			n.c.fail(fmt.Errorf("cluster: node %d issued overlapping requests on lock %d", n.ID, lock))
+			return
+		}
+		n.waiters[lock] = waiting{mode: modes.W, done: done}
+	}
+	for i := range msgs {
+		n.c.Net.Send(msgs[i])
+	}
+	if acquired {
+		n.c.oracleAcquire(lock, n.ID, modes.W)
+		w, ok := n.waiters[lock]
+		if !ok {
+			n.c.fail(fmt.Errorf("cluster: node %d lock %d acquired with no waiter", n.ID, lock))
+			return
+		}
+		delete(n.waiters, lock)
+		w.done()
+	}
+}
+
+// Network models the paper's switched LAN: every ordered node pair is an
+// independent full-duplex link with randomized per-message latency and
+// FIFO delivery (as TCP provides).
+type Network struct {
+	// Metrics counts every message sent, by kind (Figure 7's data).
+	Metrics metrics.Messages
+
+	sim      *sim.Sim
+	rand     func() time.Duration
+	handlers map[proto.NodeID]func(*proto.Message)
+	lastAt   map[[2]proto.NodeID]time.Duration
+	trace    *trace.Recorder
+}
+
+// NewNetwork creates a network over the simulator with the given latency
+// distribution.
+func NewNetwork(s *sim.Sim, latency sim.Dist) *Network {
+	rng := s.NewRand()
+	return &Network{
+		sim:      s,
+		rand:     func() time.Duration { return latency(rng) },
+		handlers: make(map[proto.NodeID]func(*proto.Message)),
+		lastAt:   make(map[[2]proto.NodeID]time.Duration),
+	}
+}
+
+// Register installs the message handler for a node.
+func (nw *Network) Register(id proto.NodeID, h func(*proto.Message)) {
+	nw.handlers[id] = h
+}
+
+// Send enqueues a message for delivery after a randomized latency,
+// clamped so deliveries on the same ordered link never reorder.
+func (nw *Network) Send(msg proto.Message) {
+	nw.Metrics.Count(msg.Kind)
+	nw.trace.Record(trace.Entry{
+		At: nw.sim.Now(), Op: trace.OpSend, Node: msg.From,
+		Lock: msg.Lock, Mode: msg.Mode, Kind: msg.Kind, From: msg.From, To: msg.To,
+	})
+	at := nw.sim.Now() + nw.rand()
+	key := [2]proto.NodeID{msg.From, msg.To}
+	if last, ok := nw.lastAt[key]; ok && at <= last {
+		at = last + time.Nanosecond
+	}
+	nw.lastAt[key] = at
+	h := nw.handlers[msg.To]
+	m := msg // copy for the closure
+	nw.sim.At(at-nw.sim.Now(), func() {
+		if h == nil {
+			return
+		}
+		nw.trace.Record(trace.Entry{
+			At: nw.sim.Now(), Op: trace.OpDeliver, Node: m.To,
+			Lock: m.Lock, Mode: m.Mode, Kind: m.Kind, From: m.From, To: m.To,
+		})
+		h(&m)
+	})
+}

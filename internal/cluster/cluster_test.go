@@ -1,0 +1,438 @@
+package cluster_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"hierlock/internal/cluster"
+	"hierlock/internal/modes"
+	"hierlock/internal/proto"
+	"hierlock/internal/sim"
+)
+
+func TestHierarchicalBasicFlow(t *testing.T) {
+	c := cluster.New(cluster.Config{
+		Protocol: cluster.Hierarchical,
+		Nodes:    4,
+		Locks:    []proto.LockID{1},
+		Seed:     1,
+	})
+	acquired := make([]bool, 4)
+	for i := 1; i < 4; i++ {
+		i := i
+		c.Nodes[i].Acquire(1, modes.IR, func() { acquired[i] = true })
+	}
+	c.Sim.Run(5 * time.Second)
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 4; i++ {
+		if !acquired[i] {
+			t.Fatalf("node %d never acquired", i)
+		}
+	}
+	// All three hold IR concurrently.
+	if got := len(c.HoldersOf(1)); got != 3 {
+		t.Fatalf("holders = %d, want 3", got)
+	}
+	for i := 1; i < 4; i++ {
+		c.Nodes[i].Release(1)
+	}
+	c.Sim.Run(10 * time.Second)
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Quiesced() {
+		t.Fatal("cluster did not quiesce")
+	}
+}
+
+func TestWriterSerializesReaders(t *testing.T) {
+	c := cluster.New(cluster.Config{
+		Protocol: cluster.Hierarchical,
+		Nodes:    3,
+		Locks:    []proto.LockID{7},
+		Seed:     2,
+	})
+	var order []string
+	c.Nodes[1].Acquire(7, modes.W, func() {
+		order = append(order, "w")
+		// Hold for one virtual second, then release.
+		c.Sim.At(time.Second, func() { c.Nodes[1].Release(7) })
+	})
+	c.Sim.Run(500 * time.Millisecond)
+	c.Nodes[2].Acquire(7, modes.R, func() { order = append(order, "r") })
+	c.Sim.Run(20 * time.Second)
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "w" || order[1] != "r" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestNaimiBasicFlow(t *testing.T) {
+	c := cluster.New(cluster.Config{
+		Protocol: cluster.Naimi,
+		Nodes:    5,
+		Locks:    []proto.LockID{1, 2},
+		Seed:     3,
+	})
+	// All five contend on lock 1; they must serialize.
+	inCS := 0
+	maxCS := 0
+	var next func(i int)
+	next = func(i int) {
+		c.Nodes[i].Acquire(1, modes.W, func() {
+			inCS++
+			if inCS > maxCS {
+				maxCS = inCS
+			}
+			c.Sim.At(10*time.Millisecond, func() {
+				inCS--
+				c.Nodes[i].Release(1)
+			})
+		})
+	}
+	for i := 0; i < 5; i++ {
+		next(i)
+	}
+	c.Sim.Run(time.Minute)
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if maxCS != 1 {
+		t.Fatalf("max concurrent CS = %d, want 1", maxCS)
+	}
+	if !c.Quiesced() {
+		t.Fatal("not quiesced")
+	}
+	// Lock 2 is independent: acquiring it is immediate at node 0.
+	ok := false
+	c.Nodes[0].Acquire(2, modes.W, func() { ok = true })
+	c.Sim.Run(2 * time.Minute)
+	if !ok {
+		t.Fatal("independent lock not acquired")
+	}
+	c.Nodes[0].Release(2)
+}
+
+func TestOracleCatchesConflict(t *testing.T) {
+	// Drive the oracle directly through an artificial double-acquire on
+	// two different clusters' nodes sharing the oracle is impossible from
+	// outside, so instead verify the error surface: overlapping client
+	// requests on one lock are rejected.
+	c := cluster.New(cluster.Config{
+		Protocol: cluster.Hierarchical,
+		Nodes:    2,
+		Locks:    []proto.LockID{1},
+		Seed:     4,
+	})
+	c.Nodes[1].Acquire(1, modes.W, func() {})
+	c.Nodes[1].Acquire(1, modes.R, func() {}) // overlapping: engine rejects
+	c.Sim.Run(5 * time.Second)
+	if c.Err() == nil {
+		t.Fatal("overlapping requests must surface an error")
+	}
+}
+
+func TestMessageCountsAndFIFO(t *testing.T) {
+	c := cluster.New(cluster.Config{
+		Protocol: cluster.Hierarchical,
+		Nodes:    2,
+		Locks:    []proto.LockID{1},
+		Latency:  sim.UniformAround(150 * time.Millisecond),
+		Seed:     5,
+	})
+	done := false
+	c.Nodes[1].Acquire(1, modes.W, func() { done = true })
+	c.Sim.Run(5 * time.Second)
+	if !done || c.Err() != nil {
+		t.Fatalf("done=%v err=%v", done, c.Err())
+	}
+	m := &c.Net.Metrics
+	if m.ByKind[proto.KindRequest] != 1 || m.ByKind[proto.KindToken] != 1 {
+		t.Fatalf("counts: %v", m.ByKind)
+	}
+	if c.Requests != 1 {
+		t.Fatalf("requests = %d", c.Requests)
+	}
+}
+
+func TestPerLinkFIFO(t *testing.T) {
+	s := sim.New(9)
+	// A latency distribution that swings wildly would reorder messages
+	// without the FIFO clamp.
+	nw := cluster.NewNetwork(s, sim.Uniform(time.Millisecond, time.Second))
+	var got []int
+	nw.Register(1, func(m *proto.Message) { got = append(got, int(m.TS)) })
+	for i := 0; i < 50; i++ {
+		nw.Send(proto.Message{Kind: proto.KindRequest, From: 0, To: 1, TS: proto.Timestamp(i)})
+	}
+	s.Run(time.Hour)
+	if len(got) != 50 {
+		t.Fatalf("delivered %d/50", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("per-link FIFO violated: %v", got)
+		}
+	}
+}
+
+func TestUpgradeThroughCluster(t *testing.T) {
+	c := cluster.New(cluster.Config{
+		Protocol: cluster.Hierarchical,
+		Nodes:    3,
+		Locks:    []proto.LockID{1},
+		Seed:     6,
+	})
+	stage := ""
+	c.Nodes[1].Acquire(1, modes.U, func() {
+		stage = "read"
+		c.Sim.At(100*time.Millisecond, func() {
+			c.Nodes[1].Upgrade(1, func() {
+				stage = "write"
+				c.Nodes[1].Release(1)
+			})
+		})
+	})
+	c.Sim.Run(30 * time.Second)
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if stage != "write" {
+		t.Fatalf("stage = %q", stage)
+	}
+	if !c.Quiesced() {
+		t.Fatal("not quiesced")
+	}
+}
+
+func TestManyNodesManyLocksStress(t *testing.T) {
+	locks := []proto.LockID{1, 2, 3, 4}
+	for _, protocol := range []cluster.Protocol{cluster.Hierarchical, cluster.Naimi} {
+		protocol := protocol
+		t.Run(protocol.String(), func(t *testing.T) {
+			c := cluster.New(cluster.Config{
+				Protocol: protocol,
+				Nodes:    16,
+				Locks:    locks,
+				Seed:     7,
+			})
+			rng := c.Sim.NewRand()
+			completed := 0
+			var loop func(i int)
+			loop = func(i int) {
+				lock := locks[rng.Intn(len(locks))]
+				m := modes.All[rng.Intn(5)]
+				c.Nodes[i].Acquire(lock, m, func() {
+					c.Sim.At(time.Duration(rng.Intn(20))*time.Millisecond, func() {
+						c.Nodes[i].Release(lock)
+						completed++
+						c.Sim.At(time.Duration(rng.Intn(100))*time.Millisecond, func() { loop(i) })
+					})
+				})
+			}
+			for i := 0; i < 16; i++ {
+				loop(i)
+			}
+			c.Sim.Run(2 * time.Minute)
+			if err := c.Err(); err != nil {
+				t.Fatal(err)
+			}
+			if completed < 16*10 {
+				t.Fatalf("only %d operations completed", completed)
+			}
+		})
+	}
+}
+
+func TestProtocolString(t *testing.T) {
+	if cluster.Hierarchical.String() != "hierarchical" || cluster.Naimi.String() != "naimi" {
+		t.Fatal("protocol names")
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() string {
+		c := cluster.New(cluster.Config{
+			Protocol: cluster.Hierarchical,
+			Nodes:    8,
+			Locks:    []proto.LockID{1},
+			Seed:     42,
+		})
+		rng := c.Sim.NewRand()
+		var loop func(i int)
+		count := 0
+		loop = func(i int) {
+			c.Nodes[i].Acquire(1, modes.All[rng.Intn(5)], func() {
+				count++
+				c.Sim.At(time.Duration(rng.Intn(30))*time.Millisecond, func() {
+					c.Nodes[i].Release(1)
+					c.Sim.At(time.Duration(rng.Intn(200))*time.Millisecond, func() { loop(i) })
+				})
+			})
+		}
+		for i := 0; i < 8; i++ {
+			loop(i)
+		}
+		c.Sim.Run(30 * time.Second)
+		if err := c.Err(); err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprintf("%d/%v/%d", count, c.Net.Metrics.ByKind, c.Requests)
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same seed diverged:\n%s\n%s", a, b)
+	}
+}
+
+// TestBaselineProtocolsMutualExclusion runs the same serialization check
+// against each exclusive baseline (Naimi, Raymond, Suzuki–Kasami).
+func TestBaselineProtocolsMutualExclusion(t *testing.T) {
+	for _, protocol := range []cluster.Protocol{cluster.Naimi, cluster.Raymond, cluster.Suzuki, cluster.Ricart} {
+		protocol := protocol
+		t.Run(protocol.String(), func(t *testing.T) {
+			c := cluster.New(cluster.Config{
+				Protocol: protocol,
+				Nodes:    8,
+				Locks:    []proto.LockID{1},
+				Seed:     61,
+			})
+			inCS, maxCS, completed := 0, 0, 0
+			var op func(i int)
+			op = func(i int) {
+				c.Nodes[i].Acquire(1, modes.W, func() {
+					inCS++
+					if inCS > maxCS {
+						maxCS = inCS
+					}
+					c.Sim.At(5*time.Millisecond, func() {
+						inCS--
+						c.Nodes[i].Release(1)
+						completed++
+						if completed < 40 {
+							c.Sim.At(20*time.Millisecond, func() { op(i) })
+						}
+					})
+				})
+			}
+			for i := 0; i < 8; i++ {
+				op(i)
+			}
+			c.Sim.Run(5 * time.Minute)
+			if err := c.Err(); err != nil {
+				t.Fatal(err)
+			}
+			if maxCS != 1 {
+				t.Fatalf("max concurrent CS = %d", maxCS)
+			}
+			if completed < 40 {
+				t.Fatalf("completed = %d", completed)
+			}
+		})
+	}
+}
+
+// TestSuzukiBroadcastScales verifies the Θ(n) message behavior that the
+// paper's related work attributes to broadcast protocols.
+func TestSuzukiBroadcastScales(t *testing.T) {
+	per := map[int]float64{}
+	for _, n := range []int{5, 20} {
+		c := cluster.New(cluster.Config{
+			Protocol: cluster.Suzuki,
+			Nodes:    n,
+			Locks:    []proto.LockID{1},
+			Seed:     62,
+		})
+		done := 0
+		for i := 1; i < n; i++ {
+			i := i
+			c.Nodes[i].Acquire(1, modes.W, func() {
+				c.Sim.At(time.Millisecond, func() {
+					c.Nodes[i].Release(1)
+					done++
+				})
+			})
+		}
+		c.Sim.Run(5 * time.Minute)
+		if err := c.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if done != n-1 {
+			t.Fatalf("done = %d", done)
+		}
+		per[n] = float64(c.Net.Metrics.Total()) / float64(n-1)
+	}
+	// Messages per request grow linearly with n: at 20 nodes a request
+	// costs roughly 4x what it does at 5 nodes.
+	if per[20] < per[5]*2.5 {
+		t.Fatalf("broadcast cost not scaling with n: %v", per)
+	}
+}
+
+func TestNodeAccessorsAndErrors(t *testing.T) {
+	c := cluster.New(cluster.Config{
+		Protocol: cluster.Hierarchical,
+		Nodes:    2,
+		Locks:    []proto.LockID{1},
+		Seed:     71,
+	})
+	n := c.Nodes[0]
+	if n.HierEngine(1) == nil || n.NaimiEngine(1) != nil {
+		t.Fatal("engine accessors")
+	}
+	if n.Held(1) != modes.None || n.Held(99) != modes.None {
+		t.Fatal("held accessor")
+	}
+	done := false
+	n.Acquire(1, modes.R, func() { done = true })
+	c.Sim.Run(time.Second)
+	if !done || n.Held(1) != modes.R {
+		t.Fatalf("held = %v", n.Held(1))
+	}
+	// Upgrade on a lock held in R fails through the cluster error surface.
+	n.Upgrade(1, func() {})
+	if c.Err() == nil {
+		t.Fatal("upgrade from R must surface an error")
+	}
+
+	// Naimi cluster accessors and Held.
+	cn := cluster.New(cluster.Config{
+		Protocol: cluster.Naimi,
+		Nodes:    2,
+		Locks:    []proto.LockID{1},
+		Seed:     72,
+	})
+	m := cn.Nodes[0]
+	if m.NaimiEngine(1) == nil || m.HierEngine(1) != nil {
+		t.Fatal("naimi accessors")
+	}
+	ok := false
+	m.Acquire(1, modes.W, func() { ok = true })
+	cn.Sim.Run(time.Second)
+	if !ok || m.Held(1) != modes.W {
+		t.Fatalf("naimi held = %v", m.Held(1))
+	}
+	m.Release(1)
+	// Upgrade is hierarchical-only.
+	m.Upgrade(1, func() {})
+	if cn.Err() == nil {
+		t.Fatal("naimi upgrade must surface an error")
+	}
+}
+
+func TestUnknownLockSurfacesError(t *testing.T) {
+	c := cluster.New(cluster.Config{
+		Protocol: cluster.Hierarchical,
+		Nodes:    1,
+		Locks:    []proto.LockID{1},
+		Seed:     73,
+	})
+	c.Nodes[0].Acquire(42, modes.R, func() {})
+	if c.Err() == nil {
+		t.Fatal("unknown lock must surface an error")
+	}
+}

@@ -1,0 +1,137 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hierlock/internal/modes"
+	"hierlock/internal/proto"
+)
+
+// waiting is one outstanding client request: the mode it asked for and
+// the completion callback.
+type waiting struct {
+	mode modes.Mode
+	done func()
+}
+
+// Deadlock describes one cycle in the waits-for graph: node Nodes[i]
+// waits for lock Locks[i], which is held in a conflicting mode by
+// Nodes[(i+1) % len].
+type Deadlock struct {
+	Nodes []proto.NodeID
+	Locks []proto.LockID
+}
+
+// String renders the cycle.
+func (d Deadlock) String() string {
+	var b strings.Builder
+	for i, n := range d.Nodes {
+		fmt.Fprintf(&b, "node %d waits lock %d held by ", n, d.Locks[i])
+	}
+	fmt.Fprintf(&b, "node %d", d.Nodes[0])
+	return b.String()
+}
+
+// DetectDeadlocks analyzes the client-level waits-for graph: an edge
+// A→B exists when A waits for a lock that B holds in a conflicting mode.
+// It returns every distinct elementary cycle found (each reported once,
+// from its smallest node ID).
+//
+// The protocol itself never deadlocks — its waits are FIFO per lock —
+// but clients holding multiple locks can (e.g. two nodes acquiring two
+// exclusive locks in opposite orders, the situation the paper's ordered
+// acquisition and U modes exist to avoid). A cycle that persists while
+// the network is quiet is a genuine client-level deadlock; transient
+// cycles while messages are in flight may still resolve.
+func (c *Cluster) DetectDeadlocks() []Deadlock {
+	// Build edges: waiter → conflicting holders, labelled by lock.
+	type edge struct {
+		to   proto.NodeID
+		lock proto.LockID
+	}
+	adj := make(map[proto.NodeID][]edge)
+	for _, n := range c.Nodes {
+		for lock, w := range n.waiters {
+			for holder, hm := range c.oracle[lock] {
+				if holder != n.ID && !modes.Compatible(hm, w.mode) {
+					adj[n.ID] = append(adj[n.ID], edge{to: holder, lock: lock})
+				}
+			}
+		}
+	}
+	for _, es := range adj {
+		sort.Slice(es, func(i, j int) bool {
+			if es[i].to != es[j].to {
+				return es[i].to < es[j].to
+			}
+			return es[i].lock < es[j].lock
+		})
+	}
+
+	// DFS cycle enumeration (graphs here are tiny: one edge per waiting
+	// client per conflicting holder).
+	var out []Deadlock
+	seen := make(map[string]bool)
+	starts := make([]proto.NodeID, 0, len(adj))
+	for n := range adj {
+		starts = append(starts, n)
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+
+	var path []proto.NodeID
+	var locks []proto.LockID
+	onPath := make(map[proto.NodeID]int)
+	var dfs func(n proto.NodeID)
+	dfs = func(n proto.NodeID) {
+		if i, ok := onPath[n]; ok {
+			// Found a cycle: path[i:] plus the closing edge.
+			cyc := Deadlock{
+				Nodes: append([]proto.NodeID(nil), path[i:]...),
+				Locks: append([]proto.LockID(nil), locks[i:]...),
+			}
+			out = appendCycle(out, seen, cyc)
+			return
+		}
+		onPath[n] = len(path)
+		for _, e := range adj[n] {
+			path = append(path, n)
+			locks = append(locks, e.lock)
+			dfs(e.to)
+			path = path[:len(path)-1]
+			locks = locks[:len(locks)-1]
+		}
+		delete(onPath, n)
+	}
+	for _, s := range starts {
+		dfs(s)
+	}
+	return out
+}
+
+// appendCycle adds cyc if an equivalent rotation has not been reported.
+func appendCycle(out []Deadlock, seen map[string]bool, cyc Deadlock) []Deadlock {
+	if len(cyc.Nodes) == 0 {
+		return out
+	}
+	// Canonicalize: rotate so the smallest node ID comes first.
+	min := 0
+	for i, n := range cyc.Nodes {
+		if n < cyc.Nodes[min] {
+			min = i
+		}
+	}
+	k := len(cyc.Nodes)
+	canon := Deadlock{Nodes: make([]proto.NodeID, k), Locks: make([]proto.LockID, k)}
+	for i := 0; i < k; i++ {
+		canon.Nodes[i] = cyc.Nodes[(min+i)%k]
+		canon.Locks[i] = cyc.Locks[(min+i)%k]
+	}
+	key := fmt.Sprint(canon.Nodes, canon.Locks)
+	if seen[key] {
+		return out
+	}
+	seen[key] = true
+	return append(out, canon)
+}

@@ -1,0 +1,87 @@
+package cluster_test
+
+import (
+	"testing"
+	"time"
+
+	"hierlock/internal/cluster"
+	"hierlock/internal/modes"
+	"hierlock/internal/proto"
+	"hierlock/internal/trace"
+)
+
+// TestTracedRun runs a traced workload and validates the recorded event
+// stream: every grant has a preceding acquire, sends precede deliveries
+// link-by-link (the FIFO meta-check), and message counts agree with the
+// network's counters.
+func TestTracedRun(t *testing.T) {
+	rec := trace.New(1 << 16)
+	c := cluster.New(cluster.Config{
+		Protocol: cluster.Hierarchical,
+		Nodes:    6,
+		Locks:    []proto.LockID{1, 2},
+		Seed:     21,
+		Trace:    rec,
+	})
+	rng := c.Sim.NewRand()
+	var loop func(i int)
+	loop = func(i int) {
+		lock := proto.LockID(1 + rng.Intn(2))
+		m := modes.All[rng.Intn(5)]
+		c.Nodes[i].Acquire(lock, m, func() {
+			c.Sim.At(time.Duration(rng.Intn(20))*time.Millisecond, func() {
+				c.Nodes[i].Release(lock)
+				c.Sim.At(time.Duration(rng.Intn(100))*time.Millisecond, func() { loop(i) })
+			})
+		})
+	}
+	for i := 0; i < 6; i++ {
+		loop(i)
+	}
+	c.Sim.Run(20 * time.Second)
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Dropped() != 0 {
+		t.Fatalf("trace ring too small: %d dropped", rec.Dropped())
+	}
+
+	counts := rec.Counts()
+	if counts[trace.OpAcquire] == 0 || counts[trace.OpGranted] == 0 || counts[trace.OpRelease] == 0 {
+		t.Fatalf("missing client events: %v", counts)
+	}
+	if counts[trace.OpGranted] > counts[trace.OpAcquire] {
+		t.Fatalf("more grants than acquires: %v", counts)
+	}
+	if counts[trace.OpSend] < counts[trace.OpDeliver] {
+		t.Fatalf("more deliveries than sends: %v", counts)
+	}
+	if v := rec.CheckFIFO(); v != "" {
+		t.Fatalf("FIFO violation observed in trace: %s", v)
+	}
+	// Sends in the trace match the network's metrics exactly.
+	if uint64(counts[trace.OpSend]) != c.Net.Metrics.Total() {
+		t.Fatalf("trace sends %d != network total %d", counts[trace.OpSend], c.Net.Metrics.Total())
+	}
+	// Per-node grant/acquire pairing per lock: grants never outnumber
+	// acquires for any (node, lock).
+	type key struct {
+		n proto.NodeID
+		l proto.LockID
+	}
+	acq := map[key]int{}
+	gr := map[key]int{}
+	for _, e := range rec.Entries() {
+		switch e.Op {
+		case trace.OpAcquire:
+			acq[key{e.Node, e.Lock}]++
+		case trace.OpGranted:
+			gr[key{e.Node, e.Lock}]++
+		}
+	}
+	for k, g := range gr {
+		if g > acq[k] {
+			t.Fatalf("node %d lock %d: %d grants for %d acquires", k.n, k.l, g, acq[k])
+		}
+	}
+}

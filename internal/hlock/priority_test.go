@@ -1,0 +1,129 @@
+package hlock_test
+
+import (
+	"fmt"
+	"testing"
+
+	"hierlock/internal/hlock"
+	"hierlock/internal/modes"
+)
+
+// TestPriorityOrdering checks strict priority arbitration: a
+// later-arriving high-priority writer is served before earlier
+// low-priority ones.
+func TestPriorityOrdering(t *testing.T) {
+	h := newHarness(t, 4, hlock.Options{})
+	h.acquire(0, modes.W) // token busy
+	h.acquirePri(1, modes.W, 0)
+	h.drain(nil)
+	h.acquirePri(2, modes.W, 0)
+	h.drain(nil)
+	h.acquirePri(3, modes.W, 5) // arrives last, highest priority
+	h.drain(nil)
+	if h.node(0).QueueLen() != 3 {
+		t.Fatalf("queue = %d, want 3", h.node(0).QueueLen())
+	}
+	h.release(0)
+	h.drain(nil)
+	if h.held(3) != modes.W {
+		t.Fatalf("high-priority writer must be served first\n%s", h.dump())
+	}
+	h.release(3)
+	h.drain(nil)
+	if h.held(1) != modes.W {
+		t.Fatalf("then FIFO among equals: node 1 next\n%s", h.dump())
+	}
+	h.release(1)
+	h.drain(nil)
+	if h.held(2) != modes.W {
+		t.Fatalf("node 2 last\n%s", h.dump())
+	}
+	h.release(2)
+	h.drain(nil)
+	h.checkQuiescent()
+}
+
+// TestPriorityFreezeProtectsHead checks that freezing tracks the
+// highest-priority waiter: its conflict set is frozen even though a
+// lower-priority request arrived first.
+func TestPriorityFreezeProtectsHead(t *testing.T) {
+	h := newHarness(t, 5, hlock.Options{})
+	h.acquire(0, modes.IW)
+	h.acquire(1, modes.IW)
+	h.drain(nil)
+	// Low-priority U queued first, then a high-priority R.
+	h.acquirePri(2, modes.U, 0)
+	h.drain(nil)
+	h.acquirePri(3, modes.R, 9)
+	h.drain(nil)
+	// The head is now the R request; its conflicters (IW) are frozen.
+	if !h.node(0).Frozen().Has(modes.IW) {
+		t.Fatalf("IW must be frozen for the high-priority R head\n%s", h.dump())
+	}
+	// New IW requests must queue behind.
+	h.acquire(4, modes.IW)
+	h.drain(nil)
+	if h.held(4) != modes.None {
+		t.Fatalf("frozen IW must not be granted\n%s", h.dump())
+	}
+	h.release(0)
+	h.release(1)
+	h.drain(nil)
+	if h.held(3) != modes.R {
+		t.Fatalf("high-priority R should be served before the earlier U\n%s", h.dump())
+	}
+	h.release(3)
+	h.drain(nil)
+	if h.held(2) != modes.U {
+		t.Fatalf("U next\n%s", h.dump())
+	}
+	h.release(2)
+	h.drain(nil)
+	if h.held(4) != modes.IW {
+		t.Fatalf("IW last\n%s", h.dump())
+	}
+	h.release(4)
+	h.drain(nil)
+	h.checkQuiescent()
+}
+
+// TestPriorityUpgrade exercises UpgradePri.
+func TestPriorityUpgrade(t *testing.T) {
+	h := newHarness(t, 3, hlock.Options{})
+	h.acquire(1, modes.U)
+	h.drain(nil)
+	h.acquire(2, modes.R)
+	h.drain(nil)
+	id := h.engines[1]
+	h.waiting[1] = modes.W
+	out, err := id.UpgradePri(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.absorb(1, out)
+	h.drain(nil)
+	h.release(2)
+	h.drain(nil)
+	if h.held(1) != modes.W {
+		t.Fatalf("prioritized upgrade failed\n%s", h.dump())
+	}
+	h.release(1)
+	h.drain(nil)
+	h.checkQuiescent()
+}
+
+// TestPriorityFuzz mixes random priorities into the standard fuzz and
+// verifies all safety and quiescence properties still hold.
+func TestPriorityFuzz(t *testing.T) {
+	for seed := int64(600); seed < 615; seed++ {
+		seed := seed
+		t.Run(fmt.Sprint(seed), func(t *testing.T) {
+			runFuzz(t, seed, fuzzConfig{
+				nodes: 7, steps: 2000,
+				mix:           [5]int{50, 20, 10, 15, 5},
+				maxPriority:   4,
+				usePriorities: true,
+			})
+		})
+	}
+}

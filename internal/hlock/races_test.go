@@ -1,0 +1,250 @@
+package hlock_test
+
+// Deterministic replays of the message races discovered by fuzzing, each
+// pinned to the mechanism that fixes it (DESIGN.md, "operational
+// decisions"). These construct the exact interleavings with manual
+// delivery control, so a regression fails immediately and readably.
+
+import (
+	"testing"
+
+	"hierlock/internal/hlock"
+	"hierlock/internal/modes"
+	"hierlock/internal/proto"
+)
+
+// TestRaceReleaseCrossesGrant replays the fuzz seed-507 violation at the
+// harness level. The token holds U; a mid node owns IR through a leaf
+// child and requests R; while the request is in flight the leaf releases,
+// so mid's Release{None} chases its own Request up the same link. The
+// token grants R first, then sees the release — without the grant
+// sequence-number fold it would delete mid from the copyset and let a
+// subsequent upgrade to W proceed while mid holds R.
+func TestRaceReleaseCrossesGrant(t *testing.T) {
+	h := newHarness(t, 3, hlock.Options{})
+	const tok, mid, leaf = 0, 1, 2
+
+	h.acquire(tok, modes.U) // token node holds U locally
+	// leaf becomes mid's child with IR: route leaf under mid.
+	h.acquire(mid, modes.IR)
+	h.drain(nil)
+	h.engines[leaf] = hlock.New(leaf, testLock, mid, false, h.clocks[leaf], hlock.Options{})
+	h.acquire(leaf, modes.IR)
+	h.drain(nil)
+	h.release(mid) // mid still owns IR via leaf
+	h.drain(nil)
+	if h.node(mid).Owned() != modes.IR {
+		t.Fatalf("mid should own IR via leaf\n%s", h.dump())
+	}
+
+	// mid requests R (IR < R → a real request to the token)…
+	h.acquire(mid, modes.R)
+	// …and before it is delivered, leaf releases: mid's owned drops to
+	// None and Release{None} follows the Request on the mid→tok link.
+	h.release(leaf)
+	h.deliverOne([2]proto.NodeID{leaf, mid})
+	if q := len(h.queues[[2]proto.NodeID{mid, tok}]); q != 2 {
+		t.Fatalf("expected Request+Release in flight mid→tok, have %d\n%s", q, h.dump())
+	}
+	h.deliverOne([2]proto.NodeID{mid, tok}) // token grants R (children[mid]=R)
+	h.deliverOne([2]proto.NodeID{mid, tok}) // stale release arrives — must fold, not delete
+	if got := h.node(tok).Children()[mid]; got != modes.R {
+		t.Fatalf("token's entry for mid = %v, want R (stale release must fold)\n%s", got, h.dump())
+	}
+
+	// The token upgrades U→W: it must WAIT for mid's outstanding R.
+	h.upgrade(tok)
+	h.drain(nil)
+	if h.held(tok) != modes.U {
+		t.Fatalf("upgrade completed while R outstanding — the 507 violation\n%s", h.dump())
+	}
+	if h.held(mid) != modes.R {
+		t.Fatalf("mid should hold R\n%s", h.dump())
+	}
+	h.release(mid)
+	h.drain(nil)
+	if h.held(tok) != modes.W {
+		t.Fatalf("upgrade should complete after mid releases\n%s", h.dump())
+	}
+	h.release(tok)
+	h.drain(nil)
+	h.checkQuiescent()
+}
+
+// TestRaceStaleReleaseFolded constructs the crossing directly at the
+// engine level: a grant is in flight to a child whose earlier release
+// (with a stale ack) arrives after the grant was recorded. The folding
+// rule must keep the child's entry at the granted mode.
+func TestRaceStaleReleaseFolded(t *testing.T) {
+	var clock proto.Clock
+	e := hlock.New(0, testLock, 0, true, &clock, hlock.Options{})
+	// The token holds U so an R request yields a copy grant rather than a
+	// token transfer (an idle token would hand itself over).
+	if _, err := e.Acquire(modes.U); err != nil {
+		t.Fatal(err)
+	}
+
+	// Child 1 requests R; the token grants (children[1] = R, seq 1).
+	out, err := e.Handle(&proto.Message{
+		Kind: proto.KindRequest, Lock: testLock, From: 1, To: 0, TS: 1,
+		Req: proto.Request{Origin: 1, Mode: modes.R, TS: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Msgs) != 1 || out.Msgs[0].Kind != proto.KindGrant || out.Msgs[0].Seq != 1 {
+		t.Fatalf("expected grant seq 1, got %+v", out.Msgs)
+	}
+	if e.Children()[1] != modes.R {
+		t.Fatalf("children = %v", e.Children())
+	}
+
+	// A release from child 1 arrives carrying ack seq 0 — it was sent
+	// before the grant landed (it refers to an *earlier* grant cycle).
+	// The folding rule must keep the child at R, not delete it.
+	if _, err := e.Handle(&proto.Message{
+		Kind: proto.KindRelease, Lock: testLock, From: 1, To: 0, TS: 2,
+		Owned: modes.None, Seq: 0,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Children()[1]; got != modes.R {
+		t.Fatalf("stale release erased the in-flight grant: children[1] = %v, want R", got)
+	}
+	// The token must still refuse a conflicting W.
+	out, err = e.Handle(&proto.Message{
+		Kind: proto.KindRequest, Lock: testLock, From: 2, To: 0, TS: 3,
+		Req: proto.Request{Origin: 2, Mode: modes.W, TS: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range out.Msgs {
+		if m.Kind == proto.KindToken || m.Kind == proto.KindGrant {
+			t.Fatalf("W served while R outstanding: %+v", m)
+		}
+	}
+
+	// The genuine release (ack seq 1) clears the entry; once the token's
+	// own U is released too, the queued W is served by transfer.
+	if _, err = e.Handle(&proto.Message{
+		Kind: proto.KindRelease, Lock: testLock, From: 1, To: 0, TS: 4,
+		Owned: modes.None, Seq: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.Children()[1]; ok {
+		t.Fatalf("true release must clear the child entry: %v", e.Children())
+	}
+	out, err = e.Release()
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := false
+	for _, m := range out.Msgs {
+		if m.Kind == proto.KindToken && m.To == 2 {
+			served = true
+		}
+	}
+	if !served {
+		t.Fatalf("queued W not served after true release: %+v", out.Msgs)
+	}
+}
+
+// TestRaceDetachOnReparent verifies that a node granted by a non-parent
+// detaches from its old parent, preventing the stale copyset entry that
+// otherwise inflates the old parent's owned mode forever.
+func TestRaceDetachOnReparent(t *testing.T) {
+	h := newHarness(t, 4, hlock.Options{})
+	const tok, mid, leaf = 0, 1, 2
+
+	// The token holds R throughout so grants are copies, never transfers.
+	h.acquire(tok, modes.R)
+	// mid holds R under the token; leaf holds IR under mid.
+	h.acquire(mid, modes.R)
+	h.drain(nil)
+	h.engines[leaf] = hlock.New(leaf, testLock, mid, false, h.clocks[leaf], hlock.Options{})
+	h.acquire(leaf, modes.IR)
+	h.drain(nil)
+	if h.node(mid).Children()[leaf] != modes.IR {
+		t.Fatalf("leaf not under mid\n%s", h.dump())
+	}
+	// mid releases its own hold but still owns IR via leaf. leaf then
+	// requests R: mid cannot grant (owns only IR now... owns IR, R needs
+	// ≥R), so the request forwards to the token, which grants. leaf must
+	// DETACH from mid; mid's entry for leaf must disappear, and mid's
+	// owned mode must drop, eventually clearing at the token too.
+	h.release(mid)
+	h.drain(nil)
+	h.release(leaf)
+	h.drain(nil)
+	h.acquire(leaf, modes.IR) // re-own IR under mid? mid owns nothing now…
+	h.drain(nil)
+	// leaf's request went mid→token; token granted; leaf.parent is token.
+	if got := h.node(leaf).Parent(); got != tok {
+		t.Fatalf("leaf parent = %d, want token %d\n%s", got, tok, h.dump())
+	}
+	if _, stale := h.node(mid).Children()[leaf]; stale {
+		t.Fatalf("stale copyset entry at mid\n%s", h.dump())
+	}
+	h.release(leaf)
+	h.release(tok)
+	h.drain(nil)
+	h.checkQuiescent()
+}
+
+// TestRaceDeferredAcquireThaw pins the deferred-local-acquire path: a
+// node whose owned mode covers a request that is frozen must wait for the
+// thaw (not emit a network request) and complete message-free when the
+// freeze lifts.
+func TestRaceDeferredAcquireThaw(t *testing.T) {
+	h := newHarness(t, 4, hlock.Options{})
+	const tok, reader, writerW = 0, 1, 2
+
+	// reader holds IW... use IW-vs-R freezing: token holds IW, reader's
+	// subtree owns IW, a queued R freezes IW everywhere.
+	h.acquire(tok, modes.IW)
+	h.acquire(reader, modes.IW)
+	h.drain(nil)
+	// Build a child under reader so reader keeps owning IW after release.
+	h.engines[3] = hlock.New(3, testLock, reader, false, h.clocks[3], hlock.Options{})
+	h.acquire(3, modes.IW)
+	h.drain(nil)
+	h.release(reader)
+	h.drain(nil)
+	if h.node(reader).Owned() != modes.IW {
+		t.Fatalf("reader should own IW via child\n%s", h.dump())
+	}
+	// A queued R at the token freezes IW at every potential granter.
+	h.acquire(writerW, modes.R)
+	h.drain(nil)
+	if !h.node(reader).Frozen().Has(modes.IW) {
+		t.Fatalf("IW not frozen at reader\n%s", h.dump())
+	}
+	// reader now locally re-acquires IW: covered (owns IW) but frozen →
+	// the engine must defer, sending NOTHING.
+	msgs := h.counts[proto.KindRequest]
+	h.acquire(reader, modes.IW)
+	if h.counts[proto.KindRequest] != msgs {
+		t.Fatal("deferred acquire must not send a request")
+	}
+	if h.held(reader) != modes.None {
+		t.Fatal("deferred acquire must wait for the thaw")
+	}
+	// Drain the conflict: the IW holders release, R is served and
+	// released, the freeze lifts, and the deferred acquire completes.
+	h.release(tok)
+	h.release(3)
+	h.drain(nil)
+	if h.held(writerW) != modes.R {
+		t.Fatalf("R not served\n%s", h.dump())
+	}
+	h.release(writerW)
+	h.drain(nil)
+	if h.held(reader) != modes.IW {
+		t.Fatalf("deferred acquire never completed\n%s", h.dump())
+	}
+	h.release(reader)
+	h.drain(nil)
+	h.checkQuiescent()
+}

@@ -1,0 +1,50 @@
+package lockserver
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+)
+
+// DebugHandler exposes the member's observability counters over HTTP:
+//
+//	GET /healthz  → 200 "ok" (503 with the error if the member recorded a
+//	               protocol failure)
+//	GET /stats    → JSON: acquisitions, latencies, message counts by kind
+//
+// Mount it on lockd's -debug listener.
+func (s *Server) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if err := s.member.Err(); err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		st := s.member.Stats()
+		type stats struct {
+			MemberID      int               `json:"member_id"`
+			Acquires      uint64            `json:"acquires"`
+			SharedJoins   uint64            `json:"shared_joins"`
+			MeanAcquireMS float64           `json:"mean_acquire_ms"`
+			P99AcquireMS  float64           `json:"p99_acquire_ms"`
+			MessagesSent  map[string]uint64 `json:"messages_sent"`
+		}
+		out := stats{
+			MemberID:      s.member.ID(),
+			Acquires:      st.Acquires,
+			SharedJoins:   st.SharedJoins,
+			MeanAcquireMS: float64(st.MeanAcquire) / float64(time.Millisecond),
+			P99AcquireMS:  float64(st.P99Acquire) / float64(time.Millisecond),
+			MessagesSent:  s.member.MessagesSent(),
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(out)
+	})
+	return mux
+}

@@ -1,0 +1,342 @@
+// Package lockserver implements lockd's client-facing front end: a
+// line-oriented text protocol over TCP through which applications
+// acquire, upgrade and release hierarchical locks owned by the local
+// cluster member.
+//
+// Commands (case-insensitive, space-separated):
+//
+//	LOCK <resource> <mode>        modes: IR R U IW W
+//	UNLOCK <resource>
+//	UPGRADE <resource>            requires holding U
+//	LOCKPATH <mode> <seg>...      hierarchy: intent on ancestors, mode on leaf
+//	UNLOCKPATH <seg>...
+//	LOCKALL <mode> <resource>...  deadlock-free multi-resource acquisition
+//	UNLOCKALL <resource>...
+//	HELD                          list locks held by this connection
+//	STATS                         protocol message counters
+//	QUIT
+//
+// Replies are single lines starting with "OK" or "ERR". Locks belong to
+// the client connection and are released when it closes.
+package lockserver
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"hierlock"
+)
+
+// Server serves the text protocol on behalf of one cluster member.
+type Server struct {
+	member *hierlock.Member
+	// Timeout bounds each LOCK wait (0 = wait forever).
+	Timeout time.Duration
+
+	mu     sync.Mutex
+	ln     net.Listener
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// New creates a server for the member.
+func New(m *hierlock.Member) *Server {
+	return &Server{member: m}
+}
+
+// Serve accepts client connections on ln until the listener closes or
+// Close is called. It always returns a non-nil error (net.ErrClosed
+// after a clean shutdown).
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.wg.Wait()
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			s.wg.Wait()
+			return net.ErrClosed
+		}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			s.ServeConn(conn)
+		}()
+	}
+}
+
+// Close stops accepting and waits for in-flight sessions to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		return ln.Close()
+	}
+	return nil
+}
+
+// ServeConn runs one client session; it returns when the peer closes or
+// QUITs, releasing every lock the session still holds.
+func (s *Server) ServeConn(conn io.ReadWriteCloser) {
+	defer conn.Close()
+	sess := &session{
+		srv:   s,
+		held:  make(map[string]*hierlock.Lock),
+		paths: make(map[string]*hierlock.PathLock),
+		sets:  make(map[string]*hierlock.LockSet),
+	}
+	defer sess.releaseAll()
+
+	sc := bufio.NewScanner(conn)
+	w := bufio.NewWriter(conn)
+	for sc.Scan() {
+		resp, quit := sess.handle(sc.Text())
+		fmt.Fprintln(w, resp)
+		if err := w.Flush(); err != nil {
+			return
+		}
+		if quit {
+			return
+		}
+	}
+}
+
+type session struct {
+	srv   *Server
+	held  map[string]*hierlock.Lock
+	paths map[string]*hierlock.PathLock
+	sets  map[string]*hierlock.LockSet
+}
+
+func (se *session) releaseAll() {
+	for _, l := range se.held {
+		_ = l.Unlock()
+	}
+	for _, pl := range se.paths {
+		_ = pl.Unlock()
+	}
+	for _, ls := range se.sets {
+		_ = ls.Unlock()
+	}
+	se.held, se.paths, se.sets = nil, nil, nil
+}
+
+// handle executes one command line and returns the reply plus whether the
+// session should end.
+func (se *session) handle(line string) (string, bool) {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return "ERR empty command", false
+	}
+	switch strings.ToUpper(fields[0]) {
+	case "LOCK":
+		if len(fields) != 3 {
+			return "ERR usage: LOCK <resource> <mode>", false
+		}
+		return se.lock(fields[1], fields[2]), false
+	case "UNLOCK":
+		if len(fields) != 2 {
+			return "ERR usage: UNLOCK <resource>", false
+		}
+		l, ok := se.held[fields[1]]
+		if !ok {
+			return fmt.Sprintf("ERR not holding %s", fields[1]), false
+		}
+		delete(se.held, fields[1])
+		if err := l.Unlock(); err != nil {
+			return fmt.Sprintf("ERR %v", err), false
+		}
+		return "OK", false
+	case "UPGRADE":
+		if len(fields) != 2 {
+			return "ERR usage: UPGRADE <resource>", false
+		}
+		l, ok := se.held[fields[1]]
+		if !ok {
+			return fmt.Sprintf("ERR not holding %s", fields[1]), false
+		}
+		if err := l.Upgrade(context.Background()); err != nil {
+			return fmt.Sprintf("ERR %v", err), false
+		}
+		return fmt.Sprintf("OK %s %v", fields[1], l.Mode()), false
+	case "LOCKPATH":
+		if len(fields) < 3 {
+			return "ERR usage: LOCKPATH <mode> <segment>...", false
+		}
+		return se.lockPath(fields[1], fields[2:]), false
+	case "UNLOCKPATH":
+		if len(fields) < 2 {
+			return "ERR usage: UNLOCKPATH <segment>...", false
+		}
+		key := strings.Join(fields[1:], "/")
+		pl, ok := se.paths[key]
+		if !ok {
+			return fmt.Sprintf("ERR not holding path %s", key), false
+		}
+		delete(se.paths, key)
+		if err := pl.Unlock(); err != nil {
+			return fmt.Sprintf("ERR %v", err), false
+		}
+		return "OK", false
+	case "LOCKALL":
+		if len(fields) < 3 {
+			return "ERR usage: LOCKALL <mode> <resource>...", false
+		}
+		return se.lockAll(fields[1], fields[2:]), false
+	case "UNLOCKALL":
+		if len(fields) < 2 {
+			return "ERR usage: UNLOCKALL <resource>...", false
+		}
+		key := setKey(fields[1:])
+		ls, ok := se.sets[key]
+		if !ok {
+			return fmt.Sprintf("ERR not holding set %s", key), false
+		}
+		delete(se.sets, key)
+		if err := ls.Unlock(); err != nil {
+			return fmt.Sprintf("ERR %v", err), false
+		}
+		return "OK", false
+	case "HELD":
+		names := make([]string, 0, len(se.held)+len(se.paths)+len(se.sets))
+		for res, l := range se.held {
+			names = append(names, fmt.Sprintf("%s=%v", res, l.Mode()))
+		}
+		for key, pl := range se.paths {
+			names = append(names, fmt.Sprintf("path:%s=%v", key, pl.Leaf().Mode()))
+		}
+		for key := range se.sets {
+			names = append(names, fmt.Sprintf("set:%s", key))
+		}
+		sort.Strings(names)
+		return "OK " + strings.Join(names, " "), false
+	case "STATS":
+		sent := se.srv.member.MessagesSent()
+		kinds := make([]string, 0, len(sent))
+		for k := range sent {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		parts := make([]string, 0, len(kinds))
+		for _, k := range kinds {
+			parts = append(parts, fmt.Sprintf("%s=%d", k, sent[k]))
+		}
+		return "OK " + strings.Join(parts, " "), false
+	case "QUIT":
+		return "OK bye", true
+	default:
+		return fmt.Sprintf("ERR unknown command %s", strings.ToUpper(fields[0])), false
+	}
+}
+
+func (se *session) lock(res, modeStr string) string {
+	mode, err := ParseMode(modeStr)
+	if err != nil {
+		return fmt.Sprintf("ERR %v", err)
+	}
+	if _, dup := se.held[res]; dup {
+		return fmt.Sprintf("ERR already holding %s", res)
+	}
+	ctx, cancel := se.ctx()
+	defer cancel()
+	l, err := se.srv.member.Lock(ctx, res, mode)
+	if err != nil {
+		return fmt.Sprintf("ERR %v", err)
+	}
+	se.held[res] = l
+	return fmt.Sprintf("OK %s %v", res, l.Mode())
+}
+
+func (se *session) lockPath(modeStr string, segs []string) string {
+	mode, err := ParseMode(modeStr)
+	if err != nil {
+		return fmt.Sprintf("ERR %v", err)
+	}
+	key := strings.Join(segs, "/")
+	if _, dup := se.paths[key]; dup {
+		return fmt.Sprintf("ERR already holding path %s", key)
+	}
+	ctx, cancel := se.ctx()
+	defer cancel()
+	pl, err := se.srv.member.LockPath(ctx, segs, mode)
+	if err != nil {
+		return fmt.Sprintf("ERR %v", err)
+	}
+	se.paths[key] = pl
+	return fmt.Sprintf("OK path:%s %v", key, pl.Leaf().Mode())
+}
+
+func (se *session) lockAll(modeStr string, resources []string) string {
+	mode, err := ParseMode(modeStr)
+	if err != nil {
+		return fmt.Sprintf("ERR %v", err)
+	}
+	key := setKey(resources)
+	if _, dup := se.sets[key]; dup {
+		return fmt.Sprintf("ERR already holding set %s", key)
+	}
+	ctx, cancel := se.ctx()
+	defer cancel()
+	ls, err := se.srv.member.LockAll(ctx, resources, mode)
+	if err != nil {
+		return fmt.Sprintf("ERR %v", err)
+	}
+	se.sets[key] = ls
+	return fmt.Sprintf("OK set:%s %d", key, ls.Len())
+}
+
+// ctx builds the per-request context honoring the server timeout.
+func (se *session) ctx() (context.Context, context.CancelFunc) {
+	if se.srv.Timeout > 0 {
+		return context.WithTimeout(context.Background(), se.srv.Timeout)
+	}
+	return context.Background(), func() {}
+}
+
+// setKey canonically names a resource set (sorted, deduplicated).
+func setKey(resources []string) string {
+	rs := append([]string(nil), resources...)
+	sort.Strings(rs)
+	out := rs[:0]
+	for i, r := range rs {
+		if i == 0 || r != rs[i-1] {
+			out = append(out, r)
+		}
+	}
+	return strings.Join(out, ",")
+}
+
+// ParseMode parses a client-supplied mode name.
+func ParseMode(s string) (hierlock.Mode, error) {
+	switch strings.ToUpper(s) {
+	case "IR":
+		return hierlock.IR, nil
+	case "R":
+		return hierlock.R, nil
+	case "U":
+		return hierlock.U, nil
+	case "IW":
+		return hierlock.IW, nil
+	case "W":
+		return hierlock.W, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q (want IR, R, U, IW or W)", s)
+	}
+}

@@ -1,0 +1,160 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"hierlock/internal/proto"
+)
+
+func TestMessages(t *testing.T) {
+	var m Messages
+	m.Count(proto.KindRequest)
+	m.Count(proto.KindRequest)
+	m.Count(proto.KindToken)
+	if m.ByKind[proto.KindRequest] != 2 || m.ByKind[proto.KindToken] != 1 {
+		t.Fatalf("counts = %v", m.ByKind)
+	}
+	if m.Total() != 3 {
+		t.Fatalf("total = %d", m.Total())
+	}
+	var other Messages
+	other.Count(proto.KindGrant)
+	m.Merge(&other)
+	if m.Total() != 4 || m.ByKind[proto.KindGrant] != 1 {
+		t.Fatal("merge failed")
+	}
+	m.Count(proto.Kind(200)) // out of range must not panic
+	if m.Total() != 4 {
+		t.Fatal("out-of-range kind must be ignored")
+	}
+}
+
+func TestLatency(t *testing.T) {
+	var l Latency
+	if l.Mean() != 0 || l.StdDev() != 0 || l.Factor(time.Second) != 0 {
+		t.Fatal("empty latency must report zeros")
+	}
+	l.Observe(100 * time.Millisecond)
+	l.Observe(300 * time.Millisecond)
+	if l.Mean() != 200*time.Millisecond {
+		t.Fatalf("mean = %v", l.Mean())
+	}
+	if l.Min != 100*time.Millisecond || l.Max != 300*time.Millisecond {
+		t.Fatalf("min/max = %v/%v", l.Min, l.Max)
+	}
+	if got := l.Factor(100 * time.Millisecond); got < 1.99 || got > 2.01 {
+		t.Fatalf("factor = %v", got)
+	}
+	// StdDev of {100,300} is 100ms.
+	if sd := l.StdDev(); sd < 99*time.Millisecond || sd > 101*time.Millisecond {
+		t.Fatalf("stddev = %v", sd)
+	}
+
+	var m Latency
+	m.Observe(50 * time.Millisecond)
+	l.Merge(&m)
+	if l.Count != 3 || l.Min != 50*time.Millisecond {
+		t.Fatalf("merge: %+v", l)
+	}
+	var empty Latency
+	l.Merge(&empty)
+	if l.Count != 3 {
+		t.Fatal("merging empty must be a no-op")
+	}
+}
+
+func TestTable(t *testing.T) {
+	tb := NewTable("Fig 5", "nodes")
+	tb.Add(10, "ours", 2.5)
+	tb.Add(10, "naimi", 3.5)
+	tb.Add(5, "ours", 2.0)
+	tb.Add(10, "ours", 2.6) // overwrite
+
+	if cols := tb.Columns(); len(cols) != 2 || cols[0] != "ours" || cols[1] != "naimi" {
+		t.Fatalf("columns = %v", cols)
+	}
+	if v, ok := tb.Value(10, "ours"); !ok || v != 2.6 {
+		t.Fatalf("Value(10, ours) = %v %v", v, ok)
+	}
+	if _, ok := tb.Value(99, "ours"); ok {
+		t.Fatal("missing x must report !ok")
+	}
+	if xs := tb.Xs(); len(xs) != 2 || xs[0] != 5 || xs[1] != 10 {
+		t.Fatalf("Xs = %v", xs)
+	}
+
+	s := tb.String()
+	if !strings.Contains(s, "# Fig 5") || !strings.Contains(s, "2.600") {
+		t.Fatalf("render:\n%s", s)
+	}
+	// The missing naimi cell at x=5 renders as "-".
+	if !strings.Contains(s, "-") {
+		t.Fatalf("missing cell must render as dash:\n%s", s)
+	}
+	// Rows sorted by x: x=5 line appears before x=10 line.
+	if strings.Index(s, "\n5") > strings.Index(s, "\n10") {
+		t.Fatalf("rows not sorted:\n%s", s)
+	}
+
+	csv := tb.CSV()
+	if !strings.HasPrefix(csv, "nodes,ours,naimi\n") {
+		t.Fatalf("csv header:\n%s", csv)
+	}
+	if !strings.Contains(csv, "5,2.0000,\n") {
+		t.Fatalf("csv body:\n%s", csv)
+	}
+}
+
+func TestQuantiles(t *testing.T) {
+	var l Latency
+	if l.Quantile(0.99) != 0 {
+		t.Fatal("empty quantile must be 0")
+	}
+	// 100 samples: 1ms … 100ms.
+	for i := 1; i <= 100; i++ {
+		l.Observe(time.Duration(i) * time.Millisecond)
+	}
+	// The histogram is exponential, so quantiles are upper bucket edges:
+	// P50 ≈ 50ms → edge 2^16 µs = 65.536ms; P99 ≈ 99ms → 2^17 µs.
+	if q := l.Quantile(0.5); q < 50*time.Millisecond || q > 65536*time.Microsecond {
+		t.Errorf("P50 = %v", q)
+	}
+	if q := l.Quantile(0.99); q < 99*time.Millisecond || q > 131072*time.Microsecond {
+		t.Errorf("P99 = %v", q)
+	}
+	if q := l.Quantile(1.0); q < l.Quantile(0.5) {
+		t.Errorf("P100 (%v) < P50 (%v)", q, l.Quantile(0.5))
+	}
+	// Out-of-range q clamps instead of misbehaving.
+	if l.Quantile(-1) == 0 || l.Quantile(2) == 0 {
+		t.Error("clamped quantiles must be nonzero with samples")
+	}
+
+	// Merge preserves the histogram.
+	var a, b Latency
+	for i := 0; i < 50; i++ {
+		a.Observe(time.Millisecond)
+		b.Observe(time.Second)
+	}
+	a.Merge(&b)
+	if q := a.Quantile(0.25); q > 2*time.Millisecond {
+		t.Errorf("merged P25 = %v, want ≈1ms", q)
+	}
+	if q := a.Quantile(0.9); q < 500*time.Millisecond {
+		t.Errorf("merged P90 = %v, want ≈1s", q)
+	}
+}
+
+func TestQuantileExtremes(t *testing.T) {
+	var l Latency
+	l.Observe(0)              // below the first bucket edge
+	l.Observe(10 * time.Hour) // beyond the last bounded bucket
+	if q := l.Quantile(0.01); q > time.Microsecond {
+		t.Errorf("tiny sample quantile = %v", q)
+	}
+	if q := l.Quantile(1.0); q != 10*time.Hour {
+		t.Errorf("huge sample quantile = %v, want Max", q)
+	}
+}

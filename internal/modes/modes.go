@@ -1,0 +1,303 @@
+// Package modes defines the lock-mode algebra of the CORBA Concurrency
+// Service as used by the hierarchical locking protocol of Desai & Mueller
+// (ICDCS 2003): the five access modes, their compatibility matrix
+// (paper Tab. 1a), the strength order (paper Eq. 1), and the derived
+// decision tables for granting (Tab. 1b), queuing vs forwarding (Tab. 2a)
+// and freezing (Tab. 2b).
+//
+// All predicates are pure functions over small integer domains; the package
+// has no dependencies and no state.
+package modes
+
+import "fmt"
+
+// Mode is a hierarchical lock access mode.
+//
+// The zero value None means "no lock" and is compatible with everything.
+type Mode uint8
+
+// The five CORBA Concurrency Service lock modes plus None.
+//
+// IR (intention read) and IW (intention write) are held on a coarser
+// granule (e.g. a table) to announce R/W locking of a finer granule
+// (e.g. a row). U (upgrade) is an exclusive read that may later be
+// atomically upgraded to W.
+const (
+	None Mode = iota // no lock held
+	IR               // intention read
+	R                // read (shared)
+	U                // upgrade (exclusive read, upgradable to W)
+	IW               // intention write
+	W                // write (exclusive)
+	numModes
+)
+
+// All lists the real lock modes (excluding None) in strength order.
+var All = [5]Mode{IR, R, U, IW, W}
+
+// String returns the paper's name for the mode.
+func (m Mode) String() string {
+	switch m {
+	case None:
+		return "NL"
+	case IR:
+		return "IR"
+	case R:
+		return "R"
+	case U:
+		return "U"
+	case IW:
+		return "IW"
+	case W:
+		return "W"
+	default:
+		return fmt.Sprintf("Mode(%d)", uint8(m))
+	}
+}
+
+// Valid reports whether m is one of the six defined modes.
+func (m Mode) Valid() bool { return m < numModes }
+
+// Parse converts a mode name ("NL", "IR", "R", "U", "IW", "W") to a Mode.
+func Parse(s string) (Mode, error) {
+	switch s {
+	case "NL", "", "none", "None":
+		return None, nil
+	case "IR", "ir":
+		return IR, nil
+	case "R", "r":
+		return R, nil
+	case "U", "u":
+		return U, nil
+	case "IW", "iw":
+		return IW, nil
+	case "W", "w":
+		return W, nil
+	default:
+		return None, fmt.Errorf("modes: unknown lock mode %q", s)
+	}
+}
+
+// conflict is the incompatibility matrix of paper Tab. 1(a): conflict[a][b]
+// is true when modes a and b may not be held concurrently. It follows the
+// CORBA Concurrency Service specification the paper builds on:
+//
+//	IR conflicts with W;
+//	R  conflicts with IW, W;
+//	U  conflicts with U, IW, W;
+//	IW conflicts with R, U, W;
+//	W  conflicts with IR, R, U, IW, W.
+//
+// None conflicts with nothing.
+var conflict = [numModes][numModes]bool{
+	IR: {W: true},
+	R:  {IW: true, W: true},
+	U:  {U: true, IW: true, W: true},
+	IW: {R: true, U: true, W: true},
+	W:  {IR: true, R: true, U: true, IW: true, W: true},
+}
+
+// Compatible reports whether a and b may be held concurrently (Rule 1).
+// It is symmetric, and None is compatible with everything.
+func Compatible(a, b Mode) bool { return !conflict[a][b] }
+
+// strength encodes paper Eq. 1: None < IR < R < U = IW < W.
+var strength = [numModes]int{None: 0, IR: 1, R: 2, U: 3, IW: 3, W: 4}
+
+// Strength returns the position of m in the paper's strength order
+// (Eq. 1). U and IW compare equal.
+func Strength(m Mode) int { return strength[m] }
+
+// Stronger reports whether a is strictly stronger than b (Definition 1).
+func Stronger(a, b Mode) bool { return strength[a] > strength[b] }
+
+// AtLeast reports whether a is at least as strong as b.
+func AtLeast(a, b Mode) bool { return strength[a] >= strength[b] }
+
+// Max returns the stronger of a and b. When a and b have equal strength
+// (U vs IW) it prefers a, so Max over a set is order-dependent only
+// between U and IW; callers that need a canonical combined "owned" mode
+// should use Owned, which resolves the tie deterministically.
+func Max(a, b Mode) Mode {
+	if strength[b] > strength[a] {
+		return b
+	}
+	return a
+}
+
+// Owned folds a set of modes into the owned mode of a subtree: the
+// strongest mode present. The U/IW strength tie cannot arise from a valid
+// copyset (U and IW conflict, so a compatible set never contains both),
+// but Owned still resolves it deterministically in favor of IW so that the
+// function is a well-defined fold for arbitrary inputs.
+func Owned(ms ...Mode) Mode {
+	out := None
+	for _, m := range ms {
+		if strength[m] > strength[out] || (m == IW && out == U) {
+			out = m
+		}
+	}
+	return out
+}
+
+// GrantableByCopy implements Rule 3.1 / Tab. 1(b): a non-token node that
+// owns mo can grant a copy for a request in mode mr iff the modes are
+// compatible and mo is at least as strong as mr. None can grant nothing.
+func GrantableByCopy(mo, mr Mode) bool {
+	return mo != None && Compatible(mo, mr) && AtLeast(mo, mr)
+}
+
+// TokenGrant describes how the token node serves a compatible request
+// (Rule 3.2).
+type TokenGrant uint8
+
+// Token-node grant outcomes for a request in mode mr against owned mode mo.
+const (
+	// TokenBlocked: mo and mr are incompatible; the request must queue.
+	TokenBlocked TokenGrant = iota
+	// TokenCopy: compatible and mo >= mr; the requester receives a granted
+	// copy and becomes a child of the token node.
+	TokenCopy
+	// TokenTransfer: compatible and mo < mr; the token itself is
+	// transferred and the requester becomes the new token node.
+	TokenTransfer
+)
+
+// GrantAtToken classifies how the token node owning mo serves a request
+// for mr (Rule 3.2 and its operational specification).
+func GrantAtToken(mo, mr Mode) TokenGrant {
+	if !Compatible(mo, mr) {
+		return TokenBlocked
+	}
+	if AtLeast(mo, mr) {
+		return TokenCopy
+	}
+	return TokenTransfer
+}
+
+// AlwaysTransfers reports whether a request in mode m can only ever be
+// satisfied by a token transfer, never by a granted copy. This holds for
+// U and W: no mode is simultaneously compatible with and at least as
+// strong as them. It is the keystone of the queue/forward table.
+func AlwaysTransfers(m Mode) bool {
+	for _, mo := range All {
+		if GrantableByCopy(mo, m) {
+			return false
+		}
+	}
+	return m != None
+}
+
+// ShouldQueue implements Rule 4.1 / Tab. 2(a): a non-token node whose own
+// pending request is mp receives a request for mr that it cannot grant.
+// It queues the request locally iff mr is guaranteed to be servable at
+// this node once mp is granted, under the worst-case grant outcome:
+//
+//   - mp == None: no grant is coming; forward.
+//   - mp ∈ {U, W}: the grant always arrives as a token transfer (see
+//     AlwaysTransfers), after which this node is the token node and queues
+//     everything (Rule 4.2) — queue any mr.
+//   - otherwise the grant may be a mere copy of mp, after which this node
+//     can serve exactly the requests grantable by that copy.
+func ShouldQueue(mp, mr Mode) bool {
+	if mp == None {
+		return false
+	}
+	if mp == U || mp == W {
+		return true
+	}
+	return GrantableByCopy(mp, mr)
+}
+
+// Set is a bitset of modes.
+type Set uint8
+
+// MakeSet builds a Set from the given modes. None is ignored: freezing or
+// tracking the absence of a lock is meaningless.
+func MakeSet(ms ...Mode) Set {
+	var s Set
+	for _, m := range ms {
+		s = s.Add(m)
+	}
+	return s
+}
+
+// Add returns s with m included. Adding None is a no-op.
+func (s Set) Add(m Mode) Set {
+	if m == None {
+		return s
+	}
+	return s | 1<<m
+}
+
+// Remove returns s with m excluded.
+func (s Set) Remove(m Mode) Set { return s &^ (1 << m) }
+
+// Has reports whether m is in s. None is never in a set.
+func (s Set) Has(m Mode) bool { return s&(1<<m) != 0 }
+
+// Union returns the union of s and t.
+func (s Set) Union(t Set) Set { return s | t }
+
+// Intersect returns the intersection of s and t.
+func (s Set) Intersect(t Set) Set { return s & t }
+
+// Diff returns the modes in s that are not in t.
+func (s Set) Diff(t Set) Set { return s &^ t }
+
+// Empty reports whether s contains no modes.
+func (s Set) Empty() bool { return s == 0 }
+
+// Len returns the number of modes in s.
+func (s Set) Len() int {
+	n := 0
+	for _, m := range All {
+		if s.Has(m) {
+			n++
+		}
+	}
+	return n
+}
+
+// Modes returns the members of s in strength order.
+func (s Set) Modes() []Mode {
+	var out []Mode
+	for _, m := range All {
+		if s.Has(m) {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// String renders the set as e.g. "{IR,R}".
+func (s Set) String() string {
+	out := "{"
+	for i, m := range s.Modes() {
+		if i > 0 {
+			out += ","
+		}
+		out += m.String()
+	}
+	return out + "}"
+}
+
+// FreezeSet implements Tab. 2(b): when the token node owning mo locally
+// queues a request for mr (because mo and mr are incompatible), the modes
+// to freeze are those whose continued granting would starve the waiting
+// request — the modes incompatible with mr that the tree rooted at the
+// token could currently grant (i.e. compatible with mo):
+//
+//	freeze(mo, mr) = { m : ¬Compatible(m, mr) ∧ Compatible(m, mo) }
+//
+// This closed form reproduces every legible cell of the paper's Tab. 2(b),
+// including the worked example (owner IW, queued R → freeze {IW}).
+func FreezeSet(mo, mr Mode) Set {
+	var s Set
+	for _, m := range All {
+		if !Compatible(m, mr) && Compatible(m, mo) {
+			s = s.Add(m)
+		}
+	}
+	return s
+}

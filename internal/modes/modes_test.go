@@ -1,0 +1,372 @@
+package modes
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// allModes includes None, unlike All.
+var allModes = [6]Mode{None, IR, R, U, IW, W}
+
+func TestCompatibilityMatrix(t *testing.T) {
+	// Paper Tab. 1(a), cell by cell. true = compatible.
+	want := map[[2]Mode]bool{
+		{IR, IR}: true, {IR, R}: true, {IR, U}: true, {IR, IW}: true, {IR, W}: false,
+		{R, IR}: true, {R, R}: true, {R, U}: true, {R, IW}: false, {R, W}: false,
+		{U, IR}: true, {U, R}: true, {U, U}: false, {U, IW}: false, {U, W}: false,
+		{IW, IR}: true, {IW, R}: false, {IW, U}: false, {IW, IW}: true, {IW, W}: false,
+		{W, IR}: false, {W, R}: false, {W, U}: false, {W, IW}: false, {W, W}: false,
+	}
+	for pair, c := range want {
+		if got := Compatible(pair[0], pair[1]); got != c {
+			t.Errorf("Compatible(%v, %v) = %v, want %v", pair[0], pair[1], got, c)
+		}
+	}
+	for _, m := range allModes {
+		if !Compatible(None, m) || !Compatible(m, None) {
+			t.Errorf("None must be compatible with %v", m)
+		}
+	}
+}
+
+func TestCompatibilitySymmetric(t *testing.T) {
+	for _, a := range allModes {
+		for _, b := range allModes {
+			if Compatible(a, b) != Compatible(b, a) {
+				t.Errorf("Compatible(%v,%v) != Compatible(%v,%v)", a, b, b, a)
+			}
+		}
+	}
+}
+
+func TestStrengthOrder(t *testing.T) {
+	// Eq. 1: None < IR < R < U = IW < W.
+	if !(Strength(None) < Strength(IR) &&
+		Strength(IR) < Strength(R) &&
+		Strength(R) < Strength(U) &&
+		Strength(U) == Strength(IW) &&
+		Strength(IW) < Strength(W)) {
+		t.Fatalf("strength order violates Eq. 1: %d %d %d %d %d %d",
+			Strength(None), Strength(IR), Strength(R), Strength(U), Strength(IW), Strength(W))
+	}
+}
+
+// TestStrongerMeansLessCompatible checks Definition 1: a strictly stronger
+// mode is compatible with *fewer* other modes than a weaker one (the paper
+// defines strength by the count of compatible modes, not subset inclusion:
+// IW is stronger than R yet compatible with IW, which R is not).
+func TestStrongerMeansLessCompatible(t *testing.T) {
+	count := func(m Mode) int {
+		n := 0
+		for _, x := range All {
+			if Compatible(m, x) {
+				n++
+			}
+		}
+		return n
+	}
+	for _, a := range All {
+		for _, b := range All {
+			if Stronger(a, b) && count(a) >= count(b) {
+				t.Errorf("%v stronger than %v but compatible with %d >= %d modes",
+					a, b, count(a), count(b))
+			}
+		}
+	}
+}
+
+// TestLocalKnowledgeLemma verifies the paper's §3.4 correctness argument:
+// testing compatibility against the owned (strongest) mode of a subtree is
+// sufficient. For every tree mode m covered by an owned mode mo (m ≤ mo,
+// compatible with mo, as all tree members are), any request x compatible
+// with mo is also compatible with m.
+func TestLocalKnowledgeLemma(t *testing.T) {
+	for _, mo := range allModes {
+		for _, m := range allModes {
+			if !AtLeast(mo, m) || !Compatible(m, mo) {
+				continue
+			}
+			for _, x := range allModes {
+				if Compatible(x, mo) && !Compatible(x, m) {
+					t.Errorf("lemma fails: mo=%v covers m=%v, x=%v compat with mo but not m", mo, m, x)
+				}
+			}
+		}
+	}
+}
+
+func TestGrantableByCopyTable(t *testing.T) {
+	// Paper Tab. 1(b): absence of X = grantable. Rows are owned mode,
+	// columns requested mode.
+	want := map[Mode][]Mode{
+		None: {},
+		IR:   {IR},
+		R:    {IR, R},
+		U:    {IR, R},
+		IW:   {IR, IW},
+		W:    {},
+	}
+	for mo, grants := range want {
+		ok := map[Mode]bool{}
+		for _, g := range grants {
+			ok[g] = true
+		}
+		for _, mr := range All {
+			if got := GrantableByCopy(mo, mr); got != ok[mr] {
+				t.Errorf("GrantableByCopy(%v, %v) = %v, want %v", mo, mr, got, ok[mr])
+			}
+		}
+	}
+}
+
+func TestGrantAtToken(t *testing.T) {
+	cases := []struct {
+		mo, mr Mode
+		want   TokenGrant
+	}{
+		{None, IR, TokenTransfer}, // idle token hands itself over
+		{None, W, TokenTransfer},
+		{IR, R, TokenTransfer}, // compatible but weaker: transfer
+		{R, U, TokenTransfer},
+		{R, R, TokenCopy},
+		{IW, IR, TokenCopy},
+		{IW, IW, TokenCopy},
+		{U, R, TokenCopy},
+		{IW, R, TokenBlocked},
+		{U, U, TokenBlocked},
+		{W, IR, TokenBlocked},
+		{R, W, TokenBlocked},
+	}
+	for _, c := range cases {
+		if got := GrantAtToken(c.mo, c.mr); got != c.want {
+			t.Errorf("GrantAtToken(%v, %v) = %v, want %v", c.mo, c.mr, got, c.want)
+		}
+	}
+}
+
+func TestAlwaysTransfers(t *testing.T) {
+	want := map[Mode]bool{None: false, IR: false, R: false, U: true, IW: false, W: true}
+	for m, w := range want {
+		if got := AlwaysTransfers(m); got != w {
+			t.Errorf("AlwaysTransfers(%v) = %v, want %v", m, got, w)
+		}
+	}
+}
+
+func TestShouldQueueTable(t *testing.T) {
+	// Derived Tab. 2(a). Rows: pending mode. Columns IR R U IW W.
+	// Q = queue (true), F = forward (false).
+	want := map[Mode][5]bool{
+		None: {false, false, false, false, false},
+		IR:   {true, false, false, false, false},
+		R:    {true, true, false, false, false},
+		U:    {true, true, true, true, true},
+		IW:   {true, false, false, true, false},
+		W:    {true, true, true, true, true},
+	}
+	for mp, row := range want {
+		for i, mr := range All {
+			if got := ShouldQueue(mp, mr); got != row[i] {
+				t.Errorf("ShouldQueue(%v, %v) = %v, want %v", mp, mr, got, row[i])
+			}
+		}
+	}
+}
+
+// TestShouldQueueSound checks the defining property of Tab. 2(a): a queued
+// request must be servable at this node after the pending grant arrives,
+// in the worst case. For copy-grantable pending modes the worst case is a
+// copy; for always-transferring modes the node becomes the token and may
+// queue anything.
+func TestShouldQueueSound(t *testing.T) {
+	for _, mp := range All {
+		for _, mr := range All {
+			if !ShouldQueue(mp, mr) {
+				continue
+			}
+			if AlwaysTransfers(mp) {
+				continue // node will own the token; Rule 4.2 queues everything
+			}
+			if !GrantableByCopy(mp, mr) {
+				t.Errorf("queued %v behind copy-grantable pending %v but copy cannot serve it", mr, mp)
+			}
+		}
+	}
+}
+
+func TestFreezeSetPaperCells(t *testing.T) {
+	// Every legible cell of paper Tab. 2(b).
+	cases := []struct {
+		mo, mr Mode
+		want   Set
+	}{
+		{IR, W, MakeSet(IR, R, U, IW)},
+		{R, IW, MakeSet(R, U)},
+		{R, W, MakeSet(IR, R, U)},
+		{U, IW, MakeSet(R)},
+		{U, W, MakeSet(IR, R)},
+		{IW, R, MakeSet(IW)},
+		{IW, U, MakeSet(IW)},
+		{IW, W, MakeSet(IR, IW)},
+		{U, U, MakeSet()},
+		{W, W, MakeSet()},
+		{W, IR, MakeSet()},
+	}
+	for _, c := range cases {
+		if got := FreezeSet(c.mo, c.mr); got != c.want {
+			t.Errorf("FreezeSet(%v, %v) = %v, want %v", c.mo, c.mr, got, c.want)
+		}
+	}
+}
+
+// TestFreezeSetOnlyForConflicts checks that freezing is only triggered for
+// owned/requested pairs that actually queue at the token (incompatible
+// pairs); for compatible pairs the request is granted, so the freeze table
+// is never consulted — but the formula must still be well-defined.
+func TestFreezeSetProperties(t *testing.T) {
+	for _, mo := range allModes {
+		for _, mr := range All {
+			fs := FreezeSet(mo, mr)
+			for _, m := range fs.Modes() {
+				if Compatible(m, mr) {
+					t.Errorf("FreezeSet(%v,%v) froze %v which is compatible with the waiting request", mo, mr, m)
+				}
+				if !Compatible(m, mo) {
+					t.Errorf("FreezeSet(%v,%v) froze %v which the tree could not grant anyway", mo, mr, m)
+				}
+			}
+			// Completeness: every grantable-and-conflicting mode is frozen.
+			for _, m := range All {
+				if !Compatible(m, mr) && Compatible(m, mo) && !fs.Has(m) {
+					t.Errorf("FreezeSet(%v,%v) missed %v", mo, mr, m)
+				}
+			}
+		}
+	}
+}
+
+func TestOwnedFold(t *testing.T) {
+	cases := []struct {
+		in   []Mode
+		want Mode
+	}{
+		{nil, None},
+		{[]Mode{None}, None},
+		{[]Mode{IR, R}, R},
+		{[]Mode{R, IR, IR}, R},
+		{[]Mode{IR, IW, R}, IW},
+		{[]Mode{W, R}, W},
+		{[]Mode{U}, U},
+		{[]Mode{U, IW}, IW}, // tie resolved toward IW deterministically
+		{[]Mode{IW, U}, IW},
+	}
+	for _, c := range cases {
+		if got := Owned(c.in...); got != c.want {
+			t.Errorf("Owned(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMax(t *testing.T) {
+	if Max(IR, R) != R || Max(R, IR) != R || Max(W, None) != W || Max(None, None) != None {
+		t.Error("Max basic cases failed")
+	}
+}
+
+func TestParseAndString(t *testing.T) {
+	for _, m := range allModes {
+		got, err := Parse(m.String())
+		if err != nil || got != m {
+			t.Errorf("Parse(%q) = %v, %v; want %v", m.String(), got, err, m)
+		}
+	}
+	if _, err := Parse("bogus"); err == nil {
+		t.Error("Parse(bogus) should fail")
+	}
+	if Mode(77).String() == "" {
+		t.Error("out-of-range mode should still print")
+	}
+	if Mode(77).Valid() {
+		t.Error("Mode(77) must be invalid")
+	}
+}
+
+func TestSetOps(t *testing.T) {
+	s := MakeSet(IR, W)
+	if !s.Has(IR) || !s.Has(W) || s.Has(R) || s.Has(None) {
+		t.Fatalf("membership wrong: %v", s)
+	}
+	if s.Len() != 2 {
+		t.Errorf("Len = %d, want 2", s.Len())
+	}
+	s = s.Add(None)
+	if s.Len() != 2 {
+		t.Error("adding None must be a no-op")
+	}
+	s = s.Remove(IR)
+	if s.Has(IR) || !s.Has(W) {
+		t.Error("Remove failed")
+	}
+	u := MakeSet(R).Union(MakeSet(W))
+	if !u.Has(R) || !u.Has(W) || u.Len() != 2 {
+		t.Error("Union failed")
+	}
+	if d := u.Diff(MakeSet(W)); !d.Has(R) || d.Has(W) {
+		t.Error("Diff failed")
+	}
+	if i := u.Intersect(MakeSet(W, IR)); !i.Has(W) || i.Has(R) {
+		t.Error("Intersect failed")
+	}
+	if !MakeSet().Empty() || u.Empty() {
+		t.Error("Empty failed")
+	}
+	if got := MakeSet(IR, R).String(); got != "{IR,R}" {
+		t.Errorf("String = %q", got)
+	}
+	if got := MakeSet().String(); got != "{}" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// Property-based checks over random mode sets.
+func TestQuickSetRoundTrip(t *testing.T) {
+	f := func(raw []uint8) bool {
+		var s Set
+		var members []Mode
+		for _, r := range raw {
+			m := Mode(r % uint8(numModes))
+			s = s.Add(m)
+			if m != None {
+				members = append(members, m)
+			}
+		}
+		for _, m := range members {
+			if !s.Has(m) {
+				return false
+			}
+		}
+		return len(s.Modes()) == s.Len()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickOwnedDominates(t *testing.T) {
+	f := func(raw []uint8) bool {
+		ms := make([]Mode, len(raw))
+		for i, r := range raw {
+			ms[i] = Mode(r % uint8(numModes))
+		}
+		o := Owned(ms...)
+		for _, m := range ms {
+			if !AtLeast(o, m) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

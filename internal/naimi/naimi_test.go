@@ -1,0 +1,353 @@
+package naimi_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"hierlock/internal/naimi"
+	"hierlock/internal/proto"
+)
+
+const testLock proto.LockID = 1
+
+type harness struct {
+	t       *testing.T
+	engines map[proto.NodeID]*naimi.Engine
+	queues  map[[2]proto.NodeID][]proto.Message
+	counts  map[proto.Kind]int
+	// oracle
+	inCS    map[proto.NodeID]bool
+	waiting map[proto.NodeID]bool
+	// order of acquisitions, for FIFO checks
+	grants []proto.NodeID
+}
+
+func newHarness(t *testing.T, n int) *harness {
+	h := &harness{
+		t:       t,
+		engines: make(map[proto.NodeID]*naimi.Engine, n),
+		queues:  make(map[[2]proto.NodeID][]proto.Message),
+		counts:  make(map[proto.Kind]int),
+		inCS:    make(map[proto.NodeID]bool),
+		waiting: make(map[proto.NodeID]bool),
+	}
+	for i := 0; i < n; i++ {
+		id := proto.NodeID(i)
+		h.engines[id] = naimi.New(id, testLock, 0, i == 0, &proto.Clock{})
+	}
+	return h
+}
+
+func (h *harness) absorb(from proto.NodeID, out naimi.Out) {
+	h.t.Helper()
+	for _, m := range out.Msgs {
+		h.counts[m.Kind]++
+		key := [2]proto.NodeID{m.From, m.To}
+		h.queues[key] = append(h.queues[key], m)
+	}
+	if out.Acquired {
+		if !h.waiting[from] {
+			h.t.Fatalf("node %d acquired without waiting", from)
+		}
+		delete(h.waiting, from)
+		h.inCS[from] = true
+		h.grants = append(h.grants, from)
+		if len(h.inCS) > 1 {
+			h.t.Fatalf("MUTUAL EXCLUSION VIOLATED: %v all in CS", h.inCS)
+		}
+	}
+}
+
+func (h *harness) acquire(i int) {
+	h.t.Helper()
+	id := proto.NodeID(i)
+	h.waiting[id] = true
+	out, err := h.engines[id].Acquire()
+	if err != nil {
+		h.t.Fatalf("node %d: Acquire: %v", i, err)
+	}
+	h.absorb(id, out)
+}
+
+func (h *harness) release(i int) {
+	h.t.Helper()
+	id := proto.NodeID(i)
+	delete(h.inCS, id)
+	out, err := h.engines[id].Release()
+	if err != nil {
+		h.t.Fatalf("node %d: Release: %v", i, err)
+	}
+	h.absorb(id, out)
+}
+
+func (h *harness) drain(rng *rand.Rand) {
+	h.t.Helper()
+	for steps := 0; ; steps++ {
+		if steps > 100000 {
+			h.t.Fatal("network did not quiesce")
+		}
+		var pairs [][2]proto.NodeID
+		for k, q := range h.queues {
+			if len(q) > 0 {
+				pairs = append(pairs, k)
+			}
+		}
+		if len(pairs) == 0 {
+			return
+		}
+		sort.Slice(pairs, func(i, j int) bool {
+			if pairs[i][0] != pairs[j][0] {
+				return pairs[i][0] < pairs[j][0]
+			}
+			return pairs[i][1] < pairs[j][1]
+		})
+		idx := 0
+		if rng != nil {
+			idx = rng.Intn(len(pairs))
+		}
+		k := pairs[idx]
+		msg := h.queues[k][0]
+		h.queues[k] = h.queues[k][1:]
+		out, err := h.engines[msg.To].Handle(&msg)
+		if err != nil {
+			h.t.Fatalf("node %d: Handle: %v", msg.To, err)
+		}
+		h.absorb(msg.To, out)
+	}
+}
+
+func (h *harness) tokenCount() int {
+	n := 0
+	for _, e := range h.engines {
+		if e.HasToken() {
+			n++
+		}
+	}
+	return n
+}
+
+func TestImmediateAcquireAtRoot(t *testing.T) {
+	h := newHarness(t, 3)
+	h.acquire(0)
+	if !h.engines[0].Held() {
+		t.Fatal("root should enter CS immediately")
+	}
+	if len(h.queues) != 0 {
+		t.Fatal("no messages expected")
+	}
+	h.release(0)
+}
+
+func TestTokenHandoff(t *testing.T) {
+	h := newHarness(t, 3)
+	h.acquire(1)
+	h.drain(nil)
+	if !h.engines[1].Held() {
+		t.Fatal("node 1 should hold after handoff")
+	}
+	if h.counts[proto.KindRequest] != 1 || h.counts[proto.KindToken] != 1 {
+		t.Fatalf("counts = %v", h.counts)
+	}
+	if h.tokenCount() != 1 {
+		t.Fatal("token must be unique")
+	}
+	h.release(1)
+}
+
+func TestDistributedQueueFIFO(t *testing.T) {
+	h := newHarness(t, 4)
+	h.acquire(0)
+	h.acquire(1)
+	h.drain(nil)
+	h.acquire(2)
+	h.drain(nil)
+	h.acquire(3)
+	h.drain(nil)
+	// Nodes 1, 2, 3 wait in a distributed queue threaded by next pointers.
+	h.release(0)
+	h.drain(nil)
+	h.release(1)
+	h.drain(nil)
+	h.release(2)
+	h.drain(nil)
+	h.release(3)
+	want := []proto.NodeID{0, 1, 2, 3}
+	if len(h.grants) != len(want) {
+		t.Fatalf("grants = %v", h.grants)
+	}
+	for i := range want {
+		if h.grants[i] != want[i] {
+			t.Fatalf("FIFO violated: grants = %v", h.grants)
+		}
+	}
+}
+
+func TestPathReversalShortensPaths(t *testing.T) {
+	// Chain 0(token) ← 1 ← 2 ← 3 ← 4: node 4's first request takes 4 hops
+	// and reverses every pointer toward 4.
+	h := newHarness(t, 5)
+	for i := 1; i < 5; i++ {
+		h.engines[proto.NodeID(i)] = naimi.New(proto.NodeID(i), testLock, proto.NodeID(i-1), false, &proto.Clock{})
+	}
+	h.acquire(4)
+	h.drain(nil)
+	if got := h.counts[proto.KindRequest]; got != 4 {
+		t.Fatalf("first request: %d hops, want 4", got)
+	}
+	h.release(4)
+	// Now every node on the path points at 4: one hop each.
+	before := h.counts[proto.KindRequest]
+	h.acquire(2)
+	h.drain(nil)
+	if got := h.counts[proto.KindRequest] - before; got != 1 {
+		t.Fatalf("post-reversal request: %d hops, want 1", got)
+	}
+	h.release(2)
+}
+
+func TestErrors(t *testing.T) {
+	h := newHarness(t, 2)
+	e := h.engines[0]
+	if _, err := e.Release(); err == nil {
+		t.Error("release while not held must fail")
+	}
+	h.acquire(0)
+	if _, err := e.Acquire(); err == nil {
+		t.Error("double acquire must fail")
+	}
+	h.release(0)
+	h.acquire(1) // request in flight
+	if _, err := h.engines[1].Acquire(); err == nil {
+		t.Error("acquire while requesting must fail")
+	}
+	if _, err := e.Handle(&proto.Message{Kind: proto.KindToken, Lock: testLock}); err == nil {
+		t.Error("unsolicited token must error")
+	}
+	if _, err := e.Handle(&proto.Message{Kind: proto.KindGrant, Lock: testLock}); err == nil {
+		t.Error("unknown kind must error")
+	}
+	if _, err := e.Handle(&proto.Message{Kind: proto.KindRequest, Lock: 99}); err == nil {
+		t.Error("wrong lock must error")
+	}
+	h.drain(nil)
+	h.release(1)
+}
+
+func TestFuzz(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		seed := seed
+		t.Run(fmt.Sprint(seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			n := 3 + rng.Intn(10)
+			h := newHarness(t, n)
+			for step := 0; step < 3000; step++ {
+				var pairs [][2]proto.NodeID
+				for k, q := range h.queues {
+					if len(q) > 0 {
+						pairs = append(pairs, k)
+					}
+				}
+				if len(pairs) > 0 && rng.Intn(100) < 60 {
+					k := pairs[rng.Intn(len(pairs))]
+					msg := h.queues[k][0]
+					h.queues[k] = h.queues[k][1:]
+					out, err := h.engines[msg.To].Handle(&msg)
+					if err != nil {
+						t.Fatalf("handle: %v", err)
+					}
+					h.absorb(msg.To, out)
+					continue
+				}
+				id := proto.NodeID(rng.Intn(n))
+				e := h.engines[id]
+				switch {
+				case e.Held() && rng.Intn(100) < 70:
+					h.release(int(id))
+				case !e.Held() && !e.Requesting() && rng.Intn(100) < 60:
+					h.acquire(int(id))
+				}
+			}
+			// Wind down.
+			for round := 0; round < 10*n+100; round++ {
+				h.drain(rng)
+				done := true
+				for id, e := range h.engines {
+					if e.Held() {
+						h.release(int(id))
+						done = false
+					}
+				}
+				if done && len(h.waiting) == 0 {
+					break
+				}
+			}
+			if len(h.waiting) > 0 {
+				for _, e := range h.engines {
+					t.Logf("%v", e)
+				}
+				t.Fatalf("starved requests: %v", h.waiting)
+			}
+			if h.tokenCount() != 1 {
+				t.Fatalf("token count = %d", h.tokenCount())
+			}
+		})
+	}
+}
+
+// TestPaperFigure1 replays the paper's §2 walkthrough of Naimi's
+// algorithm: T holds the token; A's request travels B→T (reversing both
+// to A); C's request travels B→A; T passes the token to A on release,
+// then A to C.
+func TestPaperFigure1(t *testing.T) {
+	// Topology from the figure: T is the root; A, B, C, D point at it
+	// through B: A→B→T, C→B, D→T.
+	h := newHarness(t, 5)
+	const T, A, B, C, D = 0, 1, 2, 3, 4
+	h.engines[A] = naimi.New(A, testLock, B, false, &proto.Clock{})
+	h.engines[B] = naimi.New(B, testLock, T, false, &proto.Clock{})
+	h.engines[C] = naimi.New(C, testLock, B, false, &proto.Clock{})
+	h.engines[D] = naimi.New(D, testLock, T, false, &proto.Clock{})
+
+	// T is inside its critical section.
+	h.acquire(T)
+
+	// A requests: the request follows B to T; B's probable owner becomes
+	// A; T records next = A.
+	h.acquire(A)
+	h.drain(nil)
+	if got := h.engines[B].Father(); got != A {
+		t.Fatalf("B's probable owner = %d, want A (path reversal)", got)
+	}
+	if got := h.engines[T].Next(); got != A {
+		t.Fatalf("T's next = %d, want A", got)
+	}
+
+	// C requests: B now forwards to A, whose next becomes C.
+	h.acquire(C)
+	h.drain(nil)
+	if got := h.engines[B].Father(); got != C {
+		t.Fatalf("B's probable owner = %d, want C", got)
+	}
+	if got := h.engines[A].Next(); got != C {
+		t.Fatalf("A's next = %d, want C", got)
+	}
+
+	// T releases: the token goes to A; A releases: it goes to C.
+	h.release(T)
+	h.drain(nil)
+	if !h.engines[A].Held() {
+		t.Fatal("A should hold after T's release")
+	}
+	h.release(A)
+	h.drain(nil)
+	if !h.engines[C].Held() {
+		t.Fatal("C should hold after A's release")
+	}
+	h.release(C)
+	if want := []proto.NodeID{T, A, C}; len(h.grants) != 3 ||
+		h.grants[0] != want[0] || h.grants[1] != want[1] || h.grants[2] != want[2] {
+		t.Fatalf("grant order = %v, want %v", h.grants, want)
+	}
+}

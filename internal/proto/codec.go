@@ -1,0 +1,186 @@
+package proto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"hierlock/internal/modes"
+)
+
+// Wire format: every message is a length-prefixed frame
+//
+//	uint32  payload length (big endian)
+//	payload as encoded by AppendMessage
+//
+// The payload layout is fixed-width fields in network byte order followed
+// by the request queue. The format is versioned by a leading magic byte so
+// incompatible peers fail fast instead of mis-parsing.
+
+const (
+	wireVersion byte = 1
+
+	// MaxQueueLen bounds the queue length accepted from the wire; a token
+	// transfer can carry at most one outstanding request per node, so any
+	// real deployment is far below this.
+	MaxQueueLen = 1 << 20
+
+	// MaxFrameSize bounds the total frame size accepted from the wire.
+	MaxFrameSize = 32 << 20
+)
+
+// Encoding errors.
+var (
+	ErrBadFrame   = errors.New("proto: malformed frame")
+	ErrBadVersion = errors.New("proto: wire version mismatch")
+	ErrTooLarge   = errors.New("proto: frame exceeds size limit")
+)
+
+// AppendMessage appends the binary encoding of m to dst and returns the
+// extended slice. The encoding is deterministic.
+func AppendMessage(dst []byte, m *Message) []byte {
+	dst = append(dst, wireVersion, byte(m.Kind))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(m.Lock))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(m.From))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(m.To))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(m.TS))
+	dst = binary.BigEndian.AppendUint64(dst, m.Seq)
+	dst = append(dst, byte(m.Mode), byte(m.Owned), byte(m.Frozen))
+	dst = appendRequest(dst, m.Req)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(m.Queue)))
+	for _, r := range m.Queue {
+		dst = appendRequest(dst, r)
+	}
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(m.Vec)))
+	for _, v := range m.Vec {
+		dst = binary.BigEndian.AppendUint64(dst, v)
+	}
+	return dst
+}
+
+func appendRequest(dst []byte, r Request) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(r.Origin))
+	dst = append(dst, byte(r.Mode), r.Priority)
+	dst = binary.BigEndian.AppendUint64(dst, uint64(r.TS))
+	return dst
+}
+
+const (
+	headerLen  = 2 + 8 + 4 + 4 + 8 + 8 + 3 // version..frozen
+	requestLen = 4 + 1 + 1 + 8             // origin, mode, priority, ts
+)
+
+// DecodeMessage parses one message from buf (the full payload of a frame).
+func DecodeMessage(buf []byte) (*Message, error) {
+	if len(buf) < headerLen+requestLen+4 {
+		return nil, fmt.Errorf("%w: short payload (%d bytes)", ErrBadFrame, len(buf))
+	}
+	if buf[0] != wireVersion {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrBadVersion, buf[0], wireVersion)
+	}
+	m := &Message{}
+	m.Kind = Kind(buf[1])
+	if m.Kind == KindInvalid || m.Kind > KindFreeze {
+		return nil, fmt.Errorf("%w: unknown kind %d", ErrBadFrame, buf[1])
+	}
+	m.Lock = LockID(binary.BigEndian.Uint64(buf[2:]))
+	m.From = NodeID(int32(binary.BigEndian.Uint32(buf[10:])))
+	m.To = NodeID(int32(binary.BigEndian.Uint32(buf[14:])))
+	m.TS = Timestamp(binary.BigEndian.Uint64(buf[18:]))
+	m.Seq = binary.BigEndian.Uint64(buf[26:])
+	m.Mode = modes.Mode(buf[34])
+	m.Owned = modes.Mode(buf[35])
+	m.Frozen = modes.Set(buf[36])
+	if !m.Mode.Valid() || !m.Owned.Valid() {
+		return nil, fmt.Errorf("%w: invalid mode byte", ErrBadFrame)
+	}
+	var err error
+	rest := buf[headerLen:]
+	m.Req, rest, err = decodeRequest(rest)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) < 4 {
+		return nil, fmt.Errorf("%w: missing queue length", ErrBadFrame)
+	}
+	n := binary.BigEndian.Uint32(rest)
+	rest = rest[4:]
+	if n > MaxQueueLen {
+		return nil, fmt.Errorf("%w: queue length %d", ErrTooLarge, n)
+	}
+	if n > 0 {
+		m.Queue = make([]Request, 0, n)
+		for i := uint32(0); i < n; i++ {
+			var r Request
+			r, rest, err = decodeRequest(rest)
+			if err != nil {
+				return nil, err
+			}
+			m.Queue = append(m.Queue, r)
+		}
+	}
+	if len(rest) < 4 {
+		return nil, fmt.Errorf("%w: missing vector length", ErrBadFrame)
+	}
+	vn := binary.BigEndian.Uint32(rest)
+	rest = rest[4:]
+	if vn > MaxQueueLen {
+		return nil, fmt.Errorf("%w: vector length %d", ErrTooLarge, vn)
+	}
+	if vn > 0 {
+		if uint64(len(rest)) < uint64(vn)*8 {
+			return nil, fmt.Errorf("%w: truncated vector", ErrBadFrame)
+		}
+		m.Vec = make([]uint64, vn)
+		for i := range m.Vec {
+			m.Vec[i] = binary.BigEndian.Uint64(rest)
+			rest = rest[8:]
+		}
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadFrame, len(rest))
+	}
+	return m, nil
+}
+
+func decodeRequest(buf []byte) (Request, []byte, error) {
+	if len(buf) < requestLen {
+		return Request{}, nil, fmt.Errorf("%w: short request", ErrBadFrame)
+	}
+	r := Request{
+		Origin:   NodeID(int32(binary.BigEndian.Uint32(buf))),
+		Mode:     modes.Mode(buf[4]),
+		Priority: buf[5],
+		TS:       Timestamp(binary.BigEndian.Uint64(buf[6:])),
+	}
+	if !r.Mode.Valid() {
+		return Request{}, nil, fmt.Errorf("%w: invalid request mode", ErrBadFrame)
+	}
+	return r, buf[requestLen:], nil
+}
+
+// WriteFrame writes one length-prefixed message frame to w.
+func WriteFrame(w io.Writer, m *Message) error {
+	payload := AppendMessage(make([]byte, 4, 64+requestLen*len(m.Queue)), m)
+	binary.BigEndian.PutUint32(payload[:4], uint32(len(payload)-4))
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one length-prefixed message frame from r.
+func ReadFrame(r io.Reader) (*Message, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n > MaxFrameSize {
+		return nil, fmt.Errorf("%w: frame of %d bytes", ErrTooLarge, n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return DecodeMessage(buf)
+}

@@ -1,0 +1,35 @@
+package proto
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzDecodeMessage feeds arbitrary bytes to the wire decoder: it must
+// never panic, and everything it accepts must re-encode to the identical
+// byte string (the codec is canonical).
+func FuzzDecodeMessage(f *testing.F) {
+	for _, m := range sampleMessages() {
+		f.Add(AppendMessage(nil, m))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{1})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeMessage(data)
+		if err != nil {
+			return
+		}
+		re := AppendMessage(nil, m)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("decode/encode not canonical:\n in: %x\nout: %x", data, re)
+		}
+		// And the re-decode must agree.
+		m2, err := DecodeMessage(re)
+		if err != nil || !reflect.DeepEqual(m, m2) {
+			t.Fatalf("re-decode mismatch: %v / %+v vs %+v", err, m, m2)
+		}
+	})
+}

@@ -1,0 +1,152 @@
+// Package proto defines the wire-level vocabulary of the hierarchical
+// locking protocol: node and lock identifiers, Lamport timestamps, the five
+// protocol message kinds (request, grant, token, release, freeze), and a
+// compact deterministic binary codec used by the TCP transport.
+//
+// The package is shared by the protocol engines (internal/hlock,
+// internal/naimi), the simulator, and the live transports. It contains no
+// protocol logic.
+package proto
+
+import "hierlock/internal/modes"
+
+// NodeID identifies a participant. IDs are small dense integers assigned
+// by the cluster configuration; they double as slice indices in the
+// simulator.
+type NodeID int32
+
+// NoNode is the absent node (e.g. the parent of the token node).
+const NoNode NodeID = -1
+
+// LockID identifies one lock (one protocol instance). The cluster layer
+// maps resource names to LockIDs.
+type LockID uint64
+
+// Timestamp is a Lamport logical timestamp used to merge request queues
+// while preserving FIFO ordering (paper §3, footnote c, via [11]).
+type Timestamp uint64
+
+// Clock is a Lamport logical clock. The zero value is ready to use.
+// Clock is not safe for concurrent use; each node's engine loop owns one.
+type Clock struct {
+	now Timestamp
+}
+
+// Tick advances the clock for a local event and returns the new time.
+func (c *Clock) Tick() Timestamp {
+	c.now++
+	return c.now
+}
+
+// Witness merges an observed remote timestamp into the clock.
+func (c *Clock) Witness(t Timestamp) {
+	if t > c.now {
+		c.now = t
+	}
+	c.now++
+}
+
+// Now returns the current clock value without advancing it.
+func (c *Clock) Now() Timestamp { return c.now }
+
+// Kind discriminates protocol messages.
+type Kind uint8
+
+// The protocol message kinds. These are exactly the five message types
+// whose counts the paper breaks down in Figure 7.
+const (
+	KindInvalid Kind = iota
+	KindRequest      // lock request propagating toward a granter
+	KindGrant        // copy grant from a (token or non-token) granter
+	KindToken        // token transfer, carrying the merged request queue
+	KindRelease      // owned-mode weakening notification to the parent
+	KindFreeze       // frozen-mode set push from the token toward granters
+)
+
+// String returns the figure-7 label for the message kind.
+func (k Kind) String() string {
+	switch k {
+	case KindRequest:
+		return "request"
+	case KindGrant:
+		return "grant"
+	case KindToken:
+		return "token"
+	case KindRelease:
+		return "release"
+	case KindFreeze:
+		return "freeze"
+	default:
+		return "invalid"
+	}
+}
+
+// Request is a pending lock request as it travels through the tree and
+// sits in local queues. Origin, TS and Priority never change as the
+// request is forwarded.
+type Request struct {
+	Origin NodeID
+	Mode   modes.Mode
+	TS     Timestamp
+	// Priority arbitrates queue order at the token node: higher values
+	// are served first; equal priorities are FIFO by arrival. Zero is the
+	// default (pure FIFO, the paper's base protocol); nonzero values
+	// implement the strict priority ordering of Mueller's prioritized
+	// token protocols that the paper builds on.
+	Priority uint8
+}
+
+// Less orders requests by priority (higher first), then Lamport time,
+// then origin. Queues use arrival order within a priority level; Less is
+// the tie-breaking total order for deterministic merges in tests.
+func (r Request) Less(o Request) bool {
+	if r.Priority != o.Priority {
+		return r.Priority > o.Priority
+	}
+	if r.TS != o.TS {
+		return r.TS < o.TS
+	}
+	return r.Origin < o.Origin
+}
+
+// Message is one protocol message. A single struct (rather than an
+// interface per kind) keeps the simulator allocation-free on the hot path
+// and the codec trivial; unused fields are zero.
+type Message struct {
+	Kind Kind
+	Lock LockID
+	From NodeID
+	To   NodeID
+	TS   Timestamp // sender's Lamport time at send
+
+	// KindRequest: the request being routed (Req.Origin may differ from
+	// From when the request has been forwarded).
+	Req Request
+
+	// KindGrant: Mode is the granted mode; Frozen is the granter's frozen
+	// set, inherited by the new child.
+	// KindToken: Mode is the mode being granted by transfer; Owned is the
+	// old token node's remaining owned mode (None if it keeps nothing, in
+	// which case it does not join the new token's copyset); Queue is the
+	// old token's outstanding queue; Frozen is carried for inheritance.
+	// KindRelease: Owned is the child's new (weakened) owned mode.
+	// KindFreeze: Frozen is the full replacement frozen set.
+	Mode   modes.Mode
+	Owned  modes.Mode
+	Frozen modes.Set
+	Queue  []Request
+
+	// Seq is a per-(granter, grantee) sequence number: on KindGrant it
+	// numbers the grant; on KindRelease it acknowledges the highest grant
+	// sequence the releasing child has received from the addressee. It
+	// lets a parent detect a release that crossed an in-flight grant and
+	// fold the granted mode back into the child's recorded owned mode
+	// (see internal/hlock). The Suzuki–Kasami baseline reuses it as the
+	// request sequence number.
+	Seq uint64
+
+	// Vec is an optional per-node counter vector, used by the
+	// Suzuki–Kasami baseline to ship the token's LN array. Empty for the
+	// hierarchical protocol.
+	Vec []uint64
+}

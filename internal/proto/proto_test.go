@@ -1,0 +1,225 @@
+package proto
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"hierlock/internal/modes"
+)
+
+func TestClock(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatal("zero clock must read 0")
+	}
+	if c.Tick() != 1 || c.Tick() != 2 {
+		t.Fatal("Tick must increment")
+	}
+	c.Witness(10)
+	if c.Now() != 11 {
+		t.Fatalf("Witness(10) then Now = %d, want 11", c.Now())
+	}
+	c.Witness(3) // older timestamp still advances by one
+	if c.Now() != 12 {
+		t.Fatalf("Witness(3) then Now = %d, want 12", c.Now())
+	}
+}
+
+func TestRequestLess(t *testing.T) {
+	a := Request{Origin: 1, TS: 5}
+	b := Request{Origin: 2, TS: 5}
+	c := Request{Origin: 0, TS: 6}
+	if !a.Less(b) || b.Less(a) {
+		t.Error("tie must break by origin")
+	}
+	if !a.Less(c) || c.Less(a) {
+		t.Error("lower TS must order first")
+	}
+	if a.Less(a) {
+		t.Error("irreflexive")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	want := map[Kind]string{
+		KindRequest: "request", KindGrant: "grant", KindToken: "token",
+		KindRelease: "release", KindFreeze: "freeze", KindInvalid: "invalid",
+		Kind(200): "invalid",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), s)
+		}
+	}
+}
+
+func sampleMessages() []*Message {
+	return []*Message{
+		{Kind: KindRequest, Lock: 7, From: 3, To: 4, TS: 99,
+			Req: Request{Origin: 3, Mode: modes.W, TS: 98}},
+		{Kind: KindGrant, Lock: 1, From: 0, To: 5, TS: 1, Seq: 17,
+			Mode: modes.R, Frozen: modes.MakeSet(modes.IW, modes.W)},
+		{Kind: KindRelease, Lock: 3, From: 5, To: 0, TS: 2, Seq: ^uint64(0),
+			Owned: modes.IR},
+		{Kind: KindToken, Lock: 2, From: 9, To: 1, TS: 1234,
+			Mode: modes.W, Owned: modes.IR,
+			Queue: []Request{
+				{Origin: 2, Mode: modes.IR, TS: 7},
+				{Origin: 8, Mode: modes.U, TS: 11, Priority: 2},
+			},
+			Vec: []uint64{0, 5, ^uint64(0), 17}},
+		{Kind: KindRelease, Lock: 0, From: 2, To: 0, TS: 5, Owned: modes.None},
+		{Kind: KindFreeze, Lock: 88, From: 0, To: 6, TS: 42,
+			Frozen: modes.MakeSet(modes.IR, modes.R, modes.U, modes.IW, modes.W)},
+		{Kind: KindRequest, Lock: ^LockID(0), From: NoNode, To: NoNode, TS: ^Timestamp(0) - 1,
+			Req: Request{Origin: NoNode, Mode: modes.None, TS: 0}},
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	for i, m := range sampleMessages() {
+		buf := AppendMessage(nil, m)
+		got, err := DecodeMessage(buf)
+		if err != nil {
+			t.Fatalf("msg %d: decode: %v", i, err)
+		}
+		if !reflect.DeepEqual(m, got) {
+			t.Errorf("msg %d: round trip mismatch:\n in: %+v\nout: %+v", i, m, got)
+		}
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := sampleMessages()
+	for _, m := range msgs {
+		if err := WriteFrame(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range msgs {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("frame %d mismatch", i)
+		}
+	}
+	if buf.Len() != 0 {
+		t.Errorf("%d leftover bytes", buf.Len())
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	valid := AppendMessage(nil, sampleMessages()[0])
+
+	cases := map[string][]byte{
+		"empty":        {},
+		"short":        valid[:5],
+		"bad version":  append([]byte{99}, valid[1:]...),
+		"bad kind":     func() []byte { b := bytes.Clone(valid); b[1] = 200; return b }(),
+		"bad mode":     func() []byte { b := bytes.Clone(valid); b[34] = 77; return b }(),
+		"bad owned":    func() []byte { b := bytes.Clone(valid); b[35] = 77; return b }(),
+		"trailing":     append(bytes.Clone(valid), 0),
+		"truncated":    valid[:len(valid)-2],
+		"bad req mode": func() []byte { b := bytes.Clone(valid); b[headerLen+4] = 99; return b }(),
+	}
+	for name, buf := range cases {
+		if _, err := DecodeMessage(buf); err == nil {
+			t.Errorf("%s: decode accepted malformed input", name)
+		}
+	}
+}
+
+func TestReadFrameRejectsOversize(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff})
+	if _, err := ReadFrame(&buf); err == nil {
+		t.Error("oversize frame accepted")
+	}
+}
+
+func TestDecodeRejectsHugeQueue(t *testing.T) {
+	m := sampleMessages()[0]
+	buf := AppendMessage(nil, m)
+	// Patch the queue length field (last 4 bytes before queue entries; this
+	// message has an empty queue so it is the final 4 bytes).
+	buf[len(buf)-4] = 0xff
+	buf[len(buf)-3] = 0xff
+	buf[len(buf)-2] = 0xff
+	buf[len(buf)-1] = 0xff
+	if _, err := DecodeMessage(buf); err == nil {
+		t.Error("huge queue length accepted")
+	}
+}
+
+// TestQuickCodec fuzzes round-tripping of randomly generated messages.
+func TestQuickCodec(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	randMode := func() modes.Mode { return modes.Mode(rng.Intn(6)) }
+	f := func(lock uint64, from, to int32, ts uint64, frozen uint8, qn uint8) bool {
+		m := &Message{
+			Kind:   Kind(1 + rng.Intn(5)),
+			Lock:   LockID(lock),
+			From:   NodeID(from),
+			To:     NodeID(to),
+			TS:     Timestamp(ts),
+			Mode:   randMode(),
+			Owned:  randMode(),
+			Frozen: modes.Set(frozen & 0x3e), // only bits for IR..W
+			Req:    Request{Origin: NodeID(from), Mode: randMode(), TS: Timestamp(ts)},
+		}
+		for i := 0; i < int(qn%8); i++ {
+			m.Queue = append(m.Queue, Request{
+				Origin: NodeID(rng.Int31()),
+				Mode:   randMode(),
+				TS:     Timestamp(rng.Uint64()),
+			})
+		}
+		got, err := DecodeMessage(AppendMessage(nil, m))
+		return err == nil && reflect.DeepEqual(m, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEncodeMessage(b *testing.B) {
+	m := &Message{
+		Kind: KindToken, Lock: 99, From: 3, To: 7, TS: 123456, Seq: 42,
+		Mode: modes.W, Owned: modes.IR, Frozen: modes.MakeSet(modes.IW),
+		Queue: []Request{
+			{Origin: 1, Mode: modes.R, TS: 10},
+			{Origin: 2, Mode: modes.U, TS: 11, Priority: 3},
+		},
+	}
+	buf := make([]byte, 0, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = AppendMessage(buf[:0], m)
+	}
+}
+
+func BenchmarkDecodeMessage(b *testing.B) {
+	m := &Message{
+		Kind: KindToken, Lock: 99, From: 3, To: 7, TS: 123456, Seq: 42,
+		Mode: modes.W, Owned: modes.IR, Frozen: modes.MakeSet(modes.IW),
+		Queue: []Request{
+			{Origin: 1, Mode: modes.R, TS: 10},
+			{Origin: 2, Mode: modes.U, TS: 11, Priority: 3},
+		},
+	}
+	buf := AppendMessage(nil, m)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeMessage(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,285 @@
+package raymond_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"hierlock/internal/proto"
+	"hierlock/internal/raymond"
+)
+
+const testLock proto.LockID = 1
+
+type harness struct {
+	t       *testing.T
+	engines map[proto.NodeID]*raymond.Engine
+	queues  map[[2]proto.NodeID][]proto.Message
+	counts  map[proto.Kind]int
+	inCS    map[proto.NodeID]bool
+	waiting map[proto.NodeID]bool
+	grants  []proto.NodeID
+}
+
+// newHarness builds n nodes on a balanced binary tree rooted at node 0,
+// which starts with the token.
+func newHarness(t *testing.T, n int) *harness {
+	h := &harness{
+		t:       t,
+		engines: make(map[proto.NodeID]*raymond.Engine, n),
+		queues:  make(map[[2]proto.NodeID][]proto.Message),
+		counts:  make(map[proto.Kind]int),
+		inCS:    make(map[proto.NodeID]bool),
+		waiting: make(map[proto.NodeID]bool),
+	}
+	for i := 0; i < n; i++ {
+		id := proto.NodeID(i)
+		h.engines[id] = raymond.New(id, testLock, raymond.BinaryTreeHolder(id), &proto.Clock{})
+	}
+	return h
+}
+
+func (h *harness) absorb(from proto.NodeID, out raymond.Out) {
+	h.t.Helper()
+	for _, m := range out.Msgs {
+		h.counts[m.Kind]++
+		key := [2]proto.NodeID{m.From, m.To}
+		h.queues[key] = append(h.queues[key], m)
+	}
+	if out.Acquired {
+		if !h.waiting[from] {
+			h.t.Fatalf("node %d acquired without waiting", from)
+		}
+		delete(h.waiting, from)
+		h.inCS[from] = true
+		h.grants = append(h.grants, from)
+		if len(h.inCS) > 1 {
+			h.t.Fatalf("MUTUAL EXCLUSION VIOLATED: %v in CS", h.inCS)
+		}
+	}
+}
+
+func (h *harness) acquire(i int) {
+	h.t.Helper()
+	id := proto.NodeID(i)
+	h.waiting[id] = true
+	out, err := h.engines[id].Acquire()
+	if err != nil {
+		h.t.Fatalf("node %d: Acquire: %v", i, err)
+	}
+	h.absorb(id, out)
+}
+
+func (h *harness) release(i int) {
+	h.t.Helper()
+	id := proto.NodeID(i)
+	delete(h.inCS, id)
+	out, err := h.engines[id].Release()
+	if err != nil {
+		h.t.Fatalf("node %d: Release: %v", i, err)
+	}
+	h.absorb(id, out)
+}
+
+func (h *harness) drain(rng *rand.Rand) {
+	h.t.Helper()
+	for steps := 0; ; steps++ {
+		if steps > 100000 {
+			h.t.Fatal("network did not quiesce")
+		}
+		var pairs [][2]proto.NodeID
+		for k, q := range h.queues {
+			if len(q) > 0 {
+				pairs = append(pairs, k)
+			}
+		}
+		if len(pairs) == 0 {
+			return
+		}
+		sort.Slice(pairs, func(i, j int) bool {
+			if pairs[i][0] != pairs[j][0] {
+				return pairs[i][0] < pairs[j][0]
+			}
+			return pairs[i][1] < pairs[j][1]
+		})
+		idx := 0
+		if rng != nil {
+			idx = rng.Intn(len(pairs))
+		}
+		k := pairs[idx]
+		msg := h.queues[k][0]
+		h.queues[k] = h.queues[k][1:]
+		out, err := h.engines[msg.To].Handle(&msg)
+		if err != nil {
+			h.t.Fatalf("node %d: Handle: %v", msg.To, err)
+		}
+		h.absorb(msg.To, out)
+	}
+}
+
+func (h *harness) tokens() int {
+	n := 0
+	for _, e := range h.engines {
+		if e.HasToken() {
+			n++
+		}
+	}
+	return n
+}
+
+func TestRootAcquiresLocally(t *testing.T) {
+	h := newHarness(t, 7)
+	h.acquire(0)
+	if !h.engines[0].Held() || len(h.queues) != 0 {
+		t.Fatal("root should enter message-free")
+	}
+	h.release(0)
+}
+
+func TestTokenTravelsTreeEdges(t *testing.T) {
+	h := newHarness(t, 7)
+	// Node 5's parent chain: 5 → 2 → 0. Token travels back edge by edge.
+	h.acquire(5)
+	h.drain(nil)
+	if !h.engines[5].Held() {
+		t.Fatalf("node 5 should hold; %v", h.engines[5])
+	}
+	// Requests: 5→2, 2→0. Tokens: 0→2, 2→5.
+	if h.counts[proto.KindRequest] != 2 || h.counts[proto.KindToken] != 2 {
+		t.Fatalf("counts = %v, want 2 requests + 2 tokens", h.counts)
+	}
+	// Holder pointers reversed along the path.
+	if h.engines[0].Holder() != 2 || h.engines[2].Holder() != 5 {
+		t.Fatalf("holders: 0→%d 2→%d", h.engines[0].Holder(), h.engines[2].Holder())
+	}
+	h.release(5)
+	h.drain(nil)
+	// The tree is static: node 1 must route via 0, which now points at 2.
+	h.acquire(1)
+	h.drain(nil)
+	if !h.engines[1].Held() {
+		t.Fatal("node 1 starved")
+	}
+	h.release(1)
+}
+
+func TestQueuedNeighborsServedInOrder(t *testing.T) {
+	h := newHarness(t, 3) // 0 root; 1, 2 children of 0
+	h.acquire(0)
+	h.acquire(1)
+	h.acquire(2)
+	h.drain(nil)
+	h.release(0)
+	h.drain(nil)
+	if !h.engines[1].Held() {
+		t.Fatalf("node 1 should be served first: %v", h.grants)
+	}
+	h.release(1)
+	h.drain(nil)
+	if !h.engines[2].Held() {
+		t.Fatal("node 2 should be served second")
+	}
+	h.release(2)
+	h.drain(nil)
+	if h.tokens() != 1 {
+		t.Fatalf("tokens = %d", h.tokens())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	h := newHarness(t, 3)
+	e := h.engines[0]
+	if _, err := e.Release(); err == nil {
+		t.Error("release while not held must fail")
+	}
+	h.acquire(0)
+	if _, err := e.Acquire(); err == nil {
+		t.Error("double acquire must fail")
+	}
+	h.release(0)
+	h.acquire(1)
+	if _, err := h.engines[1].Acquire(); err == nil {
+		t.Error("acquire while requesting must fail")
+	}
+	if _, err := e.Handle(&proto.Message{Kind: proto.KindGrant, Lock: testLock}); err == nil {
+		t.Error("unexpected kind must fail")
+	}
+	if _, err := e.Handle(&proto.Message{Kind: proto.KindRequest, Lock: 9}); err == nil {
+		t.Error("wrong lock must fail")
+	}
+	h.drain(nil)
+	h.release(1)
+	if h.engines[1].String() == "" {
+		t.Error("String must render")
+	}
+}
+
+func TestBinaryTreeHolder(t *testing.T) {
+	want := map[proto.NodeID]proto.NodeID{0: 0, 1: 0, 2: 0, 3: 1, 4: 1, 5: 2, 6: 2, 7: 3}
+	for id, parent := range want {
+		if got := raymond.BinaryTreeHolder(id); got != parent {
+			t.Errorf("parent(%d) = %d, want %d", id, got, parent)
+		}
+	}
+}
+
+func TestFuzz(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		seed := seed
+		t.Run(fmt.Sprint(seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			n := 3 + rng.Intn(12)
+			h := newHarness(t, n)
+			for step := 0; step < 2500; step++ {
+				var pairs [][2]proto.NodeID
+				for k, q := range h.queues {
+					if len(q) > 0 {
+						pairs = append(pairs, k)
+					}
+				}
+				if len(pairs) > 0 && rng.Intn(100) < 60 {
+					k := pairs[rng.Intn(len(pairs))]
+					msg := h.queues[k][0]
+					h.queues[k] = h.queues[k][1:]
+					out, err := h.engines[msg.To].Handle(&msg)
+					if err != nil {
+						t.Fatalf("handle: %v", err)
+					}
+					h.absorb(msg.To, out)
+					continue
+				}
+				id := proto.NodeID(rng.Intn(n))
+				e := h.engines[id]
+				switch {
+				case e.Held() && rng.Intn(100) < 70:
+					h.release(int(id))
+				case !e.Held() && !e.Requesting() && rng.Intn(100) < 60:
+					h.acquire(int(id))
+				}
+			}
+			for round := 0; round < 10*n+100; round++ {
+				h.drain(rng)
+				done := true
+				for id, e := range h.engines {
+					if e.Held() {
+						h.release(int(id))
+						done = false
+					}
+				}
+				if done && len(h.waiting) == 0 {
+					break
+				}
+			}
+			if len(h.waiting) > 0 {
+				for _, e := range h.engines {
+					t.Logf("%v", e)
+				}
+				t.Fatalf("starved: %v", h.waiting)
+			}
+			if h.tokens() != 1 {
+				t.Fatalf("tokens = %d", h.tokens())
+			}
+		})
+	}
+}

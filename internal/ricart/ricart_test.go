@@ -1,0 +1,275 @@
+package ricart_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"hierlock/internal/proto"
+	"hierlock/internal/ricart"
+)
+
+const testLock proto.LockID = 1
+
+type harness struct {
+	t       *testing.T
+	n       int
+	engines map[proto.NodeID]*ricart.Engine
+	queues  map[[2]proto.NodeID][]proto.Message
+	counts  map[proto.Kind]int
+	inCS    map[proto.NodeID]bool
+	waiting map[proto.NodeID]bool
+}
+
+func newHarness(t *testing.T, n int) *harness {
+	h := &harness{
+		t:       t,
+		n:       n,
+		engines: make(map[proto.NodeID]*ricart.Engine, n),
+		queues:  make(map[[2]proto.NodeID][]proto.Message),
+		counts:  make(map[proto.Kind]int),
+		inCS:    make(map[proto.NodeID]bool),
+		waiting: make(map[proto.NodeID]bool),
+	}
+	for i := 0; i < n; i++ {
+		id := proto.NodeID(i)
+		h.engines[id] = ricart.New(id, testLock, n, &proto.Clock{})
+	}
+	return h
+}
+
+func (h *harness) absorb(from proto.NodeID, out ricart.Out) {
+	h.t.Helper()
+	for _, m := range out.Msgs {
+		h.counts[m.Kind]++
+		key := [2]proto.NodeID{m.From, m.To}
+		h.queues[key] = append(h.queues[key], m)
+	}
+	if out.Acquired {
+		if !h.waiting[from] {
+			h.t.Fatalf("node %d acquired without waiting", from)
+		}
+		delete(h.waiting, from)
+		h.inCS[from] = true
+		if len(h.inCS) > 1 {
+			h.t.Fatalf("MUTUAL EXCLUSION VIOLATED: %v in CS", h.inCS)
+		}
+	}
+}
+
+func (h *harness) acquire(i int) {
+	h.t.Helper()
+	id := proto.NodeID(i)
+	h.waiting[id] = true
+	out, err := h.engines[id].Acquire()
+	if err != nil {
+		h.t.Fatalf("node %d: Acquire: %v", i, err)
+	}
+	h.absorb(id, out)
+}
+
+func (h *harness) release(i int) {
+	h.t.Helper()
+	id := proto.NodeID(i)
+	delete(h.inCS, id)
+	out, err := h.engines[id].Release()
+	if err != nil {
+		h.t.Fatalf("node %d: Release: %v", i, err)
+	}
+	h.absorb(id, out)
+}
+
+func (h *harness) drain(rng *rand.Rand) {
+	h.t.Helper()
+	for steps := 0; ; steps++ {
+		if steps > 200000 {
+			h.t.Fatal("network did not quiesce")
+		}
+		var pairs [][2]proto.NodeID
+		for k, q := range h.queues {
+			if len(q) > 0 {
+				pairs = append(pairs, k)
+			}
+		}
+		if len(pairs) == 0 {
+			return
+		}
+		sort.Slice(pairs, func(i, j int) bool {
+			if pairs[i][0] != pairs[j][0] {
+				return pairs[i][0] < pairs[j][0]
+			}
+			return pairs[i][1] < pairs[j][1]
+		})
+		idx := 0
+		if rng != nil {
+			idx = rng.Intn(len(pairs))
+		}
+		k := pairs[idx]
+		msg := h.queues[k][0]
+		h.queues[k] = h.queues[k][1:]
+		out, err := h.engines[msg.To].Handle(&msg)
+		if err != nil {
+			h.t.Fatalf("node %d: Handle: %v", msg.To, err)
+		}
+		h.absorb(msg.To, out)
+	}
+}
+
+func TestSingleNodeImmediate(t *testing.T) {
+	h := newHarness(t, 1)
+	h.acquire(0)
+	if !h.engines[0].Held() || len(h.queues) != 0 {
+		t.Fatal("single node must enter immediately")
+	}
+	h.release(0)
+}
+
+func TestTwoNMinusOneMessages(t *testing.T) {
+	h := newHarness(t, 8)
+	h.acquire(3)
+	h.drain(nil)
+	if !h.engines[3].Held() {
+		t.Fatal("node 3 should hold")
+	}
+	// The defining cost: n-1 requests + n-1 replies = 2(n-1).
+	if h.counts[proto.KindRequest] != 7 || h.counts[proto.KindGrant] != 7 {
+		t.Fatalf("counts = %v, want 7 requests + 7 replies", h.counts)
+	}
+	h.release(3)
+	h.drain(nil)
+}
+
+func TestTimestampPriority(t *testing.T) {
+	h := newHarness(t, 3)
+	// Node 1 requests first (lower timestamp), node 2 after witnessing
+	// nothing — both concurrently; the (ts, id) order decides.
+	h.acquire(1)
+	h.acquire(2)
+	h.drain(nil)
+	// One of them holds; the other is deferred.
+	holders := 0
+	for _, e := range h.engines {
+		if e.Held() {
+			holders++
+		}
+	}
+	if holders != 1 {
+		t.Fatalf("holders = %d", holders)
+	}
+	// Release the holder; the other must then acquire.
+	for id, e := range h.engines {
+		if e.Held() {
+			h.release(int(id))
+		}
+	}
+	h.drain(nil)
+	holders = 0
+	for _, e := range h.engines {
+		if e.Held() {
+			holders++
+		}
+	}
+	if holders != 1 {
+		t.Fatalf("second holder = %d", holders)
+	}
+	for id, e := range h.engines {
+		if e.Held() {
+			h.release(int(id))
+		}
+	}
+	h.drain(nil)
+	if len(h.waiting) != 0 {
+		t.Fatalf("waiting = %v", h.waiting)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	h := newHarness(t, 3)
+	e := h.engines[0]
+	if _, err := e.Release(); err == nil {
+		t.Error("release while not held must fail")
+	}
+	h.acquire(0)
+	if _, err := e.Acquire(); err == nil {
+		t.Error("acquire while requesting must fail")
+	}
+	if _, err := e.Handle(&proto.Message{Kind: proto.KindToken, Lock: testLock}); err == nil {
+		t.Error("unexpected kind must fail")
+	}
+	if _, err := e.Handle(&proto.Message{Kind: proto.KindRequest, Lock: 9}); err == nil {
+		t.Error("wrong lock must fail")
+	}
+	if _, err := h.engines[1].Handle(&proto.Message{Kind: proto.KindGrant, Lock: testLock}); err == nil {
+		t.Error("unsolicited reply must fail")
+	}
+	h.drain(nil)
+	// Node 0 now holds (others replied).
+	if !e.Held() {
+		t.Fatal("node 0 should hold")
+	}
+	if _, err := e.Acquire(); err == nil {
+		t.Error("double acquire must fail")
+	}
+	h.release(0)
+	if e.String() == "" {
+		t.Error("String must render")
+	}
+}
+
+func TestFuzz(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		seed := seed
+		t.Run(fmt.Sprint(seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			n := 2 + rng.Intn(9)
+			h := newHarness(t, n)
+			for step := 0; step < 2500; step++ {
+				var pairs [][2]proto.NodeID
+				for k, q := range h.queues {
+					if len(q) > 0 {
+						pairs = append(pairs, k)
+					}
+				}
+				if len(pairs) > 0 && rng.Intn(100) < 60 {
+					k := pairs[rng.Intn(len(pairs))]
+					msg := h.queues[k][0]
+					h.queues[k] = h.queues[k][1:]
+					out, err := h.engines[msg.To].Handle(&msg)
+					if err != nil {
+						t.Fatalf("handle: %v", err)
+					}
+					h.absorb(msg.To, out)
+					continue
+				}
+				id := proto.NodeID(rng.Intn(n))
+				e := h.engines[id]
+				switch {
+				case e.Held() && rng.Intn(100) < 70:
+					h.release(int(id))
+				case !e.Held() && !e.Requesting() && rng.Intn(100) < 60:
+					h.acquire(int(id))
+				}
+			}
+			for round := 0; round < 10*n+100; round++ {
+				h.drain(rng)
+				done := true
+				for id, e := range h.engines {
+					if e.Held() {
+						h.release(int(id))
+						done = false
+					}
+				}
+				if done && len(h.waiting) == 0 {
+					break
+				}
+			}
+			if len(h.waiting) > 0 {
+				for _, e := range h.engines {
+					t.Logf("%v", e)
+				}
+				t.Fatalf("starved: %v", h.waiting)
+			}
+		})
+	}
+}

@@ -1,0 +1,296 @@
+package suzuki_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"hierlock/internal/proto"
+	"hierlock/internal/suzuki"
+)
+
+const testLock proto.LockID = 1
+
+type harness struct {
+	t       *testing.T
+	n       int
+	engines map[proto.NodeID]*suzuki.Engine
+	queues  map[[2]proto.NodeID][]proto.Message
+	counts  map[proto.Kind]int
+	inCS    map[proto.NodeID]bool
+	waiting map[proto.NodeID]bool
+}
+
+func newHarness(t *testing.T, n int) *harness {
+	h := &harness{
+		t:       t,
+		n:       n,
+		engines: make(map[proto.NodeID]*suzuki.Engine, n),
+		queues:  make(map[[2]proto.NodeID][]proto.Message),
+		counts:  make(map[proto.Kind]int),
+		inCS:    make(map[proto.NodeID]bool),
+		waiting: make(map[proto.NodeID]bool),
+	}
+	for i := 0; i < n; i++ {
+		id := proto.NodeID(i)
+		h.engines[id] = suzuki.New(id, testLock, n, i == 0, &proto.Clock{})
+	}
+	return h
+}
+
+func (h *harness) absorb(from proto.NodeID, out suzuki.Out) {
+	h.t.Helper()
+	for _, m := range out.Msgs {
+		h.counts[m.Kind]++
+		key := [2]proto.NodeID{m.From, m.To}
+		h.queues[key] = append(h.queues[key], m)
+	}
+	if out.Acquired {
+		if !h.waiting[from] {
+			h.t.Fatalf("node %d acquired without waiting", from)
+		}
+		delete(h.waiting, from)
+		h.inCS[from] = true
+		if len(h.inCS) > 1 {
+			h.t.Fatalf("MUTUAL EXCLUSION VIOLATED: %v in CS", h.inCS)
+		}
+	}
+}
+
+func (h *harness) acquire(i int) {
+	h.t.Helper()
+	id := proto.NodeID(i)
+	h.waiting[id] = true
+	out, err := h.engines[id].Acquire()
+	if err != nil {
+		h.t.Fatalf("node %d: Acquire: %v", i, err)
+	}
+	h.absorb(id, out)
+}
+
+func (h *harness) release(i int) {
+	h.t.Helper()
+	id := proto.NodeID(i)
+	delete(h.inCS, id)
+	out, err := h.engines[id].Release()
+	if err != nil {
+		h.t.Fatalf("node %d: Release: %v", i, err)
+	}
+	h.absorb(id, out)
+}
+
+func (h *harness) drain(rng *rand.Rand) {
+	h.t.Helper()
+	for steps := 0; ; steps++ {
+		if steps > 200000 {
+			h.t.Fatal("network did not quiesce")
+		}
+		var pairs [][2]proto.NodeID
+		for k, q := range h.queues {
+			if len(q) > 0 {
+				pairs = append(pairs, k)
+			}
+		}
+		if len(pairs) == 0 {
+			return
+		}
+		sort.Slice(pairs, func(i, j int) bool {
+			if pairs[i][0] != pairs[j][0] {
+				return pairs[i][0] < pairs[j][0]
+			}
+			return pairs[i][1] < pairs[j][1]
+		})
+		idx := 0
+		if rng != nil {
+			idx = rng.Intn(len(pairs))
+		}
+		k := pairs[idx]
+		msg := h.queues[k][0]
+		h.queues[k] = h.queues[k][1:]
+		out, err := h.engines[msg.To].Handle(&msg)
+		if err != nil {
+			h.t.Fatalf("node %d: Handle: %v", msg.To, err)
+		}
+		h.absorb(msg.To, out)
+	}
+}
+
+func (h *harness) tokens() int {
+	n := 0
+	for _, e := range h.engines {
+		if e.HasToken() {
+			n++
+		}
+	}
+	return n
+}
+
+func TestIdleTokenLocalAcquire(t *testing.T) {
+	h := newHarness(t, 5)
+	h.acquire(0)
+	if !h.engines[0].Held() || len(h.queues) != 0 {
+		t.Fatal("token holder should enter message-free")
+	}
+	h.release(0)
+}
+
+func TestBroadcastCost(t *testing.T) {
+	h := newHarness(t, 10)
+	h.acquire(3)
+	h.drain(nil)
+	if !h.engines[3].Held() {
+		t.Fatal("node 3 should hold")
+	}
+	// The defining property: one request costs n-1 broadcast messages
+	// plus one token transfer.
+	if h.counts[proto.KindRequest] != 9 {
+		t.Fatalf("requests = %d, want 9 (broadcast)", h.counts[proto.KindRequest])
+	}
+	if h.counts[proto.KindToken] != 1 {
+		t.Fatalf("tokens = %d", h.counts[proto.KindToken])
+	}
+	h.release(3)
+}
+
+func TestSequentialFairness(t *testing.T) {
+	h := newHarness(t, 4)
+	h.acquire(0)
+	h.acquire(1)
+	h.acquire(2)
+	h.acquire(3)
+	h.drain(nil)
+	h.release(0)
+	// Everyone gets exactly one turn; drains between releases.
+	served := map[proto.NodeID]bool{0: true}
+	for turns := 0; turns < 3; turns++ {
+		h.drain(nil)
+		for id, e := range h.engines {
+			if e.Held() {
+				if served[id] {
+					t.Fatalf("node %d served twice", id)
+				}
+				served[id] = true
+				h.release(int(id))
+			}
+		}
+	}
+	if len(served) != 4 {
+		t.Fatalf("served = %v", served)
+	}
+	if h.tokens() != 1 {
+		t.Fatalf("tokens = %d", h.tokens())
+	}
+}
+
+func TestStaleRequestIgnored(t *testing.T) {
+	h := newHarness(t, 3)
+	// Deliver a request with an old sequence number: RN must not regress
+	// and no token moves.
+	e := h.engines[0]
+	if _, err := e.Handle(&proto.Message{Kind: proto.KindRequest, Lock: testLock, From: 1, To: 0, Seq: 5}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := e.Handle(&proto.Message{Kind: proto.KindRequest, Lock: testLock, From: 1, To: 0, Seq: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seq 5 puts RN[1]=5; LN[1]=0 so 5 != 1 → no pass; stale 3 likewise.
+	if len(out.Msgs) != 0 {
+		t.Fatalf("stale request moved the token: %v", out.Msgs)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	h := newHarness(t, 3)
+	e := h.engines[0]
+	if _, err := e.Release(); err == nil {
+		t.Error("release while not held must fail")
+	}
+	h.acquire(0)
+	if _, err := e.Acquire(); err == nil {
+		t.Error("double acquire must fail")
+	}
+	h.release(0)
+	h.acquire(1)
+	if _, err := h.engines[1].Acquire(); err == nil {
+		t.Error("acquire while requesting must fail")
+	}
+	if _, err := e.Handle(&proto.Message{Kind: proto.KindToken, Lock: testLock}); err == nil {
+		t.Error("unsolicited token must fail")
+	}
+	if _, err := e.Handle(&proto.Message{Kind: proto.KindFreeze, Lock: testLock}); err == nil {
+		t.Error("unexpected kind must fail")
+	}
+	if _, err := e.Handle(&proto.Message{Kind: proto.KindRequest, Lock: testLock, From: 99}); err == nil {
+		t.Error("unknown origin must fail")
+	}
+	if _, err := e.Handle(&proto.Message{Kind: proto.KindRequest, Lock: 7}); err == nil {
+		t.Error("wrong lock must fail")
+	}
+	h.drain(nil)
+	h.release(1)
+	if h.engines[1].String() == "" {
+		t.Error("String must render")
+	}
+}
+
+func TestFuzz(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		seed := seed
+		t.Run(fmt.Sprint(seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			n := 3 + rng.Intn(10)
+			h := newHarness(t, n)
+			for step := 0; step < 2500; step++ {
+				var pairs [][2]proto.NodeID
+				for k, q := range h.queues {
+					if len(q) > 0 {
+						pairs = append(pairs, k)
+					}
+				}
+				if len(pairs) > 0 && rng.Intn(100) < 60 {
+					k := pairs[rng.Intn(len(pairs))]
+					msg := h.queues[k][0]
+					h.queues[k] = h.queues[k][1:]
+					out, err := h.engines[msg.To].Handle(&msg)
+					if err != nil {
+						t.Fatalf("handle: %v", err)
+					}
+					h.absorb(msg.To, out)
+					continue
+				}
+				id := proto.NodeID(rng.Intn(n))
+				e := h.engines[id]
+				switch {
+				case e.Held() && rng.Intn(100) < 70:
+					h.release(int(id))
+				case !e.Held() && !e.Requesting() && rng.Intn(100) < 60:
+					h.acquire(int(id))
+				}
+			}
+			for round := 0; round < 10*n+100; round++ {
+				h.drain(rng)
+				done := true
+				for id, e := range h.engines {
+					if e.Held() {
+						h.release(int(id))
+						done = false
+					}
+				}
+				if done && len(h.waiting) == 0 {
+					break
+				}
+			}
+			if len(h.waiting) > 0 {
+				for _, e := range h.engines {
+					t.Logf("%v", e)
+				}
+				t.Fatalf("starved: %v", h.waiting)
+			}
+			if h.tokens() != 1 {
+				t.Fatalf("tokens = %d", h.tokens())
+			}
+		})
+	}
+}

@@ -1,0 +1,223 @@
+// Package trace records protocol-level events — message sends and
+// deliveries, client operations, grants and releases — into a bounded
+// ring buffer for debugging, post-hoc invariant checking and test
+// assertions. The simulator and cluster runtime emit into a Recorder when
+// one is attached; recording costs nothing when disabled (nil Recorder).
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"hierlock/internal/modes"
+	"hierlock/internal/proto"
+)
+
+// Op classifies a trace entry.
+type Op uint8
+
+// Trace entry kinds.
+const (
+	OpSend    Op = iota + 1 // a protocol message was sent
+	OpDeliver               // a protocol message was delivered
+	OpAcquire               // a client issued an acquire/upgrade
+	OpGranted               // a client request was granted
+	OpRelease               // a client released a lock
+)
+
+// String names the op.
+func (o Op) String() string {
+	switch o {
+	case OpSend:
+		return "send"
+	case OpDeliver:
+		return "deliver"
+	case OpAcquire:
+		return "acquire"
+	case OpGranted:
+		return "granted"
+	case OpRelease:
+		return "release"
+	default:
+		return "unknown"
+	}
+}
+
+// Entry is one recorded event.
+type Entry struct {
+	Seq  uint64        // monotonically increasing per recorder
+	At   time.Duration // virtual (simulator) or wall-relative time
+	Op   Op
+	Node proto.NodeID // acting node
+	Lock proto.LockID
+	Mode modes.Mode
+	// Message fields (OpSend / OpDeliver only).
+	Kind     proto.Kind
+	From, To proto.NodeID
+}
+
+// String renders the entry compactly.
+func (e Entry) String() string {
+	switch e.Op {
+	case OpSend, OpDeliver:
+		return fmt.Sprintf("%8.3fs #%d %-7s %v %d→%d lock=%d mode=%v",
+			e.At.Seconds(), e.Seq, e.Op, e.Kind, e.From, e.To, e.Lock, e.Mode)
+	default:
+		return fmt.Sprintf("%8.3fs #%d %-7s node=%d lock=%d mode=%v",
+			e.At.Seconds(), e.Seq, e.Op, e.Node, e.Lock, e.Mode)
+	}
+}
+
+// Recorder is a bounded ring buffer of entries. The zero value is not
+// usable; construct with New. Safe for concurrent use.
+type Recorder struct {
+	mu      sync.Mutex
+	entries []Entry
+	next    int
+	full    bool
+	seq     uint64
+	dropped uint64
+}
+
+// New creates a recorder that retains the most recent capacity entries.
+func New(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &Recorder{entries: make([]Entry, capacity)}
+}
+
+// Record appends an entry (nil recorders discard silently, so call sites
+// need no guards).
+func (r *Recorder) Record(e Entry) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.seq++
+	e.Seq = r.seq
+	if r.full {
+		r.dropped++
+	}
+	r.entries[r.next] = e
+	r.next++
+	if r.next == len(r.entries) {
+		r.next = 0
+		r.full = true
+	}
+	r.mu.Unlock()
+}
+
+// Len returns the number of retained entries.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.full {
+		return len(r.entries)
+	}
+	return r.next
+}
+
+// Dropped returns how many entries were evicted from the ring.
+func (r *Recorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Entries returns the retained entries in order.
+func (r *Recorder) Entries() []Entry {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full {
+		return append([]Entry(nil), r.entries[:r.next]...)
+	}
+	out := make([]Entry, 0, len(r.entries))
+	out = append(out, r.entries[r.next:]...)
+	out = append(out, r.entries[:r.next]...)
+	return out
+}
+
+// Filter returns the retained entries matching keep.
+func (r *Recorder) Filter(keep func(Entry) bool) []Entry {
+	var out []Entry
+	for _, e := range r.Entries() {
+		if keep(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// String renders the whole retained trace.
+func (r *Recorder) String() string {
+	var b strings.Builder
+	for _, e := range r.Entries() {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CheckFIFO verifies from the retained trace that deliveries on every
+// ordered (from, to) link happened in send order: the i-th delivery on a
+// link must carry the same (kind, lock, mode) as the i-th send on it. It
+// returns a description of the first violation, or "" if none is
+// observable. Only meaningful when the ring retained the whole run.
+func (r *Recorder) CheckFIFO() string {
+	type link struct{ from, to proto.NodeID }
+	type sig struct {
+		kind proto.Kind
+		lock proto.LockID
+		mode modes.Mode
+	}
+	sends := make(map[link][]sig)
+	delivered := make(map[link]int)
+
+	entries := r.Entries()
+	for _, e := range entries {
+		if e.Op == OpSend {
+			l := link{e.From, e.To}
+			sends[l] = append(sends[l], sig{e.Kind, e.Lock, e.Mode})
+		}
+	}
+	for _, e := range entries {
+		if e.Op != OpDeliver {
+			continue
+		}
+		l := link{e.From, e.To}
+		i := delivered[l]
+		if i >= len(sends[l]) {
+			return fmt.Sprintf("link %d→%d: delivery #%d with only %d sends retained",
+				l.from, l.to, i+1, len(sends[l]))
+		}
+		want := sends[l][i]
+		got := sig{e.Kind, e.Lock, e.Mode}
+		if got != want {
+			return fmt.Sprintf("link %d→%d: delivery #%d is %v/%d/%v, sent %v/%d/%v",
+				l.from, l.to, i+1, got.kind, got.lock, got.mode, want.kind, want.lock, want.mode)
+		}
+		delivered[l]++
+	}
+	return ""
+}
+
+// Counts summarizes retained entries per op.
+func (r *Recorder) Counts() map[Op]int {
+	out := make(map[Op]int)
+	for _, e := range r.Entries() {
+		out[e.Op]++
+	}
+	return out
+}

@@ -1,0 +1,106 @@
+package trace_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"hierlock/internal/modes"
+	"hierlock/internal/proto"
+	"hierlock/internal/trace"
+)
+
+func TestRecorderBasics(t *testing.T) {
+	r := trace.New(8)
+	if r.Len() != 0 || r.Dropped() != 0 {
+		t.Fatal("fresh recorder must be empty")
+	}
+	r.Record(trace.Entry{Op: trace.OpAcquire, Node: 1, Lock: 2, Mode: modes.R})
+	r.Record(trace.Entry{Op: trace.OpGranted, Node: 1, Lock: 2, Mode: modes.R})
+	if r.Len() != 2 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	es := r.Entries()
+	if es[0].Seq != 1 || es[1].Seq != 2 {
+		t.Fatalf("sequence numbering: %+v", es)
+	}
+	if es[0].Op != trace.OpAcquire || es[1].Op != trace.OpGranted {
+		t.Fatalf("order: %+v", es)
+	}
+	if got := r.Counts(); got[trace.OpAcquire] != 1 || got[trace.OpGranted] != 1 {
+		t.Fatalf("counts: %v", got)
+	}
+}
+
+func TestRecorderRingEviction(t *testing.T) {
+	r := trace.New(4)
+	for i := 0; i < 10; i++ {
+		r.Record(trace.Entry{Op: trace.OpSend, Node: proto.NodeID(i)})
+	}
+	if r.Len() != 4 {
+		t.Fatalf("len = %d, want 4", r.Len())
+	}
+	if r.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", r.Dropped())
+	}
+	es := r.Entries()
+	// Oldest retained is entry #7 (node 6).
+	if es[0].Node != 6 || es[3].Node != 9 {
+		t.Fatalf("ring order: %+v", es)
+	}
+}
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *trace.Recorder
+	r.Record(trace.Entry{}) // must not panic
+	if r.Len() != 0 || r.Entries() != nil || r.Dropped() != 0 {
+		t.Fatal("nil recorder must behave as empty")
+	}
+}
+
+func TestFilterAndString(t *testing.T) {
+	r := trace.New(16)
+	r.Record(trace.Entry{At: time.Second, Op: trace.OpSend, Kind: proto.KindRequest, From: 0, To: 1, Lock: 5, Mode: modes.W})
+	r.Record(trace.Entry{At: 2 * time.Second, Op: trace.OpGranted, Node: 1, Lock: 5, Mode: modes.W})
+	sends := r.Filter(func(e trace.Entry) bool { return e.Op == trace.OpSend })
+	if len(sends) != 1 || sends[0].Kind != proto.KindRequest {
+		t.Fatalf("filter: %+v", sends)
+	}
+	s := r.String()
+	if !strings.Contains(s, "send") || !strings.Contains(s, "granted") || !strings.Contains(s, "request") {
+		t.Fatalf("render:\n%s", s)
+	}
+	for _, op := range []trace.Op{trace.OpSend, trace.OpDeliver, trace.OpAcquire, trace.OpGranted, trace.OpRelease, trace.Op(99)} {
+		if op.String() == "" {
+			t.Fatal("op must render")
+		}
+	}
+}
+
+func TestCheckFIFO(t *testing.T) {
+	r := trace.New(64)
+	// Two sends, delivered in order: OK.
+	r.Record(trace.Entry{Op: trace.OpSend, From: 0, To: 1, Kind: proto.KindRequest, Lock: 1, Mode: modes.R})
+	r.Record(trace.Entry{Op: trace.OpSend, From: 0, To: 1, Kind: proto.KindGrant, Lock: 1, Mode: modes.R})
+	r.Record(trace.Entry{Op: trace.OpDeliver, From: 0, To: 1, Kind: proto.KindRequest, Lock: 1, Mode: modes.R})
+	r.Record(trace.Entry{Op: trace.OpDeliver, From: 0, To: 1, Kind: proto.KindGrant, Lock: 1, Mode: modes.R})
+	if v := r.CheckFIFO(); v != "" {
+		t.Fatalf("unexpected violation: %s", v)
+	}
+
+	// Reordered deliveries: violation.
+	r2 := trace.New(64)
+	r2.Record(trace.Entry{Op: trace.OpSend, From: 0, To: 1, Kind: proto.KindRequest, Lock: 1})
+	r2.Record(trace.Entry{Op: trace.OpSend, From: 0, To: 1, Kind: proto.KindGrant, Lock: 1})
+	r2.Record(trace.Entry{Op: trace.OpDeliver, From: 0, To: 1, Kind: proto.KindGrant, Lock: 1})
+	if v := r2.CheckFIFO(); v == "" {
+		t.Fatal("reordering not detected")
+	}
+
+	// More deliveries than sends: violation.
+	r3 := trace.New(64)
+	r3.Record(trace.Entry{Op: trace.OpDeliver, From: 2, To: 3, Kind: proto.KindToken, Lock: 9})
+	if v := r3.CheckFIFO(); v == "" {
+		t.Fatal("orphan delivery not detected")
+	}
+}

@@ -1,0 +1,234 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"hierlock/internal/proto"
+)
+
+// TCPConfig configures a TCP transport endpoint.
+type TCPConfig struct {
+	// Self is this node's identifier.
+	Self proto.NodeID
+	// ListenAddr is the address to accept peer connections on
+	// (host:port). Required.
+	ListenAddr string
+	// Peers maps every other node's ID to its listen address.
+	Peers map[proto.NodeID]string
+	// DialTimeout bounds outbound connection attempts (default 5s).
+	DialTimeout time.Duration
+	// RedialBackoff is the wait between reconnection attempts to an
+	// unreachable peer (default 500ms).
+	RedialBackoff time.Duration
+}
+
+// TCPTransport connects nodes over TCP with one outbound connection per
+// peer. TCP's in-order bytestream plus one writer goroutine per peer
+// yields the per-link FIFO guarantee; one reader goroutine per inbound
+// connection feeds a per-node mailbox, serializing delivery.
+type TCPTransport struct {
+	cfg TCPConfig
+	ln  net.Listener
+	box *mailbox
+
+	mu      sync.Mutex
+	started bool
+	closed  bool
+	writers map[proto.NodeID]*peerWriter
+	conns   []net.Conn
+	wg      sync.WaitGroup
+}
+
+// NewTCP creates a TCP transport endpoint and binds its listener
+// immediately, so peers can connect before Start.
+func NewTCP(cfg TCPConfig) (*TCPTransport, error) {
+	if cfg.ListenAddr == "" {
+		return nil, fmt.Errorf("transport: listen address required")
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 5 * time.Second
+	}
+	if cfg.RedialBackoff <= 0 {
+		cfg.RedialBackoff = 500 * time.Millisecond
+	}
+	ln, err := net.Listen("tcp", cfg.ListenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", cfg.ListenAddr, err)
+	}
+	return &TCPTransport{
+		cfg:     cfg,
+		ln:      ln,
+		box:     newMailbox(),
+		writers: make(map[proto.NodeID]*peerWriter),
+	}, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (t *TCPTransport) Addr() string { return t.ln.Addr().String() }
+
+// Start begins accepting inbound connections and delivering messages.
+func (t *TCPTransport) Start(h Handler) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return ErrClosed
+	}
+	if t.started {
+		return fmt.Errorf("transport: node %d already started", t.cfg.Self)
+	}
+	t.started = true
+	go t.box.drain(h)
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return nil
+}
+
+func (t *TCPTransport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		t.conns = append(t.conns, conn)
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.readLoop(conn)
+	}
+}
+
+func (t *TCPTransport) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	for {
+		msg, err := proto.ReadFrame(conn)
+		if err != nil {
+			_ = conn.Close()
+			return
+		}
+		if err := t.box.put(msg); err != nil {
+			_ = conn.Close()
+			return
+		}
+	}
+}
+
+// Send enqueues a message to the peer's writer, connecting lazily.
+func (t *TCPTransport) Send(msg *proto.Message) error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return ErrClosed
+	}
+	if !t.started {
+		t.mu.Unlock()
+		return ErrNotStarted
+	}
+	w, ok := t.writers[msg.To]
+	if !ok {
+		addr, known := t.cfg.Peers[msg.To]
+		if !known {
+			t.mu.Unlock()
+			return fmt.Errorf("%w: node %d", ErrUnknown, msg.To)
+		}
+		w = newPeerWriter(t, addr)
+		t.writers[msg.To] = w
+	}
+	t.mu.Unlock()
+	return w.box.put(msg)
+}
+
+// Close stops the listener, writers and delivery loop.
+func (t *TCPTransport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	started := t.started
+	writers := t.writers
+	conns := t.conns
+	t.mu.Unlock()
+
+	_ = t.ln.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	for _, w := range writers {
+		w.box.close()
+	}
+	if started {
+		t.box.close()
+	} else {
+		t.box.mu.Lock()
+		t.box.closed = true
+		t.box.mu.Unlock()
+		close(t.box.done)
+	}
+	t.wg.Wait()
+	return nil
+}
+
+// peerWriter owns the outbound connection to one peer: a mailbox plus a
+// writer goroutine, reconnecting with backoff on failure. Messages that
+// fail mid-write are retried on the new connection, which can duplicate a
+// frame in rare crash-adjacent cases but never reorders; the engines
+// treat duplicate stale messages as no-ops or detectable errors.
+type peerWriter struct {
+	t    *TCPTransport
+	addr string
+	box  *mailbox
+}
+
+func newPeerWriter(t *TCPTransport, addr string) *peerWriter {
+	w := &peerWriter{t: t, addr: addr, box: newMailbox()}
+	t.wg.Add(1)
+	go w.run()
+	return w
+}
+
+func (w *peerWriter) run() {
+	defer w.t.wg.Done()
+	var conn net.Conn
+	defer func() {
+		if conn != nil {
+			_ = conn.Close()
+		}
+	}()
+	w.box.drain(func(msg *proto.Message) {
+		for {
+			if w.closedNow() {
+				return
+			}
+			if conn == nil {
+				c, err := net.DialTimeout("tcp", w.addr, w.t.cfg.DialTimeout)
+				if err != nil {
+					time.Sleep(w.t.cfg.RedialBackoff)
+					continue
+				}
+				conn = c
+			}
+			if err := proto.WriteFrame(conn, msg); err != nil {
+				_ = conn.Close()
+				conn = nil
+				continue
+			}
+			return
+		}
+	})
+}
+
+func (w *peerWriter) closedNow() bool {
+	w.t.mu.Lock()
+	defer w.t.mu.Unlock()
+	return w.t.closed
+}

@@ -1,0 +1,207 @@
+// Package transport provides live message transports for the locking
+// protocol: an in-process channel network for single-binary deployments
+// and tests, and a TCP transport (package net) for real clusters.
+//
+// Both guarantee the delivery contract the protocol engines assume:
+// messages between an ordered pair of nodes arrive in send order, and
+// delivery callbacks for one destination node run sequentially.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"hierlock/internal/proto"
+)
+
+// Handler consumes inbound messages for a node. Calls are serialized per
+// receiving node.
+type Handler func(*proto.Message)
+
+// Transport sends protocol messages on behalf of one node.
+type Transport interface {
+	// Start registers the inbound handler and begins delivery. It must be
+	// called exactly once before Send.
+	Start(h Handler) error
+	// Send enqueues a message to msg.To. It never blocks on slow peers.
+	Send(msg *proto.Message) error
+	// Close stops delivery and releases resources. Pending messages may
+	// be dropped.
+	Close() error
+}
+
+// Transport errors.
+var (
+	ErrClosed     = errors.New("transport: closed")
+	ErrNotStarted = errors.New("transport: not started")
+	ErrUnknown    = errors.New("transport: unknown destination")
+)
+
+// mailbox is an unbounded FIFO queue drained by one goroutine, giving
+// per-destination serial delivery without deadlocking senders.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []*proto.Message
+	closed bool
+	done   chan struct{}
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{done: make(chan struct{})}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) put(msg *proto.Message) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	m.queue = append(m.queue, msg)
+	m.cond.Signal()
+	return nil
+}
+
+// drain delivers queued messages to h until closed.
+func (m *mailbox) drain(h Handler) {
+	defer close(m.done)
+	for {
+		m.mu.Lock()
+		for len(m.queue) == 0 && !m.closed {
+			m.cond.Wait()
+		}
+		if m.closed {
+			m.mu.Unlock()
+			return
+		}
+		msg := m.queue[0]
+		m.queue = m.queue[1:]
+		m.mu.Unlock()
+		h(msg)
+	}
+}
+
+func (m *mailbox) close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+	<-m.done
+}
+
+// ChanNetwork is an in-process hub connecting n nodes with goroutine
+// mailboxes. It implements the per-link FIFO contract trivially: puts
+// from one sender are ordered by the sender's own serialization, and each
+// node's mailbox preserves arrival order.
+type ChanNetwork struct {
+	mu    sync.Mutex
+	nodes map[proto.NodeID]*chanTransport
+}
+
+// NewChanNetwork creates an empty hub.
+func NewChanNetwork() *ChanNetwork {
+	return &ChanNetwork{nodes: make(map[proto.NodeID]*chanTransport)}
+}
+
+// Node returns (creating if needed) the transport endpoint for id.
+func (n *ChanNetwork) Node(id proto.NodeID) Transport {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	t, ok := n.nodes[id]
+	if !ok {
+		t = &chanTransport{net: n, id: id, box: newMailbox()}
+		n.nodes[id] = t
+	}
+	return t
+}
+
+// Close shuts down every endpoint.
+func (n *ChanNetwork) Close() error {
+	n.mu.Lock()
+	nodes := make([]*chanTransport, 0, len(n.nodes))
+	for _, t := range n.nodes {
+		nodes = append(nodes, t)
+	}
+	n.mu.Unlock()
+	for _, t := range nodes {
+		_ = t.Close()
+	}
+	return nil
+}
+
+func (n *ChanNetwork) lookup(id proto.NodeID) (*chanTransport, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	t, ok := n.nodes[id]
+	return t, ok
+}
+
+type chanTransport struct {
+	net *ChanNetwork
+	id  proto.NodeID
+	box *mailbox
+
+	mu      sync.Mutex
+	started bool
+	closed  bool
+}
+
+func (t *chanTransport) Start(h Handler) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return ErrClosed
+	}
+	if t.started {
+		return fmt.Errorf("transport: node %d already started", t.id)
+	}
+	t.started = true
+	go t.box.drain(h)
+	return nil
+}
+
+func (t *chanTransport) Send(msg *proto.Message) error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return ErrClosed
+	}
+	if !t.started {
+		t.mu.Unlock()
+		return ErrNotStarted
+	}
+	t.mu.Unlock()
+	dst, ok := t.net.lookup(msg.To)
+	if !ok {
+		return fmt.Errorf("%w: node %d", ErrUnknown, msg.To)
+	}
+	return dst.box.put(msg)
+}
+
+func (t *chanTransport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	started := t.started
+	t.mu.Unlock()
+	if started {
+		t.box.close()
+	} else {
+		// Never started: just mark the mailbox closed so puts fail.
+		t.box.mu.Lock()
+		t.box.closed = true
+		t.box.mu.Unlock()
+		close(t.box.done)
+	}
+	return nil
+}

@@ -1,0 +1,437 @@
+// Package workload implements the paper's evaluation workload: a
+// multi-airline reservation system sharing a fare table. Each table entry
+// has its own lock and the whole table has a coarser lock; application
+// instances on every node issue randomized lock requests with the paper's
+// mode mix (IR 80 %, R 10 %, U 4 %, IW 5 %, W 1 %), randomized
+// critical-section lengths (mean 15 ms) and inter-request idle times
+// (mean 150 ms).
+//
+// The same logical workload maps onto the three protocol configurations
+// the paper compares:
+//
+//   - Hierarchical (ours): entry accesses take the table lock in an
+//     intention mode plus the entry lock; whole-table accesses take the
+//     table lock alone. U-mode requests read under U, then upgrade to W.
+//   - Naimi "same work": entry accesses take the entry's exclusive lock;
+//     whole-table accesses take every entry lock in ascending order (the
+//     deadlock-avoiding total order the paper describes).
+//   - Naimi "pure": a single global exclusive lock serves every request,
+//     reproducing the original Naimi et al. measurement as a baseline.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"hierlock/internal/cluster"
+	"hierlock/internal/metrics"
+	"hierlock/internal/modes"
+	"hierlock/internal/proto"
+	"hierlock/internal/sim"
+)
+
+// Mapping selects how the logical workload maps onto locks.
+type Mapping uint8
+
+// The three configurations of the paper's §4.
+const (
+	// Hierarchical uses the paper's protocol with intention modes.
+	Hierarchical Mapping = iota
+	// SameWork uses Naimi's protocol with per-entry exclusive locks,
+	// acquiring all of them (in order) for whole-table operations.
+	SameWork
+	// Pure uses Naimi's protocol with one global lock.
+	Pure
+	// PureRaymond is the Pure workload on Raymond's static-tree
+	// algorithm (related-work baseline).
+	PureRaymond
+	// PureSuzuki is the Pure workload on the Suzuki–Kasami broadcast
+	// algorithm (related-work baseline).
+	PureSuzuki
+	// PureRicart is the Pure workload on the Ricart–Agrawala
+	// permission-based algorithm (related-work baseline).
+	PureRicart
+)
+
+// String names the mapping as in the paper's figure legends.
+func (m Mapping) String() string {
+	switch m {
+	case SameWork:
+		return "naimi-same-work"
+	case Pure:
+		return "naimi-pure"
+	case PureRaymond:
+		return "raymond"
+	case PureSuzuki:
+		return "suzuki-kasami"
+	case PureRicart:
+		return "ricart-agrawala"
+	default:
+		return "our-protocol"
+	}
+}
+
+// Protocol returns the cluster protocol the mapping runs on.
+func (m Mapping) Protocol() cluster.Protocol {
+	switch m {
+	case Hierarchical:
+		return cluster.Hierarchical
+	case PureRaymond:
+		return cluster.Raymond
+	case PureSuzuki:
+		return cluster.Suzuki
+	case PureRicart:
+		return cluster.Ricart
+	default:
+		return cluster.Naimi
+	}
+}
+
+// Mix is a lock-request mode mix in percent.
+type Mix struct {
+	IR, R, U, IW, W int
+}
+
+// PaperMix is the request mix of the paper's experiments.
+var PaperMix = Mix{IR: 80, R: 10, U: 4, IW: 5, W: 1}
+
+func (m Mix) total() int { return m.IR + m.R + m.U + m.IW + m.W }
+
+// Valid reports whether the mix has positive weight.
+func (m Mix) Valid() bool {
+	return m.IR >= 0 && m.R >= 0 && m.U >= 0 && m.IW >= 0 && m.W >= 0 && m.total() > 0
+}
+
+// pick draws a mode according to the mix.
+func (m Mix) pick(rng *rand.Rand) modes.Mode {
+	r := rng.Intn(m.total())
+	switch {
+	case r < m.IR:
+		return modes.IR
+	case r < m.IR+m.R:
+		return modes.R
+	case r < m.IR+m.R+m.U:
+		return modes.U
+	case r < m.IR+m.R+m.U+m.IW:
+		return modes.IW
+	default:
+		return modes.W
+	}
+}
+
+// Lock identifiers: the table lock is 0 (also the single global lock of
+// the Pure mapping, and the database lock of the three-level layout);
+// entry i's lock is 1+i.
+const TableLock proto.LockID = 0
+
+// EntryLock returns the lock protecting table entry i.
+func EntryLock(i int) proto.LockID { return proto.LockID(1 + i) }
+
+// tableLock3 returns table t's lock in the three-level layout.
+func tableLock3(t int) proto.LockID { return proto.LockID(1 + t) }
+
+// rowLock3 returns row r of table t's lock in the three-level layout.
+func (cfg Config) rowLock3(t, r int) proto.LockID {
+	return proto.LockID(1 + cfg.Tables + t*cfg.Entries + r)
+}
+
+// Config parameterizes the workload.
+type Config struct {
+	Mapping Mapping
+	// Entries is the fare-table size (paper: unspecified; default 4 —
+	// see EXPERIMENTS.md for the calibration).
+	Entries int
+	Mix     Mix
+	// MeanCS and MeanIdle follow the paper: 15 ms and 150 ms.
+	MeanCS   time.Duration
+	MeanIdle time.Duration
+	// Warmup discards statistics recorded before this virtual time, so
+	// reported numbers reflect the steady state.
+	Warmup time.Duration
+	// HighPriorityPct makes this percentage of operations issue their
+	// lock requests at high priority (hierarchical protocol only),
+	// exercising the strict priority arbitration extension. Zero (the
+	// default) is the paper's pure-FIFO protocol.
+	HighPriorityPct int
+	// HighPriority is the priority value used for high-priority
+	// operations (default 9).
+	HighPriority uint8
+	// Tables switches the hierarchical mapping to a three-level
+	// hierarchy — one database lock, Tables table locks, Entries rows per
+	// table — exercising deeper multi-granularity locking than the
+	// paper's two levels. Zero keeps the paper's table/entry layout.
+	// Only valid with the Hierarchical mapping.
+	Tables int
+}
+
+// Defaults for unset fields (the paper's parameters).
+const (
+	DefaultEntries  = 4
+	DefaultMeanCS   = 15 * time.Millisecond
+	DefaultMeanIdle = 150 * time.Millisecond
+)
+
+func (cfg Config) withDefaults() Config {
+	if cfg.Entries <= 0 {
+		cfg.Entries = DefaultEntries
+	}
+	if !cfg.Mix.Valid() {
+		cfg.Mix = PaperMix
+	}
+	if cfg.MeanCS <= 0 {
+		cfg.MeanCS = DefaultMeanCS
+	}
+	if cfg.MeanIdle <= 0 {
+		cfg.MeanIdle = DefaultMeanIdle
+	}
+	if cfg.HighPriority == 0 {
+		cfg.HighPriority = 9
+	}
+	return cfg
+}
+
+// Locks returns the lock set a cluster must host for this workload.
+func (cfg Config) Locks() []proto.LockID {
+	cfg = cfg.withDefaults()
+	switch cfg.Mapping {
+	case Pure, PureRaymond, PureSuzuki, PureRicart:
+		return []proto.LockID{TableLock}
+	case SameWork:
+		locks := make([]proto.LockID, cfg.Entries)
+		for i := range locks {
+			locks[i] = EntryLock(i)
+		}
+		return locks
+	default:
+		if cfg.Tables > 0 {
+			locks := make([]proto.LockID, 0, 1+cfg.Tables+cfg.Tables*cfg.Entries)
+			locks = append(locks, TableLock) // the database lock
+			for t := 0; t < cfg.Tables; t++ {
+				locks = append(locks, tableLock3(t))
+			}
+			for t := 0; t < cfg.Tables; t++ {
+				for r := 0; r < cfg.Entries; r++ {
+					locks = append(locks, cfg.rowLock3(t, r))
+				}
+			}
+			return locks
+		}
+		locks := make([]proto.LockID, 0, cfg.Entries+1)
+		locks = append(locks, TableLock)
+		for i := 0; i < cfg.Entries; i++ {
+			locks = append(locks, EntryLock(i))
+		}
+		return locks
+	}
+}
+
+// Stats aggregates what the paper's figures report.
+type Stats struct {
+	// Started counts operations that began after warmup; Started-Ops is
+	// the number censored by the end of the measurement window (large
+	// values mean the op-latency mean is an underestimate).
+	Started uint64
+	// Ops counts completed application operations.
+	Ops uint64
+	// OpsByMode counts completed operations by their drawn mode.
+	OpsByMode map[modes.Mode]uint64
+	// Requests counts lock-level requests issued after warmup (the
+	// denominator of Figure 5; upgrades count as requests).
+	Requests uint64
+	// ReqLatency measures issue→grant per lock request (Figure 6).
+	ReqLatency metrics.Latency
+	// OpLatency measures op start→all locks held.
+	OpLatency metrics.Latency
+	// HighReqLatency / NormalReqLatency split ReqLatency by priority
+	// class when HighPriorityPct > 0.
+	HighReqLatency   metrics.Latency
+	NormalReqLatency metrics.Latency
+}
+
+// step is one lock acquisition of an operation's plan.
+type step struct {
+	lock proto.LockID
+	mode modes.Mode
+}
+
+// plan builds the lock-acquisition sequence for an operation of the given
+// mode, and whether the operation performs a U→W upgrade mid-flight.
+func plan(cfg Config, m modes.Mode, rng *rand.Rand) (steps []step, upgrade bool) {
+	entry := rng.Intn(cfg.Entries)
+	switch cfg.Mapping {
+	case Pure, PureRaymond, PureSuzuki, PureRicart:
+		return []step{{TableLock, m}}, false
+	case SameWork:
+		switch m {
+		case modes.IR, modes.IW:
+			return []step{{EntryLock(entry), modes.W}}, false
+		default: // whole-table: every entry lock in ascending order
+			steps = make([]step, cfg.Entries)
+			for i := 0; i < cfg.Entries; i++ {
+				steps[i] = step{EntryLock(i), modes.W}
+			}
+			return steps, false
+		}
+	default: // Hierarchical
+		if cfg.Tables > 0 {
+			// Three-level hierarchy: database → table → row.
+			t := rng.Intn(cfg.Tables)
+			switch m {
+			case modes.IR: // read one row
+				return []step{
+					{TableLock, modes.IR},
+					{tableLock3(t), modes.IR},
+					{cfg.rowLock3(t, entry), modes.R},
+				}, false
+			case modes.IW: // write one row
+				return []step{
+					{TableLock, modes.IW},
+					{tableLock3(t), modes.IW},
+					{cfg.rowLock3(t, entry), modes.W},
+				}, false
+			case modes.R: // read one whole table
+				return []step{{TableLock, modes.IR}, {tableLock3(t), modes.R}}, false
+			case modes.U: // read-then-rewrite the database
+				return []step{{TableLock, modes.U}}, true
+			default: // W: rewrite one whole table
+				return []step{{TableLock, modes.IW}, {tableLock3(t), modes.W}}, false
+			}
+		}
+		switch m {
+		case modes.IR:
+			return []step{{TableLock, modes.IR}, {EntryLock(entry), modes.R}}, false
+		case modes.IW:
+			return []step{{TableLock, modes.IW}, {EntryLock(entry), modes.W}}, false
+		case modes.U:
+			return []step{{TableLock, modes.U}}, true
+		default: // R, W on the whole table
+			return []step{{TableLock, m}}, false
+		}
+	}
+}
+
+// Driver runs the workload on a cluster. Create with Attach; statistics
+// accumulate into Stats().
+type Driver struct {
+	c     *cluster.Cluster
+	cfg   Config
+	stats Stats
+	cs    sim.Dist
+	idle  sim.Dist
+	rngs  []*rand.Rand
+}
+
+// Attach creates a driver and starts one application loop per node. The
+// cluster must have been built with cfg.Locks() and cfg.Mapping.Protocol().
+func Attach(c *cluster.Cluster, cfg Config) (*Driver, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Entries <= 0 {
+		return nil, fmt.Errorf("workload: invalid entry count %d", cfg.Entries)
+	}
+	if cfg.Tables > 0 && cfg.Mapping != Hierarchical {
+		return nil, fmt.Errorf("workload: three-level hierarchy requires the hierarchical mapping, got %v", cfg.Mapping)
+	}
+	d := &Driver{
+		c:    c,
+		cfg:  cfg,
+		cs:   sim.Exponential(cfg.MeanCS),
+		idle: sim.Exponential(cfg.MeanIdle),
+	}
+	d.stats.OpsByMode = make(map[modes.Mode]uint64)
+	for i := range c.Nodes {
+		d.rngs = append(d.rngs, c.Sim.NewRand())
+		d.scheduleNext(i)
+	}
+	return d, nil
+}
+
+// Stats returns the accumulated statistics.
+func (d *Driver) Stats() *Stats { return &d.stats }
+
+func (d *Driver) scheduleNext(node int) {
+	d.c.Sim.At(d.idle(d.rngs[node]), func() { d.startOp(node) })
+}
+
+func (d *Driver) startOp(node int) {
+	rng := d.rngs[node]
+	m := d.cfg.Mix.pick(rng)
+	steps, upgrade := plan(d.cfg, m, rng)
+	var prio uint8
+	if d.cfg.HighPriorityPct > 0 && d.cfg.Mapping == Hierarchical &&
+		rng.Intn(100) < d.cfg.HighPriorityPct {
+		prio = d.cfg.HighPriority
+	}
+	opStart := d.c.Sim.Now()
+	if d.warm() {
+		d.stats.Started++
+	}
+
+	var acquire func(i int)
+	finish := func() {
+		if d.warm() {
+			d.stats.Ops++
+			d.stats.OpsByMode[m]++
+			d.stats.OpLatency.Observe(d.c.Sim.Now() - opStart)
+		}
+		// Hold the critical section, upgrade if the op is an upgrade op,
+		// then release in reverse order and go idle.
+		d.c.Sim.At(d.cs(rng), func() {
+			if upgrade {
+				d.observeRequest(prio, func(done func()) {
+					d.c.Nodes[node].UpgradePri(steps[0].lock, prio, done)
+				}, func() {
+					d.c.Sim.At(d.cs(rng), func() {
+						d.releaseAll(node, steps)
+					})
+				})
+				return
+			}
+			d.releaseAll(node, steps)
+		})
+	}
+	acquire = func(i int) {
+		if i == len(steps) {
+			finish()
+			return
+		}
+		st := steps[i]
+		d.observeRequest(prio, func(done func()) {
+			d.c.Nodes[node].AcquirePri(st.lock, st.mode, prio, done)
+		}, func() { acquire(i + 1) })
+	}
+	acquire(0)
+}
+
+// observeRequest issues one lock-level request via issue and measures its
+// latency; next continues the operation.
+func (d *Driver) observeRequest(prio uint8, issue func(done func()), next func()) {
+	start := d.c.Sim.Now()
+	warm := d.warm()
+	if warm {
+		d.stats.Requests++
+	}
+	issue(func() {
+		if warm {
+			lat := d.c.Sim.Now() - start
+			d.stats.ReqLatency.Observe(lat)
+			if d.cfg.HighPriorityPct > 0 {
+				if prio > 0 {
+					d.stats.HighReqLatency.Observe(lat)
+				} else {
+					d.stats.NormalReqLatency.Observe(lat)
+				}
+			}
+		}
+		next()
+	})
+}
+
+func (d *Driver) releaseAll(node int, steps []step) {
+	for i := len(steps) - 1; i >= 0; i-- {
+		d.c.Nodes[node].Release(steps[i].lock)
+	}
+	d.scheduleNext(node)
+}
+
+func (d *Driver) warm() bool { return d.c.Sim.Now() >= d.cfg.Warmup }

@@ -1,0 +1,350 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"hierlock/internal/cluster"
+	"hierlock/internal/modes"
+	"hierlock/internal/proto"
+)
+
+func TestMixPick(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	counts := map[modes.Mode]int{}
+	const n = 200000
+	for i := 0; i < n; i++ {
+		counts[PaperMix.pick(rng)]++
+	}
+	want := map[modes.Mode]float64{
+		modes.IR: 0.80, modes.R: 0.10, modes.U: 0.04, modes.IW: 0.05, modes.W: 0.01,
+	}
+	for m, frac := range want {
+		got := float64(counts[m]) / n
+		if got < frac*0.9 || got > frac*1.1 {
+			t.Errorf("mode %v frequency = %.4f, want ≈%.2f", m, got, frac)
+		}
+	}
+}
+
+func TestMixValid(t *testing.T) {
+	if !PaperMix.Valid() {
+		t.Fatal("paper mix must be valid")
+	}
+	if (Mix{}).Valid() {
+		t.Fatal("zero mix must be invalid")
+	}
+	if (Mix{IR: -1, R: 2}).Valid() {
+		t.Fatal("negative weight must be invalid")
+	}
+}
+
+func TestLocks(t *testing.T) {
+	cfg := Config{Mapping: Hierarchical, Entries: 3}
+	if got := cfg.Locks(); len(got) != 4 || got[0] != TableLock || got[3] != EntryLock(2) {
+		t.Fatalf("hierarchical locks = %v", got)
+	}
+	cfg.Mapping = SameWork
+	if got := cfg.Locks(); len(got) != 3 || got[0] != EntryLock(0) {
+		t.Fatalf("same-work locks = %v", got)
+	}
+	cfg.Mapping = Pure
+	if got := cfg.Locks(); len(got) != 1 || got[0] != TableLock {
+		t.Fatalf("pure locks = %v", got)
+	}
+}
+
+func TestPlan(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	cfg := Config{Mapping: Hierarchical, Entries: 4}.withDefaults()
+
+	steps, up := plan(cfg, modes.IR, rng)
+	if len(steps) != 2 || steps[0] != (step{TableLock, modes.IR}) || steps[1].mode != modes.R || up {
+		t.Fatalf("IR plan = %v up=%v", steps, up)
+	}
+	steps, up = plan(cfg, modes.IW, rng)
+	if len(steps) != 2 || steps[0].mode != modes.IW || steps[1].mode != modes.W || up {
+		t.Fatalf("IW plan = %v", steps)
+	}
+	steps, up = plan(cfg, modes.U, rng)
+	if len(steps) != 1 || steps[0] != (step{TableLock, modes.U}) || !up {
+		t.Fatalf("U plan = %v up=%v", steps, up)
+	}
+	steps, _ = plan(cfg, modes.W, rng)
+	if len(steps) != 1 || steps[0] != (step{TableLock, modes.W}) {
+		t.Fatalf("W plan = %v", steps)
+	}
+
+	cfg.Mapping = SameWork
+	steps, _ = plan(cfg, modes.R, rng)
+	if len(steps) != 4 {
+		t.Fatalf("same-work table op must take all %d locks, got %v", cfg.Entries, steps)
+	}
+	for i := 1; i < len(steps); i++ {
+		if steps[i].lock <= steps[i-1].lock {
+			t.Fatal("same-work locks must be in ascending order (deadlock avoidance)")
+		}
+	}
+	steps, _ = plan(cfg, modes.IR, rng)
+	if len(steps) != 1 {
+		t.Fatalf("same-work entry op = %v", steps)
+	}
+
+	cfg.Mapping = Pure
+	for _, m := range modes.All {
+		steps, up = plan(cfg, m, rng)
+		if len(steps) != 1 || steps[0].lock != TableLock || up {
+			t.Fatalf("pure plan(%v) = %v", m, steps)
+		}
+	}
+}
+
+func TestMappingStrings(t *testing.T) {
+	if Hierarchical.String() != "our-protocol" || SameWork.String() != "naimi-same-work" || Pure.String() != "naimi-pure" {
+		t.Fatal("mapping names")
+	}
+	if Hierarchical.Protocol() != cluster.Hierarchical || Pure.Protocol() != cluster.Naimi {
+		t.Fatal("mapping protocols")
+	}
+}
+
+// runWorkload drives a full simulated run and returns the driver.
+func runWorkload(t *testing.T, mapping Mapping, nodes int, dur time.Duration) *Driver {
+	t.Helper()
+	cfg := Config{Mapping: mapping, Warmup: 2 * time.Second}
+	c := cluster.New(cluster.Config{
+		Protocol: mapping.Protocol(),
+		Nodes:    nodes,
+		Locks:    cfg.Locks(),
+		Seed:     11,
+	})
+	d, err := Attach(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Sim.Run(dur)
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestHierarchicalWorkloadRuns(t *testing.T) {
+	d := runWorkload(t, Hierarchical, 8, 30*time.Second)
+	st := d.Stats()
+	if st.Ops < 100 {
+		t.Fatalf("only %d ops completed", st.Ops)
+	}
+	if st.Requests < st.Ops {
+		t.Fatalf("requests %d < ops %d", st.Requests, st.Ops)
+	}
+	if st.ReqLatency.Count == 0 || st.OpLatency.Count == 0 {
+		t.Fatal("latency not recorded")
+	}
+	// IR dominates the mix.
+	if st.OpsByMode[modes.IR] < st.OpsByMode[modes.W] {
+		t.Fatalf("mode distribution off: %v", st.OpsByMode)
+	}
+}
+
+func TestSameWorkWorkloadRuns(t *testing.T) {
+	d := runWorkload(t, SameWork, 6, 30*time.Second)
+	if d.Stats().Ops < 50 {
+		t.Fatalf("only %d ops", d.Stats().Ops)
+	}
+	// Whole-table ops take Entries locks, so requests > ops on average
+	// even though most ops are single-lock.
+	if d.Stats().Requests <= d.Stats().Ops {
+		t.Fatalf("requests %d vs ops %d", d.Stats().Requests, d.Stats().Ops)
+	}
+}
+
+func TestPureWorkloadRuns(t *testing.T) {
+	d := runWorkload(t, Pure, 6, 30*time.Second)
+	st := d.Stats()
+	if st.Ops < 50 {
+		t.Fatalf("only %d ops", st.Ops)
+	}
+	// Pure: exactly one request per op, modulo operations straddling the
+	// warmup boundary or the run cutoff (at most one per node).
+	diff := int64(st.Requests) - int64(st.Ops)
+	if diff < -6 || diff > 6 {
+		t.Fatalf("pure mapping must issue one request per op: req=%d ops=%d", st.Requests, st.Ops)
+	}
+}
+
+func TestWarmupDiscardsEarlySamples(t *testing.T) {
+	cfg := Config{Mapping: Pure, Warmup: time.Hour}
+	c := cluster.New(cluster.Config{
+		Protocol: cluster.Naimi,
+		Nodes:    3,
+		Locks:    cfg.Locks(),
+		Seed:     12,
+	})
+	d, err := Attach(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Sim.Run(10 * time.Second)
+	if d.Stats().Ops != 0 || d.Stats().Requests != 0 {
+		t.Fatalf("warmup samples leaked: %+v", d.Stats())
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.Entries != DefaultEntries || cfg.MeanCS != DefaultMeanCS || cfg.MeanIdle != DefaultMeanIdle {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+	if cfg.Mix != PaperMix {
+		t.Fatal("default mix must be the paper's")
+	}
+}
+
+func TestUpgradeOpsComplete(t *testing.T) {
+	// A mix of only U ops exercises acquire→read→upgrade→write→release.
+	cfg := Config{
+		Mapping: Hierarchical,
+		Mix:     Mix{U: 100},
+		Warmup:  time.Second,
+	}
+	c := cluster.New(cluster.Config{
+		Protocol: cluster.Hierarchical,
+		Nodes:    5,
+		Locks:    cfg.Locks(),
+		Seed:     13,
+	})
+	d, err := Attach(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Sim.Run(30 * time.Second)
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+	st := d.Stats()
+	if st.Ops < 20 {
+		t.Fatalf("only %d upgrade ops", st.Ops)
+	}
+	// Each U op issues two requests: the U acquire and the upgrade.
+	if st.Requests < 2*st.Ops {
+		t.Fatalf("requests %d < 2×ops %d", st.Requests, st.Ops)
+	}
+}
+
+func TestLockIDs(t *testing.T) {
+	if EntryLock(0) != proto.LockID(1) || EntryLock(9) != proto.LockID(10) {
+		t.Fatal("entry lock numbering")
+	}
+}
+
+func TestHighPriorityStats(t *testing.T) {
+	cfg := Config{
+		Mapping:         Hierarchical,
+		Warmup:          2 * time.Second,
+		HighPriorityPct: 30,
+	}
+	c := cluster.New(cluster.Config{
+		Protocol: cluster.Hierarchical,
+		Nodes:    6,
+		Locks:    cfg.Locks(),
+		Seed:     31,
+	})
+	d, err := Attach(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Sim.Run(60 * time.Second)
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+	st := d.Stats()
+	if st.HighReqLatency.Count == 0 || st.NormalReqLatency.Count == 0 {
+		t.Fatalf("priority classes not populated: high=%d normal=%d",
+			st.HighReqLatency.Count, st.NormalReqLatency.Count)
+	}
+	if st.HighReqLatency.Count+st.NormalReqLatency.Count != st.ReqLatency.Count {
+		t.Fatalf("class split (%d+%d) != total %d",
+			st.HighReqLatency.Count, st.NormalReqLatency.Count, st.ReqLatency.Count)
+	}
+	// Roughly 30% of requests should be high priority.
+	frac := float64(st.HighReqLatency.Count) / float64(st.ReqLatency.Count)
+	if frac < 0.15 || frac > 0.45 {
+		t.Errorf("high-priority fraction = %.2f, want ≈0.30", frac)
+	}
+}
+
+func TestDefaultHighPriorityValue(t *testing.T) {
+	cfg := Config{HighPriorityPct: 5}.withDefaults()
+	if cfg.HighPriority != 9 {
+		t.Fatalf("default high priority = %d, want 9", cfg.HighPriority)
+	}
+}
+
+func TestThreeLevelHierarchy(t *testing.T) {
+	cfg := Config{
+		Mapping: Hierarchical,
+		Tables:  3,
+		Entries: 4,
+		Warmup:  2 * time.Second,
+	}
+	locks := cfg.Locks()
+	// 1 database + 3 tables + 12 rows.
+	if len(locks) != 16 {
+		t.Fatalf("locks = %d, want 16", len(locks))
+	}
+	c := cluster.New(cluster.Config{
+		Protocol: cluster.Hierarchical,
+		Nodes:    8,
+		Locks:    locks,
+		Seed:     51,
+	})
+	d, err := Attach(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Sim.Run(60 * time.Second)
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Stats().Ops < 100 {
+		t.Fatalf("only %d ops", d.Stats().Ops)
+	}
+	// Row ops take three locks, so requests/ops must exceed 2.
+	ratio := float64(d.Stats().Requests) / float64(d.Stats().Ops)
+	if ratio < 2.0 {
+		t.Fatalf("requests/ops = %.2f, expected >2 for a 3-level hierarchy", ratio)
+	}
+}
+
+func TestThreeLevelPlan(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	cfg := Config{Mapping: Hierarchical, Tables: 2, Entries: 3}.withDefaults()
+	steps, up := plan(cfg, modes.IR, rng)
+	if len(steps) != 3 || up {
+		t.Fatalf("3-level IR plan = %v", steps)
+	}
+	if steps[0].lock != TableLock || steps[0].mode != modes.IR {
+		t.Fatalf("db step = %+v", steps[0])
+	}
+	if steps[1].mode != modes.IR || steps[2].mode != modes.R {
+		t.Fatalf("plan modes = %v", steps)
+	}
+	steps, up = plan(cfg, modes.U, rng)
+	if len(steps) != 1 || !up {
+		t.Fatalf("3-level U plan = %v", steps)
+	}
+	steps, _ = plan(cfg, modes.W, rng)
+	if len(steps) != 2 || steps[0].mode != modes.IW || steps[1].mode != modes.W {
+		t.Fatalf("3-level W plan = %v", steps)
+	}
+}
+
+func TestThreeLevelRequiresHierarchical(t *testing.T) {
+	cfg := Config{Mapping: Pure, Tables: 2}
+	c := cluster.New(cluster.Config{Protocol: cluster.Naimi, Nodes: 2, Locks: cfg.Locks(), Seed: 1})
+	if _, err := Attach(c, cfg); err == nil {
+		t.Fatal("three-level pure mapping must be rejected")
+	}
+}

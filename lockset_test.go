@@ -1,0 +1,155 @@
+package hierlock_test
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"hierlock"
+)
+
+func TestLockAllBasic(t *testing.T) {
+	c := newCluster(t, 2)
+	ctx := context.Background()
+	ls, err := c.Member(1).LockAll(ctx, []string{"a", "b", "c"}, hierlock.W)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ls.Len() != 3 {
+		t.Fatalf("len = %d", ls.Len())
+	}
+	// All three are exclusively held: a W from another member blocks.
+	cctx, cancel := context.WithTimeout(ctx, 150*time.Millisecond)
+	defer cancel()
+	if _, err := c.Member(0).Lock(cctx, "b", hierlock.W); err == nil {
+		t.Fatal("b should be held")
+	}
+	if err := ls.Unlock(); err != nil {
+		t.Fatal(err)
+	}
+	// Now free.
+	w, err := c.Member(0).Lock(ctx, "b", hierlock.W)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = w.Unlock()
+}
+
+func TestLockAllDeduplicates(t *testing.T) {
+	c := newCluster(t, 1)
+	ls, err := c.Member(0).LockAll(context.Background(), []string{"x", "x", "y", "x"}, hierlock.R)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ls.Len() != 2 {
+		t.Fatalf("len = %d, want 2 (deduplicated)", ls.Len())
+	}
+	if err := ls.Unlock(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLockAllEmpty(t *testing.T) {
+	c := newCluster(t, 1)
+	if _, err := c.Member(0).LockAll(context.Background(), nil, hierlock.R); err == nil {
+		t.Fatal("empty set must fail")
+	}
+}
+
+// TestLockAllNoDeadlock is the point of the canonical ordering: many
+// members grab overlapping resource sets listed in conflicting orders;
+// every call must complete.
+func TestLockAllNoDeadlock(t *testing.T) {
+	const nodes = 5
+	c := newCluster(t, nodes)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	resources := []string{"r0", "r1", "r2", "r3"}
+	var wg sync.WaitGroup
+	for i := 0; i < nodes; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for op := 0; op < 8; op++ {
+				// Rotate the listing order per member and op so naive
+				// in-order acquisition would deadlock.
+				set := make([]string, len(resources))
+				for j := range resources {
+					set[j] = resources[(i+op+j)%len(resources)]
+				}
+				ls, err := c.Member(i).LockAll(ctx, set, hierlock.W)
+				if err != nil {
+					t.Errorf("member %d op %d: %v", i, op, err)
+					return
+				}
+				time.Sleep(time.Millisecond)
+				if err := ls.Unlock(); err != nil {
+					t.Errorf("member %d op %d unlock: %v", i, op, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestLockAllReleasesOnFailure(t *testing.T) {
+	c := newCluster(t, 2)
+	ctx := context.Background()
+	// Hold one of the set exclusively so LockAll stalls mid-way.
+	blocker, err := c.Member(0).Lock(ctx, "mid", hierlock.W)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cctx, cancel := context.WithTimeout(ctx, 200*time.Millisecond)
+	defer cancel()
+	if _, err := c.Member(1).LockAll(cctx, []string{"early", "mid", "late"}, hierlock.W); err == nil {
+		t.Fatal("should have timed out on the blocked resource")
+	}
+	_ = blocker.Unlock()
+	// Everything must be free again.
+	for _, res := range []string{"early", "mid", "late"} {
+		wctx, wcancel := context.WithTimeout(ctx, 10*time.Second)
+		l, err := c.Member(0).Lock(wctx, res, hierlock.W)
+		wcancel()
+		if err != nil {
+			t.Fatalf("resource %q leaked: %v", res, err)
+		}
+		_ = l.Unlock()
+	}
+}
+
+// ExampleMember_LockAll demonstrates deadlock-free multi-resource
+// locking.
+func ExampleMember_LockAll() {
+	cluster, _ := hierlock.NewCluster(2)
+	defer cluster.Close()
+
+	// Both members list the accounts in different orders; the canonical
+	// internal ordering makes this safe.
+	var wg sync.WaitGroup
+	for i, set := range [][]string{
+		{"accounts/alice", "accounts/bob"},
+		{"accounts/bob", "accounts/alice"},
+	} {
+		i, set := i, set
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ls, err := cluster.Member(i).LockAll(context.Background(), set, hierlock.W)
+			if err != nil {
+				fmt.Println("error:", err)
+				return
+			}
+			defer ls.Unlock()
+			// transfer between the two accounts atomically…
+		}()
+	}
+	wg.Wait()
+	fmt.Println("both transfers completed without deadlock")
+	// Output: both transfers completed without deadlock
+}

@@ -1,0 +1,467 @@
+package hierlock
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"hierlock/internal/hlock"
+	"hierlock/internal/metrics"
+	"hierlock/internal/modes"
+	"hierlock/internal/proto"
+	"hierlock/internal/transport"
+)
+
+// Public errors.
+var (
+	// ErrClosed is returned by operations on a closed member or cluster.
+	ErrClosed = errors.New("hierlock: member closed")
+	// ErrReleased is returned by operations on an already-released lock.
+	ErrReleased = errors.New("hierlock: lock already released")
+	// ErrNotUpgradable is returned by Upgrade on a lock not held in U.
+	ErrNotUpgradable = errors.New("hierlock: upgrade requires mode U")
+)
+
+// Member is one participant of a locking cluster: it hosts the protocol
+// engines for every lock the node touches and provides blocking client
+// operations. Methods are safe for concurrent use; operations on the
+// same resource from one member are serialized (a member holds at most
+// one mode per lock, as in the paper's model).
+type Member struct {
+	id   proto.NodeID
+	root proto.NodeID
+	tr   transport.Transport
+
+	mu      sync.Mutex
+	clock   proto.Clock
+	engines map[proto.LockID]*hlock.Engine
+	waiters map[proto.LockID]*waiter
+	slots   map[proto.LockID]chan struct{}
+	// holds reference-counts the member's current hold per lock so that
+	// several local clients can share a self-compatible mode (IR, R, IW)
+	// without extra protocol traffic: the member holds the mode once;
+	// the last sharer releases it.
+	holds       map[proto.LockID]*hold
+	sent        metrics.Messages
+	acqLatency  metrics.Latency
+	sharedJoins uint64
+	firstEr     error
+	closed      bool
+}
+
+// hold tracks one engine-level hold shared by local clients.
+type hold struct {
+	mode Mode
+	refs int
+	// upgrading blocks sharing while an upgrade is converting the hold.
+	upgrading bool
+}
+
+// waiter tracks the outstanding request on one lock.
+type waiter struct {
+	ch chan hlock.Event
+	// abandoned marks a context-canceled wait: when the grant eventually
+	// arrives, the member releases the lock immediately and frees the
+	// client slot (requests cannot be retracted from the protocol).
+	abandoned bool
+	// releaseOnUpgrade marks an Unlock issued while an upgrade was in
+	// flight: the W lock is released as soon as the upgrade lands.
+	releaseOnUpgrade bool
+}
+
+// newMember wires a member to a started transport.
+func newMember(id, root proto.NodeID, tr transport.Transport) (*Member, error) {
+	m := &Member{
+		id:      id,
+		root:    root,
+		tr:      tr,
+		engines: make(map[proto.LockID]*hlock.Engine),
+		waiters: make(map[proto.LockID]*waiter),
+		slots:   make(map[proto.LockID]chan struct{}),
+		holds:   make(map[proto.LockID]*hold),
+	}
+	if err := tr.Start(m.handle); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// ID returns this member's node identifier.
+func (m *Member) ID() int { return int(m.id) }
+
+// Err returns the first internal protocol error observed, if any. A
+// non-nil value indicates a bug or a violated transport assumption.
+func (m *Member) Err() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.firstEr
+}
+
+// MessagesSent returns a snapshot of the protocol messages this member
+// has sent, by kind.
+func (m *Member) MessagesSent() map[string]uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]uint64, len(metrics.Kinds))
+	for _, k := range metrics.Kinds {
+		out[k.String()] = m.sent.ByKind[k]
+	}
+	return out
+}
+
+// Stats is a snapshot of a member's client-side observability counters.
+type Stats struct {
+	// Acquires counts completed lock acquisitions (including upgrades and
+	// shared joins).
+	Acquires uint64
+	// SharedJoins counts acquisitions satisfied by joining an existing
+	// local hold (zero protocol messages).
+	SharedJoins uint64
+	// MeanAcquire and P99Acquire summarize acquisition wait times.
+	MeanAcquire time.Duration
+	P99Acquire  time.Duration
+	// MessagesSent totals the protocol messages sent.
+	MessagesSent uint64
+}
+
+// Stats returns a snapshot of the member's counters.
+func (m *Member) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Stats{
+		Acquires:     m.acqLatency.Count + m.sharedJoins,
+		SharedJoins:  m.sharedJoins,
+		MeanAcquire:  m.acqLatency.Mean(),
+		P99Acquire:   m.acqLatency.Quantile(0.99),
+		MessagesSent: m.sent.Total(),
+	}
+}
+
+// Close shuts the member down. Held locks are not released remotely;
+// close only after unlocking (the protocol, like the paper's, assumes
+// participants do not vanish).
+func (m *Member) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	m.mu.Unlock()
+	return m.tr.Close()
+}
+
+// engine returns (creating lazily) the engine for a lock. Every member
+// derives the same initial topology: the configured root node holds the
+// token and is everyone's initial parent. Callers hold m.mu.
+func (m *Member) engine(lock proto.LockID) *hlock.Engine {
+	e, ok := m.engines[lock]
+	if !ok {
+		e = hlock.New(m.id, lock, m.root, m.id == m.root, &m.clock, hlock.Options{})
+		m.engines[lock] = e
+	}
+	return e
+}
+
+// slot returns the per-lock client-admission semaphore. Callers hold m.mu.
+func (m *Member) slot(lock proto.LockID) chan struct{} {
+	s, ok := m.slots[lock]
+	if !ok {
+		s = make(chan struct{}, 1)
+		m.slots[lock] = s
+	}
+	return s
+}
+
+// Lock acquires the named resource in the given mode, blocking until
+// granted or ctx is done. On context cancellation the request itself
+// cannot be retracted; the member disowns it and auto-releases the lock
+// the moment it is granted.
+func (m *Member) Lock(ctx context.Context, resource string, mode Mode) (*Lock, error) {
+	return m.LockWithPriority(ctx, resource, mode, 0)
+}
+
+// LockWithPriority is Lock with a request priority: when requests queue
+// at the lock's token node, higher priorities are served first (FIFO
+// within a level). Priority 0 is the default FIFO arbitration; sustained
+// high-priority traffic can starve lower priorities, by design.
+func (m *Member) LockWithPriority(ctx context.Context, resource string, mode Mode, priority uint8) (*Lock, error) {
+	if !mode.Valid() || mode == modes.None {
+		return nil, fmt.Errorf("hierlock: invalid mode %v", mode)
+	}
+	lockID := lockIDFor(resource)
+
+	// Local sharing: if the member already holds exactly this mode and
+	// the mode is compatible with itself (IR, R, IW), additional local
+	// clients join the existing hold with no protocol traffic. Exclusive
+	// classes (U, W) and mode mismatches go through the full path.
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if h := m.holds[lockID]; h != nil && !h.upgrading &&
+		h.mode == mode && modes.Compatible(mode, mode) {
+		h.refs++
+		m.sharedJoins++
+		m.mu.Unlock()
+		return &Lock{m: m, id: lockID, resource: resource, mode: mode}, nil
+	}
+	slot := m.slot(lockID)
+	m.mu.Unlock()
+	start := time.Now()
+
+	// Admission: one client operation per lock per member at a time.
+	select {
+	case slot <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		<-slot
+		return nil, ErrClosed
+	}
+	w := &waiter{ch: make(chan hlock.Event, 1)}
+	m.waiters[lockID] = w
+	out, err := m.engine(lockID).AcquirePri(mode, priority)
+	if err != nil {
+		delete(m.waiters, lockID)
+		m.mu.Unlock()
+		<-slot
+		return nil, err
+	}
+	m.dispatchLocked(lockID, out)
+	m.mu.Unlock()
+
+	observe := func() {
+		d := time.Since(start)
+		m.mu.Lock()
+		m.acqLatency.Observe(d)
+		m.mu.Unlock()
+	}
+	select {
+	case <-w.ch:
+		observe()
+		return &Lock{m: m, id: lockID, resource: resource, mode: mode}, nil
+	case <-ctx.Done():
+		m.mu.Lock()
+		select {
+		case <-w.ch:
+			// Granted in the race window: treat as success.
+			m.acqLatency.Observe(time.Since(start))
+			m.mu.Unlock()
+			return &Lock{m: m, id: lockID, resource: resource, mode: mode}, nil
+		default:
+			w.abandoned = true
+			m.mu.Unlock()
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// Lock is a held lock handle.
+type Lock struct {
+	m        *Member
+	id       proto.LockID
+	resource string
+
+	mu       sync.Mutex
+	mode     Mode
+	released bool
+	// upgrading marks an Upgrade in flight.
+	upgrading bool
+}
+
+// Resource returns the locked resource name.
+func (l *Lock) Resource() string { return l.resource }
+
+// Mode returns the currently held mode (W after a successful upgrade).
+func (l *Lock) Mode() Mode {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.mode
+}
+
+// Unlock releases the lock. When several local clients share the hold
+// (self-compatible modes), only the last Unlock releases it for real. If
+// an upgrade is in flight (after a canceled Upgrade call), the release
+// happens automatically once the upgrade lands.
+func (l *Lock) Unlock() error {
+	l.mu.Lock()
+	if l.released {
+		l.mu.Unlock()
+		return ErrReleased
+	}
+	l.released = true
+	upgrading := l.upgrading
+	l.mu.Unlock()
+
+	m := l.m
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if upgrading {
+		if w := m.waiters[l.id]; w != nil {
+			w.releaseOnUpgrade = true
+			return nil
+		}
+	}
+	if h := m.holds[l.id]; h != nil && h.refs > 1 {
+		h.refs--
+		return nil
+	}
+	delete(m.holds, l.id)
+	out, err := m.engine(l.id).Release()
+	if err != nil {
+		return err
+	}
+	m.dispatchLocked(l.id, out)
+	m.freeSlotLocked(l.id)
+	return nil
+}
+
+// Upgrade atomically converts a U lock to W without releasing it,
+// blocking until all readers drain or ctx is done. On cancellation the
+// upgrade itself proceeds in the background (it cannot be retracted); the
+// handle then holds W, or the lock is auto-released if Unlock was called
+// meanwhile.
+func (l *Lock) Upgrade(ctx context.Context) error {
+	l.mu.Lock()
+	if l.released {
+		l.mu.Unlock()
+		return ErrReleased
+	}
+	if l.mode != U {
+		l.mu.Unlock()
+		return fmt.Errorf("%w (holding %v)", ErrNotUpgradable, l.mode)
+	}
+	if l.upgrading {
+		l.mu.Unlock()
+		return fmt.Errorf("hierlock: upgrade already in flight")
+	}
+	l.upgrading = true
+	l.mu.Unlock()
+
+	m := l.m
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return ErrClosed
+	}
+	if h := m.holds[l.id]; h != nil {
+		h.upgrading = true // U is never shared, so refs == 1 here
+	}
+	w := &waiter{ch: make(chan hlock.Event, 1)}
+	m.waiters[l.id] = w
+	out, err := m.engine(l.id).Upgrade()
+	if err != nil {
+		delete(m.waiters, l.id)
+		if h := m.holds[l.id]; h != nil {
+			h.upgrading = false
+		}
+		m.mu.Unlock()
+		l.mu.Lock()
+		l.upgrading = false
+		l.mu.Unlock()
+		return err
+	}
+	m.dispatchLocked(l.id, out)
+	m.mu.Unlock()
+
+	finish := func() {
+		l.mu.Lock()
+		l.mode = W
+		l.upgrading = false
+		l.mu.Unlock()
+	}
+	select {
+	case <-w.ch:
+		finish()
+		return nil
+	case <-ctx.Done():
+		m.mu.Lock()
+		select {
+		case <-w.ch:
+			m.mu.Unlock()
+			finish()
+			return nil
+		default:
+			// The upgrade completes in the background; the waiter stays
+			// registered so the event updates nothing visible, but a
+			// subsequent Unlock is handled via releaseOnUpgrade.
+			m.mu.Unlock()
+			return ctx.Err()
+		}
+	}
+}
+
+// handle is the transport delivery callback (serialized per member).
+func (m *Member) handle(msg *proto.Message) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return
+	}
+	out, err := m.engine(msg.Lock).Handle(msg)
+	if err != nil && m.firstEr == nil {
+		m.firstEr = err
+	}
+	m.dispatchLocked(msg.Lock, out)
+}
+
+// dispatchLocked routes an engine step's output. Callers hold m.mu.
+func (m *Member) dispatchLocked(lock proto.LockID, out hlock.Out) {
+	for i := range out.Msgs {
+		m.sent.Count(out.Msgs[i].Kind)
+		if err := m.tr.Send(&out.Msgs[i]); err != nil && m.firstEr == nil {
+			m.firstEr = fmt.Errorf("hierlock: send: %w", err)
+		}
+	}
+	for _, ev := range out.Events {
+		switch ev.Kind {
+		case hlock.EventAcquired, hlock.EventUpgraded:
+			w := m.waiters[lock]
+			if w == nil {
+				if m.firstEr == nil {
+					m.firstEr = fmt.Errorf("hierlock: lock %d granted with no waiter", lock)
+				}
+				continue
+			}
+			delete(m.waiters, lock)
+			switch {
+			case w.abandoned, w.releaseOnUpgrade:
+				// The client gave up (or unlocked mid-upgrade): release
+				// immediately.
+				delete(m.holds, lock)
+				rout, err := m.engines[lock].Release()
+				if err != nil && m.firstEr == nil {
+					m.firstEr = err
+				}
+				m.freeSlotLocked(lock)
+				m.dispatchLocked(lock, rout)
+			default:
+				if ev.Kind == hlock.EventUpgraded {
+					if h := m.holds[lock]; h != nil {
+						h.mode = ev.Mode
+						h.upgrading = false
+					}
+				} else {
+					m.holds[lock] = &hold{mode: ev.Mode, refs: 1}
+				}
+				w.ch <- ev
+			}
+		}
+	}
+}
+
+// freeSlotLocked releases the per-lock client-admission slot.
+func (m *Member) freeSlotLocked(lock proto.LockID) {
+	select {
+	case <-m.slot(lock):
+	default:
+	}
+}

@@ -1,0 +1,185 @@
+package hierlock_test
+
+// Tests for the member runtime's harder paths: cancelled upgrades,
+// unlock-during-upgrade, and cancelled waits racing their own grants.
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"hierlock"
+)
+
+func TestUpgradeCancelledThenCompletes(t *testing.T) {
+	c := newCluster(t, 3)
+	ctx := context.Background()
+
+	u, err := c.Member(1).Lock(ctx, "acct", hierlock.U)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := c.Member(2).Lock(ctx, "acct", hierlock.R)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The upgrade blocks on the reader; cancel it.
+	cctx, cancel := context.WithTimeout(ctx, 100*time.Millisecond)
+	defer cancel()
+	if err := u.Upgrade(cctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expected deadline, got %v", err)
+	}
+	// The upgrade cannot be retracted: once the reader releases it
+	// completes in the background; the handle still owns the lock and a
+	// plain Unlock must work and free the resource.
+	if err := r.Unlock(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(200 * time.Millisecond) // let the background upgrade land
+	if err := u.Unlock(); err != nil {
+		t.Fatal(err)
+	}
+	// The resource must be fully free afterwards.
+	wctx, wcancel := context.WithTimeout(ctx, 10*time.Second)
+	defer wcancel()
+	w, err := c.Member(0).Lock(wctx, "acct", hierlock.W)
+	if err != nil {
+		t.Fatalf("resource leaked after cancelled upgrade: %v", err)
+	}
+	_ = w.Unlock()
+}
+
+func TestUnlockDuringUpgradeAutoReleases(t *testing.T) {
+	c := newCluster(t, 3)
+	ctx := context.Background()
+
+	u, err := c.Member(1).Lock(ctx, "doc", hierlock.U)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := c.Member(2).Lock(ctx, "doc", hierlock.R)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cctx, cancel := context.WithTimeout(ctx, 100*time.Millisecond)
+	defer cancel()
+	if err := u.Upgrade(cctx); err == nil {
+		t.Fatal("upgrade should have timed out behind the reader")
+	}
+	// Unlock while the upgrade is still in flight: the member must defer
+	// the release until the upgrade lands, then free everything.
+	if err := u.Unlock(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Unlock(); err != nil {
+		t.Fatal(err)
+	}
+	// The resource must become fully free without further client action.
+	wctx, wcancel := context.WithTimeout(ctx, 10*time.Second)
+	defer wcancel()
+	w, err := c.Member(0).Lock(wctx, "doc", hierlock.W)
+	if err != nil {
+		t.Fatalf("lock leaked after unlock-during-upgrade: %v", err)
+	}
+	_ = w.Unlock()
+}
+
+func TestDoubleUpgradeRejected(t *testing.T) {
+	c := newCluster(t, 3)
+	ctx := context.Background()
+	u, err := c.Member(1).Lock(ctx, "x", hierlock.U)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := c.Member(2).Lock(ctx, "x", hierlock.R)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cctx, cancel := context.WithTimeout(ctx, 80*time.Millisecond)
+	defer cancel()
+	_ = u.Upgrade(cctx) // times out, stays in flight
+	if err := u.Upgrade(ctx); err == nil {
+		t.Fatal("second concurrent upgrade must be rejected")
+	}
+	_ = r.Unlock()
+	time.Sleep(200 * time.Millisecond)
+	_ = u.Unlock()
+}
+
+func TestCancelRaceStillSucceeds(t *testing.T) {
+	// A context that expires around the same time the grant arrives: the
+	// call must either succeed with a valid handle or fail cleanly, and
+	// the resource must never leak. Run several timings to cover the
+	// race window.
+	c := newCluster(t, 2)
+	ctx := context.Background()
+	for _, d := range []time.Duration{
+		time.Microsecond, 100 * time.Microsecond, time.Millisecond, 10 * time.Millisecond,
+	} {
+		cctx, cancel := context.WithTimeout(ctx, d)
+		l, err := c.Member(1).Lock(cctx, "racey", hierlock.W)
+		cancel()
+		if err == nil {
+			if err := l.Unlock(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Whatever happened, the lock must be (or become) free.
+		wctx, wcancel := context.WithTimeout(ctx, 10*time.Second)
+		w, err := c.Member(0).Lock(wctx, "racey", hierlock.W)
+		wcancel()
+		if err != nil {
+			t.Fatalf("timeout %v leaked the lock: %v", d, err)
+		}
+		if err := w.Unlock(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestMemberIDAndSize(t *testing.T) {
+	c := newCluster(t, 3)
+	if c.Size() != 3 {
+		t.Fatalf("size = %d", c.Size())
+	}
+	for i := 0; i < 3; i++ {
+		if c.Member(i).ID() != i {
+			t.Fatalf("member %d reports id %d", i, c.Member(i).ID())
+		}
+	}
+	if c.Member(0).TCPAddr() != "" {
+		t.Fatal("in-process member must report no TCP address")
+	}
+}
+
+func TestMemberStats(t *testing.T) {
+	c := newCluster(t, 2)
+	ctx := context.Background()
+	l1, err := c.Member(1).Lock(ctx, "stats", hierlock.R)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := c.Member(1).Lock(ctx, "stats", hierlock.R) // shared join
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = l1.Unlock()
+	_ = l2.Unlock()
+	st := c.Member(1).Stats()
+	if st.Acquires != 2 {
+		t.Errorf("acquires = %d, want 2", st.Acquires)
+	}
+	if st.SharedJoins != 1 {
+		t.Errorf("shared joins = %d, want 1", st.SharedJoins)
+	}
+	// P99 comes from a power-of-two-bucket histogram, so it can sit up to
+	// one bucket (2×) below the exact mean when samples cluster.
+	if st.MeanAcquire <= 0 || st.P99Acquire < st.MeanAcquire/2 {
+		t.Errorf("latency stats: mean=%v p99=%v", st.MeanAcquire, st.P99Acquire)
+	}
+	if st.MessagesSent == 0 {
+		t.Errorf("messages = %d", st.MessagesSent)
+	}
+}
