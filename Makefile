@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: build test vet race chaos ci clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Full test suite under the race detector (includes the transport
+# failure-path tests and the simulator chaos tests).
+race:
+	$(GO) test -race -count=1 ./...
+
+# Just the fault-injection and transport-failure coverage.
+chaos:
+	$(GO) test -race -count=1 -run 'Chaos' ./internal/cluster/
+	$(GO) test -race -count=1 -run 'TestTCP' ./internal/transport/
+
+# What CI runs.
+ci: build vet race
+
+clean:
+	$(GO) clean ./...

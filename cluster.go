@@ -72,6 +72,26 @@ type TCPMemberConfig struct {
 	Peers map[int]string
 	// DialTimeout bounds connection attempts (default 5s).
 	DialTimeout time.Duration
+	// RedialBackoff is the initial wait before reconnecting to an
+	// unreachable peer; consecutive failures back off exponentially (with
+	// jitter) up to RedialBackoffMax. Defaults: 100ms and 5s.
+	RedialBackoff    time.Duration
+	RedialBackoffMax time.Duration
+	// DownAfter is the number of consecutive connection failures after
+	// which a peer is reported down (default 3).
+	DownAfter int
+	// QueueLimit bounds each per-peer outbound queue and the inbound
+	// delivery queue; 0 means unbounded. At the limit, sends fail rather
+	// than buffering without bound.
+	QueueLimit int
+	// Reliable enables the transport's ack/retransmit link layer so a TCP
+	// connection reset cannot silently lose or duplicate a protocol
+	// message. All members of one cluster must agree on this setting.
+	Reliable bool
+	// OnPeerState, when non-nil, is called from transport goroutines each
+	// time a peer's health changes ("up", "degraded", "down"). It must not
+	// block.
+	OnPeerState func(peer int, state string)
 }
 
 // NewTCPMember creates and starts a member that communicates over TCP.
@@ -85,12 +105,23 @@ func NewTCPMember(cfg TCPMemberConfig) (*Member, error) {
 	for id, addr := range cfg.Peers {
 		peers[proto.NodeID(id)] = addr
 	}
-	tr, err := transport.NewTCP(transport.TCPConfig{
-		Self:        proto.NodeID(cfg.ID),
-		ListenAddr:  cfg.ListenAddr,
-		Peers:       peers,
-		DialTimeout: cfg.DialTimeout,
-	})
+	tcfg := transport.TCPConfig{
+		Self:             proto.NodeID(cfg.ID),
+		ListenAddr:       cfg.ListenAddr,
+		Peers:            peers,
+		DialTimeout:      cfg.DialTimeout,
+		RedialBackoff:    cfg.RedialBackoff,
+		RedialBackoffMax: cfg.RedialBackoffMax,
+		DownAfter:        cfg.DownAfter,
+		QueueLimit:       cfg.QueueLimit,
+		Reliable:         cfg.Reliable,
+	}
+	if cb := cfg.OnPeerState; cb != nil {
+		tcfg.OnPeerState = func(peer proto.NodeID, s transport.PeerState) {
+			cb(int(peer), s.String())
+		}
+	}
+	tr, err := transport.NewTCP(tcfg)
 	if err != nil {
 		return nil, err
 	}
@@ -110,4 +141,62 @@ func (m *Member) TCPAddr() string {
 		return t.Addr()
 	}
 	return ""
+}
+
+// PeerHealth describes the transport's view of one peer link.
+type PeerHealth struct {
+	// State is "up", "degraded" or "down".
+	State string
+	// QueueLen, QueueHighWater and QueueFullDrops describe the outbound
+	// queue to this peer (current occupancy, worst occupancy, sends
+	// rejected at the configured limit).
+	QueueLen       uint64
+	QueueHighWater uint64
+	QueueFullDrops uint64
+}
+
+// PeerHealth reports per-peer link health for a TCP member. Peers this
+// member has never sent to are absent; in-process members return an
+// empty map.
+func (m *Member) PeerHealth() map[int]PeerHealth {
+	out := make(map[int]PeerHealth)
+	t, ok := m.tr.(*transport.TCPTransport)
+	if !ok {
+		return out
+	}
+	queues := t.QueueStats()
+	for id, state := range t.Health() {
+		h := PeerHealth{State: state.String()}
+		if q, ok := queues[id]; ok {
+			h.QueueLen = q.Len
+			h.QueueHighWater = q.HighWater
+			h.QueueFullDrops = q.FullDrops
+		}
+		out[int(id)] = h
+	}
+	return out
+}
+
+// LinkCounters aggregates transport resilience counters for a TCP
+// member: reconnection attempts, reliable-mode retransmissions, and
+// duplicate frames suppressed at the receiver.
+type LinkCounters struct {
+	Redials        uint64
+	Retransmits    uint64
+	DupsSuppressed uint64
+}
+
+// LinkCounters returns the member's transport resilience counters
+// (zeros for in-process members).
+func (m *Member) LinkCounters() LinkCounters {
+	t, ok := m.tr.(*transport.TCPTransport)
+	if !ok {
+		return LinkCounters{}
+	}
+	ls := t.LinkStats()
+	return LinkCounters{
+		Redials:        ls.Redials,
+		Retransmits:    ls.Retransmits,
+		DupsSuppressed: ls.DupsSuppressed,
+	}
 }

@@ -38,6 +38,11 @@ func main() {
 		peers   = flag.String("peers", "", "peer map: id=host:port,id=host:port")
 		timeout = flag.Duration("timeout", 0, "per-request lock timeout (0 = wait forever)")
 		debug   = flag.String("debug", "", "debug HTTP listen address for /healthz and /stats (disabled if empty)")
+
+		reliable   = flag.Bool("reliable", false, "enable the ack/retransmit link layer (all members must agree)")
+		queueLimit = flag.Int("queue-limit", 0, "bound per-peer outbound and inbound queues (0 = unbounded)")
+		redial     = flag.Duration("redial", 0, "initial redial backoff for unreachable peers (default 100ms)")
+		redialMax  = flag.Duration("redial-max", 0, "redial backoff cap (default 5s)")
 	)
 	flag.Parse()
 
@@ -46,10 +51,17 @@ func main() {
 		log.Fatalf("lockd: %v", err)
 	}
 	m, err := hierlock.NewTCPMember(hierlock.TCPMemberConfig{
-		ID:         *id,
-		Root:       *root,
-		ListenAddr: *listen,
-		Peers:      peerMap,
+		ID:               *id,
+		Root:             *root,
+		ListenAddr:       *listen,
+		Peers:            peerMap,
+		Reliable:         *reliable,
+		QueueLimit:       *queueLimit,
+		RedialBackoff:    *redial,
+		RedialBackoffMax: *redialMax,
+		OnPeerState: func(peer int, state string) {
+			log.Printf("lockd: peer %d is %s", peer, state)
+		},
 	})
 	if err != nil {
 		log.Fatalf("lockd: %v", err)

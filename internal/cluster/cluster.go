@@ -78,6 +78,11 @@ type Config struct {
 	Seed    int64
 	// Trace, when non-nil, records sends, deliveries and client events.
 	Trace *trace.Recorder
+	// Faults, when non-nil, injects deterministic network failures (drops,
+	// duplicates, delay spikes, partitions, node crash windows) beneath a
+	// modelled reliable link layer; see sim.FaultPlan. Fault events are
+	// counted in Network.FaultStats and recorded in the trace.
+	Faults *sim.FaultPlan
 }
 
 // DefaultLatencyMean is the paper's mean network latency.
@@ -116,6 +121,9 @@ func New(cfg Config) *Cluster {
 	}
 	c.Net = NewNetwork(s, cfg.Latency)
 	c.Net.trace = cfg.Trace
+	if cfg.Faults != nil {
+		c.Net.SetFaults(*cfg.Faults)
+	}
 	for _, l := range cfg.Locks {
 		c.oracle[l] = make(map[proto.NodeID]modes.Mode)
 	}
@@ -186,6 +194,56 @@ func (c *Cluster) Quiesced() bool {
 		}
 	}
 	return true
+}
+
+// CheckTokens verifies token conservation: every lock of a token-based
+// protocol must have exactly one token holder across the cluster. Zero
+// holders means the token was lost (a dropped Token message the transport
+// failed to recover); more than one means it was duplicated. Call when the
+// cluster is quiesced — during a transfer the token is legitimately in
+// flight. Ricart–Agrawala is permission-based and vacuously conserves.
+func (c *Cluster) CheckTokens() error {
+	for lock := range c.oracle {
+		var holders []proto.NodeID
+		for _, n := range c.Nodes {
+			switch {
+			case n.hier != nil:
+				if e := n.hier[lock]; e != nil && e.IsToken() {
+					holders = append(holders, n.ID)
+				}
+			case n.naimi != nil:
+				if e := n.naimi[lock]; e != nil && e.HasToken() {
+					holders = append(holders, n.ID)
+				}
+			case n.raymond != nil:
+				if e := n.raymond[lock]; e != nil && e.HasToken() {
+					holders = append(holders, n.ID)
+				}
+			case n.suzuki != nil:
+				if e := n.suzuki[lock]; e != nil && e.HasToken() {
+					holders = append(holders, n.ID)
+				}
+			default:
+				return nil // permission-based: no token to conserve
+			}
+		}
+		switch len(holders) {
+		case 1:
+		case 0:
+			return fmt.Errorf("cluster: token lost on lock %d (no holder)", lock)
+		default:
+			return fmt.Errorf("cluster: token duplicated on lock %d (holders %v)", lock, holders)
+		}
+	}
+	return nil
+}
+
+// NodeDown reports whether a node is inside a scheduled crash window at
+// the current virtual time (always false without a fault plan). Workloads
+// use it to pause issuing client operations on a downed node.
+func (c *Cluster) NodeDown(id proto.NodeID) bool {
+	f := c.Net.Faults()
+	return f != nil && f.DownAt(int(id), c.Sim.Now())
 }
 
 // Node is one simulated participant running every lock's engine.
@@ -504,16 +562,23 @@ func (n *Node) dispatchExcl(lock proto.LockID, msgs []proto.Message, acquired bo
 
 // Network models the paper's switched LAN: every ordered node pair is an
 // independent full-duplex link with randomized per-message latency and
-// FIFO delivery (as TCP provides).
+// FIFO delivery (as TCP provides). An optional fault layer (SetFaults)
+// perturbs deliveries with drops, duplicates, delay spikes, partitions
+// and crash windows while preserving the per-link FIFO contract: a
+// recovered frame pushes every later frame on its link behind it, the
+// head-of-line blocking a reliable in-order link exhibits.
 type Network struct {
 	// Metrics counts every message sent, by kind (Figure 7's data).
 	Metrics metrics.Messages
+	// FaultStats counts injected fault events (zero without a fault plan).
+	FaultStats metrics.Faults
 
 	sim      *sim.Sim
 	rand     func() time.Duration
 	handlers map[proto.NodeID]func(*proto.Message)
 	lastAt   map[[2]proto.NodeID]time.Duration
 	trace    *trace.Recorder
+	faults   *sim.Faults
 }
 
 // NewNetwork creates a network over the simulator with the given latency
@@ -533,6 +598,16 @@ func (nw *Network) Register(id proto.NodeID, h func(*proto.Message)) {
 	nw.handlers[id] = h
 }
 
+// SetFaults installs a fault plan. The plan's random stream derives from
+// the simulator, so the whole faulty run replays from the cluster seed.
+// Call before traffic starts.
+func (nw *Network) SetFaults(plan sim.FaultPlan) {
+	nw.faults = sim.NewFaults(plan, nw.sim.NewRand())
+}
+
+// Faults returns the installed fault runtime, or nil.
+func (nw *Network) Faults() *sim.Faults { return nw.faults }
+
 // Send enqueues a message for delivery after a randomized latency,
 // clamped so deliveries on the same ordered link never reorder.
 func (nw *Network) Send(msg proto.Message) {
@@ -541,7 +616,20 @@ func (nw *Network) Send(msg proto.Message) {
 		At: nw.sim.Now(), Op: trace.OpSend, Node: msg.From,
 		Lock: msg.Lock, Mode: msg.Mode, Kind: msg.Kind, From: msg.From, To: msg.To,
 	})
-	at := nw.sim.Now() + nw.rand()
+	var at time.Duration
+	if nw.faults != nil {
+		out := nw.faults.Apply(int(msg.From), int(msg.To), nw.sim.Now(), nw.rand)
+		at = out.Deliver
+		nw.FaultStats.Drops += uint64(out.Drops)
+		nw.FaultStats.Duplicates += uint64(out.Duplicates)
+		nw.FaultStats.DelaySpikes += uint64(out.Spikes)
+		nw.FaultStats.Deferrals += uint64(out.Deferrals)
+		if nw.trace != nil {
+			nw.recordFaults(&msg, out)
+		}
+	} else {
+		at = nw.sim.Now() + nw.rand()
+	}
 	key := [2]proto.NodeID{msg.From, msg.To}
 	if last, ok := nw.lastAt[key]; ok && at <= last {
 		at = last + time.Nanosecond
@@ -559,4 +647,21 @@ func (nw *Network) Send(msg proto.Message) {
 		})
 		h(&m)
 	})
+}
+
+// recordFaults emits one trace entry per injected fault event on a
+// message, timestamped at the send (the virtual times of the individual
+// retransmissions are internal to the fault model).
+func (nw *Network) recordFaults(msg *proto.Message, out sim.Outcome) {
+	emit := func(op trace.Op, n int) {
+		for i := 0; i < n; i++ {
+			nw.trace.Record(trace.Entry{
+				At: nw.sim.Now(), Op: op, Node: msg.From,
+				Lock: msg.Lock, Mode: msg.Mode, Kind: msg.Kind, From: msg.From, To: msg.To,
+			})
+		}
+	}
+	emit(trace.OpDrop, out.Drops)
+	emit(trace.OpDup, out.Duplicates)
+	emit(trace.OpDefer, out.Deferrals)
 }

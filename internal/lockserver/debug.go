@@ -25,14 +25,37 @@ func (s *Server) DebugHandler() http.Handler {
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		st := s.member.Stats()
-		type stats struct {
-			MemberID      int               `json:"member_id"`
-			Acquires      uint64            `json:"acquires"`
-			SharedJoins   uint64            `json:"shared_joins"`
-			MeanAcquireMS float64           `json:"mean_acquire_ms"`
-			P99AcquireMS  float64           `json:"p99_acquire_ms"`
-			MessagesSent  map[string]uint64 `json:"messages_sent"`
+		type peerHealth struct {
+			State          string `json:"state"`
+			QueueLen       uint64 `json:"queue_len"`
+			QueueHighWater uint64 `json:"queue_high_water"`
+			QueueFullDrops uint64 `json:"queue_full_drops"`
 		}
+		type linkCounters struct {
+			Redials        uint64 `json:"redials"`
+			Retransmits    uint64 `json:"retransmits"`
+			DupsSuppressed uint64 `json:"dups_suppressed"`
+		}
+		type stats struct {
+			MemberID      int                `json:"member_id"`
+			Acquires      uint64             `json:"acquires"`
+			SharedJoins   uint64             `json:"shared_joins"`
+			MeanAcquireMS float64            `json:"mean_acquire_ms"`
+			P99AcquireMS  float64            `json:"p99_acquire_ms"`
+			MessagesSent  map[string]uint64  `json:"messages_sent"`
+			PeerHealth    map[int]peerHealth `json:"peer_health"`
+			Link          linkCounters       `json:"link"`
+		}
+		ph := make(map[int]peerHealth)
+		for id, h := range s.member.PeerHealth() {
+			ph[id] = peerHealth{
+				State:          h.State,
+				QueueLen:       h.QueueLen,
+				QueueHighWater: h.QueueHighWater,
+				QueueFullDrops: h.QueueFullDrops,
+			}
+		}
+		lc := s.member.LinkCounters()
 		out := stats{
 			MemberID:      s.member.ID(),
 			Acquires:      st.Acquires,
@@ -40,6 +63,12 @@ func (s *Server) DebugHandler() http.Handler {
 			MeanAcquireMS: float64(st.MeanAcquire) / float64(time.Millisecond),
 			P99AcquireMS:  float64(st.P99Acquire) / float64(time.Millisecond),
 			MessagesSent:  s.member.MessagesSent(),
+			PeerHealth:    ph,
+			Link: linkCounters{
+				Redials:        lc.Redials,
+				Retransmits:    lc.Retransmits,
+				DupsSuppressed: lc.DupsSuppressed,
+			},
 		}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)

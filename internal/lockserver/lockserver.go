@@ -14,6 +14,7 @@
 //	UNLOCKALL <resource>...
 //	HELD                          list locks held by this connection
 //	STATS                         protocol message counters
+//	PEERS                         per-peer link health and queue depth
 //	QUIT
 //
 // Replies are single lines starting with "OK" or "ERR". Locks belong to
@@ -237,6 +238,21 @@ func (se *session) handle(line string) (string, bool) {
 		parts := make([]string, 0, len(kinds))
 		for _, k := range kinds {
 			parts = append(parts, fmt.Sprintf("%s=%d", k, sent[k]))
+		}
+		return "OK " + strings.Join(parts, " "), false
+	case "PEERS":
+		health := se.srv.member.PeerHealth()
+		lc := se.srv.member.LinkCounters()
+		ids := make([]int, 0, len(health))
+		for id := range health {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		parts := []string{fmt.Sprintf("redials=%d retransmits=%d dups_suppressed=%d",
+			lc.Redials, lc.Retransmits, lc.DupsSuppressed)}
+		for _, id := range ids {
+			h := health[id]
+			parts = append(parts, fmt.Sprintf("%d=%s/q%d", id, h.State, h.QueueLen))
 		}
 		return "OK " + strings.Join(parts, " "), false
 	case "QUIT":

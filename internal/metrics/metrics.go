@@ -52,6 +52,75 @@ var Kinds = []proto.Kind{
 	proto.KindRelease, proto.KindFreeze,
 }
 
+// Faults counts injected network-fault events: what the fault layer did
+// to traffic beneath the reliable-link recovery (see sim.FaultPlan). The
+// counters are deterministic for a given plan and seed, which chaos tests
+// exploit to assert run-for-run reproducibility.
+type Faults struct {
+	// Drops counts frames lost to random drop (each implies a retransmit).
+	Drops uint64
+	// Duplicates counts duplicate frames generated and suppressed by the
+	// receiver's sequence check.
+	Duplicates uint64
+	// DelaySpikes counts latency spikes applied.
+	DelaySpikes uint64
+	// Deferrals counts transmissions that waited out a link partition or a
+	// crashed destination.
+	Deferrals uint64
+}
+
+// Total returns the total number of fault events.
+func (f *Faults) Total() uint64 {
+	return f.Drops + f.Duplicates + f.DelaySpikes + f.Deferrals
+}
+
+// Merge adds other's counts into f.
+func (f *Faults) Merge(other *Faults) {
+	f.Drops += other.Drops
+	f.Duplicates += other.Duplicates
+	f.DelaySpikes += other.DelaySpikes
+	f.Deferrals += other.Deferrals
+}
+
+// String renders the counters compactly.
+func (f *Faults) String() string {
+	return fmt.Sprintf("drops=%d dups=%d spikes=%d deferrals=%d",
+		f.Drops, f.Duplicates, f.DelaySpikes, f.Deferrals)
+}
+
+// Queue is a snapshot of one bounded queue's occupancy (a transport
+// mailbox or per-peer outbound buffer).
+type Queue struct {
+	// Len is the current queue length.
+	Len uint64
+	// HighWater is the maximum length ever observed.
+	HighWater uint64
+	// Limit is the configured bound (0 = unbounded).
+	Limit uint64
+	// FullDrops counts enqueue attempts rejected because the queue was at
+	// its limit.
+	FullDrops uint64
+}
+
+// Link counts link-layer resilience events of a live transport endpoint.
+type Link struct {
+	// Redials counts reconnection attempts to peers.
+	Redials uint64
+	// Retransmits counts frames re-sent from the unacked buffer after a
+	// connection was re-established (reliable mode).
+	Retransmits uint64
+	// DupsSuppressed counts inbound frames discarded by the per-link
+	// sequence check (reliable mode).
+	DupsSuppressed uint64
+}
+
+// Merge adds other's counts into l.
+func (l *Link) Merge(other *Link) {
+	l.Redials += other.Redials
+	l.Retransmits += other.Retransmits
+	l.DupsSuppressed += other.DupsSuppressed
+}
+
 // Latency accumulates durations and derives summary statistics,
 // including approximate percentiles from a fixed exponential histogram
 // (buckets double from 1 µs up to ~1.2 h, ≤ one-bucket relative error).

@@ -158,3 +158,26 @@ func TestQuantileExtremes(t *testing.T) {
 		t.Errorf("huge sample quantile = %v, want Max", q)
 	}
 }
+
+func TestFaultsCounters(t *testing.T) {
+	a := Faults{Drops: 3, Duplicates: 2, DelaySpikes: 1, Deferrals: 4}
+	if a.Total() != 10 {
+		t.Fatalf("total = %d", a.Total())
+	}
+	b := Faults{Drops: 1, Deferrals: 1}
+	a.Merge(&b)
+	if a.Drops != 4 || a.Deferrals != 5 || a.Total() != 12 {
+		t.Fatalf("merge wrong: %+v", a)
+	}
+	if s := a.String(); s == "" {
+		t.Fatal("empty string form")
+	}
+}
+
+func TestLinkMerge(t *testing.T) {
+	a := Link{Redials: 2, Retransmits: 3, DupsSuppressed: 1}
+	a.Merge(&Link{Redials: 1, Retransmits: 1, DupsSuppressed: 1})
+	if a.Redials != 3 || a.Retransmits != 4 || a.DupsSuppressed != 2 {
+		t.Fatalf("merge wrong: %+v", a)
+	}
+}

@@ -1,0 +1,105 @@
+package proto
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"hierlock/internal/modes"
+)
+
+func TestLinkDataRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	want := &Message{
+		Kind: KindToken, Lock: 42, From: 3, To: 9, TS: 17, Seq: 5,
+		Mode: modes.W, Owned: modes.IW, Frozen: modes.MakeSet(modes.R),
+		Queue: []Request{{Origin: 1, Mode: modes.R, TS: 2, Priority: 3}},
+	}
+	if err := WriteLinkData(&buf, 77, want); err != nil {
+		t.Fatal(err)
+	}
+	typ, seq, got, err := ReadLinkFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != LinkData || seq != 77 {
+		t.Fatalf("typ=%d seq=%d", typ, seq)
+	}
+	if got.Kind != want.Kind || got.Lock != want.Lock || got.TS != want.TS ||
+		got.Seq != want.Seq || got.Mode != want.Mode || len(got.Queue) != 1 {
+		t.Fatalf("message mangled: %+v", got)
+	}
+}
+
+func TestLinkAckRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteLinkAck(&buf, 123456); err != nil {
+		t.Fatal(err)
+	}
+	typ, seq, m, err := ReadLinkFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != LinkAck || seq != 123456 || m != nil {
+		t.Fatalf("typ=%d seq=%d m=%v", typ, seq, m)
+	}
+}
+
+func TestLinkStreamInterleaved(t *testing.T) {
+	var buf bytes.Buffer
+	for i := uint64(1); i <= 5; i++ {
+		if err := WriteLinkData(&buf, i, &Message{Kind: KindRequest, TS: Timestamp(i)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteLinkAck(&buf, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(1); i <= 5; i++ {
+		typ, seq, m, err := ReadLinkFrame(&buf)
+		if err != nil || typ != LinkData || seq != i || m == nil {
+			t.Fatalf("data frame %d: typ=%d seq=%d err=%v", i, typ, seq, err)
+		}
+		typ, seq, _, err = ReadLinkFrame(&buf)
+		if err != nil || typ != LinkAck || seq != i {
+			t.Fatalf("ack frame %d: typ=%d seq=%d err=%v", i, typ, seq, err)
+		}
+	}
+}
+
+func TestLinkRejectsPlainFrame(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, &Message{Kind: KindRequest}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := ReadLinkFrame(&buf); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("plain frame must fail with ErrBadVersion, got %v", err)
+	}
+	// And the reverse: a plain reader rejects a link frame.
+	buf.Reset()
+	if err := WriteLinkData(&buf, 1, &Message{Kind: KindRequest}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFrame(&buf); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("link frame must fail a plain reader with ErrBadVersion, got %v", err)
+	}
+}
+
+func TestLinkRejectsTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteLinkData(&buf, 9, &Message{Kind: KindGrant}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for cut := 1; cut < len(raw); cut += 7 {
+		if _, _, _, err := ReadLinkFrame(bytes.NewReader(raw[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	// Corrupt magic.
+	bad := append([]byte(nil), raw...)
+	bad[4] = 0x55
+	if _, _, _, err := ReadLinkFrame(bytes.NewReader(bad)); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("bad magic: %v", err)
+	}
+}

@@ -25,6 +25,9 @@ const (
 	OpAcquire               // a client issued an acquire/upgrade
 	OpGranted               // a client request was granted
 	OpRelease               // a client released a lock
+	OpDrop                  // fault injection: a frame was dropped (and retransmitted)
+	OpDup                   // fault injection: a duplicate frame was generated (and suppressed)
+	OpDefer                 // fault injection: delivery deferred by a partition or crash
 )
 
 // String names the op.
@@ -40,6 +43,12 @@ func (o Op) String() string {
 		return "granted"
 	case OpRelease:
 		return "release"
+	case OpDrop:
+		return "drop"
+	case OpDup:
+		return "dup"
+	case OpDefer:
+		return "defer"
 	default:
 		return "unknown"
 	}
@@ -61,7 +70,7 @@ type Entry struct {
 // String renders the entry compactly.
 func (e Entry) String() string {
 	switch e.Op {
-	case OpSend, OpDeliver:
+	case OpSend, OpDeliver, OpDrop, OpDup, OpDefer:
 		return fmt.Sprintf("%8.3fs #%d %-7s %v %d→%d lock=%d mode=%v",
 			e.At.Seconds(), e.Seq, e.Op, e.Kind, e.From, e.To, e.Lock, e.Mode)
 	default:

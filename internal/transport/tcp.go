@@ -1,13 +1,41 @@
 package transport
 
 import (
+	"context"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
 
+	"hierlock/internal/metrics"
 	"hierlock/internal/proto"
 )
+
+// PeerState is the transport's health assessment of one peer link.
+type PeerState uint8
+
+// Peer health states. A peer starts Up (optimistically), degrades on the
+// first connection or write failure, and is reported Down after
+// DownAfter consecutive failures; any successful connection returns it
+// to Up.
+const (
+	PeerUp PeerState = iota
+	PeerDegraded
+	PeerDown
+)
+
+// String names the state.
+func (s PeerState) String() string {
+	switch s {
+	case PeerDegraded:
+		return "degraded"
+	case PeerDown:
+		return "down"
+	default:
+		return "up"
+	}
+}
 
 // TCPConfig configures a TCP transport endpoint.
 type TCPConfig struct {
@@ -20,26 +48,61 @@ type TCPConfig struct {
 	Peers map[proto.NodeID]string
 	// DialTimeout bounds outbound connection attempts (default 5s).
 	DialTimeout time.Duration
-	// RedialBackoff is the wait between reconnection attempts to an
-	// unreachable peer (default 500ms).
+	// RedialBackoff is the initial wait between reconnection attempts to
+	// an unreachable peer (default 100ms). Each consecutive failure
+	// doubles the wait (with ±25% jitter to avoid reconnection storms) up
+	// to RedialBackoffMax.
 	RedialBackoff time.Duration
+	// RedialBackoffMax caps the exponential redial backoff (default 5s).
+	RedialBackoffMax time.Duration
+	// DownAfter is the number of consecutive connection failures after
+	// which a peer is reported Down rather than Degraded (default 3).
+	DownAfter int
+	// QueueLimit bounds each per-peer outbound queue (queued plus
+	// unacknowledged messages) and the inbound delivery mailbox. 0 means
+	// unbounded. Send fails with ErrQueueFull at the limit.
+	QueueLimit int
+	// Reliable enables the link-layer ack/retransmit sublayer: messages
+	// carry per-link sequence numbers, are buffered until acknowledged,
+	// retransmitted on reconnection and deduplicated at the receiver, so
+	// a connection reset cannot silently lose or duplicate a frame. All
+	// members of a cluster must agree on this setting.
+	Reliable bool
+	// OnPeerState, when non-nil, is invoked from transport goroutines
+	// whenever a peer's health state changes. It must not block and must
+	// not call back into the transport.
+	OnPeerState func(peer proto.NodeID, state PeerState)
 }
 
 // TCPTransport connects nodes over TCP with one outbound connection per
 // peer. TCP's in-order bytestream plus one writer goroutine per peer
 // yields the per-link FIFO guarantee; one reader goroutine per inbound
-// connection feeds a per-node mailbox, serializing delivery.
+// connection feeds a per-node mailbox, serializing delivery. In Reliable
+// mode a sequence/ack sublayer upgrades the per-link guarantee to
+// exactly-once across connection resets.
 type TCPTransport struct {
 	cfg TCPConfig
 	ln  net.Listener
 	box *mailbox
 
+	// ctx is canceled by Close; it gates dialing and backoff waits so
+	// Close returns promptly even with unreachable peers.
+	ctx    context.Context
+	cancel context.CancelFunc
+
 	mu      sync.Mutex
 	started bool
 	closed  bool
 	writers map[proto.NodeID]*peerWriter
-	conns   []net.Conn
+	conns   map[net.Conn]struct{}
 	wg      sync.WaitGroup
+
+	// Reliable-mode receiver state: highest link sequence delivered per
+	// sending peer. It outlives individual connections, which is what
+	// makes cross-reconnect deduplication work.
+	recvMu         sync.Mutex
+	recvSeq        map[proto.NodeID]uint64
+	dupsSuppressed uint64
 }
 
 // NewTCP creates a TCP transport endpoint and binds its listener
@@ -52,17 +115,31 @@ func NewTCP(cfg TCPConfig) (*TCPTransport, error) {
 		cfg.DialTimeout = 5 * time.Second
 	}
 	if cfg.RedialBackoff <= 0 {
-		cfg.RedialBackoff = 500 * time.Millisecond
+		cfg.RedialBackoff = 100 * time.Millisecond
+	}
+	if cfg.RedialBackoffMax <= 0 {
+		cfg.RedialBackoffMax = 5 * time.Second
+	}
+	if cfg.RedialBackoffMax < cfg.RedialBackoff {
+		cfg.RedialBackoffMax = cfg.RedialBackoff
+	}
+	if cfg.DownAfter <= 0 {
+		cfg.DownAfter = 3
 	}
 	ln, err := net.Listen("tcp", cfg.ListenAddr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", cfg.ListenAddr, err)
 	}
+	ctx, cancel := context.WithCancel(context.Background())
 	return &TCPTransport{
 		cfg:     cfg,
 		ln:      ln,
-		box:     newMailbox(),
+		box:     newMailbox(cfg.QueueLimit),
+		ctx:     ctx,
+		cancel:  cancel,
 		writers: make(map[proto.NodeID]*peerWriter),
+		conns:   make(map[net.Conn]struct{}),
+		recvSeq: make(map[proto.NodeID]uint64),
 	}, nil
 }
 
@@ -86,6 +163,25 @@ func (t *TCPTransport) Start(h Handler) error {
 	return nil
 }
 
+// trackConn registers a live connection so Close can interrupt it.
+// Returns false (closing the conn) when the transport is shutting down.
+func (t *TCPTransport) trackConn(c net.Conn) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		_ = c.Close()
+		return false
+	}
+	t.conns[c] = struct{}{}
+	return true
+}
+
+func (t *TCPTransport) untrackConn(c net.Conn) {
+	t.mu.Lock()
+	delete(t.conns, c)
+	t.mu.Unlock()
+}
+
 func (t *TCPTransport) acceptLoop() {
 	defer t.wg.Done()
 	for {
@@ -93,14 +189,9 @@ func (t *TCPTransport) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
-		t.mu.Lock()
-		if t.closed {
-			t.mu.Unlock()
-			_ = conn.Close()
+		if !t.trackConn(conn) {
 			return
 		}
-		t.conns = append(t.conns, conn)
-		t.mu.Unlock()
 		t.wg.Add(1)
 		go t.readLoop(conn)
 	}
@@ -108,20 +199,64 @@ func (t *TCPTransport) acceptLoop() {
 
 func (t *TCPTransport) readLoop(conn net.Conn) {
 	defer t.wg.Done()
+	defer t.untrackConn(conn)
+	defer conn.Close()
+	if t.cfg.Reliable {
+		t.readLoopReliable(conn)
+		return
+	}
 	for {
 		msg, err := proto.ReadFrame(conn)
 		if err != nil {
-			_ = conn.Close()
 			return
 		}
 		if err := t.box.put(msg); err != nil {
-			_ = conn.Close()
 			return
 		}
 	}
 }
 
-// Send enqueues a message to the peer's writer, connecting lazily.
+// readLoopReliable consumes sequenced data frames, suppresses frames the
+// transport has already delivered (retransmissions after a reconnect)
+// and acknowledges cumulatively on the same connection.
+func (t *TCPTransport) readLoopReliable(conn net.Conn) {
+	for {
+		typ, seq, msg, err := proto.ReadLinkFrame(conn)
+		if err != nil {
+			return
+		}
+		if typ != proto.LinkData {
+			continue // acks are not expected inbound; ignore
+		}
+		from := msg.From
+		t.recvMu.Lock()
+		last := t.recvSeq[from]
+		if seq <= last {
+			t.dupsSuppressed++
+			t.recvMu.Unlock()
+			// Re-ack so the sender can prune its buffer.
+			if err := proto.WriteLinkAck(conn, last); err != nil {
+				return
+			}
+			continue
+		}
+		t.recvMu.Unlock()
+		if err := t.box.put(msg); err != nil {
+			// Queue full or closing: drop the frame *unacknowledged* so
+			// the sender retransmits it later.
+			return
+		}
+		t.recvMu.Lock()
+		t.recvSeq[from] = seq
+		t.recvMu.Unlock()
+		if err := proto.WriteLinkAck(conn, seq); err != nil {
+			return
+		}
+	}
+}
+
+// Send enqueues a message to the peer's writer, connecting lazily. It
+// fails with ErrQueueFull when the peer's bounded queue is at its limit.
 func (t *TCPTransport) Send(msg *proto.Message) error {
 	t.mu.Lock()
 	if t.closed {
@@ -139,14 +274,73 @@ func (t *TCPTransport) Send(msg *proto.Message) error {
 			t.mu.Unlock()
 			return fmt.Errorf("%w: node %d", ErrUnknown, msg.To)
 		}
-		w = newPeerWriter(t, addr)
+		w = newPeerWriter(t, msg.To, addr)
 		t.writers[msg.To] = w
 	}
 	t.mu.Unlock()
-	return w.box.put(msg)
+	return w.put(msg)
 }
 
-// Close stops the listener, writers and delivery loop.
+// Health snapshots the health state of every peer this transport has
+// tried to reach (peers never sent to are absent).
+func (t *TCPTransport) Health() map[proto.NodeID]PeerState {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[proto.NodeID]PeerState, len(t.writers))
+	for id, w := range t.writers {
+		w.mu.Lock()
+		out[id] = w.state
+		w.mu.Unlock()
+	}
+	return out
+}
+
+// QueueStats snapshots per-peer outbound queue occupancy (queued plus
+// unacknowledged messages).
+func (t *TCPTransport) QueueStats() map[proto.NodeID]metrics.Queue {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[proto.NodeID]metrics.Queue, len(t.writers))
+	for id, w := range t.writers {
+		w.mu.Lock()
+		out[id] = metrics.Queue{
+			Len:       uint64(len(w.queue) + len(w.unacked)),
+			HighWater: uint64(w.highWater),
+			Limit:     uint64(t.cfg.QueueLimit),
+			FullDrops: w.fullDrops,
+		}
+		w.mu.Unlock()
+	}
+	return out
+}
+
+// InboxStats snapshots the inbound delivery mailbox occupancy.
+func (t *TCPTransport) InboxStats() metrics.Queue { return t.box.stats() }
+
+// LinkStats aggregates link-layer resilience counters across all peers.
+func (t *TCPTransport) LinkStats() metrics.Link {
+	var out metrics.Link
+	t.mu.Lock()
+	writers := make([]*peerWriter, 0, len(t.writers))
+	for _, w := range t.writers {
+		writers = append(writers, w)
+	}
+	t.mu.Unlock()
+	for _, w := range writers {
+		w.mu.Lock()
+		out.Redials += w.redials
+		out.Retransmits += w.retransmits
+		w.mu.Unlock()
+	}
+	t.recvMu.Lock()
+	out.DupsSuppressed = t.dupsSuppressed
+	t.recvMu.Unlock()
+	return out
+}
+
+// Close stops the listener, writers and delivery loop. It returns
+// promptly (well under a second) even when peer writers are mid-dial or
+// mid-backoff against unreachable peers.
 func (t *TCPTransport) Close() error {
 	t.mu.Lock()
 	if t.closed {
@@ -155,16 +349,16 @@ func (t *TCPTransport) Close() error {
 	}
 	t.closed = true
 	started := t.started
-	writers := t.writers
-	conns := t.conns
+	conns := make([]net.Conn, 0, len(t.conns))
+	for c := range t.conns {
+		conns = append(conns, c)
+	}
 	t.mu.Unlock()
 
+	t.cancel()
 	_ = t.ln.Close()
 	for _, c := range conns {
 		_ = c.Close()
-	}
-	for _, w := range writers {
-		w.box.close()
 	}
 	if started {
 		t.box.close()
@@ -178,57 +372,294 @@ func (t *TCPTransport) Close() error {
 	return nil
 }
 
-// peerWriter owns the outbound connection to one peer: a mailbox plus a
-// writer goroutine, reconnecting with backoff on failure. Messages that
-// fail mid-write are retried on the new connection, which can duplicate a
-// frame in rare crash-adjacent cases but never reorders; the engines
-// treat duplicate stale messages as no-ops or detectable errors.
-type peerWriter struct {
-	t    *TCPTransport
-	addr string
-	box  *mailbox
+// linkEntry is one sent-but-unacknowledged message (reliable mode).
+type linkEntry struct {
+	seq uint64
+	msg *proto.Message
 }
 
-func newPeerWriter(t *TCPTransport, addr string) *peerWriter {
-	w := &peerWriter{t: t, addr: addr, box: newMailbox()}
+// peerWriter owns the outbound link to one peer: a bounded queue plus a
+// writer goroutine that connects lazily and reconnects with capped
+// exponential backoff and jitter. In plain mode a message that fails
+// mid-write is retried on the new connection, which can duplicate a
+// frame in rare crash-adjacent cases but never reorders. In reliable
+// mode messages stay in the unacked buffer until the peer acknowledges
+// their link sequence number and are retransmitted after a reconnect,
+// giving exactly-once per-link delivery while both endpoints live.
+type peerWriter struct {
+	t    *TCPTransport
+	peer proto.NodeID
+	addr string
+
+	// notify wakes the writer for new messages; kick reports a dead
+	// connection discovered by the ack reader.
+	notify chan struct{}
+	kick   chan net.Conn
+
+	// conn is owned by the run goroutine exclusively.
+	conn net.Conn
+	// pending is a popped message not yet written (plain-mode retry).
+	pending *proto.Message
+
+	mu          sync.Mutex
+	queue       []*proto.Message
+	unacked     []linkEntry
+	nextSeq     uint64
+	highWater   int
+	fullDrops   uint64
+	redials     uint64
+	retransmits uint64
+	state       PeerState
+	failures    int
+}
+
+func newPeerWriter(t *TCPTransport, peer proto.NodeID, addr string) *peerWriter {
+	w := &peerWriter{
+		t:      t,
+		peer:   peer,
+		addr:   addr,
+		notify: make(chan struct{}, 1),
+		kick:   make(chan net.Conn, 1),
+	}
 	t.wg.Add(1)
 	go w.run()
 	return w
 }
 
+// put enqueues one message, enforcing the configured bound across queued
+// plus unacknowledged messages.
+func (w *peerWriter) put(msg *proto.Message) error {
+	w.mu.Lock()
+	if limit := w.t.cfg.QueueLimit; limit > 0 && len(w.queue)+len(w.unacked) >= limit {
+		w.fullDrops++
+		w.mu.Unlock()
+		return fmt.Errorf("%w: peer %d", ErrQueueFull, w.peer)
+	}
+	w.queue = append(w.queue, msg)
+	if occ := len(w.queue) + len(w.unacked); occ > w.highWater {
+		w.highWater = occ
+	}
+	w.mu.Unlock()
+	select {
+	case w.notify <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
 func (w *peerWriter) run() {
 	defer w.t.wg.Done()
-	var conn net.Conn
-	defer func() {
-		if conn != nil {
-			_ = conn.Close()
+	defer w.dropConn()
+	done := w.t.ctx.Done()
+	backoff := w.t.cfg.RedialBackoff
+	var retryC <-chan time.Time
+	for {
+		select {
+		case <-done:
+			return
+		case <-w.notify:
+		case c := <-w.kick:
+			// The ack reader saw this connection die; ignore stale kicks
+			// for connections already replaced.
+			if c == w.conn {
+				w.dropConn()
+			}
+		case <-retryC:
 		}
-	}()
-	w.box.drain(func(msg *proto.Message) {
-		for {
-			if w.closedNow() {
-				return
+		if w.flush() {
+			retryC = time.After(jitter(backoff))
+			backoff *= 2
+			if max := w.t.cfg.RedialBackoffMax; backoff > max {
+				backoff = max
 			}
-			if conn == nil {
-				c, err := net.DialTimeout("tcp", w.addr, w.t.cfg.DialTimeout)
-				if err != nil {
-					time.Sleep(w.t.cfg.RedialBackoff)
-					continue
+		} else {
+			retryC = nil
+			if w.conn != nil {
+				backoff = w.t.cfg.RedialBackoff
+			}
+		}
+	}
+}
+
+// jitter spreads a backoff over [3d/4, 5d/4) so a fleet of writers does
+// not redial in lockstep.
+func jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	return 3*d/4 + time.Duration(rand.Int63n(int64(d)/2+1))
+}
+
+// flush pushes queued work out on the current connection, dialing if
+// needed. It returns true when undelivered work remains and the caller
+// should retry after a backoff (the peer is unreachable).
+func (w *peerWriter) flush() (retry bool) {
+	for {
+		if w.conn == nil {
+			if !w.hasWork() {
+				return false
+			}
+			conn, err := w.dial()
+			if err != nil {
+				if w.t.ctx.Err() != nil {
+					return false
 				}
-				conn = c
+				w.noteFailure()
+				return true
 			}
-			if err := proto.WriteFrame(conn, msg); err != nil {
-				_ = conn.Close()
-				conn = nil
-				continue
+			if !w.t.trackConn(conn) {
+				return false
+			}
+			w.conn = conn
+			w.noteUp()
+			if w.t.cfg.Reliable {
+				if !w.retransmitUnacked() {
+					continue // write failed; redial
+				}
+				w.t.wg.Add(1)
+				go w.ackLoop(conn)
+			}
+		}
+		msg, seq, ok := w.take()
+		if !ok {
+			return false
+		}
+		var err error
+		if w.t.cfg.Reliable {
+			err = proto.WriteLinkData(w.conn, seq, msg)
+		} else {
+			err = proto.WriteFrame(w.conn, msg)
+		}
+		if err != nil {
+			if !w.t.cfg.Reliable {
+				w.pending = msg // retry on the next connection
+			}
+			w.dropConn()
+			w.noteFailure()
+		}
+	}
+}
+
+// dial attempts one connection, bounded by DialTimeout and interrupted
+// by Close.
+func (w *peerWriter) dial() (net.Conn, error) {
+	w.mu.Lock()
+	w.redials++
+	w.mu.Unlock()
+	ctx, cancel := context.WithTimeout(w.t.ctx, w.t.cfg.DialTimeout)
+	defer cancel()
+	var d net.Dialer
+	return d.DialContext(ctx, "tcp", w.addr)
+}
+
+// take pops the next message to write. In reliable mode it assigns the
+// link sequence number and moves the message to the unacked buffer.
+func (w *peerWriter) take() (*proto.Message, uint64, bool) {
+	if w.pending != nil {
+		msg := w.pending
+		w.pending = nil
+		return msg, 0, true
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(w.queue) == 0 {
+		return nil, 0, false
+	}
+	msg := w.queue[0]
+	w.queue = w.queue[1:]
+	var seq uint64
+	if w.t.cfg.Reliable {
+		w.nextSeq++
+		seq = w.nextSeq
+		w.unacked = append(w.unacked, linkEntry{seq: seq, msg: msg})
+	}
+	return msg, seq, true
+}
+
+func (w *peerWriter) hasWork() bool {
+	if w.pending != nil {
+		return true
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.queue) > 0 || len(w.unacked) > 0
+}
+
+// retransmitUnacked replays the unacked buffer on a fresh connection.
+func (w *peerWriter) retransmitUnacked() bool {
+	w.mu.Lock()
+	pending := append([]linkEntry(nil), w.unacked...)
+	w.mu.Unlock()
+	for _, e := range pending {
+		if err := proto.WriteLinkData(w.conn, e.seq, e.msg); err != nil {
+			w.dropConn()
+			w.noteFailure()
+			return false
+		}
+	}
+	if len(pending) > 0 {
+		w.mu.Lock()
+		w.retransmits += uint64(len(pending))
+		w.mu.Unlock()
+	}
+	return true
+}
+
+// ackLoop reads cumulative acks from the outbound connection, pruning
+// the unacked buffer; on connection failure it kicks the writer so idle
+// links still recover promptly.
+func (w *peerWriter) ackLoop(conn net.Conn) {
+	defer w.t.wg.Done()
+	for {
+		typ, seq, _, err := proto.ReadLinkFrame(conn)
+		if err != nil {
+			_ = conn.Close()
+			select {
+			case w.kick <- conn:
+			default:
 			}
 			return
 		}
-	})
+		if typ != proto.LinkAck {
+			continue
+		}
+		w.mu.Lock()
+		i := 0
+		for i < len(w.unacked) && w.unacked[i].seq <= seq {
+			i++
+		}
+		w.unacked = w.unacked[i:]
+		w.mu.Unlock()
+	}
 }
 
-func (w *peerWriter) closedNow() bool {
-	w.t.mu.Lock()
-	defer w.t.mu.Unlock()
-	return w.t.closed
+func (w *peerWriter) dropConn() {
+	if w.conn == nil {
+		return
+	}
+	_ = w.conn.Close()
+	w.t.untrackConn(w.conn)
+	w.conn = nil
+}
+
+func (w *peerWriter) noteUp() { w.setState(PeerUp, true) }
+
+func (w *peerWriter) noteFailure() { w.setState(PeerDegraded, false) }
+
+func (w *peerWriter) setState(s PeerState, reset bool) {
+	w.mu.Lock()
+	if reset {
+		w.failures = 0
+	} else {
+		w.failures++
+		if w.failures >= w.t.cfg.DownAfter {
+			s = PeerDown
+		}
+	}
+	changed := w.state != s
+	w.state = s
+	w.mu.Unlock()
+	if changed && w.t.cfg.OnPeerState != nil {
+		w.t.cfg.OnPeerState(w.peer, s)
+	}
 }

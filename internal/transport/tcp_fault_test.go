@@ -1,0 +1,509 @@
+package transport
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"hierlock/internal/proto"
+)
+
+// deadAddr returns a loopback address with nothing listening on it
+// (connections are refused immediately).
+func deadAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	_ = ln.Close()
+	return addr
+}
+
+// TestTCPCloseFastWithUnreachablePeer: Close must return promptly even
+// while a peer writer sits in a long redial backoff.
+func TestTCPCloseFastWithUnreachablePeer(t *testing.T) {
+	ta, err := NewTCP(TCPConfig{
+		Self: 0, ListenAddr: "127.0.0.1:0",
+		Peers:            map[proto.NodeID]string{1: deadAddr(t)},
+		RedialBackoff:    5 * time.Second,
+		RedialBackoffMax: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ta.Start(func(*proto.Message) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ta.Send(&proto.Message{From: 0, To: 1, Kind: proto.KindRequest}); err != nil {
+		t.Fatal(err)
+	}
+	// Let the writer fail its first dial and enter the 5s backoff.
+	time.Sleep(100 * time.Millisecond)
+	start := time.Now()
+	if err := ta.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("Close took %v with unreachable peer (want < 1s)", d)
+	}
+}
+
+// TestTCPQueueFull: a bounded per-peer queue rejects sends at its limit
+// with ErrQueueFull and records the pressure in QueueStats.
+func TestTCPQueueFull(t *testing.T) {
+	ta, err := NewTCP(TCPConfig{
+		Self: 0, ListenAddr: "127.0.0.1:0",
+		Peers:         map[proto.NodeID]string{1: deadAddr(t)},
+		RedialBackoff: time.Hour, // keep everything queued
+		QueueLimit:    2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ta.Close()
+	if err := ta.Start(func(*proto.Message) {}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := ta.Send(&proto.Message{From: 0, To: 1, Kind: proto.KindRequest}); err != nil {
+			t.Fatalf("send %d within limit: %v", i, err)
+		}
+	}
+	err = ta.Send(&proto.Message{From: 0, To: 1, Kind: proto.KindRequest})
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("over-limit send: got %v, want ErrQueueFull", err)
+	}
+	qs := ta.QueueStats()[1]
+	if qs.Limit != 2 || qs.FullDrops != 1 || qs.HighWater != 2 {
+		t.Fatalf("queue stats: %+v", qs)
+	}
+}
+
+// TestTCPHealthTransitions: consecutive connection failures degrade then
+// down a peer; a successful connection brings it back up, each change
+// reported through the callback.
+func TestTCPHealthTransitions(t *testing.T) {
+	addr := deadAddr(t)
+	states := make(chan PeerState, 16)
+	ta, err := NewTCP(TCPConfig{
+		Self: 0, ListenAddr: "127.0.0.1:0",
+		Peers:         map[proto.NodeID]string{1: addr},
+		RedialBackoff: 10 * time.Millisecond,
+		DownAfter:     2,
+		OnPeerState: func(peer proto.NodeID, s PeerState) {
+			if peer == 1 {
+				states <- s
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ta.Close()
+	if err := ta.Start(func(*proto.Message) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ta.Send(&proto.Message{From: 0, To: 1, Kind: proto.KindRequest}); err != nil {
+		t.Fatal(err)
+	}
+	expect := func(want PeerState) {
+		t.Helper()
+		select {
+		case s := <-states:
+			if s != want {
+				t.Fatalf("state = %v, want %v", s, want)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("timed out waiting for state %v", want)
+		}
+	}
+	expect(PeerDegraded)
+	expect(PeerDown)
+	if got := ta.Health()[1]; got != PeerDown {
+		t.Fatalf("Health() = %v, want down", got)
+	}
+	// Resurrect the peer at the same address; the writer's retry loop
+	// should connect and report Up.
+	tb, err := NewTCP(TCPConfig{Self: 1, ListenAddr: addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	if err := tb.Start(func(*proto.Message) {}); err != nil {
+		t.Fatal(err)
+	}
+	expect(PeerUp)
+	if got := ta.Health()[1]; got != PeerUp {
+		t.Fatalf("Health() = %v, want up", got)
+	}
+}
+
+// TestTCPReliableConnReset: in reliable mode a connection reset
+// mid-stream must not lose or duplicate any frame — the receiver sees
+// exactly 1..n in order (exactly-once per transport incarnation).
+func TestTCPReliableConnReset(t *testing.T) {
+	tb, err := NewTCP(TCPConfig{Self: 1, ListenAddr: "127.0.0.1:0", Reliable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	const n = 200
+	got := make(chan proto.Timestamp, n+64)
+	received := make(chan struct{}, n+64)
+	if err := tb.Start(func(m *proto.Message) {
+		got <- m.TS
+		received <- struct{}{}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ta, err := NewTCP(TCPConfig{
+		Self: 0, ListenAddr: "127.0.0.1:0",
+		Peers:         map[proto.NodeID]string{1: tb.Addr()},
+		RedialBackoff: 10 * time.Millisecond,
+		Reliable:      true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ta.Close()
+	if err := ta.Start(func(*proto.Message) {}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Sender paces messages out while the test severs B's inbound
+	// connections twice mid-stream.
+	go func() {
+		for i := 1; i <= n; i++ {
+			for {
+				err := ta.Send(&proto.Message{From: 0, To: 1, Kind: proto.KindRequest, TS: proto.Timestamp(i)})
+				if err == nil {
+					break
+				}
+				time.Sleep(time.Millisecond)
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+
+	sever := func() {
+		tb.mu.Lock()
+		for c := range tb.conns {
+			_ = c.Close()
+		}
+		tb.mu.Unlock()
+	}
+	delivered := 0
+	for delivered < n {
+		select {
+		case <-received:
+			delivered++
+			if delivered == n/4 || delivered == n/2 {
+				sever()
+			}
+		case <-time.After(20 * time.Second):
+			t.Fatalf("stalled at %d/%d deliveries", delivered, n)
+		}
+	}
+	close(got)
+	i := proto.Timestamp(0)
+	for ts := range got {
+		i++
+		if ts != i {
+			t.Fatalf("delivery %d has TS %d: reliable link lost or duplicated a frame", i, ts)
+		}
+	}
+	if i != n {
+		t.Fatalf("delivered %d of %d", i, n)
+	}
+	ls := ta.LinkStats()
+	if ls.Redials < 2 {
+		t.Fatalf("expected redials after severed connections, got %+v", ls)
+	}
+}
+
+// TestTCPReliablePeerRestart: across a full peer process restart the
+// reliable link degrades to at-least-once (the receiver's dedup state is
+// in-memory), but must never lose a frame and each incarnation must see
+// an increasing sequence.
+func TestTCPReliablePeerRestart(t *testing.T) {
+	tb, err := NewTCP(TCPConfig{Self: 1, ListenAddr: "127.0.0.1:0", Reliable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := tb.Addr()
+	var mu sync.Mutex
+	seen := make(map[proto.Timestamp]int)
+	var gen2 []proto.Timestamp
+	firstN := make(chan struct{})
+	var firstOnce sync.Once
+	if err := tb.Start(func(m *proto.Message) {
+		mu.Lock()
+		seen[m.TS]++
+		if len(seen) >= 20 {
+			firstOnce.Do(func() { close(firstN) })
+		}
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	ta, err := NewTCP(TCPConfig{
+		Self: 0, ListenAddr: "127.0.0.1:0",
+		Peers:         map[proto.NodeID]string{1: addr},
+		RedialBackoff: 10 * time.Millisecond,
+		Reliable:      true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ta.Close()
+	if err := ta.Start(func(*proto.Message) {}); err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 120
+	sendErr := make(chan error, 1)
+	go func() {
+		for i := 1; i <= n; i++ {
+			for {
+				err := ta.Send(&proto.Message{From: 0, To: 1, Kind: proto.KindRequest, TS: proto.Timestamp(i)})
+				if err == nil {
+					break
+				}
+				if errors.Is(err, ErrClosed) {
+					sendErr <- err
+					return
+				}
+				time.Sleep(time.Millisecond)
+			}
+			time.Sleep(500 * time.Microsecond)
+		}
+		sendErr <- nil
+	}()
+
+	select {
+	case <-firstN:
+	case <-time.After(10 * time.Second):
+		t.Fatal("first incarnation received nothing")
+	}
+	// Restart B on the same port mid-stream.
+	if err := tb.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var tb2 *TCPTransport
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		tb2, err = NewTCP(TCPConfig{Self: 1, ListenAddr: addr, Reliable: true})
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal(err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	defer tb2.Close()
+	if err := tb2.Start(func(m *proto.Message) {
+		mu.Lock()
+		seen[m.TS]++
+		gen2 = append(gen2, m.TS)
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-sendErr; err != nil {
+		t.Fatal(err)
+	}
+	// Wait until every message has been seen by one incarnation or the
+	// other (retransmission covers the restart gap).
+	deadline = time.Now().Add(15 * time.Second)
+	for {
+		mu.Lock()
+		complete := len(seen) == n
+		mu.Unlock()
+		if complete {
+			break
+		}
+		if time.Now().After(deadline) {
+			mu.Lock()
+			distinct := len(seen)
+			mu.Unlock()
+			t.Fatalf("only %d of %d distinct messages delivered across restart", distinct, n)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for ts := proto.Timestamp(1); ts <= n; ts++ {
+		if seen[ts] == 0 {
+			t.Fatalf("message %d lost across restart", ts)
+		}
+	}
+	// Within the second incarnation delivery must be strictly increasing
+	// (retransmits land before new frames; dedup removes repeats).
+	for i := 1; i < len(gen2); i++ {
+		if gen2[i] <= gen2[i-1] {
+			t.Fatalf("second incarnation delivery not increasing at %d: %d then %d",
+				i, gen2[i-1], gen2[i])
+		}
+	}
+}
+
+// TestTCPReliableDupSuppression: a raw peer replaying a data frame (as a
+// retransmitting sender would after a reconnect) is deduplicated and
+// re-acked.
+func TestTCPReliableDupSuppression(t *testing.T) {
+	tb, err := NewTCP(TCPConfig{Self: 1, ListenAddr: "127.0.0.1:0", Reliable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	got := make(chan proto.Timestamp, 8)
+	if err := tb.Start(func(m *proto.Message) { got <- m.TS }); err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", tb.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	write := func(seq uint64, ts proto.Timestamp) {
+		t.Helper()
+		if err := proto.WriteLinkData(conn, seq, &proto.Message{
+			From: 5, To: 1, Kind: proto.KindRequest, TS: ts,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(1, 100)
+	write(1, 100) // replayed frame
+	write(2, 200)
+	wantAcks := []uint64{1, 1, 2}
+	for i, want := range wantAcks {
+		typ, seq, _, err := proto.ReadLinkFrame(conn)
+		if err != nil {
+			t.Fatalf("ack %d: %v", i, err)
+		}
+		if typ != proto.LinkAck || seq != want {
+			t.Fatalf("ack %d: typ=%d seq=%d, want ack %d", i, typ, seq, want)
+		}
+	}
+	for _, want := range []proto.Timestamp{100, 200} {
+		select {
+		case ts := <-got:
+			if ts != want {
+				t.Fatalf("delivered %d, want %d", ts, want)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("delivery timeout")
+		}
+	}
+	select {
+	case ts := <-got:
+		t.Fatalf("duplicate delivered: %d", ts)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if ls := tb.LinkStats(); ls.DupsSuppressed != 1 {
+		t.Fatalf("DupsSuppressed = %d, want 1", ls.DupsSuppressed)
+	}
+}
+
+// TestTCPConcurrentCloseSend: Close racing many Senders must not panic,
+// deadlock, or trip the race detector; sends after Close fail cleanly.
+func TestTCPConcurrentCloseSend(t *testing.T) {
+	tb, err := NewTCP(TCPConfig{Self: 1, ListenAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	if err := tb.Start(func(*proto.Message) {}); err != nil {
+		t.Fatal(err)
+	}
+	ta, err := NewTCP(TCPConfig{
+		Self: 0, ListenAddr: "127.0.0.1:0",
+		Peers: map[proto.NodeID]string{1: tb.Addr()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ta.Start(func(*proto.Message) {}); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := ta.Send(&proto.Message{From: 0, To: 1, Kind: proto.KindRequest, TS: proto.Timestamp(i)}); err != nil {
+					if !errors.Is(err, ErrClosed) {
+						t.Errorf("send: %v", err)
+					}
+					return
+				}
+			}
+		}()
+	}
+	time.Sleep(20 * time.Millisecond)
+	if err := ta.Close(); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+	if err := ta.Send(&proto.Message{From: 0, To: 1}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send after close: %v, want ErrClosed", err)
+	}
+}
+
+// TestTCPSendPeerNeverUp: messages to a peer that never appears stay
+// queued (no silent drop), the peer reports down, and Close discards
+// them without hanging.
+func TestTCPSendPeerNeverUp(t *testing.T) {
+	ta, err := NewTCP(TCPConfig{
+		Self: 0, ListenAddr: "127.0.0.1:0",
+		Peers:         map[proto.NodeID]string{1: deadAddr(t)},
+		RedialBackoff: 5 * time.Millisecond,
+		DownAfter:     2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ta.Start(func(*proto.Message) {}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := ta.Send(&proto.Message{From: 0, To: 1, Kind: proto.KindRequest}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for ta.Health()[1] != PeerDown {
+		if time.Now().After(deadline) {
+			t.Fatalf("peer never reported down: %v", ta.Health())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if qs := ta.QueueStats()[1]; qs.Len != 10 {
+		t.Fatalf("queue len = %d, want 10 (messages must stay queued)", qs.Len)
+	}
+	if ls := ta.LinkStats(); ls.Redials < 2 {
+		t.Fatalf("redials = %d, want repeated attempts", ls.Redials)
+	}
+	start := time.Now()
+	if err := ta.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("Close took %v", d)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sync"
 
+	"hierlock/internal/metrics"
 	"hierlock/internal/proto"
 )
 
@@ -36,20 +37,30 @@ var (
 	ErrClosed     = errors.New("transport: closed")
 	ErrNotStarted = errors.New("transport: not started")
 	ErrUnknown    = errors.New("transport: unknown destination")
+	// ErrQueueFull is returned by Send when a bounded queue (per-peer
+	// outbound buffer or inbound delivery mailbox) is at its configured
+	// limit. The message is not enqueued; the caller decides whether to
+	// retry, shed load, or treat the peer as overloaded.
+	ErrQueueFull = errors.New("transport: queue full")
 )
 
-// mailbox is an unbounded FIFO queue drained by one goroutine, giving
-// per-destination serial delivery without deadlocking senders.
+// mailbox is a FIFO queue drained by one goroutine, giving
+// per-destination serial delivery without deadlocking senders. A limit of
+// 0 leaves it unbounded; otherwise put fails with ErrQueueFull at the
+// high-water mark instead of growing without bound.
 type mailbox struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	queue  []*proto.Message
-	closed bool
-	done   chan struct{}
+	mu        sync.Mutex
+	cond      *sync.Cond
+	queue     []*proto.Message
+	closed    bool
+	done      chan struct{}
+	limit     int
+	highWater int
+	fullDrops uint64
 }
 
-func newMailbox() *mailbox {
-	m := &mailbox{done: make(chan struct{})}
+func newMailbox(limit int) *mailbox {
+	m := &mailbox{done: make(chan struct{}), limit: limit}
 	m.cond = sync.NewCond(&m.mu)
 	return m
 }
@@ -60,9 +71,28 @@ func (m *mailbox) put(msg *proto.Message) error {
 	if m.closed {
 		return ErrClosed
 	}
+	if m.limit > 0 && len(m.queue) >= m.limit {
+		m.fullDrops++
+		return ErrQueueFull
+	}
 	m.queue = append(m.queue, msg)
+	if len(m.queue) > m.highWater {
+		m.highWater = len(m.queue)
+	}
 	m.cond.Signal()
 	return nil
+}
+
+// stats snapshots the queue's occupancy counters.
+func (m *mailbox) stats() metrics.Queue {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return metrics.Queue{
+		Len:       uint64(len(m.queue)),
+		HighWater: uint64(m.highWater),
+		Limit:     uint64(m.limit),
+		FullDrops: m.fullDrops,
+	}
 }
 
 // drain delivers queued messages to h until closed.
@@ -116,7 +146,7 @@ func (n *ChanNetwork) Node(id proto.NodeID) Transport {
 	defer n.mu.Unlock()
 	t, ok := n.nodes[id]
 	if !ok {
-		t = &chanTransport{net: n, id: id, box: newMailbox()}
+		t = &chanTransport{net: n, id: id, box: newMailbox(0)}
 		n.nodes[id] = t
 	}
 	return t

@@ -270,7 +270,7 @@ func TestTCPReconnect(t *testing.T) {
 }
 
 func TestMailboxConcurrentPut(t *testing.T) {
-	box := newMailbox()
+	box := newMailbox(0)
 	var mu sync.Mutex
 	count := 0
 	done := make(chan struct{})
