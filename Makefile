@@ -1,6 +1,7 @@
 GO ?= go
+GOFMT ?= gofmt
 
-.PHONY: build test vet race chaos ci clean
+.PHONY: build test vet lint race chaos bench ci clean
 
 build:
 	$(GO) build ./...
@@ -10,6 +11,14 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# Static checks: go vet plus a gofmt drift check (fails listing any
+# unformatted file).
+lint: vet
+	@unformatted=$$($(GOFMT) -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
 
 # Full test suite under the race detector (includes the transport
 # failure-path tests and the simulator chaos tests).
@@ -21,8 +30,14 @@ chaos:
 	$(GO) test -race -count=1 -run 'Chaos' ./internal/cluster/
 	$(GO) test -race -count=1 -run 'TestTCP' ./internal/transport/
 
+# Microbenchmarks: protocol engine hot paths plus the observability
+# overhead benches (histogram/counter/trace-record, including the
+# nil-handle disabled paths, which must report 0 allocs/op).
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem . ./internal/hlock ./internal/metrics ./internal/trace
+
 # What CI runs.
-ci: build vet race
+ci: build lint race
 
 clean:
 	$(GO) clean ./...

@@ -12,16 +12,27 @@
 // Interactive (raw protocol pass-through):
 //
 //	lockctl -addr host:8400 -i
+//
+// Trace inspection (talks to lockd's -debug HTTP listener, not the text
+// protocol): fetch the protocol trace, reassemble per-request spans and
+// print each request's lifecycle including the token's travel path:
+//
+//	lockctl trace -debug host:9400 -n 500 -v
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net"
+	"net/http"
 	"os"
 	"strings"
 	"time"
+
+	"hierlock/internal/trace"
 )
 
 func main() {
@@ -32,6 +43,13 @@ func main() {
 		timeout     = flag.Duration("timeout", 10*time.Second, "dial timeout")
 	)
 	flag.Parse()
+
+	// The trace subcommand talks HTTP to the debug listener; dispatch it
+	// before dialing the text protocol.
+	if args := flag.Args(); len(args) > 0 && strings.EqualFold(args[0], "trace") {
+		traceCmd(args[1:])
+		return
+	}
 
 	conn, err := net.DialTimeout("tcp", *addr, *timeout)
 	if err != nil {
@@ -68,7 +86,7 @@ func main() {
 
 	args := flag.Args()
 	if len(args) == 0 {
-		fatalf("usage: lockctl [-addr A] lock <resource> <mode> [-hold D] | unlock <resource> | upgrade <resource> | held | stats")
+		fatalf("usage: lockctl [-addr A] lock <resource> <mode> [-hold D] | unlock <resource> | upgrade <resource> | held | stats | trace [-debug A]")
 	}
 	switch strings.ToLower(args[0]) {
 	case "lock":
@@ -98,6 +116,49 @@ func main() {
 	default:
 		fatalf("unknown command %q", args[0])
 	}
+}
+
+// traceCmd fetches /debug/trace from a lockd debug listener, reassembles
+// the entries into per-request spans and pretty-prints them.
+func traceCmd(args []string) {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	var (
+		debug   = fs.String("debug", "127.0.0.1:9400", "lockd debug HTTP address")
+		n       = fs.Int("n", 0, "fetch only the most recent n entries (0 = all retained)")
+		verbose = fs.Bool("v", false, "print every retained step of each span")
+		timeout = fs.Duration("timeout", 10*time.Second, "HTTP timeout")
+	)
+	_ = fs.Parse(args)
+
+	url := fmt.Sprintf("http://%s/debug/trace", *debug)
+	if *n > 0 {
+		url += fmt.Sprintf("?n=%d", *n)
+	}
+	client := &http.Client{Timeout: *timeout}
+	resp, err := client.Get(url)
+	if err != nil {
+		fatalf("fetch trace: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		fatalf("fetch trace: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	var dump trace.Dump
+	if err := json.NewDecoder(resp.Body).Decode(&dump); err != nil {
+		fatalf("decode trace: %v", err)
+	}
+
+	spans := trace.Assemble(dump.Entries)
+	for _, sp := range spans {
+		fmt.Print(sp.Format(*verbose))
+	}
+	state := "recording"
+	if !dump.Enabled {
+		state = "paused"
+	}
+	fmt.Printf("%d entries retained (%d evicted), %d spans, recorder %s\n",
+		len(dump.Entries), dump.Dropped, len(spans), state)
 }
 
 func fatalf(format string, args ...interface{}) {

@@ -25,8 +25,12 @@ import (
 	"strings"
 	"syscall"
 
+	"time"
+
 	"hierlock"
 	"hierlock/internal/lockserver"
+	"hierlock/internal/metrics"
+	"hierlock/internal/trace"
 )
 
 func main() {
@@ -37,7 +41,10 @@ func main() {
 		client  = flag.String("client", ":8400", "client listen address")
 		peers   = flag.String("peers", "", "peer map: id=host:port,id=host:port")
 		timeout = flag.Duration("timeout", 0, "per-request lock timeout (0 = wait forever)")
-		debug   = flag.String("debug", "", "debug HTTP listen address for /healthz and /stats (disabled if empty)")
+		debug   = flag.String("debug", "", "debug HTTP listen address for /healthz, /stats, /metrics, /debug/trace and /debug/pprof (disabled if empty)")
+
+		traceBuf   = flag.Int("trace-buf", 4096, "protocol trace ring size in entries (0 disables tracing)")
+		netLatency = flag.Duration("net-latency", 150*time.Millisecond, "mean point-to-point network latency, the unit of the latency-factor histogram")
 
 		reliable   = flag.Bool("reliable", false, "enable the ack/retransmit link layer (all members must agree)")
 		queueLimit = flag.Int("queue-limit", 0, "bound per-peer outbound and inbound queues (0 = unbounded)")
@@ -68,6 +75,17 @@ func main() {
 	}
 	defer m.Close()
 
+	reg := metrics.NewRegistry()
+	var rec *trace.Recorder
+	if *traceBuf > 0 {
+		rec = trace.New(*traceBuf)
+	}
+	m.SetTelemetry(hierlock.Telemetry{
+		Registry:       reg,
+		Trace:          rec,
+		NetLatencyBase: *netLatency,
+	})
+
 	ln, err := net.Listen("tcp", *client)
 	if err != nil {
 		log.Fatalf("lockd: client listen: %v", err)
@@ -76,6 +94,8 @@ func main() {
 
 	srv := lockserver.New(m)
 	srv.Timeout = *timeout
+	srv.Registry = reg
+	srv.Trace = rec
 
 	if *debug != "" {
 		dln, err := net.Listen("tcp", *debug)

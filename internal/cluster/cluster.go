@@ -83,6 +83,16 @@ type Config struct {
 	// modelled reliable link layer; see sim.FaultPlan. Fault events are
 	// counted in Network.FaultStats and recorded in the trace.
 	Faults *sim.FaultPlan
+	// Registry, when non-nil, receives live metric series under the same
+	// family names the lockd runtime exports (message counters, request
+	// latency histograms, per-lock gauges), so simulated and production
+	// deployments share dashboards and queries. Scrape only while the
+	// simulator is idle.
+	Registry *metrics.Registry
+	// LatencyBase scales the request-latency-factor histogram (latency as
+	// a multiple of the mean network delay, the paper's Figure 6 x-axis).
+	// Defaults to DefaultLatencyMean.
+	LatencyBase time.Duration
 }
 
 // DefaultLatencyMean is the paper's mean network latency.
@@ -102,6 +112,7 @@ type Cluster struct {
 	oracle map[proto.LockID]map[proto.NodeID]modes.Mode
 	errs   []error
 	trace  *trace.Recorder
+	tel    telemetry
 }
 
 // New builds a cluster per cfg. Node 0 initially holds every token and is
@@ -121,6 +132,11 @@ func New(cfg Config) *Cluster {
 	}
 	c.Net = NewNetwork(s, cfg.Latency)
 	c.Net.trace = cfg.Trace
+	if cfg.Registry != nil {
+		c.tel.init(cfg.Registry, cfg.LatencyBase)
+		c.registerLockCollectors(cfg.Registry)
+	}
+	c.Net.tel = &c.tel
 	if cfg.Faults != nil {
 		c.Net.SetFaults(*cfg.Faults)
 	}
@@ -308,6 +324,7 @@ func (n *Node) Acquire(lock proto.LockID, m modes.Mode, done func()) {
 // only; Naimi ignores it).
 func (n *Node) AcquirePri(lock proto.LockID, m modes.Mode, priority uint8, done func()) {
 	n.c.Requests++
+	n.c.tel.requests.Inc()
 	n.c.trace.Record(trace.Entry{
 		At: n.c.Sim.Now(), Op: trace.OpAcquire, Node: n.ID, Lock: lock, Mode: m,
 	})
@@ -373,6 +390,10 @@ func (n *Node) UpgradePri(lock proto.LockID, priority uint8, done func()) {
 		return
 	}
 	n.c.Requests++
+	n.c.tel.requests.Inc()
+	n.c.trace.Record(trace.Entry{
+		At: n.c.Sim.Now(), Op: trace.OpAcquire, Node: n.ID, Lock: lock, Mode: modes.W,
+	})
 	out, err := e.UpgradePri(priority)
 	if err != nil {
 		n.c.fail(fmt.Errorf("node %d lock %d: %w", n.ID, lock, err))
@@ -514,7 +535,7 @@ func (n *Node) dispatchHier(lock proto.LockID, out hlock.Out, done func()) {
 			n.c.fail(fmt.Errorf("cluster: node %d issued overlapping requests on lock %d", n.ID, lock))
 			return
 		}
-		n.waiters[lock] = waiting{mode: n.hier[lock].Pending(), done: done}
+		n.waiters[lock] = waiting{mode: n.hier[lock].Pending(), start: n.c.Sim.Now(), done: done}
 	}
 	for i := range out.Msgs {
 		n.c.Net.Send(out.Msgs[i])
@@ -529,6 +550,7 @@ func (n *Node) dispatchHier(lock proto.LockID, out hlock.Out, done func()) {
 				continue
 			}
 			delete(n.waiters, lock)
+			n.c.tel.observeGrant(n.c.Sim.Now() - w.start)
 			w.done()
 		}
 	}
@@ -543,7 +565,7 @@ func (n *Node) dispatchExcl(lock proto.LockID, msgs []proto.Message, acquired bo
 			n.c.fail(fmt.Errorf("cluster: node %d issued overlapping requests on lock %d", n.ID, lock))
 			return
 		}
-		n.waiters[lock] = waiting{mode: modes.W, done: done}
+		n.waiters[lock] = waiting{mode: modes.W, start: n.c.Sim.Now(), done: done}
 	}
 	for i := range msgs {
 		n.c.Net.Send(msgs[i])
@@ -556,6 +578,7 @@ func (n *Node) dispatchExcl(lock proto.LockID, msgs []proto.Message, acquired bo
 			return
 		}
 		delete(n.waiters, lock)
+		n.c.tel.observeGrant(n.c.Sim.Now() - w.start)
 		w.done()
 	}
 }
@@ -579,6 +602,7 @@ type Network struct {
 	lastAt   map[[2]proto.NodeID]time.Duration
 	trace    *trace.Recorder
 	faults   *sim.Faults
+	tel      *telemetry
 }
 
 // NewNetwork creates a network over the simulator with the given latency
@@ -612,6 +636,12 @@ func (nw *Network) Faults() *sim.Faults { return nw.faults }
 // clamped so deliveries on the same ordered link never reorder.
 func (nw *Network) Send(msg proto.Message) {
 	nw.Metrics.Count(msg.Kind)
+	if nw.tel != nil {
+		nw.tel.countSent(msg.Kind)
+		if msg.Kind == proto.KindToken {
+			nw.tel.tokenTransfer(msg.Lock, "out")
+		}
+	}
 	nw.trace.Record(trace.Entry{
 		At: nw.sim.Now(), Op: trace.OpSend, Node: msg.From,
 		Lock: msg.Lock, Mode: msg.Mode, Kind: msg.Kind, From: msg.From, To: msg.To,
@@ -645,6 +675,9 @@ func (nw *Network) Send(msg proto.Message) {
 			At: nw.sim.Now(), Op: trace.OpDeliver, Node: m.To,
 			Lock: m.Lock, Mode: m.Mode, Kind: m.Kind, From: m.From, To: m.To,
 		})
+		if nw.tel != nil && m.Kind == proto.KindToken {
+			nw.tel.tokenTransfer(m.Lock, "in")
+		}
 		h(&m)
 	})
 }

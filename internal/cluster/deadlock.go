@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"hierlock/internal/modes"
 	"hierlock/internal/proto"
@@ -13,7 +14,10 @@ import (
 // the completion callback.
 type waiting struct {
 	mode modes.Mode
-	done func()
+	// start is the virtual time the request was issued, for the grant
+	// latency histograms.
+	start time.Duration
+	done  func()
 }
 
 // Deadlock describes one cycle in the waits-for graph: node Nodes[i]

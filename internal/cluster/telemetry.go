@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"strconv"
+	"time"
+
+	"hierlock/internal/hlock"
+	"hierlock/internal/metrics"
+	"hierlock/internal/proto"
+)
+
+// telemetry fans the cluster's events into a metrics.Registry under the
+// exact family names the live lockd runtime exports (see member.go and
+// docs/OBSERVABILITY.md), so simulator runs and production scrapes
+// answer the same queries. Handles are cached at init; every emission
+// path is nil-safe, so a cluster without a registry pays only dead
+// branches.
+type telemetry struct {
+	reg  *metrics.Registry
+	base time.Duration
+
+	sent        [6]*metrics.Counter // indexed by proto.Kind
+	sentUnknown *metrics.Counter
+	requests    *metrics.Counter
+	acquires    *metrics.Counter
+	latency     *metrics.Histogram
+	factor      *metrics.Histogram
+}
+
+func (t *telemetry) init(reg *metrics.Registry, base time.Duration) {
+	t.reg = reg
+	t.base = base
+	if t.base <= 0 {
+		t.base = DefaultLatencyMean
+	}
+	for _, k := range metrics.Kinds {
+		t.sent[k] = reg.Counter(metrics.MetricMessagesTotal,
+			"Protocol messages sent, by kind.", metrics.Labels{"kind": k.String()})
+	}
+	t.sentUnknown = reg.Counter(metrics.MetricMessagesTotal,
+		"Protocol messages sent, by kind.", metrics.Labels{"kind": "unknown"})
+	t.requests = reg.Counter(metrics.MetricRequestsTotal,
+		"Client lock requests issued (including upgrades and local joins).", nil)
+	t.acquires = reg.Counter(metrics.MetricAcquiresTotal,
+		"Completed lock acquisitions (grants, upgrades, shared joins).", nil)
+	t.latency = reg.Histogram(metrics.MetricRequestLatency,
+		"Issue-to-grant lock request latency in seconds.",
+		metrics.DefLatencyBuckets, nil)
+	t.factor = reg.Histogram(metrics.MetricRequestLatencyFactor,
+		"Request latency as a multiple of the mean point-to-point network latency (Figure 6).",
+		metrics.LatencyFactorBuckets, nil)
+}
+
+// countSent records one protocol message entering the network.
+func (t *telemetry) countSent(k proto.Kind) {
+	if t.reg == nil {
+		return
+	}
+	if int(k) < len(t.sent) {
+		t.sent[k].Inc()
+		return
+	}
+	t.sentUnknown.Inc()
+}
+
+// tokenTransfer records a token hop on a lock. The simulator sees both
+// ends of every hop, so direction "out" counts sends and "in" counts
+// deliveries, matching the per-node series of the live runtime.
+func (t *telemetry) tokenTransfer(lock proto.LockID, direction string) {
+	if t.reg == nil {
+		return
+	}
+	t.reg.Counter(metrics.MetricTokenTransfers,
+		"Token transfers observed by this node.",
+		metrics.Labels{
+			"lock":      strconv.FormatUint(uint64(lock), 10),
+			"direction": direction,
+		}).Inc()
+}
+
+// observeGrant records a completed request's issue-to-grant latency.
+func (t *telemetry) observeGrant(d time.Duration) {
+	if t.reg == nil {
+		return
+	}
+	t.acquires.Inc()
+	t.latency.Observe(d.Seconds())
+	t.factor.Observe(d.Seconds() / t.base.Seconds())
+}
+
+// registerLockCollectors registers scrape-time gauges over every node's
+// hierarchical engine state, labelled by node and lock. The collectors
+// read engine state without synchronization — the simulator is
+// single-threaded — so scrape only while the simulator is idle (between
+// Run calls or after the run finished).
+func (c *Cluster) registerLockCollectors(reg *metrics.Registry) {
+	engineGauge := func(f func(*hlock.Engine) float64) metrics.Collector {
+		return func(emit func(metrics.Labels, float64)) {
+			for _, n := range c.Nodes {
+				for id, e := range n.hier {
+					emit(metrics.Labels{
+						"node": strconv.Itoa(int(n.ID)),
+						"lock": strconv.FormatUint(uint64(id), 10),
+					}, f(e))
+				}
+			}
+		}
+	}
+	reg.Collect(metrics.MetricLockQueueDepth,
+		"Locally queued requests per lock.", "gauge",
+		engineGauge(func(e *hlock.Engine) float64 { return float64(e.QueueLen()) }))
+	reg.Collect(metrics.MetricLockCopyset,
+		"Copyset size (children holding a granted copy) per lock.", "gauge",
+		engineGauge(func(e *hlock.Engine) float64 { return float64(len(e.Children())) }))
+	reg.Collect(metrics.MetricLockFrozen,
+		"Number of frozen modes per lock.", "gauge",
+		engineGauge(func(e *hlock.Engine) float64 { return float64(e.Frozen().Len()) }))
+	reg.Collect(metrics.MetricTokenHeld,
+		"Whether this node holds the lock's token (0 or 1).", "gauge",
+		engineGauge(func(e *hlock.Engine) float64 {
+			if e.IsToken() {
+				return 1
+			}
+			return 0
+		}))
+}

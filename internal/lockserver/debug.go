@@ -3,14 +3,22 @@ package lockserver
 import (
 	"encoding/json"
 	"net/http"
+	"net/http/pprof"
+	"strconv"
 	"time"
 )
 
-// DebugHandler exposes the member's observability counters over HTTP:
+// DebugHandler exposes the member's observability surface over HTTP:
 //
-//	GET /healthz  → 200 "ok" (503 with the error if the member recorded a
-//	               protocol failure)
-//	GET /stats    → JSON: acquisitions, latencies, message counts by kind
+//	GET /healthz      → 200 "ok" (503 with the error if the member recorded
+//	                   a protocol failure)
+//	GET /stats        → JSON: acquisitions, latencies, message counts by kind
+//	GET /metrics      → Prometheus text exposition of the attached Registry
+//	                   (503 when no registry is attached)
+//	GET /debug/trace  → JSON dump of the attached trace Recorder; ?n=K limits
+//	                   to the K most recent entries, ?enable=on|off toggles
+//	                   recording at runtime (503 when no recorder is attached)
+//	GET /debug/pprof/ → the standard net/http/pprof profiles
 //
 // Mount it on lockd's -debug listener.
 func (s *Server) DebugHandler() http.Handler {
@@ -75,5 +83,35 @@ func (s *Server) DebugHandler() http.Handler {
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(out)
 	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if s.Registry == nil {
+			http.Error(w, "no metrics registry attached", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = s.Registry.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		if s.Trace == nil {
+			http.Error(w, "no trace recorder attached", http.StatusServiceUnavailable)
+			return
+		}
+		switch r.URL.Query().Get("enable") {
+		case "on":
+			s.Trace.SetEnabled(true)
+		case "off":
+			s.Trace.SetEnabled(false)
+		}
+		n, _ := strconv.Atoi(r.URL.Query().Get("n"))
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(s.Trace.DumpLast(n))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
 }

@@ -1,0 +1,319 @@
+package lockserver_test
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"hierlock"
+	"hierlock/internal/lockserver"
+	"hierlock/internal/metrics"
+	"hierlock/internal/trace"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func golden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if string(want) != string(got) {
+		t.Errorf("golden mismatch for %s:\n--- want ---\n%s\n--- got ---\n%s", name, want, got)
+	}
+}
+
+// checkExposition asserts Prometheus text-format invariants: one HELP
+// and one TYPE line per family before its samples, and no duplicate
+// series.
+func checkExposition(t *testing.T, text string) {
+	t.Helper()
+	typ := make(map[string]string)
+	helpCount := make(map[string]int)
+	series := make(map[string]bool)
+	for _, line := range strings.Split(text, "\n") {
+		switch {
+		case line == "":
+		case strings.HasPrefix(line, "# HELP "):
+			helpCount[strings.Fields(line)[2]]++
+		case strings.HasPrefix(line, "# TYPE "):
+			f := strings.Fields(line)
+			if _, dup := typ[f[2]]; dup {
+				t.Errorf("duplicate TYPE for %s", f[2])
+			}
+			typ[f[2]] = f[3]
+		case strings.HasPrefix(line, "#"):
+			t.Errorf("unexpected comment: %q", line)
+		default:
+			sp := strings.LastIndexByte(line, ' ')
+			if sp < 0 {
+				t.Fatalf("malformed sample: %q", line)
+			}
+			id := line[:sp]
+			if series[id] {
+				t.Errorf("duplicate series: %q", id)
+			}
+			series[id] = true
+			name := id
+			if i := strings.IndexByte(name, '{'); i >= 0 {
+				name = name[:i]
+			}
+			base := name
+			for _, sfx := range []string{"_bucket", "_sum", "_count"} {
+				if strings.HasSuffix(name, sfx) && typ[strings.TrimSuffix(name, sfx)] == "histogram" {
+					base = strings.TrimSuffix(name, sfx)
+				}
+			}
+			if typ[base] == "" || helpCount[base] == 0 {
+				t.Errorf("sample %q lacks HELP/TYPE", line)
+			}
+		}
+	}
+	for name, n := range helpCount {
+		if n != 1 {
+			t.Errorf("family %s has %d HELP lines", name, n)
+		}
+	}
+}
+
+// TestStatsGolden pins the /stats document shape. A single-node cluster
+// acquiring locally sends zero protocol messages, so after zeroing the
+// two wall-clock latency fields the document is fully deterministic.
+func TestStatsGolden(t *testing.T) {
+	cl, err := hierlock.NewCluster(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	m := cl.Member(0)
+	l, err := m.Lock(context.Background(), "dbg", hierlock.W)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = l.Unlock()
+
+	srv := lockserver.New(m)
+	rec := httptest.NewRecorder()
+	srv.DebugHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/stats", nil))
+	if rec.Code != 200 {
+		t.Fatalf("stats: %d", rec.Code)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("stats json: %v\n%s", err, rec.Body.String())
+	}
+	for _, volatile := range []string{"mean_acquire_ms", "p99_acquire_ms"} {
+		if _, ok := doc[volatile]; !ok {
+			t.Fatalf("stats lost the %s field:\n%s", volatile, rec.Body.String())
+		}
+		doc[volatile] = 0
+	}
+	for _, section := range []string{"peer_health", "link", "messages_sent"} {
+		if _, ok := doc[section]; !ok {
+			t.Fatalf("stats lost the %s section:\n%s", section, rec.Body.String())
+		}
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "stats.golden", append(out, '\n'))
+}
+
+// TestMetricsGolden pins the /metrics exposition byte-for-byte against a
+// registry with known contents.
+func TestMetricsGolden(t *testing.T) {
+	cl, err := hierlock.NewCluster(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	srv := lockserver.New(cl.Member(0))
+
+	reg := metrics.NewRegistry()
+	reg.Counter(metrics.MetricMessagesTotal, "Protocol messages sent, by kind.",
+		metrics.Labels{"kind": "request"}).Add(4)
+	reg.Counter(metrics.MetricMessagesTotal, "Protocol messages sent, by kind.",
+		metrics.Labels{"kind": "token"}).Add(2)
+	reg.Gauge(metrics.MetricLockQueueDepth, "Locally queued requests per lock.",
+		metrics.Labels{"lock": "fares/row17"}).Set(3)
+	h := reg.Histogram(metrics.MetricRequestLatency,
+		"Issue-to-grant lock request latency in seconds.", []float64{0.1, 0.5, 1}, nil)
+	h.Observe(0.05)
+	h.Observe(0.3)
+	h.Observe(2)
+	reg.Collect(metrics.MetricTransportQueueLen, "Per-peer outbound queue occupancy.",
+		"gauge", func(emit func(metrics.Labels, float64)) {
+			emit(metrics.Labels{"peer": "1"}, 5)
+		})
+	srv.Registry = reg
+
+	rec := httptest.NewRecorder()
+	srv.DebugHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("metrics: %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("content type: %q", ct)
+	}
+	checkExposition(t, rec.Body.String())
+	golden(t, "metrics.golden", rec.Body.Bytes())
+}
+
+// TestMetricsLive scrapes a member with real telemetry attached and
+// checks the families the acceptance criteria require are present and
+// the exposition stays duplicate-free.
+func TestMetricsLive(t *testing.T) {
+	cl, err := hierlock.NewCluster(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	m := cl.Member(1)
+	reg := metrics.NewRegistry()
+	m.SetTelemetry(hierlock.Telemetry{Registry: reg, NetLatencyBase: 10 * time.Millisecond})
+
+	l, err := m.Lock(context.Background(), "live", hierlock.W)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = l.Unlock()
+
+	srv := lockserver.New(m)
+	srv.Registry = reg
+	rec := httptest.NewRecorder()
+	srv.DebugHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("metrics: %d", rec.Code)
+	}
+	text := rec.Body.String()
+	checkExposition(t, text)
+	for _, want := range []string{
+		metrics.MetricMessagesTotal + `{kind="request"}`,
+		metrics.MetricRequestsTotal + " 1",
+		metrics.MetricAcquiresTotal + " 1",
+		metrics.MetricRequestLatency + "_bucket",
+		metrics.MetricRequestLatencyFactor + "_count 1",
+		metrics.MetricLockQueueDepth + `{lock="live"}`,
+		metrics.MetricLockCopyset + `{lock="live"}`,
+		metrics.MetricLockFrozen + `{lock="live"}`,
+		metrics.MetricTokenHeld + `{lock="live"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("live exposition missing %q", want)
+		}
+	}
+}
+
+func TestMetricsUnavailableWithoutRegistry(t *testing.T) {
+	cl, err := hierlock.NewCluster(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	srv := lockserver.New(cl.Member(0))
+	rec := httptest.NewRecorder()
+	srv.DebugHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 503 {
+		t.Fatalf("metrics without registry: %d, want 503", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	srv.DebugHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/trace", nil))
+	if rec.Code != 503 {
+		t.Fatalf("trace without recorder: %d, want 503", rec.Code)
+	}
+}
+
+func TestDebugTraceEndpoint(t *testing.T) {
+	cl, err := hierlock.NewCluster(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	m := cl.Member(0)
+	rc := trace.New(64)
+	m.SetTelemetry(hierlock.Telemetry{Trace: rc})
+
+	l, err := m.Lock(context.Background(), "traced", hierlock.W)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = l.Unlock()
+
+	srv := lockserver.New(m)
+	srv.Trace = rc
+	h := srv.DebugHandler()
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/trace", nil))
+	if rec.Code != 200 {
+		t.Fatalf("trace: %d", rec.Code)
+	}
+	var dump trace.Dump
+	if err := json.Unmarshal(rec.Body.Bytes(), &dump); err != nil {
+		t.Fatalf("trace json: %v\n%s", err, rec.Body.String())
+	}
+	if !dump.Enabled || len(dump.Entries) < 3 {
+		t.Fatalf("dump: enabled=%v entries=%d", dump.Enabled, len(dump.Entries))
+	}
+	spans := trace.Assemble(dump.Entries)
+	if len(spans) != 1 || !spans[0].Complete {
+		t.Fatalf("spans from endpoint dump: %+v", spans)
+	}
+
+	// ?n= limits, ?enable=off pauses.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/trace?n=1&enable=off", nil))
+	var limited trace.Dump
+	if err := json.Unmarshal(rec.Body.Bytes(), &limited); err != nil {
+		t.Fatal(err)
+	}
+	if len(limited.Entries) != 1 || limited.Enabled {
+		t.Fatalf("limited dump: enabled=%v entries=%d", limited.Enabled, len(limited.Entries))
+	}
+	if rc.Enabled() {
+		t.Fatal("enable=off must pause the recorder")
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/trace?enable=on", nil))
+	if !rc.Enabled() {
+		t.Fatal("enable=on must resume the recorder")
+	}
+}
+
+func TestPprofEndpoints(t *testing.T) {
+	cl, err := hierlock.NewCluster(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	h := lockserver.New(cl.Member(0)).DebugHandler()
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "goroutine") {
+		t.Fatalf("pprof index: %d", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/cmdline", nil))
+	if rec.Code != 200 {
+		t.Fatalf("pprof cmdline: %d", rec.Code)
+	}
+}

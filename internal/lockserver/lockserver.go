@@ -33,6 +33,8 @@ import (
 	"time"
 
 	"hierlock"
+	"hierlock/internal/metrics"
+	"hierlock/internal/trace"
 )
 
 // Server serves the text protocol on behalf of one cluster member.
@@ -40,6 +42,12 @@ type Server struct {
 	member *hierlock.Member
 	// Timeout bounds each LOCK wait (0 = wait forever).
 	Timeout time.Duration
+	// Registry, when non-nil, is served as Prometheus text exposition on
+	// the debug handler's /metrics endpoint.
+	Registry *metrics.Registry
+	// Trace, when non-nil, is dumped as JSON on the debug handler's
+	// /debug/trace endpoint and togglable at runtime.
+	Trace *trace.Recorder
 
 	mu     sync.Mutex
 	ln     net.Listener

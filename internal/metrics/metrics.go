@@ -21,18 +21,26 @@ import (
 // Messages counts protocol messages by kind.
 type Messages struct {
 	ByKind [6]uint64 // indexed by proto.Kind
+	// Unknown counts messages whose kind is outside the known range —
+	// a decoding bug or a newer peer's message type. Keeping them in a
+	// dedicated overflow bucket guarantees Total never under-reports.
+	Unknown uint64
 }
 
-// Count records one message.
+// Count records one message. Out-of-range kinds land in the Unknown
+// bucket rather than being silently discarded.
 func (m *Messages) Count(k proto.Kind) {
 	if int(k) < len(m.ByKind) {
 		m.ByKind[k]++
+		return
 	}
+	m.Unknown++
 }
 
-// Total returns the total number of messages of every kind.
+// Total returns the total number of messages of every kind, including
+// unknown ones.
 func (m *Messages) Total() uint64 {
-	var t uint64
+	t := m.Unknown
 	for _, n := range m.ByKind {
 		t += n
 	}
@@ -44,6 +52,7 @@ func (m *Messages) Merge(other *Messages) {
 	for i, n := range other.ByKind {
 		m.ByKind[i] += n
 	}
+	m.Unknown += other.Unknown
 }
 
 // Kinds lists the message kinds in the order Figure 7 plots them.

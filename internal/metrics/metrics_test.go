@@ -25,9 +25,35 @@ func TestMessages(t *testing.T) {
 	if m.Total() != 4 || m.ByKind[proto.KindGrant] != 1 {
 		t.Fatal("merge failed")
 	}
-	m.Count(proto.Kind(200)) // out of range must not panic
-	if m.Total() != 4 {
-		t.Fatal("out-of-range kind must be ignored")
+	m.Count(proto.Kind(200)) // out of range lands in the overflow bucket
+	if m.Unknown != 1 || m.Total() != 5 {
+		t.Fatalf("out-of-range kind must be counted as unknown: unknown=%d total=%d",
+			m.Unknown, m.Total())
+	}
+}
+
+// TestMessagesNeverUncounted proves no Kind value — the full uint8
+// domain — is ever silently discarded: every Count call moves Total.
+func TestMessagesNeverUncounted(t *testing.T) {
+	var m Messages
+	for k := 0; k < 256; k++ {
+		before := m.Total()
+		m.Count(proto.Kind(k))
+		if m.Total() != before+1 {
+			t.Fatalf("kind %d was not counted (total stayed %d)", k, before)
+		}
+	}
+	if m.Total() != 256 {
+		t.Fatalf("total = %d, want 256", m.Total())
+	}
+	if want := uint64(256 - len(m.ByKind)); m.Unknown != want {
+		t.Fatalf("unknown = %d, want %d", m.Unknown, want)
+	}
+	var other Messages
+	other.Count(proto.Kind(77))
+	m.Merge(&other)
+	if m.Unknown != uint64(256-len(m.ByKind))+1 {
+		t.Fatalf("merge must carry the unknown bucket: %d", m.Unknown)
 	}
 }
 

@@ -1,0 +1,538 @@
+// Registry is the live-runtime counterpart of the plain accumulating
+// collectors in this package: a goroutine-safe, atomic metric registry
+// with Prometheus text exposition. The simulator and the live runtimes
+// emit into the same metric families (the Metric* name constants below),
+// so a simulated run and a production scrape are compared series by
+// series with identical names and labels.
+//
+// Every handle type is nil-safe: methods on a nil *Counter, *Gauge or
+// *Histogram (as returned by a nil *Registry) are no-ops that perform no
+// allocation, so instrumented hot paths cost nothing when observability
+// is disabled.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Canonical metric family names, shared by the simulator and the live
+// runtime so dashboards work unchanged against either.
+const (
+	// MetricMessagesTotal counts protocol messages sent, by kind
+	// (Figure 7's series). Labels: kind.
+	MetricMessagesTotal = "hierlock_messages_sent_total"
+	// MetricRequestsTotal counts client lock requests issued (the
+	// denominator of Figure 5's messages-per-request).
+	MetricRequestsTotal = "hierlock_requests_total"
+	// MetricAcquiresTotal counts completed acquisitions (grants, upgrades
+	// and local shared joins).
+	MetricAcquiresTotal = "hierlock_acquires_total"
+	// MetricSharedJoinsTotal counts acquisitions satisfied by joining an
+	// existing local hold (zero protocol messages).
+	MetricSharedJoinsTotal = "hierlock_shared_joins_total"
+	// MetricRequestLatency is the issue→grant latency histogram in
+	// seconds. No labels.
+	MetricRequestLatency = "hierlock_request_latency_seconds"
+	// MetricRequestLatencyFactor is the issue→grant latency as a multiple
+	// of the mean point-to-point network latency, the paper's Figure 6
+	// metric. No labels.
+	MetricRequestLatencyFactor = "hierlock_request_latency_factor"
+	// MetricTokenTransfers counts token transfers observed by this node.
+	// Labels: lock, direction (in|out).
+	MetricTokenTransfers = "hierlock_token_transfers_total"
+	// MetricLockQueueDepth gauges locally queued requests per lock.
+	// Labels: lock.
+	MetricLockQueueDepth = "hierlock_lock_queue_depth"
+	// MetricLockCopyset gauges the copyset size (children granted a copy)
+	// per lock at this node. Labels: lock.
+	MetricLockCopyset = "hierlock_lock_copyset_size"
+	// MetricLockFrozen gauges the number of frozen modes per lock at this
+	// node. Labels: lock.
+	MetricLockFrozen = "hierlock_lock_frozen_modes"
+	// MetricTokenHeld gauges whether this node holds the lock's token
+	// (0 or 1). Labels: lock.
+	MetricTokenHeld = "hierlock_token_held"
+
+	// MetricTransportBytes counts transport payload bytes. Labels:
+	// direction (sent|recv).
+	MetricTransportBytes = "hierlock_transport_bytes_total"
+	// MetricTransportFrames counts transport frames. Labels: direction.
+	MetricTransportFrames = "hierlock_transport_frames_total"
+	// MetricTransportQueueLen gauges per-peer outbound queue occupancy.
+	// Labels: peer.
+	MetricTransportQueueLen = "hierlock_transport_queue_len"
+	// MetricTransportQueueHighWater gauges the worst per-peer outbound
+	// queue occupancy observed. Labels: peer.
+	MetricTransportQueueHighWater = "hierlock_transport_queue_high_water"
+	// MetricTransportQueueFullDrops counts sends rejected at the queue
+	// limit. Labels: peer.
+	MetricTransportQueueFullDrops = "hierlock_transport_queue_full_drops_total"
+	// MetricTransportInboxLen gauges the inbound mailbox occupancy.
+	MetricTransportInboxLen = "hierlock_transport_inbox_len"
+	// MetricTransportInboxHighWater gauges the worst inbound mailbox
+	// occupancy observed.
+	MetricTransportInboxHighWater = "hierlock_transport_inbox_high_water"
+	// MetricTransportRedials counts reconnection attempts to peers.
+	MetricTransportRedials = "hierlock_transport_redials_total"
+	// MetricTransportRetransmits counts reliable-mode retransmissions.
+	MetricTransportRetransmits = "hierlock_transport_retransmits_total"
+	// MetricTransportDupsSuppressed counts duplicate inbound frames
+	// suppressed by the reliable-link sequence check.
+	MetricTransportDupsSuppressed = "hierlock_transport_dups_suppressed_total"
+	// MetricTransportPeerState gauges per-peer health (0 up, 1 degraded,
+	// 2 down). Labels: peer.
+	MetricTransportPeerState = "hierlock_transport_peer_state"
+)
+
+// DefLatencyBuckets are the default request-latency histogram bounds in
+// seconds, spanning local grants (sub-millisecond) to multi-second waits
+// behind contended tokens.
+var DefLatencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// LatencyFactorBuckets are the bounds of the latency-factor histogram:
+// request latency expressed as a multiple of the mean point-to-point
+// network latency, matching the scale of the paper's Figure 6 (which
+// plots factors from below 1 up to a few tens).
+var LatencyFactorBuckets = []float64{
+	0.5, 1, 1.5, 2, 2.5, 3, 4, 5, 6, 8, 10, 12, 16, 24, 32, 48, 64,
+}
+
+// Labels is a metric's label set. Keys and values are emitted sorted by
+// key, so any map order yields the same series identity.
+type Labels map[string]string
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ n atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n. No-op on a nil counter.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.n.Add(n)
+}
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.n.Load()
+}
+
+// Gauge is an atomic float64 gauge.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v. No-op on a nil gauge.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adds delta to the gauge. No-op on a nil gauge.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 for nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket atomic histogram (Prometheus semantics:
+// cumulative buckets on exposition, each bound is an inclusive upper
+// edge, plus an implicit +Inf bucket).
+type Histogram struct {
+	upper  []float64
+	counts []atomic.Uint64 // len(upper)+1; last is the overflow (+Inf)
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// NewHistogram creates a standalone histogram with the given inclusive
+// upper bounds (must be sorted ascending; nil means DefLatencyBuckets).
+func NewHistogram(buckets []float64) *Histogram {
+	if len(buckets) == 0 {
+		buckets = DefLatencyBuckets
+	}
+	return &Histogram{
+		upper:  append([]float64(nil), buckets...),
+		counts: make([]atomic.Uint64, len(buckets)+1),
+	}
+}
+
+// Observe records one sample. No-op on a nil histogram.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.upper, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of samples (0 for nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of samples (0 for nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Quantile returns an upper bound for the q-quantile from the bucket
+// counts: the upper edge of the bucket containing it (+Inf collapses to
+// the largest finite bound). Zero with no samples.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum >= rank {
+			if i < len(h.upper) {
+				return h.upper[i]
+			}
+			return h.upper[len(h.upper)-1]
+		}
+	}
+	return h.upper[len(h.upper)-1]
+}
+
+// Collector is a scrape-time sample source for one metric family: it is
+// invoked during WritePrometheus and emits (labels, value) samples
+// reflecting current state (queue depths, engine gauges, ...).
+type Collector func(emit func(labels Labels, value float64))
+
+// Registry is a set of named metric families. The zero value is not
+// usable; construct with NewRegistry. A nil *Registry is a valid
+// "disabled" registry: every lookup returns a nil handle whose methods
+// are no-ops.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+type family struct {
+	name    string
+	help    string
+	typ     string // "counter", "gauge" or "histogram"
+	buckets []float64
+	series  map[string]*series // by rendered label string
+	collect []Collector
+}
+
+type series struct {
+	labels string // rendered `k="v",...` (no braces), "" for none
+	ctr    *Counter
+	gauge  *Gauge
+	hist   *Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+func (r *Registry) family(name, help, typ string, buckets []float64) *family {
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ, buckets: buckets,
+			series: make(map[string]*series)}
+		r.families[name] = f
+	}
+	return f
+}
+
+// Counter returns (creating if needed) the counter series for name with
+// the given labels. Nil-safe: a nil registry returns a nil counter.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, "counter", nil)
+	s := f.seriesFor(labels)
+	if s.ctr == nil {
+		s.ctr = &Counter{}
+	}
+	return s.ctr
+}
+
+// Gauge returns (creating if needed) the gauge series for name with the
+// given labels. Nil-safe.
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, "gauge", nil)
+	s := f.seriesFor(labels)
+	if s.gauge == nil {
+		s.gauge = &Gauge{}
+	}
+	return s.gauge
+}
+
+// Histogram returns (creating if needed) the histogram series for name
+// with the given labels and bucket bounds (nil = DefLatencyBuckets; the
+// family's first registration wins). Nil-safe.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels Labels) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(buckets) == 0 {
+		buckets = DefLatencyBuckets
+	}
+	f := r.family(name, help, "histogram", buckets)
+	s := f.seriesFor(labels)
+	if s.hist == nil {
+		s.hist = NewHistogram(f.buckets)
+	}
+	return s.hist
+}
+
+// Collect registers a scrape-time collector for a counter or gauge
+// family (typ "counter" or "gauge"). Collector samples whose series
+// collide with a statically registered series are dropped, so the
+// exposition never contains duplicates. Nil-safe.
+func (r *Registry) Collect(name, help, typ string, fn Collector) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, typ, nil)
+	f.collect = append(f.collect, fn)
+}
+
+func (f *family) seriesFor(labels Labels) *series {
+	key := renderLabels(labels)
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labels: key}
+		f.series[key] = s
+	}
+	return s
+}
+
+// renderLabels renders a label set in canonical (sorted, escaped) form
+// without surrounding braces.
+func renderLabels(labels Labels) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(labels[k]))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func escapeHelp(v string) string {
+	if !strings.ContainsAny(v, "\\\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// WritePrometheus renders every family in Prometheus text exposition
+// format (version 0.0.4): families sorted by name, each with one HELP
+// and one TYPE line followed by its series sorted by label string, with
+// histogram buckets exposed cumulatively. Collectors run at call time.
+// Nil-safe (writes nothing).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	// Snapshot family pointers; series maps are only appended to, and
+	// value reads are atomic, so rendering outside r.mu is safe except
+	// for concurrent series insertion — guard by re-locking per family.
+	fams := make([]*family, len(names))
+	for i, n := range names {
+		fams[i] = r.families[n]
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		r.mu.Lock()
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		static := make([]*series, len(keys))
+		for i, k := range keys {
+			static[i] = f.series[k]
+		}
+		collectors := append([]Collector(nil), f.collect...)
+		r.mu.Unlock()
+
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		seen := make(map[string]bool, len(static))
+		for _, s := range static {
+			seen[s.labels] = true
+			switch {
+			case s.ctr != nil:
+				writeSample(&b, f.name, s.labels, "", float64(s.ctr.Value()))
+			case s.gauge != nil:
+				writeSample(&b, f.name, s.labels, "", s.gauge.Value())
+			case s.hist != nil:
+				writeHistogram(&b, f.name, s.labels, s.hist)
+			}
+		}
+		if len(collectors) > 0 {
+			collected := make(map[string]float64)
+			order := make([]string, 0, 8)
+			emit := func(labels Labels, v float64) {
+				key := renderLabels(labels)
+				if seen[key] {
+					return // never duplicate a static series
+				}
+				if _, dup := collected[key]; !dup {
+					order = append(order, key)
+				}
+				collected[key] = v
+			}
+			for _, fn := range collectors {
+				fn(emit)
+			}
+			sort.Strings(order)
+			for _, key := range order {
+				writeSample(&b, f.name, key, "", collected[key])
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeSample emits one exposition line. extra is an extra pre-rendered
+// label (histogram "le") appended after the series labels.
+func writeSample(b *strings.Builder, name, labels, extra string, v float64) {
+	b.WriteString(name)
+	if labels != "" || extra != "" {
+		b.WriteByte('{')
+		b.WriteString(labels)
+		if labels != "" && extra != "" {
+			b.WriteByte(',')
+		}
+		b.WriteString(extra)
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(formatValue(v))
+	b.WriteByte('\n')
+}
+
+func writeHistogram(b *strings.Builder, name, labels string, h *Histogram) {
+	var cum uint64
+	for i, bound := range h.upper {
+		cum += h.counts[i].Load()
+		writeSample(b, name+"_bucket", labels,
+			`le="`+formatValue(bound)+`"`, float64(cum))
+	}
+	cum += h.counts[len(h.upper)].Load()
+	writeSample(b, name+"_bucket", labels, `le="+Inf"`, float64(cum))
+	writeSample(b, name+"_sum", labels, "", h.Sum())
+	writeSample(b, name+"_count", labels, "", float64(cum))
+}
+
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

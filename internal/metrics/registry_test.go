@@ -1,0 +1,290 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// validateExposition checks Prometheus text-format invariants: every
+// sample belongs to a family announced by exactly one HELP and one TYPE
+// line appearing before its samples, histogram samples use only the
+// _bucket/_sum/_count suffixes, and no series (name + label set) is
+// emitted twice.
+func validateExposition(t *testing.T, text string) {
+	t.Helper()
+	help := make(map[string]int)
+	typ := make(map[string]string)
+	seenSeries := make(map[string]bool)
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			parts := strings.SplitN(line[len("# HELP "):], " ", 2)
+			if len(parts) != 2 || parts[1] == "" {
+				t.Errorf("HELP line without text: %q", line)
+			}
+			help[parts[0]]++
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.SplitN(line[len("# TYPE "):], " ", 2)
+			if len(parts) != 2 {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			switch parts[1] {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Errorf("unknown TYPE %q in %q", parts[1], line)
+			}
+			if _, dup := typ[parts[0]]; dup {
+				t.Errorf("duplicate TYPE line for %s", parts[0])
+			}
+			typ[parts[0]] = parts[1]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Errorf("unexpected comment line: %q", line)
+			continue
+		}
+		// Sample line: name{labels} value
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed sample line: %q", line)
+		}
+		series := line[:sp]
+		if seenSeries[series] {
+			t.Errorf("duplicate series: %q", series)
+		}
+		seenSeries[series] = true
+		name := series
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		base := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if strings.HasSuffix(name, suffix) && typ[strings.TrimSuffix(name, suffix)] == "histogram" {
+				base = strings.TrimSuffix(name, suffix)
+			}
+		}
+		if _, ok := typ[base]; !ok {
+			t.Errorf("sample %q has no TYPE line", line)
+		}
+		if help[base] == 0 {
+			t.Errorf("sample %q has no HELP line", line)
+		}
+	}
+	for name, n := range help {
+		if n != 1 {
+			t.Errorf("family %s has %d HELP lines", name, n)
+		}
+	}
+}
+
+func TestNilRegistryAndHandles(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total", "h", nil)
+	g := r.Gauge("x", "h", nil)
+	h := r.Histogram("x_seconds", "h", nil, nil)
+	r.Collect("y", "h", "gauge", func(emit func(Labels, float64)) {})
+
+	// All handles are nil and all methods no-ops.
+	c.Inc()
+	c.Add(7)
+	g.Set(3)
+	g.Add(1)
+	h.Observe(0.5)
+	h.ObserveDuration(time.Second)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil handles must read as zero")
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil || sb.Len() != 0 {
+		t.Fatalf("nil registry must write nothing: %q %v", sb.String(), err)
+	}
+}
+
+func TestDisabledHandlesAllocateNothing(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	if n := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		g.Set(1)
+		h.Observe(0.25)
+	}); n != 0 {
+		t.Fatalf("nil metric handles allocated %.1f times per op", n)
+	}
+}
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hl_test_total", "test counter", Labels{"kind": "request"})
+	c.Inc()
+	c.Add(2)
+	if c.Value() != 3 {
+		t.Fatalf("counter = %d", c.Value())
+	}
+	// Same name+labels returns the same series.
+	if r.Counter("hl_test_total", "test counter", Labels{"kind": "request"}) != c {
+		t.Fatal("lookup must return the existing series")
+	}
+
+	g := r.Gauge("hl_depth", "test gauge", nil)
+	g.Set(4)
+	g.Add(-1.5)
+	if g.Value() != 2.5 {
+		t.Fatalf("gauge = %v", g.Value())
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Sum() != 106 {
+		t.Fatalf("sum = %v", h.Sum())
+	}
+	// 0.5 and 1 land in le=1 (inclusive upper edge), 1.5 in le=2, 3 in
+	// le=5, 100 in +Inf.
+	if q := h.Quantile(0.4); q != 1 {
+		t.Fatalf("P40 = %v, want 1", q)
+	}
+	if q := h.Quantile(0.6); q != 2 {
+		t.Fatalf("P60 = %v, want 2", q)
+	}
+	// +Inf collapses to the largest finite bound.
+	if q := h.Quantile(1); q != 5 {
+		t.Fatalf("P100 = %v, want 5", q)
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hierlock_messages_sent_total", "Messages by kind.", Labels{"kind": "request"}).Add(3)
+	r.Counter("hierlock_messages_sent_total", "Messages by kind.", Labels{"kind": "token"}).Add(1)
+	r.Gauge("hierlock_lock_queue_depth", "Queue depth.", Labels{"lock": "a/b"}).Set(2)
+	h := r.Histogram("hierlock_request_latency_seconds", "Latency.", []float64{0.1, 1}, nil)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(3)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	validateExposition(t, text)
+
+	for _, want := range []string{
+		"# HELP hierlock_messages_sent_total Messages by kind.\n",
+		"# TYPE hierlock_messages_sent_total counter\n",
+		`hierlock_messages_sent_total{kind="request"} 3` + "\n",
+		`hierlock_messages_sent_total{kind="token"} 1` + "\n",
+		`hierlock_lock_queue_depth{lock="a/b"} 2` + "\n",
+		"# TYPE hierlock_request_latency_seconds histogram\n",
+		`hierlock_request_latency_seconds_bucket{le="0.1"} 1` + "\n",
+		`hierlock_request_latency_seconds_bucket{le="1"} 2` + "\n",
+		`hierlock_request_latency_seconds_bucket{le="+Inf"} 3` + "\n",
+		"hierlock_request_latency_seconds_sum 3.55\n",
+		"hierlock_request_latency_seconds_count 3\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+
+	// Families are sorted by name.
+	var famOrder []string
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "# HELP ") {
+			famOrder = append(famOrder, strings.Fields(line)[2])
+		}
+	}
+	if !sort.StringsAreSorted(famOrder) {
+		t.Errorf("families not sorted: %v", famOrder)
+	}
+}
+
+func TestCollectors(t *testing.T) {
+	r := NewRegistry()
+	// A static series that a collector later collides with.
+	r.Gauge("hl_queue", "Queue.", Labels{"peer": "1"}).Set(42)
+	r.Collect("hl_queue", "Queue.", "gauge", func(emit func(Labels, float64)) {
+		emit(Labels{"peer": "1"}, 7) // collides with static → dropped
+		emit(Labels{"peer": "2"}, 9)
+		emit(Labels{"peer": "0"}, 5)
+	})
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	validateExposition(t, text)
+	if !strings.Contains(text, `hl_queue{peer="1"} 42`) {
+		t.Errorf("static series must win over collector sample:\n%s", text)
+	}
+	if !strings.Contains(text, `hl_queue{peer="2"} 9`) || !strings.Contains(text, `hl_queue{peer="0"} 5`) {
+		t.Errorf("collector samples missing:\n%s", text)
+	}
+	// Collector runs at every scrape, reflecting current state.
+	sb.Reset()
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	validateExposition(t, sb.String())
+}
+
+func TestLabelRendering(t *testing.T) {
+	// Keys are emitted sorted regardless of map order, and values are
+	// escaped.
+	a := renderLabels(Labels{"b": "2", "a": "1"})
+	if a != `a="1",b="2"` {
+		t.Fatalf("render = %q", a)
+	}
+	esc := renderLabels(Labels{"k": "a\"b\\c\nd"})
+	if esc != `k="a\"b\\c\nd"` {
+		t.Fatalf("escaped render = %q", esc)
+	}
+}
+
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	done := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		go func(i int) {
+			defer func() { done <- struct{}{} }()
+			for j := 0; j < 200; j++ {
+				r.Counter("hl_conc_total", "c", Labels{"w": fmt.Sprint(i)}).Inc()
+				r.Histogram("hl_conc_seconds", "h", nil, nil).Observe(float64(j) / 100)
+			}
+		}(i)
+	}
+	for i := 0; i < 2; i++ {
+		var sb strings.Builder
+		if err := r.WritePrometheus(&sb); err != nil {
+			t.Error(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		<-done
+	}
+	var total uint64
+	for i := 0; i < 4; i++ {
+		total += r.Counter("hl_conc_total", "c", Labels{"w": fmt.Sprint(i)}).Value()
+	}
+	if total != 800 {
+		t.Fatalf("lost counter increments: %d", total)
+	}
+	if c := r.Histogram("hl_conc_seconds", "h", nil, nil).Count(); c != 800 {
+		t.Fatalf("lost histogram observations: %d", c)
+	}
+}

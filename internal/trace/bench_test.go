@@ -1,0 +1,57 @@
+package trace_test
+
+import (
+	"testing"
+
+	"hierlock/internal/proto"
+	"hierlock/internal/trace"
+)
+
+func benchEntry(i int) trace.Entry {
+	return trace.Entry{Op: trace.OpSend, Kind: proto.KindRequest,
+		From: proto.NodeID(i % 8), To: proto.NodeID((i + 1) % 8), Lock: 3}
+}
+
+func BenchmarkRecord(b *testing.B) {
+	r := trace.New(4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Record(benchEntry(i))
+	}
+}
+
+func BenchmarkRecordNil(b *testing.B) {
+	var r *trace.Recorder
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Record(benchEntry(i))
+	}
+}
+
+func BenchmarkRecordPaused(b *testing.B) {
+	r := trace.New(4096)
+	r.SetEnabled(false)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Record(benchEntry(i))
+	}
+}
+
+func BenchmarkAssemble(b *testing.B) {
+	r := trace.New(4096)
+	for i := 0; i < 4096/4; i++ {
+		n := proto.NodeID(i % 8)
+		r.Record(trace.Entry{Op: trace.OpAcquire, Node: n, Lock: 3})
+		r.Record(trace.Entry{Op: trace.OpSend, Kind: proto.KindToken, From: 0, To: n, Lock: 3})
+		r.Record(trace.Entry{Op: trace.OpGranted, Node: n, Lock: 3})
+		r.Record(trace.Entry{Op: trace.OpRelease, Node: n, Lock: 3})
+	}
+	entries := r.Entries()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if spans := trace.Assemble(entries); len(spans) == 0 {
+			b.Fatal("no spans")
+		}
+	}
+}

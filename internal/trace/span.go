@@ -1,0 +1,226 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"hierlock/internal/modes"
+	"hierlock/internal/proto"
+)
+
+// Span is one client request's reconstructed lifecycle: from the
+// OpAcquire that issued it, through the protocol traffic on its lock
+// (request forwards, freezes, token transfers, grants), to the OpGranted
+// that completed it. Steps holds every retained entry on the span's lock
+// recorded while the span was open, in recording order; with concurrent
+// requesters on one lock a message step can belong to several
+// overlapping spans (message entries carry no request identity), which
+// is the faithful rendering of a shared token's travel.
+type Span struct {
+	Lock proto.LockID
+	Node proto.NodeID // requesting node
+	Mode modes.Mode   // requested mode
+	// Start and End are the acquire and grant times (virtual or
+	// wall-relative, whatever the recorder's entries carry).
+	Start, End time.Duration
+	// Complete reports whether the grant was observed; incomplete spans
+	// were still waiting when the trace was captured (or the ring evicted
+	// the grant).
+	Complete bool
+	Steps    []Entry
+}
+
+// Duration returns End-Start for complete spans, 0 otherwise.
+func (s *Span) Duration() time.Duration {
+	if !s.Complete {
+		return 0
+	}
+	return s.End - s.Start
+}
+
+// TokenPath reconstructs the token's travel path across nodes from the
+// span's KindToken steps: the sequence of hops the token made while this
+// request was outstanding, ending (for a transfer-granted request) at
+// the requester. Send/deliver pairs of the same hop are collapsed; nil
+// when the token never moved (copy grant or local acquisition).
+func (s *Span) TokenPath() []proto.NodeID {
+	var path []proto.NodeID
+	for _, e := range s.Steps {
+		if e.Kind != proto.KindToken || (e.Op != OpSend && e.Op != OpDeliver) {
+			continue
+		}
+		if n := len(path); n > 1 && path[n-1] == e.To && path[n-2] == e.From {
+			continue // the deliver of an already-recorded send (or vice versa)
+		}
+		if len(path) == 0 || path[len(path)-1] != e.From {
+			path = append(path, e.From)
+		}
+		path = append(path, e.To)
+	}
+	return path
+}
+
+// Format renders the span for humans: a one-line summary, the token's
+// travel path if any, and (verbose) every step.
+func (s *Span) Format(verbose bool) string {
+	var b strings.Builder
+	status := "waiting"
+	if s.Complete {
+		status = fmt.Sprintf("granted in %v", s.Duration())
+	}
+	fmt.Fprintf(&b, "span lock=%d node=%d mode=%v at=%v: %s (%d steps)\n",
+		s.Lock, s.Node, s.Mode, s.Start, status, len(s.Steps))
+	if path := s.TokenPath(); len(path) > 0 {
+		parts := make([]string, len(path))
+		for i, n := range path {
+			parts[i] = fmt.Sprintf("%d", n)
+		}
+		fmt.Fprintf(&b, "  token path: %s\n", strings.Join(parts, " → "))
+	}
+	if verbose {
+		for _, e := range s.Steps {
+			fmt.Fprintf(&b, "  %s\n", e.String())
+		}
+	}
+	return b.String()
+}
+
+// Assemble reconstructs spans from a trace in recording order. A span
+// opens at an OpAcquire, collects every subsequent entry on its lock,
+// and closes at the OpGranted on the same (node, lock). An OpGranted
+// with no matching open span (its acquire was evicted from the ring, or
+// it completes an upgrade traced only from the grant) yields a complete
+// single-step span. Spans are returned in open order; incomplete ones
+// are requests still in flight at capture time.
+func Assemble(entries []Entry) []*Span {
+	type key struct {
+		node proto.NodeID
+		lock proto.LockID
+	}
+	var spans []*Span
+	open := make(map[key][]*Span) // FIFO per (node, lock) requester
+	openByLock := make(map[proto.LockID][]*Span)
+
+	removeFromLock := func(sp *Span) {
+		byLock := openByLock[sp.Lock]
+		for i, o := range byLock {
+			if o == sp {
+				openByLock[sp.Lock] = append(byLock[:i], byLock[i+1:]...)
+				break
+			}
+		}
+	}
+
+	for _, e := range entries {
+		switch e.Op {
+		case OpAcquire:
+			sp := &Span{Lock: e.Lock, Node: e.Node, Mode: e.Mode,
+				Start: e.At, Steps: []Entry{e}}
+			spans = append(spans, sp)
+			k := key{e.Node, e.Lock}
+			open[k] = append(open[k], sp)
+			openByLock[e.Lock] = append(openByLock[e.Lock], sp)
+		case OpGranted:
+			k := key{e.Node, e.Lock}
+			if q := open[k]; len(q) > 0 {
+				sp := q[0]
+				open[k] = q[1:]
+				removeFromLock(sp)
+				sp.Steps = append(sp.Steps, e)
+				sp.End = e.At
+				sp.Complete = true
+				// The granted mode is authoritative (upgrades grant W).
+				sp.Mode = e.Mode
+			} else {
+				spans = append(spans, &Span{Lock: e.Lock, Node: e.Node,
+					Mode: e.Mode, Start: e.At, End: e.At, Complete: true,
+					Steps: []Entry{e}})
+			}
+		default:
+			for _, sp := range openByLock[e.Lock] {
+				sp.Steps = append(sp.Steps, e)
+			}
+		}
+	}
+	return spans
+}
+
+// entryJSON is the wire form of an Entry: numeric codes for lossless
+// round-trips plus human-readable names for direct consumption (jq,
+// dashboards).
+type entryJSON struct {
+	Seq      uint64 `json:"seq"`
+	AtUS     int64  `json:"at_us"`
+	Op       string `json:"op"`
+	OpCode   uint8  `json:"op_code"`
+	Node     int32  `json:"node"`
+	Lock     uint64 `json:"lock"`
+	Mode     string `json:"mode"`
+	ModeCode uint8  `json:"mode_code"`
+	Kind     string `json:"kind,omitempty"`
+	KindCode uint8  `json:"kind_code"`
+	From     int32  `json:"from"`
+	To       int32  `json:"to"`
+}
+
+// MarshalJSON renders the entry with both numeric codes and names.
+func (e Entry) MarshalJSON() ([]byte, error) {
+	j := entryJSON{
+		Seq:      e.Seq,
+		AtUS:     e.At.Microseconds(),
+		Op:       e.Op.String(),
+		OpCode:   uint8(e.Op),
+		Node:     int32(e.Node),
+		Lock:     uint64(e.Lock),
+		Mode:     e.Mode.String(),
+		ModeCode: uint8(e.Mode),
+		KindCode: uint8(e.Kind),
+		From:     int32(e.From),
+		To:       int32(e.To),
+	}
+	if e.Kind != proto.KindInvalid {
+		j.Kind = e.Kind.String()
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON restores an entry from its wire form (numeric codes are
+// authoritative; names are ignored).
+func (e *Entry) UnmarshalJSON(data []byte) error {
+	var j entryJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	*e = Entry{
+		Seq:  j.Seq,
+		At:   time.Duration(j.AtUS) * time.Microsecond,
+		Op:   Op(j.OpCode),
+		Node: proto.NodeID(j.Node),
+		Lock: proto.LockID(j.Lock),
+		Mode: modes.Mode(j.ModeCode),
+		Kind: proto.Kind(j.KindCode),
+		From: proto.NodeID(j.From),
+		To:   proto.NodeID(j.To),
+	}
+	return nil
+}
+
+// Dump is the JSON document served by the /debug/trace endpoint and
+// consumed by `lockctl trace`.
+type Dump struct {
+	Enabled bool    `json:"enabled"`
+	Dropped uint64  `json:"dropped"`
+	Entries []Entry `json:"entries"`
+}
+
+// DumpLast captures the most recent n retained entries (all of them if
+// n <= 0 or exceeds the retention) as a Dump. Nil-safe.
+func (r *Recorder) DumpLast(n int) Dump {
+	entries := r.Entries()
+	if n > 0 && n < len(entries) {
+		entries = entries[len(entries)-n:]
+	}
+	return Dump{Enabled: r.Enabled(), Dropped: r.Dropped(), Entries: entries}
+}

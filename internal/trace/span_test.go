@@ -1,0 +1,193 @@
+package trace_test
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"hierlock/internal/modes"
+	"hierlock/internal/proto"
+	"hierlock/internal/trace"
+)
+
+// acquireGrantTrace is a canonical remote acquisition on lock 7: node 2
+// asks, node 0 forwards the token, node 2 is granted.
+func acquireGrantTrace() []trace.Entry {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	return []trace.Entry{
+		{At: ms(0), Op: trace.OpAcquire, Node: 2, Lock: 7, Mode: modes.W},
+		{At: ms(1), Op: trace.OpSend, Node: 2, Lock: 7, Mode: modes.W, Kind: proto.KindRequest, From: 2, To: 0},
+		{At: ms(150), Op: trace.OpDeliver, Node: 0, Lock: 7, Mode: modes.W, Kind: proto.KindRequest, From: 2, To: 0},
+		{At: ms(151), Op: trace.OpSend, Node: 0, Lock: 7, Mode: modes.W, Kind: proto.KindToken, From: 0, To: 2},
+		{At: ms(300), Op: trace.OpDeliver, Node: 2, Lock: 7, Mode: modes.W, Kind: proto.KindToken, From: 0, To: 2},
+		{At: ms(301), Op: trace.OpGranted, Node: 2, Lock: 7, Mode: modes.W},
+	}
+}
+
+func TestAssembleAcquireGrant(t *testing.T) {
+	spans := trace.Assemble(acquireGrantTrace())
+	if len(spans) != 1 {
+		t.Fatalf("spans = %d, want 1", len(spans))
+	}
+	sp := spans[0]
+	if !sp.Complete || sp.Node != 2 || sp.Lock != 7 || sp.Mode != modes.W {
+		t.Fatalf("span: %+v", sp)
+	}
+	if sp.Duration() != 301*time.Millisecond {
+		t.Fatalf("duration = %v", sp.Duration())
+	}
+	if len(sp.Steps) != 6 {
+		t.Fatalf("steps = %d, want 6", len(sp.Steps))
+	}
+	if path := sp.TokenPath(); len(path) != 2 || path[0] != 0 || path[1] != 2 {
+		t.Fatalf("token path = %v, want [0 2]", path)
+	}
+	out := sp.Format(true)
+	if !strings.Contains(out, "granted in 301ms") || !strings.Contains(out, "token path: 0 → 2") {
+		t.Fatalf("format:\n%s", out)
+	}
+	if strings.Count(out, "\n") < 7 {
+		t.Fatalf("verbose format must list every step:\n%s", out)
+	}
+}
+
+func TestAssembleIncompleteAndOrphan(t *testing.T) {
+	entries := []trace.Entry{
+		// A request still waiting at capture time.
+		{At: 0, Op: trace.OpAcquire, Node: 1, Lock: 3, Mode: modes.R},
+		// A grant whose acquire was evicted from the ring.
+		{At: time.Second, Op: trace.OpGranted, Node: 4, Lock: 9, Mode: modes.U},
+	}
+	spans := trace.Assemble(entries)
+	if len(spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(spans))
+	}
+	if spans[0].Complete {
+		t.Fatal("waiting request must be incomplete")
+	}
+	if spans[0].Duration() != 0 {
+		t.Fatal("incomplete span has no duration")
+	}
+	if !strings.Contains(spans[0].Format(false), "waiting") {
+		t.Fatalf("format: %s", spans[0].Format(false))
+	}
+	if !spans[1].Complete || spans[1].Node != 4 || len(spans[1].Steps) != 1 {
+		t.Fatalf("orphan grant span: %+v", spans[1])
+	}
+}
+
+func TestAssembleConcurrentRequesters(t *testing.T) {
+	// Two nodes race for lock 5; a message on the lock while both wait
+	// attaches to both spans, and each grant closes its own requester's
+	// span (FIFO per node).
+	entries := []trace.Entry{
+		{At: 0, Op: trace.OpAcquire, Node: 1, Lock: 5, Mode: modes.W},
+		{At: 1, Op: trace.OpAcquire, Node: 2, Lock: 5, Mode: modes.W},
+		{At: 2, Op: trace.OpSend, Node: 0, Lock: 5, Kind: proto.KindToken, From: 0, To: 1},
+		{At: 3, Op: trace.OpGranted, Node: 1, Lock: 5, Mode: modes.W},
+		{At: 4, Op: trace.OpSend, Node: 1, Lock: 5, Kind: proto.KindToken, From: 1, To: 2},
+		{At: 5, Op: trace.OpGranted, Node: 2, Lock: 5, Mode: modes.W},
+	}
+	spans := trace.Assemble(entries)
+	if len(spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(spans))
+	}
+	if spans[0].Node != 1 || !spans[0].Complete || spans[0].End != 3 {
+		t.Fatalf("first span: %+v", spans[0])
+	}
+	if spans[1].Node != 2 || !spans[1].Complete || spans[1].End != 5 {
+		t.Fatalf("second span: %+v", spans[1])
+	}
+	// Node 2's span saw both token hops: 0→1 while it waited, then 1→2.
+	if path := spans[1].TokenPath(); len(path) != 3 || path[0] != 0 || path[1] != 1 || path[2] != 2 {
+		t.Fatalf("token path = %v, want [0 1 2]", path)
+	}
+	// The closed span stops accruing steps: node 1's span must not
+	// contain the 1→2 token send recorded after its grant.
+	for _, e := range spans[0].Steps {
+		if e.Kind == proto.KindToken && e.To == 2 {
+			t.Fatalf("closed span accrued later steps: %+v", spans[0].Steps)
+		}
+	}
+}
+
+func TestTokenPathDedup(t *testing.T) {
+	// Send and deliver of the same hop collapse to one hop.
+	sp := &trace.Span{Steps: []trace.Entry{
+		{Op: trace.OpSend, Kind: proto.KindToken, From: 0, To: 1},
+		{Op: trace.OpDeliver, Kind: proto.KindToken, From: 0, To: 1},
+		{Op: trace.OpSend, Kind: proto.KindToken, From: 1, To: 2},
+		{Op: trace.OpDeliver, Kind: proto.KindToken, From: 1, To: 2},
+	}}
+	if path := sp.TokenPath(); len(path) != 3 || path[0] != 0 || path[1] != 1 || path[2] != 2 {
+		t.Fatalf("path = %v, want [0 1 2]", path)
+	}
+	// A requester-side trace sees only the deliver.
+	sp = &trace.Span{Steps: []trace.Entry{
+		{Op: trace.OpDeliver, Kind: proto.KindToken, From: 0, To: 2},
+	}}
+	if path := sp.TokenPath(); len(path) != 2 || path[0] != 0 || path[1] != 2 {
+		t.Fatalf("deliver-only path = %v, want [0 2]", path)
+	}
+	if (&trace.Span{}).TokenPath() != nil {
+		t.Fatal("no token traffic must yield a nil path")
+	}
+}
+
+func TestEntryJSONRoundTrip(t *testing.T) {
+	in := trace.Entry{
+		Seq: 42, At: 1500 * time.Microsecond, Op: trace.OpSend,
+		Node: 1, Lock: 7, Mode: modes.IW, Kind: proto.KindToken, From: 1, To: 3,
+	}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Human-readable names ride along.
+	for _, want := range []string{`"op":"send"`, `"kind":"token"`, `"mode":"IW"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("wire form missing %s: %s", want, data)
+		}
+	}
+	var out trace.Entry
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip: got %+v, want %+v", out, in)
+	}
+}
+
+func TestDumpLast(t *testing.T) {
+	r := trace.New(16)
+	for i := 0; i < 10; i++ {
+		r.Record(trace.Entry{Op: trace.OpSend, Node: proto.NodeID(i)})
+	}
+	d := r.DumpLast(3)
+	if !d.Enabled || len(d.Entries) != 3 || d.Entries[0].Node != 7 {
+		t.Fatalf("dump: %+v", d)
+	}
+	if len(r.DumpLast(0).Entries) != 10 || len(r.DumpLast(100).Entries) != 10 {
+		t.Fatal("n<=0 or oversized n must return everything")
+	}
+
+	// The dump round-trips through JSON (what lockctl consumes).
+	data, err := json.Marshal(r.DumpLast(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back trace.Dump
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Entries) != 10 || back.Entries[9].Node != 9 {
+		t.Fatalf("dump round trip: %+v", back)
+	}
+
+	var nilRec *trace.Recorder
+	nd := nilRec.DumpLast(5)
+	if nd.Enabled || nd.Entries != nil {
+		t.Fatalf("nil dump: %+v", nd)
+	}
+}

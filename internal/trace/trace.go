@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hierlock/internal/modes"
@@ -50,7 +51,10 @@ func (o Op) String() string {
 	case OpDefer:
 		return "defer"
 	default:
-		return "unknown"
+		// The zero Op (and any out-of-range value) is a corrupt or
+		// uninitialized entry; print the numeric value so it is
+		// distinguishable from every valid op.
+		return fmt.Sprintf("invalid(%d)", uint8(o))
 	}
 }
 
@@ -82,12 +86,32 @@ func (e Entry) String() string {
 // Recorder is a bounded ring buffer of entries. The zero value is not
 // usable; construct with New. Safe for concurrent use.
 type Recorder struct {
+	// disabled pauses recording when set (SetEnabled(false)). Checked
+	// before the mutex so a paused recorder costs one atomic load.
+	disabled atomic.Bool
+
 	mu      sync.Mutex
 	entries []Entry
 	next    int
 	full    bool
 	seq     uint64
 	dropped uint64
+}
+
+// SetEnabled starts or pauses recording at runtime. Entries recorded
+// while paused are discarded; the retained ring is left untouched.
+// No-op on a nil recorder.
+func (r *Recorder) SetEnabled(on bool) {
+	if r == nil {
+		return
+	}
+	r.disabled.Store(!on)
+}
+
+// Enabled reports whether the recorder is accepting entries (false for
+// nil).
+func (r *Recorder) Enabled() bool {
+	return r != nil && !r.disabled.Load()
 }
 
 // New creates a recorder that retains the most recent capacity entries.
@@ -101,7 +125,7 @@ func New(capacity int) *Recorder {
 // Record appends an entry (nil recorders discard silently, so call sites
 // need no guards).
 func (r *Recorder) Record(e Entry) {
-	if r == nil {
+	if r == nil || r.disabled.Load() {
 		return
 	}
 	r.mu.Lock()

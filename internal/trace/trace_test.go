@@ -77,6 +77,73 @@ func TestFilterAndString(t *testing.T) {
 	}
 }
 
+func TestOpString(t *testing.T) {
+	cases := []struct {
+		op   trace.Op
+		want string
+	}{
+		{trace.Op(0), "invalid(0)"}, // the zero value must be distinguishable
+		{trace.OpSend, "send"},
+		{trace.OpDeliver, "deliver"},
+		{trace.OpAcquire, "acquire"},
+		{trace.OpGranted, "granted"},
+		{trace.OpRelease, "release"},
+		{trace.OpDrop, "drop"},
+		{trace.OpDup, "dup"},
+		{trace.OpDefer, "defer"},
+		{trace.Op(99), "invalid(99)"},
+		{trace.Op(255), "invalid(255)"},
+	}
+	for _, c := range cases {
+		if got := c.op.String(); got != c.want {
+			t.Errorf("Op(%d).String() = %q, want %q", uint8(c.op), got, c.want)
+		}
+	}
+}
+
+func TestSetEnabled(t *testing.T) {
+	r := trace.New(8)
+	if !r.Enabled() {
+		t.Fatal("fresh recorder must be enabled")
+	}
+	r.Record(trace.Entry{Op: trace.OpSend})
+	r.SetEnabled(false)
+	if r.Enabled() {
+		t.Fatal("disable must be observable")
+	}
+	r.Record(trace.Entry{Op: trace.OpSend}) // discarded
+	if r.Len() != 1 {
+		t.Fatalf("paused recorder retained a new entry: len=%d", r.Len())
+	}
+	r.SetEnabled(true)
+	r.Record(trace.Entry{Op: trace.OpSend})
+	if r.Len() != 2 {
+		t.Fatalf("re-enabled recorder must record: len=%d", r.Len())
+	}
+
+	var nilRec *trace.Recorder
+	nilRec.SetEnabled(true) // must not panic
+	if nilRec.Enabled() {
+		t.Fatal("nil recorder is never enabled")
+	}
+}
+
+// TestDisabledRecordAllocatesNothing is the benchmark guard for the
+// disabled fast path: recording through a nil recorder and a paused
+// recorder must add zero allocations per protocol step.
+func TestDisabledRecordAllocatesNothing(t *testing.T) {
+	var nilRec *trace.Recorder
+	paused := trace.New(8)
+	paused.SetEnabled(false)
+	e := trace.Entry{Op: trace.OpSend, Kind: proto.KindToken, From: 1, To: 2, Lock: 3}
+	if n := testing.AllocsPerRun(100, func() {
+		nilRec.Record(e)
+		paused.Record(e)
+	}); n != 0 {
+		t.Fatalf("disabled recorders allocated %.1f times per record", n)
+	}
+}
+
 func TestCheckFIFO(t *testing.T) {
 	r := trace.New(64)
 	// Two sends, delivered in order: OK.

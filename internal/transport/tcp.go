@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hierlock/internal/metrics"
@@ -103,6 +104,55 @@ type TCPTransport struct {
 	recvMu         sync.Mutex
 	recvSeq        map[proto.NodeID]uint64
 	dupsSuppressed uint64
+
+	// Wire-volume counters, maintained by countingConn wrappers around
+	// every tracked connection (acks and retransmissions included — this
+	// is what actually crossed the wire).
+	bytesSent  atomic.Uint64
+	bytesRecv  atomic.Uint64
+	framesSent atomic.Uint64
+	framesRecv atomic.Uint64
+}
+
+// countingConn counts bytes crossing a connection into the transport's
+// wire-volume counters. It wraps every tracked conn, so reads on
+// inbound connections and writes on outbound ones (plus acks flowing
+// the other way) are all accounted.
+type countingConn struct {
+	net.Conn
+	t *TCPTransport
+}
+
+func (c countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.t.bytesRecv.Add(uint64(n))
+	return n, err
+}
+
+func (c countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.t.bytesSent.Add(uint64(n))
+	return n, err
+}
+
+// IOStats is a snapshot of a transport endpoint's wire volume.
+type IOStats struct {
+	// BytesSent and BytesRecv count bytes written to and read from peer
+	// connections, including framing, acks and retransmissions.
+	BytesSent, BytesRecv uint64
+	// FramesSent and FramesRecv count protocol message frames
+	// successfully written and read.
+	FramesSent, FramesRecv uint64
+}
+
+// IOStats snapshots the endpoint's wire-volume counters.
+func (t *TCPTransport) IOStats() IOStats {
+	return IOStats{
+		BytesSent:  t.bytesSent.Load(),
+		BytesRecv:  t.bytesRecv.Load(),
+		FramesSent: t.framesSent.Load(),
+		FramesRecv: t.framesRecv.Load(),
+	}
 }
 
 // NewTCP creates a TCP transport endpoint and binds its listener
@@ -189,11 +239,12 @@ func (t *TCPTransport) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
-		if !t.trackConn(conn) {
+		cc := countingConn{Conn: conn, t: t}
+		if !t.trackConn(cc) {
 			return
 		}
 		t.wg.Add(1)
-		go t.readLoop(conn)
+		go t.readLoop(cc)
 	}
 }
 
@@ -210,6 +261,7 @@ func (t *TCPTransport) readLoop(conn net.Conn) {
 		if err != nil {
 			return
 		}
+		t.framesRecv.Add(1)
 		if err := t.box.put(msg); err != nil {
 			return
 		}
@@ -228,6 +280,7 @@ func (t *TCPTransport) readLoopReliable(conn net.Conn) {
 		if typ != proto.LinkData {
 			continue // acks are not expected inbound; ignore
 		}
+		t.framesRecv.Add(1)
 		from := msg.From
 		t.recvMu.Lock()
 		last := t.recvSeq[from]
@@ -499,7 +552,7 @@ func (w *peerWriter) flush() (retry bool) {
 			if !w.hasWork() {
 				return false
 			}
-			conn, err := w.dial()
+			rawConn, err := w.dial()
 			if err != nil {
 				if w.t.ctx.Err() != nil {
 					return false
@@ -507,6 +560,7 @@ func (w *peerWriter) flush() (retry bool) {
 				w.noteFailure()
 				return true
 			}
+			conn := countingConn{Conn: rawConn, t: w.t}
 			if !w.t.trackConn(conn) {
 				return false
 			}
@@ -529,6 +583,9 @@ func (w *peerWriter) flush() (retry bool) {
 			err = proto.WriteLinkData(w.conn, seq, msg)
 		} else {
 			err = proto.WriteFrame(w.conn, msg)
+		}
+		if err == nil {
+			w.t.framesSent.Add(1)
 		}
 		if err != nil {
 			if !w.t.cfg.Reliable {
@@ -598,6 +655,7 @@ func (w *peerWriter) retransmitUnacked() bool {
 		}
 	}
 	if len(pending) > 0 {
+		w.t.framesSent.Add(uint64(len(pending)))
 		w.mu.Lock()
 		w.retransmits += uint64(len(pending))
 		w.mu.Unlock()

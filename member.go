@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
@@ -11,6 +12,7 @@ import (
 	"hierlock/internal/metrics"
 	"hierlock/internal/modes"
 	"hierlock/internal/proto"
+	"hierlock/internal/trace"
 	"hierlock/internal/transport"
 )
 
@@ -49,6 +51,220 @@ type Member struct {
 	sharedJoins uint64
 	firstEr     error
 	closed      bool
+
+	// resNames maps lock IDs back to the resource names clients used, so
+	// per-lock metric labels are human-readable.
+	resNames map[proto.LockID]string
+	tel      telemetry
+}
+
+// Telemetry bundles the optional live observability sinks of a member.
+// Attach with SetTelemetry before serving traffic; with no telemetry
+// attached the instrumented paths cost nothing (nil-handle no-ops).
+type Telemetry struct {
+	// Registry receives Prometheus-style metrics (message counters,
+	// latency histograms, per-lock and transport gauges). See
+	// internal/metrics for the metric catalog.
+	Registry *metrics.Registry
+	// Trace receives per-event protocol trace entries, from which
+	// per-request spans are reconstructed (see internal/trace).
+	Trace *trace.Recorder
+	// NetLatencyBase scales the request-latency-factor histogram (the
+	// paper's Figure 6 metric: latency as a multiple of the mean
+	// point-to-point network delay). Default 150ms, the paper's testbed
+	// latency.
+	NetLatencyBase time.Duration
+}
+
+// telemetry is the member's wired instrumentation state: cached series
+// handles so hot paths never do registry lookups.
+type telemetry struct {
+	reg   *metrics.Registry
+	rec   *trace.Recorder
+	epoch time.Time
+	base  time.Duration
+
+	sent        [6]*metrics.Counter // indexed by proto.Kind
+	sentUnknown *metrics.Counter
+	requests    *metrics.Counter
+	acquires    *metrics.Counter
+	sharedJoins *metrics.Counter
+	latency     *metrics.Histogram
+	factor      *metrics.Histogram
+}
+
+// now returns the wall-relative trace timestamp.
+func (t *telemetry) now() time.Duration { return time.Since(t.epoch) }
+
+// countSent records one outbound protocol message.
+func (t *telemetry) countSent(k proto.Kind) {
+	if t.reg == nil {
+		return
+	}
+	if int(k) < len(t.sent) {
+		t.sent[k].Inc()
+		return
+	}
+	t.sentUnknown.Inc()
+}
+
+// SetTelemetry attaches observability sinks to the member and registers
+// its scrape-time collectors (per-lock engine gauges; transport queue,
+// link and wire-volume metrics for TCP members). Call once, before the
+// member serves traffic.
+func (m *Member) SetTelemetry(t Telemetry) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.tel.rec = t.Trace
+	m.tel.epoch = time.Now()
+	m.tel.base = t.NetLatencyBase
+	if m.tel.base <= 0 {
+		m.tel.base = 150 * time.Millisecond
+	}
+	reg := t.Registry
+	m.tel.reg = reg
+	if reg == nil {
+		return
+	}
+	for _, k := range metrics.Kinds {
+		m.tel.sent[k] = reg.Counter(metrics.MetricMessagesTotal,
+			"Protocol messages sent, by kind.", metrics.Labels{"kind": k.String()})
+	}
+	m.tel.sentUnknown = reg.Counter(metrics.MetricMessagesTotal,
+		"Protocol messages sent, by kind.", metrics.Labels{"kind": "unknown"})
+	m.tel.requests = reg.Counter(metrics.MetricRequestsTotal,
+		"Client lock requests issued (including upgrades and local joins).", nil)
+	m.tel.acquires = reg.Counter(metrics.MetricAcquiresTotal,
+		"Completed lock acquisitions (grants, upgrades, shared joins).", nil)
+	m.tel.sharedJoins = reg.Counter(metrics.MetricSharedJoinsTotal,
+		"Acquisitions satisfied by joining an existing local hold.", nil)
+	m.tel.latency = reg.Histogram(metrics.MetricRequestLatency,
+		"Issue-to-grant lock request latency in seconds.",
+		metrics.DefLatencyBuckets, nil)
+	m.tel.factor = reg.Histogram(metrics.MetricRequestLatencyFactor,
+		"Request latency as a multiple of the mean point-to-point network latency (Figure 6).",
+		metrics.LatencyFactorBuckets, nil)
+
+	m.registerLockCollectors(reg)
+	if tt, ok := m.tr.(*transport.TCPTransport); ok {
+		registerTransportCollectors(reg, tt)
+	}
+}
+
+// lockLabelLocked names a lock for metric labels: the resource name when
+// known, the numeric lock ID otherwise. Callers hold m.mu.
+func (m *Member) lockLabelLocked(id proto.LockID) string {
+	if name, ok := m.resNames[id]; ok {
+		return name
+	}
+	return strconv.FormatUint(uint64(id), 10)
+}
+
+// registerLockCollectors registers scrape-time gauges over the member's
+// per-lock engine state. Each collector takes m.mu briefly at scrape.
+func (m *Member) registerLockCollectors(reg *metrics.Registry) {
+	engineGauge := func(f func(*hlock.Engine) float64) metrics.Collector {
+		return func(emit func(metrics.Labels, float64)) {
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			for id, e := range m.engines {
+				emit(metrics.Labels{"lock": m.lockLabelLocked(id)}, f(e))
+			}
+		}
+	}
+	reg.Collect(metrics.MetricLockQueueDepth,
+		"Locally queued requests per lock.", "gauge",
+		engineGauge(func(e *hlock.Engine) float64 { return float64(e.QueueLen()) }))
+	reg.Collect(metrics.MetricLockCopyset,
+		"Copyset size (children holding a granted copy) per lock.", "gauge",
+		engineGauge(func(e *hlock.Engine) float64 { return float64(len(e.Children())) }))
+	reg.Collect(metrics.MetricLockFrozen,
+		"Number of frozen modes per lock.", "gauge",
+		engineGauge(func(e *hlock.Engine) float64 { return float64(e.Frozen().Len()) }))
+	reg.Collect(metrics.MetricTokenHeld,
+		"Whether this node holds the lock's token (0 or 1).", "gauge",
+		engineGauge(func(e *hlock.Engine) float64 {
+			if e.IsToken() {
+				return 1
+			}
+			return 0
+		}))
+}
+
+// registerTransportCollectors registers scrape-time metrics over a TCP
+// transport endpoint: wire volume, per-peer queues and health, and
+// link-layer resilience counters.
+func registerTransportCollectors(reg *metrics.Registry, t *transport.TCPTransport) {
+	peer := func(id proto.NodeID) metrics.Labels {
+		return metrics.Labels{"peer": strconv.Itoa(int(id))}
+	}
+	reg.Collect(metrics.MetricTransportBytes,
+		"Transport bytes on peer connections (framing, acks and retransmissions included).",
+		"counter", func(emit func(metrics.Labels, float64)) {
+			io := t.IOStats()
+			emit(metrics.Labels{"direction": "sent"}, float64(io.BytesSent))
+			emit(metrics.Labels{"direction": "recv"}, float64(io.BytesRecv))
+		})
+	reg.Collect(metrics.MetricTransportFrames,
+		"Protocol message frames written to and read from peers.",
+		"counter", func(emit func(metrics.Labels, float64)) {
+			io := t.IOStats()
+			emit(metrics.Labels{"direction": "sent"}, float64(io.FramesSent))
+			emit(metrics.Labels{"direction": "recv"}, float64(io.FramesRecv))
+		})
+	reg.Collect(metrics.MetricTransportQueueLen,
+		"Per-peer outbound queue occupancy (queued plus unacknowledged).",
+		"gauge", func(emit func(metrics.Labels, float64)) {
+			for id, q := range t.QueueStats() {
+				emit(peer(id), float64(q.Len))
+			}
+		})
+	reg.Collect(metrics.MetricTransportQueueHighWater,
+		"Worst per-peer outbound queue occupancy observed.",
+		"gauge", func(emit func(metrics.Labels, float64)) {
+			for id, q := range t.QueueStats() {
+				emit(peer(id), float64(q.HighWater))
+			}
+		})
+	reg.Collect(metrics.MetricTransportQueueFullDrops,
+		"Sends rejected because a per-peer queue was at its limit.",
+		"counter", func(emit func(metrics.Labels, float64)) {
+			for id, q := range t.QueueStats() {
+				emit(peer(id), float64(q.FullDrops))
+			}
+		})
+	reg.Collect(metrics.MetricTransportInboxLen,
+		"Inbound delivery mailbox occupancy.",
+		"gauge", func(emit func(metrics.Labels, float64)) {
+			emit(nil, float64(t.InboxStats().Len))
+		})
+	reg.Collect(metrics.MetricTransportInboxHighWater,
+		"Worst inbound delivery mailbox occupancy observed.",
+		"gauge", func(emit func(metrics.Labels, float64)) {
+			emit(nil, float64(t.InboxStats().HighWater))
+		})
+	reg.Collect(metrics.MetricTransportRedials,
+		"Reconnection attempts to peers.",
+		"counter", func(emit func(metrics.Labels, float64)) {
+			emit(nil, float64(t.LinkStats().Redials))
+		})
+	reg.Collect(metrics.MetricTransportRetransmits,
+		"Reliable-mode frames retransmitted after reconnects.",
+		"counter", func(emit func(metrics.Labels, float64)) {
+			emit(nil, float64(t.LinkStats().Retransmits))
+		})
+	reg.Collect(metrics.MetricTransportDupsSuppressed,
+		"Duplicate inbound frames suppressed by the reliable-link sequence check.",
+		"counter", func(emit func(metrics.Labels, float64)) {
+			emit(nil, float64(t.LinkStats().DupsSuppressed))
+		})
+	reg.Collect(metrics.MetricTransportPeerState,
+		"Per-peer link health (0 up, 1 degraded, 2 down).",
+		"gauge", func(emit func(metrics.Labels, float64)) {
+			for id, st := range t.Health() {
+				emit(peer(id), float64(st))
+			}
+		})
 }
 
 // hold tracks one engine-level hold shared by local clients.
@@ -74,13 +290,14 @@ type waiter struct {
 // newMember wires a member to a started transport.
 func newMember(id, root proto.NodeID, tr transport.Transport) (*Member, error) {
 	m := &Member{
-		id:      id,
-		root:    root,
-		tr:      tr,
-		engines: make(map[proto.LockID]*hlock.Engine),
-		waiters: make(map[proto.LockID]*waiter),
-		slots:   make(map[proto.LockID]chan struct{}),
-		holds:   make(map[proto.LockID]*hold),
+		id:       id,
+		root:     root,
+		tr:       tr,
+		engines:  make(map[proto.LockID]*hlock.Engine),
+		waiters:  make(map[proto.LockID]*waiter),
+		slots:    make(map[proto.LockID]chan struct{}),
+		holds:    make(map[proto.LockID]*hold),
+		resNames: make(map[proto.LockID]string),
 	}
 	if err := tr.Start(m.handle); err != nil {
 		return nil, err
@@ -202,10 +419,22 @@ func (m *Member) LockWithPriority(ctx context.Context, resource string, mode Mod
 		m.mu.Unlock()
 		return nil, ErrClosed
 	}
+	m.resNames[lockID] = resource
+	m.tel.requests.Inc()
+	if rec := m.tel.rec; rec != nil {
+		rec.Record(trace.Entry{At: m.tel.now(), Op: trace.OpAcquire,
+			Node: m.id, Lock: lockID, Mode: mode})
+	}
 	if h := m.holds[lockID]; h != nil && !h.upgrading &&
 		h.mode == mode && modes.Compatible(mode, mode) {
 		h.refs++
 		m.sharedJoins++
+		m.tel.sharedJoins.Inc()
+		m.tel.acquires.Inc()
+		if rec := m.tel.rec; rec != nil {
+			rec.Record(trace.Entry{At: m.tel.now(), Op: trace.OpGranted,
+				Node: m.id, Lock: lockID, Mode: mode})
+		}
 		m.mu.Unlock()
 		return &Lock{m: m, id: lockID, resource: resource, mode: mode}, nil
 	}
@@ -243,6 +472,9 @@ func (m *Member) LockWithPriority(ctx context.Context, resource string, mode Mod
 		m.mu.Lock()
 		m.acqLatency.Observe(d)
 		m.mu.Unlock()
+		m.tel.acquires.Inc()
+		m.tel.latency.ObserveDuration(d)
+		m.tel.factor.Observe(d.Seconds() / m.tel.base.Seconds())
 	}
 	select {
 	case <-w.ch:
@@ -253,8 +485,12 @@ func (m *Member) LockWithPriority(ctx context.Context, resource string, mode Mod
 		select {
 		case <-w.ch:
 			// Granted in the race window: treat as success.
-			m.acqLatency.Observe(time.Since(start))
+			d := time.Since(start)
+			m.acqLatency.Observe(d)
 			m.mu.Unlock()
+			m.tel.acquires.Inc()
+			m.tel.latency.ObserveDuration(d)
+			m.tel.factor.Observe(d.Seconds() / m.tel.base.Seconds())
 			return &Lock{m: m, id: lockID, resource: resource, mode: mode}, nil
 		default:
 			w.abandoned = true
@@ -315,6 +551,10 @@ func (l *Lock) Unlock() error {
 		return nil
 	}
 	delete(m.holds, l.id)
+	if rec := m.tel.rec; rec != nil {
+		rec.Record(trace.Entry{At: m.tel.now(), Op: trace.OpRelease,
+			Node: m.id, Lock: l.id})
+	}
 	out, err := m.engine(l.id).Release()
 	if err != nil {
 		return err
@@ -354,6 +594,11 @@ func (l *Lock) Upgrade(ctx context.Context) error {
 	}
 	if h := m.holds[l.id]; h != nil {
 		h.upgrading = true // U is never shared, so refs == 1 here
+	}
+	m.tel.requests.Inc()
+	if rec := m.tel.rec; rec != nil {
+		rec.Record(trace.Entry{At: m.tel.now(), Op: trace.OpAcquire,
+			Node: m.id, Lock: l.id, Mode: modes.W})
 	}
 	w := &waiter{ch: make(chan hlock.Event, 1)}
 	m.waiters[l.id] = w
@@ -406,6 +651,16 @@ func (m *Member) handle(msg *proto.Message) {
 	if m.closed {
 		return
 	}
+	if rec := m.tel.rec; rec != nil {
+		rec.Record(trace.Entry{At: m.tel.now(), Op: trace.OpDeliver,
+			Node: m.id, Lock: msg.Lock, Mode: msg.Mode,
+			Kind: msg.Kind, From: msg.From, To: msg.To})
+	}
+	if msg.Kind == proto.KindToken && m.tel.reg != nil {
+		m.tel.reg.Counter(metrics.MetricTokenTransfers,
+			"Token transfers observed by this node.",
+			metrics.Labels{"lock": m.lockLabelLocked(msg.Lock), "direction": "in"}).Inc()
+	}
 	out, err := m.engine(msg.Lock).Handle(msg)
 	if err != nil && m.firstEr == nil {
 		m.firstEr = err
@@ -416,8 +671,20 @@ func (m *Member) handle(msg *proto.Message) {
 // dispatchLocked routes an engine step's output. Callers hold m.mu.
 func (m *Member) dispatchLocked(lock proto.LockID, out hlock.Out) {
 	for i := range out.Msgs {
-		m.sent.Count(out.Msgs[i].Kind)
-		if err := m.tr.Send(&out.Msgs[i]); err != nil && m.firstEr == nil {
+		msg := &out.Msgs[i]
+		m.sent.Count(msg.Kind)
+		m.tel.countSent(msg.Kind)
+		if rec := m.tel.rec; rec != nil {
+			rec.Record(trace.Entry{At: m.tel.now(), Op: trace.OpSend,
+				Node: m.id, Lock: msg.Lock, Mode: msg.Mode,
+				Kind: msg.Kind, From: msg.From, To: msg.To})
+		}
+		if msg.Kind == proto.KindToken && m.tel.reg != nil {
+			m.tel.reg.Counter(metrics.MetricTokenTransfers,
+				"Token transfers observed by this node.",
+				metrics.Labels{"lock": m.lockLabelLocked(msg.Lock), "direction": "out"}).Inc()
+		}
+		if err := m.tr.Send(msg); err != nil && m.firstEr == nil {
 			m.firstEr = fmt.Errorf("hierlock: send: %w", err)
 		}
 	}
@@ -451,6 +718,10 @@ func (m *Member) dispatchLocked(lock proto.LockID, out hlock.Out) {
 					}
 				} else {
 					m.holds[lock] = &hold{mode: ev.Mode, refs: 1}
+				}
+				if rec := m.tel.rec; rec != nil {
+					rec.Record(trace.Entry{At: m.tel.now(), Op: trace.OpGranted,
+						Node: m.id, Lock: lock, Mode: ev.Mode})
 				}
 				w.ch <- ev
 			}

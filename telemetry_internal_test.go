@@ -1,0 +1,30 @@
+package hierlock
+
+import (
+	"testing"
+
+	"hierlock/internal/proto"
+	"hierlock/internal/trace"
+)
+
+// TestDisabledTelemetryAllocatesNothing guards the disabled fast path:
+// a member that never got SetTelemetry carries a zero telemetry struct
+// (nil registry, nil recorder, nil handles), and every instrumentation
+// call a protocol step makes must then add zero allocations.
+func TestDisabledTelemetryAllocatesNothing(t *testing.T) {
+	var tel telemetry
+	e := trace.Entry{Op: trace.OpSend, Kind: proto.KindToken, From: 0, To: 2, Lock: 7}
+	if n := testing.AllocsPerRun(200, func() {
+		// The calls dispatchLocked/handle/LockWithPriority make per step.
+		tel.countSent(proto.KindRequest)
+		tel.countSent(proto.Kind(250)) // unknown bucket, still free
+		tel.requests.Inc()
+		tel.acquires.Inc()
+		tel.sharedJoins.Inc()
+		tel.latency.Observe(0.01)
+		tel.factor.Observe(1.5)
+		tel.rec.Record(e)
+	}); n != 0 {
+		t.Fatalf("disabled telemetry allocated %.1f times per protocol step", n)
+	}
+}
