@@ -1,7 +1,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: build test vet lint race chaos bench ci clean
+.PHONY: build test vet lint race chaos bench bench-record audit ci clean
 
 build:
 	$(GO) build ./...
@@ -36,8 +36,19 @@ chaos:
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem . ./internal/hlock ./internal/metrics ./internal/trace
 
-# What CI runs.
-ci: build lint race
+# Record a benchmark snapshot — the paper's Figure 5/6/7 CSVs plus the
+# microbenchmark output — into BENCH_pr3.json so PRs can be compared.
+bench-record:
+	$(GO) run ./cmd/benchrecord -o BENCH_pr3.json
+
+# The online protocol auditor's invariant tests, under the race
+# detector (they replay violating and healthy trace streams).
+audit:
+	$(GO) test -race -count=1 ./internal/audit/
+
+# What CI runs: build, go vet + gofmt drift, the full suite under
+# -race (tier-1), and the auditor invariants.
+ci: build lint race audit
 
 clean:
 	$(GO) clean ./...

@@ -18,6 +18,14 @@
 // print each request's lifecycle including the token's travel path:
 //
 //	lockctl trace -debug host:9400 -n 500 -v
+//
+// Cluster mode fetches every listed node's buffer and reconstructs each
+// request's full cross-node causal path (request hops, freezes, the
+// grant or token travelling back) keyed by the trace IDs the wire
+// protocol propagates:
+//
+//	lockctl trace --cluster -debug h1:9400,h2:9401,h3:9402
+//	lockctl trace --cluster -debug h1:9400 -remote   # let h1 fetch its peers
 package main
 
 import (
@@ -32,6 +40,8 @@ import (
 	"strings"
 	"time"
 
+	"hierlock/internal/lockserver"
+	"hierlock/internal/proto"
 	"hierlock/internal/trace"
 )
 
@@ -118,37 +128,33 @@ func main() {
 	}
 }
 
-// traceCmd fetches /debug/trace from a lockd debug listener, reassembles
-// the entries into per-request spans and pretty-prints them.
+// traceCmd fetches /debug/trace from one or more lockd debug listeners.
+// Single-node mode reassembles the node's entries into per-request spans;
+// --cluster mode merges every node's buffer and reconstructs each
+// request's cross-node causal path by trace ID.
 func traceCmd(args []string) {
 	fs := flag.NewFlagSet("trace", flag.ExitOnError)
 	var (
-		debug   = fs.String("debug", "127.0.0.1:9400", "lockd debug HTTP address")
-		n       = fs.Int("n", 0, "fetch only the most recent n entries (0 = all retained)")
-		verbose = fs.Bool("v", false, "print every retained step of each span")
+		debug   = fs.String("debug", "127.0.0.1:9400", "lockd debug HTTP address (comma-separated list with --cluster)")
+		cluster = fs.Bool("cluster", false, "fetch every listed node's buffer and assemble cross-node causal paths")
+		remote  = fs.Bool("remote", false, "with --cluster: ask the first node to fetch the rest (server-side peer merge)")
+		filter  = fs.String("trace", "", "show only the causal path of this trace ID (e.g. n2.50)")
+		n       = fs.Int("n", 0, "fetch only the most recent n entries per node (0 = all retained)")
+		verbose = fs.Bool("v", false, "print every retained step of each span/path")
 		timeout = fs.Duration("timeout", 10*time.Second, "HTTP timeout")
 	)
 	_ = fs.Parse(args)
 
-	url := fmt.Sprintf("http://%s/debug/trace", *debug)
-	if *n > 0 {
-		url += fmt.Sprintf("?n=%d", *n)
-	}
 	client := &http.Client{Timeout: *timeout}
-	resp, err := client.Get(url)
+	if *cluster {
+		clusterTrace(client, strings.Split(*debug, ","), *n, *remote, *filter, *verbose)
+		return
+	}
+
+	dump, err := lockserver.FetchDump(client, *debug, *n)
 	if err != nil {
 		fatalf("fetch trace: %v", err)
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		fatalf("fetch trace: %s: %s", resp.Status, strings.TrimSpace(string(body)))
-	}
-	var dump trace.Dump
-	if err := json.NewDecoder(resp.Body).Decode(&dump); err != nil {
-		fatalf("decode trace: %v", err)
-	}
-
 	spans := trace.Assemble(dump.Entries)
 	for _, sp := range spans {
 		fmt.Print(sp.Format(*verbose))
@@ -159,6 +165,75 @@ func traceCmd(args []string) {
 	}
 	fmt.Printf("%d entries retained (%d evicted), %d spans, recorder %s\n",
 		len(dump.Entries), dump.Dropped, len(spans), state)
+}
+
+// clusterTrace gathers every node's buffer — directly, or via the first
+// node's server-side peer merge — and prints causal paths.
+func clusterTrace(client *http.Client, addrs []string, n int, remote bool, filter string, verbose bool) {
+	var cd trace.ClusterDump
+	if remote {
+		if len(addrs) == 0 {
+			fatalf("--remote needs at least one -debug address")
+		}
+		url := addrs[0]
+		if !strings.Contains(url, "://") {
+			url = "http://" + url
+		}
+		url += fmt.Sprintf("/debug/trace?n=%d&peers=%s", n, strings.Join(addrs[1:], ","))
+		resp, err := client.Get(url)
+		if err != nil {
+			fatalf("fetch cluster trace: %v", err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+			fatalf("fetch cluster trace: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&cd); err != nil {
+			fatalf("decode cluster trace: %v", err)
+		}
+	} else {
+		cd.Errors = make(map[string]string)
+		for _, addr := range addrs {
+			addr = strings.TrimSpace(addr)
+			if addr == "" {
+				continue
+			}
+			d, err := lockserver.FetchDump(client, addr, n)
+			if err != nil {
+				cd.Errors[addr] = err.Error()
+				continue
+			}
+			cd.Nodes = append(cd.Nodes, d)
+		}
+	}
+	for peer, msg := range cd.Errors {
+		fmt.Fprintf(os.Stderr, "lockctl: warning: %s unreachable: %s (assembling a partial capture)\n", peer, msg)
+	}
+	if len(cd.Nodes) == 0 {
+		fatalf("no node buffers fetched")
+	}
+
+	var want proto.TraceID
+	if filter != "" {
+		var err error
+		if want, err = proto.ParseTraceID(filter); err != nil {
+			fatalf("bad -trace %q: %v", filter, err)
+		}
+	}
+	paths := trace.AssembleCausal(cd.Nodes)
+	shown := 0
+	for _, p := range paths {
+		if filter != "" && p.Trace != want {
+			continue
+		}
+		fmt.Print(p.Format(verbose))
+		shown++
+	}
+	if filter != "" && shown == 0 {
+		fatalf("trace %s not found in any fetched buffer", want)
+	}
+	fmt.Printf("%d node buffers merged, %d causal paths\n", len(cd.Nodes), shown)
 }
 
 func fatalf(format string, args ...interface{}) {

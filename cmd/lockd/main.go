@@ -14,9 +14,10 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -24,12 +25,13 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
-
 	"time"
 
 	"hierlock"
+	"hierlock/internal/audit"
 	"hierlock/internal/lockserver"
 	"hierlock/internal/metrics"
+	"hierlock/internal/proto"
 	"hierlock/internal/trace"
 )
 
@@ -41,10 +43,14 @@ func main() {
 		client  = flag.String("client", ":8400", "client listen address")
 		peers   = flag.String("peers", "", "peer map: id=host:port,id=host:port")
 		timeout = flag.Duration("timeout", 0, "per-request lock timeout (0 = wait forever)")
-		debug   = flag.String("debug", "", "debug HTTP listen address for /healthz, /stats, /metrics, /debug/trace and /debug/pprof (disabled if empty)")
+		debug   = flag.String("debug", "", "debug HTTP listen address for /healthz, /stats, /metrics, /debug/trace, /debug/audit and /debug/pprof (disabled if empty)")
 
 		traceBuf   = flag.Int("trace-buf", 4096, "protocol trace ring size in entries (0 disables tracing)")
 		netLatency = flag.Duration("net-latency", 150*time.Millisecond, "mean point-to-point network latency, the unit of the latency-factor histogram")
+		auditOn    = flag.Bool("audit", true, "run the online protocol invariant auditor (requires -trace-buf > 0)")
+
+		logFormat = flag.String("log-format", "text", "log output format: text or json")
+		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 
 		reliable   = flag.Bool("reliable", false, "enable the ack/retransmit link layer (all members must agree)")
 		queueLimit = flag.Int("queue-limit", 0, "bound per-peer outbound and inbound queues (0 = unbounded)")
@@ -53,9 +59,20 @@ func main() {
 	)
 	flag.Parse()
 
+	logger, err := newLogger(*logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lockd: %v\n", err)
+		os.Exit(1)
+	}
+	slog.SetDefault(logger)
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
+
 	peerMap, err := parsePeers(*peers)
 	if err != nil {
-		log.Fatalf("lockd: %v", err)
+		fatal("bad -peers", "err", err)
 	}
 	m, err := hierlock.NewTCPMember(hierlock.TCPMemberConfig{
 		ID:               *id,
@@ -67,61 +84,114 @@ func main() {
 		RedialBackoff:    *redial,
 		RedialBackoffMax: *redialMax,
 		OnPeerState: func(peer int, state string) {
-			log.Printf("lockd: peer %d is %s", peer, state)
+			logger.Info("peer state changed", "peer", peer, "state", state)
 		},
 	})
 	if err != nil {
-		log.Fatalf("lockd: %v", err)
+		fatal("member start failed", "err", err)
 	}
 	defer m.Close()
 
 	reg := metrics.NewRegistry()
 	var rec *trace.Recorder
+	var auditor *audit.Auditor
 	if *traceBuf > 0 {
 		rec = trace.New(*traceBuf)
+		if *auditOn {
+			auditor = audit.New(audit.Config{Registry: reg, Root: proto.NodeID(*root)})
+			rec.SetTap(auditor.Record)
+		}
 	}
 	m.SetTelemetry(hierlock.Telemetry{
 		Registry:       reg,
 		Trace:          rec,
 		NetLatencyBase: *netLatency,
+		Logger:         logger,
 	})
 
 	ln, err := net.Listen("tcp", *client)
 	if err != nil {
-		log.Fatalf("lockd: client listen: %v", err)
+		fatal("client listen failed", "addr", *client, "err", err)
 	}
-	log.Printf("lockd: member %d, peers on %s, clients on %s", *id, *listen, ln.Addr())
+	logger.Info("lockd up", "member", *id, "peer_addr", *listen,
+		"client_addr", ln.Addr().String(), "audit", auditor != nil)
 
 	srv := lockserver.New(m)
 	srv.Timeout = *timeout
 	srv.Registry = reg
 	srv.Trace = rec
+	srv.Audit = auditor
 
+	// The debug listener runs behind an http.Server so shutdown can drain
+	// it instead of leaking the listener.
+	var debugSrv *http.Server
 	if *debug != "" {
 		dln, err := net.Listen("tcp", *debug)
 		if err != nil {
-			log.Fatalf("lockd: debug listen: %v", err)
+			fatal("debug listen failed", "addr", *debug, "err", err)
 		}
-		log.Printf("lockd: debug endpoints on http://%s/stats", dln.Addr())
+		logger.Info("debug endpoints up", "url", "http://"+dln.Addr().String()+"/stats")
+		debugSrv = &http.Server{Handler: srv.DebugHandler()}
 		go func() {
-			if err := http.Serve(dln, srv.DebugHandler()); err != nil {
-				log.Printf("lockd: debug server: %v", err)
+			if err := debugSrv.Serve(dln); err != nil && err != http.ErrServerClosed {
+				logger.Error("debug server failed", "err", err)
 			}
 		}()
 	}
 
 	// Graceful shutdown: stop accepting, drain client sessions (their
-	// locks are released as connections close), then exit.
+	// locks are released as connections close), shut the debug server
+	// down cleanly, then exit.
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		s := <-sig
-		log.Printf("lockd: %v received, shutting down", s)
+		logger.Info("shutting down", "signal", s.String())
 		_ = srv.Close()
 	}()
 
 	err = srv.Serve(ln)
-	log.Printf("lockd: serve stopped: %v", err)
+	logger.Info("client serve stopped", "err", err)
+	if debugSrv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := debugSrv.Shutdown(ctx); err != nil {
+			logger.Warn("debug server drain incomplete", "err", err)
+		} else {
+			logger.Info("debug server drained")
+		}
+	}
+	if auditor != nil {
+		rep := auditor.Snapshot()
+		logger.Info("final audit report", "entries", rep.Entries, "violations", rep.Total)
+	}
+}
+
+// newLogger builds the process logger from the -log-format and
+// -log-level flags.
+func newLogger(format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (want debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch strings.ToLower(format) {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
+	}
 }
 
 func parsePeers(s string) (map[int]string, error) {

@@ -1,0 +1,392 @@
+// Package audit is an online protocol invariant checker. An Auditor
+// consumes the event/trace stream (install it as a trace.Recorder tap,
+// or feed it entries directly) and continuously verifies the safety
+// properties the hierarchical locking protocol promises:
+//
+//   - mutual_exclusion — all concurrently granted modes on one lock are
+//     pairwise compatible under Tab. 1(a) of Desai & Mueller.
+//   - token_conservation — each lock has at most one token: only the
+//     holder may send it, and it is never duplicated while in flight.
+//   - copyset_release — a node only sends a release to a plausible
+//     parent: the initial tree root, a node that previously granted it a
+//     copy or the token, or the origin of a request it forwarded (path
+//     reversal repoints the parent at that origin, Rule 3.2).
+//   - freeze_fifo — freeze (and all other) messages on an ordered link
+//     are delivered in send order with the same (kind, lock, mode)
+//     signature, the FIFO assumption Rule 6's frozen-set push relies on.
+//
+// The auditor is stream-tolerant: a single live node only observes its
+// own sends and deliveries, so every check fires only on evidence of a
+// definite violation, never on gaps. Merged cluster-wide streams (the
+// simulator, or /debug/trace peer merges) get the full-strength checks.
+//
+// Violations increment hierlock_audit_violations_total{invariant=...} in
+// the attached metrics registry and are retained (bounded) for the
+// /debug/audit endpoint.
+package audit
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"hierlock/internal/metrics"
+	"hierlock/internal/modes"
+	"hierlock/internal/proto"
+	"hierlock/internal/trace"
+)
+
+// Invariant names (the metric's label values and the Report keys).
+const (
+	InvMutualExclusion   = "mutual_exclusion"
+	InvTokenConservation = "token_conservation"
+	InvCopysetRelease    = "copyset_release"
+	InvFreezeFIFO        = "freeze_fifo"
+)
+
+// Invariants lists all invariant names, in reporting order.
+var Invariants = []string{
+	InvMutualExclusion, InvTokenConservation, InvCopysetRelease, InvFreezeFIFO,
+}
+
+// Violation is one detected invariant breach.
+type Violation struct {
+	Invariant string        `json:"invariant"`
+	Lock      proto.LockID  `json:"lock"`
+	At        time.Duration `json:"at_us"`
+	Detail    string        `json:"detail"`
+}
+
+// Config parameterizes an Auditor.
+type Config struct {
+	// Registry receives hierlock_audit_* counters (nil: metrics off).
+	Registry *metrics.Registry
+	// Root is the node that initially holds every lock's token (the tree
+	// root), used to seed token tracking and to accept releases sent to
+	// the initial parent. Defaults to node 0; set to proto.NoNode if the
+	// initial root is unknown (token tracking then starts on the first
+	// observed token event).
+	Root proto.NodeID
+	// MaxViolations bounds the retained violation list (default 256).
+	// The counters keep counting past the bound.
+	MaxViolations int
+	// MaxLinkBacklog bounds the per-link send memory of the FIFO check
+	// (default 4096). A link whose backlog overflows (e.g. a live node
+	// that sees its own sends but never the peer's deliveries) stops
+	// being checked rather than reporting false violations.
+	MaxLinkBacklog int
+}
+
+type linkKey struct {
+	from, to proto.NodeID
+}
+
+type msgSig struct {
+	kind proto.Kind
+	lock proto.LockID
+	mode modes.Mode
+}
+
+// tokenState tracks one lock's token location.
+type tokenState struct {
+	holder   proto.NodeID // current holder, or NoNode when in flight/unknown
+	inFlight bool
+	from, to proto.NodeID // transfer endpoints while in flight
+	known    bool         // false until the first token observation
+}
+
+type lockState struct {
+	// holders: node → granted mode (mutual exclusion check).
+	holders map[proto.NodeID]modes.Mode
+	// parents: node → set of plausible release targets — nodes that
+	// granted it a copy or the token, plus origins of requests it
+	// forwarded (path reversal makes the origin the new parent).
+	parents map[proto.NodeID]map[proto.NodeID]bool
+	token   tokenState
+}
+
+type linkState struct {
+	sends []msgSig
+	lossy bool // backlog overflowed; strict matching abandoned
+}
+
+// Auditor consumes trace entries and checks protocol invariants. Safe
+// for concurrent use; a nil Auditor ignores everything.
+type Auditor struct {
+	cfg Config
+
+	mu         sync.Mutex
+	locks      map[proto.LockID]*lockState
+	links      map[linkKey]*linkState
+	entries    uint64
+	counts     map[string]uint64
+	violations []Violation
+
+	metricEntries *metrics.Counter
+	metricViol    map[string]*metrics.Counter
+}
+
+// New creates an auditor. Counters for every invariant are registered
+// immediately so hierlock_audit_violations_total exposes zeros (the
+// healthy state is visible, not absent).
+func New(cfg Config) *Auditor {
+	if cfg.MaxViolations <= 0 {
+		cfg.MaxViolations = 256
+	}
+	if cfg.MaxLinkBacklog <= 0 {
+		cfg.MaxLinkBacklog = 4096
+	}
+	a := &Auditor{
+		cfg:        cfg,
+		locks:      make(map[proto.LockID]*lockState),
+		links:      make(map[linkKey]*linkState),
+		counts:     make(map[string]uint64),
+		metricViol: make(map[string]*metrics.Counter),
+	}
+	if cfg.Registry != nil {
+		a.metricEntries = cfg.Registry.Counter(metrics.MetricAuditEntries,
+			"Trace entries consumed by the protocol auditor.", nil)
+		for _, inv := range Invariants {
+			a.metricViol[inv] = cfg.Registry.Counter(metrics.MetricAuditViolations,
+				"Protocol invariant violations flagged by the online auditor.",
+				metrics.Labels{"invariant": inv})
+		}
+	}
+	return a
+}
+
+// Record consumes one trace entry. It has the trace.Recorder tap
+// signature: rec.SetTap(a.Record).
+func (a *Auditor) Record(e trace.Entry) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.entries++
+	a.metricEntries.Inc()
+	switch e.Op {
+	case trace.OpGranted:
+		a.onGranted(e)
+	case trace.OpRelease:
+		a.onReleaseOp(e)
+	case trace.OpSend:
+		a.onSend(e)
+	case trace.OpDeliver:
+		a.onDeliver(e)
+	}
+}
+
+func (a *Auditor) lock(id proto.LockID) *lockState {
+	ls := a.locks[id]
+	if ls == nil {
+		ls = &lockState{
+			holders: make(map[proto.NodeID]modes.Mode),
+			parents: make(map[proto.NodeID]map[proto.NodeID]bool),
+			token:   tokenState{holder: proto.NoNode},
+		}
+		if a.cfg.Root != proto.NoNode {
+			root := a.cfg.Root
+			ls.token = tokenState{holder: root, known: true}
+		}
+		a.locks[id] = ls
+	}
+	return ls
+}
+
+func (a *Auditor) flag(inv string, e trace.Entry, format string, args ...any) {
+	a.counts[inv]++
+	if c := a.metricViol[inv]; c != nil {
+		c.Inc()
+	}
+	if len(a.violations) < a.cfg.MaxViolations {
+		a.violations = append(a.violations, Violation{
+			Invariant: inv, Lock: e.Lock, At: e.At,
+			Detail: fmt.Sprintf(format, args...),
+		})
+	}
+}
+
+// onGranted checks Tab. 1(a) compatibility against all current holders,
+// then installs the grant.
+func (a *Auditor) onGranted(e trace.Entry) {
+	ls := a.lock(e.Lock)
+	for node, held := range ls.holders {
+		if node == e.Node {
+			continue // upgrade or re-grant on the same node
+		}
+		if !modes.Compatible(held, e.Mode) {
+			a.flag(InvMutualExclusion, e,
+				"node %d granted %v while node %d holds %v", e.Node, e.Mode, node, held)
+		}
+	}
+	ls.holders[e.Node] = e.Mode
+}
+
+func (a *Auditor) onReleaseOp(e trace.Entry) {
+	ls := a.lock(e.Lock)
+	delete(ls.holders, e.Node)
+}
+
+func (a *Auditor) onSend(e trace.Entry) {
+	ls := a.lock(e.Lock)
+	switch e.Kind {
+	case proto.KindToken:
+		t := &ls.token
+		switch {
+		case t.inFlight:
+			a.flag(InvTokenConservation, e,
+				"token sent %d→%d while already in flight %d→%d (duplicated)",
+				e.From, e.To, t.from, t.to)
+			// Track the newest transfer so one bug is not reported forever.
+			t.from, t.to = e.From, e.To
+		case t.known && t.holder != e.From:
+			a.flag(InvTokenConservation, e,
+				"token sent by node %d but held by node %d", e.From, t.holder)
+			t.inFlight, t.from, t.to = true, e.From, e.To
+			t.holder = proto.NoNode
+		default:
+			t.known = true
+			t.inFlight, t.from, t.to = true, e.From, e.To
+			t.holder = proto.NoNode
+		}
+		// Handing the token over repoints the sender's parent at the
+		// recipient (the new root): a plausible future release target.
+		a.parentEdge(ls, e.From, e.To)
+	case proto.KindRequest:
+		// Forwarding a request repoints the forwarder's parent at the
+		// request's origin (path reversal): the origin becomes a plausible
+		// future release target. The trace ID carries the origin.
+		if !e.Trace.IsZero() && e.Trace.Node != e.From {
+			a.parentEdge(ls, e.From, e.Trace.Node)
+		}
+	case proto.KindRelease:
+		// A release must target a plausible parent: the initial root, a
+		// node that previously granted e.From a copy or the token, or the
+		// origin of a request e.From forwarded. A lone live node knows its
+		// own grant deliveries and forwards, so this is exact for its own
+		// releases and silent about everyone else's.
+		if e.From == e.Node { // only the sender's own record is evidence
+			if e.To != a.cfg.Root && !ls.parents[e.From][e.To] {
+				a.flag(InvCopysetRelease, e,
+					"node %d released to node %d, which never granted to or requested through it",
+					e.From, e.To)
+			}
+		}
+	}
+	a.fifoSend(e)
+}
+
+func (a *Auditor) onDeliver(e trace.Entry) {
+	ls := a.lock(e.Lock)
+	switch e.Kind {
+	case proto.KindToken:
+		t := &ls.token
+		if t.inFlight && t.to != e.To {
+			a.flag(InvTokenConservation, e,
+				"token delivered to node %d but was in flight %d→%d", e.To, t.from, t.to)
+		}
+		t.known = true
+		t.inFlight = false
+		t.holder = e.To
+		a.parentEdge(ls, e.To, e.From)
+	case proto.KindGrant:
+		a.parentEdge(ls, e.To, e.From)
+	}
+	a.fifoDeliver(e)
+}
+
+// parentEdge records that granter is a plausible release target for node
+// (copyset membership / path-reversal parent for the pairing check).
+func (a *Auditor) parentEdge(ls *lockState, node, granter proto.NodeID) {
+	g := ls.parents[node]
+	if g == nil {
+		g = make(map[proto.NodeID]bool)
+		ls.parents[node] = g
+	}
+	g[granter] = true
+}
+
+// fifoSend/fifoDeliver implement the online FIFO check: the i-th
+// delivery on an ordered link must carry the i-th send's signature.
+// Delivers with no retained send (live single-node streams) are skipped;
+// links whose send backlog overflows go lossy instead of lying.
+func (a *Auditor) fifoSend(e trace.Entry) {
+	l := a.link(e)
+	if l.lossy {
+		return
+	}
+	if len(l.sends) >= a.cfg.MaxLinkBacklog {
+		l.lossy = true
+		l.sends = nil
+		return
+	}
+	l.sends = append(l.sends, msgSig{e.Kind, e.Lock, e.Mode})
+}
+
+func (a *Auditor) fifoDeliver(e trace.Entry) {
+	l := a.link(e)
+	if l.lossy || len(l.sends) == 0 {
+		return
+	}
+	want := l.sends[0]
+	l.sends = l.sends[1:]
+	got := msgSig{e.Kind, e.Lock, e.Mode}
+	if got != want {
+		a.flag(InvFreezeFIFO, e,
+			"link %d→%d: delivered %v/%d/%v, next send was %v/%d/%v",
+			e.From, e.To, got.kind, got.lock, got.mode, want.kind, want.lock, want.mode)
+	}
+}
+
+func (a *Auditor) link(e trace.Entry) *linkState {
+	k := linkKey{e.From, e.To}
+	l := a.links[k]
+	if l == nil {
+		l = &linkState{}
+		a.links[k] = l
+	}
+	return l
+}
+
+// Report is the auditor's JSON snapshot, served at /debug/audit.
+type Report struct {
+	Entries    uint64            `json:"entries"`
+	Total      uint64            `json:"violations_total"`
+	ByCheck    map[string]uint64 `json:"violations"`
+	Violations []Violation       `json:"recent"`
+}
+
+// Snapshot returns the current audit state. Nil-safe.
+func (a *Auditor) Snapshot() Report {
+	rep := Report{ByCheck: make(map[string]uint64, len(Invariants))}
+	if a == nil {
+		for _, inv := range Invariants {
+			rep.ByCheck[inv] = 0
+		}
+		return rep
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	rep.Entries = a.entries
+	for _, inv := range Invariants {
+		rep.ByCheck[inv] = a.counts[inv]
+		rep.Total += a.counts[inv]
+	}
+	rep.Violations = append([]Violation(nil), a.violations...)
+	return rep
+}
+
+// Violations returns the total violation count across all invariants.
+func (a *Auditor) Violations() uint64 {
+	if a == nil {
+		return 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var n uint64
+	for _, c := range a.counts {
+		n += c
+	}
+	return n
+}

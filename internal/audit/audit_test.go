@@ -1,0 +1,273 @@
+package audit
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"hierlock/internal/metrics"
+	"hierlock/internal/modes"
+	"hierlock/internal/proto"
+	"hierlock/internal/trace"
+)
+
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+func send(kind proto.Kind, lock proto.LockID, mode modes.Mode, from, to proto.NodeID) trace.Entry {
+	return trace.Entry{Op: trace.OpSend, Node: from, Kind: kind, Lock: lock, Mode: mode, From: from, To: to}
+}
+
+func deliver(kind proto.Kind, lock proto.LockID, mode modes.Mode, from, to proto.NodeID) trace.Entry {
+	return trace.Entry{Op: trace.OpDeliver, Node: to, Kind: kind, Lock: lock, Mode: mode, From: from, To: to}
+}
+
+func granted(lock proto.LockID, mode modes.Mode, node proto.NodeID) trace.Entry {
+	return trace.Entry{Op: trace.OpGranted, Node: node, Lock: lock, Mode: mode}
+}
+
+func release(lock proto.LockID, mode modes.Mode, node proto.NodeID) trace.Entry {
+	return trace.Entry{Op: trace.OpRelease, Node: node, Lock: lock, Mode: mode}
+}
+
+func feed(a *Auditor, entries ...trace.Entry) {
+	for _, e := range entries {
+		a.Record(e)
+	}
+}
+
+// TestCleanStream replays a healthy protocol exchange — token transfer,
+// copy grant, compatible concurrent readers, paired release — and
+// expects zero violations.
+func TestCleanStream(t *testing.T) {
+	a := New(Config{Root: 0})
+	feed(a,
+		// Node 2 requests W; token travels 0 → 2.
+		send(proto.KindRequest, 7, modes.W, 2, 0),
+		deliver(proto.KindRequest, 7, modes.W, 2, 0),
+		send(proto.KindToken, 7, modes.W, 0, 2),
+		deliver(proto.KindToken, 7, modes.W, 0, 2),
+		granted(7, modes.W, 2),
+		release(7, modes.W, 2),
+		// Node 1 requests R; holder 2 copy-grants; node 0 reads too.
+		send(proto.KindRequest, 7, modes.R, 1, 2),
+		deliver(proto.KindRequest, 7, modes.R, 1, 2),
+		granted(7, modes.R, 2),
+		send(proto.KindGrant, 7, modes.R, 2, 1),
+		deliver(proto.KindGrant, 7, modes.R, 2, 1),
+		granted(7, modes.R, 1),
+		// Node 1 releases to its granter.
+		release(7, modes.R, 1),
+		send(proto.KindRelease, 7, modes.R, 1, 2),
+		deliver(proto.KindRelease, 7, modes.R, 1, 2),
+	)
+	if n := a.Violations(); n != 0 {
+		t.Fatalf("clean stream flagged %d violations: %+v", n, a.Snapshot().Violations)
+	}
+	rep := a.Snapshot()
+	if rep.Entries != 15 {
+		t.Errorf("entries = %d, want 15", rep.Entries)
+	}
+	for _, inv := range Invariants {
+		if _, ok := rep.ByCheck[inv]; !ok {
+			t.Errorf("report missing invariant %q", inv)
+		}
+	}
+}
+
+func TestMutualExclusionViolation(t *testing.T) {
+	a := New(Config{Root: 0})
+	feed(a,
+		granted(1, modes.W, 0),
+		granted(1, modes.R, 1), // R vs W: incompatible
+	)
+	rep := a.Snapshot()
+	if rep.ByCheck[InvMutualExclusion] != 1 {
+		t.Fatalf("mutual_exclusion = %d, want 1; %+v", rep.ByCheck[InvMutualExclusion], rep)
+	}
+	if !strings.Contains(rep.Violations[0].Detail, "holds W") {
+		t.Errorf("detail = %q", rep.Violations[0].Detail)
+	}
+	// Compatible pair and re-grant on the same node must not flag.
+	b := New(Config{Root: 0})
+	feed(b,
+		granted(1, modes.IR, 0),
+		granted(1, modes.IW, 1), // IR vs IW: compatible
+		granted(2, modes.R, 2),
+		granted(2, modes.W, 2), // same-node upgrade, no other holders
+	)
+	if n := b.Snapshot().ByCheck[InvMutualExclusion]; n != 0 {
+		t.Errorf("compatible grants flagged %d", n)
+	}
+}
+
+func TestTokenConservationViolations(t *testing.T) {
+	// Send by non-holder: root 0 holds the token, node 1 ships one anyway.
+	a := New(Config{Root: 0})
+	feed(a, send(proto.KindToken, 3, modes.W, 1, 2))
+	if n := a.Snapshot().ByCheck[InvTokenConservation]; n != 1 {
+		t.Fatalf("non-holder send: %d violations, want 1", n)
+	}
+
+	// Duplicate: a second token sent while the first is in flight.
+	b := New(Config{Root: 0})
+	feed(b,
+		send(proto.KindToken, 3, modes.W, 0, 1),
+		send(proto.KindToken, 3, modes.W, 0, 2),
+	)
+	if n := b.Snapshot().ByCheck[InvTokenConservation]; n != 1 {
+		t.Fatalf("duplicate send: %d violations, want 1", n)
+	}
+
+	// Misdelivery: in flight 0→1 but lands on 2.
+	c := New(Config{Root: 0})
+	feed(c,
+		send(proto.KindToken, 3, modes.W, 0, 1),
+		deliver(proto.KindToken, 3, modes.W, 0, 2),
+	)
+	if n := c.Snapshot().ByCheck[InvTokenConservation]; n != 1 {
+		t.Fatalf("misdelivery: %d violations, want 1", n)
+	}
+
+	// Unknown root: first observation seeds the holder, no false alarms.
+	d := New(Config{Root: proto.NoNode})
+	feed(d,
+		send(proto.KindToken, 3, modes.W, 4, 5),
+		deliver(proto.KindToken, 3, modes.W, 4, 5),
+		send(proto.KindToken, 3, modes.W, 5, 6),
+	)
+	if n := d.Violations(); n != 0 {
+		t.Fatalf("unknown-root stream flagged %d", n)
+	}
+}
+
+func TestCopysetReleaseViolation(t *testing.T) {
+	a := New(Config{Root: 0})
+	feed(a,
+		// Node 2 was copy-granted by node 1 — releasing to 1 or root 0 is fine.
+		deliver(proto.KindGrant, 9, modes.R, 1, 2),
+		send(proto.KindRelease, 9, modes.R, 2, 1),
+		send(proto.KindRelease, 9, modes.R, 2, 0),
+		// Releasing to node 3, which never granted it, is not.
+		send(proto.KindRelease, 9, modes.R, 2, 3),
+	)
+	rep := a.Snapshot()
+	if rep.ByCheck[InvCopysetRelease] != 1 {
+		t.Fatalf("copyset_release = %d, want 1; %+v", rep.ByCheck[InvCopysetRelease], rep.Violations)
+	}
+	if !strings.Contains(rep.Violations[0].Detail, "never granted") {
+		t.Errorf("detail = %q", rep.Violations[0].Detail)
+	}
+}
+
+func TestFreezeFIFOViolation(t *testing.T) {
+	a := New(Config{Root: 0})
+	feed(a,
+		// Two sends on link 0→1, delivered out of order.
+		send(proto.KindFreeze, 5, modes.W, 0, 1),
+		send(proto.KindGrant, 5, modes.R, 0, 1),
+		deliver(proto.KindGrant, 5, modes.R, 0, 1),
+		deliver(proto.KindFreeze, 5, modes.W, 0, 1),
+	)
+	rep := a.Snapshot()
+	// Each swapped delivery mismatches the queued send signature.
+	if rep.ByCheck[InvFreezeFIFO] != 2 {
+		t.Fatalf("freeze_fifo = %d, want 2; %+v", rep.ByCheck[InvFreezeFIFO], rep.Violations)
+	}
+
+	// Delivery with no observed send (live inbound link): skipped.
+	b := New(Config{Root: 0})
+	feed(b, deliver(proto.KindFreeze, 5, modes.W, 3, 0))
+	if n := b.Snapshot().ByCheck[InvFreezeFIFO]; n != 0 {
+		t.Errorf("unobserved link flagged %d", n)
+	}
+}
+
+// TestFIFOBacklogGoesLossy floods one link with sends and checks the
+// auditor degrades to lossy instead of growing without bound or lying.
+func TestFIFOBacklogGoesLossy(t *testing.T) {
+	a := New(Config{Root: 0, MaxLinkBacklog: 4})
+	for i := 0; i < 10; i++ {
+		a.Record(send(proto.KindRequest, 1, modes.R, 0, 1))
+	}
+	// Out-of-order delivery on the lossy link must not flag.
+	a.Record(deliver(proto.KindToken, 1, modes.W, 0, 1))
+	if n := a.Snapshot().ByCheck[InvFreezeFIFO]; n != 0 {
+		t.Fatalf("lossy link flagged %d", n)
+	}
+}
+
+// TestMetricsExport attaches a registry and checks the violation and
+// entry counters, including pre-registered zeros for healthy invariants.
+func TestMetricsExport(t *testing.T) {
+	reg := metrics.NewRegistry()
+	a := New(Config{Registry: reg, Root: 0})
+	feed(a,
+		granted(1, modes.W, 0),
+		granted(1, modes.W, 1),
+	)
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	out := b.String()
+	if !strings.Contains(out, `hierlock_audit_violations_total{invariant="mutual_exclusion"} 1`) {
+		t.Errorf("missing mutual_exclusion=1:\n%s", out)
+	}
+	if !strings.Contains(out, `hierlock_audit_violations_total{invariant="token_conservation"} 0`) {
+		t.Errorf("healthy invariant not exported at zero:\n%s", out)
+	}
+	if !strings.Contains(out, "hierlock_audit_entries_total 2") {
+		t.Errorf("missing entries counter:\n%s", out)
+	}
+}
+
+// TestTapIntegration installs the auditor as a recorder tap and checks
+// entries flow through even when the ring is paused.
+func TestTapIntegration(t *testing.T) {
+	rec := trace.New(8)
+	a := New(Config{Root: 0})
+	rec.SetTap(a.Record)
+	rec.SetEnabled(false) // tap fires regardless of ring admission
+	rec.Record(granted(1, modes.W, 0))
+	rec.Record(granted(1, modes.W, 2))
+	if n := a.Violations(); n != 1 {
+		t.Fatalf("tap-fed violations = %d, want 1", n)
+	}
+	rec.SetTap(nil)
+	rec.Record(granted(1, modes.W, 3))
+	if n := a.Violations(); n != 1 {
+		t.Fatalf("after tap removal violations = %d, want 1", n)
+	}
+}
+
+// TestViolationListBounded checks MaxViolations caps the retained list
+// while the counters keep counting.
+func TestViolationListBounded(t *testing.T) {
+	a := New(Config{Root: 0, MaxViolations: 2})
+	for i := 0; i < 5; i++ {
+		a.Record(send(proto.KindToken, proto.LockID(100), modes.W, 3, 4))
+		a.Record(deliver(proto.KindToken, proto.LockID(100), modes.W, 3, 4))
+		// Every send after the first is by the (now correct) holder... use
+		// distinct locks to force fresh non-holder sends.
+		a.Record(send(proto.KindToken, proto.LockID(200+i), modes.W, 9, 4))
+	}
+	rep := a.Snapshot()
+	if len(rep.Violations) != 2 {
+		t.Errorf("retained = %d, want 2", len(rep.Violations))
+	}
+	if rep.ByCheck[InvTokenConservation] < 5 {
+		t.Errorf("counter = %d, want >= 5", rep.ByCheck[InvTokenConservation])
+	}
+}
+
+// TestNilAuditor checks the nil receiver is inert (servers without an
+// auditor attached pass nil around freely).
+func TestNilAuditor(t *testing.T) {
+	var a *Auditor
+	a.Record(granted(1, modes.W, 0))
+	if a.Violations() != 0 {
+		t.Fatal("nil auditor")
+	}
+	rep := a.Snapshot()
+	if len(rep.ByCheck) != len(Invariants) {
+		t.Fatalf("nil snapshot: %+v", rep)
+	}
+}

@@ -1,9 +1,11 @@
 package cluster_test
 
 import (
+	"strings"
 	"testing"
 	"time"
 
+	"hierlock/internal/audit"
 	"hierlock/internal/cluster"
 	"hierlock/internal/metrics"
 	"hierlock/internal/modes"
@@ -11,6 +13,32 @@ import (
 	"hierlock/internal/sim"
 	"hierlock/internal/trace"
 )
+
+// attachAuditor taps the cluster's event stream with the online protocol
+// auditor and exports its counters through reg (the acceptance check:
+// chaos runs must finish with hierlock_audit_violations_total = 0).
+func attachAuditor(rec *trace.Recorder, reg *metrics.Registry) *audit.Auditor {
+	a := audit.New(audit.Config{Registry: reg, Root: 0})
+	rec.SetTap(a.Record)
+	return a
+}
+
+// requireCleanAudit fails the test on any audit violation, quoting the
+// details the auditor retained.
+func requireCleanAudit(t *testing.T, a *audit.Auditor, reg *metrics.Registry) {
+	t.Helper()
+	if n := a.Violations(); n != 0 {
+		rep := a.Snapshot()
+		t.Fatalf("auditor flagged %d violations: %+v", n, rep.Violations)
+	}
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	for _, line := range strings.Split(b.String(), "\n") {
+		if strings.HasPrefix(line, metrics.MetricAuditViolations+"{") && !strings.HasSuffix(line, " 0") {
+			t.Fatalf("nonzero audit metric: %s", line)
+		}
+	}
+}
 
 // chaosPlan is the acceptance scenario: 2% drop plus duplicates and delay
 // spikes, one 10-second partition between nodes 1 and 2, and one node
@@ -56,11 +84,18 @@ func chaosMode(p cluster.Protocol, node int) modes.Mode {
 func runChaos(t *testing.T, p cluster.Protocol, nodes, cycles int, seed int64) (*cluster.Cluster, int) {
 	t.Helper()
 	const lock proto.LockID = 1
+	// A tiny ring suffices: the auditor consumes the stream through the
+	// tap, which fires before ring admission.
+	rec := trace.New(1)
+	reg := metrics.NewRegistry()
+	auditor := attachAuditor(rec, reg)
+	t.Cleanup(func() { requireCleanAudit(t, auditor, reg) })
 	c := cluster.New(cluster.Config{
 		Protocol: p,
 		Nodes:    nodes,
 		Locks:    []proto.LockID{lock},
 		Seed:     seed,
+		Trace:    rec,
 		Faults:   chaosPlan(),
 	})
 	granted := 0

@@ -168,9 +168,9 @@ func (c *Cluster) fail(err error) {
 
 // oracleAcquire records node holding lock in mode and checks pairwise
 // compatibility against all other holders.
-func (c *Cluster) oracleAcquire(lock proto.LockID, node proto.NodeID, m modes.Mode) {
+func (c *Cluster) oracleAcquire(lock proto.LockID, node proto.NodeID, m modes.Mode, tr proto.TraceID) {
 	c.trace.Record(trace.Entry{
-		At: c.Sim.Now(), Op: trace.OpGranted, Node: node, Lock: lock, Mode: m,
+		At: c.Sim.Now(), Op: trace.OpGranted, Node: node, Lock: lock, Mode: m, Trace: tr,
 	})
 	holders := c.oracle[lock]
 	for other, om := range holders {
@@ -182,9 +182,9 @@ func (c *Cluster) oracleAcquire(lock proto.LockID, node proto.NodeID, m modes.Mo
 	holders[node] = m
 }
 
-func (c *Cluster) oracleRelease(lock proto.LockID, node proto.NodeID) {
+func (c *Cluster) oracleRelease(lock proto.LockID, node proto.NodeID, tr proto.TraceID) {
 	c.trace.Record(trace.Entry{
-		At: c.Sim.Now(), Op: trace.OpRelease, Node: node, Lock: lock,
+		At: c.Sim.Now(), Op: trace.OpRelease, Node: node, Lock: lock, Trace: tr,
 	})
 	delete(c.oracle[lock], node)
 }
@@ -279,6 +279,22 @@ type Node struct {
 	waiters map[proto.LockID]waiting
 }
 
+// newTrace mints a cluster-unique causal trace ID for a client operation
+// originating at this node, derived from the node's Lamport clock so
+// seeded runs stay deterministic.
+func (n *Node) newTrace() proto.TraceID {
+	return proto.TraceID{Node: n.ID, Seq: uint64(n.clock.Tick())}
+}
+
+// msgTrace extracts a message's causal trace ID (requests carry the
+// authoritative copy in the embedded Request).
+func msgTrace(msg *proto.Message) proto.TraceID {
+	if msg.Kind == proto.KindRequest && !msg.Req.Trace.IsZero() {
+		return msg.Req.Trace
+	}
+	return msg.Trace
+}
+
 func newNode(c *Cluster, id proto.NodeID, cfg Config) *Node {
 	n := &Node{ID: id, c: c, waiters: make(map[proto.LockID]waiting)}
 	hasToken := id == 0
@@ -325,8 +341,9 @@ func (n *Node) Acquire(lock proto.LockID, m modes.Mode, done func()) {
 func (n *Node) AcquirePri(lock proto.LockID, m modes.Mode, priority uint8, done func()) {
 	n.c.Requests++
 	n.c.tel.requests.Inc()
+	tr := n.newTrace()
 	n.c.trace.Record(trace.Entry{
-		At: n.c.Sim.Now(), Op: trace.OpAcquire, Node: n.ID, Lock: lock, Mode: m,
+		At: n.c.Sim.Now(), Op: trace.OpAcquire, Node: n.ID, Lock: lock, Mode: m, Trace: tr,
 	})
 	if e, ok := n.naimi[lock]; ok {
 		out, err := e.Acquire()
@@ -369,7 +386,7 @@ func (n *Node) AcquirePri(lock proto.LockID, m modes.Mode, priority uint8, done 
 		n.c.fail(fmt.Errorf("cluster: node %d has no engine for lock %d", n.ID, lock))
 		return
 	}
-	out, err := e.AcquirePri(m, priority)
+	out, err := e.AcquireTraced(m, priority, tr)
 	if err != nil {
 		n.c.fail(fmt.Errorf("node %d lock %d: %w", n.ID, lock, err))
 		return
@@ -391,10 +408,11 @@ func (n *Node) UpgradePri(lock proto.LockID, priority uint8, done func()) {
 	}
 	n.c.Requests++
 	n.c.tel.requests.Inc()
+	tr := n.newTrace()
 	n.c.trace.Record(trace.Entry{
-		At: n.c.Sim.Now(), Op: trace.OpAcquire, Node: n.ID, Lock: lock, Mode: modes.W,
+		At: n.c.Sim.Now(), Op: trace.OpAcquire, Node: n.ID, Lock: lock, Mode: modes.W, Trace: tr,
 	})
-	out, err := e.UpgradePri(priority)
+	out, err := e.UpgradeTraced(priority, tr)
 	if err != nil {
 		n.c.fail(fmt.Errorf("node %d lock %d: %w", n.ID, lock, err))
 		return
@@ -404,7 +422,8 @@ func (n *Node) UpgradePri(lock proto.LockID, priority uint8, done func()) {
 
 // Release leaves the critical section of a lock.
 func (n *Node) Release(lock proto.LockID) {
-	n.c.oracleRelease(lock, n.ID)
+	tr := n.newTrace()
+	n.c.oracleRelease(lock, n.ID, tr)
 	if e, ok := n.naimi[lock]; ok {
 		out, err := e.Release()
 		if err != nil {
@@ -441,7 +460,7 @@ func (n *Node) Release(lock proto.LockID) {
 		n.dispatchExcl(lock, out.Msgs, out.Acquired, nil)
 		return
 	}
-	out, err := n.hier[lock].Release()
+	out, err := n.hier[lock].ReleaseTraced(tr)
 	if err != nil {
 		n.c.fail(fmt.Errorf("node %d lock %d: %w", n.ID, lock, err))
 		return
@@ -543,7 +562,7 @@ func (n *Node) dispatchHier(lock proto.LockID, out hlock.Out, done func()) {
 	for _, ev := range out.Events {
 		switch ev.Kind {
 		case hlock.EventAcquired, hlock.EventUpgraded:
-			n.c.oracleAcquire(lock, n.ID, ev.Mode)
+			n.c.oracleAcquire(lock, n.ID, ev.Mode, ev.Trace)
 			w, ok := n.waiters[lock]
 			if !ok {
 				n.c.fail(fmt.Errorf("cluster: node %d lock %d acquired with no waiter", n.ID, lock))
@@ -571,7 +590,7 @@ func (n *Node) dispatchExcl(lock proto.LockID, msgs []proto.Message, acquired bo
 		n.c.Net.Send(msgs[i])
 	}
 	if acquired {
-		n.c.oracleAcquire(lock, n.ID, modes.W)
+		n.c.oracleAcquire(lock, n.ID, modes.W, proto.TraceID{})
 		w, ok := n.waiters[lock]
 		if !ok {
 			n.c.fail(fmt.Errorf("cluster: node %d lock %d acquired with no waiter", n.ID, lock))
@@ -645,6 +664,7 @@ func (nw *Network) Send(msg proto.Message) {
 	nw.trace.Record(trace.Entry{
 		At: nw.sim.Now(), Op: trace.OpSend, Node: msg.From,
 		Lock: msg.Lock, Mode: msg.Mode, Kind: msg.Kind, From: msg.From, To: msg.To,
+		Trace: msgTrace(&msg),
 	})
 	var at time.Duration
 	if nw.faults != nil {
@@ -674,6 +694,7 @@ func (nw *Network) Send(msg proto.Message) {
 		nw.trace.Record(trace.Entry{
 			At: nw.sim.Now(), Op: trace.OpDeliver, Node: m.To,
 			Lock: m.Lock, Mode: m.Mode, Kind: m.Kind, From: m.From, To: m.To,
+			Trace: msgTrace(&m),
 		})
 		if nw.tel != nil && m.Kind == proto.KindToken {
 			nw.tel.tokenTransfer(m.Lock, "in")
@@ -691,6 +712,7 @@ func (nw *Network) recordFaults(msg *proto.Message, out sim.Outcome) {
 			nw.trace.Record(trace.Entry{
 				At: nw.sim.Now(), Op: op, Node: msg.From,
 				Lock: msg.Lock, Mode: msg.Mode, Kind: msg.Kind, From: msg.From, To: msg.To,
+				Trace: msgTrace(msg),
 			})
 		}
 	}

@@ -55,11 +55,14 @@ const (
 	EventUpgraded
 )
 
-// Event is a local protocol event delivered to the runtime.
+// Event is a local protocol event delivered to the runtime. Trace is the
+// causal identity of the client operation the event completes (zero when
+// the triggering message came from an untraced peer).
 type Event struct {
 	Kind  EventKind
 	Mode  modes.Mode
 	Local bool
+	Trace proto.TraceID
 }
 
 // Out carries everything an engine step produced: messages to transmit
@@ -142,6 +145,15 @@ type Engine struct {
 	grantSeqOut  map[proto.NodeID]uint64
 	grantModeOut map[proto.NodeID]modes.Mode
 	grantSeqIn   map[proto.NodeID]uint64
+
+	// cause is the trace ID of the input currently (or last) being
+	// processed: the client operation's ID at Acquire/Release/Upgrade, the
+	// message's ID in Handle. Messages the engine originates that are not
+	// tied to a specific queued request (releases, freeze pushes) inherit
+	// it, so e.g. the freeze fan-out triggered by a request carries that
+	// request's identity. It is bookkeeping only — the protocol never
+	// branches on it — and is therefore excluded from Fingerprint.
+	cause proto.TraceID
 }
 
 // New creates the engine for one lock on one node. Exactly one node in
@@ -188,6 +200,7 @@ func (e *Engine) Clone(clock *proto.Clock) *Engine {
 		grantModeOut: make(map[proto.NodeID]modes.Mode, len(e.grantModeOut)),
 		grantSeqIn:   make(map[proto.NodeID]uint64, len(e.grantSeqIn)),
 		queue:        append([]proto.Request(nil), e.queue...),
+		cause:        e.cause,
 	}
 	for k, v := range e.children {
 		ne.children[k] = v
@@ -315,6 +328,14 @@ func (e *Engine) Acquire(m modes.Mode) (Out, error) {
 // the strict priority arbitration of the prioritized token protocols
 // ([11, 12]) the paper builds on. Priority 0 is the base FIFO protocol.
 func (e *Engine) AcquirePri(m modes.Mode, priority uint8) (Out, error) {
+	return e.AcquireTraced(m, priority, proto.TraceID{})
+}
+
+// AcquireTraced is AcquirePri with an explicit causal trace ID minted by
+// the caller (the member or simulator runtime). A zero trace derives one
+// from the request's Lamport timestamp, which is unique per node and
+// deterministic, so seeded simulations stay reproducible.
+func (e *Engine) AcquireTraced(m modes.Mode, priority uint8, trace proto.TraceID) (Out, error) {
 	var out Out
 	if m == modes.None || !m.Valid() {
 		return out, fmt.Errorf("%w: %v", ErrBadMode, m)
@@ -333,11 +354,14 @@ func (e *Engine) AcquirePri(m modes.Mode, priority uint8) (Out, error) {
 		// FIFO toward queued requests.
 		if modes.Compatible(mo, m) && !e.frozen.Has(m) {
 			e.held = m
-			out.event(Event{Kind: EventAcquired, Mode: m, Local: true})
+			e.cause = e.traceFor(trace, e.clock.Tick())
+			out.event(Event{Kind: EventAcquired, Mode: m, Local: true, Trace: e.cause})
 			return out, nil
 		}
 		e.pending = m
-		e.enqueue(proto.Request{Origin: e.self, Mode: m, TS: e.clock.Tick(), Priority: priority})
+		ts := e.clock.Tick()
+		e.cause = e.traceFor(trace, ts)
+		e.enqueue(proto.Request{Origin: e.self, Mode: m, TS: ts, Priority: priority, Trace: e.cause})
 		e.serveQueue(&out)
 		return out, nil
 	}
@@ -348,7 +372,8 @@ func (e *Engine) AcquirePri(m modes.Mode, priority uint8) (Out, error) {
 		modes.Compatible(mo, m) && modes.AtLeast(mo, m) {
 		if !e.frozen.Has(m) {
 			e.held = m
-			out.event(Event{Kind: EventAcquired, Mode: m, Local: true})
+			e.cause = e.traceFor(trace, e.clock.Tick())
+			out.event(Event{Kind: EventAcquired, Mode: m, Local: true, Trace: e.cause})
 			return out, nil
 		}
 		// Covered but frozen: wait locally for the thaw rather than
@@ -358,23 +383,44 @@ func (e *Engine) AcquirePri(m modes.Mode, priority uint8) (Out, error) {
 		// never in the requester's subtree. serveLocalQueue completes (or
 		// forwards, if the owned mode meanwhile weakens) the request.
 		e.pending = m
-		e.enqueue(proto.Request{Origin: e.self, Mode: m, TS: e.clock.Tick(), Priority: priority})
+		ts := e.clock.Tick()
+		e.cause = e.traceFor(trace, ts)
+		e.enqueue(proto.Request{Origin: e.self, Mode: m, TS: ts, Priority: priority, Trace: e.cause})
 		return out, nil
 	}
 
 	e.pending = m
-	req := proto.Request{Origin: e.self, Mode: m, TS: e.clock.Tick(), Priority: priority}
+	ts := e.clock.Tick()
+	e.cause = e.traceFor(trace, ts)
+	req := proto.Request{Origin: e.self, Mode: m, TS: ts, Priority: priority, Trace: e.cause}
 	out.send(proto.Message{
 		Kind: proto.KindRequest, Lock: e.lock,
-		From: e.self, To: e.parent, TS: e.clock.Tick(), Req: req,
+		From: e.self, To: e.parent, TS: e.clock.Tick(), Req: req, Trace: req.Trace,
 	})
 	return out, nil
+}
+
+// traceFor resolves the effective trace ID for a client operation:
+// the caller-minted ID if any, else one derived from the node's Lamport
+// time (which the caller just advanced or read).
+func (e *Engine) traceFor(trace proto.TraceID, ts proto.Timestamp) proto.TraceID {
+	if !trace.IsZero() {
+		return trace
+	}
+	return proto.TraceID{Node: e.self, Seq: uint64(ts)}
 }
 
 // Release ends the critical section (Rule 5). At the token node it
 // reconsiders the queue; elsewhere it notifies the parent only if the
 // subtree's owned mode weakened.
 func (e *Engine) Release() (Out, error) {
+	return e.ReleaseTraced(proto.TraceID{})
+}
+
+// ReleaseTraced is Release with an explicit causal trace ID for the
+// release operation (zero derives one from the Lamport clock); release
+// and freeze messages the release triggers carry it.
+func (e *Engine) ReleaseTraced(trace proto.TraceID) (Out, error) {
 	var out Out
 	if e.held == modes.None {
 		return out, ErrNotHeld
@@ -384,6 +430,7 @@ func (e *Engine) Release() (Out, error) {
 		// the W upgrade outstanding would corrupt the queue.
 		return out, fmt.Errorf("%w: release while upgrade pending", ErrPending)
 	}
+	e.cause = e.traceFor(trace, e.clock.Tick())
 	prev := e.Owned()
 	e.held = modes.None
 	e.afterWeaken(prev, &out)
@@ -402,6 +449,12 @@ func (e *Engine) Upgrade() (Out, error) {
 // UpgradePri is Upgrade with a queue priority for the W self-request
 // (see AcquirePri).
 func (e *Engine) UpgradePri(priority uint8) (Out, error) {
+	return e.UpgradeTraced(priority, proto.TraceID{})
+}
+
+// UpgradeTraced is UpgradePri with an explicit causal trace ID (zero
+// derives one from the Lamport clock).
+func (e *Engine) UpgradeTraced(priority uint8, trace proto.TraceID) (Out, error) {
 	var out Out
 	if e.held != modes.U {
 		return out, fmt.Errorf("%w (holding %v)", ErrNotUpgrade, e.held)
@@ -414,11 +467,14 @@ func (e *Engine) UpgradePri(priority uint8) (Out, error) {
 	}
 	if modes.Compatible(e.ownedChildren(), modes.W) {
 		e.held = modes.W
-		out.event(Event{Kind: EventUpgraded, Mode: modes.W, Local: true})
+		e.cause = e.traceFor(trace, e.clock.Tick())
+		out.event(Event{Kind: EventUpgraded, Mode: modes.W, Local: true, Trace: e.cause})
 		return out, nil
 	}
 	e.pending = modes.W
-	e.enqueue(proto.Request{Origin: e.self, Mode: modes.W, TS: e.clock.Tick(), Priority: priority})
+	ts := e.clock.Tick()
+	e.cause = e.traceFor(trace, ts)
+	e.enqueue(proto.Request{Origin: e.self, Mode: modes.W, TS: ts, Priority: priority, Trace: e.cause})
 	e.serveQueue(&out)
 	return out, nil
 }
@@ -430,6 +486,14 @@ func (e *Engine) Handle(msg *proto.Message) (Out, error) {
 		return out, fmt.Errorf("%w: message for lock %d handled by lock %d", ErrProtocol, msg.Lock, e.lock)
 	}
 	e.clock.Witness(msg.TS)
+	// Inherit the message's causal identity: messages this step originates
+	// that are not tied to a specific queued request carry it onward. For
+	// requests, prefer the request's own ID (authoritative even if the
+	// forwarding hop lost the envelope's).
+	e.cause = msg.Trace
+	if msg.Kind == proto.KindRequest && !msg.Req.Trace.IsZero() {
+		e.cause = msg.Req.Trace
+	}
 	switch msg.Kind {
 	case proto.KindRequest:
 		return out, e.handleRequest(msg.Req, &out)
@@ -483,7 +547,7 @@ func (e *Engine) handleRequest(req proto.Request, out *Out) error {
 	}
 	out.send(proto.Message{
 		Kind: proto.KindRequest, Lock: e.lock,
-		From: e.self, To: e.parent, TS: e.clock.Tick(), Req: req,
+		From: e.self, To: e.parent, TS: e.clock.Tick(), Req: req, Trace: req.Trace,
 	})
 	// Path reversal: a pure router (owning nothing, requesting nothing)
 	// repoints at the requester, compressing future request paths. Nodes
@@ -510,7 +574,7 @@ func (e *Engine) handleGrant(msg *proto.Message, out *Out) error {
 	e.frozen = msg.Frozen
 	e.held = e.pending
 	e.pending = modes.None
-	out.event(Event{Kind: EventAcquired, Mode: e.held})
+	out.event(Event{Kind: EventAcquired, Mode: e.held, Trace: msg.Trace})
 	if msg.From != oldParent && oldOwned != modes.None {
 		// Detach: the old parent still lists us in its copyset with
 		// oldOwned, but our subtree is now accounted for by the granter
@@ -526,12 +590,13 @@ func (e *Engine) handleGrant(msg *proto.Message, out *Out) error {
 }
 
 // sendRelease emits a release/detach message reporting owned mode mo to
-// the given node, acknowledging the latest grant received from it.
+// the given node, acknowledging the latest grant received from it. The
+// message carries the trace of the operation that caused the weakening.
 func (e *Engine) sendRelease(to proto.NodeID, mo modes.Mode, out *Out) {
 	out.send(proto.Message{
 		Kind: proto.KindRelease, Lock: e.lock,
 		From: e.self, To: to, TS: e.clock.Tick(),
-		Owned: mo, Seq: e.grantSeqIn[to],
+		Owned: mo, Seq: e.grantSeqIn[to], Trace: e.cause,
 	})
 }
 
@@ -564,9 +629,9 @@ func (e *Engine) handleToken(msg *proto.Message, out *Out) error {
 	e.held = e.pending
 	e.pending = modes.None
 	if upgraded {
-		out.event(Event{Kind: EventUpgraded, Mode: e.held})
+		out.event(Event{Kind: EventUpgraded, Mode: e.held, Trace: msg.Trace})
 	} else {
-		out.event(Event{Kind: EventAcquired, Mode: e.held})
+		out.event(Event{Kind: EventAcquired, Mode: e.held, Trace: msg.Trace})
 	}
 	// Footnote c: merge the travelling queue with the local one,
 	// preserving queue order. Requests in the travelling queue reached
@@ -666,6 +731,7 @@ func (e *Engine) grantCopy(req proto.Request, out *Out) {
 		Kind: proto.KindGrant, Lock: e.lock,
 		From: e.self, To: req.Origin, TS: e.clock.Tick(),
 		Mode: req.Mode, Frozen: view, Seq: e.grantSeqOut[req.Origin],
+		Trace: req.Trace,
 	})
 }
 
@@ -682,7 +748,7 @@ func (e *Engine) transferToken(req proto.Request, out *Out) {
 	out.send(proto.Message{
 		Kind: proto.KindToken, Lock: e.lock,
 		From: e.self, To: req.Origin, TS: e.clock.Tick(),
-		Mode: req.Mode, Owned: e.Owned(), Queue: q,
+		Mode: req.Mode, Owned: e.Owned(), Queue: q, Trace: req.Trace,
 	})
 }
 
@@ -710,7 +776,7 @@ func (e *Engine) serveQueue(out *Out) {
 					if upgraded {
 						kind = EventUpgraded
 					}
-					out.event(Event{Kind: kind, Mode: req.Mode, Local: true})
+					out.event(Event{Kind: kind, Mode: req.Mode, Local: true, Trace: req.Trace})
 					e.removeQueued(i)
 					served = true
 					break
@@ -794,13 +860,13 @@ func (e *Engine) serveLocalQueue(out *Out) {
 			case covered && !e.frozen.Has(req.Mode):
 				e.held = req.Mode
 				e.pending = modes.None
-				out.event(Event{Kind: EventAcquired, Mode: req.Mode, Local: true})
+				out.event(Event{Kind: EventAcquired, Mode: req.Mode, Local: true, Trace: req.Trace})
 			case covered:
 				kept = append(kept, req)
 			default:
 				out.send(proto.Message{
 					Kind: proto.KindRequest, Lock: e.lock,
-					From: e.self, To: e.parent, TS: e.clock.Tick(), Req: req,
+					From: e.self, To: e.parent, TS: e.clock.Tick(), Req: req, Trace: req.Trace,
 				})
 			}
 		case !e.opt.NoChildGrants &&
@@ -812,7 +878,7 @@ func (e *Engine) serveLocalQueue(out *Out) {
 		default:
 			out.send(proto.Message{
 				Kind: proto.KindRequest, Lock: e.lock,
-				From: e.self, To: e.parent, TS: e.clock.Tick(), Req: req,
+				From: e.self, To: e.parent, TS: e.clock.Tick(), Req: req, Trace: req.Trace,
 			})
 		}
 	}
@@ -872,6 +938,7 @@ func (e *Engine) pushFrozenViews(out *Out) {
 		out.send(proto.Message{
 			Kind: proto.KindFreeze, Lock: e.lock,
 			From: e.self, To: c, TS: e.clock.Tick(), Frozen: view,
+			Trace: e.cause,
 		})
 	}
 }

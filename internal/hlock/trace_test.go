@@ -1,0 +1,158 @@
+package hlock_test
+
+import (
+	"testing"
+
+	"hierlock/internal/hlock"
+	"hierlock/internal/modes"
+	"hierlock/internal/proto"
+)
+
+// step delivers every message in out to its destination engine and
+// returns everything the destinations produced, concatenated.
+func step(t *testing.T, engines map[proto.NodeID]*hlock.Engine, out hlock.Out) hlock.Out {
+	t.Helper()
+	var next hlock.Out
+	for i := range out.Msgs {
+		m := out.Msgs[i]
+		o, err := engines[m.To].Handle(&m)
+		if err != nil {
+			t.Fatalf("deliver %v %d->%d: %v", m.Kind, m.From, m.To, err)
+		}
+		next.Msgs = append(next.Msgs, o.Msgs...)
+		next.Events = append(next.Events, o.Events...)
+	}
+	return next
+}
+
+// TestTracePropagation drives a 3-node star through a token transfer, a
+// forwarded request, a copy grant and a freeze push, checking at every
+// hop that the origin request's trace ID survives unchanged.
+func TestTracePropagation(t *testing.T) {
+	engines := make(map[proto.NodeID]*hlock.Engine)
+	for i := proto.NodeID(0); i < 3; i++ {
+		engines[i] = hlock.New(i, testLock, 0, i == 0, &proto.Clock{}, hlock.Options{})
+	}
+	trW := proto.TraceID{Node: 1, Seq: 99}
+
+	// Node 1 requests W: the request message must carry trW end-to-end.
+	out, err := engines[1].AcquireTraced(modes.W, 0, trW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Msgs) != 1 || out.Msgs[0].Kind != proto.KindRequest {
+		t.Fatalf("acquire out: %+v", out)
+	}
+	if out.Msgs[0].Trace != trW || out.Msgs[0].Req.Trace != trW {
+		t.Fatalf("request lost trace: msg=%v req=%v", out.Msgs[0].Trace, out.Msgs[0].Req.Trace)
+	}
+
+	// Token node 0 serves it by transfer; the token message and the
+	// resulting acquired event must keep trW.
+	out = step(t, engines, out)
+	if len(out.Msgs) != 1 || out.Msgs[0].Kind != proto.KindToken {
+		t.Fatalf("expected token transfer, got %+v", out)
+	}
+	if out.Msgs[0].Trace != trW {
+		t.Fatalf("token transfer lost trace: %v", out.Msgs[0].Trace)
+	}
+	out = step(t, engines, out)
+	if len(out.Events) != 1 || out.Events[0].Kind != hlock.EventAcquired || out.Events[0].Trace != trW {
+		t.Fatalf("acquired event lost trace: %+v", out.Events)
+	}
+
+	// Node 2 still points at node 0, which is now a stale router: its
+	// request must be forwarded (node 0 → node 1) with the trace intact —
+	// the cross-node forwarded hop.
+	trR := proto.TraceID{Node: 2, Seq: 50}
+	out, err = engines[2].AcquireTraced(modes.R, 0, trR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fwd := step(t, engines, out) // node 0 forwards
+	if len(fwd.Msgs) != 1 || fwd.Msgs[0].Kind != proto.KindRequest ||
+		fwd.Msgs[0].From != 0 || fwd.Msgs[0].To != 1 {
+		t.Fatalf("expected forward 0->1, got %+v", fwd.Msgs)
+	}
+	if fwd.Msgs[0].Trace != trR || fwd.Msgs[0].Req.Trace != trR {
+		t.Fatalf("forward lost trace: msg=%v req=%v", fwd.Msgs[0].Trace, fwd.Msgs[0].Req.Trace)
+	}
+	// Node 1 holds W: the R request queues at the token. Releasing with a
+	// fresh trace serves the queued R by transfer, which must carry the
+	// *requester's* trace, not the release's.
+	if out := step(t, engines, fwd); len(out.Msgs) != 0 {
+		t.Fatalf("conflicting request should queue, got %+v", out.Msgs)
+	}
+	relOut, err := engines[1].ReleaseTraced(proto.TraceID{Node: 1, Seq: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var token *proto.Message
+	for i := range relOut.Msgs {
+		if relOut.Msgs[i].Kind == proto.KindToken {
+			token = &relOut.Msgs[i]
+		}
+	}
+	if token == nil || token.Trace != trR {
+		t.Fatalf("queued request's transfer lost trace: %+v", relOut.Msgs)
+	}
+	out = step(t, engines, relOut)
+	for _, ev := range out.Events {
+		if ev.Kind == hlock.EventAcquired && ev.Trace != trR {
+			t.Fatalf("queued grant event trace = %v, want %v", ev.Trace, trR)
+		}
+	}
+	if _, err := engines[2].ReleaseTraced(proto.TraceID{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTraceOnCopyGrantAndFreeze checks that copy grants carry the
+// requester's trace and that freeze pushes carry the trace of the
+// request whose queuing triggered the freeze.
+func TestTraceOnCopyGrantAndFreeze(t *testing.T) {
+	engines := make(map[proto.NodeID]*hlock.Engine)
+	for i := proto.NodeID(0); i < 3; i++ {
+		engines[i] = hlock.New(i, testLock, 0, i == 0, &proto.Clock{}, hlock.Options{})
+	}
+	// Token node holds R itself, so a remote R is served by copy grant.
+	if _, err := engines[0].AcquireTraced(modes.R, 0, proto.TraceID{Node: 0, Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	trR := proto.TraceID{Node: 1, Seq: 7}
+	out, err := engines[1].AcquireTraced(modes.R, 0, trR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grant := step(t, engines, out)
+	if len(grant.Msgs) != 1 || grant.Msgs[0].Kind != proto.KindGrant {
+		t.Fatalf("expected copy grant, got %+v", grant.Msgs)
+	}
+	if grant.Msgs[0].Trace != trR {
+		t.Fatalf("copy grant lost trace: %v", grant.Msgs[0].Trace)
+	}
+	if out = step(t, engines, grant); len(out.Events) != 1 || out.Events[0].Trace != trR {
+		t.Fatalf("grant event lost trace: %+v", out.Events)
+	}
+
+	// A conflicting W now queues at the token and freezes reader modes;
+	// the freeze push to child 1 must carry the W request's trace.
+	trump := proto.TraceID{Node: 2, Seq: 13}
+	out, err = engines[2].AcquireTraced(modes.W, 0, trump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frz := step(t, engines, out)
+	var freeze *proto.Message
+	for i := range frz.Msgs {
+		if frz.Msgs[i].Kind == proto.KindFreeze {
+			freeze = &frz.Msgs[i]
+		}
+	}
+	if freeze == nil {
+		t.Fatalf("expected freeze push, got %+v", frz.Msgs)
+	}
+	if freeze.Trace != trump {
+		t.Fatalf("freeze push trace = %v, want %v", freeze.Trace, trump)
+	}
+}

@@ -2,10 +2,15 @@ package lockserver
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"strings"
 	"time"
+
+	"hierlock/internal/proto"
+	"hierlock/internal/trace"
 )
 
 // DebugHandler exposes the member's observability surface over HTTP:
@@ -17,7 +22,16 @@ import (
 //	                   (503 when no registry is attached)
 //	GET /debug/trace  → JSON dump of the attached trace Recorder; ?n=K limits
 //	                   to the K most recent entries, ?enable=on|off toggles
-//	                   recording at runtime (503 when no recorder is attached)
+//	                   recording at runtime (503 when no recorder is attached).
+//	                   ?peers=addr1,addr2 switches to peer-merge mode: the
+//	                   node fetches every listed peer's /debug/trace buffer
+//	                   and returns one ClusterDump bundling its own buffer
+//	                   with the peers' (per-peer fetch errors reported, not
+//	                   fatal) — the input `lockctl trace --cluster` assembles
+//	                   causal paths from.
+//	GET /debug/audit  → JSON report of the online protocol auditor: entries
+//	                   consumed, violations per invariant, recent violation
+//	                   details (503 when no auditor is attached)
 //	GET /debug/pprof/ → the standard net/http/pprof profiles
 //
 // Mount it on lockd's -debug listener.
@@ -106,7 +120,21 @@ func (s *Server) DebugHandler() http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		_ = enc.Encode(s.Trace.DumpLast(n))
+		if peers := r.URL.Query().Get("peers"); peers != "" {
+			_ = enc.Encode(s.clusterDump(n, strings.Split(peers, ",")))
+			return
+		}
+		_ = enc.Encode(s.localDump(n))
+	})
+	mux.HandleFunc("/debug/audit", func(w http.ResponseWriter, r *http.Request) {
+		if s.Audit == nil {
+			http.Error(w, "no auditor attached", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(s.Audit.Snapshot())
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -114,4 +142,64 @@ func (s *Server) DebugHandler() http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// localDump captures this node's trace buffer, stamped with the member's
+// node identity so cluster merges can attribute (and deduplicate) it.
+func (s *Server) localDump(n int) trace.Dump {
+	d := s.Trace.DumpLast(n)
+	d.Node = proto.NodeID(s.member.ID())
+	return d
+}
+
+// clusterDump bundles this node's buffer with every listed peer's,
+// fetched over their debug listeners. Peer failures are reported in
+// Errors rather than failing the merge — a partial capture still
+// assembles a useful causal path.
+func (s *Server) clusterDump(n int, peers []string) trace.ClusterDump {
+	out := trace.ClusterDump{Nodes: []trace.Dump{s.localDump(n)}}
+	client := &http.Client{Timeout: 5 * time.Second}
+	for _, peer := range peers {
+		peer = strings.TrimSpace(peer)
+		if peer == "" {
+			continue
+		}
+		d, err := FetchDump(client, peer, n)
+		if err != nil {
+			if out.Errors == nil {
+				out.Errors = make(map[string]string)
+			}
+			out.Errors[peer] = err.Error()
+			continue
+		}
+		out.Nodes = append(out.Nodes, d)
+	}
+	return out
+}
+
+// FetchDump retrieves one node's trace buffer from its debug listener
+// (addr is host:port or a full http:// URL). Shared by the peer-merge
+// mode above and `lockctl trace --cluster`.
+func FetchDump(client *http.Client, addr string, n int) (trace.Dump, error) {
+	var d trace.Dump
+	url := addr
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	url = strings.TrimSuffix(url, "/") + "/debug/trace"
+	if n > 0 {
+		url += fmt.Sprintf("?n=%d", n)
+	}
+	resp, err := client.Get(url)
+	if err != nil {
+		return d, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return d, fmt.Errorf("%s: HTTP %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+		return d, fmt.Errorf("%s: %w", url, err)
+	}
+	return d, nil
 }

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"hierlock"
+	"hierlock/internal/audit"
 	"hierlock/internal/lockserver"
 	"hierlock/internal/metrics"
 	"hierlock/internal/trace"
@@ -315,5 +316,120 @@ func TestPprofEndpoints(t *testing.T) {
 	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/cmdline", nil))
 	if rec.Code != 200 {
 		t.Fatalf("pprof cmdline: %d", rec.Code)
+	}
+}
+
+// TestDebugAuditEndpoint drives traffic through a member with the online
+// auditor tapped into its trace stream, then reads /debug/audit: entries
+// consumed, every invariant reported, zero violations.
+func TestDebugAuditEndpoint(t *testing.T) {
+	cl, err := hierlock.NewCluster(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	m := cl.Member(1)
+	rc := trace.New(256)
+	auditor := audit.New(audit.Config{Root: 0})
+	rc.SetTap(auditor.Record)
+	m.SetTelemetry(hierlock.Telemetry{Trace: rc})
+
+	l, err := m.Lock(context.Background(), "audited", hierlock.W)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = l.Unlock()
+
+	srv := lockserver.New(m)
+	srv.Audit = auditor
+	rec := httptest.NewRecorder()
+	srv.DebugHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/audit", nil))
+	if rec.Code != 200 {
+		t.Fatalf("audit: %d", rec.Code)
+	}
+	var rep audit.Report
+	if err := json.Unmarshal(rec.Body.Bytes(), &rep); err != nil {
+		t.Fatalf("audit json: %v\n%s", err, rec.Body.String())
+	}
+	if rep.Entries == 0 {
+		t.Fatal("auditor consumed no entries")
+	}
+	if rep.Total != 0 {
+		t.Fatalf("violations on a healthy member: %+v", rep)
+	}
+	for _, inv := range audit.Invariants {
+		if _, ok := rep.ByCheck[inv]; !ok {
+			t.Errorf("report missing invariant %q", inv)
+		}
+	}
+
+	// Without an auditor the endpoint declines.
+	rec = httptest.NewRecorder()
+	lockserver.New(m).DebugHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/audit", nil))
+	if rec.Code != 503 {
+		t.Fatalf("audit without auditor: %d, want 503", rec.Code)
+	}
+}
+
+// TestDebugTraceClusterMerge runs two members behind real HTTP debug
+// listeners and asks one for a peer-merged dump: both node buffers must
+// come back attributed, and a dead peer must land in Errors rather than
+// failing the merge.
+func TestDebugTraceClusterMerge(t *testing.T) {
+	cl, err := hierlock.NewCluster(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	servers := make([]*lockserver.Server, 2)
+	listeners := make([]*httptest.Server, 2)
+	for i := 0; i < 2; i++ {
+		m := cl.Member(i)
+		rc := trace.New(256)
+		m.SetTelemetry(hierlock.Telemetry{Trace: rc})
+		servers[i] = lockserver.New(m)
+		servers[i].Trace = rc
+		listeners[i] = httptest.NewServer(servers[i].DebugHandler())
+		defer listeners[i].Close()
+	}
+
+	// Node 1 acquires W: its request crosses to node 0 (the root), so the
+	// operation's causal path spans both buffers.
+	l, err := cl.Member(1).Lock(context.Background(), "merged", hierlock.W)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = l.Unlock()
+
+	peer := strings.TrimPrefix(listeners[0].URL, "http://")
+	resp, err := listeners[1].Client().Get(listeners[1].URL + "/debug/trace?peers=" + peer + ",127.0.0.1:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var cd trace.ClusterDump
+	if err := json.NewDecoder(resp.Body).Decode(&cd); err != nil {
+		t.Fatal(err)
+	}
+	if len(cd.Nodes) != 2 {
+		t.Fatalf("merged %d node buffers, want 2", len(cd.Nodes))
+	}
+	if cd.Nodes[0].Node != 1 || cd.Nodes[1].Node != 0 {
+		t.Fatalf("dump attribution: self=%d peer=%d", cd.Nodes[0].Node, cd.Nodes[1].Node)
+	}
+	if len(cd.Errors) != 1 {
+		t.Fatalf("dead peer not reported: %+v", cd.Errors)
+	}
+
+	paths := trace.AssembleCausal(cd.Nodes)
+	var found bool
+	for _, p := range paths {
+		if p.Origin == 1 && p.Complete && len(p.Nodes) == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no complete cross-node causal path for node 1; got %d paths", len(paths))
 	}
 }

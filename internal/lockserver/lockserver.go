@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"hierlock"
+	"hierlock/internal/audit"
 	"hierlock/internal/metrics"
 	"hierlock/internal/trace"
 )
@@ -48,6 +49,9 @@ type Server struct {
 	// Trace, when non-nil, is dumped as JSON on the debug handler's
 	// /debug/trace endpoint and togglable at runtime.
 	Trace *trace.Recorder
+	// Audit, when non-nil, is reported on the debug handler's /debug/audit
+	// endpoint (invariant violation counts and recent violations).
+	Audit *audit.Auditor
 
 	mu     sync.Mutex
 	ln     net.Listener

@@ -90,6 +90,14 @@ const (
 	// MetricTransportPeerState gauges per-peer health (0 up, 1 degraded,
 	// 2 down). Labels: peer.
 	MetricTransportPeerState = "hierlock_transport_peer_state"
+
+	// MetricAuditViolations counts protocol invariant violations flagged
+	// by the online auditor (internal/audit). Labels: invariant. Any
+	// nonzero sample is an alarm: either a protocol bug or a violated
+	// transport assumption.
+	MetricAuditViolations = "hierlock_audit_violations_total"
+	// MetricAuditEntries counts trace entries the auditor consumed.
+	MetricAuditEntries = "hierlock_audit_entries_total"
 )
 
 // DefLatencyBuckets are the default request-latency histogram bounds in

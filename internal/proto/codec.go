@@ -17,9 +17,24 @@ import (
 // The payload layout is fixed-width fields in network byte order followed
 // by the request queue. The format is versioned by a leading magic byte so
 // incompatible peers fail fast instead of mis-parsing.
+//
+// Version history:
+//
+//	1 — original layout (no trace context).
+//	2 — appends a causal trace ID (uint32 origin node + uint64 origin
+//	    sequence) to the fixed header and to every encoded Request.
+//
+// The encoder always emits the current version. The decoder additionally
+// accepts version-1 frames, yielding zero trace IDs, so a tracing node
+// can interoperate with a pre-trace peer during a rolling upgrade; any
+// other version is rejected with ErrBadVersion.
 
 const (
-	wireVersion byte = 1
+	wireVersion byte = 2
+
+	// wireVersionPrev is the newest prior version the decoder still
+	// accepts (trace fields absent, decoded as zero).
+	wireVersionPrev byte = 1
 
 	// MaxQueueLen bounds the queue length accepted from the wire; a token
 	// transfer can carry at most one outstanding request per node, so any
@@ -47,6 +62,7 @@ func AppendMessage(dst []byte, m *Message) []byte {
 	dst = binary.BigEndian.AppendUint64(dst, uint64(m.TS))
 	dst = binary.BigEndian.AppendUint64(dst, m.Seq)
 	dst = append(dst, byte(m.Mode), byte(m.Owned), byte(m.Frozen))
+	dst = appendTrace(dst, m.Trace)
 	dst = appendRequest(dst, m.Req)
 	dst = binary.BigEndian.AppendUint32(dst, uint32(len(m.Queue)))
 	for _, r := range m.Queue {
@@ -59,25 +75,46 @@ func AppendMessage(dst []byte, m *Message) []byte {
 	return dst
 }
 
+func appendTrace(dst []byte, t TraceID) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(t.Node))
+	return binary.BigEndian.AppendUint64(dst, t.Seq)
+}
+
 func appendRequest(dst []byte, r Request) []byte {
 	dst = binary.BigEndian.AppendUint32(dst, uint32(r.Origin))
 	dst = append(dst, byte(r.Mode), r.Priority)
 	dst = binary.BigEndian.AppendUint64(dst, uint64(r.TS))
-	return dst
+	return appendTrace(dst, r.Trace)
 }
 
 const (
-	headerLen  = 2 + 8 + 4 + 4 + 8 + 8 + 3 // version..frozen
-	requestLen = 4 + 1 + 1 + 8             // origin, mode, priority, ts
+	traceLen = 4 + 8 // origin node, origin sequence
+
+	headerLenV1 = 2 + 8 + 4 + 4 + 8 + 8 + 3 // version..frozen
+	headerLen   = headerLenV1 + traceLen    // version..frozen, trace
+
+	requestLenV1 = 4 + 1 + 1 + 8           // origin, mode, priority, ts
+	requestLen   = requestLenV1 + traceLen // origin..ts, trace
 )
 
 // DecodeMessage parses one message from buf (the full payload of a frame).
+// Both the current wire version and the immediately previous one are
+// accepted; version-1 frames decode with zero trace IDs.
 func DecodeMessage(buf []byte) (*Message, error) {
-	if len(buf) < headerLen+requestLen+4 {
-		return nil, fmt.Errorf("%w: short payload (%d bytes)", ErrBadFrame, len(buf))
+	if len(buf) < 1 {
+		return nil, fmt.Errorf("%w: empty payload", ErrBadFrame)
 	}
-	if buf[0] != wireVersion {
-		return nil, fmt.Errorf("%w: got %d, want %d", ErrBadVersion, buf[0], wireVersion)
+	hdrLen, reqLen := headerLen, requestLen
+	switch buf[0] {
+	case wireVersion:
+	case wireVersionPrev:
+		hdrLen, reqLen = headerLenV1, requestLenV1
+	default:
+		return nil, fmt.Errorf("%w: got %d, want %d (or %d)",
+			ErrBadVersion, buf[0], wireVersion, wireVersionPrev)
+	}
+	if len(buf) < hdrLen+reqLen+4 {
+		return nil, fmt.Errorf("%w: short payload (%d bytes)", ErrBadFrame, len(buf))
 	}
 	m := &Message{}
 	m.Kind = Kind(buf[1])
@@ -95,9 +132,12 @@ func DecodeMessage(buf []byte) (*Message, error) {
 	if !m.Mode.Valid() || !m.Owned.Valid() {
 		return nil, fmt.Errorf("%w: invalid mode byte", ErrBadFrame)
 	}
+	if hdrLen == headerLen {
+		m.Trace = decodeTrace(buf[headerLenV1:])
+	}
 	var err error
-	rest := buf[headerLen:]
-	m.Req, rest, err = decodeRequest(rest)
+	rest := buf[hdrLen:]
+	m.Req, rest, err = decodeRequest(rest, reqLen)
 	if err != nil {
 		return nil, err
 	}
@@ -113,7 +153,7 @@ func DecodeMessage(buf []byte) (*Message, error) {
 		m.Queue = make([]Request, 0, n)
 		for i := uint32(0); i < n; i++ {
 			var r Request
-			r, rest, err = decodeRequest(rest)
+			r, rest, err = decodeRequest(rest, reqLen)
 			if err != nil {
 				return nil, err
 			}
@@ -144,8 +184,15 @@ func DecodeMessage(buf []byte) (*Message, error) {
 	return m, nil
 }
 
-func decodeRequest(buf []byte) (Request, []byte, error) {
-	if len(buf) < requestLen {
+func decodeTrace(buf []byte) TraceID {
+	return TraceID{
+		Node: NodeID(int32(binary.BigEndian.Uint32(buf))),
+		Seq:  binary.BigEndian.Uint64(buf[4:]),
+	}
+}
+
+func decodeRequest(buf []byte, reqLen int) (Request, []byte, error) {
+	if len(buf) < reqLen {
 		return Request{}, nil, fmt.Errorf("%w: short request", ErrBadFrame)
 	}
 	r := Request{
@@ -157,7 +204,10 @@ func decodeRequest(buf []byte) (Request, []byte, error) {
 	if !r.Mode.Valid() {
 		return Request{}, nil, fmt.Errorf("%w: invalid request mode", ErrBadFrame)
 	}
-	return r, buf[requestLen:], nil
+	if reqLen == requestLen {
+		r.Trace = decodeTrace(buf[requestLenV1:])
+	}
+	return r, buf[reqLen:], nil
 }
 
 // WriteFrame writes one length-prefixed message frame to w.

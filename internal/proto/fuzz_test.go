@@ -7,15 +7,35 @@ import (
 )
 
 // FuzzDecodeMessage feeds arbitrary bytes to the wire decoder: it must
-// never panic, and everything it accepts must re-encode to the identical
-// byte string (the codec is canonical).
+// never panic, and everything it accepts must survive a decode/encode
+// cycle. Current-version frames must re-encode to the identical byte
+// string (the codec is canonical); accepted previous-version frames
+// re-encode as the current version, so for those only semantic identity
+// (decode(encode(m)) == m, traces zero) is required.
 func FuzzDecodeMessage(f *testing.F) {
 	for _, m := range sampleMessages() {
 		f.Add(AppendMessage(nil, m))
+		f.Add(appendMessageV1(nil, m))
 	}
 	f.Add([]byte{})
 	f.Add([]byte{1})
+	f.Add([]byte{2})
 	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	// Corrupt-trace-field corpora: current-version frames with the trace
+	// bytes (header and request) clobbered — all byte values are legal
+	// trace IDs, so these must decode, just to surprising IDs.
+	base := AppendMessage(nil, sampleMessages()[0])
+	for _, off := range []int{headerLenV1, headerLenV1 + 4, headerLen + requestLenV1} {
+		for _, b := range []byte{0x00, 0x7f, 0x80, 0xff} {
+			c := bytes.Clone(base)
+			c[off] = b
+			f.Add(c)
+		}
+	}
+	// Truncations that slice through the trailing trace fields.
+	for _, cut := range []int{1, traceLen - 1, traceLen, traceLen + 1} {
+		f.Add(bytes.Clone(base[:len(base)-cut]))
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := DecodeMessage(data)
@@ -23,10 +43,10 @@ func FuzzDecodeMessage(f *testing.F) {
 			return
 		}
 		re := AppendMessage(nil, m)
-		if !bytes.Equal(re, data) {
+		if data[0] == wireVersion && !bytes.Equal(re, data) {
 			t.Fatalf("decode/encode not canonical:\n in: %x\nout: %x", data, re)
 		}
-		// And the re-decode must agree.
+		// The re-decode must agree regardless of input version.
 		m2, err := DecodeMessage(re)
 		if err != nil || !reflect.DeepEqual(m, m2) {
 			t.Fatalf("re-decode mismatch: %v / %+v vs %+v", err, m, m2)

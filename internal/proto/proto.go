@@ -1,14 +1,21 @@
 // Package proto defines the wire-level vocabulary of the hierarchical
 // locking protocol: node and lock identifiers, Lamport timestamps, the five
-// protocol message kinds (request, grant, token, release, freeze), and a
-// compact deterministic binary codec used by the TCP transport.
+// protocol message kinds (request, grant, token, release, freeze), causal
+// trace identifiers, and a compact deterministic binary codec used by the
+// TCP transport.
 //
 // The package is shared by the protocol engines (internal/hlock,
 // internal/naimi), the simulator, and the live transports. It contains no
 // protocol logic.
 package proto
 
-import "hierlock/internal/modes"
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"hierlock/internal/modes"
+)
 
 // NodeID identifies a participant. IDs are small dense integers assigned
 // by the cluster configuration; they double as slice indices in the
@@ -81,13 +88,68 @@ func (k Kind) String() string {
 	}
 }
 
+// TraceID identifies one client operation (an acquire, upgrade or
+// release) for causal tracing across nodes. It is minted once at the
+// origin node and never changes as the operation's messages are
+// forwarded, queued, frozen, or served, so merging the per-node trace
+// buffers by TraceID reconstructs the operation's full cross-node path.
+//
+// Seq is drawn from the origin node's Lamport clock, which makes IDs
+// unique per node and deterministic under the seeded simulator. The zero
+// TraceID means "untraced" (e.g. a frame from a version-1 peer).
+type TraceID struct {
+	Node NodeID
+	Seq  uint64
+}
+
+// IsZero reports whether t is the absent trace ID.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// String renders the ID as "n<node>.<seq>", or "-" for the zero ID.
+// ParseTraceID inverts it.
+func (t TraceID) String() string {
+	if t.IsZero() {
+		return "-"
+	}
+	return fmt.Sprintf("n%d.%d", t.Node, t.Seq)
+}
+
+// ParseTraceID parses the String form ("n3.17", or "-" for the zero ID).
+func ParseTraceID(s string) (TraceID, error) {
+	if s == "-" || s == "" {
+		return TraceID{}, nil
+	}
+	rest, ok := strings.CutPrefix(s, "n")
+	if !ok {
+		return TraceID{}, fmt.Errorf("proto: malformed trace id %q", s)
+	}
+	node, seq, ok := strings.Cut(rest, ".")
+	if !ok {
+		return TraceID{}, fmt.Errorf("proto: malformed trace id %q", s)
+	}
+	n, err := strconv.ParseInt(node, 10, 32)
+	if err != nil {
+		return TraceID{}, fmt.Errorf("proto: malformed trace id %q: %v", s, err)
+	}
+	q, err := strconv.ParseUint(seq, 10, 64)
+	if err != nil {
+		return TraceID{}, fmt.Errorf("proto: malformed trace id %q: %v", s, err)
+	}
+	return TraceID{Node: NodeID(n), Seq: q}, nil
+}
+
 // Request is a pending lock request as it travels through the tree and
-// sits in local queues. Origin, TS and Priority never change as the
-// request is forwarded.
+// sits in local queues. Origin, TS, Priority and Trace never change as
+// the request is forwarded.
 type Request struct {
 	Origin NodeID
 	Mode   modes.Mode
 	TS     Timestamp
+	// Trace is the causal identity of the client operation that issued
+	// this request. It rides with the request through forwards, queue
+	// merges and token transfers so the eventual grant can be attributed
+	// to the original acquire.
+	Trace TraceID
 	// Priority arbitrates queue order at the token node: higher values
 	// are served first; equal priorities are FIFO by arrival. Zero is the
 	// default (pure FIFO, the paper's base protocol); nonzero values
@@ -149,4 +211,12 @@ type Message struct {
 	// Suzuki–Kasami baseline to ship the token's LN array. Empty for the
 	// hierarchical protocol.
 	Vec []uint64
+
+	// Trace is the causal context of this message: for KindRequest it
+	// equals Req.Trace; for KindGrant/KindToken it is the trace of the
+	// request being served by the grant or transfer; for KindRelease and
+	// KindFreeze it is the trace of the operation that triggered the
+	// release or freeze push. Zero when the sender predates tracing
+	// (wire version 1) or the operation was untraced.
+	Trace TraceID
 }

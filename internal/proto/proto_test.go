@@ -58,16 +58,17 @@ func TestKindString(t *testing.T) {
 
 func sampleMessages() []*Message {
 	return []*Message{
-		{Kind: KindRequest, Lock: 7, From: 3, To: 4, TS: 99,
-			Req: Request{Origin: 3, Mode: modes.W, TS: 98}},
+		{Kind: KindRequest, Lock: 7, From: 3, To: 4, TS: 99, Trace: TraceID{Node: 3, Seq: 98},
+			Req: Request{Origin: 3, Mode: modes.W, TS: 98, Trace: TraceID{Node: 3, Seq: 98}}},
 		{Kind: KindGrant, Lock: 1, From: 0, To: 5, TS: 1, Seq: 17,
-			Mode: modes.R, Frozen: modes.MakeSet(modes.IW, modes.W)},
+			Mode: modes.R, Frozen: modes.MakeSet(modes.IW, modes.W),
+			Trace: TraceID{Node: 5, Seq: ^uint64(0)}},
 		{Kind: KindRelease, Lock: 3, From: 5, To: 0, TS: 2, Seq: ^uint64(0),
 			Owned: modes.IR},
 		{Kind: KindToken, Lock: 2, From: 9, To: 1, TS: 1234,
 			Mode: modes.W, Owned: modes.IR,
 			Queue: []Request{
-				{Origin: 2, Mode: modes.IR, TS: 7},
+				{Origin: 2, Mode: modes.IR, TS: 7, Trace: TraceID{Node: 2, Seq: 7}},
 				{Origin: 8, Mode: modes.U, TS: 11, Priority: 2},
 			},
 			Vec: []uint64{0, 5, ^uint64(0), 17}},
@@ -75,7 +76,8 @@ func sampleMessages() []*Message {
 		{Kind: KindFreeze, Lock: 88, From: 0, To: 6, TS: 42,
 			Frozen: modes.MakeSet(modes.IR, modes.R, modes.U, modes.IW, modes.W)},
 		{Kind: KindRequest, Lock: ^LockID(0), From: NoNode, To: NoNode, TS: ^Timestamp(0) - 1,
-			Req: Request{Origin: NoNode, Mode: modes.None, TS: 0}},
+			Trace: TraceID{Node: NoNode, Seq: ^uint64(0)},
+			Req:   Request{Origin: NoNode, Mode: modes.None, TS: 0, Trace: TraceID{Node: NoNode, Seq: ^uint64(0)}}},
 	}
 }
 
@@ -171,6 +173,7 @@ func TestQuickCodec(t *testing.T) {
 			Mode:   randMode(),
 			Owned:  randMode(),
 			Frozen: modes.Set(frozen & 0x3e), // only bits for IR..W
+			Trace:  TraceID{Node: NodeID(from), Seq: rng.Uint64()},
 			Req:    Request{Origin: NodeID(from), Mode: randMode(), TS: Timestamp(ts)},
 		}
 		for i := 0; i < int(qn%8); i++ {
@@ -178,6 +181,7 @@ func TestQuickCodec(t *testing.T) {
 				Origin: NodeID(rng.Int31()),
 				Mode:   randMode(),
 				TS:     Timestamp(rng.Uint64()),
+				Trace:  TraceID{Node: NodeID(rng.Int31()), Seq: rng.Uint64()},
 			})
 		}
 		got, err := DecodeMessage(AppendMessage(nil, m))

@@ -1,0 +1,181 @@
+package proto
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"reflect"
+	"testing"
+
+	"hierlock/internal/modes"
+)
+
+// appendMessageV1 encodes m in the retired version-1 layout (no trace
+// fields), exactly as a pre-trace peer would emit it. Test-only: the
+// production encoder always writes the current version.
+func appendMessageV1(dst []byte, m *Message) []byte {
+	dst = append(dst, wireVersionPrev, byte(m.Kind))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(m.Lock))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(m.From))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(m.To))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(m.TS))
+	dst = binary.BigEndian.AppendUint64(dst, m.Seq)
+	dst = append(dst, byte(m.Mode), byte(m.Owned), byte(m.Frozen))
+	dst = appendRequestV1(dst, m.Req)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(m.Queue)))
+	for _, r := range m.Queue {
+		dst = appendRequestV1(dst, r)
+	}
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(m.Vec)))
+	for _, v := range m.Vec {
+		dst = binary.BigEndian.AppendUint64(dst, v)
+	}
+	return dst
+}
+
+func appendRequestV1(dst []byte, r Request) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(r.Origin))
+	dst = append(dst, byte(r.Mode), r.Priority)
+	return binary.BigEndian.AppendUint64(dst, uint64(r.TS))
+}
+
+// stripTraces returns a copy of m with every trace ID zeroed — what a
+// version-1 frame of m must decode to.
+func stripTraces(m *Message) *Message {
+	c := *m
+	c.Trace = TraceID{}
+	c.Req.Trace = TraceID{}
+	if m.Queue != nil {
+		c.Queue = make([]Request, len(m.Queue))
+		copy(c.Queue, m.Queue)
+		for i := range c.Queue {
+			c.Queue[i].Trace = TraceID{}
+		}
+	}
+	return &c
+}
+
+// goldenMessage is the fixed fixture whose byte-exact encodings are
+// pinned below. Changing either hex constant is a wire format break.
+func goldenMessage() *Message {
+	return &Message{
+		Kind: KindToken, Lock: 0x1122334455667788, From: 3, To: 9,
+		TS: 4242, Seq: 7,
+		Mode: modes.W, Owned: modes.IR,
+		Frozen: modes.MakeSet(modes.IW, modes.W),
+		Trace:  TraceID{Node: 5, Seq: 77},
+		Req:    Request{Origin: 5, Mode: modes.W, TS: 70, Trace: TraceID{Node: 5, Seq: 77}},
+		Queue: []Request{
+			{Origin: 2, Mode: modes.R, TS: 80, Priority: 1, Trace: TraceID{Node: 2, Seq: 80}},
+		},
+		Vec: []uint64{1, 2},
+	}
+}
+
+const (
+	goldenFrameV2 = "0203112233445566778800000003000000090000000000001092" +
+		"000000000000000705013000000005000000000000004d" + // mode/owned/frozen, header trace
+		"000000050500000000000000004600000005000000000000004d" + // req + req trace
+		"0000000100000002020100000000000000500000000200000000000000500000000200000000000000010000000000000002"
+	goldenFrameV1 = "0103112233445566778800000003000000090000000000001092" +
+		"0000000000000007050130" +
+		"0000000505000000000000000046" +
+		"0000000100000002020100000000000000500000000200000000000000010000000000000002"
+)
+
+// TestWireGoldenFrames pins the byte-exact encoding of both wire
+// versions and checks each decodes back to the right message (the
+// version-1 frame loses its trace IDs, nothing else).
+func TestWireGoldenFrames(t *testing.T) {
+	m := goldenMessage()
+
+	gotV2 := hex.EncodeToString(AppendMessage(nil, m))
+	if gotV2 != goldenFrameV2 {
+		t.Errorf("v2 frame drifted:\n got: %s\nwant: %s", gotV2, goldenFrameV2)
+	}
+	gotV1 := hex.EncodeToString(appendMessageV1(nil, m))
+	if gotV1 != goldenFrameV1 {
+		t.Errorf("v1 frame drifted:\n got: %s\nwant: %s", gotV1, goldenFrameV1)
+	}
+
+	rawV2, err := hex.DecodeString(goldenFrameV2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeMessage(rawV2)
+	if err != nil {
+		t.Fatalf("decode v2 golden: %v", err)
+	}
+	if !reflect.DeepEqual(dec, m) {
+		t.Errorf("v2 golden decode mismatch:\n got: %+v\nwant: %+v", dec, m)
+	}
+
+	rawV1, err := hex.DecodeString(goldenFrameV1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err = DecodeMessage(rawV1)
+	if err != nil {
+		t.Fatalf("decode v1 golden: %v", err)
+	}
+	if want := stripTraces(m); !reflect.DeepEqual(dec, want) {
+		t.Errorf("v1 golden decode mismatch:\n got: %+v\nwant: %+v", dec, want)
+	}
+}
+
+// TestDecodeV1Compat round-trips every sample fixture through the
+// version-1 encoding: the decoder must accept it and produce the same
+// message with zero trace IDs.
+func TestDecodeV1Compat(t *testing.T) {
+	for i, m := range sampleMessages() {
+		got, err := DecodeMessage(appendMessageV1(nil, m))
+		if err != nil {
+			t.Fatalf("msg %d: decode v1: %v", i, err)
+		}
+		if want := stripTraces(m); !reflect.DeepEqual(got, want) {
+			t.Errorf("msg %d: v1 compat mismatch:\n got: %+v\nwant: %+v", i, got, want)
+		}
+	}
+}
+
+// TestDecodeRejectsMixedVersions checks that frames from peers speaking
+// any version other than the current or previous one fail fast with
+// ErrBadVersion — a version-3 (future) peer and garbage versions alike.
+func TestDecodeRejectsMixedVersions(t *testing.T) {
+	valid := AppendMessage(nil, goldenMessage())
+	for _, v := range []byte{0, 3, 4, 99, 0xff} {
+		frame := append([]byte{v}, valid[1:]...)
+		_, err := DecodeMessage(frame)
+		if !errors.Is(err, ErrBadVersion) {
+			t.Errorf("version %d: err = %v, want ErrBadVersion", v, err)
+		}
+	}
+	// A truncated version-2 frame that would be a well-formed version-1
+	// payload by length must still parse as version 2 (and fail): the
+	// version byte, not the length, selects the layout.
+	short := append([]byte{wireVersion}, appendMessageV1(nil, goldenMessage())[1:]...)
+	if _, err := DecodeMessage(short); err == nil {
+		t.Error("v2 frame with v1-length body accepted")
+	}
+}
+
+func TestTraceIDStringParse(t *testing.T) {
+	cases := []TraceID{{}, {Node: 0, Seq: 1}, {Node: 3, Seq: 17}, {Node: -1, Seq: ^uint64(0)}}
+	for _, id := range cases {
+		got, err := ParseTraceID(id.String())
+		if err != nil || got != id {
+			t.Errorf("ParseTraceID(%q) = %v, %v; want %v", id.String(), got, err, id)
+		}
+	}
+	if (TraceID{}).String() != "-" {
+		t.Error("zero TraceID must render as -")
+	}
+	if (TraceID{Node: 3, Seq: 17}).String() != "n3.17" {
+		t.Errorf("String = %q", TraceID{Node: 3, Seq: 17}.String())
+	}
+	for _, bad := range []string{"x3.17", "n3", "n.17", "nA.17", "n3.B"} {
+		if _, err := ParseTraceID(bad); err == nil {
+			t.Errorf("ParseTraceID(%q) accepted", bad)
+		}
+	}
+}

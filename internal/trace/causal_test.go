@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"hierlock/internal/modes"
+	"hierlock/internal/proto"
+)
+
+// causalFixture builds the per-node dumps of a forwarded request served
+// by token transfer: node 2 requests W, node 0 forwards to node 1, node
+// 1 ships the token to node 2. Node 0's clock is skewed early so a naive
+// timestamp sort would place its delivery before the matching send.
+func causalFixture() (proto.TraceID, []Dump) {
+	tr := proto.TraceID{Node: 2, Seq: 50}
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	origin := Dump{Node: 2, Entries: []Entry{
+		{Op: OpAcquire, Node: 2, Lock: 7, Mode: modes.W, At: ms(10), Trace: tr},
+		{Op: OpSend, Node: 2, Lock: 7, Mode: modes.W, Kind: proto.KindRequest, From: 2, To: 0, At: ms(11), Trace: tr},
+		{Op: OpDeliver, Node: 2, Lock: 7, Mode: modes.W, Kind: proto.KindToken, From: 1, To: 2, At: ms(19), Trace: tr},
+		{Op: OpGranted, Node: 2, Lock: 7, Mode: modes.W, At: ms(20), Trace: tr},
+	}}
+	router := Dump{Node: 0, Entries: []Entry{
+		// Skewed: records its delivery "before" the origin's send time.
+		{Op: OpDeliver, Node: 0, Lock: 7, Mode: modes.W, Kind: proto.KindRequest, From: 2, To: 0, At: ms(2), Trace: tr},
+		{Op: OpSend, Node: 0, Lock: 7, Mode: modes.W, Kind: proto.KindRequest, From: 0, To: 1, At: ms(3), Trace: tr},
+	}}
+	granter := Dump{Node: 1, Entries: []Entry{
+		{Op: OpDeliver, Node: 1, Lock: 7, Mode: modes.W, Kind: proto.KindRequest, From: 0, To: 1, At: ms(15), Trace: tr},
+		{Op: OpSend, Node: 1, Lock: 7, Mode: modes.W, Kind: proto.KindToken, From: 1, To: 2, At: ms(16), Trace: tr},
+	}}
+	return tr, []Dump{granter, origin, router} // deliberately out of order
+}
+
+func TestAssembleCausal(t *testing.T) {
+	tr, dumps := causalFixture()
+	paths := AssembleCausal(dumps)
+	if len(paths) != 1 {
+		t.Fatalf("paths = %d, want 1", len(paths))
+	}
+	p := paths[0]
+	if p.Trace != tr || p.Origin != 2 || p.Lock != 7 || p.Mode != modes.W {
+		t.Fatalf("path header: %+v", p)
+	}
+	if !p.Complete {
+		t.Fatal("grant at origin must complete the path")
+	}
+	if len(p.Steps) != 8 {
+		t.Fatalf("steps = %d, want 8", len(p.Steps))
+	}
+
+	// Causality: every delivery after its matching send, despite node 0's
+	// skewed clock.
+	pos := func(op Op, kind proto.Kind, from, to proto.NodeID) int {
+		for i, e := range p.Steps {
+			if e.Op == op && e.Kind == kind && e.From == from && e.To == to {
+				return i
+			}
+		}
+		t.Fatalf("step %v %v %d->%d not found", op, kind, from, to)
+		return -1
+	}
+	for _, hop := range [][2]proto.NodeID{{2, 0}, {0, 1}} {
+		if pos(OpSend, proto.KindRequest, hop[0], hop[1]) > pos(OpDeliver, proto.KindRequest, hop[0], hop[1]) {
+			t.Errorf("request %d->%d delivered before sent", hop[0], hop[1])
+		}
+	}
+	if pos(OpSend, proto.KindToken, 1, 2) > pos(OpDeliver, proto.KindToken, 1, 2) {
+		t.Error("token delivered before sent")
+	}
+
+	if got := p.ForwardedHops(); got != 1 {
+		t.Errorf("ForwardedHops = %d, want 1", got)
+	}
+	hops := p.Hops()
+	if len(hops) != 3 {
+		t.Fatalf("hops = %d, want 3 (request, forward, token)", len(hops))
+	}
+	out := p.Format(false)
+	for _, want := range []string{"trace n2.50", "(forwarded)", "request 2 → 0", "request 0 → 1", "token   1 → 2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestAssembleCausalPartial drops the forwarding node's buffer: the
+// orphaned delivery must still be placed (fallback) and the path still
+// completes.
+func TestAssembleCausalPartial(t *testing.T) {
+	_, dumps := causalFixture()
+	partial := []Dump{dumps[0], dumps[1]} // granter + origin, no router
+	paths := AssembleCausal(partial)
+	if len(paths) != 1 {
+		t.Fatalf("paths = %d, want 1", len(paths))
+	}
+	p := paths[0]
+	if !p.Complete || len(p.Steps) != 6 {
+		t.Fatalf("partial path: complete=%v steps=%d", p.Complete, len(p.Steps))
+	}
+	// The request delivery at node 1 has no retained send — it must still
+	// appear as a hop.
+	if len(p.Hops()) != 3 {
+		t.Fatalf("hops = %d, want 3", len(p.Hops()))
+	}
+}
+
+// TestAssembleCausalDedup feeds the same node's dump twice; the
+// duplicate must be ignored.
+func TestAssembleCausalDedup(t *testing.T) {
+	_, dumps := causalFixture()
+	paths := AssembleCausal(append(dumps, dumps[1]))
+	if len(paths) != 1 || len(paths[0].Steps) != 8 {
+		t.Fatalf("dedup failed: %d paths, %d steps", len(paths), len(paths[0].Steps))
+	}
+}
+
+// TestAssembleCausalMultipleTraces checks traces are split and ordered
+// by (origin node, sequence).
+func TestAssembleCausalMultipleTraces(t *testing.T) {
+	trA := proto.TraceID{Node: 1, Seq: 5}
+	trB := proto.TraceID{Node: 0, Seq: 9}
+	d := Dump{Node: 0, Entries: []Entry{
+		{Op: OpAcquire, Node: 0, Lock: 1, Mode: modes.R, Trace: trB},
+		{Op: OpDeliver, Node: 0, Kind: proto.KindRequest, From: 1, To: 0, Lock: 2, Mode: modes.W, Trace: trA},
+		{Op: OpGranted, Node: 0, Lock: 1, Mode: modes.R, Trace: trB},
+		{Op: OpSend, Node: 0, Kind: proto.KindToken, From: 0, To: 1, Lock: 2, Mode: modes.W, Trace: trA},
+		{Op: OpRelease, Node: 0, Lock: 3, Mode: modes.R}, // untraced: ignored
+	}}
+	paths := AssembleCausal([]Dump{d})
+	if len(paths) != 2 {
+		t.Fatalf("paths = %d, want 2", len(paths))
+	}
+	if paths[0].Trace != trB || paths[1].Trace != trA {
+		t.Fatalf("order: %v, %v", paths[0].Trace, paths[1].Trace)
+	}
+	if !paths[0].Complete {
+		t.Error("trB granted at origin must be complete")
+	}
+	if paths[1].Complete {
+		t.Error("trA has no grant at origin; must be incomplete")
+	}
+}

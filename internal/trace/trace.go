@@ -63,23 +63,32 @@ type Entry struct {
 	Seq  uint64        // monotonically increasing per recorder
 	At   time.Duration // virtual (simulator) or wall-relative time
 	Op   Op
-	Node proto.NodeID // acting node
+	Node proto.NodeID // acting node (sender for sends, receiver for delivers)
 	Lock proto.LockID
 	Mode modes.Mode
-	// Message fields (OpSend / OpDeliver only).
+	// Message fields (OpSend / OpDeliver and the fault ops only).
 	Kind     proto.Kind
 	From, To proto.NodeID
+	// Trace is the causal identity of the client operation this event
+	// belongs to (zero when untraced). Entries sharing a Trace across the
+	// per-node buffers of a cluster are one operation's causal path; see
+	// AssembleCausal.
+	Trace proto.TraceID
 }
 
 // String renders the entry compactly.
 func (e Entry) String() string {
+	tr := ""
+	if !e.Trace.IsZero() {
+		tr = " trace=" + e.Trace.String()
+	}
 	switch e.Op {
 	case OpSend, OpDeliver, OpDrop, OpDup, OpDefer:
-		return fmt.Sprintf("%8.3fs #%d %-7s %v %d→%d lock=%d mode=%v",
-			e.At.Seconds(), e.Seq, e.Op, e.Kind, e.From, e.To, e.Lock, e.Mode)
+		return fmt.Sprintf("%8.3fs #%d %-7s %v %d→%d lock=%d mode=%v%s",
+			e.At.Seconds(), e.Seq, e.Op, e.Kind, e.From, e.To, e.Lock, e.Mode, tr)
 	default:
-		return fmt.Sprintf("%8.3fs #%d %-7s node=%d lock=%d mode=%v",
-			e.At.Seconds(), e.Seq, e.Op, e.Node, e.Lock, e.Mode)
+		return fmt.Sprintf("%8.3fs #%d %-7s node=%d lock=%d mode=%v%s",
+			e.At.Seconds(), e.Seq, e.Op, e.Node, e.Lock, e.Mode, tr)
 	}
 }
 
@@ -90,12 +99,33 @@ type Recorder struct {
 	// before the mutex so a paused recorder costs one atomic load.
 	disabled atomic.Bool
 
+	// tap, when set, observes every entry offered to the recorder —
+	// before ring admission, regardless of capacity eviction and of the
+	// pause state — so an online checker (internal/audit) sees the
+	// complete event stream even while the debug ring is paused or
+	// churning. The callback runs on the recording goroutine and must not
+	// block or call back into the Recorder.
+	tap atomic.Pointer[func(Entry)]
+
 	mu      sync.Mutex
 	entries []Entry
 	next    int
 	full    bool
 	seq     uint64
 	dropped uint64
+}
+
+// SetTap installs fn as the recorder's observer (nil removes it). See the
+// tap field for the delivery contract. No-op on a nil recorder.
+func (r *Recorder) SetTap(fn func(Entry)) {
+	if r == nil {
+		return
+	}
+	if fn == nil {
+		r.tap.Store(nil)
+		return
+	}
+	r.tap.Store(&fn)
 }
 
 // SetEnabled starts or pauses recording at runtime. Entries recorded
@@ -123,9 +153,16 @@ func New(capacity int) *Recorder {
 }
 
 // Record appends an entry (nil recorders discard silently, so call sites
-// need no guards).
+// need no guards). An installed tap observes the entry first — with its
+// Seq still unassigned — even when the ring is paused.
 func (r *Recorder) Record(e Entry) {
-	if r == nil || r.disabled.Load() {
+	if r == nil {
+		return
+	}
+	if fn := r.tap.Load(); fn != nil {
+		(*fn)(e)
+	}
+	if r.disabled.Load() {
 		return
 	}
 	r.mu.Lock()

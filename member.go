@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"strconv"
 	"sync"
 	"time"
@@ -74,6 +75,10 @@ type Telemetry struct {
 	// point-to-point network delay). Default 150ms, the paper's testbed
 	// latency.
 	NetLatencyBase time.Duration
+	// Logger receives structured protocol logs (grants at Debug, internal
+	// protocol errors at Error), each correlated by trace ID. Nil
+	// disables logging.
+	Logger *slog.Logger
 }
 
 // telemetry is the member's wired instrumentation state: cached series
@@ -81,6 +86,7 @@ type Telemetry struct {
 type telemetry struct {
 	reg   *metrics.Registry
 	rec   *trace.Recorder
+	log   *slog.Logger
 	epoch time.Time
 	base  time.Duration
 
@@ -95,6 +101,24 @@ type telemetry struct {
 
 // now returns the wall-relative trace timestamp.
 func (t *telemetry) now() time.Duration { return time.Since(t.epoch) }
+
+// newTraceLocked mints a cluster-unique causal trace ID for a client
+// operation starting at this member: the member's identity plus a fresh
+// Lamport tick (the same clock the engines advance, so IDs stay unique
+// across local and message-driven activity). Callers hold m.mu.
+func (m *Member) newTraceLocked() proto.TraceID {
+	return proto.TraceID{Node: m.id, Seq: uint64(m.clock.Tick())}
+}
+
+// msgTrace extracts a message's causal trace ID: requests carry it in
+// the embedded Request (authoritative even on v1 peers that zero the
+// header copy), everything else in the header.
+func msgTrace(msg *proto.Message) proto.TraceID {
+	if msg.Kind == proto.KindRequest && !msg.Req.Trace.IsZero() {
+		return msg.Req.Trace
+	}
+	return msg.Trace
+}
 
 // countSent records one outbound protocol message.
 func (t *telemetry) countSent(k proto.Kind) {
@@ -116,6 +140,7 @@ func (m *Member) SetTelemetry(t Telemetry) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.tel.rec = t.Trace
+	m.tel.log = t.Logger
 	m.tel.epoch = time.Now()
 	m.tel.base = t.NetLatencyBase
 	if m.tel.base <= 0 {
@@ -421,9 +446,10 @@ func (m *Member) LockWithPriority(ctx context.Context, resource string, mode Mod
 	}
 	m.resNames[lockID] = resource
 	m.tel.requests.Inc()
+	tr := m.newTraceLocked()
 	if rec := m.tel.rec; rec != nil {
 		rec.Record(trace.Entry{At: m.tel.now(), Op: trace.OpAcquire,
-			Node: m.id, Lock: lockID, Mode: mode})
+			Node: m.id, Lock: lockID, Mode: mode, Trace: tr})
 	}
 	if h := m.holds[lockID]; h != nil && !h.upgrading &&
 		h.mode == mode && modes.Compatible(mode, mode) {
@@ -433,7 +459,11 @@ func (m *Member) LockWithPriority(ctx context.Context, resource string, mode Mod
 		m.tel.acquires.Inc()
 		if rec := m.tel.rec; rec != nil {
 			rec.Record(trace.Entry{At: m.tel.now(), Op: trace.OpGranted,
-				Node: m.id, Lock: lockID, Mode: mode})
+				Node: m.id, Lock: lockID, Mode: mode, Trace: tr})
+		}
+		if lg := m.tel.log; lg != nil {
+			lg.Debug("lock granted", "trace", tr.String(), "resource", resource,
+				"mode", mode.String(), "shared_join", true)
 		}
 		m.mu.Unlock()
 		return &Lock{m: m, id: lockID, resource: resource, mode: mode}, nil
@@ -457,7 +487,7 @@ func (m *Member) LockWithPriority(ctx context.Context, resource string, mode Mod
 	}
 	w := &waiter{ch: make(chan hlock.Event, 1)}
 	m.waiters[lockID] = w
-	out, err := m.engine(lockID).AcquirePri(mode, priority)
+	out, err := m.engine(lockID).AcquireTraced(mode, priority, tr)
 	if err != nil {
 		delete(m.waiters, lockID)
 		m.mu.Unlock()
@@ -551,11 +581,12 @@ func (l *Lock) Unlock() error {
 		return nil
 	}
 	delete(m.holds, l.id)
+	tr := m.newTraceLocked()
 	if rec := m.tel.rec; rec != nil {
 		rec.Record(trace.Entry{At: m.tel.now(), Op: trace.OpRelease,
-			Node: m.id, Lock: l.id})
+			Node: m.id, Lock: l.id, Trace: tr})
 	}
-	out, err := m.engine(l.id).Release()
+	out, err := m.engine(l.id).ReleaseTraced(tr)
 	if err != nil {
 		return err
 	}
@@ -596,13 +627,14 @@ func (l *Lock) Upgrade(ctx context.Context) error {
 		h.upgrading = true // U is never shared, so refs == 1 here
 	}
 	m.tel.requests.Inc()
+	tr := m.newTraceLocked()
 	if rec := m.tel.rec; rec != nil {
 		rec.Record(trace.Entry{At: m.tel.now(), Op: trace.OpAcquire,
-			Node: m.id, Lock: l.id, Mode: modes.W})
+			Node: m.id, Lock: l.id, Mode: modes.W, Trace: tr})
 	}
 	w := &waiter{ch: make(chan hlock.Event, 1)}
 	m.waiters[l.id] = w
-	out, err := m.engine(l.id).Upgrade()
+	out, err := m.engine(l.id).UpgradeTraced(0, tr)
 	if err != nil {
 		delete(m.waiters, l.id)
 		if h := m.holds[l.id]; h != nil {
@@ -654,7 +686,7 @@ func (m *Member) handle(msg *proto.Message) {
 	if rec := m.tel.rec; rec != nil {
 		rec.Record(trace.Entry{At: m.tel.now(), Op: trace.OpDeliver,
 			Node: m.id, Lock: msg.Lock, Mode: msg.Mode,
-			Kind: msg.Kind, From: msg.From, To: msg.To})
+			Kind: msg.Kind, From: msg.From, To: msg.To, Trace: msgTrace(msg)})
 	}
 	if msg.Kind == proto.KindToken && m.tel.reg != nil {
 		m.tel.reg.Counter(metrics.MetricTokenTransfers,
@@ -662,8 +694,15 @@ func (m *Member) handle(msg *proto.Message) {
 			metrics.Labels{"lock": m.lockLabelLocked(msg.Lock), "direction": "in"}).Inc()
 	}
 	out, err := m.engine(msg.Lock).Handle(msg)
-	if err != nil && m.firstEr == nil {
-		m.firstEr = err
+	if err != nil {
+		if m.firstEr == nil {
+			m.firstEr = err
+		}
+		if lg := m.tel.log; lg != nil {
+			lg.Error("protocol error", "err", err, "kind", msg.Kind.String(),
+				"lock", uint64(msg.Lock), "from", int(msg.From),
+				"trace", msgTrace(msg).String())
+		}
 	}
 	m.dispatchLocked(msg.Lock, out)
 }
@@ -677,7 +716,7 @@ func (m *Member) dispatchLocked(lock proto.LockID, out hlock.Out) {
 		if rec := m.tel.rec; rec != nil {
 			rec.Record(trace.Entry{At: m.tel.now(), Op: trace.OpSend,
 				Node: m.id, Lock: msg.Lock, Mode: msg.Mode,
-				Kind: msg.Kind, From: msg.From, To: msg.To})
+				Kind: msg.Kind, From: msg.From, To: msg.To, Trace: msgTrace(msg)})
 		}
 		if msg.Kind == proto.KindToken && m.tel.reg != nil {
 			m.tel.reg.Counter(metrics.MetricTokenTransfers,
@@ -702,9 +741,9 @@ func (m *Member) dispatchLocked(lock proto.LockID, out hlock.Out) {
 			switch {
 			case w.abandoned, w.releaseOnUpgrade:
 				// The client gave up (or unlocked mid-upgrade): release
-				// immediately.
+				// immediately, under the abandoned request's trace.
 				delete(m.holds, lock)
-				rout, err := m.engines[lock].Release()
+				rout, err := m.engines[lock].ReleaseTraced(ev.Trace)
 				if err != nil && m.firstEr == nil {
 					m.firstEr = err
 				}
@@ -721,7 +760,11 @@ func (m *Member) dispatchLocked(lock proto.LockID, out hlock.Out) {
 				}
 				if rec := m.tel.rec; rec != nil {
 					rec.Record(trace.Entry{At: m.tel.now(), Op: trace.OpGranted,
-						Node: m.id, Lock: lock, Mode: ev.Mode})
+						Node: m.id, Lock: lock, Mode: ev.Mode, Trace: ev.Trace})
+				}
+				if lg := m.tel.log; lg != nil {
+					lg.Debug("lock granted", "trace", ev.Trace.String(),
+						"lock", uint64(lock), "mode", ev.Mode.String())
 				}
 				w.ch <- ev
 			}
