@@ -1,7 +1,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: build test vet lint race chaos bench bench-record audit ci clean
+.PHONY: build test vet lint race chaos bench bench-record bench-compare audit ci clean
 
 build:
 	$(GO) build ./...
@@ -34,21 +34,27 @@ chaos:
 # overhead benches (histogram/counter/trace-record, including the
 # nil-handle disabled paths, which must report 0 allocs/op).
 bench:
-	$(GO) test -run '^$$' -bench . -benchmem . ./internal/hlock ./internal/metrics ./internal/trace
+	$(GO) test -run '^$$' -bench . -benchmem . ./internal/hlock ./internal/metrics ./internal/trace ./internal/proto
 
 # Record a benchmark snapshot — the paper's Figure 5/6/7 CSVs plus the
-# microbenchmark output — into BENCH_pr3.json so PRs can be compared.
+# microbenchmark output — into BENCH_pr4.json so PRs can be compared.
 bench-record:
-	$(GO) run ./cmd/benchrecord -o BENCH_pr3.json
+	$(GO) run ./cmd/benchrecord -o BENCH_pr4.json
+
+# Compare the current snapshot against the previous PR's baseline and
+# fail on any >10% protocol-engine microbenchmark regression.
+bench-compare:
+	$(GO) run ./cmd/benchcompare -old BENCH_pr3.json -new BENCH_pr4.json -threshold 0.10
 
 # The online protocol auditor's invariant tests, under the race
 # detector (they replay violating and healthy trace streams).
 audit:
 	$(GO) test -race -count=1 ./internal/audit/
 
-# What CI runs: build, go vet + gofmt drift, the full suite under
-# -race (tier-1), and the auditor invariants.
-ci: build lint race audit
+# What CI runs: build, go vet + gofmt drift, the plain test pass (which
+# includes the codec allocation assertions compiled out under -race),
+# the full suite under -race (tier-1), and the auditor invariants.
+ci: build lint test race audit
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,147 @@
+// Command benchcompare guards against hot-path performance regressions
+// between two benchmark snapshots produced by `make bench-record`. It
+// parses the raw `go test -bench` output embedded in each snapshot's
+// go_bench field, matches benchmarks by name, and fails (exit 1) if any
+// benchmark selected by -filter slowed down by more than -threshold.
+//
+//	benchcompare -old BENCH_pr3.json -new BENCH_pr4.json
+//	benchcompare -filter '.' -threshold 0.25   # everything, looser bar
+//
+// The default filter covers the protocol-engine microbenchmarks, which
+// are deterministic single-goroutine loops and therefore stable enough
+// to gate on; the simulator figure benchmarks are whole-system numbers
+// with more run-to-run noise and are reported but not gated by default.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type snapshot struct {
+	GitRev  string `json:"git_rev"`
+	GoBench string `json:"go_bench"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkQueueChurn-4   1000000   1234 ns/op   16 B/op   1 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+func parseBench(raw string) map[string]float64 {
+	out := make(map[string]float64)
+	for _, line := range strings.Split(raw, "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		out[m[1]] = ns
+	}
+	return out
+}
+
+func load(path string) (*snapshot, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s snapshot
+	if err := json.Unmarshal(buf, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if s.GoBench == "" {
+		return nil, fmt.Errorf("%s: no go_bench section (recorded with -bench=false?)", path)
+	}
+	return &s, nil
+}
+
+func main() {
+	var (
+		oldPath   = flag.String("old", "BENCH_pr3.json", "baseline snapshot")
+		newPath   = flag.String("new", "BENCH_pr4.json", "candidate snapshot")
+		threshold = flag.Float64("threshold", 0.10, "max allowed ns/op regression (fraction)")
+		filter    = flag.String("filter",
+			"LocalAcquireRelease|RequestGrantRoundTrip|QueueChurn|Fingerprint",
+			"regexp selecting which benchmarks gate the comparison")
+	)
+	flag.Parse()
+
+	gate, err := regexp.Compile(*filter)
+	if err != nil {
+		fatalf("bad -filter: %v", err)
+	}
+	oldSnap, err := load(*oldPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	newSnap, err := load(*newPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	oldBench := parseBench(oldSnap.GoBench)
+	newBench := parseBench(newSnap.GoBench)
+	if len(oldBench) == 0 || len(newBench) == 0 {
+		fatalf("no benchmark lines parsed (old %d, new %d)", len(oldBench), len(newBench))
+	}
+
+	fmt.Printf("benchcompare: %s (%s) -> %s (%s), gating on /%s/ at %+.0f%%\n",
+		*oldPath, rev(oldSnap), *newPath, rev(newSnap), *filter, *threshold*100)
+
+	names := make([]string, 0, len(oldBench))
+	for name := range oldBench {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failed := 0
+	for _, name := range names {
+		oldNs := oldBench[name]
+		newNs, ok := newBench[name]
+		if !ok {
+			fmt.Printf("  MISSING  %-50s baseline %.1f ns/op, absent in candidate\n", name, oldNs)
+			continue
+		}
+		delta := (newNs - oldNs) / oldNs
+		gated := gate.MatchString(name)
+		status := "ok      "
+		if gated && delta > *threshold {
+			status = "REGRESSED"
+			failed++
+		} else if !gated {
+			status = "info    "
+		}
+		fmt.Printf("  %s %-50s %10.1f -> %10.1f ns/op  (%+.1f%%)\n",
+			status, name, oldNs, newNs, delta*100)
+	}
+	for name := range newBench {
+		if _, ok := oldBench[name]; !ok && gate.MatchString(name) {
+			fmt.Printf("  NEW      %-50s %.1f ns/op (no baseline)\n", name, newBench[name])
+		}
+	}
+	if failed > 0 {
+		fatalf("%d gated benchmark(s) regressed more than %.0f%%", failed, *threshold*100)
+	}
+	fmt.Println("benchcompare: no gated regressions")
+}
+
+func rev(s *snapshot) string {
+	if s.GitRev == "" {
+		return "?"
+	}
+	return s.GitRev
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "benchcompare: "+format+"\n", args...)
+	os.Exit(1)
+}

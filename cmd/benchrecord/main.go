@@ -2,9 +2,9 @@
 // tree: the paper's Figure 5/6/7 simulations as CSV plus the Go
 // microbenchmark output for the hot-path packages, bundled into one
 // JSON file so successive PRs can be compared (`make bench-record`
-// writes BENCH_pr3.json).
+// writes BENCH_pr4.json).
 //
-//	benchrecord -o BENCH_pr3.json
+//	benchrecord -o BENCH_pr4.json
 //	benchrecord -nodes 2,8,16,32,64,120 -duration 300s   # full paper sweep
 package main
 
@@ -43,7 +43,7 @@ type record struct {
 
 func main() {
 	var (
-		out      = flag.String("o", "BENCH_pr3.json", "output file (- for stdout)")
+		out      = flag.String("o", "BENCH_pr4.json", "output file (- for stdout)")
 		nodes    = flag.String("nodes", "2,8,16,32", "comma-separated node counts for the figure sweeps")
 		duration = flag.Duration("duration", 60*time.Second, "virtual measurement window per cell")
 		warmup   = flag.Duration("warmup", 10*time.Second, "virtual warmup per cell")
@@ -92,7 +92,7 @@ func main() {
 
 	if *bench {
 		args := []string{"test", "-run", "^$", "-bench", ".", "-benchmem",
-			".", "./internal/hlock", "./internal/metrics", "./internal/trace"}
+			".", "./internal/hlock", "./internal/metrics", "./internal/trace", "./internal/proto"}
 		fmt.Fprintf(os.Stderr, "benchrecord: go %s\n", strings.Join(args, " "))
 		b, err := exec.Command("go", args...).CombinedOutput()
 		if err != nil {

@@ -173,6 +173,12 @@ func (c *Cluster) oracleAcquire(lock proto.LockID, node proto.NodeID, m modes.Mo
 		At: c.Sim.Now(), Op: trace.OpGranted, Node: node, Lock: lock, Mode: m, Trace: tr,
 	})
 	holders := c.oracle[lock]
+	if holders == nil {
+		// Engines are created lazily, so a grant can arrive for a lock the
+		// configuration never named (e.g. a workload-generated ID).
+		holders = make(map[proto.NodeID]modes.Mode)
+		c.oracle[lock] = holders
+	}
 	for other, om := range holders {
 		if other != node && !modes.Compatible(om, m) {
 			c.fail(fmt.Errorf("cluster: mutual exclusion violated on lock %d: node %d holds %v while node %d acquires %v",
@@ -224,7 +230,17 @@ func (c *Cluster) CheckTokens() error {
 		for _, n := range c.Nodes {
 			switch {
 			case n.hier != nil:
-				if e := n.hier[lock]; e != nil && e.IsToken() {
+				switch e := n.hier[lock]; {
+				case e != nil && e.IsToken():
+					holders = append(holders, n.ID)
+				case e == nil && n.ID == 0:
+					// An absent engine (evicted, or never created) sits at
+					// the initial topology, where node 0 holds the token;
+					// lazily re-creating node 0's engine restores it. A
+					// non-root engine can never be evicted while holding the
+					// token (that is not its initial state), so counting
+					// node 0 here keeps conservation checking exact under
+					// eviction.
 					holders = append(holders, n.ID)
 				}
 			case n.naimi != nil:
@@ -269,6 +285,7 @@ type Node struct {
 	c       *Cluster
 	clock   proto.Clock
 	hier    map[proto.LockID]*hlock.Engine
+	opts    hlock.Options
 	naimi   map[proto.LockID]*naimi.Engine
 	raymond map[proto.LockID]*raymond.Engine
 	suzuki  map[proto.LockID]*suzuki.Engine
@@ -321,12 +338,84 @@ func newNode(c *Cluster, id proto.NodeID, cfg Config) *Node {
 			n.ricart[l] = ricart.New(id, l, cfg.Nodes, &n.clock)
 		}
 	default:
+		// Hierarchical engines are created lazily (and evicted when idle)
+		// to mirror the live member runtime; see hierEngine.
 		n.hier = make(map[proto.LockID]*hlock.Engine, len(cfg.Locks))
-		for _, l := range cfg.Locks {
-			n.hier[l] = hlock.New(id, l, initialParent, hasToken, &n.clock, cfg.Options)
-		}
+		n.opts = cfg.Options
 	}
 	return n
+}
+
+// hierEngine returns (creating lazily) the hierarchical engine for a
+// lock. Every node derives the same initial topology — node 0 holds the
+// token and is everyone's initial parent — so a freshly created engine
+// is protocol-correct regardless of when it springs into existence.
+// This is the same lazy-creation scheme the live member runtime uses,
+// keeping simulated and live state lifecycles identical.
+func (n *Node) hierEngine(lock proto.LockID) *hlock.Engine {
+	e, ok := n.hier[lock]
+	if !ok {
+		e = hlock.New(n.ID, lock, 0, n.ID == 0, &n.clock, n.opts)
+		n.hier[lock] = e
+	}
+	return e
+}
+
+// hierEvictThreshold is the tracked-lock count that triggers an
+// idle-engine sweep on a node (mirrors the member runtime's
+// per-stripe threshold; see Member.maybeEvict for the rationale).
+const hierEvictThreshold = 64
+
+// maybeEvictHier sweeps idle hierarchical engines once the node tracks
+// more than hierEvictThreshold locks. An engine is idle when no request
+// is outstanding on it and it is observably identical to a freshly
+// created one (AtInitialState), so dropping and lazily re-creating it
+// has no protocol effect.
+func (n *Node) maybeEvictHier() {
+	if len(n.hier) < hierEvictThreshold {
+		return
+	}
+	n.sweepHier()
+}
+
+func (n *Node) sweepHier() int {
+	evicted := 0
+	for lock, e := range n.hier {
+		if _, waiting := n.waiters[lock]; waiting {
+			continue
+		}
+		if e.AtInitialState() {
+			delete(n.hier, lock)
+			evicted++
+		}
+	}
+	return evicted
+}
+
+// EvictIdle immediately evicts every idle hierarchical engine on the
+// node, returning the number evicted (no-op on baseline protocols).
+func (n *Node) EvictIdle() int {
+	if n.hier == nil {
+		return 0
+	}
+	return n.sweepHier()
+}
+
+// TrackedLocks returns the number of locks the node currently holds
+// engine state for.
+func (n *Node) TrackedLocks() int {
+	switch {
+	case n.hier != nil:
+		return len(n.hier)
+	case n.naimi != nil:
+		return len(n.naimi)
+	case n.raymond != nil:
+		return len(n.raymond)
+	case n.suzuki != nil:
+		return len(n.suzuki)
+	default:
+		return len(n.ricart)
+	}
 }
 
 // Acquire requests lock in mode m; done runs when the lock is held
@@ -381,12 +470,11 @@ func (n *Node) AcquirePri(lock proto.LockID, m modes.Mode, priority uint8, done 
 		n.dispatchExcl(lock, out.Msgs, out.Acquired, done)
 		return
 	}
-	e, ok := n.hier[lock]
-	if !ok {
+	if n.hier == nil {
 		n.c.fail(fmt.Errorf("cluster: node %d has no engine for lock %d", n.ID, lock))
 		return
 	}
-	out, err := e.AcquireTraced(m, priority, tr)
+	out, err := n.hierEngine(lock).AcquireTraced(m, priority, tr)
 	if err != nil {
 		n.c.fail(fmt.Errorf("node %d lock %d: %w", n.ID, lock, err))
 		return
@@ -401,11 +489,11 @@ func (n *Node) Upgrade(lock proto.LockID, done func()) {
 
 // UpgradePri is Upgrade with a queue priority for the W self-request.
 func (n *Node) UpgradePri(lock proto.LockID, priority uint8, done func()) {
-	e, ok := n.hier[lock]
-	if !ok {
+	if n.hier == nil {
 		n.c.fail(fmt.Errorf("cluster: upgrade on non-hierarchical lock %d", lock))
 		return
 	}
+	e := n.hierEngine(lock)
 	n.c.Requests++
 	n.c.tel.requests.Inc()
 	tr := n.newTrace()
@@ -460,12 +548,13 @@ func (n *Node) Release(lock proto.LockID) {
 		n.dispatchExcl(lock, out.Msgs, out.Acquired, nil)
 		return
 	}
-	out, err := n.hier[lock].ReleaseTraced(tr)
+	out, err := n.hierEngine(lock).ReleaseTraced(tr)
 	if err != nil {
 		n.c.fail(fmt.Errorf("node %d lock %d: %w", n.ID, lock, err))
 		return
 	}
 	n.dispatchHier(lock, out, nil)
+	n.maybeEvictHier()
 }
 
 // Held returns the mode this node holds on the lock (None if not held).
@@ -489,8 +578,14 @@ func (n *Node) Held(lock proto.LockID) modes.Mode {
 }
 
 // HierEngine exposes the hierarchical engine for a lock (tests and
-// structural checks); nil for Naimi clusters.
-func (n *Node) HierEngine(lock proto.LockID) *hlock.Engine { return n.hier[lock] }
+// structural checks), creating it lazily like any protocol-driven
+// access; nil for baseline-protocol clusters.
+func (n *Node) HierEngine(lock proto.LockID) *hlock.Engine {
+	if n.hier == nil {
+		return nil
+	}
+	return n.hierEngine(lock)
+}
 
 // NaimiEngine exposes the baseline engine for a lock; nil for
 // hierarchical clusters.
@@ -533,17 +628,17 @@ func (n *Node) handle(msg *proto.Message) {
 		n.dispatchExcl(msg.Lock, out.Msgs, out.Acquired, nil)
 		return
 	}
-	e, ok := n.hier[msg.Lock]
-	if !ok {
+	if n.hier == nil {
 		n.c.fail(fmt.Errorf("cluster: node %d received message for unknown lock %d", n.ID, msg.Lock))
 		return
 	}
-	out, err := e.Handle(msg)
+	out, err := n.hierEngine(msg.Lock).Handle(msg)
 	if err != nil {
 		n.c.fail(fmt.Errorf("node %d lock %d: %w", n.ID, msg.Lock, err))
 		return
 	}
 	n.dispatchHier(msg.Lock, out, nil)
+	n.maybeEvictHier()
 }
 
 // dispatchHier routes an engine step's output: messages to the network,

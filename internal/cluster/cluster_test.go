@@ -424,15 +424,40 @@ func TestNodeAccessorsAndErrors(t *testing.T) {
 	}
 }
 
-func TestUnknownLockSurfacesError(t *testing.T) {
+func TestUnknownLockCreatedLazily(t *testing.T) {
+	// Hierarchical engines are created lazily, so a lock the configuration
+	// never named works like any other (mirroring the live member runtime,
+	// where clients name arbitrary resources).
 	c := cluster.New(cluster.Config{
 		Protocol: cluster.Hierarchical,
 		Nodes:    1,
 		Locks:    []proto.LockID{1},
 		Seed:     73,
 	})
-	c.Nodes[0].Acquire(42, modes.R, func() {})
-	if c.Err() == nil {
-		t.Fatal("unknown lock must surface an error")
+	done := false
+	c.Nodes[0].Acquire(42, modes.R, func() { done = true })
+	c.Sim.Run(time.Second)
+	if err := c.Err(); err != nil {
+		t.Fatalf("lazy lock acquire failed: %v", err)
+	}
+	if !done {
+		t.Fatal("lazy lock never granted")
+	}
+	c.Nodes[0].Release(42)
+	if err := c.Err(); err != nil {
+		t.Fatalf("lazy lock release failed: %v", err)
+	}
+
+	// Baseline protocols keep eager per-config engines: an unknown lock is
+	// still a configuration error there.
+	cn := cluster.New(cluster.Config{
+		Protocol: cluster.Naimi,
+		Nodes:    1,
+		Locks:    []proto.LockID{1},
+		Seed:     74,
+	})
+	cn.Nodes[0].Acquire(42, modes.W, func() {})
+	if cn.Err() == nil {
+		t.Fatal("unknown baseline lock must surface an error")
 	}
 }

@@ -124,6 +124,13 @@ type Engine struct {
 	held    modes.Mode
 	pending modes.Mode
 
+	// initToken and initParent freeze the constructed topology so
+	// AtInitialState can decide whether the engine has drifted from the
+	// state a fresh New would produce (the member runtime evicts such
+	// engines and recreates them lazily).
+	initToken  bool
+	initParent proto.NodeID
+
 	// children maps each copyset child to the owned mode this node last
 	// learned for it (grants strengthen it, releases weaken it).
 	children map[proto.NodeID]modes.Mode
@@ -168,6 +175,8 @@ func New(self proto.NodeID, lock proto.LockID, parent proto.NodeID, hasToken boo
 		opt:          opt.effective(),
 		token:        hasToken,
 		parent:       parent,
+		initToken:    hasToken,
+		initParent:   parent,
 		children:     make(map[proto.NodeID]modes.Mode),
 		sentFrozen:   make(map[proto.NodeID]modes.Set),
 		grantSeqOut:  make(map[proto.NodeID]uint64),
@@ -176,6 +185,7 @@ func New(self proto.NodeID, lock proto.LockID, parent proto.NodeID, hasToken boo
 	}
 	if hasToken {
 		e.parent = proto.NoNode
+		e.initParent = proto.NoNode
 	}
 	return e
 }
@@ -191,6 +201,8 @@ func (e *Engine) Clone(clock *proto.Clock) *Engine {
 		opt:          e.opt,
 		token:        e.token,
 		parent:       e.parent,
+		initToken:    e.initToken,
+		initParent:   e.initParent,
 		held:         e.held,
 		pending:      e.pending,
 		frozen:       e.frozen,
@@ -280,6 +292,25 @@ func (e *Engine) Frozen() modes.Set { return e.frozen }
 // QueueLen returns the number of locally queued requests.
 func (e *Engine) QueueLen() int { return len(e.queue) }
 
+// AtInitialState reports whether the engine's state is indistinguishable
+// from a freshly constructed one (same self, lock, topology, options):
+// nothing held or pending, no queued requests, no frozen modes, an empty
+// copyset, no grant-sequencing residue, and the token/parent exactly as
+// constructed. Such an engine can be evicted and recreated lazily with
+// no observable effect on the protocol — the recreated engine's local
+// transition function is identical on all future inputs — which is what
+// lets the member runtime bound its per-lock tables under workloads over
+// unbounded ephemeral resource names.
+func (e *Engine) AtInitialState() bool {
+	if e.token != e.initToken || e.parent != e.initParent ||
+		e.held != modes.None || e.pending != modes.None {
+		return false
+	}
+	return len(e.queue) == 0 && e.frozen.Empty() &&
+		len(e.children) == 0 && len(e.sentFrozen) == 0 &&
+		len(e.grantSeqOut) == 0 && len(e.grantModeOut) == 0 && len(e.grantSeqIn) == 0
+}
+
 // Children returns a copy of the copyset (child → owned mode).
 func (e *Engine) Children() map[proto.NodeID]modes.Mode {
 	out := make(map[proto.NodeID]modes.Mode, len(e.children))
@@ -292,6 +323,12 @@ func (e *Engine) Children() map[proto.NodeID]modes.Mode {
 // Owned returns the node's owned mode: the strongest mode held or owned
 // in the subtree rooted here (Definition 3).
 func (e *Engine) Owned() modes.Mode {
+	// Skipping the range entirely matters: an empty map range still pays
+	// the iterator setup, and the no-children case is the common one on
+	// the local acquire/release fast path.
+	if len(e.children) == 0 {
+		return e.held
+	}
 	mo := e.held
 	for _, m := range e.children {
 		mo = modes.Max(mo, m)
@@ -302,6 +339,9 @@ func (e *Engine) Owned() modes.Mode {
 // ownedChildren folds only the children's modes, excluding the local held
 // mode. Used to decide the token node's own queued requests (upgrade).
 func (e *Engine) ownedChildren() modes.Mode {
+	if len(e.children) == 0 {
+		return modes.None
+	}
 	mo := modes.None
 	for _, m := range e.children {
 		mo = modes.Max(mo, m)

@@ -51,8 +51,7 @@ func (s *mcState) clone() *mcState {
 		round:   append([]int(nil), s.round...),
 	}
 	for i := 0; i < n; i++ {
-		ck := *s.clocks[i]
-		ns.clocks[i] = &ck
+		ns.clocks[i] = s.clocks[i].Clone()
 		ns.engines[i] = s.engines[i].Clone(ns.clocks[i])
 	}
 	for k, q := range s.queues {

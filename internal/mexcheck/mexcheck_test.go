@@ -162,8 +162,7 @@ func (s *state) clone() *state {
 		phase:   append([]phase(nil), s.phase...),
 	}
 	for i := 0; i < n; i++ {
-		ck := *s.clocks[i]
-		ns.clocks[i] = &ck
+		ns.clocks[i] = s.clocks[i].Clone()
 		ns.engines[i] = s.engines[i].Clone(ns.clocks[i])
 	}
 	for k, q := range s.queues {

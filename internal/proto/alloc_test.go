@@ -1,0 +1,83 @@
+//go:build !race
+
+package proto
+
+// Allocation regression tests for the pooled codec. The race detector
+// instruments allocations and defeats testing.AllocsPerRun, so these are
+// compiled out under -race; `make ci` runs them in the plain test pass.
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+func allocMsg() *Message {
+	return &Message{
+		Kind: KindToken,
+		Lock: 7,
+		From: 2,
+		To:   5,
+		TS:   41,
+		Seq:  9,
+		Req:  Request{Origin: 2, Priority: 1, TS: 40},
+	}
+}
+
+func TestWriteFrameAllocs(t *testing.T) {
+	m := allocMsg()
+	if got := testing.AllocsPerRun(200, func() {
+		if err := WriteFrame(io.Discard, m); err != nil {
+			t.Fatal(err)
+		}
+	}); got != 0 {
+		t.Errorf("WriteFrame allocates %.1f objects/op, want 0", got)
+	}
+}
+
+func TestAppendFrameAllocs(t *testing.T) {
+	m := allocMsg()
+	buf := make([]byte, 0, 1024)
+	if got := testing.AllocsPerRun(200, func() {
+		buf = AppendFrame(buf[:0], m)
+	}); got != 0 {
+		t.Errorf("AppendFrame allocates %.1f objects/op, want 0", got)
+	}
+}
+
+func TestWriteLinkDataAllocs(t *testing.T) {
+	m := allocMsg()
+	if got := testing.AllocsPerRun(200, func() {
+		if err := WriteLinkData(io.Discard, 3, m); err != nil {
+			t.Fatal(err)
+		}
+	}); got != 0 {
+		t.Errorf("WriteLinkData allocates %.1f objects/op, want 0", got)
+	}
+}
+
+func TestReadFrameAllocs(t *testing.T) {
+	frame := AppendFrame(nil, allocMsg())
+	r := bytes.NewReader(frame)
+	if got := testing.AllocsPerRun(200, func() {
+		r.Reset(frame)
+		if _, err := ReadFrame(r); err != nil {
+			t.Fatal(err)
+		}
+	}); got > 1 {
+		t.Errorf("ReadFrame allocates %.1f objects/op, want <= 1 (the Message)", got)
+	}
+}
+
+func TestReadLinkFrameAllocs(t *testing.T) {
+	frame := AppendLinkData(nil, 12, allocMsg())
+	r := bytes.NewReader(frame)
+	if got := testing.AllocsPerRun(200, func() {
+		r.Reset(frame)
+		if _, _, _, err := ReadLinkFrame(r); err != nil {
+			t.Fatal(err)
+		}
+	}); got > 1 {
+		t.Errorf("ReadLinkFrame allocates %.1f objects/op, want <= 1 (the Message)", got)
+	}
+}

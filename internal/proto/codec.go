@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 
 	"hierlock/internal/modes"
 )
@@ -210,26 +211,92 @@ func decodeRequest(buf []byte, reqLen int) (Request, []byte, error) {
 	return r, buf[reqLen:], nil
 }
 
-// WriteFrame writes one length-prefixed message frame to w.
+// Buffer pooling. Every frame encode and every frame read needs a
+// scratch byte slice whose lifetime ends inside the call; recycling them
+// through a sync.Pool makes the steady-state wire hot path allocate
+// nothing beyond the decoded Message itself. Oversized buffers (a rare
+// giant token transfer) are dropped rather than pooled so one outlier
+// cannot pin memory forever.
+const maxPooledBuf = 64 << 10
+
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 1024)
+		return &b
+	},
+}
+
+func getBuf() *[]byte { return bufPool.Get().(*[]byte) }
+
+func putBuf(bp *[]byte) {
+	if cap(*bp) > maxPooledBuf {
+		return
+	}
+	*bp = (*bp)[:0]
+	bufPool.Put(bp)
+}
+
+// AppendFrame appends one length-prefixed wire frame for m to dst and
+// returns the extended slice. Several frames appended to one buffer form
+// a valid byte stream, which is how the TCP transport coalesces a burst
+// of messages to one peer into a single write.
+func AppendFrame(dst []byte, m *Message) []byte {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0)
+	dst = AppendMessage(dst, m)
+	binary.BigEndian.PutUint32(dst[start:], uint32(len(dst)-start-4))
+	return dst
+}
+
+// WriteFrame writes one length-prefixed message frame to w. The encode
+// buffer is pooled; steady state performs zero allocations.
 func WriteFrame(w io.Writer, m *Message) error {
-	payload := AppendMessage(make([]byte, 4, 64+requestLen*len(m.Queue)), m)
-	binary.BigEndian.PutUint32(payload[:4], uint32(len(payload)-4))
-	_, err := w.Write(payload)
+	bp := getBuf()
+	*bp = AppendFrame((*bp)[:0], m)
+	_, err := w.Write(*bp)
+	putBuf(bp)
 	return err
 }
 
-// ReadFrame reads one length-prefixed message frame from r.
-func ReadFrame(r io.Reader) (*Message, error) {
-	var lenBuf [4]byte
-	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+// readPayload reads one length-prefixed payload into the pooled scratch
+// buffer bp, growing it as needed. The returned slice aliases *bp.
+func readPayload(r io.Reader, bp *[]byte, min uint32) ([]byte, error) {
+	// The length prefix is read through the pooled buffer as well: a
+	// stack array would escape to the heap via the io.Reader interface
+	// and cost an allocation per frame.
+	if cap(*bp) < 4 {
+		*bp = make([]byte, 4, 1024)
+	}
+	lenBuf := (*bp)[:4]
+	if _, err := io.ReadFull(r, lenBuf); err != nil {
 		return nil, err
 	}
-	n := binary.BigEndian.Uint32(lenBuf[:])
+	n := binary.BigEndian.Uint32(lenBuf)
 	if n > MaxFrameSize {
 		return nil, fmt.Errorf("%w: frame of %d bytes", ErrTooLarge, n)
 	}
-	buf := make([]byte, n)
+	if n < min {
+		return nil, fmt.Errorf("%w: short frame (%d bytes)", ErrBadFrame, n)
+	}
+	if uint32(cap(*bp)) < n {
+		*bp = make([]byte, n)
+	}
+	buf := (*bp)[:n]
+	*bp = buf
 	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// ReadFrame reads one length-prefixed message frame from r. The frame
+// scratch buffer is pooled; only the decoded Message (and its queue, if
+// any) is allocated.
+func ReadFrame(r io.Reader) (*Message, error) {
+	bp := getBuf()
+	defer putBuf(bp)
+	buf, err := readPayload(r, bp, 0)
+	if err != nil {
 		return nil, err
 	}
 	return DecodeMessage(buf)

@@ -2,6 +2,7 @@ package proto
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 )
@@ -46,14 +47,25 @@ const (
 	linkMagicAck  byte = 0xA1
 )
 
-// WriteLinkData writes one sequenced data frame.
+// AppendLinkData appends one sequenced data frame to dst and returns the
+// extended slice. Like AppendFrame, several link frames appended to one
+// buffer form a valid byte stream for write coalescing.
+func AppendLinkData(dst []byte, seq uint64, m *Message) []byte {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0, linkMagicData)
+	dst = binary.BigEndian.AppendUint64(dst, seq)
+	dst = AppendMessage(dst, m)
+	binary.BigEndian.PutUint32(dst[start:], uint32(len(dst)-start-4))
+	return dst
+}
+
+// WriteLinkData writes one sequenced data frame. The encode buffer is
+// pooled; steady state performs zero allocations.
 func WriteLinkData(w io.Writer, seq uint64, m *Message) error {
-	buf := make([]byte, 4, 4+9+64+requestLen*len(m.Queue))
-	buf = append(buf, linkMagicData)
-	buf = binary.BigEndian.AppendUint64(buf, seq)
-	buf = AppendMessage(buf, m)
-	binary.BigEndian.PutUint32(buf[:4], uint32(len(buf)-4))
-	_, err := w.Write(buf)
+	bp := getBuf()
+	*bp = AppendLinkData((*bp)[:0], seq, m)
+	_, err := w.Write(*bp)
+	putBuf(bp)
 	return err
 }
 
@@ -68,23 +80,18 @@ func WriteLinkAck(w io.Writer, seq uint64) error {
 }
 
 // ReadLinkFrame reads one link frame. For LinkData the message is
-// returned; for LinkAck it is nil.
+// returned; for LinkAck it is nil. The frame scratch buffer is pooled.
 func ReadLinkFrame(r io.Reader) (LinkType, uint64, *Message, error) {
-	var lenBuf [4]byte
-	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+	bp := getBuf()
+	defer putBuf(bp)
+	buf, err := readPayload(r, bp, 9)
+	if err != nil {
+		if errors.Is(err, ErrBadFrame) {
+			return 0, 0, nil, fmt.Errorf("%w: short link frame", ErrBadFrame)
+		}
 		return 0, 0, nil, err
 	}
-	n := binary.BigEndian.Uint32(lenBuf[:])
-	if n > MaxFrameSize {
-		return 0, 0, nil, fmt.Errorf("%w: frame of %d bytes", ErrTooLarge, n)
-	}
-	if n < 9 {
-		return 0, 0, nil, fmt.Errorf("%w: short link frame (%d bytes)", ErrBadFrame, n)
-	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return 0, 0, nil, err
-	}
+	n := uint32(len(buf))
 	seq := binary.BigEndian.Uint64(buf[1:9])
 	switch buf[0] {
 	case linkMagicData:

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"hierlock/internal/modes"
 )
@@ -34,27 +35,44 @@ type LockID uint64
 type Timestamp uint64
 
 // Clock is a Lamport logical clock. The zero value is ready to use.
-// Clock is not safe for concurrent use; each node's engine loop owns one.
+// Clock is safe for concurrent use: one node's engines may tick it from
+// several goroutines (the member runtime serializes per lock, not per
+// node, so engines of distinct locks advance the shared clock
+// concurrently).
 type Clock struct {
-	now Timestamp
+	now atomic.Uint64
 }
 
 // Tick advances the clock for a local event and returns the new time.
 func (c *Clock) Tick() Timestamp {
-	c.now++
-	return c.now
+	return Timestamp(c.now.Add(1))
 }
 
 // Witness merges an observed remote timestamp into the clock.
 func (c *Clock) Witness(t Timestamp) {
-	if t > c.now {
-		c.now = t
+	for {
+		cur := c.now.Load()
+		next := cur + 1
+		if uint64(t) > cur {
+			next = uint64(t) + 1
+		}
+		if c.now.CompareAndSwap(cur, next) {
+			return
+		}
 	}
-	c.now++
 }
 
 // Now returns the current clock value without advancing it.
-func (c *Clock) Now() Timestamp { return c.now }
+func (c *Clock) Now() Timestamp { return Timestamp(c.now.Load()) }
+
+// Clone returns an independent clock at the same time. Clock contains an
+// atomic and must not be copied by value; model checkers fork clocks
+// with Clone when cloning explored states.
+func (c *Clock) Clone() *Clock {
+	n := &Clock{}
+	n.now.Store(c.now.Load())
+	return n
+}
 
 // Kind discriminates protocol messages.
 type Kind uint8

@@ -112,6 +112,7 @@ type TCPTransport struct {
 	bytesRecv  atomic.Uint64
 	framesSent atomic.Uint64
 	framesRecv atomic.Uint64
+	writeCalls atomic.Uint64
 }
 
 // countingConn counts bytes crossing a connection into the transport's
@@ -132,6 +133,7 @@ func (c countingConn) Read(p []byte) (int, error) {
 func (c countingConn) Write(p []byte) (int, error) {
 	n, err := c.Conn.Write(p)
 	c.t.bytesSent.Add(uint64(n))
+	c.t.writeCalls.Add(1)
 	return n, err
 }
 
@@ -143,6 +145,10 @@ type IOStats struct {
 	// FramesSent and FramesRecv count protocol message frames
 	// successfully written and read.
 	FramesSent, FramesRecv uint64
+	// WriteCalls counts Write invocations on peer connections. With
+	// write coalescing, a burst of frames to one peer shares a single
+	// write (one syscall), so WriteCalls can be far below FramesSent.
+	WriteCalls uint64
 }
 
 // IOStats snapshots the endpoint's wire-volume counters.
@@ -152,6 +158,7 @@ func (t *TCPTransport) IOStats() IOStats {
 		BytesRecv:  t.bytesRecv.Load(),
 		FramesSent: t.framesSent.Load(),
 		FramesRecv: t.framesRecv.Load(),
+		WriteCalls: t.writeCalls.Load(),
 	}
 }
 
@@ -431,14 +438,29 @@ type linkEntry struct {
 	msg *proto.Message
 }
 
+// Write-coalescing batch caps: one wakeup of the writer drains up to
+// maxBatchMessages queued messages, encodes them back to back into one
+// reusable buffer and hands the whole burst to the kernel in a single
+// write. maxBatchBytes splits a pathological batch (giant token-transfer
+// queues) into multiple writes and is also the threshold above which the
+// reusable encode buffer is released rather than pinned.
+const (
+	maxBatchMessages = 128
+	maxBatchBytes    = 256 << 10
+)
+
 // peerWriter owns the outbound link to one peer: a bounded queue plus a
 // writer goroutine that connects lazily and reconnects with capped
-// exponential backoff and jitter. In plain mode a message that fails
-// mid-write is retried on the new connection, which can duplicate a
-// frame in rare crash-adjacent cases but never reorders. In reliable
-// mode messages stay in the unacked buffer until the peer acknowledges
-// their link sequence number and are retransmitted after a reconnect,
-// giving exactly-once per-link delivery while both endpoints live.
+// exponential backoff and jitter. Each wakeup drains the queue in
+// batches (see maxBatchMessages) so a burst of messages to one peer
+// costs one syscall, not one per frame; TCP's bytestream plus the single
+// writer goroutine keeps the per-link FIFO guarantee intact. In plain
+// mode a batch that fails mid-write is retried on the new connection,
+// which can duplicate frames in rare crash-adjacent cases but never
+// reorders. In reliable mode messages stay in the unacked buffer until
+// the peer acknowledges their link sequence number and are retransmitted
+// after a reconnect, giving exactly-once per-link delivery while both
+// endpoints live.
 type peerWriter struct {
 	t    *TCPTransport
 	peer proto.NodeID
@@ -449,10 +471,14 @@ type peerWriter struct {
 	notify chan struct{}
 	kick   chan net.Conn
 
-	// conn is owned by the run goroutine exclusively.
+	// The fields below are owned by the run goroutine exclusively.
 	conn net.Conn
-	// pending is a popped message not yet written (plain-mode retry).
-	pending *proto.Message
+	// pending holds a popped batch not yet written (plain-mode retry).
+	pending []*proto.Message
+	// batch/seqs/enc are reusable scratch for the coalesced write path.
+	batch []*proto.Message
+	seqs  []uint64
+	enc   []byte
 
 	mu          sync.Mutex
 	queue       []*proto.Message
@@ -574,26 +600,44 @@ func (w *peerWriter) flush() (retry bool) {
 				go w.ackLoop(conn)
 			}
 		}
-		msg, seq, ok := w.take()
-		if !ok {
+		if !w.takeBatch() {
 			return false
 		}
-		var err error
-		if w.t.cfg.Reliable {
-			err = proto.WriteLinkData(w.conn, seq, msg)
-		} else {
-			err = proto.WriteFrame(w.conn, msg)
+		w.writeBatch()
+	}
+}
+
+// writeBatch encodes the current batch back to back into the reusable
+// buffer and writes it with as few conn.Write calls as possible (one,
+// unless the batch exceeds maxBatchBytes). On a write failure the
+// unwritten tail is parked for retry (plain mode) or left to the unacked
+// buffer (reliable mode) and the connection is dropped.
+func (w *peerWriter) writeBatch() {
+	i := 0
+	for i < len(w.batch) {
+		w.enc = w.enc[:0]
+		j := i
+		for j < len(w.batch) && (j == i || len(w.enc) < maxBatchBytes) {
+			if w.t.cfg.Reliable {
+				w.enc = proto.AppendLinkData(w.enc, w.seqs[j], w.batch[j])
+			} else {
+				w.enc = proto.AppendFrame(w.enc, w.batch[j])
+			}
+			j++
 		}
-		if err == nil {
-			w.t.framesSent.Add(1)
-		}
-		if err != nil {
+		if _, err := w.conn.Write(w.enc); err != nil {
 			if !w.t.cfg.Reliable {
-				w.pending = msg // retry on the next connection
+				w.pending = append(w.pending[:0], w.batch[i:]...)
 			}
 			w.dropConn()
 			w.noteFailure()
+			break
 		}
+		w.t.framesSent.Add(uint64(j - i))
+		i = j
+	}
+	if cap(w.enc) > maxBatchBytes {
+		w.enc = nil // one giant token transfer must not pin its buffer
 	}
 }
 
@@ -609,32 +653,35 @@ func (w *peerWriter) dial() (net.Conn, error) {
 	return d.DialContext(ctx, "tcp", w.addr)
 }
 
-// take pops the next message to write. In reliable mode it assigns the
-// link sequence number and moves the message to the unacked buffer.
-func (w *peerWriter) take() (*proto.Message, uint64, bool) {
-	if w.pending != nil {
-		msg := w.pending
-		w.pending = nil
-		return msg, 0, true
-	}
+// takeBatch refills w.batch with up to maxBatchMessages messages: any
+// parked plain-mode retries first, then the head of the queue. In
+// reliable mode each popped message is assigned its link sequence number
+// (recorded in w.seqs) and moved to the unacked buffer. Returns false
+// when there is nothing to write.
+func (w *peerWriter) takeBatch() bool {
+	w.batch = append(w.batch[:0], w.pending...)
+	w.pending = w.pending[:0]
+	w.seqs = w.seqs[:0]
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if len(w.queue) == 0 {
-		return nil, 0, false
+	n := maxBatchMessages - len(w.batch)
+	if n > len(w.queue) {
+		n = len(w.queue)
 	}
-	msg := w.queue[0]
-	w.queue = w.queue[1:]
-	var seq uint64
-	if w.t.cfg.Reliable {
-		w.nextSeq++
-		seq = w.nextSeq
-		w.unacked = append(w.unacked, linkEntry{seq: seq, msg: msg})
+	for _, msg := range w.queue[:n] {
+		if w.t.cfg.Reliable {
+			w.nextSeq++
+			w.seqs = append(w.seqs, w.nextSeq)
+			w.unacked = append(w.unacked, linkEntry{seq: w.nextSeq, msg: msg})
+		}
+		w.batch = append(w.batch, msg)
 	}
-	return msg, seq, true
+	w.queue = w.queue[n:]
+	return len(w.batch) > 0
 }
 
 func (w *peerWriter) hasWork() bool {
-	if w.pending != nil {
+	if len(w.pending) > 0 {
 		return true
 	}
 	w.mu.Lock()
@@ -642,17 +689,26 @@ func (w *peerWriter) hasWork() bool {
 	return len(w.queue) > 0 || len(w.unacked) > 0
 }
 
-// retransmitUnacked replays the unacked buffer on a fresh connection.
+// retransmitUnacked replays the unacked buffer on a fresh connection,
+// coalescing it into as few writes as the byte cap allows.
 func (w *peerWriter) retransmitUnacked() bool {
 	w.mu.Lock()
 	pending := append([]linkEntry(nil), w.unacked...)
 	w.mu.Unlock()
-	for _, e := range pending {
-		if err := proto.WriteLinkData(w.conn, e.seq, e.msg); err != nil {
+	i := 0
+	for i < len(pending) {
+		w.enc = w.enc[:0]
+		j := i
+		for j < len(pending) && (j == i || len(w.enc) < maxBatchBytes) {
+			w.enc = proto.AppendLinkData(w.enc, pending[j].seq, pending[j].msg)
+			j++
+		}
+		if _, err := w.conn.Write(w.enc); err != nil {
 			w.dropConn()
 			w.noteFailure()
 			return false
 		}
+		i = j
 	}
 	if len(pending) > 0 {
 		w.t.framesSent.Add(uint64(len(pending)))

@@ -7,6 +7,7 @@ import (
 	"log/slog"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hierlock/internal/hlock"
@@ -27,36 +28,90 @@ var (
 	ErrNotUpgradable = errors.New("hierlock: upgrade requires mode U")
 )
 
+// lockShardCount is the number of stripes the member's per-lock state is
+// spread over. Lock IDs are hashes of resource names, so a simple modulo
+// distributes them evenly; 64 stripes keeps the probability of two hot
+// locks sharing a mutex low without bloating the member.
+const lockShardCount = 64
+
+// lockShard is one stripe of the member's per-lock table. Each lock's
+// engine, waiter, hold and admission slot live together under the
+// stripe's mutex, so operations on locks in different stripes proceed
+// fully in parallel; only the Lamport clock and the stats block are
+// shared member-wide (and are independently synchronized).
+type lockShard struct {
+	mu    sync.Mutex
+	locks map[proto.LockID]*lockState
+}
+
+// lockState is everything the member tracks for one lock. All fields
+// except slot are guarded by the owning shard's mutex; slot is a
+// buffered channel clients block on without the mutex (see the eviction
+// note on evicted).
+type lockState struct {
+	id proto.LockID
+	// res is the resource name clients used for this lock, for
+	// human-readable metric labels ("" when only remote messages have
+	// touched the lock so far).
+	res    string
+	engine *hlock.Engine
+	// waiter is the outstanding client request, if any.
+	waiter *waiter
+	// hold reference-counts the member's current hold so several local
+	// clients can share a self-compatible mode (IR, R, IW) without extra
+	// protocol traffic: the member holds the mode once; the last sharer
+	// releases it.
+	hold *hold
+	// slot is the per-lock client-admission semaphore (one client
+	// operation per lock per member at a time).
+	slot chan struct{}
+	// evicted marks an entry removed from the shard table. A client that
+	// blocked on slot without the shard mutex may win admission on a
+	// stale entry; it re-checks evicted under the mutex and retries
+	// against the live entry.
+	evicted bool
+}
+
+// label names the lock for metric labels: the resource name when known,
+// the numeric lock ID otherwise.
+func (ls *lockState) label() string {
+	if ls.res != "" {
+		return ls.res
+	}
+	return strconv.FormatUint(uint64(ls.id), 10)
+}
+
 // Member is one participant of a locking cluster: it hosts the protocol
 // engines for every lock the node touches and provides blocking client
 // operations. Methods are safe for concurrent use; operations on the
 // same resource from one member are serialized (a member holds at most
-// one mode per lock, as in the paper's model).
+// one mode per lock, as in the paper's model), while operations on
+// distinct resources run concurrently on separate shard stripes.
 type Member struct {
 	id   proto.NodeID
 	root proto.NodeID
 	tr   transport.Transport
 
-	mu      sync.Mutex
-	clock   proto.Clock
-	engines map[proto.LockID]*hlock.Engine
-	waiters map[proto.LockID]*waiter
-	slots   map[proto.LockID]chan struct{}
-	// holds reference-counts the member's current hold per lock so that
-	// several local clients can share a self-compatible mode (IR, R, IW)
-	// without extra protocol traffic: the member holds the mode once;
-	// the last sharer releases it.
-	holds       map[proto.LockID]*hold
+	// clock is the member-wide Lamport clock, shared by all engines.
+	// proto.Clock is internally atomic, so engines in different shards
+	// advance it without a common mutex.
+	clock  proto.Clock
+	shards [lockShardCount]lockShard
+
+	closed atomic.Bool
+	// done is closed by Close; blocked clients select on it so Close
+	// fails every outstanding waiter with ErrClosed.
+	done chan struct{}
+
+	// statMu guards the member-wide counters below (never held together
+	// with a shard mutex for long: stat updates are point writes).
+	statMu      sync.Mutex
 	sent        metrics.Messages
 	acqLatency  metrics.Latency
 	sharedJoins uint64
 	firstEr     error
-	closed      bool
 
-	// resNames maps lock IDs back to the resource names clients used, so
-	// per-lock metric labels are human-readable.
-	resNames map[proto.LockID]string
-	tel      telemetry
+	tel telemetry
 }
 
 // Telemetry bundles the optional live observability sinks of a member.
@@ -102,11 +157,11 @@ type telemetry struct {
 // now returns the wall-relative trace timestamp.
 func (t *telemetry) now() time.Duration { return time.Since(t.epoch) }
 
-// newTraceLocked mints a cluster-unique causal trace ID for a client
-// operation starting at this member: the member's identity plus a fresh
-// Lamport tick (the same clock the engines advance, so IDs stay unique
-// across local and message-driven activity). Callers hold m.mu.
-func (m *Member) newTraceLocked() proto.TraceID {
+// newTrace mints a cluster-unique causal trace ID for a client operation
+// starting at this member: the member's identity plus a fresh Lamport
+// tick (the same clock the engines advance, so IDs stay unique across
+// local and message-driven activity).
+func (m *Member) newTrace() proto.TraceID {
 	return proto.TraceID{Node: m.id, Seq: uint64(m.clock.Tick())}
 }
 
@@ -137,8 +192,8 @@ func (t *telemetry) countSent(k proto.Kind) {
 // link and wire-volume metrics for TCP members). Call once, before the
 // member serves traffic.
 func (m *Member) SetTelemetry(t Telemetry) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.statMu.Lock()
+	defer m.statMu.Unlock()
 	m.tel.rec = t.Trace
 	m.tel.log = t.Logger
 	m.tel.epoch = time.Now()
@@ -176,24 +231,19 @@ func (m *Member) SetTelemetry(t Telemetry) {
 	}
 }
 
-// lockLabelLocked names a lock for metric labels: the resource name when
-// known, the numeric lock ID otherwise. Callers hold m.mu.
-func (m *Member) lockLabelLocked(id proto.LockID) string {
-	if name, ok := m.resNames[id]; ok {
-		return name
-	}
-	return strconv.FormatUint(uint64(id), 10)
-}
-
 // registerLockCollectors registers scrape-time gauges over the member's
-// per-lock engine state. Each collector takes m.mu briefly at scrape.
+// per-lock engine state. Each collector walks the shard stripes, taking
+// each stripe's mutex briefly at scrape.
 func (m *Member) registerLockCollectors(reg *metrics.Registry) {
 	engineGauge := func(f func(*hlock.Engine) float64) metrics.Collector {
 		return func(emit func(metrics.Labels, float64)) {
-			m.mu.Lock()
-			defer m.mu.Unlock()
-			for id, e := range m.engines {
-				emit(metrics.Labels{"lock": m.lockLabelLocked(id)}, f(e))
+			for i := range m.shards {
+				sh := &m.shards[i]
+				sh.mu.Lock()
+				for _, ls := range sh.locks {
+					emit(metrics.Labels{"lock": ls.label()}, f(ls.engine))
+				}
+				sh.mu.Unlock()
 			}
 		}
 	}
@@ -303,9 +353,10 @@ type hold struct {
 // waiter tracks the outstanding request on one lock.
 type waiter struct {
 	ch chan hlock.Event
-	// abandoned marks a context-canceled wait: when the grant eventually
-	// arrives, the member releases the lock immediately and frees the
-	// client slot (requests cannot be retracted from the protocol).
+	// abandoned marks a disowned wait (context canceled, or the member
+	// closed): when the grant eventually arrives, the member releases
+	// the lock immediately and frees the client slot (requests cannot be
+	// retracted from the protocol).
 	abandoned bool
 	// releaseOnUpgrade marks an Unlock issued while an upgrade was in
 	// flight: the W lock is released as soon as the upgrade lands.
@@ -315,14 +366,10 @@ type waiter struct {
 // newMember wires a member to a started transport.
 func newMember(id, root proto.NodeID, tr transport.Transport) (*Member, error) {
 	m := &Member{
-		id:       id,
-		root:     root,
-		tr:       tr,
-		engines:  make(map[proto.LockID]*hlock.Engine),
-		waiters:  make(map[proto.LockID]*waiter),
-		slots:    make(map[proto.LockID]chan struct{}),
-		holds:    make(map[proto.LockID]*hold),
-		resNames: make(map[proto.LockID]string),
+		id:   id,
+		root: root,
+		tr:   tr,
+		done: make(chan struct{}),
 	}
 	if err := tr.Start(m.handle); err != nil {
 		return nil, err
@@ -336,21 +383,45 @@ func (m *Member) ID() int { return int(m.id) }
 // Err returns the first internal protocol error observed, if any. A
 // non-nil value indicates a bug or a violated transport assumption.
 func (m *Member) Err() error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.statMu.Lock()
+	defer m.statMu.Unlock()
 	return m.firstEr
+}
+
+// fail records an internal error (first one wins).
+func (m *Member) fail(err error) {
+	m.statMu.Lock()
+	if m.firstEr == nil {
+		m.firstEr = err
+	}
+	m.statMu.Unlock()
 }
 
 // MessagesSent returns a snapshot of the protocol messages this member
 // has sent, by kind.
 func (m *Member) MessagesSent() map[string]uint64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.statMu.Lock()
+	defer m.statMu.Unlock()
 	out := make(map[string]uint64, len(metrics.Kinds))
 	for _, k := range metrics.Kinds {
 		out[k.String()] = m.sent.ByKind[k]
 	}
 	return out
+}
+
+// TrackedLocks returns the number of locks the member currently holds
+// state for. Idle locks (no hold, no waiter, engine at its initial
+// state) are evicted from the table, so the count stays proportional to
+// the working set rather than to every resource ever named.
+func (m *Member) TrackedLocks() int {
+	n := 0
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		n += len(sh.locks)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // Stats is a snapshot of a member's client-side observability counters.
@@ -370,8 +441,8 @@ type Stats struct {
 
 // Stats returns a snapshot of the member's counters.
 func (m *Member) Stats() Stats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.statMu.Lock()
+	defer m.statMu.Unlock()
 	return Stats{
 		Acquires:     m.acqLatency.Count + m.sharedJoins,
 		SharedJoins:  m.sharedJoins,
@@ -381,40 +452,108 @@ func (m *Member) Stats() Stats {
 	}
 }
 
-// Close shuts the member down. Held locks are not released remotely;
+// Close shuts the member down: new operations fail with ErrClosed and
+// every client blocked in Lock or Upgrade is unblocked with ErrClosed
+// (their requests cannot be retracted from the protocol; a grant that
+// still arrives is auto-released). Held locks are not released remotely;
 // close only after unlocking (the protocol, like the paper's, assumes
 // participants do not vanish).
 func (m *Member) Close() error {
-	m.mu.Lock()
-	if m.closed {
-		m.mu.Unlock()
+	if !m.closed.CompareAndSwap(false, true) {
 		return nil
 	}
-	m.closed = true
-	m.mu.Unlock()
+	close(m.done)
 	return m.tr.Close()
 }
 
-// engine returns (creating lazily) the engine for a lock. Every member
+// state returns (creating lazily) the shard and entry for a lock, with
+// the shard mutex HELD — the caller must unlock sh.mu. Every member
 // derives the same initial topology: the configured root node holds the
-// token and is everyone's initial parent. Callers hold m.mu.
-func (m *Member) engine(lock proto.LockID) *hlock.Engine {
-	e, ok := m.engines[lock]
+// token and is everyone's initial parent, so a freshly created engine is
+// always protocol-correct regardless of when it springs into existence.
+func (m *Member) state(lock proto.LockID, res string) (*lockShard, *lockState) {
+	sh := &m.shards[uint64(lock)%lockShardCount]
+	sh.mu.Lock()
+	ls, ok := sh.locks[lock]
 	if !ok {
-		e = hlock.New(m.id, lock, m.root, m.id == m.root, &m.clock, hlock.Options{})
-		m.engines[lock] = e
+		if sh.locks == nil {
+			sh.locks = make(map[proto.LockID]*lockState)
+		}
+		ls = &lockState{
+			id:     lock,
+			res:    res,
+			engine: hlock.New(m.id, lock, m.root, m.id == m.root, &m.clock, hlock.Options{}),
+			slot:   make(chan struct{}, 1),
+		}
+		sh.locks[lock] = ls
+	} else if res != "" && ls.res == "" {
+		ls.res = res
 	}
-	return e
+	return sh, ls
 }
 
-// slot returns the per-lock client-admission semaphore. Callers hold m.mu.
-func (m *Member) slot(lock proto.LockID) chan struct{} {
-	s, ok := m.slots[lock]
-	if !ok {
-		s = make(chan struct{}, 1)
-		m.slots[lock] = s
+// shardEvictThreshold is the per-stripe table size that triggers an
+// idle-entry sweep. Sweeping on a threshold rather than after every
+// operation keeps hot locks resident (no engine realloc churn on a
+// lock/unlock loop) while still bounding the table: a member can track
+// at most lockShardCount*shardEvictThreshold idle entries plus whatever
+// is genuinely in use.
+const shardEvictThreshold = 32
+
+// maybeEvict sweeps the stripe's idle entries once the stripe has grown
+// past shardEvictThreshold. An entry is idle when no client is waiting
+// or admitted, nothing is held, and the engine is observably identical
+// to a freshly constructed one (token/parent at their initial topology,
+// no queue, no copyset, no frozen modes, no grant bookkeeping).
+// Re-creating an entry on next use yields an equivalent engine, so
+// eviction has no protocol effect; it bounds member memory to the locks
+// actually in use rather than every resource ever named. Callers hold
+// sh.mu.
+func (m *Member) maybeEvict(sh *lockShard) {
+	if len(sh.locks) < shardEvictThreshold {
+		return
 	}
-	return s
+	m.sweepLocked(sh)
+}
+
+// sweepLocked evicts every idle entry in the stripe, returning the
+// number evicted. Callers hold sh.mu.
+func (m *Member) sweepLocked(sh *lockShard) int {
+	n := 0
+	for id, ls := range sh.locks {
+		if ls.waiter != nil || ls.hold != nil || len(ls.slot) != 0 ||
+			!ls.engine.AtInitialState() {
+			continue
+		}
+		ls.evicted = true
+		delete(sh.locks, id)
+		n++
+	}
+	return n
+}
+
+// EvictIdle immediately evicts every idle lock entry from the member's
+// table, returning the number evicted. The background sweep triggers
+// lazily on table growth; EvictIdle forces a full pass, useful after a
+// burst over many distinct resources (and in tests asserting the table
+// is bounded).
+func (m *Member) EvictIdle() int {
+	n := 0
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		n += m.sweepLocked(sh)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// freeSlot releases the per-lock client-admission slot.
+func (m *Member) freeSlot(ls *lockState) {
+	select {
+	case <-ls.slot:
+	default:
+	}
 }
 
 // Lock acquires the named resource in the given mode, blocking until
@@ -433,75 +572,95 @@ func (m *Member) LockWithPriority(ctx context.Context, resource string, mode Mod
 	if !mode.Valid() || mode == modes.None {
 		return nil, fmt.Errorf("hierlock: invalid mode %v", mode)
 	}
-	lockID := lockIDFor(resource)
-
-	// Local sharing: if the member already holds exactly this mode and
-	// the mode is compatible with itself (IR, R, IW), additional local
-	// clients join the existing hold with no protocol traffic. Exclusive
-	// classes (U, W) and mode mismatches go through the full path.
-	m.mu.Lock()
-	if m.closed {
-		m.mu.Unlock()
+	if m.closed.Load() {
 		return nil, ErrClosed
 	}
-	m.resNames[lockID] = resource
+	lockID := lockIDFor(resource)
 	m.tel.requests.Inc()
-	tr := m.newTraceLocked()
+	tr := m.newTrace()
 	if rec := m.tel.rec; rec != nil {
 		rec.Record(trace.Entry{At: m.tel.now(), Op: trace.OpAcquire,
 			Node: m.id, Lock: lockID, Mode: mode, Trace: tr})
 	}
-	if h := m.holds[lockID]; h != nil && !h.upgrading &&
-		h.mode == mode && modes.Compatible(mode, mode) {
-		h.refs++
-		m.sharedJoins++
-		m.tel.sharedJoins.Inc()
-		m.tel.acquires.Inc()
-		if rec := m.tel.rec; rec != nil {
-			rec.Record(trace.Entry{At: m.tel.now(), Op: trace.OpGranted,
-				Node: m.id, Lock: lockID, Mode: mode, Trace: tr})
-		}
-		if lg := m.tel.log; lg != nil {
-			lg.Debug("lock granted", "trace", tr.String(), "resource", resource,
-				"mode", mode.String(), "shared_join", true)
-		}
-		m.mu.Unlock()
-		return &Lock{m: m, id: lockID, resource: resource, mode: mode}, nil
-	}
-	slot := m.slot(lockID)
-	m.mu.Unlock()
 	start := time.Now()
 
-	// Admission: one client operation per lock per member at a time.
-	select {
-	case slot <- struct{}{}:
-	case <-ctx.Done():
-		return nil, ctx.Err()
+	var (
+		sh *lockShard
+		ls *lockState
+	)
+	for {
+		sh, ls = m.state(lockID, resource)
+
+		// Local sharing: if the member already holds exactly this mode and
+		// the mode is compatible with itself (IR, R, IW), additional local
+		// clients join the existing hold with no protocol traffic.
+		// Exclusive classes (U, W) and mode mismatches go through the full
+		// path.
+		if h := ls.hold; h != nil && !h.upgrading &&
+			h.mode == mode && modes.Compatible(mode, mode) {
+			h.refs++
+			sh.mu.Unlock()
+			m.statMu.Lock()
+			m.sharedJoins++
+			m.statMu.Unlock()
+			m.tel.sharedJoins.Inc()
+			m.tel.acquires.Inc()
+			if rec := m.tel.rec; rec != nil {
+				rec.Record(trace.Entry{At: m.tel.now(), Op: trace.OpGranted,
+					Node: m.id, Lock: lockID, Mode: mode, Trace: tr})
+			}
+			if lg := m.tel.log; lg != nil {
+				lg.Debug("lock granted", "trace", tr.String(), "resource", resource,
+					"mode", mode.String(), "shared_join", true)
+			}
+			return &Lock{m: m, id: lockID, resource: resource, mode: mode}, nil
+		}
+		slot := ls.slot
+		sh.mu.Unlock()
+
+		// Admission: one client operation per lock per member at a time.
+		// The slot is acquired without the shard mutex, so the entry may
+		// have been evicted meanwhile; detect that and retry against the
+		// live entry.
+		select {
+		case slot <- struct{}{}:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-m.done:
+			return nil, ErrClosed
+		}
+		sh.mu.Lock()
+		if !ls.evicted {
+			break
+		}
+		sh.mu.Unlock()
+		<-slot
 	}
 
-	m.mu.Lock()
-	if m.closed {
-		m.mu.Unlock()
-		<-slot
+	if m.closed.Load() {
+		m.freeSlot(ls)
+		m.maybeEvict(sh)
+		sh.mu.Unlock()
 		return nil, ErrClosed
 	}
 	w := &waiter{ch: make(chan hlock.Event, 1)}
-	m.waiters[lockID] = w
-	out, err := m.engine(lockID).AcquireTraced(mode, priority, tr)
+	ls.waiter = w
+	out, err := ls.engine.AcquireTraced(mode, priority, tr)
 	if err != nil {
-		delete(m.waiters, lockID)
-		m.mu.Unlock()
-		<-slot
+		ls.waiter = nil
+		m.freeSlot(ls)
+		m.maybeEvict(sh)
+		sh.mu.Unlock()
 		return nil, err
 	}
-	m.dispatchLocked(lockID, out)
-	m.mu.Unlock()
+	m.dispatch(ls, out)
+	sh.mu.Unlock()
 
 	observe := func() {
 		d := time.Since(start)
-		m.mu.Lock()
+		m.statMu.Lock()
 		m.acqLatency.Observe(d)
-		m.mu.Unlock()
+		m.statMu.Unlock()
 		m.tel.acquires.Inc()
 		m.tel.latency.ObserveDuration(d)
 		m.tel.factor.Observe(d.Seconds() / m.tel.base.Seconds())
@@ -511,21 +670,34 @@ func (m *Member) LockWithPriority(ctx context.Context, resource string, mode Mod
 		observe()
 		return &Lock{m: m, id: lockID, resource: resource, mode: mode}, nil
 	case <-ctx.Done():
-		m.mu.Lock()
+		sh.mu.Lock()
 		select {
 		case <-w.ch:
 			// Granted in the race window: treat as success.
-			d := time.Since(start)
-			m.acqLatency.Observe(d)
-			m.mu.Unlock()
-			m.tel.acquires.Inc()
-			m.tel.latency.ObserveDuration(d)
-			m.tel.factor.Observe(d.Seconds() / m.tel.base.Seconds())
+			sh.mu.Unlock()
+			observe()
 			return &Lock{m: m, id: lockID, resource: resource, mode: mode}, nil
 		default:
 			w.abandoned = true
-			m.mu.Unlock()
+			sh.mu.Unlock()
 			return nil, ctx.Err()
+		}
+	case <-m.done:
+		sh.mu.Lock()
+		select {
+		case <-w.ch:
+			// Granted just before close: hand the lock over; a subsequent
+			// Unlock cleans up locally (remote sends are suppressed).
+			sh.mu.Unlock()
+			observe()
+			return &Lock{m: m, id: lockID, resource: resource, mode: mode}, nil
+		default:
+			// Disown the request: if the grant still arrives (it may be in
+			// the delivery pipeline), the lock is released immediately and
+			// the slot freed, exactly like a context-canceled wait.
+			w.abandoned = true
+			sh.mu.Unlock()
+			return nil, ErrClosed
 		}
 	}
 }
@@ -556,7 +728,9 @@ func (l *Lock) Mode() Mode {
 // Unlock releases the lock. When several local clients share the hold
 // (self-compatible modes), only the last Unlock releases it for real. If
 // an upgrade is in flight (after a canceled Upgrade call), the release
-// happens automatically once the upgrade lands.
+// happens automatically once the upgrade lands. Unlock works on a closed
+// member too — local state is cleaned up and undeliverable protocol
+// messages are dropped silently.
 func (l *Lock) Unlock() error {
 	l.mu.Lock()
 	if l.released {
@@ -568,30 +742,31 @@ func (l *Lock) Unlock() error {
 	l.mu.Unlock()
 
 	m := l.m
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	sh, ls := m.state(l.id, l.resource)
+	defer sh.mu.Unlock()
 	if upgrading {
-		if w := m.waiters[l.id]; w != nil {
+		if w := ls.waiter; w != nil {
 			w.releaseOnUpgrade = true
 			return nil
 		}
 	}
-	if h := m.holds[l.id]; h != nil && h.refs > 1 {
+	if h := ls.hold; h != nil && h.refs > 1 {
 		h.refs--
 		return nil
 	}
-	delete(m.holds, l.id)
-	tr := m.newTraceLocked()
+	ls.hold = nil
+	tr := m.newTrace()
 	if rec := m.tel.rec; rec != nil {
 		rec.Record(trace.Entry{At: m.tel.now(), Op: trace.OpRelease,
 			Node: m.id, Lock: l.id, Trace: tr})
 	}
-	out, err := m.engine(l.id).ReleaseTraced(tr)
+	out, err := ls.engine.ReleaseTraced(tr)
 	if err != nil {
 		return err
 	}
-	m.dispatchLocked(l.id, out)
-	m.freeSlotLocked(l.id)
+	m.dispatch(ls, out)
+	m.freeSlot(ls)
+	m.maybeEvict(sh)
 	return nil
 }
 
@@ -618,36 +793,39 @@ func (l *Lock) Upgrade(ctx context.Context) error {
 	l.mu.Unlock()
 
 	m := l.m
-	m.mu.Lock()
-	if m.closed {
-		m.mu.Unlock()
+	abort := func() {
+		l.mu.Lock()
+		l.upgrading = false
+		l.mu.Unlock()
+	}
+	if m.closed.Load() {
+		abort()
 		return ErrClosed
 	}
-	if h := m.holds[l.id]; h != nil {
+	sh, ls := m.state(l.id, l.resource)
+	if h := ls.hold; h != nil {
 		h.upgrading = true // U is never shared, so refs == 1 here
 	}
 	m.tel.requests.Inc()
-	tr := m.newTraceLocked()
+	tr := m.newTrace()
 	if rec := m.tel.rec; rec != nil {
 		rec.Record(trace.Entry{At: m.tel.now(), Op: trace.OpAcquire,
 			Node: m.id, Lock: l.id, Mode: modes.W, Trace: tr})
 	}
 	w := &waiter{ch: make(chan hlock.Event, 1)}
-	m.waiters[l.id] = w
-	out, err := m.engine(l.id).UpgradeTraced(0, tr)
+	ls.waiter = w
+	out, err := ls.engine.UpgradeTraced(0, tr)
 	if err != nil {
-		delete(m.waiters, l.id)
-		if h := m.holds[l.id]; h != nil {
+		ls.waiter = nil
+		if h := ls.hold; h != nil {
 			h.upgrading = false
 		}
-		m.mu.Unlock()
-		l.mu.Lock()
-		l.upgrading = false
-		l.mu.Unlock()
+		sh.mu.Unlock()
+		abort()
 		return err
 	}
-	m.dispatchLocked(l.id, out)
-	m.mu.Unlock()
+	m.dispatch(ls, out)
+	sh.mu.Unlock()
 
 	finish := func() {
 		l.mu.Lock()
@@ -660,27 +838,36 @@ func (l *Lock) Upgrade(ctx context.Context) error {
 		finish()
 		return nil
 	case <-ctx.Done():
-		m.mu.Lock()
+		sh.mu.Lock()
 		select {
 		case <-w.ch:
-			m.mu.Unlock()
+			sh.mu.Unlock()
 			finish()
 			return nil
 		default:
 			// The upgrade completes in the background; the waiter stays
 			// registered so the event updates nothing visible, but a
 			// subsequent Unlock is handled via releaseOnUpgrade.
-			m.mu.Unlock()
+			sh.mu.Unlock()
 			return ctx.Err()
+		}
+	case <-m.done:
+		sh.mu.Lock()
+		select {
+		case <-w.ch:
+			sh.mu.Unlock()
+			finish()
+			return nil
+		default:
+			sh.mu.Unlock()
+			return ErrClosed
 		}
 	}
 }
 
 // handle is the transport delivery callback (serialized per member).
 func (m *Member) handle(msg *proto.Message) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.closed {
+	if m.closed.Load() {
 		return
 	}
 	if rec := m.tel.rec; rec != nil {
@@ -688,30 +875,35 @@ func (m *Member) handle(msg *proto.Message) {
 			Node: m.id, Lock: msg.Lock, Mode: msg.Mode,
 			Kind: msg.Kind, From: msg.From, To: msg.To, Trace: msgTrace(msg)})
 	}
+	sh, ls := m.state(msg.Lock, "")
+	defer sh.mu.Unlock()
 	if msg.Kind == proto.KindToken && m.tel.reg != nil {
 		m.tel.reg.Counter(metrics.MetricTokenTransfers,
 			"Token transfers observed by this node.",
-			metrics.Labels{"lock": m.lockLabelLocked(msg.Lock), "direction": "in"}).Inc()
+			metrics.Labels{"lock": ls.label(), "direction": "in"}).Inc()
 	}
-	out, err := m.engine(msg.Lock).Handle(msg)
+	out, err := ls.engine.Handle(msg)
 	if err != nil {
-		if m.firstEr == nil {
-			m.firstEr = err
-		}
+		m.fail(err)
 		if lg := m.tel.log; lg != nil {
 			lg.Error("protocol error", "err", err, "kind", msg.Kind.String(),
 				"lock", uint64(msg.Lock), "from", int(msg.From),
 				"trace", msgTrace(msg).String())
 		}
 	}
-	m.dispatchLocked(msg.Lock, out)
+	m.dispatch(ls, out)
+	m.maybeEvict(sh)
 }
 
-// dispatchLocked routes an engine step's output. Callers hold m.mu.
-func (m *Member) dispatchLocked(lock proto.LockID, out hlock.Out) {
+// dispatch routes an engine step's output. Callers hold the shard mutex
+// owning ls; dispatch may recurse (abandoned-grant auto-release) but
+// only ever touches ls's own lock.
+func (m *Member) dispatch(ls *lockState, out hlock.Out) {
 	for i := range out.Msgs {
 		msg := &out.Msgs[i]
+		m.statMu.Lock()
 		m.sent.Count(msg.Kind)
+		m.statMu.Unlock()
 		m.tel.countSent(msg.Kind)
 		if rec := m.tel.rec; rec != nil {
 			rec.Record(trace.Entry{At: m.tel.now(), Op: trace.OpSend,
@@ -721,61 +913,52 @@ func (m *Member) dispatchLocked(lock proto.LockID, out hlock.Out) {
 		if msg.Kind == proto.KindToken && m.tel.reg != nil {
 			m.tel.reg.Counter(metrics.MetricTokenTransfers,
 				"Token transfers observed by this node.",
-				metrics.Labels{"lock": m.lockLabelLocked(msg.Lock), "direction": "out"}).Inc()
+				metrics.Labels{"lock": ls.label(), "direction": "out"}).Inc()
 		}
-		if err := m.tr.Send(msg); err != nil && m.firstEr == nil {
-			m.firstEr = fmt.Errorf("hierlock: send: %w", err)
+		if err := m.tr.Send(msg); err != nil && !m.closed.Load() {
+			m.fail(fmt.Errorf("hierlock: send: %w", err))
 		}
 	}
 	for _, ev := range out.Events {
 		switch ev.Kind {
 		case hlock.EventAcquired, hlock.EventUpgraded:
-			w := m.waiters[lock]
+			w := ls.waiter
 			if w == nil {
-				if m.firstEr == nil {
-					m.firstEr = fmt.Errorf("hierlock: lock %d granted with no waiter", lock)
-				}
+				m.fail(fmt.Errorf("hierlock: lock %d granted with no waiter", ls.id))
 				continue
 			}
-			delete(m.waiters, lock)
+			ls.waiter = nil
 			switch {
 			case w.abandoned, w.releaseOnUpgrade:
-				// The client gave up (or unlocked mid-upgrade): release
-				// immediately, under the abandoned request's trace.
-				delete(m.holds, lock)
-				rout, err := m.engines[lock].ReleaseTraced(ev.Trace)
-				if err != nil && m.firstEr == nil {
-					m.firstEr = err
+				// The client gave up (canceled, closed, or unlocked
+				// mid-upgrade): release immediately, under the abandoned
+				// request's trace.
+				ls.hold = nil
+				rout, err := ls.engine.ReleaseTraced(ev.Trace)
+				if err != nil {
+					m.fail(err)
 				}
-				m.freeSlotLocked(lock)
-				m.dispatchLocked(lock, rout)
+				m.freeSlot(ls)
+				m.dispatch(ls, rout)
 			default:
 				if ev.Kind == hlock.EventUpgraded {
-					if h := m.holds[lock]; h != nil {
+					if h := ls.hold; h != nil {
 						h.mode = ev.Mode
 						h.upgrading = false
 					}
 				} else {
-					m.holds[lock] = &hold{mode: ev.Mode, refs: 1}
+					ls.hold = &hold{mode: ev.Mode, refs: 1}
 				}
 				if rec := m.tel.rec; rec != nil {
 					rec.Record(trace.Entry{At: m.tel.now(), Op: trace.OpGranted,
-						Node: m.id, Lock: lock, Mode: ev.Mode, Trace: ev.Trace})
+						Node: m.id, Lock: ls.id, Mode: ev.Mode, Trace: ev.Trace})
 				}
 				if lg := m.tel.log; lg != nil {
 					lg.Debug("lock granted", "trace", ev.Trace.String(),
-						"lock", uint64(lock), "mode", ev.Mode.String())
+						"lock", uint64(ls.id), "mode", ev.Mode.String())
 				}
 				w.ch <- ev
 			}
 		}
-	}
-}
-
-// freeSlotLocked releases the per-lock client-admission slot.
-func (m *Member) freeSlotLocked(lock proto.LockID) {
-	select {
-	case <-m.slot(lock):
-	default:
 	}
 }

@@ -1,0 +1,104 @@
+package hierlock_test
+
+// Contended stress tests meant to run under the race detector: many
+// goroutines hammering overlapping locks on a sharded member, first
+// in-process and then over TCP. Beyond data races these catch slot
+// leaks (a leaked slot deadlocks a later client) and eviction races
+// (a swept entry must be recreated transparently).
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"hierlock"
+)
+
+func TestStressContendedSingleMember(t *testing.T) {
+	c := newCluster(t, 1)
+	ctx := context.Background()
+	m := c.Member(0)
+
+	const (
+		goroutines = 16
+		locks      = 8
+		iters      = 200
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				res := fmt.Sprintf("lock-%d", (g+i)%locks)
+				mode := hierlock.W
+				if i%3 != 0 {
+					mode = hierlock.R // overlapping readers exercise shared joins
+				}
+				l, err := m.Lock(ctx, res, mode)
+				if err != nil {
+					t.Errorf("goroutine %d iter %d: %v", g, i, err)
+					return
+				}
+				if err := l.Unlock(); err != nil {
+					t.Errorf("goroutine %d iter %d unlock: %v", g, i, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := m.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// Everything is released: a full sweep must empty the table.
+	m.EvictIdle()
+	if got := m.TrackedLocks(); got != 0 {
+		t.Errorf("tracked locks = %d after stress and sweep, want 0", got)
+	}
+}
+
+func TestStressContendedTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP stress in -short mode")
+	}
+	members := newTCPCluster(t, 2)
+	ctx := context.Background()
+
+	const (
+		goroutines = 8
+		locks      = 4
+		iters      = 50
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			m := members[g%len(members)]
+			for i := 0; i < iters; i++ {
+				res := fmt.Sprintf("net-%d", (g+i)%locks)
+				mode := hierlock.W
+				if i%2 == 0 {
+					mode = hierlock.R
+				}
+				l, err := m.Lock(ctx, res, mode)
+				if err != nil {
+					t.Errorf("goroutine %d iter %d: %v", g, i, err)
+					return
+				}
+				if err := l.Unlock(); err != nil {
+					t.Errorf("goroutine %d iter %d unlock: %v", g, i, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, m := range members {
+		if err := m.Err(); err != nil {
+			t.Fatalf("member %d: %v", m.ID(), err)
+		}
+	}
+}
