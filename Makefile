@@ -25,10 +25,13 @@ lint: vet
 race:
 	$(GO) test -race -count=1 ./...
 
-# Just the fault-injection and transport-failure coverage.
+# Just the fault-injection, crash-recovery and transport-failure
+# coverage.
 chaos:
 	$(GO) test -race -count=1 -run 'Chaos' ./internal/cluster/
 	$(GO) test -race -count=1 -run 'TestTCP' ./internal/transport/
+	$(GO) test -race -count=1 ./internal/recovery/
+	$(GO) test -race -count=1 -run 'TestTCPCrashRecovery|TestTCPRecoveryQuietWithoutCrash' .
 
 # Microbenchmarks: protocol engine hot paths plus the observability
 # overhead benches (histogram/counter/trace-record, including the
@@ -37,14 +40,14 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchmem . ./internal/hlock ./internal/metrics ./internal/trace ./internal/proto
 
 # Record a benchmark snapshot — the paper's Figure 5/6/7 CSVs plus the
-# microbenchmark output — into BENCH_pr4.json so PRs can be compared.
+# microbenchmark output — into BENCH_pr5.json so PRs can be compared.
 bench-record:
-	$(GO) run ./cmd/benchrecord -o BENCH_pr4.json
+	$(GO) run ./cmd/benchrecord -o BENCH_pr5.json
 
 # Compare the current snapshot against the previous PR's baseline and
 # fail on any >10% protocol-engine microbenchmark regression.
 bench-compare:
-	$(GO) run ./cmd/benchcompare -old BENCH_pr3.json -new BENCH_pr4.json -threshold 0.10
+	$(GO) run ./cmd/benchcompare -old BENCH_pr4.json -new BENCH_pr5.json -threshold 0.10
 
 # The online protocol auditor's invariant tests, under the race
 # detector (they replay violating and healthy trace streams).
@@ -53,8 +56,10 @@ audit:
 
 # What CI runs: build, go vet + gofmt drift, the plain test pass (which
 # includes the codec allocation assertions compiled out under -race),
-# the full suite under -race (tier-1), and the auditor invariants.
-ci: build lint test race audit
+# the full suite under -race (tier-1), the auditor invariants, the
+# chaos/crash-recovery pass, and the microbenchmark regression gate
+# against the previous PR's recorded baseline.
+ci: build lint test race audit chaos bench-record bench-compare
 
 clean:
 	$(GO) clean ./...

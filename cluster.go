@@ -2,6 +2,7 @@ package hierlock
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"hierlock/internal/proto"
@@ -25,7 +26,7 @@ func NewCluster(n int) (*Cluster, error) {
 	}
 	c := &Cluster{net: transport.NewChanNetwork()}
 	for i := 0; i < n; i++ {
-		m, err := newMember(proto.NodeID(i), 0, c.net.Node(proto.NodeID(i)))
+		m, err := newMember(proto.NodeID(i), 0, c.net.Node(proto.NodeID(i)), nil)
 		if err != nil {
 			_ = c.Close()
 			return nil, err
@@ -92,6 +93,33 @@ type TCPMemberConfig struct {
 	// time a peer's health changes ("up", "degraded", "down"). It must not
 	// block.
 	OnPeerState func(peer int, state string)
+
+	// HeartbeatInterval enables the failure detector and the crash-
+	// recovery runtime: the member heartbeats every peer at this interval,
+	// confirms a silent peer dead after ConfirmAfter, and then runs an
+	// epoch-stamped token-regeneration round with the survivors so locks
+	// whose token (or queued requests) died with the peer become usable
+	// again. Zero disables recovery: a dead token holder then hangs its
+	// lock forever, the pre-recovery behavior. All members of one cluster
+	// should agree on this setting.
+	HeartbeatInterval time.Duration
+	// SuspectAfter and ConfirmAfter tune the detector (defaults 4× and 8×
+	// HeartbeatInterval). ConfirmAfter must comfortably exceed the worst
+	// expected stall of a healthy peer — GC pause, scheduling hiccup,
+	// transient partition: a false confirmation fences a live node out of
+	// the new epoch and its holds surface as ErrLockLost.
+	SuspectAfter time.Duration
+	ConfirmAfter time.Duration
+	// ProbeTimeout is the regenerator's re-probe interval for survivors
+	// that have not answered during a recovery round (default 1s).
+	ProbeTimeout time.Duration
+	// RecoveryTimeout, when set, bounds every blocking Lock/Upgrade call:
+	// an operation with no grant within it is abandoned and fails with
+	// ErrLockLost. It is the client-side backstop for requests recovery
+	// cannot regenerate (see docs/OPERATIONS.md) and must comfortably
+	// exceed the worst legitimate wait for a contended lock. Zero
+	// disables the bound.
+	RecoveryTimeout time.Duration
 }
 
 // NewTCPMember creates and starts a member that communicates over TCP.
@@ -121,15 +149,45 @@ func NewTCPMember(cfg TCPMemberConfig) (*Member, error) {
 			cb(int(peer), s.String())
 		}
 	}
+	var rec *memberRecovery
+	var mref atomic.Pointer[Member]
+	if cfg.HeartbeatInterval > 0 {
+		tcfg.HeartbeatInterval = cfg.HeartbeatInterval
+		tcfg.SuspectAfter = cfg.SuspectAfter
+		tcfg.ConfirmAfter = cfg.ConfirmAfter
+		// The detector callbacks fire on transport goroutines, possibly
+		// before NewTCPMember returns; they resolve the member through an
+		// atomic late-bound reference and re-enter it asynchronously.
+		tcfg.OnPeerConfirmed = func(peer proto.NodeID) {
+			if m := mref.Load(); m != nil {
+				go m.peerConfirmed(peer)
+			}
+		}
+		tcfg.OnPeerAlive = func(peer proto.NodeID) {
+			if m := mref.Load(); m != nil {
+				go m.peerAlive(peer)
+			}
+		}
+		nodes := []proto.NodeID{proto.NodeID(cfg.ID)}
+		for id := range peers {
+			nodes = append(nodes, id)
+		}
+		rec = &memberRecovery{
+			nodes:        nodes,
+			probeTimeout: cfg.ProbeTimeout,
+			opTimeout:    cfg.RecoveryTimeout,
+		}
+	}
 	tr, err := transport.NewTCP(tcfg)
 	if err != nil {
 		return nil, err
 	}
-	m, err := newMember(proto.NodeID(cfg.ID), proto.NodeID(cfg.Root), tr)
+	m, err := newMember(proto.NodeID(cfg.ID), proto.NodeID(cfg.Root), tr, rec)
 	if err != nil {
 		_ = tr.Close()
 		return nil, err
 	}
+	mref.Store(m)
 	return m, nil
 }
 

@@ -67,8 +67,8 @@ func load(path string) (*snapshot, error) {
 
 func main() {
 	var (
-		oldPath   = flag.String("old", "BENCH_pr3.json", "baseline snapshot")
-		newPath   = flag.String("new", "BENCH_pr4.json", "candidate snapshot")
+		oldPath   = flag.String("old", "BENCH_pr4.json", "baseline snapshot")
+		newPath   = flag.String("new", "BENCH_pr5.json", "candidate snapshot")
 		threshold = flag.Float64("threshold", 0.10, "max allowed ns/op regression (fraction)")
 		filter    = flag.String("filter",
 			"LocalAcquireRelease|RequestGrantRoundTrip|QueueChurn|Fingerprint",

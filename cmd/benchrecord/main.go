@@ -43,7 +43,7 @@ type record struct {
 
 func main() {
 	var (
-		out      = flag.String("o", "BENCH_pr4.json", "output file (- for stdout)")
+		out      = flag.String("o", "BENCH_pr5.json", "output file (- for stdout)")
 		nodes    = flag.String("nodes", "2,8,16,32", "comma-separated node counts for the figure sweeps")
 		duration = flag.Duration("duration", 60*time.Second, "virtual measurement window per cell")
 		warmup   = flag.Duration("warmup", 10*time.Second, "virtual warmup per cell")

@@ -56,6 +56,11 @@ func main() {
 		queueLimit = flag.Int("queue-limit", 0, "bound per-peer outbound and inbound queues (0 = unbounded)")
 		redial     = flag.Duration("redial", 0, "initial redial backoff for unreachable peers (default 100ms)")
 		redialMax  = flag.Duration("redial-max", 0, "redial backoff cap (default 5s)")
+
+		heartbeat       = flag.Duration("heartbeat", 0, "peer heartbeat interval; enables crash detection and token regeneration (0 disables, all members should agree)")
+		suspectAfter    = flag.Duration("suspect-after", 0, "silence before a peer is suspected (default 4x -heartbeat)")
+		confirmAfter    = flag.Duration("confirm-after", 0, "silence before a peer is confirmed dead and recovery starts; must exceed worst-case GC/network stalls (default 8x -heartbeat)")
+		recoveryTimeout = flag.Duration("recovery-timeout", 0, "abandon a lock operation with no grant after this long (0 = wait forever)")
 	)
 	flag.Parse()
 
@@ -75,14 +80,18 @@ func main() {
 		fatal("bad -peers", "err", err)
 	}
 	m, err := hierlock.NewTCPMember(hierlock.TCPMemberConfig{
-		ID:               *id,
-		Root:             *root,
-		ListenAddr:       *listen,
-		Peers:            peerMap,
-		Reliable:         *reliable,
-		QueueLimit:       *queueLimit,
-		RedialBackoff:    *redial,
-		RedialBackoffMax: *redialMax,
+		ID:                *id,
+		Root:              *root,
+		ListenAddr:        *listen,
+		Peers:             peerMap,
+		Reliable:          *reliable,
+		QueueLimit:        *queueLimit,
+		RedialBackoff:     *redial,
+		RedialBackoffMax:  *redialMax,
+		HeartbeatInterval: *heartbeat,
+		SuspectAfter:      *suspectAfter,
+		ConfirmAfter:      *confirmAfter,
+		RecoveryTimeout:   *recoveryTimeout,
 		OnPeerState: func(peer int, state string) {
 			logger.Info("peer state changed", "peer", peer, "state", state)
 		},

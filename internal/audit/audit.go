@@ -5,8 +5,13 @@
 //
 //   - mutual_exclusion — all concurrently granted modes on one lock are
 //     pairwise compatible under Tab. 1(a) of Desai & Mueller.
-//   - token_conservation — each lock has at most one token: only the
-//     holder may send it, and it is never duplicated while in flight.
+//   - token_conservation — each lock has at most one token per recovery
+//     epoch: only the holder may send it, and it is never duplicated
+//     while in flight. Epoch 0 is the initial world (the configured root
+//     holds every token); each regeneration round opens a fresh epoch
+//     whose token springs into existence at the recovered root announced
+//     by the round's Recovered broadcast. Stale pre-crash traffic is
+//     checked against its own epoch's state, never the new world's.
 //   - copyset_release — a node only sends a release to a plausible
 //     parent: the initial tree root, a node that previously granted it a
 //     copy or the token, or the origin of a request it forwarded (path
@@ -87,7 +92,7 @@ type msgSig struct {
 	mode modes.Mode
 }
 
-// tokenState tracks one lock's token location.
+// tokenState tracks one (lock, epoch)'s token location.
 type tokenState struct {
 	holder   proto.NodeID // current holder, or NoNode when in flight/unknown
 	inFlight bool
@@ -100,9 +105,14 @@ type lockState struct {
 	holders map[proto.NodeID]modes.Mode
 	// parents: node → set of plausible release targets — nodes that
 	// granted it a copy or the token, plus origins of requests it
-	// forwarded (path reversal makes the origin the new parent).
+	// forwarded (path reversal makes the origin the new parent) and the
+	// regenerated root of any recovery round it was reseeded by.
 	parents map[proto.NodeID]map[proto.NodeID]bool
-	token   tokenState
+	// tokens: recovery epoch → that epoch's token state. Epoch 0 is
+	// seeded at the configured root; higher epochs start unknown and are
+	// learned from the first Recovered broadcast (or token event) seen
+	// at that epoch.
+	tokens map[uint32]*tokenState
 }
 
 type linkState struct {
@@ -183,15 +193,24 @@ func (a *Auditor) lock(id proto.LockID) *lockState {
 		ls = &lockState{
 			holders: make(map[proto.NodeID]modes.Mode),
 			parents: make(map[proto.NodeID]map[proto.NodeID]bool),
-			token:   tokenState{holder: proto.NoNode},
+			tokens:  make(map[uint32]*tokenState),
 		}
 		if a.cfg.Root != proto.NoNode {
-			root := a.cfg.Root
-			ls.token = tokenState{holder: root, known: true}
+			ls.tokens[0] = &tokenState{holder: a.cfg.Root, known: true}
 		}
 		a.locks[id] = ls
 	}
 	return ls
+}
+
+// token returns (creating) the token state for one epoch of a lock.
+func (ls *lockState) token(epoch uint32) *tokenState {
+	t := ls.tokens[epoch]
+	if t == nil {
+		t = &tokenState{holder: proto.NoNode}
+		ls.tokens[epoch] = t
+	}
+	return t
 }
 
 func (a *Auditor) flag(inv string, e trace.Entry, format string, args ...any) {
@@ -232,17 +251,17 @@ func (a *Auditor) onSend(e trace.Entry) {
 	ls := a.lock(e.Lock)
 	switch e.Kind {
 	case proto.KindToken:
-		t := &ls.token
+		t := ls.token(e.Epoch)
 		switch {
 		case t.inFlight:
 			a.flag(InvTokenConservation, e,
-				"token sent %d→%d while already in flight %d→%d (duplicated)",
-				e.From, e.To, t.from, t.to)
+				"token sent %d→%d at epoch %d while already in flight %d→%d (duplicated)",
+				e.From, e.To, e.Epoch, t.from, t.to)
 			// Track the newest transfer so one bug is not reported forever.
 			t.from, t.to = e.From, e.To
 		case t.known && t.holder != e.From:
 			a.flag(InvTokenConservation, e,
-				"token sent by node %d but held by node %d", e.From, t.holder)
+				"token sent by node %d at epoch %d but held by node %d", e.From, e.Epoch, t.holder)
 			t.inFlight, t.from, t.to = true, e.From, e.To
 			t.holder = proto.NoNode
 		default:
@@ -253,6 +272,8 @@ func (a *Auditor) onSend(e trace.Entry) {
 		// Handing the token over repoints the sender's parent at the
 		// recipient (the new root): a plausible future release target.
 		a.parentEdge(ls, e.From, e.To)
+	case proto.KindRecovered:
+		a.onRecovered(ls, e, e.From)
 	case proto.KindRequest:
 		// Forwarding a request repoints the forwarder's parent at the
 		// request's origin (path reversal): the origin becomes a plausible
@@ -281,10 +302,11 @@ func (a *Auditor) onDeliver(e trace.Entry) {
 	ls := a.lock(e.Lock)
 	switch e.Kind {
 	case proto.KindToken:
-		t := &ls.token
+		t := ls.token(e.Epoch)
 		if t.inFlight && t.to != e.To {
 			a.flag(InvTokenConservation, e,
-				"token delivered to node %d but was in flight %d→%d", e.To, t.from, t.to)
+				"token delivered to node %d at epoch %d but was in flight %d→%d",
+				e.To, e.Epoch, t.from, t.to)
 		}
 		t.known = true
 		t.inFlight = false
@@ -292,8 +314,30 @@ func (a *Auditor) onDeliver(e trace.Entry) {
 		a.parentEdge(ls, e.To, e.From)
 	case proto.KindGrant:
 		a.parentEdge(ls, e.To, e.From)
+	case proto.KindRecovered:
+		a.onRecovered(ls, e, e.To)
 	}
 	a.fifoDeliver(e)
+}
+
+// onRecovered digests a regeneration-round outcome observed at node
+// (the sender on OpSend, the receiver on OpDeliver). The entry's trace
+// node carries the regenerated root: the node is reseeded with the root
+// as its parent (a plausible release target from now on), and the
+// round's epoch has its token seeded at the root — the "exactly one
+// token per epoch" ledger opens with the regenerated token, so a second,
+// conflicting regeneration at the same epoch is flagged like any other
+// duplication. Late hints for an epoch whose token already moved on are
+// absorbed by normal transfer tracking (seeding only happens on the
+// first observation).
+func (a *Auditor) onRecovered(ls *lockState, e trace.Entry, node proto.NodeID) {
+	root := e.Trace.Node
+	a.parentEdge(ls, node, root)
+	t := ls.token(e.Epoch)
+	if !t.known {
+		t.known = true
+		t.holder = root
+	}
 }
 
 // parentEdge records that granter is a plausible release target for node

@@ -166,7 +166,7 @@ func TestChaosAllProtocols(t *testing.T) {
 func TestChaosDeterministic(t *testing.T) {
 	type fingerprint struct {
 		faults  metrics.Faults
-		byKind  [6]uint64
+		byKind  [10]uint64
 		granted int
 		fired   uint64
 	}
@@ -269,5 +269,187 @@ func TestChaosTraceRecordsFaults(t *testing.T) {
 	if uint64(counts[trace.OpDrop]) != stats.Drops || uint64(counts[trace.OpDup]) != stats.Duplicates {
 		t.Fatalf("trace fault counts (%d drops, %d dups) disagree with metrics (%+v)",
 			counts[trace.OpDrop], counts[trace.OpDup], stats)
+	}
+}
+
+// recoveryCrashPlan kills one node permanently, destroying every frame
+// that touches it from the crash on (the true message-loss model): the
+// token, the in-flight requests and the node's queue state all die with
+// it. A light drop rate rides along so recovery probes contend with an
+// imperfect network too.
+func recoveryCrashPlan(victim int) *sim.FaultPlan {
+	return &sim.FaultPlan{
+		LoseOnCrash:       true,
+		DropRate:          0.01,
+		RetransmitTimeout: 100 * time.Millisecond,
+		Crashes: []sim.CrashWindow{
+			{Node: victim, Start: 2 * time.Second, End: 1000 * time.Hour},
+		},
+	}
+}
+
+// runRecoveryChaos drives the acceptance scenario for crash recovery:
+// the current token holder (a W holder, so necessarily the token node)
+// crashes permanently under LoseOnCrash; the survivors' requests —
+// issued before the crash, during the regeneration round and after it —
+// must all be granted and released. Returns the cluster and completed
+// grant count over the seven survivors.
+func runRecoveryChaos(t *testing.T, p cluster.Protocol, seed int64) (*cluster.Cluster, int) {
+	t.Helper()
+	const (
+		lock   proto.LockID = 1
+		nodes               = 8
+		victim              = 3
+	)
+	rec := trace.New(1)
+	reg := metrics.NewRegistry()
+	auditor := attachAuditor(rec, reg)
+	t.Cleanup(func() { requireCleanAudit(t, auditor, reg) })
+	c := cluster.New(cluster.Config{
+		Protocol: p,
+		Nodes:    nodes,
+		Locks:    []proto.LockID{lock},
+		Seed:     seed,
+		Trace:    rec,
+		Faults:   recoveryCrashPlan(victim),
+		Recovery: &cluster.RecoveryOptions{
+			ConfirmAfter: time.Second,
+			ProbeTimeout: 300 * time.Millisecond,
+		},
+	})
+	// The victim takes W — and with it the token — then dies holding it.
+	c.Sim.At(100*time.Millisecond, func() {
+		c.Nodes[victim].Acquire(lock, modes.W, func() {})
+	})
+	served := 0
+	i := 0
+	for id := 0; id < nodes; id++ {
+		if id == victim {
+			continue
+		}
+		n := c.Nodes[id]
+		// Staggered starts span the whole failure timeline: before the
+		// crash is confirmed (the request is lost with the victim), during
+		// the fence (the engine records it silently) and after recovery.
+		c.Sim.At(2500*time.Millisecond+time.Duration(i)*400*time.Millisecond, func() {
+			n.Acquire(lock, chaosMode(p, int(n.ID)), func() {
+				served++
+				c.Sim.At(20*time.Millisecond, func() { n.Release(lock) })
+			})
+		})
+		i++
+	}
+	c.Sim.Run(5 * time.Minute)
+	return c, served
+}
+
+// TestChaosRecoveryTokenHolderCrash is the PR's acceptance test: on the
+// seed (no recovery subsystem) this scenario wedges forever — see
+// TestChaosTokenHolderCrashHangsWithoutRecovery for the pinned failure
+// mode. With recovery enabled the cluster must converge: an epoch-
+// stamped regeneration round rebuilds the token, every surviving
+// request is granted, token conservation holds at the new epoch and the
+// online auditor stays silent.
+func TestChaosRecoveryTokenHolderCrash(t *testing.T) {
+	for _, p := range []cluster.Protocol{cluster.Hierarchical, cluster.Naimi} {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			c, served := runRecoveryChaos(t, p, 4242)
+			if err := c.Err(); err != nil {
+				t.Fatalf("protocol error or oracle violation: %v", err)
+			}
+			if served != 7 {
+				t.Fatalf("served %d of 7 surviving requests (recovery did not converge)", served)
+			}
+			if !c.Quiesced() {
+				t.Fatal("cluster did not quiesce after recovery")
+			}
+			if err := c.CheckTokens(); err != nil {
+				t.Fatalf("token conservation after recovery: %v", err)
+			}
+			if c.Net.FaultStats.Lost == 0 {
+				t.Fatal("no frames were lost — the crash model did not engage")
+			}
+			// Node 0 is the lowest survivor, hence the regenerator.
+			if rounds := c.Nodes[0].RecoveryManager().Rounds(); rounds == 0 {
+				t.Fatal("regenerator completed no rounds")
+			}
+		})
+	}
+}
+
+// TestChaosTokenHolderCrashHangsWithoutRecovery pins the failure mode
+// this PR exists to fix: the identical scenario without the recovery
+// subsystem leaves every surviving request waiting forever on a token
+// that died with its holder, and token conservation reports the loss.
+func TestChaosTokenHolderCrashHangsWithoutRecovery(t *testing.T) {
+	const (
+		lock   proto.LockID = 1
+		nodes               = 8
+		victim              = 3
+	)
+	c := cluster.New(cluster.Config{
+		Protocol: cluster.Hierarchical,
+		Nodes:    nodes,
+		Locks:    []proto.LockID{lock},
+		Seed:     4242,
+		Faults:   recoveryCrashPlan(victim),
+	})
+	c.Sim.At(100*time.Millisecond, func() {
+		c.Nodes[victim].Acquire(lock, modes.W, func() {})
+	})
+	served := 0
+	for id := 0; id < nodes; id++ {
+		if id == victim {
+			continue
+		}
+		n := c.Nodes[id]
+		c.Sim.At(3*time.Second, func() {
+			n.Acquire(lock, modes.W, func() { served++ })
+		})
+	}
+	c.Sim.Run(5 * time.Minute)
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if served != 0 {
+		t.Fatalf("%d requests served without a token — impossible", served)
+	}
+	if c.Quiesced() {
+		t.Fatal("cluster quiesced with outstanding waiters")
+	}
+	if err := c.CheckTokens(); err == nil {
+		t.Fatal("CheckTokens did not report the token lost in the crash")
+	}
+}
+
+// TestChaosRecoveryDeterministic reruns the seeded recovery scenario
+// and requires bit-identical outcomes: the regeneration round, the
+// modelled failure detector and the loss bookkeeping are all inside the
+// deterministic envelope.
+func TestChaosRecoveryDeterministic(t *testing.T) {
+	type fingerprint struct {
+		faults metrics.Faults
+		byKind [10]uint64
+		served int
+		lost   uint64
+		fired  uint64
+	}
+	run := func() fingerprint {
+		c, served := runRecoveryChaos(t, cluster.Hierarchical, 77)
+		if err := c.Err(); err != nil {
+			t.Fatal(err)
+		}
+		return fingerprint{
+			faults: c.Net.FaultStats,
+			byKind: c.Net.Metrics.ByKind,
+			served: served,
+			lost:   c.LostHolds,
+			fired:  c.Sim.Fired(),
+		}
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("seeded recovery run not reproducible:\n  run 1: %+v\n  run 2: %+v", a, b)
 	}
 }

@@ -13,6 +13,7 @@ package cluster
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"hierlock/internal/hlock"
@@ -21,6 +22,7 @@ import (
 	"hierlock/internal/naimi"
 	"hierlock/internal/proto"
 	"hierlock/internal/raymond"
+	"hierlock/internal/recovery"
 	"hierlock/internal/ricart"
 	"hierlock/internal/sim"
 	"hierlock/internal/suzuki"
@@ -93,6 +95,27 @@ type Config struct {
 	// a multiple of the mean network delay, the paper's Figure 6 x-axis).
 	// Defaults to DefaultLatencyMean.
 	LatencyBase time.Duration
+	// Recovery, when non-nil, enables crash recovery (internal/recovery)
+	// on the token-based protocols that support it (Hierarchical, Naimi):
+	// confirmed node deaths trigger epoch-stamped token-regeneration
+	// rounds instead of wedging the crashed node's locks forever. The
+	// failure detector is modelled from fault-plan ground truth, so this
+	// requires Faults with crash windows to have any effect.
+	Recovery *RecoveryOptions
+}
+
+// RecoveryOptions tunes the simulated crash-recovery subsystem.
+type RecoveryOptions struct {
+	// ConfirmAfter models the failure detector's confirmation threshold:
+	// each surviving node confirms a crashed peer dead this long after its
+	// crash window opens (staggered a millisecond per observer, as real
+	// detectors never fire simultaneously). Crash windows shorter than
+	// ConfirmAfter are never confirmed — exactly how a silence-based
+	// detector rides out brief outages. Default 2s.
+	ConfirmAfter time.Duration
+	// ProbeTimeout is the regenerator's re-probe interval for survivors
+	// that have not answered a recovery probe. Default 1s.
+	ProbeTimeout time.Duration
 }
 
 // DefaultLatencyMean is the paper's mean network latency.
@@ -108,11 +131,16 @@ type Cluster struct {
 	// Requests counts client lock requests issued (including message-free
 	// local acquisitions), the denominator of the paper's Figure 5.
 	Requests uint64
+	// LostHolds counts holds that did not survive a regeneration round
+	// (the live runtime surfaces these to clients as ErrLockLost).
+	LostHolds uint64
 
-	oracle map[proto.LockID]map[proto.NodeID]modes.Mode
-	errs   []error
-	trace  *trace.Recorder
-	tel    telemetry
+	oracle   map[proto.LockID]map[proto.NodeID]modes.Mode
+	errs     []error
+	trace    *trace.Recorder
+	tel      telemetry
+	recovery *RecoveryOptions
+	died     map[proto.NodeID]bool
 }
 
 // New builds a cluster per cfg. Node 0 initially holds every token and is
@@ -129,6 +157,17 @@ func New(cfg Config) *Cluster {
 		Sim:    s,
 		trace:  cfg.Trace,
 		oracle: make(map[proto.LockID]map[proto.NodeID]modes.Mode, len(cfg.Locks)),
+		died:   make(map[proto.NodeID]bool),
+	}
+	if cfg.Recovery != nil && (cfg.Protocol == Hierarchical || cfg.Protocol == Naimi) {
+		r := *cfg.Recovery
+		if r.ConfirmAfter <= 0 {
+			r.ConfirmAfter = 2 * time.Second
+		}
+		if r.ProbeTimeout <= 0 {
+			r.ProbeTimeout = time.Second
+		}
+		c.recovery = &r
 	}
 	c.Net = NewNetwork(s, cfg.Latency)
 	c.Net.trace = cfg.Trace
@@ -148,7 +187,85 @@ func New(cfg Config) *Cluster {
 		c.Nodes = append(c.Nodes, n)
 		c.Net.Register(n.ID, n.handle)
 	}
+	if c.recovery != nil && cfg.Faults != nil {
+		c.scheduleDetector(cfg.Faults)
+	}
 	return c
+}
+
+// scheduleDetector models the failure detector from fault-plan ground
+// truth with a finite set of pre-scheduled events, preserving simulator
+// quiescence (a periodically ticking detector never would): for every
+// crash window and every other node, one confirmation event fires
+// ConfirmAfter past the window's start, staggered a millisecond per
+// observer. At fire time the event checks the peer is still down —
+// windows shorter than ConfirmAfter never confirm, exactly like a
+// silence-based detector riding out a brief outage. Restarted nodes are
+// not reported alive again: survivors keep excluding them from rounds
+// and they catch up through recovery hints, the trajectory a live
+// deployment follows when a member restarts with a cold detector.
+func (c *Cluster) scheduleDetector(plan *sim.FaultPlan) {
+	for _, cw := range plan.Crashes {
+		dead := proto.NodeID(cw.Node)
+		if int(dead) >= len(c.Nodes) {
+			continue
+		}
+		for i := range c.Nodes {
+			if proto.NodeID(i) == dead {
+				continue
+			}
+			obs := c.Nodes[i]
+			at := cw.Start + c.recovery.ConfirmAfter + time.Duration(i)*time.Millisecond
+			c.Sim.At(at-c.Sim.Now(), func() {
+				f := c.Net.Faults()
+				if f == nil || !f.DownAt(int(dead), c.Sim.Now()) {
+					return // restarted before the silence threshold
+				}
+				if obs.mgr == nil || c.NodeDown(obs.ID) {
+					return
+				}
+				c.nodeDied(dead)
+				obs.mgr.ConfirmDead(dead)
+			})
+		}
+	}
+}
+
+// nodeDied models the memory loss of a fail-stop crash, once, at the
+// first confirmation: the dead node's holds vanish (recorded as
+// releases so the oracle and auditor stay balanced) and its outstanding
+// client requests are abandoned.
+func (c *Cluster) nodeDied(dead proto.NodeID) {
+	if c.died[dead] {
+		return
+	}
+	c.died[dead] = true
+	locks := make([]proto.LockID, 0, len(c.oracle))
+	for lock, holders := range c.oracle {
+		if _, held := holders[dead]; held {
+			locks = append(locks, lock)
+		}
+	}
+	sort.Slice(locks, func(i, j int) bool { return locks[i] < locks[j] })
+	for _, lock := range locks {
+		c.oracleRelease(lock, dead, proto.TraceID{})
+	}
+	n := c.Nodes[dead]
+	for lock := range n.waiters {
+		delete(n.waiters, lock)
+	}
+}
+
+// lockLost records that a node's hold did not survive a regeneration
+// round: the round closed without accounting for it, so the rebuilt
+// world may grant conflicting modes. The live runtime surfaces this as
+// ErrLockLost; the oracle drops the hold so it mirrors what recovery
+// actually guarantees.
+func (c *Cluster) lockLost(lock proto.LockID, node proto.NodeID) {
+	c.LostHolds++
+	if _, held := c.oracle[lock][node]; held {
+		c.oracleRelease(lock, node, proto.TraceID{})
+	}
 }
 
 // Err returns the first recorded failure (protocol error or oracle
@@ -218,33 +335,67 @@ func (c *Cluster) Quiesced() bool {
 	return true
 }
 
-// CheckTokens verifies token conservation: every lock of a token-based
-// protocol must have exactly one token holder across the cluster. Zero
-// holders means the token was lost (a dropped Token message the transport
-// failed to recover); more than one means it was duplicated. Call when the
-// cluster is quiesced — during a transfer the token is legitimately in
-// flight. Ricart–Agrawala is permission-based and vacuously conserves.
+// CheckTokens verifies epoch-aware token conservation: every lock of a
+// token-based protocol must have exactly one token holder among live
+// nodes at the lock's highest live epoch. Zero holders means the token
+// was lost (a dropped Token message the transport failed to recover, or
+// a crash recovery failed to regenerate it); more than one means it was
+// duplicated. Nodes inside a crash window are excluded — their state
+// died with them — and stale engines from before the last regeneration
+// round are fenced out by the epoch filter rather than counted as
+// duplicates. Call when the cluster is quiesced — during a transfer the
+// token is legitimately in flight. Ricart–Agrawala is permission-based
+// and vacuously conserves.
 func (c *Cluster) CheckTokens() error {
 	for lock := range c.oracle {
+		// Pass 1: the highest epoch any live node has seen for this lock.
+		// Completed-round seeds count alongside engine state: a recovered
+		// root's engine may have been evicted at its post-recovery initial
+		// state, with only the seed table remembering the world.
+		var maxEpoch uint32
+		up := func(e uint32) {
+			if e > maxEpoch {
+				maxEpoch = e
+			}
+		}
+		for _, n := range c.Nodes {
+			if c.NodeDown(n.ID) {
+				continue
+			}
+			if n.mgr != nil {
+				if s, ok := n.mgr.SeedFor(lock); ok {
+					up(s.Epoch)
+				}
+			}
+			switch {
+			case n.hier != nil:
+				if e := n.hier[lock]; e != nil {
+					up(e.Epoch())
+				}
+			case n.naimi != nil:
+				if e := n.naimi[lock]; e != nil {
+					up(e.Epoch())
+				}
+			}
+		}
+		// Pass 2: count token holders among live nodes at that epoch.
 		var holders []proto.NodeID
 		for _, n := range c.Nodes {
+			if c.NodeDown(n.ID) {
+				continue
+			}
 			switch {
 			case n.hier != nil:
 				switch e := n.hier[lock]; {
-				case e != nil && e.IsToken():
-					holders = append(holders, n.ID)
-				case e == nil && n.ID == 0:
-					// An absent engine (evicted, or never created) sits at
-					// the initial topology, where node 0 holds the token;
-					// lazily re-creating node 0's engine restores it. A
-					// non-root engine can never be evicted while holding the
-					// token (that is not its initial state), so counting
-					// node 0 here keeps conservation checking exact under
-					// eviction.
+				case e != nil:
+					if e.Epoch() == maxEpoch && e.IsToken() {
+						holders = append(holders, n.ID)
+					}
+				case c.absentHolds(n, lock, maxEpoch):
 					holders = append(holders, n.ID)
 				}
 			case n.naimi != nil:
-				if e := n.naimi[lock]; e != nil && e.HasToken() {
+				if e := n.naimi[lock]; e != nil && e.Epoch() == maxEpoch && e.HasToken() {
 					holders = append(holders, n.ID)
 				}
 			case n.raymond != nil:
@@ -262,12 +413,28 @@ func (c *Cluster) CheckTokens() error {
 		switch len(holders) {
 		case 1:
 		case 0:
-			return fmt.Errorf("cluster: token lost on lock %d (no holder)", lock)
+			return fmt.Errorf("cluster: token lost on lock %d (no live holder at epoch %d)", lock, maxEpoch)
 		default:
-			return fmt.Errorf("cluster: token duplicated on lock %d (holders %v)", lock, holders)
+			return fmt.Errorf("cluster: token duplicated on lock %d (holders %v at epoch %d)", lock, holders, maxEpoch)
 		}
 	}
 	return nil
+}
+
+// absentHolds reports whether an absent (evicted or never-created)
+// hierarchical engine at node n would hold the token at maxEpoch if
+// lazily re-created. At epoch 0 that is the initial topology — node 0
+// roots everything; a non-root engine can never be evicted while
+// holding the token (not its initial state), so counting node 0 keeps
+// conservation exact under eviction. After a regeneration round the
+// recovered root plays that role for the round's epoch.
+func (c *Cluster) absentHolds(n *Node, lock proto.LockID, maxEpoch uint32) bool {
+	if n.mgr != nil {
+		if s, ok := n.mgr.SeedFor(lock); ok {
+			return s.Root == n.ID && s.Epoch == maxEpoch
+		}
+	}
+	return n.ID == 0 && maxEpoch == 0
 }
 
 // NodeDown reports whether a node is inside a scheduled crash window at
@@ -291,6 +458,11 @@ type Node struct {
 	suzuki  map[proto.LockID]*suzuki.Engine
 	ricart  map[proto.LockID]*ricart.Engine
 
+	// mgr runs the crash-recovery protocol for this node (nil unless
+	// Config.Recovery enabled it on a supporting protocol).
+	mgr      *recovery.Manager
+	cfgLocks []proto.LockID
+
 	// waiters holds the completion callback of the outstanding request
 	// per lock (at most one per lock).
 	waiters map[proto.LockID]waiting
@@ -308,6 +480,12 @@ func (n *Node) newTrace() proto.TraceID {
 func msgTrace(msg *proto.Message) proto.TraceID {
 	if msg.Kind == proto.KindRequest && !msg.Req.Trace.IsZero() {
 		return msg.Req.Trace
+	}
+	if msg.Kind == proto.KindRecovered {
+		// The regenerated root rides in Req.Origin; surfacing it as the
+		// entry's trace node lets the auditor learn the new release target
+		// every reseeded node acquires.
+		return proto.TraceID{Node: msg.Req.Origin}
 	}
 	return msg.Trace
 }
@@ -343,19 +521,129 @@ func newNode(c *Cluster, id proto.NodeID, cfg Config) *Node {
 		n.hier = make(map[proto.LockID]*hlock.Engine, len(cfg.Locks))
 		n.opts = cfg.Options
 	}
+	if c.recovery != nil {
+		n.cfgLocks = append([]proto.LockID(nil), cfg.Locks...)
+		peers := make([]proto.NodeID, cfg.Nodes)
+		for i := range peers {
+			peers[i] = proto.NodeID(i)
+		}
+		n.mgr = recovery.NewManager(recovery.Config{
+			Self:          id,
+			Nodes:         peers,
+			Send:          func(msg proto.Message) { c.Net.Send(msg) },
+			Locks:         n.recoveryLocks,
+			State:         n.recoveryState,
+			PrepareReseed: n.recoveryPrepare,
+			Reseed:        n.recoveryReseed,
+			Clock:         &n.clock,
+			After:         func(d time.Duration, fn func()) { c.Sim.At(d, fn) },
+			ProbeTimeout:  c.recovery.ProbeTimeout,
+		})
+	}
 	return n
 }
+
+// recoveryLocks returns the locks this node can account for in a
+// regeneration round: the configured set plus anything it tracks live
+// engine state for (workload-generated IDs).
+func (n *Node) recoveryLocks() []proto.LockID {
+	seen := make(map[proto.LockID]bool, len(n.cfgLocks)+len(n.hier)+len(n.naimi))
+	locks := make([]proto.LockID, 0, len(n.cfgLocks)+len(n.hier)+len(n.naimi))
+	add := func(l proto.LockID) {
+		if !seen[l] {
+			seen[l] = true
+			locks = append(locks, l)
+		}
+	}
+	for _, l := range n.cfgLocks {
+		add(l)
+	}
+	for l := range n.hier {
+		add(l)
+	}
+	for l := range n.naimi {
+		add(l)
+	}
+	return locks
+}
+
+// recoveryState captures the accountable engine state for a recovery
+// claim (recovery.Config.State).
+func (n *Node) recoveryState(lock proto.LockID) recovery.State {
+	if n.hier != nil {
+		e := n.hierEngine(lock)
+		return recovery.State{Epoch: e.Epoch(), Held: e.Held(), Token: e.IsToken()}
+	}
+	if e := n.naimi[lock]; e != nil {
+		st := recovery.State{Epoch: e.Epoch(), Token: e.HasToken()}
+		if e.Held() {
+			st.Held = modes.W
+		}
+		return st
+	}
+	return recovery.State{}
+}
+
+// recoveryPrepare fences the lock's engine for a regeneration round
+// (recovery.Config.PrepareReseed).
+func (n *Node) recoveryPrepare(lock proto.LockID, epoch uint32) {
+	if n.hier != nil {
+		n.hierEngine(lock).PrepareReseed(epoch)
+		return
+	}
+	if e := n.naimi[lock]; e != nil {
+		e.PrepareReseed(epoch)
+	}
+}
+
+// recoveryReseed installs a completed round's outcome into the lock's
+// engine and dispatches the fallout (recovery.Config.Reseed).
+func (n *Node) recoveryReseed(lock proto.LockID, root proto.NodeID, epoch uint32, accounted modes.Mode, copyset []proto.Request) {
+	if n.hier != nil {
+		out, lost := n.hierEngine(lock).Reseed(root, epoch, accounted, copyset)
+		if lost {
+			n.c.lockLost(lock, n.ID)
+		}
+		n.dispatchHier(lock, out, nil)
+		return
+	}
+	e := n.naimi[lock]
+	if e == nil {
+		return
+	}
+	out, lost := e.Reseed(root, epoch, accounted != modes.None)
+	if lost {
+		n.c.lockLost(lock, n.ID)
+	}
+	n.dispatchExcl(lock, out.Msgs, out.Acquired, nil)
+}
+
+// RecoveryManager exposes the node's crash-recovery manager (nil when
+// recovery is disabled). Tests and experiments only.
+func (n *Node) RecoveryManager() *recovery.Manager { return n.mgr }
 
 // hierEngine returns (creating lazily) the hierarchical engine for a
 // lock. Every node derives the same initial topology — node 0 holds the
 // token and is everyone's initial parent — so a freshly created engine
 // is protocol-correct regardless of when it springs into existence.
-// This is the same lazy-creation scheme the live member runtime uses,
-// keeping simulated and live state lifecycles identical.
+// After a regeneration round, the recovery manager's seed table replaces
+// that derivation: the engine springs into the recovered world (the
+// regenerated root, the round's epoch) so eviction stays safe across
+// recoveries. This is the same lazy-creation scheme the live member
+// runtime uses, keeping simulated and live state lifecycles identical.
 func (n *Node) hierEngine(lock proto.LockID) *hlock.Engine {
 	e, ok := n.hier[lock]
 	if !ok {
-		e = hlock.New(n.ID, lock, 0, n.ID == 0, &n.clock, n.opts)
+		parent, token, epoch := proto.NodeID(0), n.ID == 0, uint32(0)
+		if n.mgr != nil {
+			if s, seeded := n.mgr.SeedFor(lock); seeded {
+				parent, token, epoch = s.Root, n.ID == s.Root, s.Epoch
+			}
+		}
+		e = hlock.New(n.ID, lock, parent, token, &n.clock, n.opts)
+		if epoch != 0 {
+			e.SeedEpoch(epoch)
+		}
 		n.hier[lock] = e
 	}
 	return e
@@ -592,11 +880,20 @@ func (n *Node) HierEngine(lock proto.LockID) *hlock.Engine {
 func (n *Node) NaimiEngine(lock proto.LockID) *naimi.Engine { return n.naimi[lock] }
 
 func (n *Node) handle(msg *proto.Message) {
+	if n.mgr != nil && n.mgr.HandleMessage(msg) {
+		return
+	}
 	if e, ok := n.naimi[msg.Lock]; ok {
 		out, err := e.Handle(msg)
 		if err != nil {
 			n.c.fail(fmt.Errorf("node %d lock %d: %w", n.ID, msg.Lock, err))
 			return
+		}
+		if out.Stale && n.mgr != nil {
+			// The engine fenced the frame out as pre-recovery traffic: the
+			// sender may be a restarted node that missed the round. Answer
+			// with the completed-round outcome so it catches up.
+			n.mgr.Hint(msg.Lock, msg.From)
 		}
 		n.dispatchExcl(msg.Lock, out.Msgs, out.Acquired, nil)
 		return
@@ -636,6 +933,9 @@ func (n *Node) handle(msg *proto.Message) {
 	if err != nil {
 		n.c.fail(fmt.Errorf("node %d lock %d: %w", n.ID, msg.Lock, err))
 		return
+	}
+	if out.Stale && n.mgr != nil {
+		n.mgr.Hint(msg.Lock, msg.From)
 	}
 	n.dispatchHier(msg.Lock, out, nil)
 	n.maybeEvictHier()
@@ -747,33 +1047,51 @@ func (nw *Network) SetFaults(plan sim.FaultPlan) {
 func (nw *Network) Faults() *sim.Faults { return nw.faults }
 
 // Send enqueues a message for delivery after a randomized latency,
-// clamped so deliveries on the same ordered link never reorder.
+// clamped so deliveries on the same ordered link never reorder. Under a
+// LoseOnCrash fault plan a frame touching a crashed endpoint is
+// destroyed outright: no send is recorded (a loss is), no delivery is
+// scheduled, and the link's FIFO clamp is untouched — the frame never
+// existed on the wire as far as ordering is concerned.
 func (nw *Network) Send(msg proto.Message) {
 	nw.Metrics.Count(msg.Kind)
 	if nw.tel != nil {
 		nw.tel.countSent(msg.Kind)
-		if msg.Kind == proto.KindToken {
-			nw.tel.tokenTransfer(msg.Lock, "out")
-		}
 	}
-	nw.trace.Record(trace.Entry{
-		At: nw.sim.Now(), Op: trace.OpSend, Node: msg.From,
-		Lock: msg.Lock, Mode: msg.Mode, Kind: msg.Kind, From: msg.From, To: msg.To,
-		Trace: msgTrace(&msg),
-	})
 	var at time.Duration
 	if nw.faults != nil {
 		out := nw.faults.Apply(int(msg.From), int(msg.To), nw.sim.Now(), nw.rand)
-		at = out.Deliver
 		nw.FaultStats.Drops += uint64(out.Drops)
 		nw.FaultStats.Duplicates += uint64(out.Duplicates)
 		nw.FaultStats.DelaySpikes += uint64(out.Spikes)
 		nw.FaultStats.Deferrals += uint64(out.Deferrals)
+		if out.Lost {
+			nw.FaultStats.Lost++
+			nw.trace.Record(trace.Entry{
+				At: nw.sim.Now(), Op: trace.OpLost, Node: msg.From,
+				Lock: msg.Lock, Mode: msg.Mode, Kind: msg.Kind, From: msg.From, To: msg.To,
+				Trace: msgTrace(&msg), Epoch: msg.Epoch,
+			})
+			return
+		}
+		at = out.Deliver
+		nw.trace.Record(trace.Entry{
+			At: nw.sim.Now(), Op: trace.OpSend, Node: msg.From,
+			Lock: msg.Lock, Mode: msg.Mode, Kind: msg.Kind, From: msg.From, To: msg.To,
+			Trace: msgTrace(&msg), Epoch: msg.Epoch,
+		})
 		if nw.trace != nil {
 			nw.recordFaults(&msg, out)
 		}
 	} else {
 		at = nw.sim.Now() + nw.rand()
+		nw.trace.Record(trace.Entry{
+			At: nw.sim.Now(), Op: trace.OpSend, Node: msg.From,
+			Lock: msg.Lock, Mode: msg.Mode, Kind: msg.Kind, From: msg.From, To: msg.To,
+			Trace: msgTrace(&msg), Epoch: msg.Epoch,
+		})
+	}
+	if nw.tel != nil && msg.Kind == proto.KindToken {
+		nw.tel.tokenTransfer(msg.Lock, "out")
 	}
 	key := [2]proto.NodeID{msg.From, msg.To}
 	if last, ok := nw.lastAt[key]; ok && at <= last {
@@ -789,7 +1107,7 @@ func (nw *Network) Send(msg proto.Message) {
 		nw.trace.Record(trace.Entry{
 			At: nw.sim.Now(), Op: trace.OpDeliver, Node: m.To,
 			Lock: m.Lock, Mode: m.Mode, Kind: m.Kind, From: m.From, To: m.To,
-			Trace: msgTrace(&m),
+			Trace: msgTrace(&m), Epoch: m.Epoch,
 		})
 		if nw.tel != nil && m.Kind == proto.KindToken {
 			nw.tel.tokenTransfer(m.Lock, "in")

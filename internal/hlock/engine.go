@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"hierlock/internal/modes"
@@ -70,6 +71,11 @@ type Event struct {
 type Out struct {
 	Msgs   []proto.Message
 	Events []Event
+	// Stale reports that the input message was dropped by epoch fencing:
+	// its epoch differs from the engine's, or the engine is fenced awaiting
+	// a recovery reseed. The host may use it to hint a lagging peer at the
+	// current (root, epoch) so it can catch up.
+	Stale bool
 }
 
 func (o *Out) send(m proto.Message) { o.Msgs = append(o.Msgs, m) }
@@ -124,12 +130,30 @@ type Engine struct {
 	held    modes.Mode
 	pending modes.Mode
 
+	// epoch is the lock's recovery epoch: bumped by every token
+	// regeneration round after a node crash. The engine stamps it on all
+	// outbound messages and silently drops inputs whose epoch differs
+	// (stale pre-crash traffic, counted in stale). fenced bars all inputs
+	// and local completions between a recovery claim (PrepareReseed) and
+	// the round's Reseed, so the state reported to the regenerator cannot
+	// drift while the round is in flight.
+	epoch  uint32
+	fenced bool
+	stale  uint64
+
+	// pendingReq is the outstanding request behind pending, retained so a
+	// recovery reseed can re-issue it (same trace ID, enabling dedup if
+	// the original survived).
+	pendingReq proto.Request
+
 	// initToken and initParent freeze the constructed topology so
 	// AtInitialState can decide whether the engine has drifted from the
 	// state a fresh New would produce (the member runtime evicts such
-	// engines and recreates them lazily).
+	// engines and recreates them lazily). initEpoch is the epoch the
+	// engine was (re)created at — see SeedEpoch.
 	initToken  bool
 	initParent proto.NodeID
+	initEpoch  uint32
 
 	// children maps each copyset child to the owned mode this node last
 	// learned for it (grants strengthen it, releases weaken it).
@@ -203,8 +227,13 @@ func (e *Engine) Clone(clock *proto.Clock) *Engine {
 		parent:       e.parent,
 		initToken:    e.initToken,
 		initParent:   e.initParent,
+		initEpoch:    e.initEpoch,
 		held:         e.held,
 		pending:      e.pending,
+		pendingReq:   e.pendingReq,
+		epoch:        e.epoch,
+		fenced:       e.fenced,
+		stale:        e.stale,
 		frozen:       e.frozen,
 		children:     make(map[proto.NodeID]modes.Mode, len(e.children)),
 		sentFrozen:   make(map[proto.NodeID]modes.Set, len(e.sentFrozen)),
@@ -237,8 +266,32 @@ func (e *Engine) Clone(clock *proto.Clock) *Engine {
 // with equal fingerprints behave identically on all future inputs
 // (modulo Lamport clock values, which the checker encodes separately).
 func (e *Engine) Fingerprint() string {
+	// The header is assembled with strconv rather than Fprintf: the model
+	// checker calls Fingerprint once per explored state, and the reflect
+	// path of fmt dominates its cost on small states.
+	const hexdigits = "0123456789abcdef"
+	bit := func(v bool) byte {
+		if v {
+			return '1'
+		}
+		return '0'
+	}
+	hdr := make([]byte, 0, 48)
+	hdr = append(hdr, 't', bit(e.token), ' ', 'p')
+	hdr = strconv.AppendUint(hdr, uint64(e.parent), 10)
+	hdr = append(hdr, ' ', 'h')
+	hdr = strconv.AppendUint(hdr, uint64(e.held), 10)
+	hdr = append(hdr, ' ', 'q')
+	hdr = strconv.AppendUint(hdr, uint64(e.pending), 10)
+	hdr = append(hdr, ' ', 'f', hexdigits[uint8(e.frozen)>>4], hexdigits[uint8(e.frozen)&0xf], ' ', 'e')
+	hdr = strconv.AppendUint(hdr, uint64(e.epoch), 10)
+	hdr = append(hdr, '/', bit(e.fenced), '/')
+	hdr = strconv.AppendUint(hdr, uint64(e.pendingReq.Mode), 10)
+	hdr = append(hdr, '/')
+	hdr = strconv.AppendUint(hdr, uint64(e.pendingReq.Priority), 10)
+	hdr = append(hdr, '|')
 	var b strings.Builder
-	fmt.Fprintf(&b, "t%v p%d h%d q%d f%02x|", e.token, e.parent, e.held, e.pending, uint8(e.frozen))
+	b.Write(hdr)
 	ids := make([]int, 0, len(e.children))
 	for id := range e.children {
 		ids = append(ids, int(id))
@@ -292,6 +345,20 @@ func (e *Engine) Frozen() modes.Set { return e.frozen }
 // QueueLen returns the number of locally queued requests.
 func (e *Engine) QueueLen() int { return len(e.queue) }
 
+// Epoch returns the lock's current recovery epoch at this node.
+func (e *Engine) Epoch() uint32 { return e.epoch }
+
+// StaleDrops returns how many inputs epoch fencing has discarded.
+func (e *Engine) StaleDrops() uint64 { return e.stale }
+
+// SeedEpoch initializes the engine's recovery epoch, and the epoch
+// AtInitialState compares against. Call immediately after New, before
+// feeding any input, when lazily recreating an engine for a lock that
+// has already been through recovery rounds.
+func (e *Engine) SeedEpoch(epoch uint32) {
+	e.epoch, e.initEpoch = epoch, epoch
+}
+
 // AtInitialState reports whether the engine's state is indistinguishable
 // from a freshly constructed one (same self, lock, topology, options):
 // nothing held or pending, no queued requests, no frozen modes, an empty
@@ -303,7 +370,8 @@ func (e *Engine) QueueLen() int { return len(e.queue) }
 // unbounded ephemeral resource names.
 func (e *Engine) AtInitialState() bool {
 	if e.token != e.initToken || e.parent != e.initParent ||
-		e.held != modes.None || e.pending != modes.None {
+		e.held != modes.None || e.pending != modes.None ||
+		e.epoch != e.initEpoch || e.fenced {
 		return false
 	}
 	return len(e.queue) == 0 && e.frozen.Empty() &&
@@ -386,6 +454,17 @@ func (e *Engine) AcquireTraced(m modes.Mode, priority uint8, trace proto.TraceID
 	if e.pending != modes.None {
 		return out, fmt.Errorf("%w (pending %v)", ErrPending, e.pending)
 	}
+	if e.fenced {
+		// A recovery round is in flight: complete nothing and send
+		// nothing, so the state claimed to the regenerator cannot drift.
+		// The request is recorded and re-issued toward the new root at
+		// Reseed.
+		e.pending = m
+		ts := e.clock.Tick()
+		e.cause = e.traceFor(trace, ts)
+		e.pendingReq = proto.Request{Origin: e.self, Mode: m, TS: ts, Priority: priority, Trace: e.cause}
+		return out, nil
+	}
 
 	mo := e.Owned()
 	if e.token {
@@ -401,7 +480,8 @@ func (e *Engine) AcquireTraced(m modes.Mode, priority uint8, trace proto.TraceID
 		e.pending = m
 		ts := e.clock.Tick()
 		e.cause = e.traceFor(trace, ts)
-		e.enqueue(proto.Request{Origin: e.self, Mode: m, TS: ts, Priority: priority, Trace: e.cause})
+		e.pendingReq = proto.Request{Origin: e.self, Mode: m, TS: ts, Priority: priority, Trace: e.cause}
+		e.enqueue(e.pendingReq)
 		e.serveQueue(&out)
 		return out, nil
 	}
@@ -425,7 +505,8 @@ func (e *Engine) AcquireTraced(m modes.Mode, priority uint8, trace proto.TraceID
 		e.pending = m
 		ts := e.clock.Tick()
 		e.cause = e.traceFor(trace, ts)
-		e.enqueue(proto.Request{Origin: e.self, Mode: m, TS: ts, Priority: priority, Trace: e.cause})
+		e.pendingReq = proto.Request{Origin: e.self, Mode: m, TS: ts, Priority: priority, Trace: e.cause}
+		e.enqueue(e.pendingReq)
 		return out, nil
 	}
 
@@ -433,9 +514,11 @@ func (e *Engine) AcquireTraced(m modes.Mode, priority uint8, trace proto.TraceID
 	ts := e.clock.Tick()
 	e.cause = e.traceFor(trace, ts)
 	req := proto.Request{Origin: e.self, Mode: m, TS: ts, Priority: priority, Trace: e.cause}
+	e.pendingReq = req
 	out.send(proto.Message{
 		Kind: proto.KindRequest, Lock: e.lock,
 		From: e.self, To: e.parent, TS: e.clock.Tick(), Req: req, Trace: req.Trace,
+		Epoch: e.epoch,
 	})
 	return out, nil
 }
@@ -471,6 +554,13 @@ func (e *Engine) ReleaseTraced(trace proto.TraceID) (Out, error) {
 		return out, fmt.Errorf("%w: release while upgrade pending", ErrPending)
 	}
 	e.cause = e.traceFor(trace, e.clock.Tick())
+	if e.fenced {
+		// Recovery round in flight: drop the hold locally and send
+		// nothing. Reseed reports the weakened owned mode to the new root
+		// (the round accounted the pre-release mode for this node).
+		e.held = modes.None
+		return out, nil
+	}
 	prev := e.Owned()
 	e.held = modes.None
 	e.afterWeaken(prev, &out)
@@ -505,6 +595,16 @@ func (e *Engine) UpgradeTraced(priority uint8, trace proto.TraceID) (Out, error)
 	if !e.token {
 		return out, fmt.Errorf("%w: U held by non-token node", ErrProtocol)
 	}
+	if e.fenced {
+		// Recovery round in flight: record the upgrade and defer it. As
+		// the U holder this node will be chosen root, and Reseed enqueues
+		// the W self-request against the regenerated copyset.
+		e.pending = modes.W
+		ts := e.clock.Tick()
+		e.cause = e.traceFor(trace, ts)
+		e.pendingReq = proto.Request{Origin: e.self, Mode: modes.W, TS: ts, Priority: priority, Trace: e.cause}
+		return out, nil
+	}
 	if modes.Compatible(e.ownedChildren(), modes.W) {
 		e.held = modes.W
 		e.cause = e.traceFor(trace, e.clock.Tick())
@@ -514,7 +614,8 @@ func (e *Engine) UpgradeTraced(priority uint8, trace proto.TraceID) (Out, error)
 	e.pending = modes.W
 	ts := e.clock.Tick()
 	e.cause = e.traceFor(trace, ts)
-	e.enqueue(proto.Request{Origin: e.self, Mode: modes.W, TS: ts, Priority: priority, Trace: e.cause})
+	e.pendingReq = proto.Request{Origin: e.self, Mode: modes.W, TS: ts, Priority: priority, Trace: e.cause}
+	e.enqueue(e.pendingReq)
 	e.serveQueue(&out)
 	return out, nil
 }
@@ -526,6 +627,17 @@ func (e *Engine) Handle(msg *proto.Message) (Out, error) {
 		return out, fmt.Errorf("%w: message for lock %d handled by lock %d", ErrProtocol, msg.Lock, e.lock)
 	}
 	e.clock.Witness(msg.TS)
+	// Epoch fencing: traffic from a different recovery epoch is stale
+	// (pre-crash tokens, grants and requests that survived a regeneration
+	// round), and a fenced engine is mid-round with its claimed state
+	// frozen. Both are dropped silently — liveness is restored by the
+	// round's reseed and the origins' request re-issue, not by serving
+	// old-world messages.
+	if e.fenced || msg.Epoch != e.epoch {
+		e.stale++
+		out.Stale = true
+		return out, nil
+	}
 	// Inherit the message's causal identity: messages this step originates
 	// that are not tied to a specific queued request carry it onward. For
 	// requests, prefer the request's own ID (authoritative even if the
@@ -588,6 +700,7 @@ func (e *Engine) handleRequest(req proto.Request, out *Out) error {
 	out.send(proto.Message{
 		Kind: proto.KindRequest, Lock: e.lock,
 		From: e.self, To: e.parent, TS: e.clock.Tick(), Req: req, Trace: req.Trace,
+		Epoch: e.epoch,
 	})
 	// Path reversal: a pure router (owning nothing, requesting nothing)
 	// repoints at the requester, compressing future request paths. Nodes
@@ -637,6 +750,7 @@ func (e *Engine) sendRelease(to proto.NodeID, mo modes.Mode, out *Out) {
 		Kind: proto.KindRelease, Lock: e.lock,
 		From: e.self, To: to, TS: e.clock.Tick(),
 		Owned: mo, Seq: e.grantSeqIn[to], Trace: e.cause,
+		Epoch: e.epoch,
 	})
 }
 
@@ -749,6 +863,17 @@ func (e *Engine) afterWeaken(prevOwned modes.Mode, out *Out) {
 // freezing rule protects ("the token node, after receiving {D,R}, will
 // not grant any other requests…").
 func (e *Engine) enqueue(req proto.Request) {
+	// Recovery dedup: after a regeneration round, origins re-issue their
+	// outstanding requests with the original trace ID. If the original
+	// made it into this queue (directly or via a travelling token queue)
+	// before the re-issue arrives, the second copy must not double-grant.
+	if !req.Trace.IsZero() {
+		for _, q := range e.queue {
+			if q.Origin == req.Origin && q.Trace == req.Trace {
+				return
+			}
+		}
+	}
 	i := len(e.queue)
 	for i > 0 && e.queue[i-1].Priority < req.Priority {
 		i--
@@ -771,7 +896,7 @@ func (e *Engine) grantCopy(req proto.Request, out *Out) {
 		Kind: proto.KindGrant, Lock: e.lock,
 		From: e.self, To: req.Origin, TS: e.clock.Tick(),
 		Mode: req.Mode, Frozen: view, Seq: e.grantSeqOut[req.Origin],
-		Trace: req.Trace,
+		Trace: req.Trace, Epoch: e.epoch,
 	})
 }
 
@@ -789,6 +914,7 @@ func (e *Engine) transferToken(req proto.Request, out *Out) {
 		Kind: proto.KindToken, Lock: e.lock,
 		From: e.self, To: req.Origin, TS: e.clock.Tick(),
 		Mode: req.Mode, Owned: e.Owned(), Queue: q, Trace: req.Trace,
+		Epoch: e.epoch,
 	})
 }
 
@@ -907,6 +1033,7 @@ func (e *Engine) serveLocalQueue(out *Out) {
 				out.send(proto.Message{
 					Kind: proto.KindRequest, Lock: e.lock,
 					From: e.self, To: e.parent, TS: e.clock.Tick(), Req: req, Trace: req.Trace,
+					Epoch: e.epoch,
 				})
 			}
 		case !e.opt.NoChildGrants &&
@@ -919,6 +1046,7 @@ func (e *Engine) serveLocalQueue(out *Out) {
 			out.send(proto.Message{
 				Kind: proto.KindRequest, Lock: e.lock,
 				From: e.self, To: e.parent, TS: e.clock.Tick(), Req: req, Trace: req.Trace,
+				Epoch: e.epoch,
 			})
 		}
 	}
@@ -978,7 +1106,99 @@ func (e *Engine) pushFrozenViews(out *Out) {
 		out.send(proto.Message{
 			Kind: proto.KindFreeze, Lock: e.lock,
 			From: e.self, To: c, TS: e.clock.Tick(), Frozen: view,
-			Trace: e.cause,
+			Trace: e.cause, Epoch: e.epoch,
 		})
 	}
+}
+
+// PrepareReseed fences the engine for a recovery round at the proposed
+// epoch: from this call until Reseed, the engine drops every message,
+// completes no local operations, and lets held only weaken to None — so
+// the held mode the caller reports in its recovery claim stays an upper
+// bound on reality, which is what makes the regenerator's copyset
+// reconstruction exact. Idempotent for re-probes at the same or a higher
+// epoch.
+func (e *Engine) PrepareReseed(epoch uint32) {
+	e.fenced = true
+	if epoch > e.epoch {
+		e.epoch = epoch
+	}
+}
+
+// Reseed installs the outcome of a completed token-regeneration round:
+// root holds the regenerated token for the new epoch, and this node's
+// pre-round state is rebuilt around it. accounted is the held mode this
+// node's claim reported to the regenerator (None when it did not
+// participate — e.g. it restarted mid-round and is catching up from a
+// recovery hint); copyset is meaningful only at the root and lists the
+// surviving holders' accounted modes (excluding the root itself).
+//
+// All routing and queue state from the old epoch is demolished — parent
+// chains through the dead node, queued requests whose origins will
+// re-issue them, frozen views, grant sequencing. What survives is the
+// local truth: the held mode (the critical section does not notice
+// recovery) and the pending request, which is re-issued to the new root
+// under the original trace ID so duplicates collapse.
+//
+// The returned lost flag reports that this node held a mode the round
+// did not account for (held ≠ accounted ≠ held==None): its critical
+// section is no longer protected — the regenerated token may have
+// granted conflicting modes — so the hold is dropped and the host must
+// surface the loss to the client (ErrLockLost).
+func (e *Engine) Reseed(root proto.NodeID, epoch uint32, accounted modes.Mode, copyset []proto.Request) (Out, bool) {
+	out := Out{}
+	e.fenced = false
+	e.epoch = epoch
+	e.cause = proto.TraceID{}
+	e.queue = nil
+	e.frozen = 0
+	clear(e.children)
+	clear(e.sentFrozen)
+	clear(e.grantSeqOut)
+	clear(e.grantModeOut)
+	clear(e.grantSeqIn)
+
+	lost := false
+	if e.held != modes.None && e.held != accounted {
+		// The round closed without this hold in its accounting; the new
+		// token world may already conflict with it.
+		e.held = modes.None
+		lost = true
+	}
+
+	if root == e.self {
+		e.token = true
+		e.parent = proto.NoNode
+		for _, c := range copyset {
+			if c.Origin != e.self && c.Mode != modes.None {
+				e.children[c.Origin] = c.Mode
+			}
+		}
+		if e.pending != modes.None {
+			e.enqueue(e.pendingReq)
+		}
+		e.serveQueue(&out)
+		return out, lost
+	}
+
+	e.token = false
+	e.parent = root
+	if e.held == modes.None && accounted != modes.None {
+		// This node released (or lost) its hold between claiming and the
+		// round closing; the root installed accounted in its copyset, so
+		// send the weakening release the fence swallowed.
+		e.sendRelease(root, modes.None, &out)
+	}
+	if e.pending != modes.None {
+		// Re-issue the outstanding request to the new root. The original
+		// trace ID rides along: if the pre-crash request survived into the
+		// regenerated queue, the enqueue dedup collapses the pair.
+		req := e.pendingReq
+		out.send(proto.Message{
+			Kind: proto.KindRequest, Lock: e.lock,
+			From: e.self, To: root, TS: e.clock.Tick(), Req: req, Trace: req.Trace,
+			Epoch: e.epoch,
+		})
+	}
+	return out, lost
 }

@@ -1,0 +1,336 @@
+package hlock_test
+
+import (
+	"testing"
+
+	"hierlock/internal/hlock"
+	"hierlock/internal/modes"
+	"hierlock/internal/proto"
+)
+
+// crash removes a node from the harness: its undelivered traffic is
+// destroyed (the LoseOnCrash model) and its oracle state cleared, as a
+// fail-stop crash with memory loss would.
+func (h *harness) crash(i int) {
+	h.t.Helper()
+	id := proto.NodeID(i)
+	for pair := range h.queues {
+		if pair[0] == id || pair[1] == id {
+			delete(h.queues, pair)
+		}
+	}
+	delete(h.holding, id)
+	delete(h.waiting, id)
+	delete(h.engines, id)
+}
+
+// reseedRound manually runs one regeneration round over the surviving
+// engines, the way internal/recovery drives them: fence all, collect
+// accounted state, pick the strongest holder (lowest ID on ties, the
+// lowest survivor failing any holder) as root, reseed all. Returns the
+// root.
+func (h *harness) reseedRound(epoch uint32) proto.NodeID {
+	h.t.Helper()
+	ids := make([]proto.NodeID, 0, len(h.engines))
+	for id := range h.engines {
+		ids = append(ids, id)
+	}
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	accounted := make(map[proto.NodeID]modes.Mode, len(ids))
+	root, best := proto.NoNode, modes.None
+	for _, id := range ids {
+		e := h.engines[id]
+		accounted[id] = e.Held()
+		e.PrepareReseed(epoch)
+		if accounted[id] != modes.None && modes.Stronger(accounted[id], best) {
+			root, best = id, accounted[id]
+		}
+	}
+	if root == proto.NoNode {
+		for _, id := range ids {
+			if h.engines[id].IsToken() {
+				root = id
+				break
+			}
+		}
+	}
+	if root == proto.NoNode {
+		root = ids[0]
+	}
+	var copyset []proto.Request
+	for _, id := range ids {
+		if id != root && accounted[id] != modes.None {
+			copyset = append(copyset, proto.Request{Origin: id, Mode: accounted[id]})
+		}
+	}
+	for _, id := range ids {
+		cs := []proto.Request(nil)
+		if id == root {
+			cs = copyset
+		}
+		out, lost := h.engines[id].Reseed(root, epoch, accounted[id], cs)
+		if lost {
+			h.t.Fatalf("node %d unexpectedly lost its hold in reseed", id)
+		}
+		h.absorb(id, out)
+	}
+	return root
+}
+
+func TestEpochFencingDropsStaleTraffic(t *testing.T) {
+	h := newHarness(t, 2, hlock.Options{})
+	e := h.node(1)
+	e.SeedEpoch(3)
+	out, err := e.Handle(&proto.Message{
+		Kind: proto.KindGrant, Lock: testLock, From: 0, To: 1, TS: 5,
+		Mode: modes.R, Epoch: 2, Seq: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Stale || len(out.Msgs) != 0 || len(out.Events) != 0 {
+		t.Fatalf("stale-epoch grant not dropped: %+v", out)
+	}
+	if e.Held() != modes.None || e.StaleDrops() != 1 {
+		t.Fatalf("held=%v staleDrops=%d", e.Held(), e.StaleDrops())
+	}
+}
+
+func TestFencedEngineDropsAllInput(t *testing.T) {
+	h := newHarness(t, 2, hlock.Options{})
+	e := h.node(1)
+	e.PrepareReseed(1)
+	// Even a correct-epoch frame is dropped while fenced.
+	out, err := e.Handle(&proto.Message{
+		Kind: proto.KindGrant, Lock: testLock, From: 0, To: 1, TS: 5,
+		Mode: modes.R, Epoch: 1, Seq: 1,
+	})
+	if err != nil || !out.Stale {
+		t.Fatalf("fenced engine served a message: %+v, %v", out, err)
+	}
+}
+
+// TestRecoveryOfCrashedTokenHolder is the core scenario: the token node
+// dies while survivors hold copy-granted modes; a reseed round must
+// rebuild a working world with the holds intact.
+func TestRecoveryOfCrashedTokenHolder(t *testing.T) {
+	h := newHarness(t, 4, hlock.Options{})
+	h.acquire(0, modes.R)
+	h.acquire(1, modes.R)
+	h.acquire(2, modes.R)
+	h.drain(nil)
+	if h.requireToken() != 0 {
+		t.Fatal("setup: token not at node 0")
+	}
+
+	h.crash(0) // the token node and its copyset bookkeeping are gone
+
+	root := h.reseedRound(1)
+	if root != 1 {
+		t.Fatalf("root = %d, want the lowest surviving holder 1", root)
+	}
+	h.drain(nil)
+	if h.requireToken() != 1 {
+		t.Fatalf("token not regenerated at node 1")
+	}
+	// Holds survived recovery.
+	for _, i := range []int{1, 2} {
+		if h.held(i) != modes.R {
+			t.Fatalf("node %d lost its R hold: %v", i, h.held(i))
+		}
+	}
+	// The regenerated copyset must gate conflicting grants: a W request
+	// from node 3 waits for node 2's release.
+	h.acquire(3, modes.W)
+	h.drain(nil)
+	if h.held(3) != modes.None {
+		t.Fatalf("W granted while an R hold survives\n%s", h.dump())
+	}
+	h.release(1)
+	h.drain(nil)
+	h.release(2)
+	h.drain(nil)
+	if h.held(3) != modes.W {
+		t.Fatalf("W not granted after releases\n%s", h.dump())
+	}
+	h.release(3)
+	h.drain(nil)
+	h.checkQuiescent()
+}
+
+// TestReseedReissuesPendingRequest: a request in flight toward the dead
+// node is lost with it; the reseed re-issues it to the new root.
+func TestReseedReissuesPendingRequest(t *testing.T) {
+	h := newHarness(t, 3, hlock.Options{})
+	h.acquire(2, modes.U) // request travels toward token node 0
+	if h.node(2).Pending() != modes.U {
+		t.Fatal("setup: no pending request")
+	}
+	h.crash(0) // the request (and the token) die with node 0
+
+	root := h.reseedRound(1)
+	if root != 1 {
+		t.Fatalf("root = %d, want lowest survivor 1", root)
+	}
+	h.drain(nil)
+	if h.held(2) != modes.U {
+		t.Fatalf("re-issued request not served: held=%v\n%s", h.held(2), h.dump())
+	}
+	h.release(2)
+	h.drain(nil)
+	h.checkQuiescent()
+}
+
+// TestFencedClientOpsCompleteAfterReseed: operations issued mid-round
+// are recorded and complete once the new world is installed.
+func TestFencedClientOpsCompleteAfterReseed(t *testing.T) {
+	h := newHarness(t, 3, hlock.Options{})
+	h.crash(0)
+	for _, id := range []int{1, 2} {
+		h.engines[proto.NodeID(id)].PrepareReseed(1)
+	}
+	h.acquire(2, modes.W) // issued while fenced: no messages may escape
+	if got := len(h.pendingPairs()); got != 0 {
+		t.Fatalf("fenced acquire sent messages: %d pairs", got)
+	}
+	for _, id := range []proto.NodeID{1, 2} {
+		out, lost := h.engines[id].Reseed(1, 1, modes.None, nil)
+		if lost {
+			t.Fatalf("node %d lost a hold it never had", id)
+		}
+		h.absorb(id, out)
+	}
+	h.drain(nil)
+	if h.held(2) != modes.W {
+		t.Fatalf("fenced acquire never completed: %v\n%s", h.held(2), h.dump())
+	}
+	h.release(2)
+	h.drain(nil)
+	h.checkQuiescent()
+}
+
+// TestFencedReleaseCorrectsCopysetAtReseed: a release during the fence
+// drops the hold locally; the reseed sends the weakening release the
+// fence swallowed, so the root's regenerated copyset converges.
+func TestFencedReleaseCorrectsCopysetAtReseed(t *testing.T) {
+	h := newHarness(t, 4, hlock.Options{})
+	h.acquire(0, modes.R)
+	h.acquire(1, modes.R)
+	h.drain(nil)
+	h.crash(3) // an uninvolved node dies; a round still fences everyone
+
+	// Claims are collected (node 1 claims R), then node 1 releases
+	// before the round closes.
+	accounted := map[proto.NodeID]modes.Mode{0: modes.R, 1: modes.R, 2: modes.None}
+	for _, id := range []proto.NodeID{0, 1, 2} {
+		h.engines[id].PrepareReseed(1)
+	}
+	h.release(1)
+	if got := len(h.pendingPairs()); got != 0 {
+		t.Fatalf("fenced release sent messages: %d pairs", got)
+	}
+
+	// Round closes: root 0 (strongest holder, lowest ID), copyset still
+	// carries node 1's claimed R.
+	for _, id := range []proto.NodeID{0, 1, 2} {
+		cs := []proto.Request(nil)
+		if id == 0 {
+			cs = []proto.Request{{Origin: 1, Mode: modes.R}}
+		}
+		out, lost := h.engines[id].Reseed(0, 1, accounted[id], cs)
+		if lost {
+			t.Fatalf("node %d flagged lost", id)
+		}
+		h.absorb(id, out)
+	}
+	h.drain(nil)
+	// The correction release must have cleared the phantom entry, or W
+	// could never be granted again.
+	if ch := h.node(0).Children(); len(ch) != 0 {
+		t.Fatalf("phantom copyset entry survived: %v", ch)
+	}
+	h.release(0)
+	h.acquire(2, modes.W)
+	h.drain(nil)
+	if h.held(2) != modes.W {
+		t.Fatalf("W blocked by stale copyset\n%s", h.dump())
+	}
+	h.release(2)
+	h.drain(nil)
+	h.checkQuiescent()
+}
+
+// TestReseedFlagsUnaccountedHoldAsLost: a node that missed the round
+// (restarted) finds its hold unaccounted; the reseed drops it and says
+// so.
+func TestReseedFlagsUnaccountedHoldAsLost(t *testing.T) {
+	h := newHarness(t, 2, hlock.Options{})
+	h.acquire(1, modes.R)
+	h.drain(nil)
+	e := h.node(1)
+	// A round completed without node 1 (it was presumed dead); the hint
+	// reseeds it with accounted=None.
+	out, lost := e.Reseed(0, 2, modes.None, nil)
+	if !lost {
+		t.Fatal("unaccounted hold not flagged lost")
+	}
+	if e.Held() != modes.None {
+		t.Fatalf("lost hold retained: %v", e.Held())
+	}
+	if len(out.Msgs) != 0 {
+		t.Fatalf("lost reseed sent messages: %+v", out.Msgs)
+	}
+	if e.Epoch() != 2 || e.Parent() != 0 || e.IsToken() {
+		t.Fatalf("reseeded state wrong: %v", e)
+	}
+}
+
+// TestEnqueueDedupsReissuedRequest: the same (origin, trace) request
+// arriving twice — a re-issue racing the original — is queued once.
+func TestEnqueueDedupsReissuedRequest(t *testing.T) {
+	h := newHarness(t, 3, hlock.Options{})
+	h.acquire(0, modes.W)
+	tr := proto.TraceID{Node: 2, Seq: 9}
+	msg := proto.Message{
+		Kind: proto.KindRequest, Lock: testLock, From: 2, To: 0, TS: 3,
+		Req: proto.Request{Origin: 2, Mode: modes.R, TS: 3, Trace: tr},
+	}
+	e := h.node(0)
+	for i := 0; i < 2; i++ {
+		m := msg
+		if _, err := e.Handle(&m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.QueueLen() != 1 {
+		t.Fatalf("duplicate request queued: len=%d", e.QueueLen())
+	}
+}
+
+func TestSeedEpochKeepsEngineEvictable(t *testing.T) {
+	h := newHarness(t, 2, hlock.Options{})
+	e := h.node(1)
+	if !e.AtInitialState() {
+		t.Fatal("fresh engine not at initial state")
+	}
+	e.PrepareReseed(1)
+	if e.AtInitialState() {
+		t.Fatal("fenced engine claims initial state")
+	}
+	clk := &proto.Clock{}
+	ne := hlock.New(1, testLock, 0, false, clk, hlock.Options{})
+	ne.SeedEpoch(4)
+	if !ne.AtInitialState() {
+		t.Fatal("seeded fresh engine not at initial state")
+	}
+	if _, err := ne.Acquire(modes.R); err != nil {
+		t.Fatal(err)
+	}
+	if ne.AtInitialState() {
+		t.Fatal("engine with pending request claims initial state")
+	}
+}

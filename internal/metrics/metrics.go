@@ -20,7 +20,7 @@ import (
 
 // Messages counts protocol messages by kind.
 type Messages struct {
-	ByKind [6]uint64 // indexed by proto.Kind
+	ByKind [10]uint64 // indexed by proto.Kind (through KindHeartbeat)
 	// Unknown counts messages whose kind is outside the known range —
 	// a decoding bug or a newer peer's message type. Keeping them in a
 	// dedicated overflow bucket guarantees Total never under-reports.
@@ -76,11 +76,15 @@ type Faults struct {
 	// Deferrals counts transmissions that waited out a link partition or a
 	// crashed destination.
 	Deferrals uint64
+	// Lost counts frames permanently destroyed by a crash (FaultPlan.
+	// LoseOnCrash): addressed to, queued at, or in flight toward a node
+	// inside a crash window. Unlike Drops these are never retransmitted.
+	Lost uint64
 }
 
 // Total returns the total number of fault events.
 func (f *Faults) Total() uint64 {
-	return f.Drops + f.Duplicates + f.DelaySpikes + f.Deferrals
+	return f.Drops + f.Duplicates + f.DelaySpikes + f.Deferrals + f.Lost
 }
 
 // Merge adds other's counts into f.
@@ -89,12 +93,13 @@ func (f *Faults) Merge(other *Faults) {
 	f.Duplicates += other.Duplicates
 	f.DelaySpikes += other.DelaySpikes
 	f.Deferrals += other.Deferrals
+	f.Lost += other.Lost
 }
 
 // String renders the counters compactly.
 func (f *Faults) String() string {
-	return fmt.Sprintf("drops=%d dups=%d spikes=%d deferrals=%d",
-		f.Drops, f.Duplicates, f.DelaySpikes, f.Deferrals)
+	return fmt.Sprintf("drops=%d dups=%d spikes=%d deferrals=%d lost=%d",
+		f.Drops, f.Duplicates, f.DelaySpikes, f.Deferrals, f.Lost)
 }
 
 // Queue is a snapshot of one bounded queue's occupancy (a transport

@@ -1,0 +1,179 @@
+package naimi_test
+
+import (
+	"testing"
+
+	"hierlock/internal/proto"
+)
+
+// crash removes a node and destroys its undelivered traffic (the
+// LoseOnCrash fault model).
+func (h *harness) crash(i int) {
+	id := proto.NodeID(i)
+	for pair := range h.queues {
+		if pair[0] == id || pair[1] == id {
+			delete(h.queues, pair)
+		}
+	}
+	delete(h.inCS, id)
+	delete(h.waiting, id)
+	delete(h.engines, id)
+}
+
+func TestNaimiEpochFencingDropsStaleTraffic(t *testing.T) {
+	h := newHarness(t, 2)
+	e := h.engines[1]
+	e.SeedEpoch(2)
+	h.waiting[1] = true
+	out, err := e.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.absorb(1, out)
+	// A pre-recovery token frame (epoch 1) limps in: must be dropped,
+	// not enter the critical section.
+	out, err = e.Handle(&proto.Message{Kind: proto.KindToken, Lock: testLock, From: 0, To: 1, TS: 9, Epoch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Stale || out.Acquired || e.Held() {
+		t.Fatalf("stale token entered the CS: %+v", out)
+	}
+	if e.StaleDrops() != 1 {
+		t.Fatalf("staleDrops = %d", e.StaleDrops())
+	}
+}
+
+// TestNaimiRecoveryOfCrashedTokenHolder: the token holder dies while two
+// nodes wait in the distributed queue; a reseed round rebuilds the world
+// and both waiters are eventually served.
+func TestNaimiRecoveryOfCrashedTokenHolder(t *testing.T) {
+	h := newHarness(t, 4)
+	h.acquire(0) // node 0 enters the CS with the token
+	h.acquire(2)
+	h.drain(nil) // node 2 is queued behind node 0 (next pointer)
+	h.acquire(3)
+	h.drain(nil)
+
+	h.crash(0) // token, queue head and next-chain die with it
+
+	// The round over survivors {1, 2, 3}: nobody holds, nobody has the
+	// token; the regenerator (1) becomes root.
+	for _, id := range []proto.NodeID{1, 2, 3} {
+		h.engines[id].PrepareReseed(1)
+	}
+	for _, id := range []proto.NodeID{1, 2, 3} {
+		out, lost := h.engines[id].Reseed(1, 1, false)
+		if lost {
+			t.Fatalf("node %d flagged lost", id)
+		}
+		h.absorb(id, out)
+	}
+	h.drain(nil)
+
+	// Both waiters re-issued their requests and must be served in turn.
+	served := 0
+	for _, id := range []proto.NodeID{2, 3} {
+		if h.engines[id].Held() {
+			served++
+			h.release(int(id))
+			h.drain(nil)
+		}
+	}
+	for _, id := range []proto.NodeID{2, 3} {
+		if h.engines[id].Held() {
+			served++
+			h.release(int(id))
+			h.drain(nil)
+		}
+	}
+	if served != 2 {
+		t.Fatalf("served %d of 2 re-issued requests", served)
+	}
+	if h.tokenCount() != 1 {
+		t.Fatalf("token count = %d after recovery", h.tokenCount())
+	}
+}
+
+// TestNaimiReseedKeepsAccountedHolder: a node inside its critical
+// section survives recovery as the new root, keeping its hold.
+func TestNaimiReseedKeepsAccountedHolder(t *testing.T) {
+	h := newHarness(t, 3)
+	h.acquire(2)
+	h.drain(nil)
+	if !h.engines[2].Held() {
+		t.Fatal("setup: node 2 not in CS")
+	}
+	h.crash(0)
+
+	for _, id := range []proto.NodeID{1, 2} {
+		h.engines[id].PrepareReseed(1)
+	}
+	// Node 2 claimed held: it is the root (token travels with the CS).
+	for _, id := range []proto.NodeID{1, 2} {
+		out, lost := h.engines[id].Reseed(2, 1, id == 2)
+		if lost {
+			t.Fatalf("node %d flagged lost", id)
+		}
+		h.absorb(id, out)
+	}
+	if !h.engines[2].Held() || !h.engines[2].HasToken() {
+		t.Fatal("accounted holder lost its CS in reseed")
+	}
+	h.acquire(1)
+	h.drain(nil)
+	if h.engines[1].Held() {
+		t.Fatal("mutual exclusion violated after reseed")
+	}
+	h.release(2)
+	h.drain(nil)
+	if !h.engines[1].Held() {
+		t.Fatal("queued request not served after release")
+	}
+	h.release(1)
+	h.drain(nil)
+}
+
+func TestNaimiReseedFlagsUnaccountedHoldAsLost(t *testing.T) {
+	h := newHarness(t, 2)
+	h.acquire(0)
+	e := h.engines[0]
+	// A round completed without node 0 (it was presumed dead): the hint
+	// reseed drops the hold.
+	_, lost := e.Reseed(1, 3, false)
+	if !lost {
+		t.Fatal("unaccounted hold not flagged lost")
+	}
+	if e.Held() || e.HasToken() || e.Epoch() != 3 || e.Father() != 1 {
+		t.Fatalf("reseeded state wrong: %v", e)
+	}
+	delete(h.inCS, 0)
+}
+
+func TestNaimiFencedAcquireCompletesAfterReseed(t *testing.T) {
+	h := newHarness(t, 2)
+	e := h.engines[1]
+	e.PrepareReseed(1)
+	h.waiting[1] = true
+	out, err := e.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Msgs) != 0 {
+		t.Fatalf("fenced acquire sent messages: %+v", out.Msgs)
+	}
+	h.engines[0].PrepareReseed(1)
+	for _, id := range []proto.NodeID{0, 1} {
+		ro, lost := h.engines[id].Reseed(0, 1, false)
+		if lost {
+			t.Fatalf("node %d flagged lost", id)
+		}
+		h.absorb(id, ro)
+	}
+	h.drain(nil)
+	if !e.Held() {
+		t.Fatal("fenced acquire never completed")
+	}
+	h.release(1)
+	h.drain(nil)
+}

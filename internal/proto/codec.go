@@ -24,18 +24,24 @@ import (
 //	1 — original layout (no trace context).
 //	2 — appends a causal trace ID (uint32 origin node + uint64 origin
 //	    sequence) to the fixed header and to every encoded Request.
+//	3 — appends the per-lock recovery epoch (uint32) to the fixed header
+//	    and admits the recovery/liveness message kinds (probe, claim,
+//	    recovered, heartbeat).
 //
 // The encoder always emits the current version. The decoder additionally
-// accepts version-1 frames, yielding zero trace IDs, so a tracing node
-// can interoperate with a pre-trace peer during a rolling upgrade; any
-// other version is rejected with ErrBadVersion.
+// accepts version-2 and version-1 frames, yielding a zero epoch (and,
+// for version 1, zero trace IDs), so an epoch-aware node can interoperate
+// with older peers during a rolling upgrade; any other version is
+// rejected with ErrBadVersion. Older versions cannot carry the recovery
+// kinds: a v1/v2 frame with a kind beyond freeze is malformed.
 
 const (
-	wireVersion byte = 2
+	wireVersion byte = 3
 
-	// wireVersionPrev is the newest prior version the decoder still
-	// accepts (trace fields absent, decoded as zero).
-	wireVersionPrev byte = 1
+	// Prior versions the decoder still accepts (missing fields decode as
+	// zero).
+	wireVersionV2 byte = 2
+	wireVersionV1 byte = 1
 
 	// MaxQueueLen bounds the queue length accepted from the wire; a token
 	// transfer can carry at most one outstanding request per node, so any
@@ -64,6 +70,7 @@ func AppendMessage(dst []byte, m *Message) []byte {
 	dst = binary.BigEndian.AppendUint64(dst, m.Seq)
 	dst = append(dst, byte(m.Mode), byte(m.Owned), byte(m.Frozen))
 	dst = appendTrace(dst, m.Trace)
+	dst = binary.BigEndian.AppendUint32(dst, m.Epoch)
 	dst = appendRequest(dst, m.Req)
 	dst = binary.BigEndian.AppendUint32(dst, uint32(len(m.Queue)))
 	for _, r := range m.Queue {
@@ -90,36 +97,42 @@ func appendRequest(dst []byte, r Request) []byte {
 
 const (
 	traceLen = 4 + 8 // origin node, origin sequence
+	epochLen = 4     // recovery epoch
 
 	headerLenV1 = 2 + 8 + 4 + 4 + 8 + 8 + 3 // version..frozen
-	headerLen   = headerLenV1 + traceLen    // version..frozen, trace
+	headerLenV2 = headerLenV1 + traceLen    // version..frozen, trace
+	headerLen   = headerLenV2 + epochLen    // version..frozen, trace, epoch
 
 	requestLenV1 = 4 + 1 + 1 + 8           // origin, mode, priority, ts
 	requestLen   = requestLenV1 + traceLen // origin..ts, trace
 )
 
 // DecodeMessage parses one message from buf (the full payload of a frame).
-// Both the current wire version and the immediately previous one are
-// accepted; version-1 frames decode with zero trace IDs.
+// The current wire version and the two prior ones are accepted;
+// version-2 frames decode with a zero epoch, version-1 frames with zero
+// trace IDs and a zero epoch.
 func DecodeMessage(buf []byte) (*Message, error) {
 	if len(buf) < 1 {
 		return nil, fmt.Errorf("%w: empty payload", ErrBadFrame)
 	}
 	hdrLen, reqLen := headerLen, requestLen
+	maxKind := KindHeartbeat
 	switch buf[0] {
 	case wireVersion:
-	case wireVersionPrev:
-		hdrLen, reqLen = headerLenV1, requestLenV1
+	case wireVersionV2:
+		hdrLen, maxKind = headerLenV2, KindFreeze
+	case wireVersionV1:
+		hdrLen, reqLen, maxKind = headerLenV1, requestLenV1, KindFreeze
 	default:
-		return nil, fmt.Errorf("%w: got %d, want %d (or %d)",
-			ErrBadVersion, buf[0], wireVersion, wireVersionPrev)
+		return nil, fmt.Errorf("%w: got %d, want %d (or %d, %d)",
+			ErrBadVersion, buf[0], wireVersion, wireVersionV2, wireVersionV1)
 	}
 	if len(buf) < hdrLen+reqLen+4 {
 		return nil, fmt.Errorf("%w: short payload (%d bytes)", ErrBadFrame, len(buf))
 	}
 	m := &Message{}
 	m.Kind = Kind(buf[1])
-	if m.Kind == KindInvalid || m.Kind > KindFreeze {
+	if m.Kind == KindInvalid || m.Kind > maxKind {
 		return nil, fmt.Errorf("%w: unknown kind %d", ErrBadFrame, buf[1])
 	}
 	m.Lock = LockID(binary.BigEndian.Uint64(buf[2:]))
@@ -133,8 +146,11 @@ func DecodeMessage(buf []byte) (*Message, error) {
 	if !m.Mode.Valid() || !m.Owned.Valid() {
 		return nil, fmt.Errorf("%w: invalid mode byte", ErrBadFrame)
 	}
-	if hdrLen == headerLen {
+	if hdrLen >= headerLenV2 {
 		m.Trace = decodeTrace(buf[headerLenV1:])
+	}
+	if hdrLen == headerLen {
+		m.Epoch = binary.BigEndian.Uint32(buf[headerLenV2:])
 	}
 	var err error
 	rest := buf[hdrLen:]

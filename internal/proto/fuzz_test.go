@@ -15,25 +15,28 @@ import (
 func FuzzDecodeMessage(f *testing.F) {
 	for _, m := range sampleMessages() {
 		f.Add(AppendMessage(nil, m))
+		f.Add(appendMessageV2(nil, m))
 		f.Add(appendMessageV1(nil, m))
 	}
 	f.Add([]byte{})
 	f.Add([]byte{1})
 	f.Add([]byte{2})
+	f.Add([]byte{3})
 	f.Add(bytes.Repeat([]byte{0xff}, 64))
-	// Corrupt-trace-field corpora: current-version frames with the trace
-	// bytes (header and request) clobbered — all byte values are legal
-	// trace IDs, so these must decode, just to surprising IDs.
+	// Corrupt-trace-field and corrupt-epoch corpora: current-version
+	// frames with the trace bytes (header and request) or the epoch bytes
+	// clobbered — all byte values are legal trace IDs and epochs, so these
+	// must decode, just to surprising values.
 	base := AppendMessage(nil, sampleMessages()[0])
-	for _, off := range []int{headerLenV1, headerLenV1 + 4, headerLen + requestLenV1} {
+	for _, off := range []int{headerLenV1, headerLenV1 + 4, headerLenV2, headerLenV2 + 3, headerLen + requestLenV1} {
 		for _, b := range []byte{0x00, 0x7f, 0x80, 0xff} {
 			c := bytes.Clone(base)
 			c[off] = b
 			f.Add(c)
 		}
 	}
-	// Truncations that slice through the trailing trace fields.
-	for _, cut := range []int{1, traceLen - 1, traceLen, traceLen + 1} {
+	// Truncations that slice through the trailing trace/epoch fields.
+	for _, cut := range []int{1, epochLen, traceLen - 1, traceLen, traceLen + epochLen + 1} {
 		f.Add(bytes.Clone(base[:len(base)-cut]))
 	}
 

@@ -77,8 +77,11 @@ func (c *Clock) Clone() *Clock {
 // Kind discriminates protocol messages.
 type Kind uint8
 
-// The protocol message kinds. These are exactly the five message types
-// whose counts the paper breaks down in Figure 7.
+// The protocol message kinds. The first five are exactly the message
+// types whose counts the paper breaks down in Figure 7; the remainder
+// (wire version 3) belong to the crash-recovery subsystem and the
+// transport failure detector, and are handled outside the protocol
+// engines.
 const (
 	KindInvalid Kind = iota
 	KindRequest      // lock request propagating toward a granter
@@ -86,9 +89,15 @@ const (
 	KindToken        // token transfer, carrying the merged request queue
 	KindRelease      // owned-mode weakening notification to the parent
 	KindFreeze       // frozen-mode set push from the token toward granters
+
+	KindProbe     // recovery: regenerator asks a survivor for its lock state
+	KindClaim     // recovery: survivor reports (epoch, held mode, token bit)
+	KindRecovered // recovery: regenerator announces the new epoch and root
+	KindHeartbeat // transport liveness beacon; filtered before the mailbox
 )
 
-// String returns the figure-7 label for the message kind.
+// String returns the figure-7 label for the message kind (and stable
+// labels for the recovery/liveness kinds).
 func (k Kind) String() string {
 	switch k {
 	case KindRequest:
@@ -101,6 +110,14 @@ func (k Kind) String() string {
 		return "release"
 	case KindFreeze:
 		return "freeze"
+	case KindProbe:
+		return "probe"
+	case KindClaim:
+		return "claim"
+	case KindRecovered:
+		return "recovered"
+	case KindHeartbeat:
+		return "heartbeat"
 	default:
 		return "invalid"
 	}
@@ -229,6 +246,14 @@ type Message struct {
 	// Suzuki–Kasami baseline to ship the token's LN array. Empty for the
 	// hierarchical protocol.
 	Vec []uint64
+
+	// Epoch is the per-lock recovery epoch (wire version 3). Every token
+	// regeneration round after a node crash bumps it; engines stamp it on
+	// all protocol messages and fence (drop) frames whose epoch does not
+	// match their own, which is what invalidates stale pre-crash tokens
+	// and in-flight requests. Zero for locks that have never been through
+	// recovery and for frames from pre-epoch (v1/v2) peers.
+	Epoch uint32
 
 	// Trace is the causal context of this message: for KindRequest it
 	// equals Req.Trace; for KindGrant/KindToken it is the trace of the

@@ -47,7 +47,9 @@ func TestKindString(t *testing.T) {
 	want := map[Kind]string{
 		KindRequest: "request", KindGrant: "grant", KindToken: "token",
 		KindRelease: "release", KindFreeze: "freeze", KindInvalid: "invalid",
-		Kind(200): "invalid",
+		KindProbe: "probe", KindClaim: "claim", KindRecovered: "recovered",
+		KindHeartbeat: "heartbeat",
+		Kind(200):     "invalid",
 	}
 	for k, s := range want {
 		if k.String() != s {
@@ -66,12 +68,20 @@ func sampleMessages() []*Message {
 		{Kind: KindRelease, Lock: 3, From: 5, To: 0, TS: 2, Seq: ^uint64(0),
 			Owned: modes.IR},
 		{Kind: KindToken, Lock: 2, From: 9, To: 1, TS: 1234,
-			Mode: modes.W, Owned: modes.IR,
+			Mode: modes.W, Owned: modes.IR, Epoch: 3,
 			Queue: []Request{
 				{Origin: 2, Mode: modes.IR, TS: 7, Trace: TraceID{Node: 2, Seq: 7}},
 				{Origin: 8, Mode: modes.U, TS: 11, Priority: 2},
 			},
 			Vec: []uint64{0, 5, ^uint64(0), 17}},
+		{Kind: KindProbe, Lock: 2, From: 0, To: 4, TS: 2000, Epoch: 4,
+			Req: Request{Origin: 6}},
+		{Kind: KindClaim, Lock: 2, From: 4, To: 0, TS: 2001, Epoch: 4,
+			Owned: modes.R, Seq: 7},
+		{Kind: KindRecovered, Lock: 2, From: 0, To: 4, TS: 2002, Epoch: 5,
+			Req:   Request{Origin: 0},
+			Queue: []Request{{Origin: 4, Mode: modes.R}}},
+		{Kind: KindHeartbeat, From: 3, To: 4, TS: 2003},
 		{Kind: KindRelease, Lock: 0, From: 2, To: 0, TS: 5, Owned: modes.None},
 		{Kind: KindFreeze, Lock: 88, From: 0, To: 6, TS: 42,
 			Frozen: modes.MakeSet(modes.IR, modes.R, modes.U, modes.IW, modes.W)},

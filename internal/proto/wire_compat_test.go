@@ -11,10 +11,10 @@ import (
 )
 
 // appendMessageV1 encodes m in the retired version-1 layout (no trace
-// fields), exactly as a pre-trace peer would emit it. Test-only: the
-// production encoder always writes the current version.
+// fields, no epoch), exactly as a pre-trace peer would emit it.
+// Test-only: the production encoder always writes the current version.
 func appendMessageV1(dst []byte, m *Message) []byte {
-	dst = append(dst, wireVersionPrev, byte(m.Kind))
+	dst = append(dst, wireVersionV1, byte(m.Kind))
 	dst = binary.BigEndian.AppendUint64(dst, uint64(m.Lock))
 	dst = binary.BigEndian.AppendUint32(dst, uint32(m.From))
 	dst = binary.BigEndian.AppendUint32(dst, uint32(m.To))
@@ -39,10 +39,41 @@ func appendRequestV1(dst []byte, r Request) []byte {
 	return binary.BigEndian.AppendUint64(dst, uint64(r.TS))
 }
 
-// stripTraces returns a copy of m with every trace ID zeroed — what a
-// version-1 frame of m must decode to.
-func stripTraces(m *Message) *Message {
+// appendMessageV2 encodes m in the retired version-2 layout (trace
+// fields, no epoch), exactly as a pre-epoch peer would emit it.
+func appendMessageV2(dst []byte, m *Message) []byte {
+	dst = append(dst, wireVersionV2, byte(m.Kind))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(m.Lock))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(m.From))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(m.To))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(m.TS))
+	dst = binary.BigEndian.AppendUint64(dst, m.Seq)
+	dst = append(dst, byte(m.Mode), byte(m.Owned), byte(m.Frozen))
+	dst = appendTrace(dst, m.Trace)
+	dst = appendRequest(dst, m.Req)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(m.Queue)))
+	for _, r := range m.Queue {
+		dst = appendRequest(dst, r)
+	}
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(m.Vec)))
+	for _, v := range m.Vec {
+		dst = binary.BigEndian.AppendUint64(dst, v)
+	}
+	return dst
+}
+
+// stripEpoch returns a copy of m with the epoch zeroed — what a
+// version-2 frame of m must decode to.
+func stripEpoch(m *Message) *Message {
 	c := *m
+	c.Epoch = 0
+	return &c
+}
+
+// stripTraces returns a copy of m with every trace ID and the epoch
+// zeroed — what a version-1 frame of m must decode to.
+func stripTraces(m *Message) *Message {
+	c := *stripEpoch(m)
 	c.Trace = TraceID{}
 	c.Req.Trace = TraceID{}
 	if m.Queue != nil {
@@ -56,7 +87,7 @@ func stripTraces(m *Message) *Message {
 }
 
 // goldenMessage is the fixed fixture whose byte-exact encodings are
-// pinned below. Changing either hex constant is a wire format break.
+// pinned below. Changing any hex constant is a wire format break.
 func goldenMessage() *Message {
 	return &Message{
 		Kind: KindToken, Lock: 0x1122334455667788, From: 3, To: 9,
@@ -64,6 +95,7 @@ func goldenMessage() *Message {
 		Mode: modes.W, Owned: modes.IR,
 		Frozen: modes.MakeSet(modes.IW, modes.W),
 		Trace:  TraceID{Node: 5, Seq: 77},
+		Epoch:  0x0a0b0c0d,
 		Req:    Request{Origin: 5, Mode: modes.W, TS: 70, Trace: TraceID{Node: 5, Seq: 77}},
 		Queue: []Request{
 			{Origin: 2, Mode: modes.R, TS: 80, Priority: 1, Trace: TraceID{Node: 2, Seq: 80}},
@@ -73,6 +105,11 @@ func goldenMessage() *Message {
 }
 
 const (
+	goldenFrameV3 = "0303112233445566778800000003000000090000000000001092" +
+		"000000000000000705013000000005000000000000004d" + // mode/owned/frozen, header trace
+		"0a0b0c0d" + // epoch
+		"000000050500000000000000004600000005000000000000004d" + // req + req trace
+		"0000000100000002020100000000000000500000000200000000000000500000000200000000000000010000000000000002"
 	goldenFrameV2 = "0203112233445566778800000003000000090000000000001092" +
 		"000000000000000705013000000005000000000000004d" + // mode/owned/frozen, header trace
 		"000000050500000000000000004600000005000000000000004d" + // req + req trace
@@ -83,13 +120,18 @@ const (
 		"0000000100000002020100000000000000500000000200000000000000010000000000000002"
 )
 
-// TestWireGoldenFrames pins the byte-exact encoding of both wire
+// TestWireGoldenFrames pins the byte-exact encoding of all three wire
 // versions and checks each decodes back to the right message (the
-// version-1 frame loses its trace IDs, nothing else).
+// version-2 frame loses the epoch, the version-1 frame additionally
+// loses its trace IDs, nothing else).
 func TestWireGoldenFrames(t *testing.T) {
 	m := goldenMessage()
 
-	gotV2 := hex.EncodeToString(AppendMessage(nil, m))
+	gotV3 := hex.EncodeToString(AppendMessage(nil, m))
+	if gotV3 != goldenFrameV3 {
+		t.Errorf("v3 frame drifted:\n got: %s\nwant: %s", gotV3, goldenFrameV3)
+	}
+	gotV2 := hex.EncodeToString(appendMessageV2(nil, m))
 	if gotV2 != goldenFrameV2 {
 		t.Errorf("v2 frame drifted:\n got: %s\nwant: %s", gotV2, goldenFrameV2)
 	}
@@ -98,36 +140,38 @@ func TestWireGoldenFrames(t *testing.T) {
 		t.Errorf("v1 frame drifted:\n got: %s\nwant: %s", gotV1, goldenFrameV1)
 	}
 
-	rawV2, err := hex.DecodeString(goldenFrameV2)
-	if err != nil {
-		t.Fatal(err)
-	}
-	dec, err := DecodeMessage(rawV2)
-	if err != nil {
-		t.Fatalf("decode v2 golden: %v", err)
-	}
-	if !reflect.DeepEqual(dec, m) {
-		t.Errorf("v2 golden decode mismatch:\n got: %+v\nwant: %+v", dec, m)
-	}
-
-	rawV1, err := hex.DecodeString(goldenFrameV1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	dec, err = DecodeMessage(rawV1)
-	if err != nil {
-		t.Fatalf("decode v1 golden: %v", err)
-	}
-	if want := stripTraces(m); !reflect.DeepEqual(dec, want) {
-		t.Errorf("v1 golden decode mismatch:\n got: %+v\nwant: %+v", dec, want)
+	for _, tc := range []struct {
+		name  string
+		frame string
+		want  *Message
+	}{
+		{"v3", goldenFrameV3, m},
+		{"v2", goldenFrameV2, stripEpoch(m)},
+		{"v1", goldenFrameV1, stripTraces(m)},
+	} {
+		raw, err := hex.DecodeString(tc.frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := DecodeMessage(raw)
+		if err != nil {
+			t.Fatalf("decode %s golden: %v", tc.name, err)
+		}
+		if !reflect.DeepEqual(dec, tc.want) {
+			t.Errorf("%s golden decode mismatch:\n got: %+v\nwant: %+v", tc.name, dec, tc.want)
+		}
 	}
 }
 
 // TestDecodeV1Compat round-trips every sample fixture through the
 // version-1 encoding: the decoder must accept it and produce the same
-// message with zero trace IDs.
+// message with zero trace IDs and a zero epoch. The recovery kinds did
+// not exist in v1, so fixtures carrying them are skipped.
 func TestDecodeV1Compat(t *testing.T) {
 	for i, m := range sampleMessages() {
+		if m.Kind > KindFreeze {
+			continue
+		}
 		got, err := DecodeMessage(appendMessageV1(nil, m))
 		if err != nil {
 			t.Fatalf("msg %d: decode v1: %v", i, err)
@@ -138,24 +182,76 @@ func TestDecodeV1Compat(t *testing.T) {
 	}
 }
 
+// TestDecodeV2Compat round-trips every sample fixture through the
+// version-2 encoding: the decoder must accept it and produce the same
+// message with a zero epoch, traces intact.
+func TestDecodeV2Compat(t *testing.T) {
+	for i, m := range sampleMessages() {
+		if m.Kind > KindFreeze {
+			continue
+		}
+		got, err := DecodeMessage(appendMessageV2(nil, m))
+		if err != nil {
+			t.Fatalf("msg %d: decode v2: %v", i, err)
+		}
+		if want := stripEpoch(m); !reflect.DeepEqual(got, want) {
+			t.Errorf("msg %d: v2 compat mismatch:\n got: %+v\nwant: %+v", i, got, want)
+		}
+	}
+}
+
 // TestDecodeRejectsMixedVersions checks that frames from peers speaking
-// any version other than the current or previous one fail fast with
-// ErrBadVersion — a version-3 (future) peer and garbage versions alike.
+// any version other than the current or the two previous ones fail fast
+// with ErrBadVersion — a version-4 (future) peer and garbage versions
+// alike — and that the version byte, not the frame length, selects the
+// layout.
 func TestDecodeRejectsMixedVersions(t *testing.T) {
 	valid := AppendMessage(nil, goldenMessage())
-	for _, v := range []byte{0, 3, 4, 99, 0xff} {
+	for _, v := range []byte{0, 4, 5, 99, 0xff} {
 		frame := append([]byte{v}, valid[1:]...)
 		_, err := DecodeMessage(frame)
 		if !errors.Is(err, ErrBadVersion) {
 			t.Errorf("version %d: err = %v, want ErrBadVersion", v, err)
 		}
 	}
-	// A truncated version-2 frame that would be a well-formed version-1
-	// payload by length must still parse as version 2 (and fail): the
-	// version byte, not the length, selects the layout.
-	short := append([]byte{wireVersion}, appendMessageV1(nil, goldenMessage())[1:]...)
-	if _, err := DecodeMessage(short); err == nil {
+	// A frame claiming the current version but carrying an older, shorter
+	// body must still parse as the current version (and fail): the version
+	// byte, not the length, selects the layout.
+	shortV2 := append([]byte{wireVersion}, appendMessageV2(nil, goldenMessage())[1:]...)
+	if _, err := DecodeMessage(shortV2); err == nil {
+		t.Error("v3 frame with v2-length body accepted")
+	}
+	shortV1 := append([]byte{wireVersionV2}, appendMessageV1(nil, goldenMessage())[1:]...)
+	if _, err := DecodeMessage(shortV1); err == nil {
 		t.Error("v2 frame with v1-length body accepted")
+	}
+}
+
+// TestRecoveryKindsVersionGated checks that the recovery/liveness kinds
+// round-trip in the current version but are rejected when they appear in
+// a frame from an older peer, which could never legitimately emit them.
+func TestRecoveryKindsVersionGated(t *testing.T) {
+	for _, k := range []Kind{KindProbe, KindClaim, KindRecovered, KindHeartbeat} {
+		m := &Message{Kind: k, Lock: 4, From: 1, To: 2, TS: 9, Epoch: 3,
+			Req: Request{Origin: 1}}
+		got, err := DecodeMessage(AppendMessage(nil, m))
+		if err != nil {
+			t.Fatalf("kind %v: decode v3: %v", k, err)
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Errorf("kind %v: round trip mismatch: %+v vs %+v", k, got, m)
+		}
+		if _, err := DecodeMessage(appendMessageV2(nil, m)); !errors.Is(err, ErrBadFrame) {
+			t.Errorf("kind %v in v2 frame: err = %v, want ErrBadFrame", k, err)
+		}
+		if _, err := DecodeMessage(appendMessageV1(nil, m)); !errors.Is(err, ErrBadFrame) {
+			t.Errorf("kind %v in v1 frame: err = %v, want ErrBadFrame", k, err)
+		}
+	}
+	// Kinds past the known range are rejected even in the current version.
+	m := &Message{Kind: KindHeartbeat + 1, Lock: 4, From: 1, To: 2}
+	if _, err := DecodeMessage(AppendMessage(nil, m)); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("kind %d: err = %v, want ErrBadFrame", KindHeartbeat+1, err)
 	}
 }
 

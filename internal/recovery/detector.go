@@ -1,0 +1,158 @@
+package recovery
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"hierlock/internal/proto"
+)
+
+// PeerState is a detector's opinion of one peer.
+type PeerState uint8
+
+// Detector peer states.
+const (
+	// PeerHealthy: heard from within SuspectAfter.
+	PeerHealthy PeerState = iota
+	// PeerSuspect: silent for SuspectAfter but not yet ConfirmAfter; the
+	// transport typically escalates probing, recovery does nothing yet.
+	PeerSuspect
+	// PeerConfirmed: silent for ConfirmAfter; recovery treats the peer as
+	// fail-stop dead and regenerates its tokens.
+	PeerConfirmed
+)
+
+// String names the state.
+func (s PeerState) String() string {
+	switch s {
+	case PeerSuspect:
+		return "suspect"
+	case PeerConfirmed:
+		return "confirmed"
+	default:
+		return "healthy"
+	}
+}
+
+// DetectorConfig configures a Detector.
+type DetectorConfig struct {
+	// Peers lists the nodes to watch (excluding self).
+	Peers []proto.NodeID
+	// SuspectAfter is the silence threshold for suspicion (default 2s).
+	SuspectAfter time.Duration
+	// ConfirmAfter is the silence threshold for confirming death
+	// (default 2×SuspectAfter). It must comfortably exceed the worst
+	// network partition or GC pause expected in the deployment: a falsely
+	// confirmed peer has its locks regenerated out from under it and its
+	// clients see ErrLockLost.
+	ConfirmAfter time.Duration
+	// OnSuspect fires on the healthy→suspect transition (optional).
+	OnSuspect func(proto.NodeID)
+	// OnConfirm fires on the →confirmed transition. This is the signal
+	// recovery acts on (Manager.ConfirmDead).
+	OnConfirm func(proto.NodeID)
+	// OnAlive fires when a suspect or confirmed peer is heard from again
+	// (optional; feeds Manager.Alive for confirmed peers).
+	OnAlive func(proto.NodeID)
+}
+
+// Detector is a heartbeat-silence failure detector: the transport feeds
+// it an observation per inbound frame (any frame proves liveness, so
+// heartbeats only bound the silence on otherwise idle links) and ticks
+// it periodically; it classifies each peer by how long it has been
+// silent and fires edge-triggered callbacks. Callbacks run on the
+// ticking goroutine, outside the detector's lock, so they may call back
+// into it. Safe for concurrent use.
+type Detector struct {
+	cfg DetectorConfig
+
+	mu        sync.Mutex
+	lastHeard map[proto.NodeID]time.Time
+	state     map[proto.NodeID]PeerState
+}
+
+// NewDetector creates a detector; every peer starts healthy as of now
+// (a node that is already dead at startup is confirmed one ConfirmAfter
+// later).
+func NewDetector(cfg DetectorConfig, now time.Time) *Detector {
+	if cfg.SuspectAfter <= 0 {
+		cfg.SuspectAfter = 2 * time.Second
+	}
+	if cfg.ConfirmAfter <= 0 {
+		cfg.ConfirmAfter = 2 * cfg.SuspectAfter
+	}
+	d := &Detector{
+		cfg:       cfg,
+		lastHeard: make(map[proto.NodeID]time.Time, len(cfg.Peers)),
+		state:     make(map[proto.NodeID]PeerState, len(cfg.Peers)),
+	}
+	for _, p := range cfg.Peers {
+		d.lastHeard[p] = now
+	}
+	return d
+}
+
+// Observe records proof of life from a peer (call on every inbound
+// frame). A suspect or confirmed peer transitions back to healthy and
+// OnAlive fires.
+func (d *Detector) Observe(peer proto.NodeID, now time.Time) {
+	d.mu.Lock()
+	if _, watched := d.lastHeard[peer]; !watched {
+		d.mu.Unlock()
+		return
+	}
+	d.lastHeard[peer] = now
+	wasDownish := d.state[peer] != PeerHealthy
+	d.state[peer] = PeerHealthy
+	d.mu.Unlock()
+	if wasDownish && d.cfg.OnAlive != nil {
+		d.cfg.OnAlive(peer)
+	}
+}
+
+// Tick re-evaluates every peer's silence against the thresholds and
+// fires transition callbacks. Call periodically (a fraction of
+// SuspectAfter).
+func (d *Detector) Tick(now time.Time) {
+	type transition struct {
+		peer proto.NodeID
+		to   PeerState
+	}
+	var fired []transition
+	d.mu.Lock()
+	for peer, heard := range d.lastHeard {
+		silent := now.Sub(heard)
+		cur := d.state[peer]
+		switch {
+		case silent >= d.cfg.ConfirmAfter && cur != PeerConfirmed:
+			d.state[peer] = PeerConfirmed
+			fired = append(fired, transition{peer, PeerConfirmed})
+		case silent >= d.cfg.SuspectAfter && silent < d.cfg.ConfirmAfter && cur == PeerHealthy:
+			d.state[peer] = PeerSuspect
+			fired = append(fired, transition{peer, PeerSuspect})
+		}
+	}
+	d.mu.Unlock()
+	sort.Slice(fired, func(i, j int) bool { return fired[i].peer < fired[j].peer })
+	for _, t := range fired {
+		switch t.to {
+		case PeerSuspect:
+			if d.cfg.OnSuspect != nil {
+				d.cfg.OnSuspect(t.peer)
+			}
+		case PeerConfirmed:
+			if d.cfg.OnConfirm != nil {
+				d.cfg.OnConfirm(t.peer)
+			}
+		}
+	}
+}
+
+// State returns the detector's current opinion of a peer (healthy for
+// unwatched nodes).
+func (d *Detector) State(peer proto.NodeID) PeerState {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.state[peer]
+}

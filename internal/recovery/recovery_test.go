@@ -1,0 +1,394 @@
+package recovery
+
+import (
+	"testing"
+	"time"
+
+	"hierlock/internal/modes"
+	"hierlock/internal/proto"
+)
+
+// harness wires one Manager to scripted engine state and records every
+// callback invocation.
+type harness struct {
+	t     *testing.T
+	m     *Manager
+	clock proto.Clock
+
+	state   map[proto.LockID]State
+	locks   []proto.LockID
+	sent    []proto.Message
+	fenced  []proto.LockID
+	reseeds []reseedCall
+}
+
+type reseedCall struct {
+	lock      proto.LockID
+	root      proto.NodeID
+	epoch     uint32
+	accounted modes.Mode
+	copyset   []proto.Request
+}
+
+func newHarness(t *testing.T, self proto.NodeID, nodes []proto.NodeID) *harness {
+	h := &harness{t: t, state: make(map[proto.LockID]State)}
+	h.m = NewManager(Config{
+		Self:  self,
+		Nodes: nodes,
+		Send:  func(m proto.Message) { h.sent = append(h.sent, m) },
+		Locks: func() []proto.LockID { return h.locks },
+		State: func(l proto.LockID) State { return h.state[l] },
+		PrepareReseed: func(l proto.LockID, epoch uint32) {
+			h.fenced = append(h.fenced, l)
+			st := h.state[l]
+			if epoch > st.Epoch {
+				st.Epoch = epoch
+				h.state[l] = st
+			}
+		},
+		Reseed: func(l proto.LockID, root proto.NodeID, epoch uint32, acc modes.Mode, cs []proto.Request) {
+			h.reseeds = append(h.reseeds, reseedCall{l, root, epoch, acc, cs})
+			st := h.state[l]
+			st.Epoch = epoch
+			st.Token = root == self
+			h.state[l] = st
+		},
+		Clock: &h.clock,
+	})
+	return h
+}
+
+func (h *harness) drainSent() []proto.Message {
+	s := h.sent
+	h.sent = nil
+	return s
+}
+
+func TestSoleSurvivorRegeneratesLocally(t *testing.T) {
+	h := newHarness(t, 0, []proto.NodeID{0, 1})
+	h.locks = []proto.LockID{7}
+	h.state[7] = State{Epoch: 0} // token was at the dead node
+
+	h.m.ConfirmDead(1)
+
+	if len(h.reseeds) != 1 {
+		t.Fatalf("reseeds = %+v, want exactly one", h.reseeds)
+	}
+	r := h.reseeds[0]
+	if r.lock != 7 || r.root != 0 || r.epoch != 1 || r.accounted != modes.None || len(r.copyset) != 0 {
+		t.Fatalf("reseed = %+v", r)
+	}
+	if s, ok := h.m.SeedFor(7); !ok || s.Root != 0 || s.Epoch != 1 {
+		t.Fatalf("SeedFor = %+v, %v", s, ok)
+	}
+	// The only messages are the probes... none: the sole expected set is
+	// empty, so nothing should have been sent.
+	for _, m := range h.drainSent() {
+		t.Fatalf("unexpected message %v", m)
+	}
+}
+
+func TestRoundElectsStrongestHolderAsRoot(t *testing.T) {
+	h := newHarness(t, 0, []proto.NodeID{0, 1, 2, 3})
+	h.locks = []proto.LockID{1}
+	h.state[1] = State{Epoch: 0, Held: modes.R}
+
+	h.m.ConfirmDead(3) // the token holder died
+	probes := h.drainSent()
+	if len(probes) != 2 {
+		t.Fatalf("probes = %v, want to nodes 1 and 2", probes)
+	}
+	for i, want := range []proto.NodeID{1, 2} {
+		p := probes[i]
+		if p.Kind != proto.KindProbe || p.To != want || p.Epoch != 1 {
+			t.Fatalf("probe %d = %+v", i, p)
+		}
+	}
+	if len(h.fenced) == 0 || h.fenced[0] != 1 {
+		t.Fatalf("own engine not fenced first: %v", h.fenced)
+	}
+
+	// Node 1 claims a W hold at a higher epoch; node 2 claims nothing.
+	h.m.HandleMessage(&proto.Message{
+		Kind: proto.KindClaim, Lock: 1, From: 1, To: 0, Epoch: 1,
+		Owned: modes.W, Seq: EncodeClaimSeq(4, true),
+	})
+	if len(h.reseeds) != 0 {
+		t.Fatal("round closed before all claims arrived")
+	}
+	h.m.HandleMessage(&proto.Message{
+		Kind: proto.KindClaim, Lock: 1, From: 2, To: 0, Epoch: 1,
+		Owned: modes.None, Seq: EncodeClaimSeq(0, false),
+	})
+
+	// Final epoch must exceed node 1's claimed epoch 4; root is the W
+	// holder; the copyset carries this node's R hold.
+	if len(h.reseeds) != 1 {
+		t.Fatalf("reseeds = %+v", h.reseeds)
+	}
+	r := h.reseeds[0]
+	if r.root != 1 || r.epoch != 5 || r.accounted != modes.R || len(r.copyset) != 0 {
+		t.Fatalf("local reseed = %+v", r)
+	}
+	var recovered []proto.Message
+	for _, m := range h.drainSent() {
+		if m.Kind == proto.KindRecovered {
+			recovered = append(recovered, m)
+		}
+	}
+	if len(recovered) != 2 { // one per surviving peer; self applies locally
+		t.Fatalf("recovered fan-out = %+v", recovered)
+	}
+	for _, m := range recovered {
+		if m.Epoch != 5 || m.Req.Origin != 1 {
+			t.Fatalf("recovered = %+v", m)
+		}
+		if m.To == 1 {
+			// The root's copy carries the copyset: node 0's R hold.
+			if len(m.Queue) != 1 || m.Queue[0].Origin != 0 || m.Queue[0].Mode != modes.R {
+				t.Fatalf("root copyset = %+v", m.Queue)
+			}
+			if m.Owned != modes.W {
+				t.Fatalf("root accounted = %v", m.Owned)
+			}
+		} else if len(m.Queue) != 0 {
+			t.Fatalf("non-root recovered carries a copyset: %+v", m)
+		}
+	}
+}
+
+func TestUnsolicitedClaimStartsRound(t *testing.T) {
+	h := newHarness(t, 0, []proto.NodeID{0, 1, 2})
+	h.locks = nil // the regenerator has never touched the nominated lock
+	h.state[9] = State{}
+
+	h.m.ConfirmDead(2)
+	h.drainSent()
+
+	h.m.HandleMessage(&proto.Message{
+		Kind: proto.KindClaim, Lock: 9, From: 1, To: 0, Epoch: 3,
+		Owned: modes.R, Seq: EncodeClaimSeq(3, false),
+	})
+	var probed bool
+	for _, m := range h.drainSent() {
+		if m.Kind == proto.KindProbe && m.Lock == 9 && m.To == 1 {
+			probed = true
+		}
+	}
+	if !probed {
+		t.Fatal("unsolicited claim did not start a round")
+	}
+}
+
+func TestNonRegeneratorNominatesItsLocks(t *testing.T) {
+	h := newHarness(t, 2, []proto.NodeID{0, 1, 2})
+	h.locks = []proto.LockID{4}
+	h.state[4] = State{Epoch: 2, Held: modes.U, Token: true}
+
+	h.m.ConfirmDead(1) // node 0 survives and is the regenerator
+	sent := h.drainSent()
+	if len(sent) != 1 {
+		t.Fatalf("sent = %+v", sent)
+	}
+	c := sent[0]
+	if c.Kind != proto.KindClaim || c.To != 0 || c.Lock != 4 {
+		t.Fatalf("nomination = %+v", c)
+	}
+	if ep, tok := DecodeClaimSeq(c.Seq); ep != 2 || !tok || c.Owned != modes.U {
+		t.Fatalf("nomination state = %+v", c)
+	}
+}
+
+func TestProbeFencesAndClaims(t *testing.T) {
+	h := newHarness(t, 1, []proto.NodeID{0, 1, 2})
+	h.state[5] = State{Epoch: 0, Held: modes.R}
+
+	h.m.HandleMessage(&proto.Message{Kind: proto.KindProbe, Lock: 5, From: 0, To: 1, Epoch: 1})
+	if len(h.fenced) != 1 || h.fenced[0] != 5 {
+		t.Fatalf("fenced = %v", h.fenced)
+	}
+	sent := h.drainSent()
+	if len(sent) != 1 || sent[0].Kind != proto.KindClaim || sent[0].To != 0 || sent[0].Epoch != 1 {
+		t.Fatalf("claim = %+v", sent)
+	}
+	if ep, tok := DecodeClaimSeq(sent[0].Seq); ep != 0 || tok || sent[0].Owned != modes.R {
+		t.Fatalf("claimed state = %+v", sent[0])
+	}
+}
+
+func TestCompetingRegeneratorYieldsToLowerID(t *testing.T) {
+	h := newHarness(t, 1, []proto.NodeID{0, 1, 2, 3})
+	h.locks = []proto.LockID{2}
+	h.state[2] = State{}
+
+	// Node 1 confirmed 0 dead first and started regenerating.
+	h.m.ConfirmDead(0)
+	h.drainSent()
+
+	// But node 0 is alive and running its own round (it confirmed some
+	// other death): its probe outranks ours.
+	h.m.HandleMessage(&proto.Message{Kind: proto.KindProbe, Lock: 2, From: 0, To: 1, Epoch: 7})
+	sent := h.drainSent()
+	if len(sent) != 1 || sent[0].Kind != proto.KindClaim || sent[0].To != 0 {
+		t.Fatalf("expected a yield-claim to node 0, got %+v", sent)
+	}
+
+	// The reverse: a probe from a higher ID while we run a round is
+	// ignored. With node 0 still dead, node 1 is the regenerator, and
+	// confirming another death starts a fresh round.
+	h.m.ConfirmDead(3)
+	h.drainSent()
+	h.m.HandleMessage(&proto.Message{Kind: proto.KindProbe, Lock: 2, From: 2, To: 1, Epoch: 9})
+	for _, m := range h.drainSent() {
+		if m.Kind == proto.KindClaim && m.To == 2 {
+			t.Fatalf("yielded to a higher-ID regenerator: %+v", m)
+		}
+	}
+}
+
+func TestRecoveredGuards(t *testing.T) {
+	h := newHarness(t, 1, []proto.NodeID{0, 1})
+	h.state[3] = State{Epoch: 6}
+
+	// Older than the engine's world: ignored.
+	h.m.HandleMessage(&proto.Message{
+		Kind: proto.KindRecovered, Lock: 3, From: 0, To: 1, Epoch: 5,
+		Req: proto.Request{Origin: 0},
+	})
+	if len(h.reseeds) != 0 {
+		t.Fatalf("stale recovered applied: %+v", h.reseeds)
+	}
+
+	// Current: applied once, duplicate ignored.
+	apply := proto.Message{
+		Kind: proto.KindRecovered, Lock: 3, From: 0, To: 1, Epoch: 6,
+		Req: proto.Request{Origin: 0},
+	}
+	h.m.HandleMessage(&apply)
+	h.m.HandleMessage(&apply)
+	if len(h.reseeds) != 1 {
+		t.Fatalf("reseeds = %+v, want exactly one", h.reseeds)
+	}
+}
+
+func TestHint(t *testing.T) {
+	h := newHarness(t, 0, []proto.NodeID{0, 1})
+	h.m.Hint(8, 1) // no completed round: silent
+	if len(h.drainSent()) != 0 {
+		t.Fatal("hint without a seed sent something")
+	}
+	h.locks = []proto.LockID{8}
+	h.state[8] = State{}
+	h.m.ConfirmDead(1)
+	h.drainSent()
+	h.m.Hint(8, 1)
+	sent := h.drainSent()
+	if len(sent) != 1 || sent[0].Kind != proto.KindRecovered || sent[0].To != 1 ||
+		sent[0].Owned != modes.None || sent[0].Req.Origin != 0 {
+		t.Fatalf("hint = %+v", sent)
+	}
+}
+
+func TestRetryReprobesUnclaimed(t *testing.T) {
+	var timers []func()
+	h := newHarness(t, 0, []proto.NodeID{0, 1, 2})
+	h.m.cfg.After = func(d time.Duration, fn func()) { timers = append(timers, fn) }
+	h.m.cfg.ProbeTimeout = time.Second
+	h.locks = []proto.LockID{1}
+	h.state[1] = State{}
+
+	h.m.ConfirmDead(2)
+	h.drainSent()
+	if len(timers) != 1 {
+		t.Fatalf("timers = %d", len(timers))
+	}
+	timers[0]() // the probe to node 1 was lost; the retry resends it
+	sent := h.drainSent()
+	if len(sent) != 1 || sent[0].Kind != proto.KindProbe || sent[0].To != 1 {
+		t.Fatalf("retry probes = %+v", sent)
+	}
+	if len(timers) != 2 {
+		t.Fatal("retry did not reschedule")
+	}
+	// Round completes; the pending retry becomes a no-op.
+	h.m.HandleMessage(&proto.Message{
+		Kind: proto.KindClaim, Lock: 1, From: 1, To: 0, Epoch: 1,
+		Owned: modes.None, Seq: EncodeClaimSeq(0, false),
+	})
+	h.drainSent()
+	timers[1]()
+	if len(h.drainSent()) != 0 {
+		t.Fatal("retry fired after round completion")
+	}
+	if len(timers) != 2 {
+		t.Fatal("completed round rescheduled its retry")
+	}
+}
+
+func TestConfirmDeadRefreshesActiveRounds(t *testing.T) {
+	h := newHarness(t, 0, []proto.NodeID{0, 1, 2})
+	h.locks = []proto.LockID{1}
+	h.state[1] = State{}
+
+	h.m.ConfirmDead(2)
+	h.drainSent()
+	// Node 1 dies too before claiming: the refreshed round must close on
+	// its own (the subsequent sole-survivor round for the new death is
+	// expected too).
+	h.m.ConfirmDead(1)
+	if len(h.reseeds) == 0 || h.reseeds[0].root != 0 {
+		t.Fatalf("cascaded death did not close the round: %+v", h.reseeds)
+	}
+	if s, ok := h.m.SeedFor(1); !ok || s.Root != 0 {
+		t.Fatalf("SeedFor = %+v, %v", s, ok)
+	}
+}
+
+func TestDetectorTransitions(t *testing.T) {
+	var suspects, confirms, alives []proto.NodeID
+	t0 := time.Unix(0, 0)
+	d := NewDetector(DetectorConfig{
+		Peers:        []proto.NodeID{1, 2},
+		SuspectAfter: time.Second,
+		ConfirmAfter: 3 * time.Second,
+		OnSuspect:    func(p proto.NodeID) { suspects = append(suspects, p) },
+		OnConfirm:    func(p proto.NodeID) { confirms = append(confirms, p) },
+		OnAlive:      func(p proto.NodeID) { alives = append(alives, p) },
+	}, t0)
+
+	d.Tick(t0.Add(500 * time.Millisecond))
+	if len(suspects)+len(confirms) != 0 {
+		t.Fatal("transitions before any threshold")
+	}
+
+	// Node 2 keeps talking; node 1 goes silent.
+	d.Observe(2, t0.Add(1500*time.Millisecond))
+	d.Tick(t0.Add(2 * time.Second))
+	if len(suspects) != 1 || suspects[0] != 1 || d.State(1) != PeerSuspect || d.State(2) != PeerHealthy {
+		t.Fatalf("suspects = %v, state(1) = %v", suspects, d.State(1))
+	}
+	d.Observe(2, t0.Add(2200*time.Millisecond))
+	d.Tick(t0.Add(2500 * time.Millisecond))
+	if len(suspects) != 1 {
+		t.Fatal("suspect transition re-fired")
+	}
+	d.Observe(2, t0.Add(3500*time.Millisecond))
+
+	d.Tick(t0.Add(4 * time.Second))
+	if len(confirms) != 1 || confirms[0] != 1 || d.State(1) != PeerConfirmed {
+		t.Fatalf("confirms = %v", confirms)
+	}
+
+	// The peer restarts: healthy again, OnAlive fires once.
+	d.Observe(1, t0.Add(5*time.Second))
+	if len(alives) != 1 || alives[0] != 1 || d.State(1) != PeerHealthy {
+		t.Fatalf("alives = %v, state = %v", alives, d.State(1))
+	}
+
+	// An unwatched node never transitions.
+	d.Observe(9, t0.Add(5*time.Second))
+	d.Tick(t0.Add(20 * time.Second))
+	if d.State(9) != PeerHealthy {
+		t.Fatal("unwatched node tracked")
+	}
+}

@@ -29,6 +29,7 @@ const (
 	OpDrop                  // fault injection: a frame was dropped (and retransmitted)
 	OpDup                   // fault injection: a duplicate frame was generated (and suppressed)
 	OpDefer                 // fault injection: delivery deferred by a partition or crash
+	OpLost                  // fault injection: a frame destroyed for good by a crash (LoseOnCrash)
 )
 
 // String names the op.
@@ -50,6 +51,8 @@ func (o Op) String() string {
 		return "dup"
 	case OpDefer:
 		return "defer"
+	case OpLost:
+		return "lost"
 	default:
 		// The zero Op (and any out-of-range value) is a corrupt or
 		// uninitialized entry; print the numeric value so it is
@@ -69,6 +72,9 @@ type Entry struct {
 	// Message fields (OpSend / OpDeliver and the fault ops only).
 	Kind     proto.Kind
 	From, To proto.NodeID
+	// Epoch is the message's recovery epoch (OpSend / OpDeliver / OpLost);
+	// the audit layer keys token conservation per (lock, epoch) with it.
+	Epoch uint32
 	// Trace is the causal identity of the client operation this event
 	// belongs to (zero when untraced). Entries sharing a Trace across the
 	// per-node buffers of a cluster are one operation's causal path; see
@@ -83,9 +89,13 @@ func (e Entry) String() string {
 		tr = " trace=" + e.Trace.String()
 	}
 	switch e.Op {
-	case OpSend, OpDeliver, OpDrop, OpDup, OpDefer:
-		return fmt.Sprintf("%8.3fs #%d %-7s %v %d→%d lock=%d mode=%v%s",
-			e.At.Seconds(), e.Seq, e.Op, e.Kind, e.From, e.To, e.Lock, e.Mode, tr)
+	case OpSend, OpDeliver, OpDrop, OpDup, OpDefer, OpLost:
+		ep := ""
+		if e.Epoch != 0 {
+			ep = fmt.Sprintf(" epoch=%d", e.Epoch)
+		}
+		return fmt.Sprintf("%8.3fs #%d %-7s %v %d→%d lock=%d mode=%v%s%s",
+			e.At.Seconds(), e.Seq, e.Op, e.Kind, e.From, e.To, e.Lock, e.Mode, tr, ep)
 	default:
 		return fmt.Sprintf("%8.3fs #%d %-7s node=%d lock=%d mode=%v%s",
 			e.At.Seconds(), e.Seq, e.Op, e.Node, e.Lock, e.Mode, tr)

@@ -5,12 +5,14 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"hierlock/internal/metrics"
 	"hierlock/internal/proto"
+	"hierlock/internal/recovery"
 )
 
 // PeerState is the transport's health assessment of one peer link.
@@ -73,6 +75,30 @@ type TCPConfig struct {
 	// whenever a peer's health state changes. It must not block and must
 	// not call back into the transport.
 	OnPeerState func(peer proto.NodeID, state PeerState)
+
+	// HeartbeatInterval enables the liveness layer: every interval the
+	// transport sends a KindHeartbeat frame to each configured peer whose
+	// outbound link is otherwise idle (real traffic is proof of life, so
+	// heartbeats only bound the silence on quiet links) and ticks a
+	// silence-based failure detector fed by every inbound frame. 0
+	// disables heartbeats and failure detection entirely.
+	HeartbeatInterval time.Duration
+	// SuspectAfter is the detector's silence threshold for suspecting a
+	// peer (default 4×HeartbeatInterval).
+	SuspectAfter time.Duration
+	// ConfirmAfter is the silence threshold for confirming a peer dead
+	// (default 2×SuspectAfter). It must comfortably exceed the worst GC
+	// pause or network blip expected in the deployment: recovery
+	// regenerates a falsely confirmed peer's locks out from under it and
+	// its clients see ErrLockLost.
+	ConfirmAfter time.Duration
+	// OnPeerSuspect, OnPeerConfirmed and OnPeerAlive fire on detector
+	// transitions (suspect, confirmed dead, heard from again). They run
+	// on transport goroutines and must not block; OnPeerConfirmed is the
+	// signal the recovery layer acts on.
+	OnPeerSuspect   func(proto.NodeID)
+	OnPeerConfirmed func(proto.NodeID)
+	OnPeerAlive     func(proto.NodeID)
 }
 
 // TCPTransport connects nodes over TCP with one outbound connection per
@@ -85,6 +111,11 @@ type TCPTransport struct {
 	cfg TCPConfig
 	ln  net.Listener
 	box *mailbox
+
+	// detector classifies peers by inbound silence (nil unless
+	// HeartbeatInterval is set); hbPeers is the sorted heartbeat fan-out.
+	detector *recovery.Detector
+	hbPeers  []proto.NodeID
 
 	// ctx is canceled by Close; it gates dialing and backoff waits so
 	// Close returns promptly even with unreachable peers.
@@ -188,7 +219,7 @@ func NewTCP(cfg TCPConfig) (*TCPTransport, error) {
 		return nil, fmt.Errorf("transport: listen %s: %w", cfg.ListenAddr, err)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	return &TCPTransport{
+	t := &TCPTransport{
 		cfg:     cfg,
 		ln:      ln,
 		box:     newMailbox(cfg.QueueLimit),
@@ -197,7 +228,86 @@ func NewTCP(cfg TCPConfig) (*TCPTransport, error) {
 		writers: make(map[proto.NodeID]*peerWriter),
 		conns:   make(map[net.Conn]struct{}),
 		recvSeq: make(map[proto.NodeID]uint64),
-	}, nil
+	}
+	if cfg.HeartbeatInterval > 0 {
+		if t.cfg.SuspectAfter <= 0 {
+			t.cfg.SuspectAfter = 4 * cfg.HeartbeatInterval
+		}
+		if t.cfg.ConfirmAfter <= 0 {
+			t.cfg.ConfirmAfter = 2 * t.cfg.SuspectAfter
+		}
+		for id := range cfg.Peers {
+			t.hbPeers = append(t.hbPeers, id)
+		}
+		sort.Slice(t.hbPeers, func(i, j int) bool { return t.hbPeers[i] < t.hbPeers[j] })
+		t.detector = recovery.NewDetector(recovery.DetectorConfig{
+			Peers:        t.hbPeers,
+			SuspectAfter: t.cfg.SuspectAfter,
+			ConfirmAfter: t.cfg.ConfirmAfter,
+			OnSuspect:    cfg.OnPeerSuspect,
+			OnConfirm:    cfg.OnPeerConfirmed,
+			OnAlive:      cfg.OnPeerAlive,
+		}, time.Now())
+	}
+	return t, nil
+}
+
+// PeerHealth returns the failure detector's opinion of a peer (healthy
+// when heartbeats are disabled).
+func (t *TCPTransport) PeerHealth(peer proto.NodeID) recovery.PeerState {
+	if t.detector == nil {
+		return recovery.PeerHealthy
+	}
+	return t.detector.State(peer)
+}
+
+// observe feeds one inbound frame to the failure detector as proof of
+// the sender's liveness.
+func (t *TCPTransport) observe(from proto.NodeID) {
+	if t.detector != nil {
+		t.detector.Observe(from, time.Now())
+	}
+}
+
+// heartbeatLoop sends liveness frames to idle peer links and ticks the
+// failure detector. A peer whose outbound link already has queued or
+// unacknowledged work is skipped: either real traffic is about to prove
+// our liveness, or the link is down and stacking heartbeats behind it
+// would grow the retransmit buffer without bound for a dead peer.
+func (t *TCPTransport) heartbeatLoop() {
+	defer t.wg.Done()
+	tick := time.NewTicker(t.cfg.HeartbeatInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-t.ctx.Done():
+			return
+		case now := <-tick.C:
+			for _, peer := range t.hbPeers {
+				if t.peerBacklogged(peer) {
+					continue
+				}
+				_ = t.Send(&proto.Message{
+					Kind: proto.KindHeartbeat, From: t.cfg.Self, To: peer,
+				})
+			}
+			t.detector.Tick(now)
+		}
+	}
+}
+
+// peerBacklogged reports whether the peer's outbound link has queued or
+// unacknowledged frames.
+func (t *TCPTransport) peerBacklogged(peer proto.NodeID) bool {
+	t.mu.Lock()
+	w := t.writers[peer]
+	t.mu.Unlock()
+	if w == nil {
+		return false
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.queue)+len(w.unacked) > 0
 }
 
 // Addr returns the bound listen address (useful with ":0").
@@ -217,6 +327,10 @@ func (t *TCPTransport) Start(h Handler) error {
 	go t.box.drain(h)
 	t.wg.Add(1)
 	go t.acceptLoop()
+	if t.detector != nil {
+		t.wg.Add(1)
+		go t.heartbeatLoop()
+	}
 	return nil
 }
 
@@ -269,6 +383,10 @@ func (t *TCPTransport) readLoop(conn net.Conn) {
 			return
 		}
 		t.framesRecv.Add(1)
+		t.observe(msg.From)
+		if msg.Kind == proto.KindHeartbeat {
+			continue // liveness only; never delivered
+		}
 		if err := t.box.put(msg); err != nil {
 			return
 		}
@@ -288,6 +406,7 @@ func (t *TCPTransport) readLoopReliable(conn net.Conn) {
 			continue // acks are not expected inbound; ignore
 		}
 		t.framesRecv.Add(1)
+		t.observe(msg.From)
 		from := msg.From
 		t.recvMu.Lock()
 		last := t.recvSeq[from]
@@ -301,6 +420,17 @@ func (t *TCPTransport) readLoopReliable(conn net.Conn) {
 			continue
 		}
 		t.recvMu.Unlock()
+		if msg.Kind == proto.KindHeartbeat {
+			// Liveness only: consume the sequence number and acknowledge,
+			// but never deliver.
+			t.recvMu.Lock()
+			t.recvSeq[from] = seq
+			t.recvMu.Unlock()
+			if err := proto.WriteLinkAck(conn, seq); err != nil {
+				return
+			}
+			continue
+		}
 		if err := t.box.put(msg); err != nil {
 			// Queue full or closing: drop the frame *unacknowledged* so
 			// the sender retransmits it later.
@@ -531,7 +661,27 @@ func (w *peerWriter) run() {
 	defer w.dropConn()
 	done := w.t.ctx.Done()
 	backoff := w.t.cfg.RedialBackoff
-	var retryC <-chan time.Time
+	// One reusable retry timer per writer. The old time.After-per-retry
+	// pattern minted a fresh runtime timer on every failed attempt; each
+	// stayed pinned until it fired, so a long outage against an
+	// unreachable peer accumulated garbage timers at the redial rate.
+	// Stop/Reset on a single timer keeps a downed link at O(1) timer
+	// state. armed tracks whether the timer is set and undrained, which
+	// Stop/Reset need to know to keep the channel empty.
+	retry := time.NewTimer(time.Hour)
+	if !retry.Stop() {
+		<-retry.C
+	}
+	armed := false
+	defer retry.Stop()
+	disarm := func() {
+		if armed {
+			if !retry.Stop() {
+				<-retry.C
+			}
+			armed = false
+		}
+	}
 	for {
 		select {
 		case <-done:
@@ -543,16 +693,19 @@ func (w *peerWriter) run() {
 			if c == w.conn {
 				w.dropConn()
 			}
-		case <-retryC:
+		case <-retry.C:
+			armed = false
 		}
 		if w.flush() {
-			retryC = time.After(jitter(backoff))
+			disarm()
+			retry.Reset(jitter(backoff))
+			armed = true
 			backoff *= 2
 			if max := w.t.cfg.RedialBackoffMax; backoff > max {
 				backoff = max
 			}
 		} else {
-			retryC = nil
+			disarm()
 			if w.conn != nil {
 				backoff = w.t.cfg.RedialBackoff
 			}
@@ -734,6 +887,7 @@ func (w *peerWriter) ackLoop(conn net.Conn) {
 			}
 			return
 		}
+		w.t.observe(w.peer) // an ack is proof of life too
 		if typ != proto.LinkAck {
 			continue
 		}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"hierlock/internal/proto"
+	"hierlock/internal/recovery"
 )
 
 // deadAddr returns a loopback address with nothing listening on it
@@ -505,5 +506,115 @@ func TestTCPSendPeerNeverUp(t *testing.T) {
 	}
 	if d := time.Since(start); d > time.Second {
 		t.Fatalf("Close took %v", d)
+	}
+}
+
+// TestTCPFailureDetection: with heartbeats enabled, killing one member
+// of a three-node mesh drives the survivors' detectors through suspect
+// to confirmed, and a restarted member is reported alive again. The
+// addresses are reserved up front (deadAddr) so every transport can be
+// constructed with the full mesh in cfg.Peers — the detector snapshots
+// its watch list at construction time.
+func TestTCPFailureDetection(t *testing.T) {
+	addrs := map[proto.NodeID]string{0: deadAddr(t), 1: deadAddr(t), 2: deadAddr(t)}
+	peersOf := func(self proto.NodeID) map[proto.NodeID]string {
+		m := make(map[proto.NodeID]string)
+		for id, a := range addrs {
+			if id != self {
+				m[id] = a
+			}
+		}
+		return m
+	}
+	mk := func(self proto.NodeID, confirmed, alive chan proto.NodeID) *TCPTransport {
+		tr, err := NewTCP(TCPConfig{
+			Self: self, ListenAddr: addrs[self], Peers: peersOf(self),
+			RedialBackoff:     10 * time.Millisecond,
+			HeartbeatInterval: 25 * time.Millisecond,
+			SuspectAfter:      150 * time.Millisecond,
+			ConfirmAfter:      400 * time.Millisecond,
+			OnPeerConfirmed:   func(p proto.NodeID) { confirmed <- p },
+			OnPeerAlive:       func(p proto.NodeID) { alive <- p },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Start(func(*proto.Message) {}); err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	confirmedA := make(chan proto.NodeID, 8)
+	aliveA := make(chan proto.NodeID, 8)
+	confirmedB := make(chan proto.NodeID, 8)
+	aliveB := make(chan proto.NodeID, 8)
+	ta := mk(0, confirmedA, aliveA)
+	defer ta.Close()
+	tb := mk(1, confirmedB, aliveB)
+	defer tb.Close()
+	sink := make(chan proto.NodeID, 64)
+	tc := mk(2, sink, sink)
+
+	// Let heartbeats flow for several confirm windows: nothing may be
+	// confirmed dead while all three members run.
+	time.Sleep(800 * time.Millisecond)
+	select {
+	case p := <-confirmedA:
+		t.Fatalf("A confirmed peer %d dead while alive", p)
+	case p := <-confirmedB:
+		t.Fatalf("B confirmed peer %d dead while alive", p)
+	default:
+	}
+
+	// Kill node 2: both survivors must confirm it dead.
+	if err := tc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	drain := func(ch chan proto.NodeID) {
+		for {
+			select {
+			case <-ch:
+			default:
+				return
+			}
+		}
+	}
+	drain(aliveA) // restart-to-healthy flaps from startup, if any
+	drain(aliveB)
+	expect := func(ch chan proto.NodeID, want proto.NodeID, what string) {
+		t.Helper()
+		select {
+		case p := <-ch:
+			if p != want {
+				t.Fatalf("%s: peer %d, want %d", what, p, want)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("timed out waiting for %s of %d", what, want)
+		}
+	}
+	expect(confirmedA, 2, "confirm on A")
+	expect(confirmedB, 2, "confirm on B")
+	if s := ta.PeerHealth(2); s != recovery.PeerConfirmed {
+		t.Fatalf("PeerHealth(2) on A = %v, want confirmed", s)
+	}
+
+	// Restart node 2 at the same address: its heartbeats must flip the
+	// survivors back to alive.
+	tc2, err := NewTCP(TCPConfig{
+		Self: 2, ListenAddr: addrs[2], Peers: peersOf(2),
+		RedialBackoff:     10 * time.Millisecond,
+		HeartbeatInterval: 25 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tc2.Close()
+	if err := tc2.Start(func(*proto.Message) {}); err != nil {
+		t.Fatal(err)
+	}
+	expect(aliveA, 2, "alive on A")
+	expect(aliveB, 2, "alive on B")
+	if s := tb.PeerHealth(2); s != recovery.PeerHealthy {
+		t.Fatalf("PeerHealth(2) on B = %v, want healthy", s)
 	}
 }

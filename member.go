@@ -14,6 +14,7 @@ import (
 	"hierlock/internal/metrics"
 	"hierlock/internal/modes"
 	"hierlock/internal/proto"
+	"hierlock/internal/recovery"
 	"hierlock/internal/trace"
 	"hierlock/internal/transport"
 )
@@ -26,6 +27,13 @@ var (
 	ErrReleased = errors.New("hierlock: lock already released")
 	// ErrNotUpgradable is returned by Upgrade on a lock not held in U.
 	ErrNotUpgradable = errors.New("hierlock: upgrade requires mode U")
+	// ErrLockLost is returned when crash recovery determined a hold or a
+	// pending request did not survive a token regeneration round: Unlock
+	// returns it for a hold whose accounting was lost (the surviving
+	// members fenced this node out while it was partitioned or paused),
+	// and Lock/Upgrade return it when RecoveryTimeout expires with no
+	// grant. The client must assume it no longer holds the resource.
+	ErrLockLost = errors.New("hierlock: lock lost in crash recovery")
 )
 
 // lockShardCount is the number of stripes the member's per-lock state is
@@ -103,12 +111,24 @@ type Member struct {
 	// fails every outstanding waiter with ErrClosed.
 	done chan struct{}
 
+	// mgr runs the crash-recovery protocol when the member was created
+	// with a failure detector (nil otherwise). mgrMu serializes every
+	// Manager entry point except the concurrency-safe SeedFor/Hint/Table,
+	// per the Manager's contract; the lock order is always mgrMu before a
+	// shard mutex, never the reverse.
+	mgr   *recovery.Manager
+	mgrMu sync.Mutex
+	// recoveryTimeout, when non-zero, bounds each blocking client
+	// operation (see TCPMemberConfig.RecoveryTimeout).
+	recoveryTimeout time.Duration
+
 	// statMu guards the member-wide counters below (never held together
 	// with a shard mutex for long: stat updates are point writes).
 	statMu      sync.Mutex
 	sent        metrics.Messages
 	acqLatency  metrics.Latency
 	sharedJoins uint64
+	lostHolds   uint64
 	firstEr     error
 
 	tel telemetry
@@ -171,6 +191,12 @@ func (m *Member) newTrace() proto.TraceID {
 func msgTrace(msg *proto.Message) proto.TraceID {
 	if msg.Kind == proto.KindRequest && !msg.Req.Trace.IsZero() {
 		return msg.Req.Trace
+	}
+	if msg.Kind == proto.KindRecovered {
+		// Recovered frames carry the regenerated root in Req.Origin; the
+		// auditor reads it from the trace ID to open the new epoch's
+		// token ledger at the right node.
+		return proto.TraceID{Node: msg.Req.Origin}
 	}
 	return msg.Trace
 }
@@ -348,6 +374,11 @@ type hold struct {
 	refs int
 	// upgrading blocks sharing while an upgrade is converting the hold.
 	upgrading bool
+	// lost marks a hold demolished by a recovery reseed (this node's
+	// claim did not account for it): each sharer's Unlock returns
+	// ErrLockLost and the engine, which already dropped the hold, is not
+	// asked to release again.
+	lost bool
 }
 
 // waiter tracks the outstanding request on one lock.
@@ -363,18 +394,172 @@ type waiter struct {
 	releaseOnUpgrade bool
 }
 
+// memberRecovery configures a member's crash-recovery runtime: the full
+// node set (recovery rounds span every configured member) and the
+// protocol/client timeouts. Nil disables recovery.
+type memberRecovery struct {
+	nodes        []proto.NodeID // all cluster members, including self
+	probeTimeout time.Duration
+	opTimeout    time.Duration
+}
+
 // newMember wires a member to a started transport.
-func newMember(id, root proto.NodeID, tr transport.Transport) (*Member, error) {
+func newMember(id, root proto.NodeID, tr transport.Transport, rec *memberRecovery) (*Member, error) {
 	m := &Member{
 		id:   id,
 		root: root,
 		tr:   tr,
 		done: make(chan struct{}),
 	}
+	if rec != nil {
+		m.recoveryTimeout = rec.opTimeout
+		m.mgr = recovery.NewManager(recovery.Config{
+			Self:          id,
+			Nodes:         rec.nodes,
+			Send:          m.sendRecovery,
+			Locks:         m.trackedLockIDs,
+			State:         m.recoveryState,
+			PrepareReseed: m.recoveryPrepare,
+			Reseed:        m.recoveryReseed,
+			Clock:         &m.clock,
+			After:         m.afterRecovery,
+			ProbeTimeout:  rec.probeTimeout,
+		})
+	}
 	if err := tr.Start(m.handle); err != nil {
 		return nil, err
 	}
 	return m, nil
+}
+
+// sendRecovery transmits one recovery-protocol message with the same
+// accounting as engine traffic. Send failures are not surfaced: during
+// the recovery window peers are expected to be unreachable, and the
+// protocol re-probes until every survivor has claimed.
+func (m *Member) sendRecovery(msg proto.Message) {
+	m.statMu.Lock()
+	m.sent.Count(msg.Kind)
+	m.statMu.Unlock()
+	m.tel.countSent(msg.Kind)
+	if rec := m.tel.rec; rec != nil {
+		rec.Record(trace.Entry{At: m.tel.now(), Op: trace.OpSend,
+			Node: m.id, Lock: msg.Lock, Kind: msg.Kind, From: msg.From,
+			To: msg.To, Epoch: msg.Epoch, Trace: msgTrace(&msg)})
+	}
+	_ = m.tr.Send(&msg)
+}
+
+// trackedLockIDs snapshots the locks the member holds state for, for
+// the recovery manager's per-lock rounds.
+func (m *Member) trackedLockIDs() []proto.LockID {
+	var out []proto.LockID
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		for id := range sh.locks {
+			out = append(out, id)
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// recoveryState captures one lock's accountable engine state for a
+// recovery claim.
+func (m *Member) recoveryState(lock proto.LockID) recovery.State {
+	sh, ls := m.state(lock, "")
+	defer sh.mu.Unlock()
+	e := ls.engine
+	return recovery.State{Epoch: e.Epoch(), Held: e.Held(), Token: e.IsToken()}
+}
+
+// recoveryPrepare fences one lock's engine for a regeneration round.
+func (m *Member) recoveryPrepare(lock proto.LockID, epoch uint32) {
+	sh, ls := m.state(lock, "")
+	defer sh.mu.Unlock()
+	ls.engine.PrepareReseed(epoch)
+}
+
+// recoveryReseed installs a completed round's outcome: the engine is
+// rebuilt in the recovered topology, re-issuing any pending client
+// request; a hold the round did not account for is marked lost so
+// Unlock surfaces ErrLockLost.
+func (m *Member) recoveryReseed(lock proto.LockID, root proto.NodeID, epoch uint32, accounted modes.Mode, copyset []proto.Request) {
+	sh, ls := m.state(lock, "")
+	defer sh.mu.Unlock()
+	out, lost := ls.engine.Reseed(root, epoch, accounted, copyset)
+	if lost {
+		if h := ls.hold; h != nil {
+			h.lost = true
+		}
+		m.statMu.Lock()
+		m.lostHolds++
+		m.statMu.Unlock()
+		if lg := m.tel.log; lg != nil {
+			lg.Warn("hold lost in crash recovery",
+				"lock", uint64(lock), "epoch", epoch, "root", int(root))
+		}
+	}
+	if lg := m.tel.log; lg != nil {
+		lg.Info("lock recovered",
+			"lock", uint64(lock), "epoch", epoch, "root", int(root))
+	}
+	m.dispatch(ls, out)
+	m.maybeEvict(sh)
+}
+
+// afterRecovery schedules a recovery-protocol retry, serialized under
+// the manager mutex like every other manager entry point.
+func (m *Member) afterRecovery(d time.Duration, fn func()) {
+	time.AfterFunc(d, func() {
+		if m.closed.Load() {
+			return
+		}
+		m.mgrMu.Lock()
+		defer m.mgrMu.Unlock()
+		fn()
+	})
+}
+
+// peerConfirmed is the failure detector's confirm callback: the peer
+// has been silent past ConfirmAfter and is declared dead, which starts
+// regeneration rounds for every lock this node tracks.
+func (m *Member) peerConfirmed(peer proto.NodeID) {
+	if m.mgr == nil || m.closed.Load() {
+		return
+	}
+	if lg := m.tel.log; lg != nil {
+		lg.Warn("peer confirmed dead, starting recovery", "peer", int(peer))
+	}
+	m.mgrMu.Lock()
+	defer m.mgrMu.Unlock()
+	m.mgr.ConfirmDead(peer)
+}
+
+// peerAlive clears a peer's dead mark when its heartbeats resume. A
+// node that was falsely confirmed (long pause, partition) rejoins here;
+// its fenced engines catch up from recovery hints.
+func (m *Member) peerAlive(peer proto.NodeID) {
+	if m.mgr == nil || m.closed.Load() {
+		return
+	}
+	if lg := m.tel.log; lg != nil {
+		lg.Info("peer alive again", "peer", int(peer))
+	}
+	m.mgrMu.Lock()
+	defer m.mgrMu.Unlock()
+	m.mgr.Alive(peer)
+}
+
+// RecoveryRounds returns how many token-regeneration rounds this member
+// has completed as the regenerator (zero when recovery is disabled).
+func (m *Member) RecoveryRounds() uint64 {
+	if m.mgr == nil {
+		return 0
+	}
+	m.mgrMu.Lock()
+	defer m.mgrMu.Unlock()
+	return m.mgr.Rounds()
 }
 
 // ID returns this member's node identifier.
@@ -437,6 +622,9 @@ type Stats struct {
 	P99Acquire  time.Duration
 	// MessagesSent totals the protocol messages sent.
 	MessagesSent uint64
+	// LostHolds counts holds demolished by crash-recovery reseeds (each
+	// surfaced to its client as ErrLockLost).
+	LostHolds uint64
 }
 
 // Stats returns a snapshot of the member's counters.
@@ -449,6 +637,7 @@ func (m *Member) Stats() Stats {
 		MeanAcquire:  m.acqLatency.Mean(),
 		P99Acquire:   m.acqLatency.Quantile(0.99),
 		MessagesSent: m.sent.Total(),
+		LostHolds:    m.lostHolds,
 	}
 }
 
@@ -479,10 +668,25 @@ func (m *Member) state(lock proto.LockID, res string) (*lockShard, *lockState) {
 		if sh.locks == nil {
 			sh.locks = make(map[proto.LockID]*lockState)
 		}
+		// A lock that has been through recovery rounds has a different
+		// initial topology: the regenerated root holds the token at the
+		// recovered epoch. Seeding the fresh engine from the recovery
+		// table keeps lazily recreated engines protocol-correct and still
+		// evictable (the seeded state is their AtInitialState baseline).
+		parent, token, epoch := m.root, m.id == m.root, uint32(0)
+		if m.mgr != nil {
+			if s, ok := m.mgr.SeedFor(lock); ok {
+				parent, token, epoch = s.Root, m.id == s.Root, s.Epoch
+			}
+		}
+		e := hlock.New(m.id, lock, parent, token, &m.clock, hlock.Options{})
+		if epoch != 0 {
+			e.SeedEpoch(epoch)
+		}
 		ls = &lockState{
 			id:     lock,
 			res:    res,
-			engine: hlock.New(m.id, lock, m.root, m.id == m.root, &m.clock, hlock.Options{}),
+			engine: e,
 			slot:   make(chan struct{}, 1),
 		}
 		sh.locks[lock] = ls
@@ -665,10 +869,32 @@ func (m *Member) LockWithPriority(ctx context.Context, resource string, mode Mod
 		m.tel.latency.ObserveDuration(d)
 		m.tel.factor.Observe(d.Seconds() / m.tel.base.Seconds())
 	}
+	// With RecoveryTimeout configured, bound the wait: a request whose
+	// grant path died with a crashed node and was never regenerated (see
+	// docs/OPERATIONS.md) must not block its client forever.
+	var recoverC <-chan time.Time
+	if m.recoveryTimeout > 0 {
+		rt := time.NewTimer(m.recoveryTimeout)
+		defer rt.Stop()
+		recoverC = rt.C
+	}
 	select {
 	case <-w.ch:
 		observe()
 		return &Lock{m: m, id: lockID, resource: resource, mode: mode}, nil
+	case <-recoverC:
+		sh.mu.Lock()
+		select {
+		case <-w.ch:
+			sh.mu.Unlock()
+			observe()
+			return &Lock{m: m, id: lockID, resource: resource, mode: mode}, nil
+		default:
+			w.abandoned = true
+			sh.mu.Unlock()
+			return nil, fmt.Errorf("hierlock: no grant for %q within recovery timeout %v: %w",
+				resource, m.recoveryTimeout, ErrLockLost)
+		}
 	case <-ctx.Done():
 		sh.mu.Lock()
 		select {
@@ -749,6 +975,17 @@ func (l *Lock) Unlock() error {
 			w.releaseOnUpgrade = true
 			return nil
 		}
+	}
+	if h := ls.hold; h != nil && h.lost {
+		// A recovery reseed already demolished this hold in the engine;
+		// clean up the local bookkeeping and tell the client.
+		h.refs--
+		if h.refs <= 0 {
+			ls.hold = nil
+			m.freeSlot(ls)
+			m.maybeEvict(sh)
+		}
+		return ErrLockLost
 	}
 	if h := ls.hold; h != nil && h.refs > 1 {
 		h.refs--
@@ -833,10 +1070,30 @@ func (l *Lock) Upgrade(ctx context.Context) error {
 		l.upgrading = false
 		l.mu.Unlock()
 	}
+	var recoverC <-chan time.Time
+	if m.recoveryTimeout > 0 {
+		rt := time.NewTimer(m.recoveryTimeout)
+		defer rt.Stop()
+		recoverC = rt.C
+	}
 	select {
 	case <-w.ch:
 		finish()
 		return nil
+	case <-recoverC:
+		sh.mu.Lock()
+		select {
+		case <-w.ch:
+			sh.mu.Unlock()
+			finish()
+			return nil
+		default:
+			// The upgrade, like a canceled one, completes in the
+			// background if its grant ever arrives.
+			sh.mu.Unlock()
+			return fmt.Errorf("hierlock: no upgrade grant within recovery timeout %v: %w",
+				m.recoveryTimeout, ErrLockLost)
+		}
 	case <-ctx.Done():
 		sh.mu.Lock()
 		select {
@@ -873,7 +1130,17 @@ func (m *Member) handle(msg *proto.Message) {
 	if rec := m.tel.rec; rec != nil {
 		rec.Record(trace.Entry{At: m.tel.now(), Op: trace.OpDeliver,
 			Node: m.id, Lock: msg.Lock, Mode: msg.Mode,
-			Kind: msg.Kind, From: msg.From, To: msg.To, Trace: msgTrace(msg)})
+			Kind: msg.Kind, From: msg.From, To: msg.To, Epoch: msg.Epoch,
+			Trace: msgTrace(msg)})
+	}
+	switch msg.Kind {
+	case proto.KindProbe, proto.KindClaim, proto.KindRecovered:
+		if m.mgr != nil {
+			m.mgrMu.Lock()
+			m.mgr.HandleMessage(msg)
+			m.mgrMu.Unlock()
+		}
+		return
 	}
 	sh, ls := m.state(msg.Lock, "")
 	defer sh.mu.Unlock()
@@ -890,6 +1157,13 @@ func (m *Member) handle(msg *proto.Message) {
 				"lock", uint64(msg.Lock), "from", int(msg.From),
 				"trace", msgTrace(msg).String())
 		}
+	}
+	if out.Stale && m.mgr != nil {
+		// The sender is behind a completed recovery round (pre-crash
+		// traffic, or a restarted node): answer with the recovered
+		// (root, epoch) so it can catch up without a full round. Hint is
+		// safe under the shard mutex (it only reads the seed table).
+		m.mgr.Hint(msg.Lock, msg.From)
 	}
 	m.dispatch(ls, out)
 	m.maybeEvict(sh)
@@ -908,7 +1182,8 @@ func (m *Member) dispatch(ls *lockState, out hlock.Out) {
 		if rec := m.tel.rec; rec != nil {
 			rec.Record(trace.Entry{At: m.tel.now(), Op: trace.OpSend,
 				Node: m.id, Lock: msg.Lock, Mode: msg.Mode,
-				Kind: msg.Kind, From: msg.From, To: msg.To, Trace: msgTrace(msg)})
+				Kind: msg.Kind, From: msg.From, To: msg.To, Epoch: msg.Epoch,
+				Trace: msgTrace(msg)})
 		}
 		if msg.Kind == proto.KindToken && m.tel.reg != nil {
 			m.tel.reg.Counter(metrics.MetricTokenTransfers,

@@ -131,3 +131,127 @@ func TestTCPClusterHierarchical(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// newRecoveryTCPCluster boots n members with the failure detector and
+// crash-recovery runtime enabled (aggressive timings for test speed).
+// Members are not auto-closed: crash tests close them explicitly.
+func newRecoveryTCPCluster(t *testing.T, n int) []*hierlock.Member {
+	t.Helper()
+	addrs := make(map[int]string, n)
+	boot := make([]*hierlock.Member, n)
+	for i := 0; i < n; i++ {
+		m, err := hierlock.NewTCPMember(hierlock.TCPMemberConfig{
+			ID: i, ListenAddr: "127.0.0.1:0",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		boot[i] = m
+		addrs[i] = m.TCPAddr()
+	}
+	for _, m := range boot {
+		_ = m.Close()
+	}
+	members := make([]*hierlock.Member, n)
+	for i := 0; i < n; i++ {
+		peers := make(map[int]string, n-1)
+		for j, a := range addrs {
+			if j != i {
+				peers[j] = a
+			}
+		}
+		m, err := hierlock.NewTCPMember(hierlock.TCPMemberConfig{
+			ID:                i,
+			ListenAddr:        addrs[i],
+			Peers:             peers,
+			RedialBackoff:     20 * time.Millisecond,
+			HeartbeatInterval: 25 * time.Millisecond,
+			SuspectAfter:      200 * time.Millisecond,
+			ConfirmAfter:      500 * time.Millisecond,
+			ProbeTimeout:      150 * time.Millisecond,
+			RecoveryTimeout:   20 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		members[i] = m
+	}
+	t.Cleanup(func() {
+		for _, m := range members {
+			_ = m.Close()
+		}
+	})
+	return members
+}
+
+// TestTCPCrashRecovery: a member crashes while holding a W lock (and
+// therefore the lock's token). Without recovery the lock would hang
+// forever; with the detector and token regeneration enabled, the
+// survivors confirm the crash, regenerate the token at a fresh epoch,
+// and both serve their acquisitions.
+func TestTCPCrashRecovery(t *testing.T) {
+	members := newRecoveryTCPCluster(t, 3)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// Member 2 takes the token into the crash.
+	if _, err := members[2].Lock(ctx, "crash-res", hierlock.W); err != nil {
+		t.Fatal(err)
+	}
+	// Crash it: the hold is never released, the token and any queued
+	// requests die with the process.
+	if err := members[2].Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Both survivors must still be able to serve W acquisitions, in
+	// mutual exclusion, once recovery has regenerated the token.
+	for _, i := range []int{0, 1} {
+		l, err := members[i].Lock(ctx, "crash-res", hierlock.W)
+		if err != nil {
+			t.Fatalf("member %d acquire after crash: %v", i, err)
+		}
+		if err := l.Unlock(); err != nil {
+			t.Fatalf("member %d unlock after crash: %v", i, err)
+		}
+	}
+	// The regenerator is the lowest surviving ID.
+	if r := members[0].RecoveryRounds(); r == 0 {
+		t.Error("member 0 completed no recovery rounds")
+	}
+	for _, i := range []int{0, 1} {
+		if err := members[i].Err(); err != nil {
+			t.Errorf("member %d protocol error: %v", i, err)
+		}
+	}
+}
+
+// TestTCPRecoveryQuietWithoutCrash: enabling the detector on a healthy
+// cluster must not trigger recovery rounds or perturb normal operation.
+func TestTCPRecoveryQuietWithoutCrash(t *testing.T) {
+	members := newRecoveryTCPCluster(t, 3)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	for round := 0; round < 3; round++ {
+		for _, m := range members {
+			l, err := m.Lock(ctx, "quiet-res", hierlock.W)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := l.Unlock(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Hold long enough for several confirm windows to elapse.
+	time.Sleep(time.Second)
+	for _, m := range members {
+		if r := m.RecoveryRounds(); r != 0 {
+			t.Errorf("member %d ran %d recovery rounds on a healthy cluster", m.ID(), r)
+		}
+		if err := m.Err(); err != nil {
+			t.Errorf("member %d protocol error: %v", m.ID(), err)
+		}
+	}
+}
