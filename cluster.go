@@ -157,7 +157,10 @@ func NewTCPMember(cfg TCPMemberConfig) (*Member, error) {
 		tcfg.ConfirmAfter = cfg.ConfirmAfter
 		// The detector callbacks fire on transport goroutines, possibly
 		// before NewTCPMember returns; they resolve the member through an
-		// atomic late-bound reference and re-enter it asynchronously.
+		// atomic late-bound reference and re-enter it asynchronously. The
+		// fresh goroutines impose no ordering — peerConfirmed/peerAlive
+		// re-check the detector's current state before acting, so a
+		// callback overtaken by a newer transition becomes a no-op.
 		tcfg.OnPeerConfirmed = func(peer proto.NodeID) {
 			if m := mref.Load(); m != nil {
 				go m.peerConfirmed(peer)

@@ -151,6 +151,12 @@ type Manager struct {
 	nodes []proto.NodeID // sorted
 	dead  map[proto.NodeID]bool
 	round map[proto.LockID]*round
+	// pending buffers nominations (unsolicited claims) that arrived
+	// before the local detector confirmed any death — detectors across
+	// nodes skew by up to a heartbeat period while the claims arrive in
+	// milliseconds, so this race is common. ConfirmDead replays them;
+	// per lock the highest nominated epoch is kept.
+	pending map[proto.LockID]uint32
 
 	tableMu sync.RWMutex
 	table   map[proto.LockID]Seed
@@ -165,11 +171,12 @@ func NewManager(cfg Config) *Manager {
 		cfg.ProbeTimeout = time.Second
 	}
 	m := &Manager{
-		cfg:   cfg,
-		nodes: append([]proto.NodeID(nil), cfg.Nodes...),
-		dead:  make(map[proto.NodeID]bool),
-		round: make(map[proto.LockID]*round),
-		table: make(map[proto.LockID]Seed),
+		cfg:     cfg,
+		nodes:   append([]proto.NodeID(nil), cfg.Nodes...),
+		dead:    make(map[proto.NodeID]bool),
+		round:   make(map[proto.LockID]*round),
+		pending: make(map[proto.LockID]uint32),
+		table:   make(map[proto.LockID]Seed),
 	}
 	sort.Slice(m.nodes, func(i, j int) bool { return m.nodes[i] < m.nodes[j] })
 	return m
@@ -253,24 +260,79 @@ func (m *Manager) ConfirmDead(peer proto.NodeID) {
 	}
 
 	if reg := m.regenerator(); reg != m.cfg.Self {
-		// Nominate this node's locks to the regenerator. The claim body
-		// is advisory (a fresh probe re-collects it); its arrival is what
-		// makes the regenerator start a round for a lock only this node
-		// knows about.
 		for _, lock := range m.sortedLocks() {
-			st := m.cfg.State(lock)
-			m.cfg.Send(proto.Message{
-				Kind: proto.KindClaim, Lock: lock,
-				From: m.cfg.Self, To: reg, TS: m.cfg.Clock.Tick(),
-				Epoch: st.Epoch, Owned: st.Held,
-				Seq: EncodeClaimSeq(st.Epoch, st.Token),
-			})
+			m.nominate(lock, reg)
 		}
 		return
 	}
-	for _, lock := range m.sortedLocks() {
+	// Run a round per tracked lock, plus every buffered nomination for a
+	// lock only its nominator tracks (they arrived before our detector
+	// confirmed and would otherwise be lost — the nominator's locks then
+	// never regenerate).
+	locks := m.sortedLocks()
+	tracked := make(map[proto.LockID]bool, len(locks))
+	for _, lock := range locks {
+		tracked[lock] = true
+	}
+	for lock, epoch := range m.pending {
+		if tracked[lock] {
+			continue // consumed by the tracked-lock round below
+		}
+		if s, ok := m.SeedFor(lock); ok && epoch < s.Epoch {
+			delete(m.pending, lock) // predates a completed round
+			continue
+		}
+		locks = append(locks, lock)
+	}
+	sort.Slice(locks, func(i, j int) bool { return locks[i] < locks[j] })
+	for _, lock := range locks {
 		m.startRound(lock)
 	}
+}
+
+// nominate sends an unsolicited claim for lock to the regenerator and
+// arranges re-sends: the nomination races the regenerator's own failure
+// detector (confirmation skew between nodes is up to a heartbeat
+// period) and can be lost in the same crash that triggered it, so it
+// repeats every ProbeTimeout until this node observes the lock
+// recovered into a newer epoch. The claim body is advisory (a fresh
+// probe re-collects it); its arrival is what makes the regenerator
+// start a round for a lock only this node knows about.
+func (m *Manager) nominate(lock proto.LockID, reg proto.NodeID) {
+	st := m.cfg.State(lock)
+	m.cfg.Send(proto.Message{
+		Kind: proto.KindClaim, Lock: lock,
+		From: m.cfg.Self, To: reg, TS: m.cfg.Clock.Tick(),
+		Epoch: st.Epoch, Owned: st.Held,
+		Seq: EncodeClaimSeq(st.Epoch, st.Token),
+	})
+	m.scheduleRenominate(lock, st.Epoch)
+}
+
+// scheduleRenominate re-sends a nomination every ProbeTimeout until a
+// completed round supersedes it, every confirmed death is cleared, or a
+// round for the lock is running locally (this node became the
+// regenerator, or yielded to a competitor whose Recovered will land).
+func (m *Manager) scheduleRenominate(lock proto.LockID, epoch uint32) {
+	if m.cfg.After == nil {
+		return
+	}
+	m.cfg.After(m.cfg.ProbeTimeout, func() {
+		if s, ok := m.SeedFor(lock); ok && s.Epoch > epoch {
+			return // recovered: the nomination was served
+		}
+		if len(m.dead) == 0 {
+			return // every confirmed death cleared (false alarm)
+		}
+		if _, active := m.round[lock]; active {
+			return // a local round's own retry loop drives progress
+		}
+		if reg := m.regenerator(); reg != m.cfg.Self {
+			m.nominate(lock, reg)
+			return
+		}
+		m.startRound(lock)
+	})
 }
 
 // Alive tells the manager a previously confirmed-dead peer is heard
@@ -285,6 +347,7 @@ func (m *Manager) Alive(peer proto.NodeID) {
 // the regenerator. The round fences this node's own engine immediately;
 // survivors fence on probe receipt.
 func (m *Manager) startRound(lock proto.LockID) {
+	delete(m.pending, lock) // any buffered nomination is now served
 	if _, active := m.round[lock]; active {
 		return
 	}
@@ -404,12 +467,23 @@ func (m *Manager) handleClaim(msg *proto.Message) {
 		// regenerate a lock it tracks. The claim body is discarded — the
 		// round's own probes collect fenced state.
 		if m.regenerator() != m.cfg.Self || len(m.dead) == 0 {
+			// The nominator's detector confirmed a death ours has not seen
+			// yet. Buffer the nomination for ConfirmDead to replay once the
+			// local detector catches up; dropping it would wedge a lock
+			// only the nominator tracks.
+			if e, buffered := m.pending[msg.Lock]; !buffered || msg.Epoch > e {
+				m.pending[msg.Lock] = msg.Epoch
+			}
 			return
 		}
-		if s, ok := m.SeedFor(msg.Lock); ok && msg.Epoch <= s.Epoch {
+		if s, ok := m.SeedFor(msg.Lock); ok && msg.Epoch < s.Epoch {
 			// The nomination predates a round we already completed for this
 			// lock (it was sent before the nominator saw our Recovered);
-			// regenerating again would only churn the fence.
+			// regenerating again would only churn the fence. The comparison
+			// is strict: after a completed round every survivor sits exactly
+			// at the seed epoch, so a fresh nomination triggered by a
+			// subsequent crash carries msg.Epoch == s.Epoch and must start a
+			// new round.
 			return
 		}
 		m.startRound(msg.Lock)

@@ -199,6 +199,140 @@ func TestNonRegeneratorNominatesItsLocks(t *testing.T) {
 	}
 }
 
+// TestEarlyNominationBufferedUntilConfirm: a nomination that beats the
+// local detector's own confirmation (detector skew across nodes is up
+// to a heartbeat period; the claim arrives in milliseconds) must not be
+// dropped — it is buffered and replayed once ConfirmDead runs, or the
+// nominator's lock would never get a regeneration round.
+func TestEarlyNominationBufferedUntilConfirm(t *testing.T) {
+	h := newHarness(t, 0, []proto.NodeID{0, 1, 2})
+	h.locks = nil // only the nominator tracks lock 9
+	h.state[9] = State{}
+
+	h.m.HandleMessage(&proto.Message{
+		Kind: proto.KindClaim, Lock: 9, From: 1, To: 0, Epoch: 0,
+		Owned: modes.R, Seq: EncodeClaimSeq(0, false),
+	})
+	if sent := h.drainSent(); len(sent) != 0 {
+		t.Fatalf("acted on a nomination before local confirmation: %+v", sent)
+	}
+
+	h.m.ConfirmDead(2)
+	var probed bool
+	for _, msg := range h.drainSent() {
+		if msg.Kind == proto.KindProbe && msg.Lock == 9 && msg.To == 1 {
+			probed = true
+		}
+	}
+	if !probed {
+		t.Fatal("buffered nomination not replayed at ConfirmDead")
+	}
+}
+
+// TestNominationRetriesUntilRecovered: a non-regenerator re-sends its
+// nominations every ProbeTimeout (the first may be lost in the crash,
+// or discarded by a regenerator whose detector lags) and stops once it
+// observes the lock recovered into a newer epoch.
+func TestNominationRetriesUntilRecovered(t *testing.T) {
+	var timers []func()
+	h := newHarness(t, 2, []proto.NodeID{0, 1, 2})
+	h.m.cfg.After = func(d time.Duration, fn func()) { timers = append(timers, fn) }
+	h.locks = []proto.LockID{4}
+	h.state[4] = State{Epoch: 2, Held: modes.U, Token: true}
+
+	h.m.ConfirmDead(1)
+	sent := h.drainSent()
+	if len(sent) != 1 || sent[0].Kind != proto.KindClaim || sent[0].To != 0 {
+		t.Fatalf("nomination = %+v", sent)
+	}
+	if len(timers) != 1 {
+		t.Fatalf("timers = %d, want the renomination timer", len(timers))
+	}
+
+	timers[0]() // nothing observed yet: re-send
+	sent = h.drainSent()
+	if len(sent) != 1 || sent[0].Kind != proto.KindClaim || sent[0].To != 0 || sent[0].Lock != 4 {
+		t.Fatalf("renomination = %+v", sent)
+	}
+	if len(timers) != 2 {
+		t.Fatal("renomination did not reschedule")
+	}
+
+	// The regenerator's round completes: Recovered supersedes the
+	// nomination and the retry chain stops.
+	h.m.HandleMessage(&proto.Message{
+		Kind: proto.KindRecovered, Lock: 4, From: 0, To: 2, Epoch: 7,
+		Req: proto.Request{Origin: 0}, Owned: modes.U,
+	})
+	h.drainSent()
+	timers[1]()
+	if sent := h.drainSent(); len(sent) != 0 {
+		t.Fatalf("renomination fired after recovery: %+v", sent)
+	}
+	if len(timers) != 2 {
+		t.Fatal("superseded nomination rescheduled")
+	}
+}
+
+// TestFreshNominationAtSeedEpochStartsRound: after a completed round at
+// epoch E every survivor sits exactly at E, so a nomination triggered
+// by a subsequent crash carries epoch E — it must start a new round,
+// while a nomination from strictly below E stays discarded as stale.
+func TestFreshNominationAtSeedEpochStartsRound(t *testing.T) {
+	h := newHarness(t, 0, []proto.NodeID{0, 1, 2})
+	h.locks = []proto.LockID{3}
+	h.state[3] = State{}
+
+	// Round one: node 2 dies; node 1 claims; the round completes.
+	h.m.ConfirmDead(2)
+	h.drainSent()
+	h.m.HandleMessage(&proto.Message{
+		Kind: proto.KindClaim, Lock: 3, From: 1, To: 0, Epoch: 1,
+		Owned: modes.None, Seq: EncodeClaimSeq(0, false),
+	})
+	s, ok := h.m.SeedFor(3)
+	if !ok {
+		t.Fatal("round one did not complete")
+	}
+	h.drainSent()
+
+	// A fresh nomination at exactly the seed epoch starts round two.
+	h.m.HandleMessage(&proto.Message{
+		Kind: proto.KindClaim, Lock: 3, From: 1, To: 0, Epoch: s.Epoch,
+		Owned: modes.None, Seq: EncodeClaimSeq(s.Epoch, false),
+	})
+	var probed bool
+	for _, msg := range h.drainSent() {
+		if msg.Kind == proto.KindProbe && msg.Lock == 3 {
+			probed = true
+		}
+	}
+	if !probed {
+		t.Fatal("fresh nomination at the seed epoch was discarded as stale")
+	}
+
+	// Close round two, then verify a genuinely stale nomination (below
+	// the new seed epoch) is still discarded.
+	h.m.HandleMessage(&proto.Message{
+		Kind: proto.KindClaim, Lock: 3, From: 1, To: 0, Epoch: s.Epoch + 1,
+		Owned: modes.None, Seq: EncodeClaimSeq(s.Epoch, false),
+	})
+	s2, ok := h.m.SeedFor(3)
+	if !ok || s2.Epoch <= s.Epoch {
+		t.Fatalf("round two seed = %+v, %v", s2, ok)
+	}
+	h.drainSent()
+	h.m.HandleMessage(&proto.Message{
+		Kind: proto.KindClaim, Lock: 3, From: 1, To: 0, Epoch: s2.Epoch - 1,
+		Owned: modes.None, Seq: EncodeClaimSeq(0, false),
+	})
+	for _, msg := range h.drainSent() {
+		if msg.Kind == proto.KindProbe {
+			t.Fatalf("stale nomination started a round: %+v", msg)
+		}
+	}
+}
+
 func TestProbeFencesAndClaims(t *testing.T) {
 	h := newHarness(t, 1, []proto.NodeID{0, 1, 2})
 	h.state[5] = State{Epoch: 0, Held: modes.R}

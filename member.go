@@ -521,6 +521,25 @@ func (m *Member) afterRecovery(d time.Duration, fn func()) {
 	})
 }
 
+// detectorState returns the transport failure detector's current
+// opinion of a peer (ok is false when the transport has no detector).
+func (m *Member) detectorState(peer proto.NodeID) (recovery.PeerState, bool) {
+	if t, ok := m.tr.(*transport.TCPTransport); ok {
+		return t.PeerHealth(peer), true
+	}
+	return recovery.PeerHealthy, false
+}
+
+// Detector callbacks are dispatched on fresh goroutines and can be
+// applied out of the order their transitions occurred in (a peer
+// flapping right at the confirm boundary can have its Alive processed
+// before its ConfirmDead, permanently marking a live peer dead with no
+// further edge to clear it). peerConfirmed and peerAlive therefore
+// re-check the detector's state — the ground truth — under mgrMu and
+// drop a callback the detector has already moved past: every transition
+// fires its callback after the state is set, so the last callback to
+// run always observes the final state and applies the matching action.
+
 // peerConfirmed is the failure detector's confirm callback: the peer
 // has been silent past ConfirmAfter and is declared dead, which starts
 // regeneration rounds for every lock this node tracks.
@@ -528,11 +547,14 @@ func (m *Member) peerConfirmed(peer proto.NodeID) {
 	if m.mgr == nil || m.closed.Load() {
 		return
 	}
+	m.mgrMu.Lock()
+	defer m.mgrMu.Unlock()
+	if st, ok := m.detectorState(peer); ok && st != recovery.PeerConfirmed {
+		return // stale: the peer was heard from since this confirm fired
+	}
 	if lg := m.tel.log; lg != nil {
 		lg.Warn("peer confirmed dead, starting recovery", "peer", int(peer))
 	}
-	m.mgrMu.Lock()
-	defer m.mgrMu.Unlock()
 	m.mgr.ConfirmDead(peer)
 }
 
@@ -543,11 +565,14 @@ func (m *Member) peerAlive(peer proto.NodeID) {
 	if m.mgr == nil || m.closed.Load() {
 		return
 	}
+	m.mgrMu.Lock()
+	defer m.mgrMu.Unlock()
+	if st, ok := m.detectorState(peer); ok && st == recovery.PeerConfirmed {
+		return // stale: the peer has been re-confirmed dead since
+	}
 	if lg := m.tel.log; lg != nil {
 		lg.Info("peer alive again", "peer", int(peer))
 	}
-	m.mgrMu.Lock()
-	defer m.mgrMu.Unlock()
 	m.mgr.Alive(peer)
 }
 
