@@ -1,7 +1,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: build test vet lint race chaos bench bench-record bench-compare audit ci clean
+.PHONY: build test vet lint race chaos coldstart fuzz bench bench-record bench-compare audit ci clean
 
 build:
 	$(GO) build ./...
@@ -26,12 +26,24 @@ race:
 	$(GO) test -race -count=1 ./...
 
 # Just the fault-injection, crash-recovery and transport-failure
-# coverage.
+# coverage (includes the disk-loss restart chaos scenarios).
 chaos:
 	$(GO) test -race -count=1 -run 'Chaos' ./internal/cluster/
 	$(GO) test -race -count=1 -run 'TestTCP' ./internal/transport/
 	$(GO) test -race -count=1 ./internal/recovery/
 	$(GO) test -race -count=1 -run 'TestTCPCrashRecovery|TestTCPRecoveryQuietWithoutCrash' .
+
+# Durability coverage: the journal package (torn-tail, corrupt-frame,
+# snapshot-rotation tests) and the full-cluster cold-start / restart
+# rejoin acceptance tests over real TCP members.
+coldstart:
+	$(GO) test -race -count=1 ./internal/journal/
+	$(GO) test -race -count=1 -run 'TestTCPColdStartFromJournals|TestTCPRestartSingleMemberRejoins' .
+
+# Short seeded fuzz passes over the journal replayer and the protocol
+# engine (longer runs: go test -fuzz FuzzReplay ./internal/journal).
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzReplay -fuzztime 10s ./internal/journal/
 
 # Microbenchmarks: protocol engine hot paths plus the observability
 # overhead benches (histogram/counter/trace-record, including the
@@ -40,14 +52,15 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchmem . ./internal/hlock ./internal/metrics ./internal/trace ./internal/proto
 
 # Record a benchmark snapshot — the paper's Figure 5/6/7 CSVs plus the
-# microbenchmark output — into BENCH_pr5.json so PRs can be compared.
+# microbenchmark output — into BENCH_pr6.json so PRs can be compared.
 bench-record:
-	$(GO) run ./cmd/benchrecord -o BENCH_pr5.json
+	$(GO) run ./cmd/benchrecord -o BENCH_pr6.json
 
 # Compare the current snapshot against the previous PR's baseline and
-# fail on any >10% protocol-engine microbenchmark regression.
+# fail on any >10% microbenchmark regression (this gates the
+# batched-fsync journaled grant path against the PR-5 baseline).
 bench-compare:
-	$(GO) run ./cmd/benchcompare -old BENCH_pr4.json -new BENCH_pr5.json -threshold 0.10
+	$(GO) run ./cmd/benchcompare -old BENCH_pr5.json -new BENCH_pr6.json -threshold 0.10
 
 # The online protocol auditor's invariant tests, under the race
 # detector (they replay violating and healthy trace streams).
@@ -57,9 +70,10 @@ audit:
 # What CI runs: build, go vet + gofmt drift, the plain test pass (which
 # includes the codec allocation assertions compiled out under -race),
 # the full suite under -race (tier-1), the auditor invariants, the
-# chaos/crash-recovery pass, and the microbenchmark regression gate
-# against the previous PR's recorded baseline.
-ci: build lint test race audit chaos bench-record bench-compare
+# chaos/crash-recovery pass, the durability pass (journal + cold-start
+# chaos + journal fuzz), and the microbenchmark regression gate against
+# the previous PR's recorded baseline.
+ci: build lint test race audit chaos coldstart fuzz bench-record bench-compare
 
 clean:
 	$(GO) clean ./...

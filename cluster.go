@@ -2,9 +2,11 @@ package hierlock
 
 import (
 	"fmt"
+	"path/filepath"
 	"sync/atomic"
 	"time"
 
+	"hierlock/internal/journal"
 	"hierlock/internal/proto"
 	"hierlock/internal/transport"
 )
@@ -26,7 +28,7 @@ func NewCluster(n int) (*Cluster, error) {
 	}
 	c := &Cluster{net: transport.NewChanNetwork()}
 	for i := 0; i < n; i++ {
-		m, err := newMember(proto.NodeID(i), 0, c.net.Node(proto.NodeID(i)), nil)
+		m, err := newMember(proto.NodeID(i), 0, c.net.Node(proto.NodeID(i)), nil, nil)
 		if err != nil {
 			_ = c.Close()
 			return nil, err
@@ -120,6 +122,54 @@ type TCPMemberConfig struct {
 	// exceed the worst legitimate wait for a contended lock. Zero
 	// disables the bound.
 	RecoveryTimeout time.Duration
+	// RecoveryQuorum gates regeneration-round commits on fenced
+	// participants: 0 (the default) requires a majority of the
+	// configured cluster, a positive value sets an explicit threshold,
+	// and -1 disables the gate (a round commits once every survivor the
+	// detector still trusts has claimed — the pre-quorum behavior, which
+	// lets a minority partition mint a competing token). Only meaningful
+	// with HeartbeatInterval set. See docs/PROTOCOL.md for the
+	// availability tradeoff.
+	RecoveryQuorum int
+
+	// DataDir, when set, makes the member durable: a write-ahead journal
+	// of every externally-visible lock transition lives under
+	// DataDir/member-<ID>, is replayed on restart, and is reconciled
+	// with the cluster through a cold-start recovery round (requires
+	// HeartbeatInterval; without it the replayed state is still used to
+	// seed engines but never reconciled). Empty disables persistence,
+	// the pre-journal behavior.
+	DataDir string
+	// FsyncPolicy selects when journal appends reach stable storage:
+	// FsyncBatched (default) amortizes one fsync over the transport's
+	// write-coalescing cadence, FsyncAlways syncs inline on the grant
+	// path, FsyncNever leaves flushing to the OS. See docs/OPERATIONS.md
+	// for the durability windows each policy leaves open.
+	FsyncPolicy FsyncPolicy
+	// SnapshotEvery compacts the journal after this many WAL records
+	// (default 4096; negative disables snapshots).
+	SnapshotEvery int
+}
+
+// FsyncPolicy selects a journal durability level; see the journal
+// package for exact semantics.
+type FsyncPolicy int
+
+// Fsync policies for TCPMemberConfig.FsyncPolicy.
+const (
+	// FsyncBatched groups fsyncs on the write-coalescing cadence.
+	FsyncBatched FsyncPolicy = FsyncPolicy(journal.FsyncBatched)
+	// FsyncAlways syncs inline on every journal append.
+	FsyncAlways FsyncPolicy = FsyncPolicy(journal.FsyncAlways)
+	// FsyncNever never syncs explicitly.
+	FsyncNever FsyncPolicy = FsyncPolicy(journal.FsyncNever)
+)
+
+// ParseFsyncPolicy parses "batched", "always" or "never" (the lockd
+// -fsync flag values) into a FsyncPolicy.
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	p, err := journal.ParsePolicy(s)
+	return FsyncPolicy(p), err
 }
 
 // NewTCPMember creates and starts a member that communicates over TCP.
@@ -175,19 +225,46 @@ func NewTCPMember(cfg TCPMemberConfig) (*Member, error) {
 		for id := range peers {
 			nodes = append(nodes, id)
 		}
+		quorum := cfg.RecoveryQuorum
+		switch {
+		case quorum == 0:
+			quorum = len(nodes)/2 + 1
+		case quorum < 0:
+			quorum = 0
+		}
 		rec = &memberRecovery{
 			nodes:        nodes,
 			probeTimeout: cfg.ProbeTimeout,
 			opTimeout:    cfg.RecoveryTimeout,
+			quorum:       quorum,
+		}
+	}
+	var jn *journal.Journal
+	if cfg.DataDir != "" {
+		var err error
+		jn, err = journal.Open(
+			filepath.Join(cfg.DataDir, fmt.Sprintf("member-%d", cfg.ID)),
+			journal.Options{
+				Fsync:         journal.Policy(cfg.FsyncPolicy),
+				SnapshotEvery: cfg.SnapshotEvery,
+			})
+		if err != nil {
+			return nil, err
 		}
 	}
 	tr, err := transport.NewTCP(tcfg)
 	if err != nil {
+		if jn != nil {
+			_ = jn.Close()
+		}
 		return nil, err
 	}
-	m, err := newMember(proto.NodeID(cfg.ID), proto.NodeID(cfg.Root), tr, rec)
+	m, err := newMember(proto.NodeID(cfg.ID), proto.NodeID(cfg.Root), tr, rec, jn)
 	if err != nil {
 		_ = tr.Close()
+		if jn != nil {
+			_ = jn.Close()
+		}
 		return nil, err
 	}
 	mref.Store(m)

@@ -61,6 +61,11 @@ func main() {
 		suspectAfter    = flag.Duration("suspect-after", 0, "silence before a peer is suspected (default 4x -heartbeat)")
 		confirmAfter    = flag.Duration("confirm-after", 0, "silence before a peer is confirmed dead and recovery starts; must exceed worst-case GC/network stalls (default 8x -heartbeat)")
 		recoveryTimeout = flag.Duration("recovery-timeout", 0, "abandon a lock operation with no grant after this long (0 = wait forever)")
+		recoveryQuorum  = flag.Int("recovery-quorum", 0, "fenced participants required to commit a regeneration round: 0 = majority of the cluster, -1 disables the gate, >0 explicit threshold")
+
+		dataDir       = flag.String("data-dir", "", "directory for the durable write-ahead journal (empty = no persistence); state lives under <data-dir>/member-<id>")
+		fsyncPolicy   = flag.String("fsync", "batched", "journal fsync policy: batched (group fsync on the coalescing cadence), always (inline per append) or never")
+		snapshotEvery = flag.Int("snapshot-every", 0, "compact the journal into a snapshot after this many WAL records (0 = default 4096, negative disables)")
 	)
 	flag.Parse()
 
@@ -79,6 +84,10 @@ func main() {
 	if err != nil {
 		fatal("bad -peers", "err", err)
 	}
+	fsync, err := hierlock.ParseFsyncPolicy(*fsyncPolicy)
+	if err != nil {
+		fatal("bad -fsync", "err", err)
+	}
 	m, err := hierlock.NewTCPMember(hierlock.TCPMemberConfig{
 		ID:                *id,
 		Root:              *root,
@@ -92,6 +101,10 @@ func main() {
 		SuspectAfter:      *suspectAfter,
 		ConfirmAfter:      *confirmAfter,
 		RecoveryTimeout:   *recoveryTimeout,
+		RecoveryQuorum:    *recoveryQuorum,
+		DataDir:           *dataDir,
+		FsyncPolicy:       fsync,
+		SnapshotEvery:     *snapshotEvery,
 		OnPeerState: func(peer int, state string) {
 			logger.Info("peer state changed", "peer", peer, "state", state)
 		},

@@ -1,0 +1,254 @@
+package hierlock_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"hierlock"
+	"hierlock/internal/audit"
+	"hierlock/internal/metrics"
+	"hierlock/internal/trace"
+)
+
+// bootDurableMember starts one member of a durable recovery cluster:
+// journal under dataDir, failure detector and crash recovery on
+// aggressive test timings, default (batched) fsync policy.
+func bootDurableMember(t *testing.T, id int, addrs map[int]string, dataDir string) *hierlock.Member {
+	t.Helper()
+	peers := make(map[int]string, len(addrs)-1)
+	for j, a := range addrs {
+		if j != id {
+			peers[j] = a
+		}
+	}
+	m, err := hierlock.NewTCPMember(hierlock.TCPMemberConfig{
+		ID:                id,
+		ListenAddr:        addrs[id],
+		Peers:             peers,
+		DataDir:           dataDir,
+		RedialBackoff:     20 * time.Millisecond,
+		HeartbeatInterval: 25 * time.Millisecond,
+		SuspectAfter:      200 * time.Millisecond,
+		ConfirmAfter:      500 * time.Millisecond,
+		ProbeTimeout:      150 * time.Millisecond,
+		RecoveryTimeout:   30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// reserveAddrs allocates n stable loopback addresses by booting and
+// closing throwaway members, so a restarted cluster can come back on
+// the same ports its journals' peers expect.
+func reserveAddrs(t *testing.T, n int) map[int]string {
+	t.Helper()
+	addrs := make(map[int]string, n)
+	for i := 0; i < n; i++ {
+		m, err := hierlock.NewTCPMember(hierlock.TCPMemberConfig{
+			ID: i, ListenAddr: "127.0.0.1:0",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = m.TCPAddr()
+		_ = m.Close()
+	}
+	return addrs
+}
+
+// TestTCPColdStartFromJournals is the PR's acceptance test: a durable
+// cluster runs a workload that moves tokens around, loses one member
+// mid-flight (forcing a regeneration round at a fresh epoch), then the
+// WHOLE cluster goes down. Every member restarts from its journal on
+// the same address, the cold-start reconciliation converges the
+// replayed states onto one consistent epoch above the pre-crash
+// maximum, and all N members serve lock traffic again with zero audit
+// violations and no lock stuck at epoch 0.
+func TestTCPColdStartFromJournals(t *testing.T) {
+	const n = 3
+	dataDir := t.TempDir()
+	addrs := reserveAddrs(t, n)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	// Phase 1: durable cluster under load. Both resources change token
+	// owner on every iteration, so every member journals grants,
+	// releases and token arrivals.
+	members := make([]*hierlock.Member, n)
+	for i := 0; i < n; i++ {
+		members[i] = bootDurableMember(t, i, addrs, dataDir)
+	}
+	for round := 0; round < 2; round++ {
+		for _, m := range members {
+			for _, res := range []string{"cold-a", "cold-b"} {
+				l, err := m.Lock(ctx, res, hierlock.W)
+				if err != nil {
+					t.Fatalf("phase 1 member %d lock %s: %v", m.ID(), res, err)
+				}
+				if err := l.Unlock(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+
+	// Member 2 dies holding W on cold-a (token and hold die with it);
+	// the survivors regenerate at a fresh epoch and keep serving.
+	if _, err := members[2].Lock(ctx, "cold-a", hierlock.W); err != nil {
+		t.Fatal(err)
+	}
+	if err := members[2].Close(); err != nil {
+		t.Fatal(err)
+	}
+	var preEpoch uint32
+	for _, i := range []int{0, 1} {
+		l, err := members[i].Lock(ctx, "cold-a", hierlock.W)
+		if err != nil {
+			t.Fatalf("survivor %d after crash: %v", i, err)
+		}
+		if err := l.Unlock(); err != nil {
+			t.Fatal(err)
+		}
+		if e := members[i].EpochOf("cold-a"); e > preEpoch {
+			preEpoch = e
+		}
+	}
+	if preEpoch == 0 {
+		t.Fatal("no regeneration round before the cold start — test precondition broken")
+	}
+
+	// Phase 2: the whole cluster goes down.
+	for _, i := range []int{0, 1} {
+		if err := members[i].Err(); err != nil {
+			t.Fatalf("member %d protocol error before shutdown: %v", i, err)
+		}
+		if err := members[i].Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Phase 3: cold start — every member restarts from its journal on
+	// its old address, with one online auditor watching the whole
+	// rebuilt cluster (every member's recorder taps into it, so it sees
+	// both ends of each token transfer).
+	auditor := audit.New(audit.Config{Registry: metrics.NewRegistry(), Root: 0})
+	for i := 0; i < n; i++ {
+		members[i] = bootDurableMember(t, i, addrs, dataDir)
+		rec := trace.New(1 << 14)
+		rec.SetTap(auditor.Record)
+		members[i].SetTelemetry(hierlock.Telemetry{Registry: metrics.NewRegistry(), Trace: rec})
+	}
+	t.Cleanup(func() {
+		for _, m := range members {
+			_ = m.Close()
+		}
+	})
+
+	// Every member — including the one that died before the last
+	// regeneration round — must serve both resources again.
+	for _, m := range members {
+		for _, res := range []string{"cold-a", "cold-b"} {
+			l, err := m.Lock(ctx, res, hierlock.W)
+			if err != nil {
+				t.Fatalf("cold-started member %d lock %s: %v", m.ID(), res, err)
+			}
+			if err := l.Unlock(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// The rebuilt world is consistent: every member converged onto one
+	// epoch per lock, above the pre-crash maximum, nothing stuck at 0.
+	for _, res := range []string{"cold-a", "cold-b"} {
+		var epoch uint32
+		for _, m := range members {
+			e := m.EpochOf(res)
+			if e == 0 {
+				t.Fatalf("member %d lock %s stuck at epoch 0 after cold start", m.ID(), res)
+			}
+			if epoch == 0 {
+				epoch = e
+			} else if e != epoch {
+				t.Fatalf("lock %s: member %d at epoch %d, others at %d — cold start did not converge", res, m.ID(), e, epoch)
+			}
+		}
+	}
+	if e := members[0].EpochOf("cold-a"); e <= preEpoch {
+		t.Fatalf("cold-a resumed at epoch %d, want > pre-crash max %d", e, preEpoch)
+	}
+	for i, m := range members {
+		if err := m.Err(); err != nil {
+			t.Fatalf("member %d protocol error after cold start: %v", i, err)
+		}
+		if js, ok := m.JournalStats(); !ok || js.Records == 0 {
+			t.Fatalf("member %d journaled nothing after cold start (ok=%v stats=%+v)", i, ok, js)
+		}
+	}
+	if v := auditor.Violations(); v != 0 {
+		t.Fatalf("auditor flagged %d violations after cold start: %+v", v, auditor.Snapshot().Violations)
+	}
+}
+
+// TestTCPRestartSingleMemberRejoins covers the narrower restart the
+// issue calls out: one member restarts from its journal while the rest
+// of the cluster kept running, answers recovery probes from replayed
+// state (rejoining at max(journaled epoch)+1 via the cold-start round)
+// instead of nominating at epoch 0, and serves traffic again.
+func TestTCPRestartSingleMemberRejoins(t *testing.T) {
+	const n = 3
+	dataDir := t.TempDir()
+	addrs := reserveAddrs(t, n)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	members := make([]*hierlock.Member, n)
+	for i := 0; i < n; i++ {
+		members[i] = bootDurableMember(t, i, addrs, dataDir)
+	}
+	t.Cleanup(func() {
+		for _, m := range members {
+			_ = m.Close()
+		}
+	})
+	// Member 2 takes the token for the resource, then dies with it.
+	if _, err := members[2].Lock(ctx, "rejoin-res", hierlock.W); err != nil {
+		t.Fatal(err)
+	}
+	if err := members[2].Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Survivors regenerate and keep going.
+	for _, i := range []int{0, 1} {
+		l, err := members[i].Lock(ctx, "rejoin-res", hierlock.W)
+		if err != nil {
+			t.Fatalf("survivor %d: %v", i, err)
+		}
+		if err := l.Unlock(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The crashed member restarts from its journal and must become a
+	// full participant again: its journaled token claim for rejoin-res
+	// is stale (the survivors' epoch fences it), the cold-start
+	// reconciliation catches it up, and its acquisitions serve.
+	members[2] = bootDurableMember(t, 2, addrs, dataDir)
+	l, err := members[2].Lock(ctx, "rejoin-res", hierlock.W)
+	if err != nil {
+		t.Fatalf("restarted member rejoin: %v", err)
+	}
+	if err := l.Unlock(); err != nil {
+		t.Fatal(err)
+	}
+	if e := members[2].EpochOf("rejoin-res"); e == 0 {
+		t.Fatal("restarted member still at epoch 0 — journal replay or catch-up failed")
+	}
+	for i, m := range members {
+		if err := m.Err(); err != nil {
+			t.Fatalf("member %d protocol error: %v", i, err)
+		}
+	}
+}

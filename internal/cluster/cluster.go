@@ -116,6 +116,13 @@ type RecoveryOptions struct {
 	// ProbeTimeout is the regenerator's re-probe interval for survivors
 	// that have not answered a recovery probe. Default 1s.
 	ProbeTimeout time.Duration
+	// Quorum gates regeneration-round commits on fenced participants,
+	// mirroring TCPMemberConfig.RecoveryQuorum: 0 (the default) requires
+	// a majority of the cluster, a positive value sets an explicit
+	// threshold, and -1 disables the gate (a round commits once every
+	// survivor the detector still trusts has claimed). See
+	// docs/PROTOCOL.md for the availability tradeoff.
+	Quorum int
 }
 
 // DefaultLatencyMean is the paper's mean network latency.
@@ -167,6 +174,12 @@ func New(cfg Config) *Cluster {
 		if r.ProbeTimeout <= 0 {
 			r.ProbeTimeout = time.Second
 		}
+		switch {
+		case r.Quorum == 0:
+			r.Quorum = cfg.Nodes/2 + 1
+		case r.Quorum < 0:
+			r.Quorum = 0
+		}
 		c.recovery = &r
 	}
 	c.Net = NewNetwork(s, cfg.Latency)
@@ -190,7 +203,58 @@ func New(cfg Config) *Cluster {
 	if c.recovery != nil && cfg.Faults != nil {
 		c.scheduleDetector(cfg.Faults)
 	}
+	if cfg.Faults != nil {
+		c.scheduleRestarts(cfg.Faults)
+	}
 	return c
+}
+
+// scheduleRestarts arms one daemon event per crash window at the
+// window's end: the moment a node comes back up, the event applies the
+// window's restart fate (see sim.CrashWindow.LoseDisk) and records an
+// OpRestart trace entry whose Epoch distinguishes the two — the highest
+// epoch the node's surviving state remembers for crash-with-disk, 0 for
+// crash-with-disk-loss. Daemon events keep permanent crash windows
+// (End far beyond the run horizon) from blocking Quiesced.
+func (c *Cluster) scheduleRestarts(plan *sim.FaultPlan) {
+	for _, cw := range plan.Crashes {
+		cw := cw
+		if cw.Node < 0 || cw.Node >= len(c.Nodes) || cw.End <= cw.Start {
+			continue
+		}
+		c.Sim.AtDaemon(cw.End-c.Sim.Now(), func() {
+			f := c.Net.Faults()
+			if f != nil && f.DownAt(cw.Node, c.Sim.Now()) {
+				return // an overlapping window still covers the node
+			}
+			c.restartNode(proto.NodeID(cw.Node), cw.LoseDisk)
+		})
+	}
+}
+
+// restartNode applies a crash window's restart fate. Crash-with-disk
+// (the default) keeps the node's engine state — the in-memory model of
+// a process that replayed a perfect journal — so only the trace entry
+// and the death bookkeeping change. Crash-with-disk-loss wipes the node
+// back to a blank boot: engines at initial topology, outstanding client
+// requests abandoned, a fresh recovery manager with no seed table. The
+// blank node then catches up through recovery hints when survivors
+// fence its stale (epoch-0) traffic, exactly like a live member
+// restarting without its data directory.
+func (c *Cluster) restartNode(id proto.NodeID, loseDisk bool) {
+	n := c.Nodes[id]
+	var epoch uint32
+	if loseDisk {
+		n.wipe()
+	} else {
+		epoch = n.maxEpoch()
+	}
+	// A restarted node can die again: let the next confirmation release
+	// its (new) holds instead of being swallowed by the once-only guard.
+	delete(c.died, id)
+	c.trace.Record(trace.Entry{
+		At: c.Sim.Now(), Op: trace.OpRestart, Node: id, Epoch: epoch,
+	})
 }
 
 // scheduleDetector models the failure detector from fault-plan ground
@@ -462,6 +526,7 @@ type Node struct {
 	// Config.Recovery enabled it on a supporting protocol).
 	mgr      *recovery.Manager
 	cfgLocks []proto.LockID
+	nnodes   int
 
 	// waiters holds the completion callback of the outstanding request
 	// per lock (at most one per lock).
@@ -491,7 +556,7 @@ func msgTrace(msg *proto.Message) proto.TraceID {
 }
 
 func newNode(c *Cluster, id proto.NodeID, cfg Config) *Node {
-	n := &Node{ID: id, c: c, waiters: make(map[proto.LockID]waiting)}
+	n := &Node{ID: id, c: c, nnodes: cfg.Nodes, waiters: make(map[proto.LockID]waiting)}
 	hasToken := id == 0
 	const initialParent proto.NodeID = 0
 	switch cfg.Protocol {
@@ -523,24 +588,107 @@ func newNode(c *Cluster, id proto.NodeID, cfg Config) *Node {
 	}
 	if c.recovery != nil {
 		n.cfgLocks = append([]proto.LockID(nil), cfg.Locks...)
-		peers := make([]proto.NodeID, cfg.Nodes)
-		for i := range peers {
-			peers[i] = proto.NodeID(i)
-		}
-		n.mgr = recovery.NewManager(recovery.Config{
-			Self:          id,
-			Nodes:         peers,
-			Send:          func(msg proto.Message) { c.Net.Send(msg) },
-			Locks:         n.recoveryLocks,
-			State:         n.recoveryState,
-			PrepareReseed: n.recoveryPrepare,
-			Reseed:        n.recoveryReseed,
-			Clock:         &n.clock,
-			After:         func(d time.Duration, fn func()) { c.Sim.At(d, fn) },
-			ProbeTimeout:  c.recovery.ProbeTimeout,
-		})
+		n.mgr = n.newManager()
 	}
 	return n
+}
+
+// newManager builds the node's recovery manager from the cluster's
+// resolved recovery options. A disk-loss restart constructs a fresh one
+// — the old manager's seed table and round state died with the process.
+func (n *Node) newManager() *recovery.Manager {
+	c := n.c
+	peers := make([]proto.NodeID, n.nnodes)
+	for i := range peers {
+		peers[i] = proto.NodeID(i)
+	}
+	return recovery.NewManager(recovery.Config{
+		Self:             n.ID,
+		Nodes:            peers,
+		Send:             func(msg proto.Message) { c.Net.Send(msg) },
+		Locks:            n.recoveryLocks,
+		State:            n.recoveryState,
+		PrepareReseed:    n.recoveryPrepare,
+		Reseed:           n.recoveryReseed,
+		LocksReferencing: n.locksReferencing,
+		Clock:            &n.clock,
+		After:            func(d time.Duration, fn func()) { c.Sim.At(d, fn) },
+		ProbeTimeout:     c.recovery.ProbeTimeout,
+		Quorum:           c.recovery.Quorum,
+	})
+}
+
+// locksReferencing returns the locks whose live engine state mentions a
+// dead peer (recovery.Config.LocksReferencing): the eager-regeneration
+// sweep uses it to catch locks whose probable-owner chain passed through
+// the dead node even though no local request is outstanding on them.
+func (n *Node) locksReferencing(dead proto.NodeID) []proto.LockID {
+	var out []proto.LockID
+	for lock, e := range n.hier {
+		if e.References(dead) {
+			out = append(out, lock)
+		}
+	}
+	return out
+}
+
+// maxEpoch returns the highest recovery epoch the node's surviving
+// state remembers across engines and the completed-round seed table
+// (the rejoin epoch a crash-with-disk restart reports).
+func (n *Node) maxEpoch() uint32 {
+	var max uint32
+	up := func(e uint32) {
+		if e > max {
+			max = e
+		}
+	}
+	if n.mgr != nil {
+		for _, s := range n.mgr.Table() {
+			up(s.Epoch)
+		}
+	}
+	for _, e := range n.hier {
+		up(e.Epoch())
+	}
+	for _, e := range n.naimi {
+		up(e.Epoch())
+	}
+	return max
+}
+
+// wipe models a disk-loss restart: every engine reverts to the initial
+// topology a blank boot derives, outstanding client requests are
+// abandoned (the process that issued them is gone), and the recovery
+// manager restarts with no memory of past rounds. The node's Lamport
+// clock is deliberately kept monotonic — a real implementation fences
+// restarted clocks the same way — so message ordering stays safe.
+func (n *Node) wipe() {
+	for lock := range n.waiters {
+		delete(n.waiters, lock)
+	}
+	switch {
+	case n.hier != nil:
+		n.hier = make(map[proto.LockID]*hlock.Engine)
+	case n.naimi != nil:
+		for lock := range n.naimi {
+			n.naimi[lock] = naimi.New(n.ID, lock, 0, n.ID == 0, &n.clock)
+		}
+	case n.raymond != nil:
+		for lock := range n.raymond {
+			n.raymond[lock] = raymond.New(n.ID, lock, raymond.BinaryTreeHolder(n.ID), &n.clock)
+		}
+	case n.suzuki != nil:
+		for lock := range n.suzuki {
+			n.suzuki[lock] = suzuki.New(n.ID, lock, n.nnodes, n.ID == 0, &n.clock)
+		}
+	case n.ricart != nil:
+		for lock := range n.ricart {
+			n.ricart[lock] = ricart.New(n.ID, lock, n.nnodes, &n.clock)
+		}
+	}
+	if n.mgr != nil {
+		n.mgr = n.newManager()
+	}
 }
 
 // recoveryLocks returns the locks this node can account for in a

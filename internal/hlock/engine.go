@@ -388,6 +388,27 @@ func (e *Engine) Children() map[proto.NodeID]modes.Mode {
 	return out
 }
 
+// References reports whether the engine's state mentions node n: as
+// the probable owner (parent), as a copyset child, or as the origin of
+// a queued request. Crash recovery uses it to find every lock whose
+// probable-owner chain passes through a dead node, so those locks
+// regenerate eagerly instead of wedging until a client stumbles into
+// the dead reference.
+func (e *Engine) References(n proto.NodeID) bool {
+	if e.parent == n {
+		return true
+	}
+	if _, ok := e.children[n]; ok {
+		return true
+	}
+	for _, r := range e.queue {
+		if r.Origin == n {
+			return true
+		}
+	}
+	return false
+}
+
 // Owned returns the node's owned mode: the strongest mode held or owned
 // in the subtree rooted here (Definition 3).
 func (e *Engine) Owned() modes.Mode {

@@ -1,0 +1,341 @@
+package journal
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"hierlock/internal/modes"
+	"hierlock/internal/proto"
+)
+
+func mustOpen(t *testing.T, dir string, opts Options) *Journal {
+	t.Helper()
+	j, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j := mustOpen(t, dir, Options{Fsync: FsyncAlways})
+	recs := []Record{
+		{Kind: RecGrant, Lock: 1, Epoch: 0, Mode: modes.W, Token: true, Root: 0, TS: 10},
+		{Kind: RecRelease, Lock: 1, Epoch: 0, Mode: modes.None, Token: true, Root: 0, TS: 11},
+		{Kind: RecRecovery, Lock: 2, Epoch: 5, Mode: modes.R, Token: false, Root: 3, TS: 20},
+		{Kind: RecEpoch, Lock: 1, Epoch: 7, Mode: modes.None, Token: false, Root: -1, TS: 30},
+	}
+	for _, r := range recs {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	state, err := Replay(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(state) != 2 {
+		t.Fatalf("state = %+v, want 2 locks", state)
+	}
+	if r := state[1]; r != recs[3] {
+		t.Fatalf("lock 1 = %+v, want last record %+v", r, recs[3])
+	}
+	if r := state[2]; r != recs[2] {
+		t.Fatalf("lock 2 = %+v, want %+v", r, recs[2])
+	}
+	if MaxEpoch(state) != 7 {
+		t.Fatalf("MaxEpoch = %d", MaxEpoch(state))
+	}
+}
+
+// TestTornTailTruncation is the core durability property: a crash can
+// tear the final frame at any byte boundary, and replay must keep
+// every complete record before the tear and nothing after it.
+func TestTornTailTruncation(t *testing.T) {
+	dir := t.TempDir()
+	j := mustOpen(t, dir, Options{Fsync: FsyncAlways})
+	const n = 8
+	for i := 0; i < n; i++ {
+		if err := j.Append(Record{
+			Kind: RecGrant, Lock: proto.LockID(i), Epoch: uint32(i), Mode: modes.W, TS: uint64(i),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wal := filepath.Join(dir, walName)
+	full, err := os.ReadFile(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const frame = frameHeader + payloadSize
+	if len(full) != n*frame {
+		t.Fatalf("wal size = %d, want %d", len(full), n*frame)
+	}
+
+	// Truncate at every byte offset inside the final two frames.
+	for cut := (n - 2) * frame; cut < n*frame; cut++ {
+		if err := os.WriteFile(wal, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		state, err := Replay(dir)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		want := cut / frame // complete frames before the tear
+		if len(state) != want {
+			t.Fatalf("cut %d: recovered %d records, want %d", cut, len(state), want)
+		}
+		for i := 0; i < want; i++ {
+			if r, ok := state[proto.LockID(i)]; !ok || r.Epoch != uint32(i) {
+				t.Fatalf("cut %d: lock %d = %+v, %v", cut, i, r, ok)
+			}
+		}
+	}
+}
+
+// TestCorruptFrameStopsReplay flips bytes in the middle of the log:
+// replay must stop at the first bad CRC and keep the clean prefix.
+func TestCorruptFrameStopsReplay(t *testing.T) {
+	const frame = frameHeader + payloadSize
+	cases := []struct {
+		name   string
+		offset int // byte to corrupt, within frame index 2
+	}{
+		{"payload-byte", 2*frame + frameHeader + 3},
+		{"crc-byte", 2*frame + 5},
+		{"length-prefix", 2 * frame},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			j := mustOpen(t, dir, Options{Fsync: FsyncAlways})
+			for i := 0; i < 5; i++ {
+				if err := j.Append(Record{Kind: RecGrant, Lock: proto.LockID(i), Epoch: 1}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := j.Close(); err != nil {
+				t.Fatal(err)
+			}
+			wal := filepath.Join(dir, walName)
+			data, err := os.ReadFile(wal)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data[tc.offset] ^= 0xff
+			if err := os.WriteFile(wal, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			state, err := Replay(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(state) != 2 {
+				t.Fatalf("recovered %d records past corruption at frame 2, want 2", len(state))
+			}
+			for i := 0; i < 2; i++ {
+				if _, ok := state[proto.LockID(i)]; !ok {
+					t.Fatalf("clean prefix record %d lost", i)
+				}
+			}
+		})
+	}
+}
+
+func TestSnapshotRotationBoundsWAL(t *testing.T) {
+	dir := t.TempDir()
+	j := mustOpen(t, dir, Options{Fsync: FsyncAlways, SnapshotEvery: 10})
+	for i := 0; i < 35; i++ {
+		if err := j.Append(Record{
+			Kind: RecGrant, Lock: proto.LockID(i % 4), Epoch: uint32(i), TS: uint64(i),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := j.Stats()
+	if st.Snapshots != 3 {
+		t.Fatalf("snapshots = %d, want 3", st.Snapshots)
+	}
+	if st.WALRecords >= 10 {
+		t.Fatalf("WAL records = %d, rotation did not bound it", st.WALRecords)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replay across the snapshot + residual WAL reproduces the fold.
+	state, err := Replay(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(state) != 4 {
+		t.Fatalf("state = %d locks, want 4", len(state))
+	}
+	if r := state[2]; r.Epoch != 34 { // i=34 is the last write to lock 34%4=2
+		t.Fatalf("lock 2 = %+v, want epoch 34", r)
+	}
+}
+
+func TestReopenContinuesJournal(t *testing.T) {
+	dir := t.TempDir()
+	j := mustOpen(t, dir, Options{Fsync: FsyncAlways})
+	if err := j.Append(Record{Kind: RecGrant, Lock: 9, Epoch: 3, Token: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2 := mustOpen(t, dir, Options{Fsync: FsyncAlways})
+	if r, ok := j2.State()[9]; !ok || r.Epoch != 3 || !r.Token {
+		t.Fatalf("reopened state = %+v, %v", r, ok)
+	}
+	if err := j2.Append(Record{Kind: RecEpoch, Lock: 9, Epoch: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	state, err := Replay(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := state[9]; r.Epoch != 8 {
+		t.Fatalf("lock 9 = %+v after reopen+append", r)
+	}
+}
+
+func TestBatchedPolicySyncsInBackground(t *testing.T) {
+	dir := t.TempDir()
+	j := mustOpen(t, dir, Options{Fsync: FsyncBatched, BatchInterval: time.Millisecond})
+	for i := 0; i < 10; i++ {
+		if err := j.Append(Record{Kind: RecGrant, Lock: proto.LockID(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for j.Stats().Fsyncs == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("batched flusher never synced")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	state, err := Replay(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(state) != 10 {
+		t.Fatalf("replayed %d records", len(state))
+	}
+}
+
+func TestNeverPolicyStillReplays(t *testing.T) {
+	dir := t.TempDir()
+	j := mustOpen(t, dir, Options{Fsync: FsyncNever})
+	if err := j.Append(Record{Kind: RecGrant, Lock: 1, Epoch: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if st := j.Stats(); st.Fsyncs != 0 {
+		t.Fatalf("never policy issued %d fsyncs", st.Fsyncs)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	state, err := Replay(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if state[1].Epoch != 2 {
+		t.Fatalf("state = %+v", state)
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	dir := t.TempDir()
+	j := mustOpen(t, dir, Options{})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Record{Kind: RecGrant, Lock: 1}); err == nil {
+		t.Fatal("append after close succeeded")
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestReplayMissingDirIsEmpty(t *testing.T) {
+	state, err := Replay(filepath.Join(t.TempDir(), "nonexistent"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(state) != 0 {
+		t.Fatalf("state = %+v", state)
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for s, want := range map[string]Policy{
+		"": FsyncBatched, "batched": FsyncBatched, "always": FsyncAlways, "never": FsyncNever,
+	} {
+		p, err := ParsePolicy(s)
+		if err != nil || p != want {
+			t.Fatalf("ParsePolicy(%q) = %v, %v", s, p, err)
+		}
+	}
+	if _, err := ParsePolicy("bogus"); err == nil {
+		t.Fatal("bogus policy accepted")
+	}
+}
+
+// TestCrashMidSnapshotRecovers models a crash between writing the
+// snapshot temp file and renaming it over snapshot.snap: the stray
+// temp file must be ignored by Replay and the pre-crash state must
+// come back intact from the existing snapshot + WAL.
+func TestCrashMidSnapshotRecovers(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{Fsync: FsyncNever, SnapshotEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[proto.LockID]Record{}
+	for i := 0; i < 8; i++ {
+		r := Record{Kind: RecGrant, Lock: proto.LockID(i % 3), Epoch: uint32(i + 1), Mode: modes.W, Root: 2, TS: uint64(i)}
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+		want[r.Lock] = r
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The crash left a half-written snapshot temp file behind.
+	if err := os.WriteFile(filepath.Join(dir, "snapshot-crash.tmp"), []byte("partial garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Replay(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d locks, want %d", len(got), len(want))
+	}
+	for lock, w := range want {
+		if got[lock] != w {
+			t.Fatalf("lock %d: replayed %+v, want %+v", lock, got[lock], w)
+		}
+	}
+}

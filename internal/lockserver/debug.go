@@ -58,6 +58,14 @@ func (s *Server) DebugHandler() http.Handler {
 			Retransmits    uint64 `json:"retransmits"`
 			DupsSuppressed uint64 `json:"dups_suppressed"`
 		}
+		type journalStats struct {
+			Records     uint64  `json:"records"`
+			WALBytes    int64   `json:"wal_bytes"`
+			Fsyncs      uint64  `json:"fsyncs"`
+			MeanFsyncMS float64 `json:"mean_fsync_ms"`
+			Snapshots   uint64  `json:"snapshots"`
+			Locks       int     `json:"locks"`
+		}
 		type stats struct {
 			MemberID      int                `json:"member_id"`
 			Acquires      uint64             `json:"acquires"`
@@ -67,6 +75,7 @@ func (s *Server) DebugHandler() http.Handler {
 			MessagesSent  map[string]uint64  `json:"messages_sent"`
 			PeerHealth    map[int]peerHealth `json:"peer_health"`
 			Link          linkCounters       `json:"link"`
+			Journal       *journalStats      `json:"journal,omitempty"`
 		}
 		ph := make(map[int]peerHealth)
 		for id, h := range s.member.PeerHealth() {
@@ -91,6 +100,19 @@ func (s *Server) DebugHandler() http.Handler {
 				Retransmits:    lc.Retransmits,
 				DupsSuppressed: lc.DupsSuppressed,
 			},
+		}
+		if js, ok := s.member.JournalStats(); ok {
+			j := journalStats{
+				Records:   js.Records,
+				WALBytes:  js.WALBytes,
+				Fsyncs:    js.Fsyncs,
+				Snapshots: js.Snapshots,
+				Locks:     js.Locks,
+			}
+			if js.Fsyncs > 0 {
+				j.MeanFsyncMS = float64(js.FsyncTime) / float64(js.Fsyncs) / float64(time.Millisecond)
+			}
+			out.Journal = &j
 		}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)

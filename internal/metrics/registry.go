@@ -98,6 +98,16 @@ const (
 	MetricAuditViolations = "hierlock_audit_violations_total"
 	// MetricAuditEntries counts trace entries the auditor consumed.
 	MetricAuditEntries = "hierlock_audit_entries_total"
+	// MetricJournalRecords counts write-ahead journal records appended.
+	MetricJournalRecords = "hierlock_journal_records_total"
+	// MetricJournalWALBytes gauges the current WAL file size.
+	MetricJournalWALBytes = "hierlock_journal_wal_bytes"
+	// MetricJournalFsyncs counts journal fsync calls.
+	MetricJournalFsyncs = "hierlock_journal_fsyncs_total"
+	// MetricJournalFsyncSeconds accumulates time spent in journal fsync.
+	MetricJournalFsyncSeconds = "hierlock_journal_fsync_seconds_total"
+	// MetricJournalSnapshots counts journal snapshot rotations.
+	MetricJournalSnapshots = "hierlock_journal_snapshots_total"
 )
 
 // DefLatencyBuckets are the default request-latency histogram bounds in

@@ -86,6 +86,17 @@ func DecodeClaimSeq(s uint64) (epoch uint32, token bool) {
 	return uint32(s >> 1), s&1 == 1
 }
 
+// coldClaimBit marks a nomination sent by a journal-restored member
+// during cold start: no death has been confirmed anywhere, but the
+// sender's replayed state must be reconciled into a fresh epoch. The
+// bit rides in Seq far above the epoch payload, so DecodeClaimSeq on
+// old receivers is unaffected (uint32 truncation discards it).
+const coldClaimBit = uint64(1) << 63
+
+// IsColdClaim reports whether a claim's Seq carries the cold-start
+// nomination marker.
+func IsColdClaim(seq uint64) bool { return seq&coldClaimBit != 0 }
+
 // Config wires a Manager to its host (the simulated cluster node or the
 // live member runtime). All callbacks are invoked synchronously from
 // Manager methods; they must not call back into the Manager except for
@@ -125,6 +136,24 @@ type Config struct {
 	// ProbeTimeout is the regenerator's re-probe interval for survivors
 	// that have not claimed (default 1s).
 	ProbeTimeout time.Duration
+	// Quorum, when positive, is the minimum number of nodes (the
+	// regenerator plus claimants) that must have fenced at a round's
+	// proposed epoch before the round commits. With a majority quorum a
+	// regenerator cut off in a minority partition can never gather
+	// enough claims to broadcast Recovered, so a minority component
+	// cannot mint a competing token — at the cost of recovery halting
+	// entirely when a majority of the configured cluster is unreachable
+	// (see docs/PROTOCOL.md). Zero disables the gate (a round commits
+	// once every non-dead survivor has claimed, the pre-quorum
+	// behavior).
+	Quorum int
+	// LocksReferencing, when non-nil, returns locks whose probable-owner
+	// chain passes through the given node (engine parent/copyset/queue
+	// references, journal records naming it as root). ConfirmDead
+	// regenerates these eagerly in addition to the locks the node
+	// tracks live engines for, so a lock whose only referent was the
+	// dead node does not stay wedged until a client stumbles into it.
+	LocksReferencing func(proto.NodeID) []proto.LockID
 }
 
 type claim struct {
@@ -234,6 +263,43 @@ func (m *Manager) sortedLocks() []proto.LockID {
 	return locks
 }
 
+// deadLocks returns every lock whose recovery depends on the dead
+// node beyond the live tracked set: completed-round seeds naming it as
+// root (survivors may have evicted their engines for those locks since,
+// so Locks() no longer reports them) plus whatever the host's
+// LocksReferencing scan finds (engine chains, journal records).
+func (m *Manager) deadLocks(peer proto.NodeID) []proto.LockID {
+	var out []proto.LockID
+	m.tableMu.RLock()
+	for lock, s := range m.table {
+		if s.Root == peer {
+			out = append(out, lock)
+		}
+	}
+	m.tableMu.RUnlock()
+	if m.cfg.LocksReferencing != nil {
+		out = append(out, m.cfg.LocksReferencing(peer)...)
+	}
+	return out
+}
+
+// mergeLocks unions b into sorted a, returning a sorted, deduplicated
+// lock list.
+func mergeLocks(a, b []proto.LockID) []proto.LockID {
+	seen := make(map[proto.LockID]bool, len(a)+len(b))
+	out := make([]proto.LockID, 0, len(a)+len(b))
+	for _, s := range [][]proto.LockID{a, b} {
+		for _, l := range s {
+			if !seen[l] {
+				seen[l] = true
+				out = append(out, l)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // ConfirmDead tells the manager the failure detector has confirmed peer
 // dead. Idempotent. If this node is now the regenerator it starts (or
 // refreshes) a round per tracked lock; otherwise it nominates its
@@ -260,16 +326,17 @@ func (m *Manager) ConfirmDead(peer proto.NodeID) {
 	}
 
 	if reg := m.regenerator(); reg != m.cfg.Self {
-		for _, lock := range m.sortedLocks() {
-			m.nominate(lock, reg)
+		for _, lock := range mergeLocks(m.sortedLocks(), m.deadLocks(peer)) {
+			m.nominate(lock, reg, false)
 		}
 		return
 	}
-	// Run a round per tracked lock, plus every buffered nomination for a
-	// lock only its nominator tracks (they arrived before our detector
-	// confirmed and would otherwise be lost — the nominator's locks then
-	// never regenerate).
-	locks := m.sortedLocks()
+	// Run a round per tracked lock and per lock the dead node is known
+	// to anchor (seed-table roots, probable-owner references), plus
+	// every buffered nomination for a lock only its nominator tracks
+	// (they arrived before our detector confirmed and would otherwise be
+	// lost — the nominator's locks then never regenerate).
+	locks := mergeLocks(m.sortedLocks(), m.deadLocks(peer))
 	tracked := make(map[proto.LockID]bool, len(locks))
 	for _, lock := range locks {
 		tracked[lock] = true
@@ -298,22 +365,28 @@ func (m *Manager) ConfirmDead(peer proto.NodeID) {
 // recovered into a newer epoch. The claim body is advisory (a fresh
 // probe re-collects it); its arrival is what makes the regenerator
 // start a round for a lock only this node knows about.
-func (m *Manager) nominate(lock proto.LockID, reg proto.NodeID) {
+func (m *Manager) nominate(lock proto.LockID, reg proto.NodeID, cold bool) {
 	st := m.cfg.State(lock)
+	seq := EncodeClaimSeq(st.Epoch, st.Token)
+	if cold {
+		seq |= coldClaimBit
+	}
 	m.cfg.Send(proto.Message{
 		Kind: proto.KindClaim, Lock: lock,
 		From: m.cfg.Self, To: reg, TS: m.cfg.Clock.Tick(),
 		Epoch: st.Epoch, Owned: st.Held,
-		Seq: EncodeClaimSeq(st.Epoch, st.Token),
+		Seq: seq,
 	})
-	m.scheduleRenominate(lock, st.Epoch)
+	m.scheduleRenominate(lock, st.Epoch, cold)
 }
 
 // scheduleRenominate re-sends a nomination every ProbeTimeout until a
-// completed round supersedes it, every confirmed death is cleared, or a
-// round for the lock is running locally (this node became the
-// regenerator, or yielded to a competitor whose Recovered will land).
-func (m *Manager) scheduleRenominate(lock proto.LockID, epoch uint32) {
+// completed round supersedes it, every confirmed death is cleared (not
+// applicable to cold-start nominations, which run with no deaths at
+// all), or a round for the lock is running locally (this node became
+// the regenerator, or yielded to a competitor whose Recovered will
+// land).
+func (m *Manager) scheduleRenominate(lock proto.LockID, epoch uint32, cold bool) {
 	if m.cfg.After == nil {
 		return
 	}
@@ -321,26 +394,63 @@ func (m *Manager) scheduleRenominate(lock proto.LockID, epoch uint32) {
 		if s, ok := m.SeedFor(lock); ok && s.Epoch > epoch {
 			return // recovered: the nomination was served
 		}
-		if len(m.dead) == 0 {
+		if !cold && len(m.dead) == 0 {
 			return // every confirmed death cleared (false alarm)
 		}
 		if _, active := m.round[lock]; active {
 			return // a local round's own retry loop drives progress
 		}
 		if reg := m.regenerator(); reg != m.cfg.Self {
-			m.nominate(lock, reg)
+			m.nominate(lock, reg, cold)
 			return
 		}
 		m.startRound(lock)
 	})
 }
 
+// ColdStart reconciles journal-restored state after a whole-cluster
+// restart: no death has been confirmed, but every member's replayed
+// locks must converge on a single fresh epoch above everything any
+// journal recorded. The lowest-ID node (the regenerator when nothing
+// is dead) runs a round per lock; everyone else nominates its replayed
+// locks to it with cold-marked claims that the regenerator acts on
+// even though its dead set is empty. Call under the same external
+// serialization as the other manager entry points, after the host has
+// seeded its engines from the journal.
+func (m *Manager) ColdStart(locks []proto.LockID) {
+	if len(locks) == 0 {
+		return
+	}
+	sorted := mergeLocks(locks, nil)
+	if reg := m.regenerator(); reg != m.cfg.Self {
+		for _, lock := range sorted {
+			m.nominate(lock, reg, true)
+		}
+		return
+	}
+	for _, lock := range sorted {
+		m.startRound(lock)
+	}
+}
+
 // Alive tells the manager a previously confirmed-dead peer is heard
 // from again (it restarted). The peer rejoins the live set — future
 // rounds include it — and catches up on completed rounds lazily through
-// recovery hints; state it lost in the crash stays lost.
+// recovery hints; state it lost in the crash stays lost. Under a
+// quorum, in-flight rounds start expecting the returned peer again:
+// its claim both fences it at the proposed epoch and counts toward the
+// commit threshold, which may be exactly what unblocks a stalled
+// round.
 func (m *Manager) Alive(peer proto.NodeID) {
 	delete(m.dead, peer)
+	if m.cfg.Quorum > 0 {
+		for _, r := range m.round {
+			if _, claimed := r.claims[peer]; !claimed && !r.expected[peer] {
+				r.expected[peer] = true
+				m.probe(r, map[proto.NodeID]bool{peer: true})
+			}
+		}
+	}
 }
 
 // startRound begins (or re-enters) a regeneration round for one lock as
@@ -408,8 +518,41 @@ func (m *Manager) scheduleRetry(lock proto.LockID, proposed uint32) {
 			return
 		}
 		m.probe(r, nil)
+		if !m.quorumMet(r) {
+			// Every live survivor has claimed but the quorum is short:
+			// the only path forward is a confirmed-dead node returning,
+			// so keep probing the whole configured set. A dead node that
+			// restarted answers the probe with a claim, fencing itself at
+			// the proposed epoch and counting toward the quorum.
+			m.probeDead(r)
+		}
 		m.scheduleRetry(lock, proposed)
 	})
+}
+
+// quorumMet reports whether the round has gathered enough fenced
+// participants (the regenerator plus claimants) to commit.
+func (m *Manager) quorumMet(r *round) bool {
+	return m.cfg.Quorum <= 0 || 1+len(r.claims) >= m.cfg.Quorum
+}
+
+// probeDead sends the round's probe to configured nodes outside the
+// expected set (confirmed dead before or during the round) that have
+// not claimed, in node order.
+func (m *Manager) probeDead(r *round) {
+	for _, n := range m.nodes {
+		if n == m.cfg.Self || r.expected[n] {
+			continue
+		}
+		if _, claimed := r.claims[n]; claimed {
+			continue
+		}
+		m.cfg.Send(proto.Message{
+			Kind: proto.KindProbe, Lock: r.lock,
+			From: m.cfg.Self, To: n, TS: m.cfg.Clock.Tick(),
+			Epoch: r.proposed,
+		})
+	}
 }
 
 // HandleMessage processes one recovery-protocol message, returning
@@ -465,8 +608,12 @@ func (m *Manager) handleClaim(msg *proto.Message) {
 	if !active {
 		// An unsolicited claim: a survivor nominating this node to
 		// regenerate a lock it tracks. The claim body is discarded — the
-		// round's own probes collect fenced state.
-		if m.regenerator() != m.cfg.Self || len(m.dead) == 0 {
+		// round's own probes collect fenced state. Cold-start nominations
+		// arrive with no confirmed death anywhere; the regenerator acts
+		// on them anyway (the whole point is reconciling journal state
+		// when nobody is dead).
+		cold := IsColdClaim(msg.Seq)
+		if m.regenerator() != m.cfg.Self || (len(m.dead) == 0 && !cold) {
 			// The nominator's detector confirmed a death ours has not seen
 			// yet. Buffer the nomination for ConfirmDead to replay once the
 			// local detector catches up; dropping it would wedge a lock
@@ -483,14 +630,39 @@ func (m *Manager) handleClaim(msg *proto.Message) {
 			// is strict: after a completed round every survivor sits exactly
 			// at the seed epoch, so a fresh nomination triggered by a
 			// subsequent crash carries msg.Epoch == s.Epoch and must start a
-			// new round.
+			// new round. A stale cold nominator missed the round entirely
+			// (it was still down); answer with the outcome so its retry
+			// loop terminates instead of renominating forever.
+			if cold {
+				m.Hint(msg.Lock, msg.From)
+			}
 			return
 		}
 		m.startRound(msg.Lock)
 		return
 	}
-	if msg.Epoch != r.proposed || !r.expected[msg.From] {
-		return // stale claim from an earlier wave or an unexpected node
+	if msg.Epoch != r.proposed {
+		return // stale claim from an earlier wave
+	}
+	if !r.expected[msg.From] {
+		// Not a node this round is waiting on: either a stray, or — under
+		// a quorum — a confirmed-dead node answering a probeDead wave.
+		// Its claim is a fence ack like any other and may complete the
+		// quorum, so admit it into the round.
+		if m.cfg.Quorum <= 0 || msg.From == m.cfg.Self {
+			return
+		}
+		var configured bool
+		for _, n := range m.nodes {
+			if n == msg.From {
+				configured = true
+				break
+			}
+		}
+		if !configured {
+			return
+		}
+		r.expected[msg.From] = true
 	}
 	epoch, token := DecodeClaimSeq(msg.Seq)
 	r.claims[msg.From] = claim{held: msg.Owned, epoch: epoch, token: token}
@@ -515,7 +687,8 @@ func (m *Manager) handleRecovered(msg *proto.Message) {
 }
 
 // finishIfComplete closes a round once every expected survivor has
-// claimed: fixes the final epoch above all claimed epochs, selects the
+// claimed and the configured quorum (if any) of fenced participants is
+// reached: fixes the final epoch above all claimed epochs, selects the
 // root, rebuilds the copyset from the accounted holders, broadcasts
 // Recovered and applies the outcome locally.
 func (m *Manager) finishIfComplete(r *round) {
@@ -523,6 +696,13 @@ func (m *Manager) finishIfComplete(r *round) {
 		if _, ok := r.claims[n]; !ok {
 			return
 		}
+	}
+	if !m.quorumMet(r) {
+		// Every live survivor has fenced, but together they are a
+		// minority of the configured cluster: committing here could race
+		// a majority partition committing its own round. The round stays
+		// open; scheduleRetry keeps probing the unreachable nodes.
+		return
 	}
 
 	all := map[proto.NodeID]claim{m.cfg.Self: r.self}
@@ -556,10 +736,14 @@ func (m *Manager) finishIfComplete(r *round) {
 		}
 	}
 	if root == proto.NoNode {
+		// Among token claimants, the highest claimed epoch wins (lowest
+		// ID on ties): after a cold start several journals may still
+		// record token ownership from different moments, and the most
+		// recent epoch identifies the last true holder.
+		var bestEpoch uint32
 		for _, n := range participants {
-			if all[n].token {
-				root = n
-				break
+			if c := all[n]; c.token && (root == proto.NoNode || c.epoch > bestEpoch) {
+				root, bestEpoch = n, c.epoch
 			}
 		}
 	}

@@ -526,3 +526,250 @@ func TestDetectorTransitions(t *testing.T) {
 		t.Fatal("unwatched node tracked")
 	}
 }
+
+// TestQuorumGatesCommit: with a majority quorum configured, a sole
+// survivor of a 5-node cluster (a minority component) must not commit
+// a regeneration round — and the stalled round's retry keeps probing
+// the confirmed-dead nodes so a returning majority can unblock it.
+func TestQuorumGatesCommit(t *testing.T) {
+	var timers []func()
+	h := newHarness(t, 0, []proto.NodeID{0, 1, 2, 3, 4})
+	h.m.cfg.Quorum = 3
+	h.m.cfg.After = func(d time.Duration, fn func()) { timers = append(timers, fn) }
+	h.locks = []proto.LockID{1}
+	h.state[1] = State{}
+
+	for _, p := range []proto.NodeID{1, 2, 3, 4} {
+		h.m.ConfirmDead(p)
+	}
+	h.drainSent()
+	if len(h.reseeds) != 0 {
+		t.Fatalf("minority committed a round: %+v", h.reseeds)
+	}
+	if _, ok := h.m.SeedFor(1); ok {
+		t.Fatal("minority minted a seed")
+	}
+
+	// The retry wave must probe the dead nodes (the only path to a
+	// quorum), not just the empty expected set.
+	var fired bool
+	for _, fn := range timers {
+		fn()
+		fired = true
+	}
+	if !fired {
+		t.Fatal("no retry scheduled for the stalled round")
+	}
+	var probed int
+	for _, msg := range h.drainSent() {
+		if msg.Kind == proto.KindProbe && msg.Lock == 1 {
+			probed++
+		}
+	}
+	if probed == 0 {
+		t.Fatal("stalled round did not probe the dead nodes")
+	}
+
+	// Two dead nodes answer the probes: their claims are fence acks,
+	// complete the quorum, and commit the round.
+	for _, p := range []proto.NodeID{1, 2} {
+		h.m.HandleMessage(&proto.Message{
+			Kind: proto.KindClaim, Lock: 1, From: p, To: 0, Epoch: 1,
+			Owned: modes.None, Seq: EncodeClaimSeq(0, false),
+		})
+	}
+	if len(h.reseeds) != 1 {
+		t.Fatalf("quorum reached but round did not commit: %+v", h.reseeds)
+	}
+	if s, ok := h.m.SeedFor(1); !ok || s.Epoch == 0 {
+		t.Fatalf("SeedFor = %+v, %v", s, ok)
+	}
+}
+
+// TestQuorumSatisfiedByMajority: the normal case — one death in a
+// 3-node cluster leaves a 2-node majority, which commits as before.
+func TestQuorumSatisfiedByMajority(t *testing.T) {
+	h := newHarness(t, 0, []proto.NodeID{0, 1, 2})
+	h.m.cfg.Quorum = 2
+	h.locks = []proto.LockID{7}
+	h.state[7] = State{}
+
+	h.m.ConfirmDead(2)
+	h.drainSent()
+	h.m.HandleMessage(&proto.Message{
+		Kind: proto.KindClaim, Lock: 7, From: 1, To: 0, Epoch: 1,
+		Owned: modes.None, Seq: EncodeClaimSeq(0, false),
+	})
+	if len(h.reseeds) != 1 {
+		t.Fatalf("majority round did not commit: %+v", h.reseeds)
+	}
+}
+
+// TestColdStartRegeneratorRunsRounds: the lowest-ID member of a
+// journal-restored cluster reconciles its replayed locks with rounds
+// even though nothing is confirmed dead, and the final epoch lands
+// above every journaled epoch.
+func TestColdStartRegeneratorRunsRounds(t *testing.T) {
+	h := newHarness(t, 0, []proto.NodeID{0, 1, 2})
+	h.locks = []proto.LockID{5}
+	h.state[5] = State{Epoch: 3} // replayed from the journal
+
+	h.m.ColdStart([]proto.LockID{5})
+	probes := h.drainSent()
+	if len(probes) != 2 {
+		t.Fatalf("cold-start probes = %+v", probes)
+	}
+	// Peers answer from their own replayed state; node 2's journal saw
+	// a later epoch and the token.
+	h.m.HandleMessage(&proto.Message{
+		Kind: proto.KindClaim, Lock: 5, From: 1, To: 0, Epoch: probes[0].Epoch,
+		Owned: modes.None, Seq: EncodeClaimSeq(2, false),
+	})
+	h.m.HandleMessage(&proto.Message{
+		Kind: proto.KindClaim, Lock: 5, From: 2, To: 0, Epoch: probes[0].Epoch,
+		Owned: modes.None, Seq: EncodeClaimSeq(6, true),
+	})
+	if len(h.reseeds) != 1 {
+		t.Fatalf("cold-start round did not commit: %+v", h.reseeds)
+	}
+	r := h.reseeds[0]
+	if r.epoch <= 6 {
+		t.Fatalf("final epoch %d not above the max journaled epoch 6", r.epoch)
+	}
+	if r.root != 2 {
+		t.Fatalf("root = %d, want the highest-epoch token claimant 2", r.root)
+	}
+}
+
+// TestColdNominationActedOnWithoutDeaths: a non-regenerator's cold
+// nomination must start a round on the regenerator even though its
+// dead set is empty; an ordinary (non-cold) claim in the same position
+// still buffers.
+func TestColdNominationActedOnWithoutDeaths(t *testing.T) {
+	h := newHarness(t, 0, []proto.NodeID{0, 1, 2})
+	h.state[9] = State{Epoch: 2}
+
+	// Ordinary nomination with no confirmed death: buffered.
+	h.m.HandleMessage(&proto.Message{
+		Kind: proto.KindClaim, Lock: 9, From: 1, To: 0, Epoch: 2,
+		Owned: modes.None, Seq: EncodeClaimSeq(2, false),
+	})
+	if sent := h.drainSent(); len(sent) != 0 {
+		t.Fatalf("ordinary claim acted on without deaths: %+v", sent)
+	}
+
+	// Cold nomination: starts a round immediately.
+	h.m.HandleMessage(&proto.Message{
+		Kind: proto.KindClaim, Lock: 9, From: 1, To: 0, Epoch: 2,
+		Owned: modes.None, Seq: EncodeClaimSeq(2, false) | coldClaimBit,
+	})
+	var probed bool
+	for _, msg := range h.drainSent() {
+		if msg.Kind == proto.KindProbe && msg.Lock == 9 {
+			probed = true
+		}
+	}
+	if !probed {
+		t.Fatal("cold nomination did not start a round")
+	}
+}
+
+// TestStaleColdNominationGetsHint: a member that restarts long after
+// the cluster recovered past its journaled epoch must receive the
+// completed-round outcome in reply, terminating its nomination loop.
+func TestStaleColdNominationGetsHint(t *testing.T) {
+	h := newHarness(t, 0, []proto.NodeID{0, 1, 2})
+	h.locks = []proto.LockID{4}
+	h.state[4] = State{}
+
+	// A completed round leaves a seed at epoch >= 1.
+	h.m.ConfirmDead(2)
+	h.drainSent()
+	h.m.HandleMessage(&proto.Message{
+		Kind: proto.KindClaim, Lock: 4, From: 1, To: 0, Epoch: 1,
+		Owned: modes.None, Seq: EncodeClaimSeq(0, false),
+	})
+	s, ok := h.m.SeedFor(4)
+	if !ok {
+		t.Fatal("setup round did not complete")
+	}
+	h.drainSent()
+	h.m.Alive(2)
+
+	// Node 2 restarts from a journal frozen before the round.
+	h.m.HandleMessage(&proto.Message{
+		Kind: proto.KindClaim, Lock: 4, From: 2, To: 0, Epoch: s.Epoch - 1,
+		Owned: modes.None, Seq: EncodeClaimSeq(s.Epoch-1, false) | coldClaimBit,
+	})
+	sent := h.drainSent()
+	if len(sent) != 1 || sent[0].Kind != proto.KindRecovered || sent[0].To != 2 ||
+		sent[0].Epoch != s.Epoch {
+		t.Fatalf("stale cold nomination reply = %+v, want a hint", sent)
+	}
+}
+
+// TestConfirmDeadRegeneratesSeedRootedLocks: a lock whose recovered
+// root dies must regenerate eagerly from the seed table even when no
+// survivor tracks an engine for it any more (ROADMAP item 2: eviction
+// after recovery leaves the seed as the only reference).
+func TestConfirmDeadRegeneratesSeedRootedLocks(t *testing.T) {
+	h := newHarness(t, 0, []proto.NodeID{0, 1, 2, 3})
+	h.locks = []proto.LockID{6}
+	h.state[6] = State{Held: modes.None}
+
+	// Round one: node 3 dies, node 1 claims the token, becoming root.
+	h.m.ConfirmDead(3)
+	h.drainSent()
+	for _, p := range []proto.NodeID{1, 2} {
+		tok := p == 1
+		h.m.HandleMessage(&proto.Message{
+			Kind: proto.KindClaim, Lock: 6, From: p, To: 0, Epoch: 1,
+			Owned: modes.None, Seq: EncodeClaimSeq(0, tok),
+		})
+	}
+	s, ok := h.m.SeedFor(6)
+	if !ok || s.Root != 1 {
+		t.Fatalf("round one seed = %+v, %v", s, ok)
+	}
+	h.drainSent()
+
+	// All engines idle out and evict: the member no longer tracks lock 6.
+	h.locks = nil
+
+	// The recovered root dies. The seed table is the only reference left;
+	// the regenerator must still start a round for lock 6.
+	h.m.ConfirmDead(1)
+	var probed bool
+	for _, msg := range h.drainSent() {
+		if msg.Kind == proto.KindProbe && msg.Lock == 6 {
+			probed = true
+		}
+	}
+	if !probed {
+		t.Fatal("seed-rooted lock not regenerated eagerly on root death")
+	}
+}
+
+// TestConfirmDeadUsesLocksReferencing: the host's probable-owner scan
+// feeds extra locks into eager regeneration.
+func TestConfirmDeadUsesLocksReferencing(t *testing.T) {
+	h := newHarness(t, 0, []proto.NodeID{0, 1, 2})
+	h.m.cfg.LocksReferencing = func(dead proto.NodeID) []proto.LockID {
+		if dead == 2 {
+			return []proto.LockID{42}
+		}
+		return nil
+	}
+	h.state[42] = State{}
+
+	h.m.ConfirmDead(2)
+	var probed bool
+	for _, msg := range h.drainSent() {
+		if msg.Kind == proto.KindProbe && msg.Lock == 42 {
+			probed = true
+		}
+	}
+	if !probed {
+		t.Fatal("LocksReferencing lock not regenerated")
+	}
+}

@@ -65,10 +65,20 @@ type Partition struct {
 // frames addressed to it wait in the senders' retransmit buffers until
 // restart. With FaultPlan.LoseOnCrash those frames are instead lost for
 // good.
+//
+// LoseDisk distinguishes the two restart fates a real deployment has:
+// false (default) models crash-with-disk — the node restarts with its
+// journaled lock state (epochs, token ownership) intact, only volatile
+// state (client holds, in-flight requests) lost; true models
+// crash-with-disk-loss — the node comes back blank, at epoch 0, and
+// must be re-fenced by the survivors' recovery rounds before it can
+// participate again. Chaos tests and the auditor treat the two as
+// distinct faults (see trace.OpRestart).
 type CrashWindow struct {
-	Node  int
-	Start time.Duration
-	End   time.Duration
+	Node     int
+	Start    time.Duration
+	End      time.Duration
+	LoseDisk bool
 }
 
 // Outcome reports what the fault layer did to one message.

@@ -30,6 +30,7 @@ const (
 	OpDup                   // fault injection: a duplicate frame was generated (and suppressed)
 	OpDefer                 // fault injection: delivery deferred by a partition or crash
 	OpLost                  // fault injection: a frame destroyed for good by a crash (LoseOnCrash)
+	OpRestart               // a crashed node came back up (Epoch: rejoin epoch, 0 = disk lost)
 )
 
 // String names the op.
@@ -53,6 +54,8 @@ func (o Op) String() string {
 		return "defer"
 	case OpLost:
 		return "lost"
+	case OpRestart:
+		return "restart"
 	default:
 		// The zero Op (and any out-of-range value) is a corrupt or
 		// uninitialized entry; print the numeric value so it is

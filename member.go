@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"hierlock/internal/hlock"
+	"hierlock/internal/journal"
 	"hierlock/internal/metrics"
 	"hierlock/internal/modes"
 	"hierlock/internal/proto"
@@ -78,6 +79,26 @@ type lockState struct {
 	// stale entry; it re-checks evicted under the mutex and retries
 	// against the live entry.
 	evicted bool
+	// logged is the last engine state appended to the journal for this
+	// lock (diffed on every dispatch; meaningless when the member has no
+	// journal).
+	logged journaled
+	// reseeded flags the next journal record as a recovery reseed.
+	reseeded bool
+	// seedRoot is the lock's last authoritative root (initial topology,
+	// journal replay, or the most recent recovery round), recorded in
+	// journal records so a restarted member knows where to re-home.
+	seedRoot proto.NodeID
+}
+
+// journaled is the durable-state fingerprint of one lock's engine: the
+// fields whose change warrants a journal record. Probable-owner parent
+// churn is deliberately excluded — it changes on nearly every message
+// and is reconstructible from the recovery protocol.
+type journaled struct {
+	epoch uint32
+	held  modes.Mode
+	token bool
 }
 
 // label names the lock for metric labels: the resource name when known,
@@ -121,6 +142,19 @@ type Member struct {
 	// recoveryTimeout, when non-zero, bounds each blocking client
 	// operation (see TCPMemberConfig.RecoveryTimeout).
 	recoveryTimeout time.Duration
+
+	// jn is the member's durable write-ahead journal (nil when the
+	// member runs without a data directory). replayed is the journal's
+	// fold at startup, consulted when lazily creating engines so a
+	// restarted member resumes at its journaled epochs instead of 0; it
+	// is immutable after construction.
+	jn       *journal.Journal
+	replayed map[proto.LockID]journal.Record
+	// recMu/recEpochs dedup the append-before-broadcast journal record
+	// for Recovered fan-outs (one durable record per lock per epoch, not
+	// one per receiver or hint).
+	recMu     sync.Mutex
+	recEpochs map[proto.LockID]uint32
 
 	// statMu guards the member-wide counters below (never held together
 	// with a shard mutex for long: stat updates are point writes).
@@ -252,9 +286,44 @@ func (m *Member) SetTelemetry(t Telemetry) {
 		metrics.LatencyFactorBuckets, nil)
 
 	m.registerLockCollectors(reg)
+	if m.jn != nil {
+		registerJournalCollectors(reg, m.jn)
+	}
 	if tt, ok := m.tr.(*transport.TCPTransport); ok {
 		registerTransportCollectors(reg, tt)
 	}
+}
+
+// registerJournalCollectors registers scrape-time metrics over the
+// member's write-ahead journal (size, append volume, fsync latency,
+// snapshot rotations). Stats reads are point snapshots; no hot-path
+// instrumentation is added to the append path itself.
+func registerJournalCollectors(reg *metrics.Registry, jn *journal.Journal) {
+	reg.Collect(metrics.MetricJournalRecords,
+		"Write-ahead journal records appended.", "counter",
+		func(emit func(metrics.Labels, float64)) {
+			emit(nil, float64(jn.Stats().Records))
+		})
+	reg.Collect(metrics.MetricJournalWALBytes,
+		"Current write-ahead log file size in bytes.", "gauge",
+		func(emit func(metrics.Labels, float64)) {
+			emit(nil, float64(jn.Stats().WALBytes))
+		})
+	reg.Collect(metrics.MetricJournalFsyncs,
+		"Journal fsync calls issued.", "counter",
+		func(emit func(metrics.Labels, float64)) {
+			emit(nil, float64(jn.Stats().Fsyncs))
+		})
+	reg.Collect(metrics.MetricJournalFsyncSeconds,
+		"Cumulative seconds spent in journal fsync.", "counter",
+		func(emit func(metrics.Labels, float64)) {
+			emit(nil, jn.Stats().FsyncTime.Seconds())
+		})
+	reg.Collect(metrics.MetricJournalSnapshots,
+		"Journal snapshot rotations completed.", "counter",
+		func(emit func(metrics.Labels, float64)) {
+			emit(nil, float64(jn.Stats().Snapshots))
+		})
 }
 
 // registerLockCollectors registers scrape-time gauges over the member's
@@ -401,35 +470,88 @@ type memberRecovery struct {
 	nodes        []proto.NodeID // all cluster members, including self
 	probeTimeout time.Duration
 	opTimeout    time.Duration
+	// quorum is the minimum fenced-participant count a regeneration
+	// round needs to commit (0 disables the gate; see
+	// TCPMemberConfig.RecoveryQuorum for the host-level policy).
+	quorum int
 }
 
-// newMember wires a member to a started transport.
-func newMember(id, root proto.NodeID, tr transport.Transport, rec *memberRecovery) (*Member, error) {
+// newMember wires a member to a started transport. jn, when non-nil,
+// is the member's opened journal: engines seed from its replayed
+// state, every externally-visible transition appends to it, and — when
+// recovery is also configured — the replayed locks are reconciled with
+// the cluster through a cold-start round.
+func newMember(id, root proto.NodeID, tr transport.Transport, rec *memberRecovery, jn *journal.Journal) (*Member, error) {
 	m := &Member{
-		id:   id,
-		root: root,
-		tr:   tr,
-		done: make(chan struct{}),
+		id:        id,
+		root:      root,
+		tr:        tr,
+		done:      make(chan struct{}),
+		jn:        jn,
+		recEpochs: make(map[proto.LockID]uint32),
+	}
+	if jn != nil {
+		m.replayed = jn.State()
 	}
 	if rec != nil {
 		m.recoveryTimeout = rec.opTimeout
 		m.mgr = recovery.NewManager(recovery.Config{
-			Self:          id,
-			Nodes:         rec.nodes,
-			Send:          m.sendRecovery,
-			Locks:         m.trackedLockIDs,
-			State:         m.recoveryState,
-			PrepareReseed: m.recoveryPrepare,
-			Reseed:        m.recoveryReseed,
-			Clock:         &m.clock,
-			After:         m.afterRecovery,
-			ProbeTimeout:  rec.probeTimeout,
+			Self:             id,
+			Nodes:            rec.nodes,
+			Send:             m.sendRecovery,
+			Locks:            m.trackedLockIDs,
+			State:            m.recoveryState,
+			PrepareReseed:    m.recoveryPrepare,
+			Reseed:           m.recoveryReseed,
+			Clock:            &m.clock,
+			After:            m.afterRecovery,
+			ProbeTimeout:     rec.probeTimeout,
+			Quorum:           rec.quorum,
+			LocksReferencing: m.locksReferencing,
 		})
 	}
 	if err := tr.Start(m.handle); err != nil {
 		return nil, err
 	}
+	// A journal-restored member must not serve its replayed state as
+	// current: another component may have moved on. Cold-start
+	// reconciliation runs one regeneration round per replayed lock (or
+	// nominates them to the regenerator), landing the whole cluster on
+	// a fresh epoch above every journal; a member restarting into a
+	// still-running cluster gets hinted forward instead.
+	if m.mgr != nil && len(m.replayed) > 0 {
+		locks := make([]proto.LockID, 0, len(m.replayed))
+		for l := range m.replayed {
+			locks = append(locks, l)
+		}
+		m.mgrMu.Lock()
+		m.mgr.ColdStart(locks)
+		m.mgrMu.Unlock()
+	}
 	return m, nil
+}
+
+// locksReferencing scans live engine state and the replayed journal
+// for locks whose probable-owner chain passes through the dead node,
+// feeding crash recovery's eager regeneration.
+func (m *Member) locksReferencing(dead proto.NodeID) []proto.LockID {
+	var out []proto.LockID
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		for id, ls := range sh.locks {
+			if ls.engine.References(dead) {
+				out = append(out, id)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	for id, rec := range m.replayed {
+		if rec.Root == dead {
+			out = append(out, id)
+		}
+	}
+	return out
 }
 
 // sendRecovery transmits one recovery-protocol message with the same
@@ -437,6 +559,9 @@ func newMember(id, root proto.NodeID, tr transport.Transport, rec *memberRecover
 // the recovery window peers are expected to be unreachable, and the
 // protocol re-probes until every survivor has claimed.
 func (m *Member) sendRecovery(msg proto.Message) {
+	if msg.Kind == proto.KindRecovered {
+		m.journalRecovered(msg.Lock, msg.Epoch, msg.Req.Origin)
+	}
 	m.statMu.Lock()
 	m.sent.Count(msg.Kind)
 	m.statMu.Unlock()
@@ -447,6 +572,35 @@ func (m *Member) sendRecovery(msg proto.Message) {
 			To: msg.To, Epoch: msg.Epoch, Trace: msgTrace(&msg)})
 	}
 	_ = m.tr.Send(&msg)
+}
+
+// journalRecovered makes a regeneration round's outcome durable before
+// it becomes externally visible: the first Recovered fan-out for a
+// (lock, epoch) is preceded by a synced journal record, so a
+// regenerator that crashes mid-broadcast replays an epoch at least as
+// new as anything any peer could have observed. Deduplicated per
+// (lock, epoch) — retries and hints re-send old epochs freely.
+func (m *Member) journalRecovered(lock proto.LockID, epoch uint32, root proto.NodeID) {
+	if m.jn == nil {
+		return
+	}
+	m.recMu.Lock()
+	if m.recEpochs[lock] >= epoch {
+		m.recMu.Unlock()
+		return
+	}
+	m.recEpochs[lock] = epoch
+	m.recMu.Unlock()
+	err := m.jn.Append(journal.Record{
+		Kind: journal.RecEpoch, Lock: lock, Epoch: epoch,
+		Token: root == m.id, Root: root, TS: uint64(m.clock.Tick()),
+	})
+	if err == nil {
+		err = m.jn.Sync() // epoch advancement is rare; make it durable now
+	}
+	if err != nil && !m.closed.Load() {
+		m.fail(fmt.Errorf("hierlock: journal: %w", err))
+	}
 }
 
 // trackedLockIDs snapshots the locks the member holds state for, for
@@ -487,6 +641,8 @@ func (m *Member) recoveryPrepare(lock proto.LockID, epoch uint32) {
 func (m *Member) recoveryReseed(lock proto.LockID, root proto.NodeID, epoch uint32, accounted modes.Mode, copyset []proto.Request) {
 	sh, ls := m.state(lock, "")
 	defer sh.mu.Unlock()
+	ls.reseeded = true
+	ls.seedRoot = root
 	out, lost := ls.engine.Reseed(root, epoch, accounted, copyset)
 	if lost {
 		if h := ls.hold; h != nil {
@@ -677,7 +833,56 @@ func (m *Member) Close() error {
 		return nil
 	}
 	close(m.done)
-	return m.tr.Close()
+	err := m.tr.Close()
+	if m.jn != nil {
+		// Final group sync: everything appended is durable at close.
+		if jerr := m.jn.Close(); err == nil {
+			err = jerr
+		}
+	}
+	return err
+}
+
+// EpochOf returns the named resource's current recovery epoch at this
+// member (0 for a lock that has never been through a regeneration
+// round or journal replay).
+func (m *Member) EpochOf(resource string) uint32 {
+	sh, ls := m.state(lockIDFor(resource), resource)
+	defer sh.mu.Unlock()
+	return ls.engine.Epoch()
+}
+
+// JournalStats is a snapshot of a member's write-ahead journal
+// counters (see the -data-dir / -fsync server flags).
+type JournalStats struct {
+	// Records counts journal records appended since the member started.
+	Records uint64
+	// WALBytes is the current size of the write-ahead log file.
+	WALBytes int64
+	// Fsyncs counts fsync calls; FsyncTime is their cumulative duration.
+	Fsyncs    uint64
+	FsyncTime time.Duration
+	// Snapshots counts snapshot rotations (WAL compactions).
+	Snapshots uint64
+	// Locks is the number of distinct locks with journaled state.
+	Locks int
+}
+
+// JournalStats returns the member's journal counters; ok is false when
+// the member runs without a journal.
+func (m *Member) JournalStats() (JournalStats, bool) {
+	if m.jn == nil {
+		return JournalStats{}, false
+	}
+	st := m.jn.Stats()
+	return JournalStats{
+		Records:   st.Records,
+		WALBytes:  st.WALBytes,
+		Fsyncs:    st.Fsyncs,
+		FsyncTime: st.FsyncTime,
+		Snapshots: st.Snapshots,
+		Locks:     st.Locks,
+	}, true
 }
 
 // state returns (creating lazily) the shard and entry for a lock, with
@@ -698,21 +903,52 @@ func (m *Member) state(lock proto.LockID, res string) (*lockShard, *lockState) {
 		// recovered epoch. Seeding the fresh engine from the recovery
 		// table keeps lazily recreated engines protocol-correct and still
 		// evictable (the seeded state is their AtInitialState baseline).
+		// Between the static topology and the recovery table sits the
+		// replayed journal: a restarted member resumes each lock at its
+		// journaled epoch and token ownership (holds are never restored —
+		// client holds die with the process) until a recovery round
+		// supersedes the replay.
 		parent, token, epoch := m.root, m.id == m.root, uint32(0)
+		seedRoot := m.root
+		fenceReplay := false
+		if rec, ok := m.replayed[lock]; ok {
+			parent, token, epoch = rec.Root, rec.Token, rec.Epoch
+			seedRoot = rec.Root
+			if token {
+				parent = m.id
+				// A replayed token may have been superseded while this
+				// process was down: the survivors can have regenerated it
+				// at a higher epoch, and serving grants from the stale
+				// copy would break mutual exclusion. With recovery
+				// enabled the engine therefore starts FENCED — requests
+				// are recorded silently — until the cold-start
+				// reconciliation (a round or a catch-up hint) reseeds it.
+				// Without recovery there is no reconciliation to wait
+				// for, so the replayed token is trusted as-is.
+				fenceReplay = m.mgr != nil
+			}
+		}
 		if m.mgr != nil {
 			if s, ok := m.mgr.SeedFor(lock); ok {
 				parent, token, epoch = s.Root, m.id == s.Root, s.Epoch
+				seedRoot = s.Root
+				fenceReplay = false
 			}
 		}
 		e := hlock.New(m.id, lock, parent, token, &m.clock, hlock.Options{})
 		if epoch != 0 {
 			e.SeedEpoch(epoch)
 		}
+		if fenceReplay {
+			e.PrepareReseed(epoch)
+		}
 		ls = &lockState{
-			id:     lock,
-			res:    res,
-			engine: e,
-			slot:   make(chan struct{}, 1),
+			id:       lock,
+			res:      res,
+			engine:   e,
+			slot:     make(chan struct{}, 1),
+			seedRoot: seedRoot,
+			logged:   journaled{epoch: e.Epoch(), held: e.Held(), token: e.IsToken()},
 		}
 		sh.locks[lock] = ls
 	} else if res != "" && ls.res == "" {
@@ -1194,10 +1430,51 @@ func (m *Member) handle(msg *proto.Message) {
 	m.maybeEvict(sh)
 }
 
+// journalLock appends a journal record when the lock's durable state
+// (epoch, held mode, token ownership) changed since the last record.
+// Called at the top of dispatch — after the engine transitioned but
+// before any message or client notification leaves the member — so the
+// WAL is always at least as new as anything the outside world has
+// seen, modulo the configured fsync policy. Callers hold the shard
+// mutex owning ls.
+func (m *Member) journalLock(ls *lockState) {
+	if m.jn == nil {
+		return
+	}
+	e := ls.engine
+	cur := journaled{epoch: e.Epoch(), held: e.Held(), token: e.IsToken()}
+	if cur == ls.logged && !ls.reseeded {
+		return
+	}
+	kind := journal.RecToken
+	switch {
+	case ls.reseeded:
+		kind = journal.RecRecovery
+	case cur.epoch != ls.logged.epoch:
+		kind = journal.RecEpoch
+	case cur.held != modes.None && ls.logged.held == modes.None:
+		kind = journal.RecGrant
+	case cur.held == modes.None && ls.logged.held != modes.None:
+		kind = journal.RecRelease
+	case cur.held != ls.logged.held:
+		kind = journal.RecGrant // upgrade
+	}
+	ls.reseeded = false
+	ls.logged = cur
+	err := m.jn.Append(journal.Record{
+		Kind: kind, Lock: ls.id, Epoch: cur.epoch, Mode: cur.held,
+		Token: cur.token, Root: ls.seedRoot, TS: uint64(m.clock.Tick()),
+	})
+	if err != nil && !m.closed.Load() {
+		m.fail(fmt.Errorf("hierlock: journal: %w", err))
+	}
+}
+
 // dispatch routes an engine step's output. Callers hold the shard mutex
 // owning ls; dispatch may recurse (abandoned-grant auto-release) but
 // only ever touches ls's own lock.
 func (m *Member) dispatch(ls *lockState, out hlock.Out) {
+	m.journalLock(ls)
 	for i := range out.Msgs {
 		msg := &out.Msgs[i]
 		m.statMu.Lock()

@@ -82,3 +82,31 @@ func BenchmarkMemberMultiLockSpread(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkMemberJournaledGrant measures the durable grant path: a
+// single TCP member with a write-ahead journal under the default
+// batched fsync policy, Lock/Unlock on one resource. The benchcompare
+// gate holds this within 10% of the PR-5 (journal-less) grant path —
+// the point of batching fsyncs on the coalescing cadence.
+func BenchmarkMemberJournaledGrant(b *testing.B) {
+	m, err := hierlock.NewTCPMember(hierlock.TCPMemberConfig{
+		ID:         0,
+		ListenAddr: "127.0.0.1:0",
+		DataDir:    b.TempDir(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer m.Close()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l, err := m.Lock(ctx, "journal-bench", hierlock.W)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := l.Unlock(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
