@@ -52,15 +52,16 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchmem . ./internal/hlock ./internal/metrics ./internal/trace ./internal/proto
 
 # Record a benchmark snapshot — the paper's Figure 5/6/7 CSVs plus the
-# microbenchmark output — into BENCH_pr6.json so PRs can be compared.
+# microbenchmark output — into BENCH_pr7.json so PRs can be compared.
 bench-record:
-	$(GO) run ./cmd/benchrecord -o BENCH_pr6.json
+	$(GO) run ./cmd/benchrecord -o BENCH_pr7.json
 
 # Compare the current snapshot against the previous PR's baseline and
-# fail on any >10% microbenchmark regression (this gates the
-# batched-fsync journaled grant path against the PR-5 baseline).
+# fail on any >10% microbenchmark regression (this gates the grant hot
+# path with the introspection surface attached-but-idle against the
+# PR-6 baseline).
 bench-compare:
-	$(GO) run ./cmd/benchcompare -old BENCH_pr5.json -new BENCH_pr6.json -threshold 0.10
+	$(GO) run ./cmd/benchcompare -old BENCH_pr6.json -new BENCH_pr7.json -threshold 0.10
 
 # The online protocol auditor's invariant tests, under the race
 # detector (they replay violating and healthy trace streams).

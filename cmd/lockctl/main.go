@@ -26,6 +26,21 @@
 //
 //	lockctl trace --cluster -debug h1:9400,h2:9401,h3:9402
 //	lockctl trace --cluster -debug h1:9400 -remote   # let h1 fetch its peers
+//
+// Lock introspection (also over the -debug listener): dump one node's
+// lock inventory, or merge every node's into the cluster view with the
+// cluster-wide wait-for graph and deadlock cycles flagged, or rank
+// locks by contention:
+//
+//	lockctl locks -debug h1:9400
+//	lockctl locks --cluster -debug h1:9400,h2:9401,h3:9402
+//	lockctl top -debug h1:9400,h2:9401,h3:9402
+//
+// Flight recorder: show the black-box ring and the dump files written
+// on audit violations, recovery rounds and lost locks; retrieve one:
+//
+//	lockctl blackbox -debug h1:9400
+//	lockctl blackbox -debug h1:9400 -dump 1723100000000000000-audit_violation.json
 package main
 
 import (
@@ -37,9 +52,11 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
+	"hierlock/internal/introspect"
 	"hierlock/internal/lockserver"
 	"hierlock/internal/proto"
 	"hierlock/internal/trace"
@@ -54,11 +71,23 @@ func main() {
 	)
 	flag.Parse()
 
-	// The trace subcommand talks HTTP to the debug listener; dispatch it
-	// before dialing the text protocol.
-	if args := flag.Args(); len(args) > 0 && strings.EqualFold(args[0], "trace") {
-		traceCmd(args[1:])
-		return
+	// The introspection subcommands talk HTTP to the debug listener;
+	// dispatch them before dialing the text protocol.
+	if args := flag.Args(); len(args) > 0 {
+		switch strings.ToLower(args[0]) {
+		case "trace":
+			traceCmd(args[1:])
+			return
+		case "locks":
+			locksCmd(args[1:], false)
+			return
+		case "top":
+			locksCmd(args[1:], true)
+			return
+		case "blackbox":
+			blackboxCmd(args[1:])
+			return
+		}
 	}
 
 	conn, err := net.DialTimeout("tcp", *addr, *timeout)
@@ -234,6 +263,193 @@ func clusterTrace(client *http.Client, addrs []string, n int, remote bool, filte
 		fatalf("trace %s not found in any fetched buffer", want)
 	}
 	fmt.Printf("%d node buffers merged, %d causal paths\n", len(cd.Nodes), shown)
+}
+
+// locksCmd fetches /debug/locks from one or more debug listeners.
+// Single-node mode prints the node's inventory; --cluster (or several
+// addresses, or the top leaderboard) merges every node's inventory into
+// the cluster view, builds the cluster-wide wait-for graph and flags
+// deadlock cycles.
+func locksCmd(args []string, top bool) {
+	fs := flag.NewFlagSet("locks", flag.ExitOnError)
+	var (
+		debug   = fs.String("debug", "127.0.0.1:9400", "lockd debug HTTP address (comma-separated list with --cluster)")
+		cluster = fs.Bool("cluster", false, "merge every listed node's inventory into the cluster view")
+		remote  = fs.Bool("remote", false, "with --cluster: ask the first node to fetch the rest (server-side peer merge)")
+		n       = fs.Int("n", 20, "top: show at most n locks (0 = all)")
+		asJSON  = fs.Bool("json", false, "print the raw JSON instead of the text report")
+		timeout = fs.Duration("timeout", 10*time.Second, "HTTP timeout")
+	)
+	_ = fs.Parse(args)
+
+	client := &http.Client{Timeout: *timeout}
+	addrs := splitAddrs(*debug)
+	if !*cluster && !top && len(addrs) == 1 {
+		inv, err := lockserver.FetchInventory(client, addrs[0])
+		if err != nil {
+			fatalf("fetch locks: %v", err)
+		}
+		if *asJSON {
+			printJSON(inv)
+			return
+		}
+		fmt.Print(introspect.FormatNode(inv))
+		return
+	}
+
+	var c introspect.Cluster
+	if *remote {
+		url := addrs[0]
+		if !strings.Contains(url, "://") {
+			url = "http://" + url
+		}
+		url += "/debug/locks?peers=" + strings.Join(addrs[1:], ",")
+		resp, err := client.Get(url)
+		if err != nil {
+			fatalf("fetch cluster locks: %v", err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+			fatalf("fetch cluster locks: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&c); err != nil {
+			fatalf("decode cluster locks: %v", err)
+		}
+	} else {
+		var nodes []introspect.NodeInventory
+		errs := map[string]string{}
+		for _, addr := range addrs {
+			inv, err := lockserver.FetchInventory(client, addr)
+			if err != nil {
+				errs[addr] = err.Error()
+				continue
+			}
+			nodes = append(nodes, inv)
+		}
+		if len(nodes) == 0 {
+			fatalf("no node inventories fetched")
+		}
+		c = introspect.Merge(nodes)
+		if len(errs) > 0 {
+			c.Errors = errs
+		}
+	}
+	switch {
+	case *asJSON:
+		printJSON(c)
+	case top:
+		fmt.Print(introspect.FormatTop(c, *n))
+	default:
+		fmt.Print(introspect.FormatCluster(c))
+	}
+	if c.WaitFor.Deadlocked() {
+		os.Exit(2) // scripting: a detected deadlock cycle is exit status 2
+	}
+}
+
+// blackboxCmd shows a node's flight recorder: counters, the retained
+// event ring, the dump files on disk — or one dump file's contents.
+func blackboxCmd(args []string) {
+	fs := flag.NewFlagSet("blackbox", flag.ExitOnError)
+	var (
+		debug   = fs.String("debug", "127.0.0.1:9400", "lockd debug HTTP address")
+		n       = fs.Int("n", 25, "show the n most recent ring events (0 = all retained)")
+		dump    = fs.String("dump", "", "retrieve and print one dump file by name")
+		trigger = fs.Bool("trigger", false, "force a manual dump before reporting")
+		asJSON  = fs.Bool("json", false, "print the raw JSON instead of the text report")
+		timeout = fs.Duration("timeout", 10*time.Second, "HTTP timeout")
+	)
+	_ = fs.Parse(args)
+
+	client := &http.Client{Timeout: *timeout}
+	url := *debug
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	url = strings.TrimSuffix(url, "/") + "/debug/blackbox"
+	switch {
+	case *dump != "":
+		url += "?dump=" + *dump
+	case *trigger:
+		url += fmt.Sprintf("?trigger=1&n=%d", *n)
+	default:
+		url += fmt.Sprintf("?n=%d", *n)
+	}
+	resp, err := client.Get(url)
+	if err != nil {
+		fatalf("fetch blackbox: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		fatalf("fetch blackbox: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+
+	if *dump != "" {
+		var d introspect.Dump
+		if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+			fatalf("decode dump: %v", err)
+		}
+		if *asJSON {
+			printJSON(d)
+			return
+		}
+		fmt.Printf("dump %s: node %d, reason %s, %d events\n", *dump, d.Node, d.Reason, len(d.Events))
+		for _, e := range d.Events {
+			fmt.Println(introspect.FormatDumpEvent(e))
+		}
+		return
+	}
+
+	var view lockserver.BlackboxView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		fatalf("decode blackbox: %v", err)
+	}
+	if *asJSON {
+		printJSON(view)
+		return
+	}
+	fmt.Printf("node %d: %d events recorded\n", view.Node, view.Events)
+	reasons := make([]string, 0, len(view.Dumps))
+	for r := range view.Dumps {
+		reasons = append(reasons, r)
+	}
+	sort.Strings(reasons)
+	for _, r := range reasons {
+		fmt.Printf("  dumps[%s]: %d\n", r, view.Dumps[r])
+	}
+	if view.LastDumpErr != "" {
+		fmt.Printf("  last dump error: %s\n", view.LastDumpErr)
+	}
+	for _, f := range view.Files {
+		fmt.Printf("  file %s (%d bytes, %s)\n", f.Name, f.Size, f.MTime)
+	}
+	for _, e := range view.Ring {
+		fmt.Println(introspect.FormatDumpEvent(e))
+	}
+}
+
+// splitAddrs parses a comma-separated -debug list, dropping blanks.
+func splitAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	if len(out) == 0 {
+		fatalf("no -debug address given")
+	}
+	return out
+}
+
+func printJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fatalf("encode: %v", err)
+	}
 }
 
 func fatalf(format string, args ...interface{}) {

@@ -22,6 +22,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
@@ -29,6 +30,7 @@ import (
 
 	"hierlock"
 	"hierlock/internal/audit"
+	"hierlock/internal/introspect"
 	"hierlock/internal/lockserver"
 	"hierlock/internal/metrics"
 	"hierlock/internal/proto"
@@ -43,11 +45,13 @@ func main() {
 		client  = flag.String("client", ":8400", "client listen address")
 		peers   = flag.String("peers", "", "peer map: id=host:port,id=host:port")
 		timeout = flag.Duration("timeout", 0, "per-request lock timeout (0 = wait forever)")
-		debug   = flag.String("debug", "", "debug HTTP listen address for /healthz, /stats, /metrics, /debug/trace, /debug/audit and /debug/pprof (disabled if empty)")
+		debug   = flag.String("debug", "", "debug HTTP listen address for /healthz, /stats, /metrics, /debug/trace, /debug/audit, /debug/locks, /debug/blackbox and /debug/pprof (disabled if empty)")
 
 		traceBuf   = flag.Int("trace-buf", 4096, "protocol trace ring size in entries (0 disables tracing)")
 		netLatency = flag.Duration("net-latency", 150*time.Millisecond, "mean point-to-point network latency, the unit of the latency-factor histogram")
 		auditOn    = flag.Bool("audit", true, "run the online protocol invariant auditor (requires -trace-buf > 0)")
+		bbBuf      = flag.Int("blackbox-buf", 4096, "flight-recorder ring size in events (0 disables the black box)")
+		bbInterval = flag.Duration("blackbox-interval", 5*time.Second, "minimum spacing between automatic flight-recorder dumps per trigger reason")
 
 		logFormat = flag.String("log-format", "text", "log output format: text or json")
 		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
@@ -117,11 +121,37 @@ func main() {
 	reg := metrics.NewRegistry()
 	var rec *trace.Recorder
 	var auditor *audit.Auditor
+	var bb *introspect.Recorder
+	var bbDir string
+	if *bbBuf > 0 {
+		bb = introspect.NewRecorder(proto.NodeID(*id), *bbBuf)
+		if *dataDir != "" {
+			bbDir = filepath.Join(*dataDir, "blackbox")
+			if err := bb.EnableAutoDump(bbDir, *bbInterval); err != nil {
+				fatal("blackbox dir failed", "dir", bbDir, "err", err)
+			}
+		}
+	}
 	if *traceBuf > 0 {
 		rec = trace.New(*traceBuf)
 		if *auditOn {
-			auditor = audit.New(audit.Config{Registry: reg, Root: proto.NodeID(*root)})
+			auditor = audit.New(audit.Config{Registry: reg, Root: proto.NodeID(*root),
+				// An invariant breach is exactly what the black box exists
+				// for: dump the event lead-up the moment one is flagged.
+				OnViolation: func(v audit.Violation) {
+					path, _ := bb.TriggerDump(introspect.ReasonAuditViolation)
+					logger.Warn("protocol invariant violated",
+						"invariant", v.Invariant, "lock", uint64(v.Lock),
+						"detail", v.Detail, "blackbox_dump", path)
+				}})
 			rec.SetTap(auditor.Record)
+		}
+		if bb != nil {
+			// The flight recorder rides the same trace stream the auditor
+			// consumes (grants, token hops, recovery messages); the member
+			// feeds it the rest (fsync stalls, evictions, round
+			// transitions, lost holds) directly.
+			rec.AddTap(bb.Tap)
 		}
 	}
 	m.SetTelemetry(hierlock.Telemetry{
@@ -129,6 +159,7 @@ func main() {
 		Trace:          rec,
 		NetLatencyBase: *netLatency,
 		Logger:         logger,
+		Blackbox:       bb,
 	})
 
 	ln, err := net.Listen("tcp", *client)
@@ -143,6 +174,8 @@ func main() {
 	srv.Registry = reg
 	srv.Trace = rec
 	srv.Audit = auditor
+	srv.Blackbox = bb
+	srv.BlackboxDir = bbDir
 
 	// The debug listener runs behind an http.Server so shutdown can drain
 	// it instead of leaking the listener.

@@ -80,6 +80,12 @@ type Config struct {
 	// that sees its own sends but never the peer's deliveries) stops
 	// being checked rather than reporting false violations.
 	MaxLinkBacklog int
+	// OnViolation, when non-nil, observes every flagged violation
+	// (including ones past MaxViolations). Called with the auditor's
+	// internal mutex held, on the recording goroutine — it must not block
+	// or call back into the Auditor. Hosts use it to trigger a flight-
+	// recorder dump the moment an invariant breaks.
+	OnViolation func(Violation)
 }
 
 type linkKey struct {
@@ -218,11 +224,15 @@ func (a *Auditor) flag(inv string, e trace.Entry, format string, args ...any) {
 	if c := a.metricViol[inv]; c != nil {
 		c.Inc()
 	}
+	v := Violation{
+		Invariant: inv, Lock: e.Lock, At: e.At,
+		Detail: fmt.Sprintf(format, args...),
+	}
 	if len(a.violations) < a.cfg.MaxViolations {
-		a.violations = append(a.violations, Violation{
-			Invariant: inv, Lock: e.Lock, At: e.At,
-			Detail: fmt.Sprintf(format, args...),
-		})
+		a.violations = append(a.violations, v)
+	}
+	if a.cfg.OnViolation != nil {
+		a.cfg.OnViolation(v)
 	}
 }
 
@@ -303,7 +313,15 @@ func (a *Auditor) onDeliver(e trace.Entry) {
 	switch e.Kind {
 	case proto.KindToken:
 		t := ls.token(e.Epoch)
-		if t.inFlight && t.to != e.To {
+		// Misrouting is only provable when the tracked transfer itself
+		// arrives at the wrong node (same sender, wrong addressee). A
+		// mismatch with a *different* sender means unobserved hops sit
+		// between the send and this delivery — the normal case on a
+		// single node's partial stream (lockd audits only its own ring:
+		// it records its token send, never the remote delivery, and the
+		// token comes back from whoever held it last), absorbed here by
+		// catching the ledger up instead of crying duplication.
+		if t.inFlight && t.to != e.To && t.from == e.From {
 			a.flag(InvTokenConservation, e,
 				"token delivered to node %d at epoch %d but was in flight %d→%d",
 				e.To, e.Epoch, t.from, t.to)

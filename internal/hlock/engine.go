@@ -345,6 +345,15 @@ func (e *Engine) Frozen() modes.Set { return e.frozen }
 // QueueLen returns the number of locally queued requests.
 func (e *Engine) QueueLen() int { return len(e.queue) }
 
+// Queue returns a copy of the locally queued requests in queue order
+// (nil when empty), for the introspection inventory.
+func (e *Engine) Queue() []proto.Request {
+	if len(e.queue) == 0 {
+		return nil
+	}
+	return append([]proto.Request(nil), e.queue...)
+}
+
 // Epoch returns the lock's current recovery epoch at this node.
 func (e *Engine) Epoch() uint32 { return e.epoch }
 

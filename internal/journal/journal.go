@@ -210,6 +210,11 @@ type Journal struct {
 	fsyncNano atomic.Int64
 	snapshots atomic.Uint64
 
+	// observeFsync, when set, receives every fsync's individual latency
+	// (the cumulative fsyncNano only exposes a mean; a latency histogram
+	// needs each sample). Called with j.mu held — keep it cheap.
+	observeFsync atomic.Pointer[func(time.Duration)]
+
 	done chan struct{}
 	wg   sync.WaitGroup
 }
@@ -288,6 +293,17 @@ func (j *Journal) flusher() {
 	}
 }
 
+// SetFsyncObserver installs fn to receive every subsequent fsync's
+// latency (nil removes it). Settable after Open so hosts can attach
+// telemetry later; safe for concurrent use.
+func (j *Journal) SetFsyncObserver(fn func(time.Duration)) {
+	if fn == nil {
+		j.observeFsync.Store(nil)
+		return
+	}
+	j.observeFsync.Store(&fn)
+}
+
 // syncLocked fsyncs the WAL, timing it. Callers hold j.mu.
 func (j *Journal) syncLocked() {
 	start := time.Now()
@@ -295,7 +311,11 @@ func (j *Journal) syncLocked() {
 		return // surfaced via the next append's write error, if any
 	}
 	j.fsyncs.Add(1)
-	j.fsyncNano.Add(int64(time.Since(start)))
+	d := time.Since(start)
+	j.fsyncNano.Add(int64(d))
+	if fn := j.observeFsync.Load(); fn != nil {
+		(*fn)(d)
+	}
 }
 
 // Append writes one record to the WAL and folds it into the state map.
@@ -346,7 +366,11 @@ func (j *Journal) Sync() error {
 		return fmt.Errorf("journal: sync: %w", err)
 	}
 	j.fsyncs.Add(1)
-	j.fsyncNano.Add(int64(time.Since(start)))
+	d := time.Since(start)
+	j.fsyncNano.Add(int64(d))
+	if fn := j.observeFsync.Load(); fn != nil {
+		(*fn)(d)
+	}
 	return nil
 }
 

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"hierlock/internal/introspect"
 	"hierlock/internal/proto"
 	"hierlock/internal/trace"
 )
@@ -32,6 +33,19 @@ import (
 //	GET /debug/audit  → JSON report of the online protocol auditor: entries
 //	                   consumed, violations per invariant, recent violation
 //	                   details (503 when no auditor is attached)
+//	GET /debug/locks  → JSON inventory of every lock this node tracks:
+//	                   epoch, token ownership, held/pending/frozen modes,
+//	                   copyset, probable-owner next hop, queued requests
+//	                   and the local waiter with its wait duration.
+//	                   ?peers=addr1,addr2 merges the listed peers'
+//	                   inventories into one cluster view with the
+//	                   cluster-wide wait-for graph and deadlock cycles —
+//	                   the input `lockctl locks --cluster` renders.
+//	GET /debug/blackbox → JSON view of the flight recorder: counters, the
+//	                   retained event ring (?n=K limits to the K most
+//	                   recent) and the dump files on disk. ?dump=NAME
+//	                   returns one dump file; ?trigger=1 forces a manual
+//	                   dump. 503 when no recorder is attached.
 //	GET /debug/pprof/ → the standard net/http/pprof profiles
 //
 // Mount it on lockd's -debug listener.
@@ -158,6 +172,63 @@ func (s *Server) DebugHandler() http.Handler {
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(s.Audit.Snapshot())
 	})
+	mux.HandleFunc("/debug/locks", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if peers := r.URL.Query().Get("peers"); peers != "" {
+			_ = enc.Encode(s.clusterInventory(strings.Split(peers, ",")))
+			return
+		}
+		_ = enc.Encode(s.member.Inventory())
+	})
+	mux.HandleFunc("/debug/blackbox", func(w http.ResponseWriter, r *http.Request) {
+		if s.Blackbox == nil {
+			http.Error(w, "no flight recorder attached", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if name := r.URL.Query().Get("dump"); name != "" {
+			if s.BlackboxDir == "" {
+				http.Error(w, "no blackbox dump directory configured", http.StatusServiceUnavailable)
+				return
+			}
+			d, err := introspect.ReadDump(s.BlackboxDir, name)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusNotFound)
+				return
+			}
+			_ = enc.Encode(d)
+			return
+		}
+		if r.URL.Query().Get("trigger") != "" {
+			if _, err := s.Blackbox.TriggerDump(introspect.ReasonManual); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+		}
+		n, _ := strconv.Atoi(r.URL.Query().Get("n"))
+		st := s.Blackbox.Stats()
+		view := BlackboxView{
+			Node:   s.member.ID(),
+			Events: st.Events,
+			Dumps:  st.Dumps,
+			Ring:   s.Blackbox.Snapshot(n),
+		}
+		if st.LastErr != nil {
+			view.LastDumpErr = st.LastErr.Error()
+		}
+		if s.BlackboxDir != "" {
+			files, err := introspect.ListDumps(s.BlackboxDir)
+			if err != nil {
+				view.LastDumpErr = err.Error()
+			}
+			view.Files = files
+		}
+		_ = enc.Encode(view)
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -197,6 +268,67 @@ func (s *Server) clusterDump(n int, peers []string) trace.ClusterDump {
 		out.Nodes = append(out.Nodes, d)
 	}
 	return out
+}
+
+// BlackboxView is the /debug/blackbox response: the flight recorder's
+// counters, its retained ring, and the dump files on disk.
+type BlackboxView struct {
+	Node        int                    `json:"node"`
+	Events      uint64                 `json:"events"`
+	Dumps       map[string]uint64      `json:"dumps"`
+	LastDumpErr string                 `json:"last_dump_err,omitempty"`
+	Ring        []introspect.DumpEvent `json:"ring"`
+	Files       []introspect.DumpFile  `json:"files,omitempty"`
+}
+
+// clusterInventory merges this node's lock inventory with every listed
+// peer's into the cluster view (wait-for graph included). Peer failures
+// are reported in Errors rather than failing the merge.
+func (s *Server) clusterInventory(peers []string) introspect.Cluster {
+	nodes := []introspect.NodeInventory{s.member.Inventory()}
+	errs := map[string]string{}
+	client := &http.Client{Timeout: 5 * time.Second}
+	for _, peer := range peers {
+		peer = strings.TrimSpace(peer)
+		if peer == "" {
+			continue
+		}
+		inv, err := FetchInventory(client, peer)
+		if err != nil {
+			errs[peer] = err.Error()
+			continue
+		}
+		nodes = append(nodes, inv)
+	}
+	c := introspect.Merge(nodes)
+	if len(errs) > 0 {
+		c.Errors = errs
+	}
+	return c
+}
+
+// FetchInventory retrieves one node's /debug/locks inventory from its
+// debug listener (addr is host:port or a full http:// URL). Shared by
+// the peer-merge mode above and `lockctl locks --cluster`.
+func FetchInventory(client *http.Client, addr string) (introspect.NodeInventory, error) {
+	var inv introspect.NodeInventory
+	url := addr
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	url = strings.TrimSuffix(url, "/") + "/debug/locks"
+	resp, err := client.Get(url)
+	if err != nil {
+		return inv, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return inv, fmt.Errorf("%s: HTTP %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&inv); err != nil {
+		return inv, fmt.Errorf("%s: %w", url, err)
+	}
+	return inv, nil
 }
 
 // FetchDump retrieves one node's trace buffer from its debug listener

@@ -34,6 +34,7 @@ import (
 
 	"hierlock"
 	"hierlock/internal/audit"
+	"hierlock/internal/introspect"
 	"hierlock/internal/metrics"
 	"hierlock/internal/trace"
 )
@@ -52,6 +53,11 @@ type Server struct {
 	// Audit, when non-nil, is reported on the debug handler's /debug/audit
 	// endpoint (invariant violation counts and recent violations).
 	Audit *audit.Auditor
+	// Blackbox, when non-nil, serves the flight recorder's live ring and
+	// counters on /debug/blackbox; BlackboxDir, when set, additionally
+	// lists and serves the dump files written there.
+	Blackbox    *introspect.Recorder
+	BlackboxDir string
 
 	mu     sync.Mutex
 	ln     net.Listener

@@ -1,0 +1,70 @@
+package metrics
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestMetricFamiliesDocumented is the docs-drift gate: every
+// `hierlock_*` metric family named anywhere in non-test source must
+// appear in docs/OBSERVABILITY.md's catalog. Adding a family without
+// documenting it fails CI (the check runs under `make test`, which
+// `make ci` includes).
+func TestMetricFamiliesDocumented(t *testing.T) {
+	root := filepath.Join("..", "..")
+	doc, err := os.ReadFile(filepath.Join(root, "docs", "OBSERVABILITY.md"))
+	if err != nil {
+		t.Fatalf("reading the metric catalog: %v", err)
+	}
+
+	family := regexp.MustCompile(`"(hierlock_[a-z0-9_]+)"`)
+	families := map[string][]string{} // family → files naming it
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case ".git", "testdata":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, _ := filepath.Rel(root, path)
+		for _, m := range family.FindAllSubmatch(src, -1) {
+			name := string(m[1])
+			families[name] = append(families[name], rel)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(families) == 0 {
+		t.Fatal("found no hierlock_* metric families in source — scan broken?")
+	}
+
+	names := make([]string, 0, len(families))
+	for name := range families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if !strings.Contains(string(doc), name) {
+			t.Errorf("metric family %q (declared in %s) is not documented in docs/OBSERVABILITY.md",
+				name, strings.Join(families[name], ", "))
+		}
+	}
+}

@@ -108,6 +108,39 @@ const (
 	MetricJournalFsyncSeconds = "hierlock_journal_fsync_seconds_total"
 	// MetricJournalSnapshots counts journal snapshot rotations.
 	MetricJournalSnapshots = "hierlock_journal_snapshots_total"
+	// MetricJournalFsyncLatency is the per-fsync latency histogram in
+	// seconds. The seconds-total counter above only exposes the mean;
+	// this histogram makes individual fsync stalls (a dying disk, a
+	// saturated volume) visible.
+	MetricJournalFsyncLatency = "hierlock_journal_fsync_latency_seconds"
+
+	// MetricRecoveryRounds counts token-regeneration rounds this node
+	// completed as the regenerator.
+	MetricRecoveryRounds = "hierlock_recovery_rounds_total"
+	// MetricRecoveryRoundDuration is the start→Recovered duration
+	// histogram of regeneration rounds run by this node, in seconds.
+	MetricRecoveryRoundDuration = "hierlock_recovery_round_duration_seconds"
+	// MetricRecoveryProbes counts recovery Probe messages. Labels:
+	// direction (sent|received).
+	MetricRecoveryProbes = "hierlock_recovery_probes_total"
+	// MetricRecoveryClaims counts recovery Claim messages (solicited
+	// answers and unsolicited nominations). Labels: direction
+	// (sent|received).
+	MetricRecoveryClaims = "hierlock_recovery_claims_total"
+	// MetricRecoveryRegenerated counts locks reseeded into a recovered
+	// epoch at this node (every Reseed applied, as regenerator or
+	// survivor).
+	MetricRecoveryRegenerated = "hierlock_recovery_regenerated_locks_total"
+	// MetricRecoveryLostHolds counts holds demolished by recovery reseeds
+	// (each surfaced to its client as ErrLockLost).
+	MetricRecoveryLostHolds = "hierlock_recovery_lost_holds_total"
+
+	// MetricBlackboxEvents counts structured events captured by the
+	// flight recorder's ring.
+	MetricBlackboxEvents = "hierlock_blackbox_events_total"
+	// MetricBlackboxDumps counts flight-recorder dumps written to disk.
+	// Labels: reason (audit_violation|recovery_round|lock_lost|manual).
+	MetricBlackboxDumps = "hierlock_blackbox_dumps_total"
 )
 
 // DefLatencyBuckets are the default request-latency histogram bounds in

@@ -154,6 +154,15 @@ type Config struct {
 	// tracks live engines for, so a lock whose only referent was the
 	// dead node does not stay wedged until a client stumbles into it.
 	LocksReferencing func(proto.NodeID) []proto.LockID
+	// OnRoundStart, when non-nil, observes each regeneration round this
+	// node begins as regenerator, with the proposed epoch. Invoked
+	// synchronously like every other callback; hosts use it to stamp
+	// round-duration metrics.
+	OnRoundStart func(lock proto.LockID, proposed uint32)
+	// OnRoundDone, when non-nil, observes each round this node commits
+	// (rounds yielded to a higher-ID regenerator are not reported), with
+	// the final epoch.
+	OnRoundDone func(lock proto.LockID, final uint32)
 }
 
 type claim struct {
@@ -482,6 +491,9 @@ func (m *Manager) startRound(lock proto.LockID) {
 		}
 	}
 	m.round[lock] = r
+	if m.cfg.OnRoundStart != nil {
+		m.cfg.OnRoundStart(lock, proposed)
+	}
 	m.probe(r, nil)
 	m.scheduleRetry(lock, proposed)
 	m.finishIfComplete(r) // sole survivor: the round is already complete
@@ -777,6 +789,9 @@ func (m *Manager) finishIfComplete(r *round) {
 	m.setSeed(r.lock, Seed{Root: root, Epoch: final})
 	delete(m.round, r.lock)
 	m.rounds++
+	if m.cfg.OnRoundDone != nil {
+		m.cfg.OnRoundDone(r.lock, final)
+	}
 	var q []proto.Request
 	if root == m.cfg.Self {
 		q = copyset

@@ -141,6 +141,27 @@ func (r *Recorder) SetTap(fn func(Entry)) {
 	r.tap.Store(&fn)
 }
 
+// AddTap chains fn behind any tap already installed, so several
+// consumers (the protocol auditor, the flight recorder) can observe
+// the same stream. Each added tap shares the installed tap's delivery
+// contract: called on the recording goroutine, must not block or call
+// back into the Recorder. No-op on a nil recorder or nil fn.
+func (r *Recorder) AddTap(fn func(Entry)) {
+	if r == nil || fn == nil {
+		return
+	}
+	prev := r.tap.Load()
+	if prev == nil {
+		r.SetTap(fn)
+		return
+	}
+	first := *prev
+	r.SetTap(func(e Entry) {
+		first(e)
+		fn(e)
+	})
+}
+
 // SetEnabled starts or pauses recording at runtime. Entries recorded
 // while paused are discarded; the retained ring is left untouched.
 // No-op on a nil recorder.

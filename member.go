@@ -5,12 +5,14 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"hierlock/internal/hlock"
+	"hierlock/internal/introspect"
 	"hierlock/internal/journal"
 	"hierlock/internal/metrics"
 	"hierlock/internal/modes"
@@ -139,6 +141,10 @@ type Member struct {
 	// shard mutex, never the reverse.
 	mgr   *recovery.Manager
 	mgrMu sync.Mutex
+	// roundStart stamps each in-flight regeneration round this node runs
+	// as regenerator (per lock), for the round-duration histogram.
+	// Guarded by mgrMu like the manager itself.
+	roundStart map[proto.LockID]time.Time
 	// recoveryTimeout, when non-zero, bounds each blocking client
 	// operation (see TCPMemberConfig.RecoveryTimeout).
 	recoveryTimeout time.Duration
@@ -188,6 +194,13 @@ type Telemetry struct {
 	// protocol errors at Error), each correlated by trace ID. Nil
 	// disables logging.
 	Logger *slog.Logger
+	// Blackbox attaches the black-box flight recorder: the member feeds
+	// it fsync stalls, eviction sweeps, recovery round transitions and
+	// lost holds, and triggers automatic dumps on recovery rounds and
+	// ErrLockLost. Feed it protocol events too by chaining its Tap on the
+	// trace recorder (trace.Recorder.AddTap). Nil disables it at the cost
+	// of one nil check per exceptional event.
+	Blackbox *introspect.Recorder
 }
 
 // telemetry is the member's wired instrumentation state: cached series
@@ -206,6 +219,21 @@ type telemetry struct {
 	sharedJoins *metrics.Counter
 	latency     *metrics.Histogram
 	factor      *metrics.Histogram
+
+	// Recovery-phase instrumentation (all nil-safe no-ops without a
+	// registry; recovery itself may also be disabled, leaving them at
+	// their pre-registered zeros).
+	recRounds   *metrics.Counter
+	recRoundDur *metrics.Histogram
+	probesSent  *metrics.Counter
+	probesRecv  *metrics.Counter
+	claimsSent  *metrics.Counter
+	claimsRecv  *metrics.Counter
+	regenerated *metrics.Counter
+	recLost     *metrics.Counter
+
+	// bb is the attached flight recorder (nil-safe).
+	bb *introspect.Recorder
 }
 
 // now returns the wall-relative trace timestamp.
@@ -256,6 +284,7 @@ func (m *Member) SetTelemetry(t Telemetry) {
 	defer m.statMu.Unlock()
 	m.tel.rec = t.Trace
 	m.tel.log = t.Logger
+	m.tel.bb = t.Blackbox
 	m.tel.epoch = time.Now()
 	m.tel.base = t.NetLatencyBase
 	if m.tel.base <= 0 {
@@ -285,13 +314,78 @@ func (m *Member) SetTelemetry(t Telemetry) {
 		"Request latency as a multiple of the mean point-to-point network latency (Figure 6).",
 		metrics.LatencyFactorBuckets, nil)
 
+	// Recovery-phase families, pre-registered at zero (both directions of
+	// the labeled counters included) so the first scrape is complete even
+	// on a node that never runs a round.
+	m.tel.recRounds = reg.Counter(metrics.MetricRecoveryRounds,
+		"Token-regeneration rounds completed by this node as regenerator.", nil)
+	m.tel.recRoundDur = reg.Histogram(metrics.MetricRecoveryRoundDuration,
+		"Token-regeneration round duration in seconds, first probe to commit.",
+		metrics.DefLatencyBuckets, nil)
+	m.tel.probesSent = reg.Counter(metrics.MetricRecoveryProbes,
+		"Recovery probe messages, by direction.", metrics.Labels{"direction": "sent"})
+	m.tel.probesRecv = reg.Counter(metrics.MetricRecoveryProbes,
+		"Recovery probe messages, by direction.", metrics.Labels{"direction": "received"})
+	m.tel.claimsSent = reg.Counter(metrics.MetricRecoveryClaims,
+		"Recovery claim messages, by direction.", metrics.Labels{"direction": "sent"})
+	m.tel.claimsRecv = reg.Counter(metrics.MetricRecoveryClaims,
+		"Recovery claim messages, by direction.", metrics.Labels{"direction": "received"})
+	m.tel.regenerated = reg.Counter(metrics.MetricRecoveryRegenerated,
+		"Locks reseeded into a recovered topology by completed rounds.", nil)
+	m.tel.recLost = reg.Counter(metrics.MetricRecoveryLostHolds,
+		"Client holds demolished by recovery reseeds (surfaced as ErrLockLost).", nil)
+
 	m.registerLockCollectors(reg)
 	if m.jn != nil {
 		registerJournalCollectors(reg, m.jn)
+		m.registerFsyncObserver(reg)
+	}
+	if bb := m.tel.bb; bb != nil {
+		registerBlackboxCollectors(reg, bb)
 	}
 	if tt, ok := m.tr.(*transport.TCPTransport); ok {
 		registerTransportCollectors(reg, tt)
 	}
+}
+
+// fsyncStallThreshold is the journal fsync latency above which the
+// flight recorder logs an EvFsyncStall (a disk hiccup worth keeping in
+// the black box: fsync stalls delay grants under FsyncAlways and group
+// syncs alike).
+const fsyncStallThreshold = 50 * time.Millisecond
+
+// registerFsyncObserver wires the journal's per-fsync latency into a
+// histogram (the cumulative fsync-seconds counter only yields a mean)
+// and flags stalls to the flight recorder.
+func (m *Member) registerFsyncObserver(reg *metrics.Registry) {
+	hist := reg.Histogram(metrics.MetricJournalFsyncLatency,
+		"Journal fsync latency in seconds, per fsync.",
+		metrics.DefLatencyBuckets, nil)
+	bb := m.tel.bb
+	m.jn.SetFsyncObserver(func(d time.Duration) {
+		hist.ObserveDuration(d)
+		if d >= fsyncStallThreshold {
+			bb.Record(introspect.Event{Type: introspect.EvFsyncStall, Node: m.id, Dur: d})
+		}
+	})
+}
+
+// registerBlackboxCollectors exposes the flight recorder's counters at
+// scrape time; every dump reason is emitted (zeros included).
+func registerBlackboxCollectors(reg *metrics.Registry, bb *introspect.Recorder) {
+	reg.Collect(metrics.MetricBlackboxEvents,
+		"Flight-recorder events recorded since start.", "counter",
+		func(emit func(metrics.Labels, float64)) {
+			emit(nil, float64(bb.Stats().Events))
+		})
+	reg.Collect(metrics.MetricBlackboxDumps,
+		"Flight-recorder dump files written, by trigger reason.", "counter",
+		func(emit func(metrics.Labels, float64)) {
+			st := bb.Stats()
+			for _, reason := range introspect.Reasons {
+				emit(metrics.Labels{"reason": reason}, float64(st.Dumps[reason]))
+			}
+		})
 }
 
 // registerJournalCollectors registers scrape-time metrics over the
@@ -453,6 +547,16 @@ type hold struct {
 // waiter tracks the outstanding request on one lock.
 type waiter struct {
 	ch chan hlock.Event
+	// since is the wall-clock enqueue stamp, taken once at registration
+	// (not re-derived later), from which the introspection inventory
+	// computes wait durations.
+	since time.Time
+	// trace, mode and upgrade describe the request for the inventory:
+	// its causal trace ID, the requested mode (W for upgrades), and
+	// whether it is a U→W conversion.
+	trace   proto.TraceID
+	mode    modes.Mode
+	upgrade bool
 	// abandoned marks a disowned wait (context canceled, or the member
 	// closed): when the grant eventually arrives, the member releases
 	// the lock immediately and frees the client slot (requests cannot be
@@ -495,6 +599,7 @@ func newMember(id, root proto.NodeID, tr transport.Transport, rec *memberRecover
 	}
 	if rec != nil {
 		m.recoveryTimeout = rec.opTimeout
+		m.roundStart = make(map[proto.LockID]time.Time)
 		m.mgr = recovery.NewManager(recovery.Config{
 			Self:             id,
 			Nodes:            rec.nodes,
@@ -508,6 +613,8 @@ func newMember(id, root proto.NodeID, tr transport.Transport, rec *memberRecover
 			ProbeTimeout:     rec.probeTimeout,
 			Quorum:           rec.quorum,
 			LocksReferencing: m.locksReferencing,
+			OnRoundStart:     m.recoveryRoundStart,
+			OnRoundDone:      m.recoveryRoundDone,
 		})
 	}
 	if err := tr.Start(m.handle); err != nil {
@@ -566,6 +673,12 @@ func (m *Member) sendRecovery(msg proto.Message) {
 	m.sent.Count(msg.Kind)
 	m.statMu.Unlock()
 	m.tel.countSent(msg.Kind)
+	switch msg.Kind {
+	case proto.KindProbe:
+		m.tel.probesSent.Inc()
+	case proto.KindClaim:
+		m.tel.claimsSent.Inc()
+	}
 	if rec := m.tel.rec; rec != nil {
 		rec.Record(trace.Entry{At: m.tel.now(), Op: trace.OpSend,
 			Node: m.id, Lock: msg.Lock, Kind: msg.Kind, From: msg.From,
@@ -644,6 +757,7 @@ func (m *Member) recoveryReseed(lock proto.LockID, root proto.NodeID, epoch uint
 	ls.reseeded = true
 	ls.seedRoot = root
 	out, lost := ls.engine.Reseed(root, epoch, accounted, copyset)
+	m.tel.regenerated.Inc()
 	if lost {
 		if h := ls.hold; h != nil {
 			h.lost = true
@@ -651,6 +765,12 @@ func (m *Member) recoveryReseed(lock proto.LockID, root proto.NodeID, epoch uint
 		m.statMu.Lock()
 		m.lostHolds++
 		m.statMu.Unlock()
+		m.tel.recLost.Inc()
+		m.tel.bb.Record(introspect.Event{Type: introspect.EvLockLost,
+			Node: m.id, Lock: lock, Epoch: epoch, Mode: accounted})
+		if _, err := m.tel.bb.TriggerDump(introspect.ReasonLockLost); err != nil && m.tel.log != nil {
+			m.tel.log.Warn("blackbox dump failed", "err", err)
+		}
 		if lg := m.tel.log; lg != nil {
 			lg.Warn("hold lost in crash recovery",
 				"lock", uint64(lock), "epoch", epoch, "root", int(root))
@@ -662,6 +782,37 @@ func (m *Member) recoveryReseed(lock proto.LockID, root proto.NodeID, epoch uint
 	}
 	m.dispatch(ls, out)
 	m.maybeEvict(sh)
+}
+
+// recoveryRoundStart observes a regeneration round this node begins as
+// regenerator: it stamps the round's start for the duration histogram
+// and logs the transition to the flight recorder. Runs under mgrMu
+// (every Manager entry point is serialized there).
+func (m *Member) recoveryRoundStart(lock proto.LockID, proposed uint32) {
+	m.roundStart[lock] = time.Now()
+	m.tel.bb.Record(introspect.Event{Type: introspect.EvRoundStart,
+		Node: m.id, Lock: lock, Epoch: proposed})
+}
+
+// recoveryRoundDone observes a round this node committed: round count
+// and duration metrics, a flight-recorder entry, and an automatic
+// blackbox dump — a recovery round is exactly the moment the event
+// lead-up is worth preserving. Runs under mgrMu. A round yielded to a
+// higher-ID regenerator leaves its roundStart stamp behind; the next
+// round on the lock overwrites it.
+func (m *Member) recoveryRoundDone(lock proto.LockID, final uint32) {
+	var dur time.Duration
+	if t0, ok := m.roundStart[lock]; ok {
+		dur = time.Since(t0)
+		delete(m.roundStart, lock)
+	}
+	m.tel.recRounds.Inc()
+	m.tel.recRoundDur.ObserveDuration(dur)
+	m.tel.bb.Record(introspect.Event{Type: introspect.EvRoundDone,
+		Node: m.id, Lock: lock, Epoch: final, Dur: dur})
+	if _, err := m.tel.bb.TriggerDump(introspect.ReasonRecoveryRound); err != nil && m.tel.log != nil {
+		m.tel.log.Warn("blackbox dump failed", "err", err)
+	}
 }
 
 // afterRecovery schedules a recovery-protocol retry, serialized under
@@ -789,6 +940,65 @@ func (m *Member) TrackedLocks() int {
 	}
 	return n
 }
+
+// Inventory snapshots the member's per-lock protocol state for the
+// /debug/locks endpoint and lockctl: epoch, token ownership, held and
+// pending modes, frozen modes, copyset, probable-owner next hop, the
+// local queue and this node's own waiter with its registration-stamped
+// wait duration. Each shard's mutex is held briefly in turn, so the
+// snapshot is internally consistent per lock, not across locks.
+func (m *Member) Inventory() introspect.NodeInventory {
+	inv := introspect.NodeInventory{Node: int(m.id)}
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		for _, ls := range sh.locks {
+			e := ls.engine
+			li := introspect.LockInfo{
+				Lock:       uint64(ls.id),
+				Resource:   ls.res,
+				Epoch:      e.Epoch(),
+				Token:      e.IsToken(),
+				Held:       introspect.ModeString(e.Held()),
+				Pending:    introspect.ModeString(e.Pending()),
+				Frozen:     introspect.FrozenStrings(e.Frozen()),
+				Parent:     introspect.ParentInt(e.Parent()),
+				StaleDrops: e.StaleDrops(),
+			}
+			if ch := e.Children(); len(ch) > 0 {
+				cs := make([]introspect.CopysetEntry, 0, len(ch))
+				for n, md := range ch {
+					cs = append(cs, introspect.CopysetEntry{
+						Node: int(n), Mode: introspect.ModeString(md)})
+				}
+				sort.Slice(cs, func(i, j int) bool { return cs[i].Node < cs[j].Node })
+				li.Copyset = cs
+			}
+			if w := ls.waiter; w != nil {
+				wi := &introspect.Waiter{
+					Mode:    introspect.ModeString(w.mode),
+					Upgrade: w.upgrade,
+				}
+				if !w.trace.IsZero() {
+					wi.Trace = w.trace.String()
+				}
+				if !w.since.IsZero() {
+					wi.WaitNS = time.Since(w.since).Nanoseconds()
+				}
+				li.Waiter = wi
+			}
+			li.Queue = introspect.QueueInfo(e.Queue(), m.id, li.Waiter)
+			inv.Locks = append(inv.Locks, li)
+		}
+		sh.mu.Unlock()
+	}
+	inv.Sort()
+	return inv
+}
+
+// Blackbox returns the member's attached flight recorder (nil when none
+// was wired via SetTelemetry).
+func (m *Member) Blackbox() *introspect.Recorder { return m.tel.bb }
 
 // Stats is a snapshot of a member's client-side observability counters.
 type Stats struct {
@@ -994,6 +1204,9 @@ func (m *Member) sweepLocked(sh *lockShard) int {
 		delete(sh.locks, id)
 		n++
 	}
+	if n > 0 {
+		m.tel.bb.Record(introspect.Event{Type: introspect.EvEvict, Node: m.id, N: n})
+	}
 	return n
 }
 
@@ -1108,7 +1321,7 @@ func (m *Member) LockWithPriority(ctx context.Context, resource string, mode Mod
 		sh.mu.Unlock()
 		return nil, ErrClosed
 	}
-	w := &waiter{ch: make(chan hlock.Event, 1)}
+	w := &waiter{ch: make(chan hlock.Event, 1), since: start, trace: tr, mode: mode}
 	ls.waiter = w
 	out, err := ls.engine.AcquireTraced(mode, priority, tr)
 	if err != nil {
@@ -1153,6 +1366,9 @@ func (m *Member) LockWithPriority(ctx context.Context, resource string, mode Mod
 		default:
 			w.abandoned = true
 			sh.mu.Unlock()
+			m.tel.bb.Record(introspect.Event{Type: introspect.EvLockLost,
+				Node: m.id, Lock: lockID, Mode: mode, Trace: tr})
+			_, _ = m.tel.bb.TriggerDump(introspect.ReasonLockLost)
 			return nil, fmt.Errorf("hierlock: no grant for %q within recovery timeout %v: %w",
 				resource, m.recoveryTimeout, ErrLockLost)
 		}
@@ -1310,7 +1526,8 @@ func (l *Lock) Upgrade(ctx context.Context) error {
 		rec.Record(trace.Entry{At: m.tel.now(), Op: trace.OpAcquire,
 			Node: m.id, Lock: l.id, Mode: modes.W, Trace: tr})
 	}
-	w := &waiter{ch: make(chan hlock.Event, 1)}
+	w := &waiter{ch: make(chan hlock.Event, 1), since: time.Now(),
+		trace: tr, mode: modes.W, upgrade: true}
 	ls.waiter = w
 	out, err := ls.engine.UpgradeTraced(0, tr)
 	if err != nil {
@@ -1352,6 +1569,9 @@ func (l *Lock) Upgrade(ctx context.Context) error {
 			// The upgrade, like a canceled one, completes in the
 			// background if its grant ever arrives.
 			sh.mu.Unlock()
+			m.tel.bb.Record(introspect.Event{Type: introspect.EvLockLost,
+				Node: m.id, Lock: l.id, Mode: modes.W, Trace: tr})
+			_, _ = m.tel.bb.TriggerDump(introspect.ReasonLockLost)
 			return fmt.Errorf("hierlock: no upgrade grant within recovery timeout %v: %w",
 				m.recoveryTimeout, ErrLockLost)
 		}
@@ -1396,6 +1616,12 @@ func (m *Member) handle(msg *proto.Message) {
 	}
 	switch msg.Kind {
 	case proto.KindProbe, proto.KindClaim, proto.KindRecovered:
+		switch msg.Kind {
+		case proto.KindProbe:
+			m.tel.probesRecv.Inc()
+		case proto.KindClaim:
+			m.tel.claimsRecv.Inc()
+		}
 		if m.mgr != nil {
 			m.mgrMu.Lock()
 			m.mgr.HandleMessage(msg)
