@@ -52,16 +52,17 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchmem . ./internal/hlock ./internal/metrics ./internal/trace ./internal/proto
 
 # Record a benchmark snapshot — the paper's Figure 5/6/7 CSVs plus the
-# microbenchmark output — into BENCH_pr7.json so PRs can be compared.
+# microbenchmark output — into BENCH_pr8.json so PRs can be compared.
 bench-record:
-	$(GO) run ./cmd/benchrecord -o BENCH_pr7.json
+	$(GO) run ./cmd/benchrecord -o BENCH_pr8.json
 
 # Compare the current snapshot against the previous PR's baseline and
-# fail on any >10% microbenchmark regression (this gates the grant hot
-# path with the introspection surface attached-but-idle against the
-# PR-6 baseline).
+# fail on any >10% regression in the gated families: engine
+# microbenchmarks, the live-cluster member hot paths (with the latency
+# SLO histograms active via telemetry tests), and the seeded simulator
+# figure benchmarks, against the PR-7 baseline.
 bench-compare:
-	$(GO) run ./cmd/benchcompare -old BENCH_pr6.json -new BENCH_pr7.json -threshold 0.10
+	$(GO) run ./cmd/benchcompare -old BENCH_pr7.json -new BENCH_pr8.json -threshold 0.10
 
 # The online protocol auditor's invariant tests, under the race
 # detector (they replay violating and healthy trace streams).

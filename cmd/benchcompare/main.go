@@ -7,10 +7,13 @@
 //	benchcompare -old BENCH_pr3.json -new BENCH_pr4.json
 //	benchcompare -filter '.' -threshold 0.25   # everything, looser bar
 //
-// The default filter covers the protocol-engine microbenchmarks, which
-// are deterministic single-goroutine loops and therefore stable enough
-// to gate on; the simulator figure benchmarks are whole-system numbers
-// with more run-to-run noise and are reported but not gated by default.
+// The default filter covers three benchmark families: the
+// protocol-engine microbenchmarks (deterministic single-goroutine
+// loops), the live-cluster member hot paths (sharded local grants and
+// the journaled durable grant), and the simulator figure benchmarks
+// (seeded, so their virtual workloads are identical run to run). The
+// remaining benchmarks — ablations and parallelism sweeps — are
+// reported but not gated.
 package main
 
 import (
@@ -32,20 +35,54 @@ type snapshot struct {
 // benchLine matches e.g.
 //
 //	BenchmarkQueueChurn-4   1000000   1234 ns/op   16 B/op   1 allocs/op
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+//
+// The first capture is the name with the trailing -GOMAXPROCS suffix
+// stripped, the second the full printed name.
+var benchLine = regexp.MustCompile(`^((Benchmark\S+?)(?:-\d+)?)\s+\d+\s+([0-9.]+) ns/op`)
 
+// parseBench folds raw `go test -bench` output into ns/op per name.
+//
+// Two wrinkles. With GOMAXPROCS=1 Go prints no -procs suffix, so the
+// stripper can eat a numeric sub-benchmark suffix instead and collapse
+// e.g. goroutines-1/-4/-16 into one key; when several *distinct*
+// printed names collide on a stripped key, the full names win. And
+// `-count=N` repeats every benchmark: repeats keep the minimum, the
+// run least disturbed by scheduler and background load.
 func parseBench(raw string) map[string]float64 {
-	out := make(map[string]float64)
+	type sample struct {
+		full string
+		ns   float64
+	}
+	byStripped := make(map[string][]sample)
 	for _, line := range strings.Split(raw, "\n") {
 		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
 		if m == nil {
 			continue
 		}
-		ns, err := strconv.ParseFloat(m[2], 64)
+		ns, err := strconv.ParseFloat(m[3], 64)
 		if err != nil {
 			continue
 		}
-		out[m[1]] = ns
+		byStripped[m[2]] = append(byStripped[m[2]], sample{full: m[1], ns: ns})
+	}
+	out := make(map[string]float64)
+	keep := func(name string, ns float64) {
+		if prev, ok := out[name]; !ok || ns < prev {
+			out[name] = ns
+		}
+	}
+	for stripped, samples := range byStripped {
+		distinct := make(map[string]bool)
+		for _, s := range samples {
+			distinct[s.full] = true
+		}
+		for _, s := range samples {
+			if len(distinct) > 1 {
+				keep(s.full, s.ns)
+			} else {
+				keep(stripped, s.ns)
+			}
+		}
 	}
 	return out
 }
@@ -67,11 +104,13 @@ func load(path string) (*snapshot, error) {
 
 func main() {
 	var (
-		oldPath   = flag.String("old", "BENCH_pr4.json", "baseline snapshot")
-		newPath   = flag.String("new", "BENCH_pr5.json", "candidate snapshot")
+		oldPath   = flag.String("old", "BENCH_pr7.json", "baseline snapshot")
+		newPath   = flag.String("new", "BENCH_pr8.json", "candidate snapshot")
 		threshold = flag.Float64("threshold", 0.10, "max allowed ns/op regression (fraction)")
 		filter    = flag.String("filter",
-			"LocalAcquireRelease|RequestGrantRoundTrip|QueueChurn|Fingerprint",
+			"LocalAcquireRelease|RequestGrantRoundTrip|QueueChurn|Fingerprint|"+
+				"MemberMultiLockContended|MemberJournaledGrant|LiveClusterThroughput|"+
+				"Fig5MessageOverhead|Fig6LatencyFactor|Fig7Breakdown",
 			"regexp selecting which benchmarks gate the comparison")
 	)
 	flag.Parse()

@@ -1,0 +1,69 @@
+package main
+
+import "testing"
+
+func TestParseBenchStripsProcSuffix(t *testing.T) {
+	raw := `
+goos: linux
+BenchmarkQueueChurn-4   	 1000000	      1234.0 ns/op	      16 B/op	       1 allocs/op
+BenchmarkFingerprint-4  	 5000000	       160.0 ns/op
+PASS
+`
+	got := parseBench(raw)
+	if got["BenchmarkQueueChurn"] != 1234 || got["BenchmarkFingerprint"] != 160 {
+		t.Fatalf("parseBench = %v", got)
+	}
+}
+
+// With GOMAXPROCS=1 Go prints no -procs suffix, so numeric sub-benchmark
+// suffixes are all the stripper sees. Distinct names colliding on one
+// stripped key must keep their full names instead of last-one-wins.
+func TestParseBenchKeepsCollidingSubBenchNames(t *testing.T) {
+	raw := `
+BenchmarkContended/goroutines-1  	 1000000	       743.0 ns/op
+BenchmarkContended/goroutines-4  	 1000000	       727.0 ns/op
+BenchmarkContended/goroutines-16 	 1000000	       700.0 ns/op
+`
+	got := parseBench(raw)
+	want := map[string]float64{
+		"BenchmarkContended/goroutines-1":  743,
+		"BenchmarkContended/goroutines-4":  727,
+		"BenchmarkContended/goroutines-16": 700,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parseBench = %v, want %v", got, want)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("parseBench[%s] = %v, want %v", k, got[k], v)
+		}
+	}
+}
+
+// -count=N repeats produce identical printed names; the gate compares
+// the fastest run, the one least disturbed by background load.
+func TestParseBenchTakesMinOfRepeats(t *testing.T) {
+	raw := `
+BenchmarkFingerprint 	 5000000	       190.0 ns/op
+BenchmarkFingerprint 	 5000000	       160.0 ns/op
+BenchmarkFingerprint 	 5000000	       175.0 ns/op
+`
+	got := parseBench(raw)
+	if got["BenchmarkFingerprint"] != 160 {
+		t.Fatalf("parseBench = %v, want min 160", got)
+	}
+}
+
+// Repeats of colliding sub-benchmarks compose: full names, min each.
+func TestParseBenchRepeatsWithCollisions(t *testing.T) {
+	raw := `
+BenchmarkContended/goroutines-1  	 1000000	       743.0 ns/op
+BenchmarkContended/goroutines-16 	 1000000	       900.0 ns/op
+BenchmarkContended/goroutines-1  	 1000000	       750.0 ns/op
+BenchmarkContended/goroutines-16 	 1000000	       820.0 ns/op
+`
+	got := parseBench(raw)
+	if got["BenchmarkContended/goroutines-1"] != 743 || got["BenchmarkContended/goroutines-16"] != 820 {
+		t.Fatalf("parseBench = %v", got)
+	}
+}

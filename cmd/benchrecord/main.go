@@ -49,6 +49,7 @@ func main() {
 		warmup   = flag.Duration("warmup", 10*time.Second, "virtual warmup per cell")
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		bench    = flag.Bool("bench", true, "also run go test -bench over the hot-path packages")
+		count    = flag.Int("count", 3, "go test -count for the bench run (benchcompare gates on the best of N)")
 	)
 	flag.Parse()
 
@@ -91,7 +92,11 @@ func main() {
 	}
 
 	if *bench {
+		// -count repeats every benchmark; benchcompare takes the fastest
+		// run per name, which filters scheduler and load noise out of the
+		// whole-system benches without touching the deterministic ones.
 		args := []string{"test", "-run", "^$", "-bench", ".", "-benchmem",
+			"-count", strconv.Itoa(*count),
 			".", "./internal/hlock", "./internal/metrics", "./internal/trace", "./internal/proto"}
 		fmt.Fprintf(os.Stderr, "benchrecord: go %s\n", strings.Join(args, " "))
 		b, err := exec.Command("go", args...).CombinedOutput()

@@ -41,6 +41,19 @@
 //
 //	lockctl blackbox -debug h1:9400
 //	lockctl blackbox -debug h1:9400 -dump 1723100000000000000-audit_violation.json
+//
+// Continuous profiling: list captured profiles, force a capture, or
+// fetch one profile file from a node:
+//
+//	lockctl profile -debug h1:9400
+//	lockctl profile -debug h1:9400 -capture cpu
+//	lockctl profile -debug h1:9400 -fetch 1723100000000000000-heap.pprof -o heap.pprof
+//
+// Cluster health: one-shot or live watch of every node's stall
+// watchdog verdict:
+//
+//	lockctl watch -debug h1:9400,h2:9401,h3:9402
+//	lockctl watch -debug h1:9400,h2:9401,h3:9402 -interval 2s
 package main
 
 import (
@@ -86,6 +99,12 @@ func main() {
 			return
 		case "blackbox":
 			blackboxCmd(args[1:])
+			return
+		case "profile":
+			profileCmd(args[1:])
+			return
+		case "watch":
+			watchCmd(args[1:])
 			return
 		}
 	}
@@ -236,9 +255,7 @@ func clusterTrace(client *http.Client, addrs []string, n int, remote bool, filte
 			cd.Nodes = append(cd.Nodes, d)
 		}
 	}
-	for peer, msg := range cd.Errors {
-		fmt.Fprintf(os.Stderr, "lockctl: warning: %s unreachable: %s (assembling a partial capture)\n", peer, msg)
-	}
+	warnUnreachable(cd.Errors, "assembling a partial capture")
 	if len(cd.Nodes) == 0 {
 		fatalf("no node buffers fetched")
 	}
@@ -328,6 +345,7 @@ func locksCmd(args []string, top bool) {
 			nodes = append(nodes, inv)
 		}
 		if len(nodes) == 0 {
+			warnUnreachable(errs, "merging a partial view")
 			fatalf("no node inventories fetched")
 		}
 		c = introspect.Merge(nodes)
@@ -335,6 +353,9 @@ func locksCmd(args []string, top bool) {
 			c.Errors = errs
 		}
 	}
+	// Unreachable peers degrade the report, not the exit status: exit 2
+	// stays reserved for a detected deadlock so scripts can rely on it.
+	warnUnreachable(c.Errors, "merging a partial view")
 	switch {
 	case *asJSON:
 		printJSON(c)
@@ -427,6 +448,201 @@ func blackboxCmd(args []string) {
 	}
 	for _, e := range view.Ring {
 		fmt.Println(introspect.FormatDumpEvent(e))
+	}
+}
+
+// profileCmd talks to a node's /debug/profile endpoint: list the
+// capture files and counters, force a capture (one kind or "all"), or
+// fetch one .pprof file to disk for `go tool pprof`.
+func profileCmd(args []string) {
+	fs := flag.NewFlagSet("profile", flag.ExitOnError)
+	var (
+		debug   = fs.String("debug", "127.0.0.1:9400", "lockd debug HTTP address")
+		capture = fs.String("capture", "", "force a capture: cpu, heap, goroutine, mutex, block, or all")
+		fetch   = fs.String("fetch", "", "retrieve one capture file by name")
+		out     = fs.String("o", "", "with -fetch: write the profile here instead of stdout")
+		asJSON  = fs.Bool("json", false, "print the raw JSON instead of the text report")
+		timeout = fs.Duration("timeout", 30*time.Second, "HTTP timeout (CPU captures block for the capture duration)")
+	)
+	_ = fs.Parse(args)
+
+	client := &http.Client{Timeout: *timeout}
+	url := *debug
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	url = strings.TrimSuffix(url, "/") + "/debug/profile"
+	switch {
+	case *fetch != "":
+		url += "?file=" + *fetch
+	case *capture != "":
+		url += "?capture=" + *capture
+	}
+	resp, err := client.Get(url)
+	if err != nil {
+		fatalf("fetch profile: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		fatalf("fetch profile: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+
+	if *fetch != "" {
+		dst := io.Writer(os.Stdout)
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fatalf("create %s: %v", *out, err)
+			}
+			defer f.Close()
+			dst = f
+		}
+		n, err := io.Copy(dst, resp.Body)
+		if err != nil {
+			fatalf("fetch %s: %v", *fetch, err)
+		}
+		if *out != "" {
+			fmt.Fprintf(os.Stderr, "wrote %s (%d bytes)\n", *out, n)
+		}
+		return
+	}
+
+	var view lockserver.ProfileView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		fatalf("decode profile: %v", err)
+	}
+	if *asJSON {
+		printJSON(view)
+		return
+	}
+	fmt.Printf("node %d: profiles in %s\n", view.Node, view.Dir)
+	kinds := make([]string, 0, len(view.Captures))
+	for k := range view.Captures {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Printf("  captures[%s]: %d\n", k, view.Captures[k])
+	}
+	if view.Suppressed > 0 {
+		fmt.Printf("  suppressed (rate limit): %d\n", view.Suppressed)
+	}
+	for _, name := range view.Captured {
+		fmt.Printf("  captured %s\n", name)
+	}
+	if view.CaptureErr != "" {
+		fmt.Printf("  capture error: %s\n", view.CaptureErr)
+	}
+	if view.LastErr != "" {
+		fmt.Printf("  last error: %s\n", view.LastErr)
+	}
+	for _, f := range view.Files {
+		fmt.Printf("  file %s (%d bytes, %s)\n", f.Name, f.Size, f.MTime)
+	}
+}
+
+// watchCmd polls every listed node's /debug/health and renders a
+// cluster health table. One-shot by default; -interval keeps it live,
+// reprinting on each poll until interrupted. Unreachable peers are
+// reported in the table rather than aborting the watch.
+func watchCmd(args []string) {
+	fs := flag.NewFlagSet("watch", flag.ExitOnError)
+	var (
+		debug    = fs.String("debug", "127.0.0.1:9400", "comma-separated lockd debug HTTP addresses")
+		interval = fs.Duration("interval", 0, "poll every interval (0 = one shot)")
+		asJSON   = fs.Bool("json", false, "print raw JSON health verdicts instead of the table")
+		timeout  = fs.Duration("timeout", 5*time.Second, "HTTP timeout per node")
+	)
+	_ = fs.Parse(args)
+
+	client := &http.Client{Timeout: *timeout}
+	addrs := splitAddrs(*debug)
+	for {
+		views := make([]lockserver.HealthView, len(addrs))
+		errs := make([]string, len(addrs))
+		for i, addr := range addrs {
+			v, err := fetchHealth(client, addr)
+			if err != nil {
+				errs[i] = err.Error()
+				continue
+			}
+			views[i] = v
+		}
+		if *asJSON {
+			printJSON(views)
+		} else {
+			printHealthTable(addrs, views, errs)
+		}
+		if *interval <= 0 {
+			return
+		}
+		time.Sleep(*interval)
+	}
+}
+
+// fetchHealth retrieves one node's watchdog verdict. A 503 carrying a
+// decodable verdict (the stalled state) is still a successful fetch.
+func fetchHealth(client *http.Client, addr string) (lockserver.HealthView, error) {
+	url := addr
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	url = strings.TrimSuffix(url, "/") + "/debug/health"
+	var v lockserver.HealthView
+	resp, err := client.Get(url)
+	if err != nil {
+		return v, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return v, err
+	}
+	if err := json.Unmarshal(body, &v); err != nil || v.State == "" {
+		return v, fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	return v, nil
+}
+
+// printHealthTable renders one poll's verdicts, one node per line with
+// its reason codes, then a one-line cluster summary.
+func printHealthTable(addrs []string, views []lockserver.HealthView, errs []string) {
+	fmt.Printf("cluster health @ %s\n", time.Now().Format(time.TimeOnly))
+	worst := "healthy"
+	for i, addr := range addrs {
+		if errs[i] != "" {
+			fmt.Printf("  %-24s %-10s %s\n", addr, "unknown", errs[i])
+			worst = "unknown"
+			continue
+		}
+		v := views[i]
+		detail := ""
+		if len(v.Reasons) > 0 {
+			codes := make([]string, len(v.Reasons))
+			for j, r := range v.Reasons {
+				codes[j] = r.Code
+			}
+			detail = strings.Join(codes, ",")
+		}
+		fmt.Printf("  %-24s %-10s %s\n", addr, v.State, detail)
+		if v.State == "stalled" || (v.State == "degraded" && worst == "healthy") {
+			worst = v.State
+		}
+	}
+	fmt.Printf("  worst: %s\n", worst)
+}
+
+// warnUnreachable prints one stderr warning per unreachable peer so a
+// partially-merged report is visibly partial.
+func warnUnreachable(errs map[string]string, doing string) {
+	peers := make([]string, 0, len(errs))
+	for p := range errs {
+		peers = append(peers, p)
+	}
+	sort.Strings(peers)
+	for _, p := range peers {
+		fmt.Fprintf(os.Stderr, "lockctl: warning: %s unreachable: %s (%s)\n", p, errs[p], doing)
 	}
 }
 

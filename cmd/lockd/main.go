@@ -33,8 +33,10 @@ import (
 	"hierlock/internal/introspect"
 	"hierlock/internal/lockserver"
 	"hierlock/internal/metrics"
+	"hierlock/internal/profile"
 	"hierlock/internal/proto"
 	"hierlock/internal/trace"
+	"hierlock/internal/watchdog"
 )
 
 func main() {
@@ -45,7 +47,7 @@ func main() {
 		client  = flag.String("client", ":8400", "client listen address")
 		peers   = flag.String("peers", "", "peer map: id=host:port,id=host:port")
 		timeout = flag.Duration("timeout", 0, "per-request lock timeout (0 = wait forever)")
-		debug   = flag.String("debug", "", "debug HTTP listen address for /healthz, /stats, /metrics, /debug/trace, /debug/audit, /debug/locks, /debug/blackbox and /debug/pprof (disabled if empty)")
+		debug   = flag.String("debug", "", "debug HTTP listen address for /healthz, /stats, /metrics, /debug/health, /debug/trace, /debug/audit, /debug/locks, /debug/blackbox, /debug/profile and /debug/pprof (disabled if empty)")
 
 		traceBuf   = flag.Int("trace-buf", 4096, "protocol trace ring size in entries (0 disables tracing)")
 		netLatency = flag.Duration("net-latency", 150*time.Millisecond, "mean point-to-point network latency, the unit of the latency-factor histogram")
@@ -66,6 +68,11 @@ func main() {
 		confirmAfter    = flag.Duration("confirm-after", 0, "silence before a peer is confirmed dead and recovery starts; must exceed worst-case GC/network stalls (default 8x -heartbeat)")
 		recoveryTimeout = flag.Duration("recovery-timeout", 0, "abandon a lock operation with no grant after this long (0 = wait forever)")
 		recoveryQuorum  = flag.Int("recovery-quorum", 0, "fenced participants required to commit a regeneration round: 0 = majority of the cluster, -1 disables the gate, >0 explicit threshold")
+
+		profileDir = flag.String("profile-dir", "", "directory for continuous-profiling captures (default <data-dir>/profiles when -data-dir is set; empty without -data-dir disables capture)")
+		mutexFrac  = flag.Int("mutex-profile-fraction", 0, "sample 1/N of mutex contention events into the mutex profile (0 = off)")
+		blockRate  = flag.Int("block-profile-rate", 0, "sample blocking events of at least N ns into the block profile (1 = everything, 0 = off)")
+		wdInterval = flag.Duration("watchdog", time.Second, "stall-watchdog evaluation interval for /healthz and /debug/health (0 disables)")
 
 		dataDir       = flag.String("data-dir", "", "directory for the durable write-ahead journal (empty = no persistence); state lives under <data-dir>/member-<id>")
 		fsyncPolicy   = flag.String("fsync", "batched", "journal fsync policy: batched (group fsync on the coalescing cadence), always (inline per append) or never")
@@ -162,6 +169,45 @@ func main() {
 		Blackbox:       bb,
 	})
 
+	// Continuous profiling: captures land next to the blackbox dumps and
+	// share their rate-limit cadence, so a health incident leaves both
+	// the event lead-up and the execution profile behind.
+	profile.EnableRuntimeProfiles(*mutexFrac, *blockRate)
+	var prof *profile.Profiler
+	if dir := *profileDir; dir != "" || *dataDir != "" {
+		if dir == "" {
+			dir = filepath.Join(*dataDir, "profiles")
+		}
+		prof, err = profile.New(dir, *bbInterval)
+		if err != nil {
+			fatal("profile dir failed", "dir", dir, "err", err)
+		}
+		profile.RegisterCollectors(reg, prof)
+	}
+
+	// The stall watchdog samples the member every interval and drives
+	// /healthz; entering the stalled state fires a blackbox dump and a
+	// full profile capture so the evidence survives the incident.
+	var wd *watchdog.Runner
+	if *wdInterval > 0 {
+		wd = watchdog.NewRunner(watchdog.Config{}, *wdInterval, m.HealthSample)
+		wd.OnTransition(func(from, to watchdog.State, h watchdog.Health) {
+			if to == watchdog.Stalled {
+				path, _ := bb.TriggerDump(introspect.ReasonStall)
+				files, _ := prof.CaptureAll()
+				logger.Error("watchdog: node stalled",
+					"reasons", healthReasonCodes(h),
+					"blackbox_dump", path, "profiles", len(files))
+				return
+			}
+			logger.Warn("watchdog state changed",
+				"from", from.String(), "to", to.String(), "reasons", healthReasonCodes(h))
+		})
+		watchdog.RegisterCollectors(reg, wd)
+		wd.Start()
+		defer wd.Stop()
+	}
+
 	ln, err := net.Listen("tcp", *client)
 	if err != nil {
 		fatal("client listen failed", "addr", *client, "err", err)
@@ -176,6 +222,8 @@ func main() {
 	srv.Audit = auditor
 	srv.Blackbox = bb
 	srv.BlackboxDir = bbDir
+	srv.Profiler = prof
+	srv.Health = wd
 
 	// The debug listener runs behind an http.Server so shutdown can drain
 	// it instead of leaking the listener.
@@ -220,6 +268,15 @@ func main() {
 		rep := auditor.Snapshot()
 		logger.Info("final audit report", "entries", rep.Entries, "violations", rep.Total)
 	}
+}
+
+// healthReasonCodes flattens a verdict's reason codes for log fields.
+func healthReasonCodes(h watchdog.Health) []string {
+	codes := make([]string, len(h.Reasons))
+	for i, r := range h.Reasons {
+		codes[i] = r.Code
+	}
+	return codes
 }
 
 // newLogger builds the process logger from the -log-format and

@@ -27,6 +27,7 @@ import (
 	"hierlock/internal/sim"
 	"hierlock/internal/suzuki"
 	"hierlock/internal/trace"
+	"hierlock/internal/watchdog"
 )
 
 // Protocol selects the locking protocol a cluster runs.
@@ -141,6 +142,10 @@ type Cluster struct {
 	// LostHolds counts holds that did not survive a regeneration round
 	// (the live runtime surfaces these to clients as ErrLockLost).
 	LostHolds uint64
+	// Grants counts completed acquisitions (grants and upgrades) across
+	// the cluster, the progress signal HealthSample feeds the stall
+	// watchdog.
+	Grants uint64
 
 	oracle   map[proto.LockID]map[proto.NodeID]modes.Mode
 	errs     []error
@@ -315,7 +320,8 @@ func (c *Cluster) nodeDied(dead proto.NodeID) {
 		c.oracleRelease(lock, dead, proto.TraceID{})
 	}
 	n := c.Nodes[dead]
-	for lock := range n.waiters {
+	for lock, w := range n.waiters {
+		c.tel.observeOp(metrics.OpLock, metrics.OutcomeLost, c.Sim.Now()-w.start, 0)
 		delete(n.waiters, lock)
 	}
 }
@@ -509,6 +515,37 @@ func (c *Cluster) NodeDown(id proto.NodeID) bool {
 	return f != nil && f.DownAt(int(id), c.Sim.Now())
 }
 
+// HealthSample snapshots the cluster's live state into a stall-watchdog
+// sample, the simulator's mirror of Member.HealthSample aggregated over
+// every up node. Sample.Now is the virtual clock projected onto an
+// epoch-anchored wall time, so seeded runs feed the watchdog identical
+// timestamps and its verdicts join the deterministic envelope. The
+// simulator models no disk, so FsyncStalls is always zero; chaos tests
+// overlay injected stall schedules on top.
+func (c *Cluster) HealthSample() watchdog.Sample {
+	now := c.Sim.Now()
+	s := watchdog.Sample{Now: time.Unix(0, 0).UTC().Add(now), Grants: c.Grants}
+	for _, n := range c.Nodes {
+		if c.NodeDown(n.ID) {
+			continue
+		}
+		s.TrackedLocks += n.TrackedLocks()
+		for _, w := range n.waiters {
+			s.Waiters++
+			if age := now - w.start; age > s.OldestWaiterAge {
+				s.OldestWaiterAge = age
+			}
+		}
+		for _, t0 := range n.roundStart {
+			s.RoundsInFlight++
+			if age := now - t0; age > s.OldestRoundAge {
+				s.OldestRoundAge = age
+			}
+		}
+	}
+	return s
+}
+
 // Node is one simulated participant running every lock's engine.
 type Node struct {
 	ID proto.NodeID
@@ -531,6 +568,11 @@ type Node struct {
 	// waiters holds the completion callback of the outstanding request
 	// per lock (at most one per lock).
 	waiters map[proto.LockID]waiting
+
+	// roundStart stamps (in virtual time) each regeneration round this
+	// node runs as regenerator, the simulator's mirror of the member's
+	// roundStart map; HealthSample judges round ages from it.
+	roundStart map[proto.LockID]time.Duration
 }
 
 // newTrace mints a cluster-unique causal trace ID for a client operation
@@ -556,7 +598,9 @@ func msgTrace(msg *proto.Message) proto.TraceID {
 }
 
 func newNode(c *Cluster, id proto.NodeID, cfg Config) *Node {
-	n := &Node{ID: id, c: c, nnodes: cfg.Nodes, waiters: make(map[proto.LockID]waiting)}
+	n := &Node{ID: id, c: c, nnodes: cfg.Nodes,
+		waiters:    make(map[proto.LockID]waiting),
+		roundStart: make(map[proto.LockID]time.Duration)}
 	hasToken := id == 0
 	const initialParent proto.NodeID = 0
 	switch cfg.Protocol {
@@ -615,6 +659,12 @@ func (n *Node) newManager() *recovery.Manager {
 		After:            func(d time.Duration, fn func()) { c.Sim.At(d, fn) },
 		ProbeTimeout:     c.recovery.ProbeTimeout,
 		Quorum:           c.recovery.Quorum,
+		OnRoundStart: func(lock proto.LockID, proposed uint32) {
+			n.roundStart[lock] = c.Sim.Now()
+		},
+		OnRoundDone: func(lock proto.LockID, final uint32) {
+			delete(n.roundStart, lock)
+		},
 	})
 }
 
@@ -663,9 +713,11 @@ func (n *Node) maxEpoch() uint32 {
 // clock is deliberately kept monotonic — a real implementation fences
 // restarted clocks the same way — so message ordering stays safe.
 func (n *Node) wipe() {
-	for lock := range n.waiters {
+	for lock, w := range n.waiters {
+		n.c.tel.observeOp(metrics.OpLock, metrics.OutcomeLost, n.c.Sim.Now()-w.start, 0)
 		delete(n.waiters, lock)
 	}
+	clear(n.roundStart) // a crashed regenerator's rounds die with it
 	switch {
 	case n.hier != nil:
 		n.hier = make(map[proto.LockID]*hlock.Engine)
@@ -747,6 +799,15 @@ func (n *Node) recoveryPrepare(lock proto.LockID, epoch uint32) {
 // recoveryReseed installs a completed round's outcome into the lock's
 // engine and dispatches the fallout (recovery.Config.Reseed).
 func (n *Node) recoveryReseed(lock proto.LockID, root proto.NodeID, epoch uint32, accounted modes.Mode, copyset []proto.Request) {
+	// The round is over for this lock however it ended: drop any stamp a
+	// round yielded to a higher-ID regenerator left behind, so the stall
+	// watchdog never judges a superseded round as wedged (the member's
+	// recoveryReseed does the same).
+	delete(n.roundStart, lock)
+	if w, ok := n.waiters[lock]; ok {
+		w.recovered = true // the eventual grant is recovery-delayed
+		n.waiters[lock] = w
+	}
 	if n.hier != nil {
 		out, lost := n.hierEngine(lock).Reseed(root, epoch, accounted, copyset)
 		if lost {
@@ -1031,6 +1092,14 @@ func (n *Node) handle(msg *proto.Message) {
 	if n.mgr != nil && n.mgr.HandleMessage(msg) {
 		return
 	}
+	if msg.Kind == proto.KindToken {
+		// Mirror of the member's waiter hop count: a token delivered while
+		// a request is outstanding is one hop on that request's grant path.
+		if w, ok := n.waiters[msg.Lock]; ok {
+			w.hops++
+			n.waiters[msg.Lock] = w
+		}
+	}
 	if e, ok := n.naimi[msg.Lock]; ok {
 		out, err := e.Handle(msg)
 		if err != nil {
@@ -1092,12 +1161,17 @@ func (n *Node) handle(msg *proto.Message) {
 // dispatchHier routes an engine step's output: messages to the network,
 // acquisition events to the oracle and the waiting callback.
 func (n *Node) dispatchHier(lock proto.LockID, out hlock.Out, done func()) {
+	// A grant surfacing in the same dispatch that registered the waiter
+	// never left the node: that is the local fast path (the member detects
+	// the same condition by checking the grant channel after dispatch).
+	sync := done != nil
 	if done != nil {
 		if _, dup := n.waiters[lock]; dup {
 			n.c.fail(fmt.Errorf("cluster: node %d issued overlapping requests on lock %d", n.ID, lock))
 			return
 		}
 		n.waiters[lock] = waiting{mode: n.hier[lock].Pending(), start: n.c.Sim.Now(), done: done}
+		n.c.tel.queueAdmit()
 	}
 	for i := range out.Msgs {
 		n.c.Net.Send(out.Msgs[i])
@@ -1112,7 +1186,20 @@ func (n *Node) dispatchHier(lock proto.LockID, out hlock.Out, done func()) {
 				continue
 			}
 			delete(n.waiters, lock)
+			n.c.Grants++
 			n.c.tel.observeGrant(n.c.Sim.Now() - w.start)
+			op := metrics.OpLock
+			if ev.Kind == hlock.EventUpgraded {
+				op = metrics.OpUpgrade
+			}
+			outcome := metrics.OutcomeRemote
+			switch {
+			case w.recovered:
+				outcome = metrics.OutcomeRecovery
+			case sync:
+				outcome = metrics.OutcomeLocal
+			}
+			n.c.tel.observeOp(op, outcome, n.c.Sim.Now()-w.start, w.hops)
 			w.done()
 		}
 	}
@@ -1122,12 +1209,14 @@ func (n *Node) dispatchHier(lock proto.LockID, out hlock.Out, done func()) {
 // (Naimi, Raymond, Suzuki–Kasami), which share the {Msgs, Acquired}
 // shape.
 func (n *Node) dispatchExcl(lock proto.LockID, msgs []proto.Message, acquired bool, done func()) {
+	sync := done != nil
 	if done != nil {
 		if _, dup := n.waiters[lock]; dup {
 			n.c.fail(fmt.Errorf("cluster: node %d issued overlapping requests on lock %d", n.ID, lock))
 			return
 		}
 		n.waiters[lock] = waiting{mode: modes.W, start: n.c.Sim.Now(), done: done}
+		n.c.tel.queueAdmit()
 	}
 	for i := range msgs {
 		n.c.Net.Send(msgs[i])
@@ -1140,7 +1229,16 @@ func (n *Node) dispatchExcl(lock proto.LockID, msgs []proto.Message, acquired bo
 			return
 		}
 		delete(n.waiters, lock)
+		n.c.Grants++
 		n.c.tel.observeGrant(n.c.Sim.Now() - w.start)
+		outcome := metrics.OutcomeRemote
+		switch {
+		case w.recovered:
+			outcome = metrics.OutcomeRecovery
+		case sync:
+			outcome = metrics.OutcomeLocal
+		}
+		n.c.tel.observeOp(metrics.OpLock, outcome, n.c.Sim.Now()-w.start, w.hops)
 		w.done()
 	}
 }

@@ -18,6 +18,12 @@ type waiting struct {
 	// latency histograms.
 	start time.Duration
 	done  func()
+	// hops counts token deliveries observed while the wait was
+	// outstanding, and recovered marks a wait that rode through a
+	// recovery reseed — the simulator's mirror of the member's waiter
+	// fields, classifying grants for the per-operation SLO families.
+	hops      int
+	recovered bool
 }
 
 // Deadlock describes one cycle in the waits-for graph: node Nodes[i]

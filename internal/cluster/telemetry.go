@@ -25,6 +25,12 @@ type telemetry struct {
 	acquires    *metrics.Counter
 	latency     *metrics.Histogram
 	factor      *metrics.Histogram
+
+	// Per-operation SLO families, indexed by metrics.Op*/Outcome* —
+	// same names, help strings and buckets as the member runtime.
+	opLatency [2][4]*metrics.Histogram
+	queueWait *metrics.Histogram
+	tokenHops *metrics.Histogram
 }
 
 func (t *telemetry) init(reg *metrics.Registry, base time.Duration) {
@@ -49,6 +55,19 @@ func (t *telemetry) init(reg *metrics.Registry, base time.Duration) {
 	t.factor = reg.Histogram(metrics.MetricRequestLatencyFactor,
 		"Request latency as a multiple of the mean point-to-point network latency (Figure 6).",
 		metrics.LatencyFactorBuckets, nil)
+	for oi, op := range metrics.OpKinds {
+		for ci, oc := range metrics.Outcomes {
+			t.opLatency[oi][ci] = reg.Histogram(metrics.MetricOpLatency,
+				"End-to-end client operation latency in seconds, by operation and grant outcome.",
+				metrics.DefLatencyBuckets, metrics.Labels{"op": op, "outcome": oc})
+		}
+	}
+	t.queueWait = reg.Histogram(metrics.MetricQueueWait,
+		"Per-lock admission queue wait in seconds, request issue to protocol entry.",
+		metrics.DefLatencyBuckets, nil)
+	t.tokenHops = reg.Histogram(metrics.MetricTokenHops,
+		"Token transfers observed per granted request (0 = pure local grant; Figure 5).",
+		metrics.TokenHopBuckets, nil)
 }
 
 // countSent records one protocol message entering the network.
@@ -88,6 +107,29 @@ func (t *telemetry) observeGrant(d time.Duration) {
 	t.factor.Observe(d.Seconds() / t.base.Seconds())
 }
 
+// queueAdmit records a request entering the protocol. The simulator
+// admits synchronously, so the wait is always zero; the observation
+// keeps the family's sample count aligned with the live runtime's.
+func (t *telemetry) queueAdmit() {
+	if t.reg == nil {
+		return
+	}
+	t.queueWait.Observe(0)
+}
+
+// observeOp records one finished operation in the per-operation SLO
+// families: latency under its (op, outcome) series and, for grants, the
+// token hops its wait observed (lost operations never got a token).
+func (t *telemetry) observeOp(op, outcome int, d time.Duration, hops int) {
+	if t.reg == nil {
+		return
+	}
+	t.opLatency[op][outcome].Observe(d.Seconds())
+	if outcome != metrics.OutcomeLost {
+		t.tokenHops.Observe(float64(hops))
+	}
+}
+
 // registerLockCollectors registers scrape-time gauges over every node's
 // hierarchical engine state, labelled by node and lock. The collectors
 // read engine state without synchronization — the simulator is
@@ -123,4 +165,25 @@ func (c *Cluster) registerLockCollectors(reg *metrics.Registry) {
 			}
 			return 0
 		}))
+	// Each simulated node's lock table is a single stripe; the live
+	// member spreads its table over many (see member.go). Emitting the
+	// same families keeps dashboards portable between the two.
+	reg.Collect(metrics.MetricStripeLocks,
+		"Tracked locks per shard stripe of the member's lock table.", "gauge",
+		func(emit func(metrics.Labels, float64)) {
+			for _, n := range c.Nodes {
+				emit(metrics.Labels{
+					"node":   strconv.Itoa(int(n.ID)),
+					"stripe": "0",
+				}, float64(n.TrackedLocks()))
+			}
+		})
+	reg.Collect(metrics.MetricLamportClock,
+		"The member's Lamport clock (its rate proxies protocol activity).", "gauge",
+		func(emit func(metrics.Labels, float64)) {
+			for _, n := range c.Nodes {
+				emit(metrics.Labels{"node": strconv.Itoa(int(n.ID))},
+					float64(n.clock.Now()))
+			}
+		})
 }

@@ -93,11 +93,13 @@ const (
 	ReasonAuditViolation = "audit_violation"
 	ReasonRecoveryRound  = "recovery_round"
 	ReasonLockLost       = "lock_lost"
-	ReasonManual         = "manual"
+	// ReasonStall: the watchdog's verdict transitioned to stalled.
+	ReasonStall  = "stall"
+	ReasonManual = "manual"
 )
 
 // Reasons lists the dump triggers, for zero-pre-registration.
-var Reasons = []string{ReasonAuditViolation, ReasonRecoveryRound, ReasonLockLost, ReasonManual}
+var Reasons = []string{ReasonAuditViolation, ReasonRecoveryRound, ReasonLockLost, ReasonStall, ReasonManual}
 
 // Recorder is the black-box flight recorder: a bounded ring of
 // structured protocol events that is always recording and dumps its

@@ -5,19 +5,30 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
 
 	"hierlock/internal/introspect"
+	"hierlock/internal/profile"
 	"hierlock/internal/proto"
 	"hierlock/internal/trace"
+	"hierlock/internal/watchdog"
 )
 
 // DebugHandler exposes the member's observability surface over HTTP:
 //
-//	GET /healthz      → 200 "ok" (503 with the error if the member recorded
-//	                   a protocol failure)
+//	GET /healthz      → the watchdog's verdict as plain text: 200 "ok" when
+//	                   healthy, 200 "degraded" (load balancers keep serving
+//	                   a degraded node), 503 "stalled" when client-visible
+//	                   progress stopped, and 503 with the error if the
+//	                   member recorded a protocol failure. Without a
+//	                   watchdog attached, the protocol-failure check alone.
+//	GET /debug/health → the watchdog's full verdict as JSON: state plus
+//	                   structured reasons (code, severity, detail) and the
+//	                   per-state transition counts (503 when no watchdog is
+//	                   attached)
 //	GET /stats        → JSON: acquisitions, latencies, message counts by kind
 //	GET /metrics      → Prometheus text exposition of the attached Registry
 //	                   (503 when no registry is attached)
@@ -46,6 +57,12 @@ import (
 //	                   recent) and the dump files on disk. ?dump=NAME
 //	                   returns one dump file; ?trigger=1 forces a manual
 //	                   dump. 503 when no recorder is attached.
+//	GET /debug/profile → JSON view of the continuous profiler: capture
+//	                   counters and the pprof files on disk. ?capture=KIND
+//	                   (cpu, heap, goroutine, mutex, block or all) takes a
+//	                   capture first (rate-limited per kind; cpu blocks for
+//	                   the sampling duration); ?file=NAME returns one raw
+//	                   pprof file. 503 when no profiler is attached.
 //	GET /debug/pprof/ → the standard net/http/pprof profiles
 //
 // Mount it on lockd's -debug listener.
@@ -57,7 +74,101 @@ func (s *Server) DebugHandler() http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if s.Health != nil {
+			h := s.Health.Current()
+			if h.State == watchdog.Stalled {
+				w.WriteHeader(http.StatusServiceUnavailable)
+			}
+			if h.State != watchdog.Healthy {
+				_, _ = fmt.Fprintf(w, "%s\n", h.Status)
+				for _, reason := range h.Reasons {
+					_, _ = fmt.Fprintf(w, "%s: %s\n", reason.Code, reason.Detail)
+				}
+				return
+			}
+		}
 		_, _ = w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/debug/health", func(w http.ResponseWriter, r *http.Request) {
+		if s.Health == nil {
+			http.Error(w, "no watchdog attached", http.StatusServiceUnavailable)
+			return
+		}
+		h := s.Health.Current()
+		transitions := make(map[string]uint64, len(watchdog.States))
+		for st, n := range s.Health.Transitions() {
+			transitions[st.String()] = n
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(HealthView{
+			Node:        s.member.ID(),
+			State:       h.Status,
+			Reasons:     h.Reasons,
+			Transitions: transitions,
+		})
+	})
+	mux.HandleFunc("/debug/profile", func(w http.ResponseWriter, r *http.Request) {
+		if s.Profiler == nil {
+			http.Error(w, "no profiler attached", http.StatusServiceUnavailable)
+			return
+		}
+		q := r.URL.Query()
+		if name := q.Get("file"); name != "" {
+			data, err := s.Profiler.Read(name)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", name))
+			_, _ = w.Write(data)
+			return
+		}
+		var captured []string
+		var capErr string
+		switch kind := q.Get("capture"); kind {
+		case "":
+		case "all":
+			files, err := s.Profiler.CaptureAll()
+			for _, f := range files {
+				captured = append(captured, filepath.Base(f))
+			}
+			if err != nil {
+				capErr = err.Error()
+			}
+		default:
+			path, err := s.Profiler.Capture(kind)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			if path != "" {
+				captured = append(captured, filepath.Base(path))
+			}
+		}
+		files, err := s.Profiler.List()
+		view := ProfileView{
+			Node:       s.member.ID(),
+			Dir:        s.Profiler.Dir(),
+			Captured:   captured,
+			CaptureErr: capErr,
+			Files:      files,
+		}
+		st := s.Profiler.Stats()
+		view.Captures = st.Captures
+		view.Suppressed = st.Suppressed
+		if st.LastErr != nil {
+			view.LastErr = st.LastErr.Error()
+		}
+		if err != nil {
+			view.LastErr = err.Error()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(view)
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		st := s.member.Stats()
@@ -268,6 +379,29 @@ func (s *Server) clusterDump(n int, peers []string) trace.ClusterDump {
 		out.Nodes = append(out.Nodes, d)
 	}
 	return out
+}
+
+// HealthView is the /debug/health response: the watchdog's current
+// verdict with its structured reasons and per-state transition counts.
+type HealthView struct {
+	Node        int               `json:"node"`
+	State       string            `json:"state"`
+	Reasons     []watchdog.Reason `json:"reasons,omitempty"`
+	Transitions map[string]uint64 `json:"transitions"`
+}
+
+// ProfileView is the /debug/profile response: the profiler's counters
+// and the capture files on disk (Captured names any files this request
+// just wrote).
+type ProfileView struct {
+	Node       int               `json:"node"`
+	Dir        string            `json:"dir"`
+	Captures   map[string]uint64 `json:"captures"`
+	Suppressed uint64            `json:"suppressed"`
+	Captured   []string          `json:"captured,omitempty"`
+	CaptureErr string            `json:"capture_err,omitempty"`
+	LastErr    string            `json:"last_err,omitempty"`
+	Files      []profile.File    `json:"files,omitempty"`
 }
 
 // BlackboxView is the /debug/blackbox response: the flight recorder's

@@ -36,7 +36,9 @@ import (
 	"hierlock/internal/audit"
 	"hierlock/internal/introspect"
 	"hierlock/internal/metrics"
+	"hierlock/internal/profile"
 	"hierlock/internal/trace"
+	"hierlock/internal/watchdog"
 )
 
 // Server serves the text protocol on behalf of one cluster member.
@@ -58,6 +60,14 @@ type Server struct {
 	// lists and serves the dump files written there.
 	Blackbox    *introspect.Recorder
 	BlackboxDir string
+	// Profiler, when non-nil, serves profile captures on the debug
+	// handler's /debug/profile endpoint: listing, on-demand capture and
+	// raw pprof retrieval.
+	Profiler *profile.Profiler
+	// Health, when non-nil, drives /healthz beyond the bare
+	// protocol-failure check and serves the watchdog's full verdict on
+	// /debug/health.
+	Health *watchdog.Runner
 
 	mu     sync.Mutex
 	ln     net.Listener

@@ -139,9 +139,79 @@ const (
 	// flight recorder's ring.
 	MetricBlackboxEvents = "hierlock_blackbox_events_total"
 	// MetricBlackboxDumps counts flight-recorder dumps written to disk.
-	// Labels: reason (audit_violation|recovery_round|lock_lost|manual).
+	// Labels: reason (audit_violation|recovery_round|lock_lost|stall|manual).
 	MetricBlackboxDumps = "hierlock_blackbox_dumps_total"
+
+	// MetricOpLatency is the end-to-end client operation latency
+	// histogram in seconds, keyed by operation and grant outcome — the
+	// live per-operation SLO series (the latency families above aggregate
+	// across outcomes). Labels: op (lock|upgrade), outcome
+	// (local|remote|recovery|lost).
+	MetricOpLatency = "hierlock_op_latency_seconds"
+	// MetricQueueWait is the histogram of time a client request spends
+	// queued for per-lock admission before it enters the protocol, in
+	// seconds (the member serializes client operations per lock; this is
+	// the local head-of-line wait, excluded from no series but visible on
+	// its own here).
+	MetricQueueWait = "hierlock_queue_wait_seconds"
+	// MetricHealthState gauges the stall watchdog's verdict: 0 healthy,
+	// 1 degraded, 2 stalled.
+	MetricHealthState = "hierlock_health_state"
+	// MetricHealthTransitions counts watchdog verdict transitions, by the
+	// state entered. Labels: state (healthy|degraded|stalled).
+	MetricHealthTransitions = "hierlock_health_transitions_total"
+
+	// MetricProfileCaptures counts profile captures written to disk, by
+	// profile kind. Labels: profile (cpu|heap|goroutine|mutex|block).
+	MetricProfileCaptures = "hierlock_profile_captures_total"
+	// MetricProfileSuppressed counts capture requests suppressed by the
+	// per-kind rate limit.
+	MetricProfileSuppressed = "hierlock_profile_suppressed_total"
+	// MetricStripeLocks gauges tracked-lock occupancy per shard stripe of
+	// the member's lock table, exposing stripe contention hot spots.
+	// Labels: stripe.
+	MetricStripeLocks = "hierlock_stripe_locks"
+	// MetricLamportClock gauges the member's Lamport clock. Its rate is
+	// a contention proxy: the clock advances on every local protocol
+	// step and witnesses every inbound message.
+	MetricLamportClock = "hierlock_lamport_clock"
+
+	// MetricTokenHops is the distribution of token transfers observed on
+	// a lock while its grant was outstanding — the live equivalent of the
+	// paper's per-request message-count curves (Figure 5): 0 hops is a
+	// pure local grant, 1 a direct fetch, more a walk along the
+	// probable-owner chain.
+	MetricTokenHops = "hierlock_token_hops"
 )
+
+// Label values of MetricOpLatency's op and outcome dimensions, indexable
+// by the Op*/Outcome* constants below so hot paths address a cached
+// handle array instead of formatting labels.
+var (
+	OpKinds  = []string{"lock", "upgrade"}
+	Outcomes = []string{"local", "remote", "recovery", "lost"}
+)
+
+// Indexes into OpKinds.
+const (
+	OpLock    = 0
+	OpUpgrade = 1
+)
+
+// Indexes into Outcomes: a grant served from local state (shared join or
+// an immediate token-in-hand grant), a grant that needed remote token
+// traffic, a grant delayed through a crash-recovery reseed, and an
+// operation that never completed (RecoveryTimeout expiry).
+const (
+	OutcomeLocal    = 0
+	OutcomeRemote   = 1
+	OutcomeRecovery = 2
+	OutcomeLost     = 3
+)
+
+// TokenHopBuckets are the MetricTokenHops histogram bounds: hop counts
+// are small integers, so the buckets enumerate them up to a tail.
+var TokenHopBuckets = []float64{0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32}
 
 // DefLatencyBuckets are the default request-latency histogram bounds in
 // seconds, spanning local grants (sub-millisecond) to multi-second waits

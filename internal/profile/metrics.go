@@ -1,0 +1,21 @@
+package profile
+
+import "hierlock/internal/metrics"
+
+// RegisterCollectors exposes the profiler's counters at scrape time;
+// every profile kind is emitted (zeros included).
+func RegisterCollectors(reg *metrics.Registry, p *Profiler) {
+	reg.Collect(metrics.MetricProfileCaptures,
+		"Profile captures written to disk, by profile kind.", "counter",
+		func(emit func(metrics.Labels, float64)) {
+			st := p.Stats()
+			for _, k := range Kinds {
+				emit(metrics.Labels{"profile": k}, float64(st.Captures[k]))
+			}
+		})
+	reg.Collect(metrics.MetricProfileSuppressed,
+		"Profile capture requests suppressed by the per-kind rate limit.", "counter",
+		func(emit func(metrics.Labels, float64)) {
+			emit(nil, float64(p.Stats().Suppressed))
+		})
+}

@@ -107,13 +107,51 @@ const (
 	requestLen   = requestLenV1 + traceLen // origin..ts, trace
 )
 
+// Message pooling. The decoded Message used to be the last allocation
+// on the inbound wire hot path (1 alloc/frame). Messages now come from a
+// pool: DecodeMessage draws from it, and consumers that can prove the
+// pointer is dead (the TCP transport, after its serialized delivery
+// callback returns) hand the struct back with PutMessage. Callers that
+// never recycle simply fall back to ordinary allocation via the pool's
+// New — recycling is an optimization, not an obligation.
+var msgPool = sync.Pool{New: func() any { return new(Message) }}
+
+// GetMessage returns a zeroed Message from the pool.
+func GetMessage() *Message { return msgPool.Get().(*Message) }
+
+// PutMessage recycles a Message the caller owns exclusively. The struct
+// is zeroed wholesale: in particular the Queue and Vec slice headers are
+// dropped, never reused, because protocol engines may retain a decoded
+// queue's backing array past the message's lifetime (queue merging
+// aliases it). Only the fixed-size struct itself is recycled.
+func PutMessage(m *Message) {
+	if m == nil {
+		return
+	}
+	*m = Message{}
+	msgPool.Put(m)
+}
+
 // DecodeMessage parses one message from buf (the full payload of a frame).
 // The current wire version and the two prior ones are accepted;
 // version-2 frames decode with a zero epoch, version-1 frames with zero
-// trace IDs and a zero epoch.
+// trace IDs and a zero epoch. The returned Message comes from the
+// message pool; callers that can bound its lifetime may return it with
+// PutMessage for an allocation-free steady state.
 func DecodeMessage(buf []byte) (*Message, error) {
+	m := GetMessage()
+	if err := decodeMessage(m, buf); err != nil {
+		PutMessage(m)
+		return nil, err
+	}
+	return m, nil
+}
+
+// decodeMessage parses one payload into m, which must be zeroed (fields
+// absent from older wire versions are left untouched).
+func decodeMessage(m *Message, buf []byte) error {
 	if len(buf) < 1 {
-		return nil, fmt.Errorf("%w: empty payload", ErrBadFrame)
+		return fmt.Errorf("%w: empty payload", ErrBadFrame)
 	}
 	hdrLen, reqLen := headerLen, requestLen
 	maxKind := KindHeartbeat
@@ -124,16 +162,15 @@ func DecodeMessage(buf []byte) (*Message, error) {
 	case wireVersionV1:
 		hdrLen, reqLen, maxKind = headerLenV1, requestLenV1, KindFreeze
 	default:
-		return nil, fmt.Errorf("%w: got %d, want %d (or %d, %d)",
+		return fmt.Errorf("%w: got %d, want %d (or %d, %d)",
 			ErrBadVersion, buf[0], wireVersion, wireVersionV2, wireVersionV1)
 	}
 	if len(buf) < hdrLen+reqLen+4 {
-		return nil, fmt.Errorf("%w: short payload (%d bytes)", ErrBadFrame, len(buf))
+		return fmt.Errorf("%w: short payload (%d bytes)", ErrBadFrame, len(buf))
 	}
-	m := &Message{}
 	m.Kind = Kind(buf[1])
 	if m.Kind == KindInvalid || m.Kind > maxKind {
-		return nil, fmt.Errorf("%w: unknown kind %d", ErrBadFrame, buf[1])
+		return fmt.Errorf("%w: unknown kind %d", ErrBadFrame, buf[1])
 	}
 	m.Lock = LockID(binary.BigEndian.Uint64(buf[2:]))
 	m.From = NodeID(int32(binary.BigEndian.Uint32(buf[10:])))
@@ -144,7 +181,7 @@ func DecodeMessage(buf []byte) (*Message, error) {
 	m.Owned = modes.Mode(buf[35])
 	m.Frozen = modes.Set(buf[36])
 	if !m.Mode.Valid() || !m.Owned.Valid() {
-		return nil, fmt.Errorf("%w: invalid mode byte", ErrBadFrame)
+		return fmt.Errorf("%w: invalid mode byte", ErrBadFrame)
 	}
 	if hdrLen >= headerLenV2 {
 		m.Trace = decodeTrace(buf[headerLenV1:])
@@ -156,15 +193,15 @@ func DecodeMessage(buf []byte) (*Message, error) {
 	rest := buf[hdrLen:]
 	m.Req, rest, err = decodeRequest(rest, reqLen)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if len(rest) < 4 {
-		return nil, fmt.Errorf("%w: missing queue length", ErrBadFrame)
+		return fmt.Errorf("%w: missing queue length", ErrBadFrame)
 	}
 	n := binary.BigEndian.Uint32(rest)
 	rest = rest[4:]
 	if n > MaxQueueLen {
-		return nil, fmt.Errorf("%w: queue length %d", ErrTooLarge, n)
+		return fmt.Errorf("%w: queue length %d", ErrTooLarge, n)
 	}
 	if n > 0 {
 		m.Queue = make([]Request, 0, n)
@@ -172,22 +209,22 @@ func DecodeMessage(buf []byte) (*Message, error) {
 			var r Request
 			r, rest, err = decodeRequest(rest, reqLen)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			m.Queue = append(m.Queue, r)
 		}
 	}
 	if len(rest) < 4 {
-		return nil, fmt.Errorf("%w: missing vector length", ErrBadFrame)
+		return fmt.Errorf("%w: missing vector length", ErrBadFrame)
 	}
 	vn := binary.BigEndian.Uint32(rest)
 	rest = rest[4:]
 	if vn > MaxQueueLen {
-		return nil, fmt.Errorf("%w: vector length %d", ErrTooLarge, vn)
+		return fmt.Errorf("%w: vector length %d", ErrTooLarge, vn)
 	}
 	if vn > 0 {
 		if uint64(len(rest)) < uint64(vn)*8 {
-			return nil, fmt.Errorf("%w: truncated vector", ErrBadFrame)
+			return fmt.Errorf("%w: truncated vector", ErrBadFrame)
 		}
 		m.Vec = make([]uint64, vn)
 		for i := range m.Vec {
@@ -196,9 +233,9 @@ func DecodeMessage(buf []byte) (*Message, error) {
 		}
 	}
 	if len(rest) != 0 {
-		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadFrame, len(rest))
+		return fmt.Errorf("%w: %d trailing bytes", ErrBadFrame, len(rest))
 	}
-	return m, nil
+	return nil
 }
 
 func decodeTrace(buf []byte) TraceID {

@@ -324,7 +324,15 @@ func (t *TCPTransport) Start(h Handler) error {
 		return fmt.Errorf("transport: node %d already started", t.cfg.Self)
 	}
 	t.started = true
-	go t.box.drain(h)
+	// Every message in the mailbox was decoded by a readLoop from the
+	// pooled codec, delivery is serialized, and the Handler contract
+	// forbids retaining the pointer — so the struct is recycled the
+	// moment the handler returns, making the steady-state inbound path
+	// allocation-free.
+	go t.box.drain(func(m *proto.Message) {
+		h(m)
+		proto.PutMessage(m)
+	})
 	t.wg.Add(1)
 	go t.acceptLoop()
 	if t.detector != nil {
@@ -385,9 +393,11 @@ func (t *TCPTransport) readLoop(conn net.Conn) {
 		t.framesRecv.Add(1)
 		t.observe(msg.From)
 		if msg.Kind == proto.KindHeartbeat {
-			continue // liveness only; never delivered
+			proto.PutMessage(msg) // liveness only; never delivered
+			continue
 		}
 		if err := t.box.put(msg); err != nil {
+			proto.PutMessage(msg)
 			return
 		}
 	}
@@ -413,6 +423,7 @@ func (t *TCPTransport) readLoopReliable(conn net.Conn) {
 		if seq <= last {
 			t.dupsSuppressed++
 			t.recvMu.Unlock()
+			proto.PutMessage(msg)
 			// Re-ack so the sender can prune its buffer.
 			if err := proto.WriteLinkAck(conn, last); err != nil {
 				return
@@ -426,6 +437,7 @@ func (t *TCPTransport) readLoopReliable(conn net.Conn) {
 			t.recvMu.Lock()
 			t.recvSeq[from] = seq
 			t.recvMu.Unlock()
+			proto.PutMessage(msg)
 			if err := proto.WriteLinkAck(conn, seq); err != nil {
 				return
 			}
@@ -434,6 +446,7 @@ func (t *TCPTransport) readLoopReliable(conn net.Conn) {
 		if err := t.box.put(msg); err != nil {
 			// Queue full or closing: drop the frame *unacknowledged* so
 			// the sender retransmits it later.
+			proto.PutMessage(msg)
 			return
 		}
 		t.recvMu.Lock()

@@ -17,7 +17,11 @@ import (
 )
 
 // Handler consumes inbound messages for a node. Calls are serialized per
-// receiving node.
+// receiving node. The message is only valid for the duration of the
+// call: the TCP transport recycles the struct through the codec's
+// message pool the moment the handler returns (copy it to keep it).
+// Slices decoded into the message (Queue, Vec) may be retained — their
+// backing arrays are never reused.
 type Handler func(*proto.Message)
 
 // Transport sends protocol messages on behalf of one node.

@@ -101,12 +101,14 @@ func TestTCPRoundTrip(t *testing.T) {
 	// Complete the peer maps now that ports are known.
 	ta.cfg.Peers = map[proto.NodeID]string{1: tb.Addr()}
 
+	// The transport recycles delivered messages once the handler
+	// returns, so retainers must copy.
 	gotA := make(chan *proto.Message, 256)
 	gotB := make(chan *proto.Message, 256)
-	if err := ta.Start(func(m *proto.Message) { gotA <- m }); err != nil {
+	if err := ta.Start(func(m *proto.Message) { cp := *m; gotA <- &cp }); err != nil {
 		t.Fatal(err)
 	}
-	if err := tb.Start(func(m *proto.Message) { gotB <- m }); err != nil {
+	if err := tb.Start(func(m *proto.Message) { cp := *m; gotB <- &cp }); err != nil {
 		t.Fatal(err)
 	}
 

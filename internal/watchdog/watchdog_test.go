@@ -1,0 +1,183 @@
+package watchdog
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+var t0 = time.Unix(0, 0).UTC()
+
+func at(d time.Duration) time.Time { return t0.Add(d) }
+
+func reasons(h Health) string {
+	var codes []string
+	for _, r := range h.Reasons {
+		codes = append(codes, r.Code)
+	}
+	return strings.Join(codes, ",")
+}
+
+func wantState(t *testing.T, h Health, s State, code string) {
+	t.Helper()
+	if h.State != s {
+		t.Fatalf("state %s, want %s (reasons %s)", h.Status, s, reasons(h))
+	}
+	if code != "" && !strings.Contains(reasons(h), code) {
+		t.Fatalf("reasons %q missing %s", reasons(h), code)
+	}
+	if code == "" && len(h.Reasons) != 0 {
+		t.Fatalf("healthy verdict carries reasons %s", reasons(h))
+	}
+}
+
+func TestEvaluateHealthyBaseline(t *testing.T) {
+	w := New(Config{})
+	for i := 0; i < 5; i++ {
+		h := w.Evaluate(Sample{Now: at(time.Duration(i) * time.Second), Grants: uint64(i)})
+		wantState(t, h, Healthy, "")
+	}
+}
+
+func TestEvaluateWaiterWedged(t *testing.T) {
+	w := New(Config{StalledAfter: 30 * time.Second})
+	h := w.Evaluate(Sample{Now: at(0), Waiters: 1, OldestWaiterAge: 31 * time.Second})
+	wantState(t, h, Stalled, ReasonWaiterWedged)
+}
+
+func TestEvaluatePendingNoGrantsNeedsFlatProgress(t *testing.T) {
+	w := New(Config{PendingGrace: 5 * time.Second})
+	// First sample: no previous grants to compare — stays healthy.
+	h := w.Evaluate(Sample{Now: at(0), Waiters: 2, OldestWaiterAge: 6 * time.Second, Grants: 10})
+	wantState(t, h, Healthy, "")
+	// Grants advanced: pending but progressing.
+	h = w.Evaluate(Sample{Now: at(time.Second), Waiters: 2, OldestWaiterAge: 7 * time.Second, Grants: 11})
+	wantState(t, h, Healthy, "")
+	// Grants flat with an over-grace waiter: degraded.
+	h = w.Evaluate(Sample{Now: at(2 * time.Second), Waiters: 2, OldestWaiterAge: 8 * time.Second, Grants: 11})
+	wantState(t, h, Degraded, ReasonPendingNoGrants)
+}
+
+func TestEvaluateRecoveryRoundEscalation(t *testing.T) {
+	w := New(Config{RoundGrace: 10 * time.Second})
+	h := w.Evaluate(Sample{Now: at(0), RoundsInFlight: 1, OldestRoundAge: 5 * time.Second})
+	wantState(t, h, Healthy, "")
+	h = w.Evaluate(Sample{Now: at(time.Second), RoundsInFlight: 1, OldestRoundAge: 11 * time.Second})
+	wantState(t, h, Degraded, ReasonRecoverySlow)
+	h = w.Evaluate(Sample{Now: at(2 * time.Second), RoundsInFlight: 1, OldestRoundAge: 21 * time.Second})
+	wantState(t, h, Stalled, ReasonRecoveryWedged)
+}
+
+func TestEvaluateFsyncStreakAndReset(t *testing.T) {
+	w := New(Config{FsyncStreak: 3})
+	stalls := uint64(0)
+	h := w.Evaluate(Sample{Now: at(0), FsyncStalls: stalls})
+	wantState(t, h, Healthy, "")
+	// Three consecutive windows with fresh stalls trip the streak.
+	for i := 1; i <= 3; i++ {
+		stalls++
+		h = w.Evaluate(Sample{Now: at(time.Duration(i) * time.Second), FsyncStalls: stalls})
+	}
+	wantState(t, h, Degraded, ReasonFsyncStalls)
+	// One clean window resets it.
+	h = w.Evaluate(Sample{Now: at(4 * time.Second), FsyncStalls: stalls})
+	wantState(t, h, Healthy, "")
+	// A streak interrupted before the threshold never degrades.
+	stalls++
+	h = w.Evaluate(Sample{Now: at(5 * time.Second), FsyncStalls: stalls})
+	wantState(t, h, Healthy, "")
+	h = w.Evaluate(Sample{Now: at(6 * time.Second), FsyncStalls: stalls})
+	wantState(t, h, Healthy, "")
+}
+
+func TestEvaluateQueueGrowthAndNearLimit(t *testing.T) {
+	w := New(Config{QueueGrowthEvals: 3})
+	for i := 0; i < 3; i++ {
+		h := w.Evaluate(Sample{Now: at(time.Duration(i) * time.Second), QueueLen: uint64(10 * (i + 1))})
+		wantState(t, h, Healthy, "")
+	}
+	h := w.Evaluate(Sample{Now: at(3 * time.Second), QueueLen: 40})
+	wantState(t, h, Degraded, ReasonQueueGrowth)
+	// A shrinking queue resets the streak.
+	h = w.Evaluate(Sample{Now: at(4 * time.Second), QueueLen: 5})
+	wantState(t, h, Healthy, "")
+	// A bounded queue at ≥90% of its limit degrades outright.
+	h = w.Evaluate(Sample{Now: at(5 * time.Second), QueueLen: 90, QueueLimit: 100})
+	wantState(t, h, Degraded, ReasonQueueNearLimit)
+}
+
+func TestEvaluateWorstSeverityWins(t *testing.T) {
+	w := New(Config{StalledAfter: 30 * time.Second, RoundGrace: 10 * time.Second})
+	h := w.Evaluate(Sample{
+		Now: at(0), Waiters: 1, OldestWaiterAge: time.Minute,
+		RoundsInFlight: 1, OldestRoundAge: 11 * time.Second,
+	})
+	wantState(t, h, Stalled, ReasonWaiterWedged)
+	if !strings.Contains(reasons(h), ReasonRecoverySlow) {
+		t.Fatalf("reasons %q dropped the degraded finding", reasons(h))
+	}
+}
+
+func TestRunnerTransitionsAndHook(t *testing.T) {
+	cur := Sample{Now: at(0)}
+	r := NewRunner(Config{StalledAfter: 30 * time.Second}, time.Second, func() Sample { return cur })
+	var hops []string
+	r.OnTransition(func(from, to State, h Health) {
+		hops = append(hops, from.String()+">"+to.String())
+	})
+	r.Tick() // healthy: no transition
+	cur = Sample{Now: at(time.Second), Waiters: 1, OldestWaiterAge: time.Minute}
+	r.Tick() // stalled
+	r.Tick() // still stalled: no second transition
+	cur = Sample{Now: at(3 * time.Second)}
+	r.Tick() // recovered
+
+	if want := "healthy>stalled,stalled>healthy"; strings.Join(hops, ",") != want {
+		t.Fatalf("transition hooks %q, want %q", strings.Join(hops, ","), want)
+	}
+	tr := r.Transitions()
+	if tr[Stalled] != 1 || tr[Healthy] != 1 || tr[Degraded] != 0 {
+		t.Fatalf("transitions %v, want stalled:1 healthy:1 degraded:0", tr)
+	}
+	if h := r.Current(); h.State != Healthy {
+		t.Fatalf("current %s, want healthy", h.Status)
+	}
+}
+
+func TestRunnerStartStop(t *testing.T) {
+	r := NewRunner(Config{}, time.Millisecond, func() Sample { return Sample{Now: time.Now()} })
+	r.Start()
+	r.Start() // second Start is a no-op
+	time.Sleep(10 * time.Millisecond)
+	r.Stop()
+	if h := r.Current(); h.State != Healthy {
+		t.Fatalf("idle runner reports %s", h.Status)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Runner
+	r.Start()
+	r.Stop()
+	r.OnTransition(nil)
+	if h := r.Tick(); h.State != Healthy {
+		t.Fatal("nil runner not healthy")
+	}
+	if h := r.Current(); h.State != Healthy {
+		t.Fatal("nil runner not healthy")
+	}
+	tr := r.Transitions()
+	for _, s := range States {
+		if tr[s] != 0 {
+			t.Fatalf("nil runner reports transitions %v", tr)
+		}
+	}
+}
+
+func TestStateString(t *testing.T) {
+	for s, want := range map[State]string{Healthy: "healthy", Degraded: "degraded", Stalled: "stalled", State(9): "state(9)"} {
+		if got := s.String(); got != want {
+			t.Fatalf("State(%d).String() = %q, want %q", int(s), got, want)
+		}
+	}
+}

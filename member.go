@@ -20,6 +20,7 @@ import (
 	"hierlock/internal/recovery"
 	"hierlock/internal/trace"
 	"hierlock/internal/transport"
+	"hierlock/internal/watchdog"
 )
 
 // Public errors.
@@ -171,6 +172,10 @@ type Member struct {
 	lostHolds   uint64
 	firstEr     error
 
+	// fsyncStalls counts journal fsyncs over the stall threshold (fed by
+	// the fsync observer), one of the stall watchdog's inputs.
+	fsyncStalls atomic.Uint64
+
 	tel telemetry
 }
 
@@ -219,6 +224,14 @@ type telemetry struct {
 	sharedJoins *metrics.Counter
 	latency     *metrics.Histogram
 	factor      *metrics.Histogram
+
+	// Per-operation SLO families: end-to-end latency by (op, outcome) —
+	// indexed by metrics.Op*/Outcome* so the hot path addresses a cached
+	// handle instead of formatting labels — plus admission queue wait and
+	// the token-hop distribution per granted request.
+	opLatency [2][4]*metrics.Histogram
+	queueWait *metrics.Histogram
+	tokenHops *metrics.Histogram
 
 	// Recovery-phase instrumentation (all nil-safe no-ops without a
 	// registry; recovery itself may also be disabled, leaving them at
@@ -314,6 +327,22 @@ func (m *Member) SetTelemetry(t Telemetry) {
 		"Request latency as a multiple of the mean point-to-point network latency (Figure 6).",
 		metrics.LatencyFactorBuckets, nil)
 
+	// Per-operation SLO families, every (op, outcome) series pre-registered
+	// at zero so the first scrape is complete before any traffic.
+	for oi, op := range metrics.OpKinds {
+		for ci, oc := range metrics.Outcomes {
+			m.tel.opLatency[oi][ci] = reg.Histogram(metrics.MetricOpLatency,
+				"End-to-end client operation latency in seconds, by operation and grant outcome.",
+				metrics.DefLatencyBuckets, metrics.Labels{"op": op, "outcome": oc})
+		}
+	}
+	m.tel.queueWait = reg.Histogram(metrics.MetricQueueWait,
+		"Per-lock admission queue wait in seconds, request issue to protocol entry.",
+		metrics.DefLatencyBuckets, nil)
+	m.tel.tokenHops = reg.Histogram(metrics.MetricTokenHops,
+		"Token transfers observed per granted request (0 = pure local grant; Figure 5).",
+		metrics.TokenHopBuckets, nil)
+
 	// Recovery-phase families, pre-registered at zero (both directions of
 	// the labeled counters included) so the first scrape is complete even
 	// on a node that never runs a round.
@@ -365,6 +394,7 @@ func (m *Member) registerFsyncObserver(reg *metrics.Registry) {
 	m.jn.SetFsyncObserver(func(d time.Duration) {
 		hist.ObserveDuration(d)
 		if d >= fsyncStallThreshold {
+			m.fsyncStalls.Add(1)
 			bb.Record(introspect.Event{Type: introspect.EvFsyncStall, Node: m.id, Dur: d})
 		}
 	})
@@ -453,6 +483,22 @@ func (m *Member) registerLockCollectors(reg *metrics.Registry) {
 			}
 			return 0
 		}))
+	reg.Collect(metrics.MetricStripeLocks,
+		"Tracked locks per shard stripe of the member's lock table.", "gauge",
+		func(emit func(metrics.Labels, float64)) {
+			for i := range m.shards {
+				sh := &m.shards[i]
+				sh.mu.Lock()
+				n := len(sh.locks)
+				sh.mu.Unlock()
+				emit(metrics.Labels{"stripe": strconv.Itoa(i)}, float64(n))
+			}
+		})
+	reg.Collect(metrics.MetricLamportClock,
+		"The member's Lamport clock (its rate proxies protocol activity).", "gauge",
+		func(emit func(metrics.Labels, float64)) {
+			emit(nil, float64(m.clock.Now()))
+		})
 }
 
 // registerTransportCollectors registers scrape-time metrics over a TCP
@@ -565,6 +611,14 @@ type waiter struct {
 	// releaseOnUpgrade marks an Unlock issued while an upgrade was in
 	// flight: the W lock is released as soon as the upgrade lands.
 	releaseOnUpgrade bool
+	// hops counts token transfers delivered to this node while the wait
+	// was outstanding, and recovered marks a wait that rode through a
+	// recovery reseed. Both are written under the shard mutex; the client
+	// goroutine reads them only after receiving on ch (the channel send,
+	// also under the shard mutex, orders the writes before the read), so
+	// they classify the grant outcome race-free.
+	hops      int
+	recovered bool
 }
 
 // memberRecovery configures a member's crash-recovery runtime: the full
@@ -752,10 +806,18 @@ func (m *Member) recoveryPrepare(lock proto.LockID, epoch uint32) {
 // request; a hold the round did not account for is marked lost so
 // Unlock surfaces ErrLockLost.
 func (m *Member) recoveryReseed(lock proto.LockID, root proto.NodeID, epoch uint32, accounted modes.Mode, copyset []proto.Request) {
+	// The round is over for this lock however it ended: drop any stamp a
+	// round yielded to a higher-ID regenerator left behind, so the stall
+	// watchdog never judges a superseded round as wedged. Like every
+	// recovery callback, this runs with mgrMu held (roundStart's guard).
+	delete(m.roundStart, lock)
 	sh, ls := m.state(lock, "")
 	defer sh.mu.Unlock()
 	ls.reseeded = true
 	ls.seedRoot = root
+	if w := ls.waiter; w != nil {
+		w.recovered = true // the eventual grant is recovery-delayed
+	}
 	out, lost := ls.engine.Reseed(root, epoch, accounted, copyset)
 	m.tel.regenerated.Inc()
 	if lost {
@@ -930,6 +992,55 @@ func (m *Member) MessagesSent() map[string]uint64 {
 // state for. Idle locks (no hold, no waiter, engine at its initial
 // state) are evicted from the table, so the count stays proportional to
 // the working set rather than to every resource ever named.
+// HealthSample snapshots the stall watchdog's inputs (see
+// internal/watchdog): pending waiters and their worst age, cumulative
+// grants, in-flight recovery rounds, journal fsync stalls and transport
+// queue occupancy. Cheap enough to call every watchdog tick — it takes
+// each stripe mutex briefly, like a metrics scrape.
+func (m *Member) HealthSample() watchdog.Sample {
+	now := time.Now()
+	s := watchdog.Sample{Now: now, FsyncStalls: m.fsyncStalls.Load()}
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		s.TrackedLocks += len(sh.locks)
+		for _, ls := range sh.locks {
+			if w := ls.waiter; w != nil && !w.abandoned {
+				s.Waiters++
+				if age := now.Sub(w.since); age > s.OldestWaiterAge {
+					s.OldestWaiterAge = age
+				}
+			}
+		}
+		sh.mu.Unlock()
+	}
+	m.statMu.Lock()
+	s.Grants = m.acqLatency.Count + m.sharedJoins
+	m.statMu.Unlock()
+	m.mgrMu.Lock()
+	for _, t0 := range m.roundStart {
+		s.RoundsInFlight++
+		if age := now.Sub(t0); age > s.OldestRoundAge {
+			s.OldestRoundAge = age
+		}
+	}
+	m.mgrMu.Unlock()
+	if t, ok := m.tr.(*transport.TCPTransport); ok {
+		for _, q := range t.QueueStats() {
+			s.QueueLen += q.Len
+			if q.Limit > s.QueueLimit {
+				s.QueueLimit = q.Limit
+			}
+		}
+		in := t.InboxStats()
+		s.QueueLen += in.Len
+		if in.Limit > s.QueueLimit {
+			s.QueueLimit = in.Limit
+		}
+	}
+	return s
+}
+
 func (m *Member) TrackedLocks() int {
 	n := 0
 	for i := range m.shards {
@@ -1283,6 +1394,8 @@ func (m *Member) LockWithPriority(ctx context.Context, resource string, mode Mod
 			m.statMu.Unlock()
 			m.tel.sharedJoins.Inc()
 			m.tel.acquires.Inc()
+			m.tel.opLatency[metrics.OpLock][metrics.OutcomeLocal].ObserveDuration(time.Since(start))
+			m.tel.tokenHops.Observe(0)
 			if rec := m.tel.rec; rec != nil {
 				rec.Record(trace.Entry{At: m.tel.now(), Op: trace.OpGranted,
 					Node: m.id, Lock: lockID, Mode: mode, Trace: tr})
@@ -1321,6 +1434,12 @@ func (m *Member) LockWithPriority(ctx context.Context, resource string, mode Mod
 		sh.mu.Unlock()
 		return nil, ErrClosed
 	}
+	// Admission is complete: everything before this point was local
+	// head-of-line queueing, not protocol latency. The nil guard is
+	// outside the call so a telemetry-free member skips the clock read.
+	if m.tel.queueWait != nil {
+		m.tel.queueWait.ObserveDuration(time.Since(start))
+	}
 	w := &waiter{ch: make(chan hlock.Event, 1), since: start, trace: tr, mode: mode}
 	ls.waiter = w
 	out, err := ls.engine.AcquireTraced(mode, priority, tr)
@@ -1332,6 +1451,11 @@ func (m *Member) LockWithPriority(ctx context.Context, resource string, mode Mod
 		return nil, err
 	}
 	m.dispatch(ls, out)
+	// A grant produced by our own dispatch (token already in hand) is in
+	// the buffered channel before anyone else can touch the waiter: that
+	// is the local fast path. Checked under the shard mutex, so a remote
+	// grant racing in through handle cannot be misclassified.
+	localGrant := len(w.ch) > 0
 	sh.mu.Unlock()
 
 	observe := func() {
@@ -1342,6 +1466,15 @@ func (m *Member) LockWithPriority(ctx context.Context, resource string, mode Mod
 		m.tel.acquires.Inc()
 		m.tel.latency.ObserveDuration(d)
 		m.tel.factor.Observe(d.Seconds() / m.tel.base.Seconds())
+		outcome := metrics.OutcomeRemote
+		switch {
+		case w.recovered:
+			outcome = metrics.OutcomeRecovery
+		case localGrant:
+			outcome = metrics.OutcomeLocal
+		}
+		m.tel.opLatency[metrics.OpLock][outcome].ObserveDuration(d)
+		m.tel.tokenHops.Observe(float64(w.hops))
 	}
 	// With RecoveryTimeout configured, bound the wait: a request whose
 	// grant path died with a crashed node and was never regenerated (see
@@ -1366,6 +1499,7 @@ func (m *Member) LockWithPriority(ctx context.Context, resource string, mode Mod
 		default:
 			w.abandoned = true
 			sh.mu.Unlock()
+			m.tel.opLatency[metrics.OpLock][metrics.OutcomeLost].ObserveDuration(time.Since(start))
 			m.tel.bb.Record(introspect.Event{Type: introspect.EvLockLost,
 				Node: m.id, Lock: lockID, Mode: mode, Trace: tr})
 			_, _ = m.tel.bb.TriggerDump(introspect.ReasonLockLost)
@@ -1526,7 +1660,8 @@ func (l *Lock) Upgrade(ctx context.Context) error {
 		rec.Record(trace.Entry{At: m.tel.now(), Op: trace.OpAcquire,
 			Node: m.id, Lock: l.id, Mode: modes.W, Trace: tr})
 	}
-	w := &waiter{ch: make(chan hlock.Event, 1), since: time.Now(),
+	start := time.Now()
+	w := &waiter{ch: make(chan hlock.Event, 1), since: start,
 		trace: tr, mode: modes.W, upgrade: true}
 	ls.waiter = w
 	out, err := ls.engine.UpgradeTraced(0, tr)
@@ -1540,6 +1675,7 @@ func (l *Lock) Upgrade(ctx context.Context) error {
 		return err
 	}
 	m.dispatch(ls, out)
+	localGrant := len(w.ch) > 0 // see LockWithPriority
 	sh.mu.Unlock()
 
 	finish := func() {
@@ -1547,6 +1683,16 @@ func (l *Lock) Upgrade(ctx context.Context) error {
 		l.mode = W
 		l.upgrading = false
 		l.mu.Unlock()
+		d := time.Since(start)
+		outcome := metrics.OutcomeRemote
+		switch {
+		case w.recovered:
+			outcome = metrics.OutcomeRecovery
+		case localGrant:
+			outcome = metrics.OutcomeLocal
+		}
+		m.tel.opLatency[metrics.OpUpgrade][outcome].ObserveDuration(d)
+		m.tel.tokenHops.Observe(float64(w.hops))
 	}
 	var recoverC <-chan time.Time
 	if m.recoveryTimeout > 0 {
@@ -1569,6 +1715,7 @@ func (l *Lock) Upgrade(ctx context.Context) error {
 			// The upgrade, like a canceled one, completes in the
 			// background if its grant ever arrives.
 			sh.mu.Unlock()
+			m.tel.opLatency[metrics.OpUpgrade][metrics.OutcomeLost].ObserveDuration(time.Since(start))
 			m.tel.bb.Record(introspect.Event{Type: introspect.EvLockLost,
 				Node: m.id, Lock: l.id, Mode: modes.W, Trace: tr})
 			_, _ = m.tel.bb.TriggerDump(introspect.ReasonLockLost)
@@ -1631,10 +1778,15 @@ func (m *Member) handle(msg *proto.Message) {
 	}
 	sh, ls := m.state(msg.Lock, "")
 	defer sh.mu.Unlock()
-	if msg.Kind == proto.KindToken && m.tel.reg != nil {
-		m.tel.reg.Counter(metrics.MetricTokenTransfers,
-			"Token transfers observed by this node.",
-			metrics.Labels{"lock": ls.label(), "direction": "in"}).Inc()
+	if msg.Kind == proto.KindToken {
+		if w := ls.waiter; w != nil {
+			w.hops++
+		}
+		if m.tel.reg != nil {
+			m.tel.reg.Counter(metrics.MetricTokenTransfers,
+				"Token transfers observed by this node.",
+				metrics.Labels{"lock": ls.label(), "direction": "in"}).Inc()
+		}
 	}
 	out, err := ls.engine.Handle(msg)
 	if err != nil {

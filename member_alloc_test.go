@@ -1,0 +1,71 @@
+//go:build !race
+
+package hierlock_test
+
+// Allocation guards for the member's client hot path with telemetry —
+// including the per-operation latency SLO histograms — attached and
+// recording. The budgets are the BENCH_pr7 baselines (5 allocs/op for
+// the local contended path, 7 for the journaled path), pinned so
+// instrumentation added later must stay allocation-neutral: histogram
+// observation is handle-indexed atomics, never label formatting. The
+// race detector's instrumentation defeats testing.AllocsPerRun, so
+// these compile out under -race; `make ci` runs them in the plain pass.
+
+import (
+	"context"
+	"testing"
+
+	"hierlock"
+	"hierlock/internal/metrics"
+)
+
+func TestMemberLockUnlockAllocsWithTelemetry(t *testing.T) {
+	c, err := hierlock.NewCluster(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	m := c.Member(0)
+	m.SetTelemetry(hierlock.Telemetry{Registry: metrics.NewRegistry()})
+	ctx := context.Background()
+	const budget = 5 // BENCH_pr7: BenchmarkMemberMultiLockContended allocs/op
+	got := testing.AllocsPerRun(500, func() {
+		l, err := m.Lock(ctx, "alloc-guard", hierlock.W)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Unlock(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got > budget {
+		t.Errorf("local Lock/Unlock with telemetry allocates %.1f objects/op, budget %d", got, budget)
+	}
+}
+
+func TestMemberJournaledLockUnlockAllocsWithTelemetry(t *testing.T) {
+	m, err := hierlock.NewTCPMember(hierlock.TCPMemberConfig{
+		ID:         0,
+		ListenAddr: "127.0.0.1:0",
+		DataDir:    t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	m.SetTelemetry(hierlock.Telemetry{Registry: metrics.NewRegistry()})
+	ctx := context.Background()
+	const budget = 7 // BENCH_pr7: BenchmarkMemberJournaledGrant allocs/op
+	got := testing.AllocsPerRun(500, func() {
+		l, err := m.Lock(ctx, "journal-alloc-guard", hierlock.W)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Unlock(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got > budget {
+		t.Errorf("journaled Lock/Unlock with telemetry allocates %.1f objects/op, budget %d", got, budget)
+	}
+}
