@@ -1,7 +1,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: build test vet lint race chaos coldstart fuzz bench bench-record bench-compare audit ci clean
+.PHONY: build test vet lint race chaos coldstart sessions fuzz bench bench-record bench-compare audit ci clean
 
 build:
 	$(GO) build ./...
@@ -40,6 +40,16 @@ coldstart:
 	$(GO) test -race -count=1 ./internal/journal/
 	$(GO) test -race -count=1 -run 'TestTCPColdStartFromJournals|TestTCPRestartSingleMemberRejoins' .
 
+# Session/lease/admission stress under the race detector: the session
+# tier's lifecycle and wait-queue tests, the lockserver bugfix
+# regressions and lease acceptance tests, the simulator lease chaos,
+# and the fencing tests (including fence-across-crash-recovery).
+sessions:
+	$(GO) test -race -count=1 ./internal/session/
+	$(GO) test -race -count=1 -run 'TestSession|TestAdmission|TestLease|TestUpgradeHonors|TestCloseDrains|TestLongLine' ./internal/lockserver/
+	$(GO) test -race -count=1 -run 'TestLease' ./internal/cluster/
+	$(GO) test -race -count=1 -run 'TestFence' .
+
 # Short seeded fuzz passes over the journal replayer and the protocol
 # engine (longer runs: go test -fuzz FuzzReplay ./internal/journal).
 fuzz:
@@ -52,17 +62,17 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchmem . ./internal/hlock ./internal/metrics ./internal/trace ./internal/proto
 
 # Record a benchmark snapshot — the paper's Figure 5/6/7 CSVs plus the
-# microbenchmark output — into BENCH_pr8.json so PRs can be compared.
+# microbenchmark output — into BENCH_pr9.json so PRs can be compared.
 bench-record:
-	$(GO) run ./cmd/benchrecord -o BENCH_pr8.json
+	$(GO) run ./cmd/benchrecord -o BENCH_pr9.json
 
 # Compare the current snapshot against the previous PR's baseline and
 # fail on any >10% regression in the gated families: engine
 # microbenchmarks, the live-cluster member hot paths (with the latency
 # SLO histograms active via telemetry tests), and the seeded simulator
-# figure benchmarks, against the PR-7 baseline.
+# figure benchmarks, against the PR-8 baseline.
 bench-compare:
-	$(GO) run ./cmd/benchcompare -old BENCH_pr7.json -new BENCH_pr8.json -threshold 0.10
+	$(GO) run ./cmd/benchcompare -old BENCH_pr8.json -new BENCH_pr9.json -threshold 0.10
 
 # The online protocol auditor's invariant tests, under the race
 # detector (they replay violating and healthy trace streams).
@@ -73,9 +83,10 @@ audit:
 # includes the codec allocation assertions compiled out under -race),
 # the full suite under -race (tier-1), the auditor invariants, the
 # chaos/crash-recovery pass, the durability pass (journal + cold-start
-# chaos + journal fuzz), and the microbenchmark regression gate against
-# the previous PR's recorded baseline.
-ci: build lint test race audit chaos coldstart fuzz bench-record bench-compare
+# chaos + journal fuzz), the session/lease stress pass, and the
+# microbenchmark regression gate against the previous PR's recorded
+# baseline.
+ci: build lint test race audit chaos coldstart sessions fuzz bench-record bench-compare
 
 clean:
 	$(GO) clean ./...

@@ -36,6 +36,11 @@
 //	lockctl locks --cluster -debug h1:9400,h2:9401,h3:9402
 //	lockctl top -debug h1:9400,h2:9401,h3:9402
 //
+// Client sessions: list each node's named sessions (lease state, held
+// locks with fencing tokens):
+//
+//	lockctl sessions -debug h1:9400,h2:9401
+//
 // Flight recorder: show the black-box ring and the dump files written
 // on audit violations, recovery rounds and lost locks; retrieve one:
 //
@@ -105,6 +110,9 @@ func main() {
 			return
 		case "watch":
 			watchCmd(args[1:])
+			return
+		case "sessions":
+			sessionsCmd(args[1:])
 			return
 		}
 	}
@@ -287,6 +295,52 @@ func clusterTrace(client *http.Client, addrs []string, n int, remote bool, filte
 // addresses, or the top leaderboard) merges every node's inventory into
 // the cluster view, builds the cluster-wide wait-for graph and flags
 // deadlock cycles.
+// sessionsCmd lists the named client sessions (lease state, held locks
+// with fencing tokens) of one or more lockd nodes, from /debug/locks.
+func sessionsCmd(args []string) {
+	fs := flag.NewFlagSet("sessions", flag.ExitOnError)
+	var (
+		debug   = fs.String("debug", "127.0.0.1:9400", "lockd debug HTTP address (comma-separated list)")
+		asJSON  = fs.Bool("json", false, "print the raw JSON instead of the text report")
+		timeout = fs.Duration("timeout", 10*time.Second, "HTTP timeout")
+	)
+	_ = fs.Parse(args)
+
+	client := &http.Client{Timeout: *timeout}
+	addrs := splitAddrs(*debug)
+	type nodeSessions struct {
+		Node     int                      `json:"node"`
+		Sessions []introspect.SessionInfo `json:"sessions"`
+	}
+	var out []nodeSessions
+	errs := map[string]string{}
+	for _, addr := range addrs {
+		inv, err := lockserver.FetchInventory(client, addr)
+		if err != nil {
+			errs[addr] = err.Error()
+			continue
+		}
+		out = append(out, nodeSessions{Node: inv.Node, Sessions: inv.Sessions})
+	}
+	if len(out) == 0 {
+		warnUnreachable(errs, "listing a partial view")
+		fatalf("no node inventories fetched")
+	}
+	warnUnreachable(errs, "listing a partial view")
+	if *asJSON {
+		printJSON(out)
+		return
+	}
+	for _, ns := range out {
+		fmt.Printf("node %d: ", ns.Node)
+		if len(ns.Sessions) == 0 {
+			fmt.Println("no sessions")
+			continue
+		}
+		fmt.Print(introspect.FormatSessions(ns.Sessions))
+	}
+}
+
 func locksCmd(args []string, top bool) {
 	fs := flag.NewFlagSet("locks", flag.ExitOnError)
 	var (

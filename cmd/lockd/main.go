@@ -47,7 +47,10 @@ func main() {
 		client  = flag.String("client", ":8400", "client listen address")
 		peers   = flag.String("peers", "", "peer map: id=host:port,id=host:port")
 		timeout = flag.Duration("timeout", 0, "per-request lock timeout (0 = wait forever)")
-		debug   = flag.String("debug", "", "debug HTTP listen address for /healthz, /stats, /metrics, /debug/health, /debug/trace, /debug/audit, /debug/locks, /debug/blackbox, /debug/profile and /debug/pprof (disabled if empty)")
+
+		leaseTTL   = flag.Duration("lease-ttl", 30*time.Second, "default session lease TTL; an expired lease force-releases the session's locks")
+		maxWaiters = flag.Int("max-waiters", 0, "cap per (resource, mode) admission queue; beyond it LOCK answers ERR busy (0 = unbounded)")
+		debug      = flag.String("debug", "", "debug HTTP listen address for /healthz, /stats, /metrics, /debug/health, /debug/trace, /debug/audit, /debug/locks, /debug/blackbox, /debug/profile and /debug/pprof (disabled if empty)")
 
 		traceBuf   = flag.Int("trace-buf", 4096, "protocol trace ring size in entries (0 disables tracing)")
 		netLatency = flag.Duration("net-latency", 150*time.Millisecond, "mean point-to-point network latency, the unit of the latency-factor histogram")
@@ -217,6 +220,8 @@ func main() {
 
 	srv := lockserver.New(m)
 	srv.Timeout = *timeout
+	srv.LeaseTTL = *leaseTTL
+	srv.MaxWaiters = *maxWaiters
 	srv.Registry = reg
 	srv.Trace = rec
 	srv.Audit = auditor

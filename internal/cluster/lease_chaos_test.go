@@ -1,0 +1,193 @@
+package cluster_test
+
+import (
+	"testing"
+	"time"
+
+	"hierlock"
+	"hierlock/internal/cluster"
+	"hierlock/internal/metrics"
+	"hierlock/internal/modes"
+	"hierlock/internal/proto"
+	"hierlock/internal/sim"
+	"hierlock/internal/trace"
+)
+
+// TestLeaseReapsDeadClients is the simulator mirror of the lockd
+// session tier's acceptance scenario: clients acquire W under TTL
+// leases, some die mid-hold (no release, no renewal), and the lease
+// reaper must force-release their locks so the survivors keep making
+// progress — under light network chaos, with the protocol auditor
+// verifying zero safety violations and every fencing token on the hot
+// lock strictly increasing across the reaps.
+func TestLeaseReapsDeadClients(t *testing.T) {
+	const (
+		lock    proto.LockID = 1
+		nodes                = 12
+		cycles               = 3
+		ttl                  = 500 * time.Millisecond
+		nDoomed              = 3 // nodes 0..2 die mid-hold on their first grant
+	)
+	rec := trace.New(1)
+	reg := metrics.NewRegistry()
+	auditor := attachAuditor(rec, reg)
+	c := cluster.New(cluster.Config{
+		Protocol: cluster.Hierarchical,
+		Nodes:    nodes,
+		Locks:    []proto.LockID{lock},
+		Seed:     11,
+		Trace:    rec,
+		Registry: reg,
+		Faults: &sim.FaultPlan{
+			DropRate:          0.01,
+			DupRate:           0.01,
+			RetransmitTimeout: 200 * time.Millisecond,
+		},
+	})
+
+	var fences []hierlock.FenceToken
+	grants := 0
+	doomedGrants := 0
+	survivorDone := 0
+	for i := 0; i < nodes; i++ {
+		i := i
+		lease := c.Nodes[i].OpenLease("client", ttl)
+		doomed := i < nDoomed
+		finished := false
+		if !doomed {
+			// A live client heartbeats even while blocked in a queue —
+			// only the doomed ones go silent.
+			var beat func()
+			beat = func() {
+				if finished {
+					return
+				}
+				lease.Renew()
+				c.Sim.AtDaemon(ttl/2, beat)
+			}
+			c.Sim.AtDaemon(ttl/2, beat)
+		}
+		var step func(round int)
+		step = func(round int) {
+			if round >= cycles {
+				finished = true
+				survivorDone++
+				lease.Close()
+				return
+			}
+			lease.Acquire(lock, modes.W, func(f hierlock.FenceToken) {
+				grants++
+				fences = append(fences, f)
+				if doomed {
+					// The client process dies holding W: no release, no
+					// further heartbeats. Only the lease reaper can free
+					// the lock for everyone queued behind it.
+					doomedGrants++
+					return
+				}
+				c.Sim.At(20*time.Millisecond, func() {
+					lease.Release(lock)
+					c.Sim.At(time.Duration(i+1)*5*time.Millisecond, func() { step(round + 1) })
+				})
+			})
+		}
+		c.Sim.At(time.Duration(i)*3*time.Millisecond, func() { step(0) })
+	}
+
+	c.Sim.Run(10 * time.Minute)
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	survivors := nodes - nDoomed
+	if survivorDone != survivors {
+		t.Fatalf("survivors completed = %d, want %d", survivorDone, survivors)
+	}
+	// Every survivor finished all its cycles; doomed clients got at
+	// least the first grant (a doomed lease can also expire while still
+	// queued — its late grant is then released on arrival, uncounted,
+	// exactly the live tier's AddHeld-after-reap path).
+	if want := survivors * cycles; grants != want+doomedGrants {
+		t.Fatalf("grants = %d, want %d survivor + %d doomed", grants, want, doomedGrants)
+	}
+	if doomedGrants < 1 || doomedGrants > nDoomed {
+		t.Fatalf("doomed grants = %d, want 1..%d", doomedGrants, nDoomed)
+	}
+	// W is exclusive: grants form one causal chain, so the fences minted
+	// along it must be strictly increasing.
+	for i := 1; i < len(fences); i++ {
+		if !fences[i-1].Less(fences[i]) {
+			t.Fatalf("fence %d not above its predecessor: %s then %s",
+				i, fences[i-1], fences[i])
+		}
+	}
+
+	// The mirrored session families tell the same story as the live tier
+	// would: every doomed client expired, holding at most one lock.
+	counter := func(name string) uint64 { return reg.Counter(name, "", nil).Value() }
+	if got := counter(metrics.MetricSessionsOpened); got != nodes {
+		t.Fatalf("sessions opened = %d, want %d", got, nodes)
+	}
+	if got := counter(metrics.MetricSessionsExpired); got != nDoomed {
+		t.Fatalf("sessions expired = %d, want %d", got, nDoomed)
+	}
+	if got := counter(metrics.MetricSessionLocksReaped); got != uint64(doomedGrants) {
+		t.Fatalf("locks reaped = %d, want %d", got, doomedGrants)
+	}
+	if got := counter(metrics.MetricSessionsClosed); got != uint64(survivors) {
+		t.Fatalf("sessions closed = %d, want %d", got, survivors)
+	}
+	if got := counter(metrics.MetricFenceTokens); got != uint64(grants) {
+		t.Fatalf("fence tokens = %d, want %d", got, grants)
+	}
+	if got := reg.Gauge(metrics.MetricSessionsOpen, "", nil).Value(); got != 0 {
+		t.Fatalf("sessions open gauge = %v at quiescence, want 0", got)
+	}
+	requireCleanAudit(t, auditor, reg)
+}
+
+// TestLeaseRenewalKeepsLocks checks the other half of the lease
+// contract: a client that heartbeats on time is never reaped, even when
+// it holds a lock far beyond the TTL.
+func TestLeaseRenewalKeepsLocks(t *testing.T) {
+	const lock proto.LockID = 1
+	reg := metrics.NewRegistry()
+	c := cluster.New(cluster.Config{
+		Protocol: cluster.Hierarchical,
+		Nodes:    2,
+		Locks:    []proto.LockID{lock},
+		Seed:     7,
+		Registry: reg,
+	})
+	const ttl = 100 * time.Millisecond
+	lease := c.Nodes[1].OpenLease("steady", ttl)
+	granted := false
+	lease.Acquire(lock, modes.W, func(hierlock.FenceToken) { granted = true })
+	// Heartbeat at half the TTL for 20 TTLs' worth of hold time, then
+	// stop the clock while the lease is still fresh.
+	for i := 1; i <= 40; i++ {
+		c.Sim.At(time.Duration(i)*ttl/2, lease.Renew)
+	}
+	c.Sim.Run(2 * time.Second)
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !granted {
+		t.Fatal("lease acquisition never granted")
+	}
+	if lease.Expired() {
+		t.Fatal("heartbeating lease was reaped")
+	}
+	if got := c.Nodes[1].Held(lock); got != modes.W {
+		t.Fatalf("held mode = %v, want W", got)
+	}
+	if got := reg.Counter(metrics.MetricSessionsExpired, "", nil).Value(); got != 0 {
+		t.Fatalf("sessions expired = %d, want 0", got)
+	}
+	if lease.Close() != 1 {
+		t.Fatal("close should release the one held lock")
+	}
+	if got := c.Nodes[1].Held(lock); got != modes.None {
+		t.Fatalf("held mode after close = %v, want None", got)
+	}
+}

@@ -31,6 +31,21 @@ type telemetry struct {
 	opLatency [2][4]*metrics.Histogram
 	queueWait *metrics.Histogram
 	tokenHops *metrics.Histogram
+
+	// Session-lease mirror families (see internal/session): the
+	// simulator's lease layer (lease.go) drives the same names the lockd
+	// session tier exports, so lease dashboards read identically over
+	// simulator runs and production scrapes. Admission-queue families
+	// are not mirrored — queue admission is a lockd front-end mechanism
+	// with no simulator counterpart.
+	sessionsOpen    *metrics.Gauge
+	sessionsOpened  *metrics.Counter
+	sessionsAdopted *metrics.Counter
+	sessionsClosed  *metrics.Counter
+	sessionsExpired *metrics.Counter
+	renewals        *metrics.Counter
+	reaped          *metrics.Counter
+	fences          *metrics.Counter
 }
 
 func (t *telemetry) init(reg *metrics.Registry, base time.Duration) {
@@ -68,6 +83,22 @@ func (t *telemetry) init(reg *metrics.Registry, base time.Duration) {
 	t.tokenHops = reg.Histogram(metrics.MetricTokenHops,
 		"Token transfers observed per granted request (0 = pure local grant; Figure 5).",
 		metrics.TokenHopBuckets, nil)
+	t.sessionsOpen = reg.Gauge(metrics.MetricSessionsOpen,
+		"Named client sessions currently live.", nil)
+	t.sessionsOpened = reg.Counter(metrics.MetricSessionsOpened,
+		"Named client sessions created.", nil)
+	t.sessionsAdopted = reg.Counter(metrics.MetricSessionsAdopted,
+		"Reconnections that re-adopted a live detached session.", nil)
+	t.sessionsClosed = reg.Counter(metrics.MetricSessionsClosed,
+		"Sessions closed explicitly by clients.", nil)
+	t.sessionsExpired = reg.Counter(metrics.MetricSessionsExpired,
+		"Sessions reaped by the lease sweeper.", nil)
+	t.renewals = reg.Counter(metrics.MetricSessionRenewals,
+		"Session lease renewals (explicit and activity-based).", nil)
+	t.reaped = reg.Counter(metrics.MetricSessionLocksReaped,
+		"Locks force-released because their session's lease expired.", nil)
+	t.fences = reg.Counter(metrics.MetricFenceTokens,
+		"Fencing tokens issued (grants, upgrades, shared joins, hand-offs).", nil)
 }
 
 // countSent records one protocol message entering the network.

@@ -79,6 +79,39 @@ func FormatNode(inv NodeInventory) string {
 			b.WriteByte('\n')
 		}
 	}
+	b.WriteString(FormatSessions(inv.Sessions))
+	return b.String()
+}
+
+// FormatSessions renders a node's named client sessions ("" when there
+// are none, keeping session-free reports unchanged).
+func FormatSessions(sessions []SessionInfo) string {
+	if len(sessions) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d sessions\n", len(sessions))
+	for _, s := range sessions {
+		state := "detached"
+		if s.Attached {
+			state = "attached"
+		}
+		fmt.Fprintf(&b, "  session %s %s ttl=%s expires_in=%s locks=%d\n",
+			s.Name, state,
+			time.Duration(s.TTLMillis)*time.Millisecond,
+			time.Duration(s.ExpiresInMillis)*time.Millisecond,
+			len(s.Locks))
+		for _, l := range s.Locks {
+			fmt.Fprintf(&b, "    %s", l.Key)
+			if l.Mode != "" {
+				fmt.Fprintf(&b, "=%s", l.Mode)
+			}
+			if l.Fence != "" {
+				fmt.Fprintf(&b, "@%s", l.Fence)
+			}
+			b.WriteByte('\n')
+		}
+	}
 	return b.String()
 }
 

@@ -92,11 +92,41 @@ type LockInfo struct {
 	StaleDrops uint64 `json:"stale_drops,omitempty"`
 }
 
+// SessionLock is one lock held by a client session, as recorded by the
+// lockd session tier.
+type SessionLock struct {
+	// Key is the session-scoped name: the resource for plain locks,
+	// "path:<segments>" for path locks, "set:<resources>" for sets.
+	Key string `json:"key"`
+	// Mode is the granted mode ("" for sets).
+	Mode string `json:"mode,omitempty"`
+	// Fence is the grant's fencing token "<epoch>.<seq>" ("" when not
+	// applicable).
+	Fence string `json:"fence,omitempty"`
+}
+
+// SessionInfo is one named client session on a lockd: its lease state
+// and the locks it holds.
+type SessionInfo struct {
+	Name string `json:"name"`
+	// Attached reports a live client connection; a detached session's
+	// lease keeps ticking until re-adoption or expiry.
+	Attached bool `json:"attached,omitempty"`
+	// TTLMillis is the lease TTL; ExpiresInMillis the remaining lease
+	// at dump time (negative = expiry pending the next sweep).
+	TTLMillis       int64         `json:"ttl_ms,omitempty"`
+	ExpiresInMillis int64         `json:"expires_in_ms,omitempty"`
+	Locks           []SessionLock `json:"locks,omitempty"`
+}
+
 // NodeInventory is one node's full lock inventory, the payload of
 // /debug/locks (and the simulator's equivalent).
 type NodeInventory struct {
 	Node  int        `json:"node"`
 	Locks []LockInfo `json:"locks"`
+	// Sessions lists the node's named client sessions (lockd only;
+	// empty for raw members and the simulator).
+	Sessions []SessionInfo `json:"sessions,omitempty"`
 }
 
 // Sort orders the inventory by lock ID (resource name as tiebreaker for

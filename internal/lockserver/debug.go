@@ -291,7 +291,7 @@ func (s *Server) DebugHandler() http.Handler {
 			_ = enc.Encode(s.clusterInventory(strings.Split(peers, ",")))
 			return
 		}
-		_ = enc.Encode(s.member.Inventory())
+		_ = enc.Encode(s.inventory())
 	})
 	mux.HandleFunc("/debug/blackbox", func(w http.ResponseWriter, r *http.Request) {
 		if s.Blackbox == nil {
@@ -419,7 +419,7 @@ type BlackboxView struct {
 // peer's into the cluster view (wait-for graph included). Peer failures
 // are reported in Errors rather than failing the merge.
 func (s *Server) clusterInventory(peers []string) introspect.Cluster {
-	nodes := []introspect.NodeInventory{s.member.Inventory()}
+	nodes := []introspect.NodeInventory{s.inventory()}
 	errs := map[string]string{}
 	client := &http.Client{Timeout: 5 * time.Second}
 	for _, peer := range peers {
@@ -439,6 +439,33 @@ func (s *Server) clusterInventory(peers []string) introspect.Cluster {
 		c.Errors = errs
 	}
 	return c
+}
+
+// inventory is the member's lock inventory plus the session tier's
+// named sessions, when the session manager has been started (it is not
+// created just to report itself empty).
+func (s *Server) inventory() introspect.NodeInventory {
+	inv := s.member.Inventory()
+	s.mu.Lock()
+	mgr := s.sess
+	s.mu.Unlock()
+	if mgr == nil {
+		return inv
+	}
+	for _, info := range mgr.Snapshot() {
+		si := introspect.SessionInfo{
+			Name:            info.Name,
+			Attached:        info.Attached,
+			TTLMillis:       info.TTL.Milliseconds(),
+			ExpiresInMillis: info.ExpiresIn.Milliseconds(),
+		}
+		for _, h := range info.Locks {
+			si.Locks = append(si.Locks, introspect.SessionLock{
+				Key: h.Key, Mode: h.Mode, Fence: h.Fence})
+		}
+		inv.Sessions = append(inv.Sessions, si)
+	}
+	return inv
 }
 
 // FetchInventory retrieves one node's /debug/locks inventory from its

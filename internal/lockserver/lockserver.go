@@ -12,22 +12,65 @@
 //	UNLOCKPATH <seg>...
 //	LOCKALL <mode> <resource>...  deadlock-free multi-resource acquisition
 //	UNLOCKALL <resource>...
-//	HELD                          list locks held by this connection
+//	SESSION OPEN <name> [ttl]     lease-backed session (re-adopts if live)
+//	SESSION RENEW                 heartbeat: reset the lease deadline
+//	SESSION CLOSE                 end the session, releasing its locks
+//	SESSIONS                      list this lockd's named sessions
+//	HELD                          list locks held by this session
 //	STATS                         protocol message counters
 //	PEERS                         per-peer link health and queue depth
 //	QUIT
 //
-// Replies are single lines starting with "OK" or "ERR". Locks belong to
-// the client connection and are released when it closes.
+// Replies are single lines starting with "OK" or "ERR".
+//
+// # Sessions and leases
+//
+// A fresh connection starts with an implicit anonymous session: its
+// locks die with the connection, exactly the pre-session contract.
+// SESSION OPEN upgrades it to a named session with a TTL lease. A named
+// session's locks survive disconnects: the client may reconnect and
+// SESSION OPEN the same name to re-adopt them (the reply carries
+// adopted=true and the surviving lock count). The lease is renewed by
+// SESSION RENEW and implicitly by any command activity; when it expires
+// — the client died — the lease sweeper force-releases everything the
+// session held, within one sweep interval (at most 2×TTL end to end).
+// Commands on an expired session answer "ERR session expired" and the
+// connection falls back to a fresh anonymous session.
+//
+// # Fencing tokens
+//
+// Every LOCK, LOCKPATH and UPGRADE grant carries fence=<epoch.seq>, a
+// token that strictly increases across conflicting grants of the same
+// resource: within a recovery epoch by Lamport-clock causality, across
+// epochs because recovery bumps the epoch. A client passes the token to
+// downstream systems with its writes; a holder whose lease was reaped
+// (or whose lock was demolished by crash recovery) always carries a
+// smaller token than the current holder, so stale writes can be
+// rejected. LOCKALL sets carry no single token (one hold per member
+// lock); use LOCK/LOCKPATH when fencing matters.
+//
+// # Wait-queue admission
+//
+// Exclusive-mode (U, W) requests for one resource collapse into a
+// single member-level waiter: one "leader" connection performs the
+// protocol acquisition and the hold is then handed from client to
+// client locally in FIFO order, each hand-off minting a fresh fencing
+// token — 10k blocked clients on a hot lock cost O(1) protocol traffic
+// per grant. Beyond Server.MaxWaiters queued clients per (resource,
+// mode), LOCK answers "ERR busy". Shared modes (IR, R, IW) bypass the
+// queue; the member's shared-join fast path already grants them with
+// zero protocol traffic.
 package lockserver
 
 import (
 	"bufio"
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -37,15 +80,29 @@ import (
 	"hierlock/internal/introspect"
 	"hierlock/internal/metrics"
 	"hierlock/internal/profile"
+	"hierlock/internal/session"
 	"hierlock/internal/trace"
 	"hierlock/internal/watchdog"
 )
+
+// maxLine bounds one protocol line. Longer lines are consumed and
+// answered with "ERR line too long" instead of killing the connection.
+const maxLine = 1 << 20
+
+var errLineTooLong = errors.New("line too long")
 
 // Server serves the text protocol on behalf of one cluster member.
 type Server struct {
 	member *hierlock.Member
 	// Timeout bounds each LOCK wait (0 = wait forever).
 	Timeout time.Duration
+	// LeaseTTL is the default session lease TTL (0 = 30s).
+	LeaseTTL time.Duration
+	// MaxWaiters caps each (resource, mode) admission queue; beyond it
+	// LOCK answers ERR busy (0 = unbounded).
+	MaxWaiters int
+	// SweepInterval overrides the lease sweeper cadence (0 = LeaseTTL/4).
+	SweepInterval time.Duration
 	// Registry, when non-nil, is served as Prometheus text exposition on
 	// the debug handler's /metrics endpoint.
 	Registry *metrics.Registry
@@ -72,12 +129,30 @@ type Server struct {
 	mu     sync.Mutex
 	ln     net.Listener
 	closed bool
+	conns  map[io.Closer]struct{}
+	sess   *session.Manager
 	wg     sync.WaitGroup
 }
 
 // New creates a server for the member.
 func New(m *hierlock.Member) *Server {
 	return &Server{member: m}
+}
+
+// Sessions returns the server's session manager, creating it on first
+// use (so LeaseTTL/MaxWaiters/Registry set after New still apply).
+func (s *Server) Sessions() *session.Manager {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sess == nil {
+		s.sess = session.NewManager(session.Config{
+			DefaultTTL:    s.LeaseTTL,
+			MaxWaiters:    s.MaxWaiters,
+			SweepInterval: s.SweepInterval,
+			Registry:      s.Registry,
+		})
+	}
+	return s.sess
 }
 
 // Serve accepts client connections on ln until the listener closes or
@@ -109,34 +184,74 @@ func (s *Server) Serve(ln net.Listener) error {
 	}
 }
 
-// Close stops accepting and waits for in-flight sessions to drain.
+// Close stops accepting, closes every live client connection (so
+// sessions blocked reading idle peers drain and Serve can return), and
+// shuts the session manager down, releasing all session-held locks.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	s.closed = true
 	ln := s.ln
-	s.mu.Unlock()
-	if ln != nil {
-		return ln.Close()
+	conns := make([]io.Closer, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
 	}
-	return nil
+	sess := s.sess
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	if sess != nil {
+		sess.Close()
+	}
+	return err
 }
 
-// ServeConn runs one client session; it returns when the peer closes or
-// QUITs, releasing every lock the session still holds.
+// ServeConn runs one client session; it returns when the peer closes,
+// QUITs, or the server shuts down. An anonymous session's locks are
+// released on return; a named session is detached, its lease ticking
+// until re-adoption or expiry.
 func (s *Server) ServeConn(conn io.ReadWriteCloser) {
-	defer conn.Close()
-	sess := &session{
-		srv:   s,
-		held:  make(map[string]*hierlock.Lock),
-		paths: make(map[string]*hierlock.PathLock),
-		sets:  make(map[string]*hierlock.LockSet),
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		_ = conn.Close()
+		return
 	}
-	defer sess.releaseAll()
+	if s.conns == nil {
+		s.conns = make(map[io.Closer]struct{})
+	}
+	s.conns[conn] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	defer conn.Close()
 
-	sc := bufio.NewScanner(conn)
+	mgr := s.Sessions()
+	se := &connState{srv: s, mgr: mgr, sess: mgr.Anonymous()}
+	defer func() { se.mgr.Detach(se.sess) }()
+
+	br := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
-	for sc.Scan() {
-		resp, quit := sess.handle(sc.Text())
+	for {
+		line, err := readLine(br)
+		if err == errLineTooLong {
+			fmt.Fprintln(w, "ERR line too long")
+			if w.Flush() != nil {
+				return
+			}
+			continue
+		}
+		if err != nil {
+			return
+		}
+		resp, quit := se.handle(line)
 		fmt.Fprintln(w, resp)
 		if err := w.Flush(); err != nil {
 			return
@@ -147,33 +262,61 @@ func (s *Server) ServeConn(conn io.ReadWriteCloser) {
 	}
 }
 
-type session struct {
-	srv   *Server
-	held  map[string]*hierlock.Lock
-	paths map[string]*hierlock.PathLock
-	sets  map[string]*hierlock.LockSet
+// readLine reads one newline-terminated line of at most maxLine bytes.
+// Longer lines are consumed to their newline and reported as
+// errLineTooLong, leaving the stream usable. A final unterminated line
+// before EOF is returned as a line.
+func readLine(br *bufio.Reader) (string, error) {
+	var buf []byte
+	overflow := false
+	for {
+		frag, err := br.ReadSlice('\n')
+		if !overflow {
+			buf = append(buf, frag...)
+			if len(buf) > maxLine {
+				overflow = true
+				buf = nil
+			}
+		}
+		switch err {
+		case bufio.ErrBufferFull:
+			continue
+		case nil:
+			if overflow {
+				return "", errLineTooLong
+			}
+			return strings.TrimRight(string(buf), "\r\n"), nil
+		default:
+			if err == io.EOF && !overflow && len(buf) > 0 {
+				return strings.TrimRight(string(buf), "\r\n"), nil
+			}
+			return "", err
+		}
+	}
 }
 
-func (se *session) releaseAll() {
-	for _, l := range se.held {
-		_ = l.Unlock()
-	}
-	for _, pl := range se.paths {
-		_ = pl.Unlock()
-	}
-	for _, ls := range se.sets {
-		_ = ls.Unlock()
-	}
-	se.held, se.paths, se.sets = nil, nil, nil
+// connState binds one client connection to its current session.
+type connState struct {
+	srv  *Server
+	mgr  *session.Manager
+	sess *session.Session
 }
 
-// handle executes one command line and returns the reply plus whether the
-// session should end.
-func (se *session) handle(line string) (string, bool) {
+// handle executes one command line and returns the reply plus whether
+// the session should end.
+func (se *connState) handle(line string) (string, bool) {
 	fields := strings.Fields(line)
 	if len(fields) == 0 {
 		return "ERR empty command", false
 	}
+	// A reaped session answers one "ERR session expired" and the
+	// connection falls back to a fresh anonymous session; any command
+	// on a live named session counts as a heartbeat.
+	if se.sess.Named() && se.sess.Expired() {
+		se.sess = se.mgr.Anonymous()
+		return "ERR session expired", false
+	}
+	se.sess.Touch()
 	switch strings.ToUpper(fields[0]) {
 	case "LOCK":
 		if len(fields) != 3 {
@@ -184,27 +327,12 @@ func (se *session) handle(line string) (string, bool) {
 		if len(fields) != 2 {
 			return "ERR usage: UNLOCK <resource>", false
 		}
-		l, ok := se.held[fields[1]]
-		if !ok {
-			return fmt.Sprintf("ERR not holding %s", fields[1]), false
-		}
-		delete(se.held, fields[1])
-		if err := l.Unlock(); err != nil {
-			return fmt.Sprintf("ERR %v", err), false
-		}
-		return "OK", false
+		return se.release(fields[1], "not holding "+fields[1]), false
 	case "UPGRADE":
 		if len(fields) != 2 {
 			return "ERR usage: UPGRADE <resource>", false
 		}
-		l, ok := se.held[fields[1]]
-		if !ok {
-			return fmt.Sprintf("ERR not holding %s", fields[1]), false
-		}
-		if err := l.Upgrade(context.Background()); err != nil {
-			return fmt.Sprintf("ERR %v", err), false
-		}
-		return fmt.Sprintf("OK %s %v", fields[1], l.Mode()), false
+		return se.upgrade(fields[1]), false
 	case "LOCKPATH":
 		if len(fields) < 3 {
 			return "ERR usage: LOCKPATH <mode> <segment>...", false
@@ -214,16 +342,8 @@ func (se *session) handle(line string) (string, bool) {
 		if len(fields) < 2 {
 			return "ERR usage: UNLOCKPATH <segment>...", false
 		}
-		key := strings.Join(fields[1:], "/")
-		pl, ok := se.paths[key]
-		if !ok {
-			return fmt.Sprintf("ERR not holding path %s", key), false
-		}
-		delete(se.paths, key)
-		if err := pl.Unlock(); err != nil {
-			return fmt.Sprintf("ERR %v", err), false
-		}
-		return "OK", false
+		key := "path:" + strings.Join(fields[1:], "/")
+		return se.release(key, "not holding "+key), false
 	case "LOCKALL":
 		if len(fields) < 3 {
 			return "ERR usage: LOCKALL <mode> <resource>...", false
@@ -233,29 +353,25 @@ func (se *session) handle(line string) (string, bool) {
 		if len(fields) < 2 {
 			return "ERR usage: UNLOCKALL <resource>...", false
 		}
-		key := setKey(fields[1:])
-		ls, ok := se.sets[key]
-		if !ok {
-			return fmt.Sprintf("ERR not holding set %s", key), false
-		}
-		delete(se.sets, key)
-		if err := ls.Unlock(); err != nil {
-			return fmt.Sprintf("ERR %v", err), false
-		}
-		return "OK", false
+		key := "set:" + setKey(fields[1:])
+		return se.release(key, "not holding "+key), false
+	case "SESSION":
+		return se.session(fields[1:]), false
+	case "SESSIONS":
+		return se.sessions(), false
 	case "HELD":
-		names := make([]string, 0, len(se.held)+len(se.paths)+len(se.sets))
-		for res, l := range se.held {
-			names = append(names, fmt.Sprintf("%s=%v", res, l.Mode()))
+		parts := make([]string, 0, se.sess.Len())
+		for _, h := range se.sess.List() {
+			switch {
+			case h.HasFence:
+				parts = append(parts, fmt.Sprintf("%s=%s@%s", h.Key, h.Mode, h.Fence))
+			case h.Mode != "":
+				parts = append(parts, fmt.Sprintf("%s=%s", h.Key, h.Mode))
+			default:
+				parts = append(parts, h.Key)
+			}
 		}
-		for key, pl := range se.paths {
-			names = append(names, fmt.Sprintf("path:%s=%v", key, pl.Leaf().Mode()))
-		}
-		for key := range se.sets {
-			names = append(names, fmt.Sprintf("set:%s", key))
-		}
-		sort.Strings(names)
-		return "OK " + strings.Join(names, " "), false
+		return "OK " + strings.Join(parts, " "), false
 	case "STATS":
 		sent := se.srv.member.MessagesSent()
 		kinds := make([]string, 0, len(sent))
@@ -290,32 +406,155 @@ func (se *session) handle(line string) (string, bool) {
 	}
 }
 
-func (se *session) lock(res, modeStr string) string {
+// session handles the SESSION subcommands.
+func (se *connState) session(args []string) string {
+	if len(args) == 0 {
+		return "ERR usage: SESSION OPEN <name> [ttl] | SESSION RENEW | SESSION CLOSE"
+	}
+	switch strings.ToUpper(args[0]) {
+	case "OPEN":
+		if len(args) < 2 || len(args) > 3 {
+			return "ERR usage: SESSION OPEN <name> [ttl]"
+		}
+		if se.sess.Named() {
+			return fmt.Sprintf("ERR session %s already open on this connection", se.sess.Name())
+		}
+		if se.sess.Len() > 0 {
+			return "ERR locks held on anonymous session; release them first"
+		}
+		var ttl time.Duration
+		if len(args) == 3 {
+			var err error
+			if ttl, err = parseTTL(args[2]); err != nil {
+				return fmt.Sprintf("ERR %v", err)
+			}
+		}
+		sess, adopted, err := se.mgr.Open(args[1], ttl)
+		if err != nil {
+			return fmt.Sprintf("ERR %v", err)
+		}
+		se.sess = sess
+		return fmt.Sprintf("OK session %s ttl=%v adopted=%v locks=%d",
+			sess.Name(), sess.TTL(), adopted, sess.Len())
+	case "RENEW":
+		if len(args) != 1 {
+			return "ERR usage: SESSION RENEW"
+		}
+		ttl, err := se.sess.Renew()
+		if err != nil {
+			return fmt.Sprintf("ERR %v", err)
+		}
+		return fmt.Sprintf("OK session %s expires_in=%v", se.sess.Name(), ttl)
+	case "CLOSE":
+		if len(args) != 1 {
+			return "ERR usage: SESSION CLOSE"
+		}
+		if !se.sess.Named() {
+			return "ERR no session open"
+		}
+		name := se.sess.Name()
+		n := se.mgr.CloseSession(se.sess)
+		se.sess = se.mgr.Anonymous()
+		return fmt.Sprintf("OK session %s released=%d", name, n)
+	default:
+		return fmt.Sprintf("ERR unknown SESSION subcommand %s", strings.ToUpper(args[0]))
+	}
+}
+
+// sessions lists the lockd's named sessions.
+func (se *connState) sessions() string {
+	infos := se.mgr.Snapshot()
+	parts := make([]string, 0, len(infos)+1)
+	parts = append(parts, strconv.Itoa(len(infos)))
+	for _, info := range infos {
+		state := "detached"
+		if info.Attached {
+			state = "attached"
+		}
+		parts = append(parts, fmt.Sprintf("%s:%s:locks=%d:ttl=%v:expires_in=%v",
+			info.Name, state, len(info.Locks), info.TTL,
+			info.ExpiresIn.Round(time.Millisecond)))
+	}
+	return "OK " + strings.Join(parts, " ")
+}
+
+func (se *connState) lock(res, modeStr string) string {
 	mode, err := ParseMode(modeStr)
 	if err != nil {
 		return fmt.Sprintf("ERR %v", err)
 	}
-	if _, dup := se.held[res]; dup {
+	if _, dup := se.sess.Get(res); dup {
 		return fmt.Sprintf("ERR already holding %s", res)
 	}
 	ctx, cancel := se.ctx()
 	defer cancel()
-	l, err := se.srv.member.Lock(ctx, res, mode)
+	srv := se.srv
+	acquire := func(ctx context.Context) (*hierlock.Lock, error) {
+		// The leader acquires under its own context; bound it by the
+		// same server timeout as a direct acquisition.
+		if srv.Timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, srv.Timeout)
+			defer cancel()
+		}
+		return srv.member.Lock(ctx, res, mode)
+	}
+	l, fence, err := se.mgr.Acquire(ctx, res, mode, acquire)
 	if err != nil {
 		return fmt.Sprintf("ERR %v", err)
 	}
-	se.held[res] = l
-	return fmt.Sprintf("OK %s %v", res, l.Mode())
+	release := func() error { return se.mgr.Release(res, mode, l) }
+	h := session.NewHeld(res, mode.String(), fence, true, l, release)
+	if err := se.sess.AddHeld(h); err != nil {
+		// The session was reaped while the grant was in flight: the
+		// lock must not outlive its lease.
+		_ = release()
+		return fmt.Sprintf("ERR %v", err)
+	}
+	return fmt.Sprintf("OK %s %v fence=%s", res, mode, fence)
 }
 
-func (se *session) lockPath(modeStr string, segs []string) string {
+func (se *connState) upgrade(res string) string {
+	h, ok := se.sess.Get(res)
+	if !ok {
+		return fmt.Sprintf("ERR not holding %s", res)
+	}
+	l, isLock := h.Handle.(*hierlock.Lock)
+	if !isLock {
+		return fmt.Sprintf("ERR %s is not upgradable", res)
+	}
+	ctx, cancel := se.ctx()
+	defer cancel()
+	if err := l.Upgrade(ctx); err != nil {
+		return fmt.Sprintf("ERR %v", err)
+	}
+	h.Mode = l.Mode().String()
+	h.Fence = l.Fence()
+	return fmt.Sprintf("OK %s %v fence=%s", res, l.Mode(), h.Fence)
+}
+
+// release routes UNLOCK/UNLOCKPATH/UNLOCKALL through the session,
+// which removes the entry only when the handle was actually disposed
+// of (a failed unlock must stay visible to releaseAll).
+func (se *connState) release(key, notHeld string) string {
+	err := se.sess.Release(key)
+	switch {
+	case errors.Is(err, session.ErrNotHeld):
+		return "ERR " + notHeld
+	case err != nil:
+		return fmt.Sprintf("ERR %v", err)
+	}
+	return "OK"
+}
+
+func (se *connState) lockPath(modeStr string, segs []string) string {
 	mode, err := ParseMode(modeStr)
 	if err != nil {
 		return fmt.Sprintf("ERR %v", err)
 	}
-	key := strings.Join(segs, "/")
-	if _, dup := se.paths[key]; dup {
-		return fmt.Sprintf("ERR already holding path %s", key)
+	key := "path:" + strings.Join(segs, "/")
+	if _, dup := se.sess.Get(key); dup {
+		return fmt.Sprintf("ERR already holding %s", key)
 	}
 	ctx, cancel := se.ctx()
 	defer cancel()
@@ -323,18 +562,23 @@ func (se *session) lockPath(modeStr string, segs []string) string {
 	if err != nil {
 		return fmt.Sprintf("ERR %v", err)
 	}
-	se.paths[key] = pl
-	return fmt.Sprintf("OK path:%s %v", key, pl.Leaf().Mode())
+	leaf := pl.Leaf()
+	h := session.NewHeld(key, leaf.Mode().String(), leaf.Fence(), true, pl, pl.Unlock)
+	if err := se.sess.AddHeld(h); err != nil {
+		_ = pl.Unlock()
+		return fmt.Sprintf("ERR %v", err)
+	}
+	return fmt.Sprintf("OK %s %v fence=%s", key, leaf.Mode(), leaf.Fence())
 }
 
-func (se *session) lockAll(modeStr string, resources []string) string {
+func (se *connState) lockAll(modeStr string, resources []string) string {
 	mode, err := ParseMode(modeStr)
 	if err != nil {
 		return fmt.Sprintf("ERR %v", err)
 	}
-	key := setKey(resources)
-	if _, dup := se.sets[key]; dup {
-		return fmt.Sprintf("ERR already holding set %s", key)
+	key := "set:" + setKey(resources)
+	if _, dup := se.sess.Get(key); dup {
+		return fmt.Sprintf("ERR already holding %s", key)
 	}
 	ctx, cancel := se.ctx()
 	defer cancel()
@@ -342,16 +586,39 @@ func (se *session) lockAll(modeStr string, resources []string) string {
 	if err != nil {
 		return fmt.Sprintf("ERR %v", err)
 	}
-	se.sets[key] = ls
-	return fmt.Sprintf("OK set:%s %d", key, ls.Len())
+	h := session.NewHeld(key, "", hierlock.FenceToken{}, false, ls, ls.Unlock)
+	if err := se.sess.AddHeld(h); err != nil {
+		_ = ls.Unlock()
+		return fmt.Sprintf("ERR %v", err)
+	}
+	return fmt.Sprintf("OK %s %d", key, ls.Len())
 }
 
 // ctx builds the per-request context honoring the server timeout.
-func (se *session) ctx() (context.Context, context.CancelFunc) {
+func (se *connState) ctx() (context.Context, context.CancelFunc) {
 	if se.srv.Timeout > 0 {
 		return context.WithTimeout(context.Background(), se.srv.Timeout)
 	}
 	return context.Background(), func() {}
+}
+
+// parseTTL parses a client-supplied lease TTL: a Go duration ("30s")
+// or a bare integer second count.
+func parseTTL(s string) (time.Duration, error) {
+	if secs, err := strconv.Atoi(s); err == nil {
+		if secs <= 0 {
+			return 0, fmt.Errorf("ttl must be positive")
+		}
+		return time.Duration(secs) * time.Second, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, fmt.Errorf("bad ttl %q (want a duration like 30s)", s)
+	}
+	if d <= 0 {
+		return 0, fmt.Errorf("ttl must be positive")
+	}
+	return d, nil
 }
 
 // setKey canonically names a resource set (sorted, deduplicated).

@@ -42,7 +42,9 @@ func dial(t *testing.T, addr string) *client {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { _ = conn.Close() })
-	return &client{t: t, conn: conn, rd: bufio.NewScanner(conn)}
+	rd := bufio.NewScanner(conn)
+	rd.Buffer(make([]byte, 0, 1<<20), 1<<20) // replies can echo long set keys
+	return &client{t: t, conn: conn, rd: rd}
 }
 
 func (c *client) cmd(line string) string {

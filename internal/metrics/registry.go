@@ -182,6 +182,47 @@ const (
 	// pure local grant, 1 a direct fetch, more a walk along the
 	// probable-owner chain.
 	MetricTokenHops = "hierlock_token_hops"
+
+	// MetricFenceTokens counts fencing tokens issued by the member
+	// (grants, upgrades, shared joins and session-tier hand-offs).
+	MetricFenceTokens = "hierlock_fence_tokens_issued_total"
+
+	// MetricSessionsOpen gauges named client sessions currently live on
+	// this lockd (attached or awaiting re-adoption).
+	MetricSessionsOpen = "hierlock_sessions_open"
+	// MetricSessionsOpened counts named sessions created.
+	MetricSessionsOpened = "hierlock_sessions_opened_total"
+	// MetricSessionsAdopted counts reconnections that re-adopted a live
+	// detached session.
+	MetricSessionsAdopted = "hierlock_sessions_adopted_total"
+	// MetricSessionsClosed counts sessions closed explicitly by clients.
+	MetricSessionsClosed = "hierlock_sessions_closed_total"
+	// MetricSessionsExpired counts sessions reaped by the lease sweeper
+	// after their TTL elapsed without a renewal.
+	MetricSessionsExpired = "hierlock_sessions_expired_total"
+	// MetricSessionRenewals counts lease renewals (explicit SESSION RENEW
+	// plus implicit activity-based touches).
+	MetricSessionRenewals = "hierlock_session_renewals_total"
+	// MetricSessionLocksReaped counts locks force-released because their
+	// owning session's lease expired.
+	MetricSessionLocksReaped = "hierlock_session_locks_reaped_total"
+
+	// MetricAdmissionWaiting gauges clients queued in the session tier's
+	// wait-queue admission (collapsed behind one member-level waiter per
+	// (resource, mode)).
+	MetricAdmissionWaiting = "hierlock_admission_waiting"
+	// MetricAdmissionEnqueued counts clients that entered an admission
+	// queue.
+	MetricAdmissionEnqueued = "hierlock_admission_enqueued_total"
+	// MetricAdmissionHandoffs counts grants satisfied by handing the
+	// member-level hold to the next local waiter (zero protocol traffic).
+	MetricAdmissionHandoffs = "hierlock_admission_handoffs_total"
+	// MetricAdmissionLeaderAcquires counts member-level acquisitions
+	// performed by admission-queue leaders on behalf of their queues.
+	MetricAdmissionLeaderAcquires = "hierlock_admission_leader_acquires_total"
+	// MetricAdmissionBusy counts requests rejected with ERR busy because
+	// the admission queue hit its configured depth cap.
+	MetricAdmissionBusy = "hierlock_admission_busy_rejections_total"
 )
 
 // Label values of MetricOpLatency's op and outcome dimensions, indexable

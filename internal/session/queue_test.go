@@ -1,0 +1,289 @@
+package session_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"hierlock"
+	"hierlock/internal/metrics"
+	"hierlock/internal/session"
+)
+
+// newMemberManager wires a Manager to a real single-member cluster and
+// returns an Acquirer bound to Member.Lock on the given resource/mode.
+func newMemberManager(t *testing.T, cfg session.Config) (*session.Manager, *hierlock.Member, *metrics.Registry) {
+	t.Helper()
+	cl, err := hierlock.NewCluster(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = cl.Close() })
+	mgr, reg := newManager(t, cfg)
+	return mgr, cl.Member(0), reg
+}
+
+func acquirer(m *hierlock.Member, res string, mode hierlock.Mode) session.Acquirer {
+	return func(ctx context.Context) (*hierlock.Lock, error) {
+		return m.Lock(ctx, res, mode)
+	}
+}
+
+// TestAdmissionFanout: N clients contend for one W lock through the
+// admission queue. Exactly one member-level acquisition happens; every
+// other grant is a local hand-off, each stamped with a strictly larger
+// fencing token.
+func TestAdmissionFanout(t *testing.T) {
+	const n = 16
+	mgr, m, reg := newMemberManager(t, session.Config{DefaultTTL: time.Minute})
+	acq := acquirer(m, "hot", hierlock.W)
+
+	// Seed the queue with one real hold, then park n clients behind it
+	// before any grant can move — the whole fan-out must then ride on
+	// this single member-level acquisition.
+	l0, f0, err := mgr.Acquire(context.Background(), "hot", hierlock.W, acq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	fences := []hierlock.FenceToken{f0}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			l, f, err := mgr.Acquire(context.Background(), "hot", hierlock.W, acq)
+			if err != nil {
+				t.Errorf("acquire: %v", err)
+				return
+			}
+			mu.Lock()
+			fences = append(fences, f)
+			mu.Unlock()
+			if err := mgr.Release("hot", hierlock.W, l); err != nil {
+				t.Errorf("release: %v", err)
+			}
+		}()
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for counter(reg, metrics.MetricAdmissionEnqueued) < n+1 {
+		if time.Now().After(deadline) {
+			t.Fatal("clients never enqueued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := mgr.Release("hot", hierlock.W, l0); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+
+	if len(fences) != n+1 {
+		t.Fatalf("grants = %d, want %d", len(fences), n+1)
+	}
+	for i := 1; i < len(fences); i++ {
+		if !fences[i-1].Less(fences[i]) {
+			t.Fatalf("fence %d not above predecessor: %s then %s", i, fences[i-1], fences[i])
+		}
+	}
+	if got := counter(reg, metrics.MetricAdmissionLeaderAcquires); got != 1 {
+		t.Fatalf("leader acquires = %d, want 1 (O(1) protocol traffic)", got)
+	}
+	if got := counter(reg, metrics.MetricAdmissionHandoffs); got != n {
+		t.Fatalf("handoffs = %d, want %d", got, n)
+	}
+	if got := counter(reg, metrics.MetricAdmissionEnqueued); got != n+1 {
+		t.Fatalf("enqueued = %d, want %d", got, n+1)
+	}
+	// The final release had no takers: the member-level hold is gone.
+	if l, err := m.Lock(context.Background(), "hot", hierlock.W); err != nil {
+		t.Fatalf("lock after drain: %v", err)
+	} else {
+		_ = l.Unlock()
+	}
+}
+
+// TestAdmissionBusyCap: beyond MaxWaiters queued clients, acquisitions
+// are refused with ErrBusy instead of growing the queue without bound.
+func TestAdmissionBusyCap(t *testing.T) {
+	mgr, m, reg := newMemberManager(t, session.Config{
+		DefaultTTL: time.Minute,
+		MaxWaiters: 2,
+	})
+	acq := acquirer(m, "hot", hierlock.W)
+
+	// First client holds the lock.
+	l, _, err := mgr.Acquire(context.Background(), "hot", hierlock.W, acq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two more fill the queue.
+	results := make(chan error, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for i := 0; i < 2; i++ {
+		go func() {
+			ql, _, err := mgr.Acquire(ctx, "hot", hierlock.W, acq)
+			if err == nil {
+				err = mgr.Release("hot", hierlock.W, ql)
+			}
+			results <- err
+		}()
+	}
+	// Wait until both are enqueued, then the third must bounce.
+	deadline := time.Now().Add(5 * time.Second)
+	for counter(reg, metrics.MetricAdmissionEnqueued) < 3 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiters never enqueued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, _, err := mgr.Acquire(context.Background(), "hot", hierlock.W, acq); !errors.Is(err, session.ErrBusy) {
+		t.Fatalf("over-cap acquire: %v, want ErrBusy", err)
+	}
+	if got := counter(reg, metrics.MetricAdmissionBusy); got != 1 {
+		t.Fatalf("busy counter = %d", got)
+	}
+	if err := mgr.Release("hot", hierlock.W, l); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-results; err != nil {
+			t.Fatalf("queued client %d: %v", i, err)
+		}
+	}
+}
+
+// TestAdmissionCancel: a queued client that gives up gets its context
+// error, and the hold still reaches the remaining waiters.
+func TestAdmissionCancel(t *testing.T) {
+	mgr, m, reg := newMemberManager(t, session.Config{DefaultTTL: time.Minute})
+	acq := acquirer(m, "hot", hierlock.W)
+
+	l, _, err := mgr.Acquire(context.Background(), "hot", hierlock.W, acq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	canceled := make(chan error, 1)
+	go func() {
+		_, _, err := mgr.Acquire(ctx, "hot", hierlock.W, acq)
+		canceled <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for counter(reg, metrics.MetricAdmissionEnqueued) < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never enqueued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-canceled; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled acquire: %v", err)
+	}
+	// The canceled waiter left the queue; release finds no takers and
+	// the lock frees for direct acquisition.
+	if err := mgr.Release("hot", hierlock.W, l); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := m.Lock(context.Background(), "hot", hierlock.W)
+	if err != nil {
+		t.Fatalf("lock after cancel+release: %v", err)
+	}
+	_ = l2.Unlock()
+}
+
+// TestAdmissionLeaderError: when the leader's member-level acquisition
+// fails, every queued client gets the failure (they all rode on it).
+func TestAdmissionLeaderError(t *testing.T) {
+	mgr, _ := newManager(t, session.Config{DefaultTTL: time.Minute})
+	boom := errors.New("member down")
+	failing := func(ctx context.Context) (*hierlock.Lock, error) { return nil, boom }
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 3)
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _, err := mgr.Acquire(context.Background(), "hot", hierlock.W, failing)
+			errs <- err
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if !errors.Is(err, boom) {
+			t.Fatalf("queued client error = %v, want %v", err, boom)
+		}
+	}
+}
+
+// TestSharedModeBypassesQueue: shared modes ride the member's
+// shared-join fast path, not the admission queue.
+func TestSharedModeBypassesQueue(t *testing.T) {
+	mgr, m, reg := newMemberManager(t, session.Config{DefaultTTL: time.Minute})
+	acq := acquirer(m, "doc", hierlock.R)
+	var locks []*hierlock.Lock
+	for i := 0; i < 3; i++ {
+		l, f, err := mgr.Acquire(context.Background(), "doc", hierlock.R, acq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.IsZero() {
+			t.Fatal("shared grant missing fence")
+		}
+		locks = append(locks, l)
+	}
+	if got := counter(reg, metrics.MetricAdmissionEnqueued); got != 0 {
+		t.Fatalf("shared acquisitions enqueued = %d, want 0", got)
+	}
+	for _, l := range locks {
+		if err := mgr.Release("doc", hierlock.R, l); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestUpgradeVoidsHandoff: upgrading a queue-admitted U to W changes
+// the handle's mode, so its release cannot be handed to U waiters — it
+// must go through a real release and a fresh leader acquisition.
+func TestUpgradeVoidsHandoff(t *testing.T) {
+	mgr, m, reg := newMemberManager(t, session.Config{DefaultTTL: time.Minute})
+	acq := acquirer(m, "acct", hierlock.U)
+
+	l, _, err := mgr.Acquire(context.Background(), "acct", hierlock.U, acq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	granted := make(chan error, 1)
+	go func() {
+		ql, _, err := mgr.Acquire(context.Background(), "acct", hierlock.U, acq)
+		if err == nil {
+			err = mgr.Release("acct", hierlock.U, ql)
+		}
+		granted <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for counter(reg, metrics.MetricAdmissionEnqueued) < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never enqueued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := l.Upgrade(context.Background()); err != nil {
+		t.Fatalf("upgrade: %v", err)
+	}
+	if err := mgr.Release("acct", hierlock.U, l); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-granted; err != nil {
+		t.Fatalf("waiter after upgrade release: %v", err)
+	}
+	// The W handle could not be handed off as a U grant: the waiter's
+	// grant came from a second member-level acquisition.
+	if got := counter(reg, metrics.MetricAdmissionLeaderAcquires); got != 2 {
+		t.Fatalf("leader acquires = %d, want 2", got)
+	}
+}

@@ -233,6 +233,10 @@ type telemetry struct {
 	queueWait *metrics.Histogram
 	tokenHops *metrics.Histogram
 
+	// fences counts fencing tokens minted (grants, upgrades, shared
+	// joins and session-tier hand-offs).
+	fences *metrics.Counter
+
 	// Recovery-phase instrumentation (all nil-safe no-ops without a
 	// registry; recovery itself may also be disabled, leaving them at
 	// their pre-registered zeros).
@@ -342,6 +346,8 @@ func (m *Member) SetTelemetry(t Telemetry) {
 	m.tel.tokenHops = reg.Histogram(metrics.MetricTokenHops,
 		"Token transfers observed per granted request (0 = pure local grant; Figure 5).",
 		metrics.TokenHopBuckets, nil)
+	m.tel.fences = reg.Counter(metrics.MetricFenceTokens,
+		"Fencing tokens issued (grants, upgrades, shared joins, hand-offs).", nil)
 
 	// Recovery-phase families, pre-registered at zero (both directions of
 	// the labeled counters included) so the first scrape is complete even
@@ -619,6 +625,10 @@ type waiter struct {
 	// they classify the grant outcome race-free.
 	hops      int
 	recovered bool
+	// fence is the fencing token minted for the grant, written under the
+	// shard mutex just before the send on ch (same ordering argument as
+	// hops/recovered).
+	fence FenceToken
 }
 
 // memberRecovery configures a member's crash-recovery runtime: the full
@@ -1388,6 +1398,7 @@ func (m *Member) LockWithPriority(ctx context.Context, resource string, mode Mod
 		if h := ls.hold; h != nil && !h.upgrading &&
 			h.mode == mode && modes.Compatible(mode, mode) {
 			h.refs++
+			fence := m.mintFence(ls)
 			sh.mu.Unlock()
 			m.statMu.Lock()
 			m.sharedJoins++
@@ -1404,7 +1415,7 @@ func (m *Member) LockWithPriority(ctx context.Context, resource string, mode Mod
 				lg.Debug("lock granted", "trace", tr.String(), "resource", resource,
 					"mode", mode.String(), "shared_join", true)
 			}
-			return &Lock{m: m, id: lockID, resource: resource, mode: mode}, nil
+			return &Lock{m: m, id: lockID, resource: resource, mode: mode, fence: fence}, nil
 		}
 		slot := ls.slot
 		sh.mu.Unlock()
@@ -1488,14 +1499,14 @@ func (m *Member) LockWithPriority(ctx context.Context, resource string, mode Mod
 	select {
 	case <-w.ch:
 		observe()
-		return &Lock{m: m, id: lockID, resource: resource, mode: mode}, nil
+		return &Lock{m: m, id: lockID, resource: resource, mode: mode, fence: w.fence}, nil
 	case <-recoverC:
 		sh.mu.Lock()
 		select {
 		case <-w.ch:
 			sh.mu.Unlock()
 			observe()
-			return &Lock{m: m, id: lockID, resource: resource, mode: mode}, nil
+			return &Lock{m: m, id: lockID, resource: resource, mode: mode, fence: w.fence}, nil
 		default:
 			w.abandoned = true
 			sh.mu.Unlock()
@@ -1513,7 +1524,7 @@ func (m *Member) LockWithPriority(ctx context.Context, resource string, mode Mod
 			// Granted in the race window: treat as success.
 			sh.mu.Unlock()
 			observe()
-			return &Lock{m: m, id: lockID, resource: resource, mode: mode}, nil
+			return &Lock{m: m, id: lockID, resource: resource, mode: mode, fence: w.fence}, nil
 		default:
 			w.abandoned = true
 			sh.mu.Unlock()
@@ -1527,7 +1538,7 @@ func (m *Member) LockWithPriority(ctx context.Context, resource string, mode Mod
 			// Unlock cleans up locally (remote sends are suppressed).
 			sh.mu.Unlock()
 			observe()
-			return &Lock{m: m, id: lockID, resource: resource, mode: mode}, nil
+			return &Lock{m: m, id: lockID, resource: resource, mode: mode, fence: w.fence}, nil
 		default:
 			// Disown the request: if the grant still arrives (it may be in
 			// the delivery pipeline), the lock is released immediately and
@@ -1550,6 +1561,9 @@ type Lock struct {
 	released bool
 	// upgrading marks an Upgrade in flight.
 	upgrading bool
+	// fence is the fencing token of the most recent grant event on this
+	// handle (acquire, upgrade, or session-tier Refence).
+	fence FenceToken
 }
 
 // Resource returns the locked resource name.
@@ -1560,6 +1574,55 @@ func (l *Lock) Mode() Mode {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.mode
+}
+
+// Fence returns the fencing token minted with the handle's most recent
+// grant event (acquire, successful upgrade, or Refence). See FenceToken
+// for the ordering contract.
+func (l *Lock) Fence() FenceToken {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.fence
+}
+
+// Refence mints a fresh fencing token for the current hold without a
+// release/re-acquire round trip. The session tier uses it to hand a
+// member-level hold from one waiting client to the next: the new owner
+// gets a strictly larger token while the member-level hold — and its
+// protocol state — never moves. It fails with ErrLockLost if the hold
+// was demolished by a recovery reseed, and refuses to re-stamp a handle
+// with an upgrade in flight (the caller falls back to a real Unlock,
+// which the releaseOnUpgrade machinery handles).
+func (l *Lock) Refence() (FenceToken, error) {
+	l.mu.Lock()
+	if l.released {
+		l.mu.Unlock()
+		return FenceToken{}, ErrReleased
+	}
+	if l.upgrading {
+		l.mu.Unlock()
+		return FenceToken{}, fmt.Errorf("hierlock: refence with upgrade in flight")
+	}
+	l.mu.Unlock()
+
+	m := l.m
+	sh, ls := m.state(l.id, l.resource)
+	h := ls.hold
+	if h == nil || h.lost {
+		sh.mu.Unlock()
+		return FenceToken{}, ErrLockLost
+	}
+	if h.upgrading {
+		sh.mu.Unlock()
+		return FenceToken{}, fmt.Errorf("hierlock: refence with upgrade in flight")
+	}
+	f := m.mintFence(ls)
+	sh.mu.Unlock()
+
+	l.mu.Lock()
+	l.fence = f
+	l.mu.Unlock()
+	return f, nil
 }
 
 // Unlock releases the lock. When several local clients share the hold
@@ -1682,6 +1745,7 @@ func (l *Lock) Upgrade(ctx context.Context) error {
 		l.mu.Lock()
 		l.mode = W
 		l.upgrading = false
+		l.fence = w.fence
 		l.mu.Unlock()
 		d := time.Since(start)
 		outcome := metrics.OutcomeRemote
@@ -1848,6 +1912,16 @@ func (m *Member) journalLock(ls *lockState) {
 	}
 }
 
+// mintFence issues a fresh fencing token for the lock: its current
+// recovery epoch plus a Lamport tick. Callers hold the shard mutex
+// owning ls, which orders mints on one lock; the clock tick orders
+// mints across members along the token's causal path.
+func (m *Member) mintFence(ls *lockState) FenceToken {
+	f := FenceToken{Epoch: ls.engine.Epoch(), Seq: uint64(m.clock.Tick())}
+	m.tel.fences.Inc()
+	return f
+}
+
 // dispatch routes an engine step's output. Callers hold the shard mutex
 // owning ls; dispatch may recurse (abandoned-grant auto-release) but
 // only ever touches ls's own lock.
@@ -1912,6 +1986,7 @@ func (m *Member) dispatch(ls *lockState, out hlock.Out) {
 					lg.Debug("lock granted", "trace", ev.Trace.String(),
 						"lock", uint64(ls.id), "mode", ev.Mode.String())
 				}
+				w.fence = m.mintFence(ls)
 				w.ch <- ev
 			}
 		}
