@@ -1,7 +1,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: build test vet lint race chaos coldstart sessions fuzz bench bench-record bench-compare audit ci clean
+.PHONY: build test vet lint race chaos coldstart sessions membership fuzz bench bench-record bench-compare audit ci clean
 
 build:
 	$(GO) build ./...
@@ -50,6 +50,16 @@ sessions:
 	$(GO) test -race -count=1 -run 'TestLease' ./internal/cluster/
 	$(GO) test -race -count=1 -run 'TestFence' .
 
+# Runtime-membership coverage under the race detector: the live TCP
+# join/leave acceptance tests (grow, shrink, leaver killed mid-handoff),
+# the simulator join/leave chaos and determinism tests, the tracked
+# recovery-timer regressions, and the membership wire-kind golden/fuzz
+# corpus rides in the proto package.
+membership:
+	$(GO) test -race -count=1 -run 'TestTCPMembership|TestTCPLeave|TestTCPLeaver|TestCloseWaitsForInflightRecoveryRetry|TestClosedMemberRunsNoTrackedCallbacks|TestCloseTimerStress' .
+	$(GO) test -race -count=1 -run 'TestJoin|TestLeave|TestRootLeave|TestMembershipChaos' ./internal/cluster/
+	$(GO) test -race -count=1 ./internal/proto/
+
 # Short seeded fuzz passes over the journal replayer and the protocol
 # engine (longer runs: go test -fuzz FuzzReplay ./internal/journal).
 fuzz:
@@ -62,9 +72,9 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchmem . ./internal/hlock ./internal/metrics ./internal/trace ./internal/proto
 
 # Record a benchmark snapshot — the paper's Figure 5/6/7 CSVs plus the
-# microbenchmark output — into BENCH_pr9.json so PRs can be compared.
+# microbenchmark output — into BENCH_pr10.json so PRs can be compared.
 bench-record:
-	$(GO) run ./cmd/benchrecord -o BENCH_pr9.json
+	$(GO) run ./cmd/benchrecord -o BENCH_pr10.json
 
 # Compare the current snapshot against the previous PR's baseline and
 # fail on any >10% regression in the gated families: engine
@@ -72,7 +82,7 @@ bench-record:
 # SLO histograms active via telemetry tests), and the seeded simulator
 # figure benchmarks, against the PR-8 baseline.
 bench-compare:
-	$(GO) run ./cmd/benchcompare -old BENCH_pr8.json -new BENCH_pr9.json -threshold 0.10
+	$(GO) run ./cmd/benchcompare -old BENCH_pr9.json -new BENCH_pr10.json -threshold 0.10
 
 # The online protocol auditor's invariant tests, under the race
 # detector (they replay violating and healthy trace streams).
@@ -83,10 +93,11 @@ audit:
 # includes the codec allocation assertions compiled out under -race),
 # the full suite under -race (tier-1), the auditor invariants, the
 # chaos/crash-recovery pass, the durability pass (journal + cold-start
-# chaos + journal fuzz), the session/lease stress pass, and the
+# chaos + journal fuzz), the session/lease stress pass, the runtime
+# membership pass (join/leave acceptance + determinism), and the
 # microbenchmark regression gate against the previous PR's recorded
 # baseline.
-ci: build lint test race audit chaos coldstart sessions fuzz bench-record bench-compare
+ci: build lint test race audit chaos coldstart sessions membership fuzz bench-record bench-compare
 
 clean:
 	$(GO) clean ./...

@@ -71,7 +71,15 @@ type TCPMemberConfig struct {
 	Root int
 	// ListenAddr is this node's accept address, e.g. ":7420".
 	ListenAddr string
-	// Peers maps every other member ID to its listen address.
+	// AdvertiseAddr is the address other members should dial to reach
+	// this one, carried in JOIN announcements (default: the listener's
+	// actual address, which is wrong behind NAT or with a ":0" listener
+	// on a multi-homed host — set it explicitly there). Only meaningful
+	// with HeartbeatInterval (runtime membership rides recovery).
+	AdvertiseAddr string
+	// Peers maps every other member ID to its listen address. A member
+	// that will Join a running cluster starts with an empty map and
+	// learns the peer set from the seed's JoinAck.
 	Peers map[int]string
 	// DialTimeout bounds connection attempts (default 5s).
 	DialTimeout time.Duration
@@ -237,6 +245,7 @@ func NewTCPMember(cfg TCPMemberConfig) (*Member, error) {
 			probeTimeout: cfg.ProbeTimeout,
 			opTimeout:    cfg.RecoveryTimeout,
 			quorum:       quorum,
+			quorumAuto:   cfg.RecoveryQuorum == 0,
 		}
 	}
 	var jn *journal.Journal
@@ -258,6 +267,12 @@ func NewTCPMember(cfg TCPMemberConfig) (*Member, error) {
 			_ = jn.Close()
 		}
 		return nil, err
+	}
+	if rec != nil {
+		rec.advertise = cfg.AdvertiseAddr
+		if rec.advertise == "" {
+			rec.advertise = tr.Addr()
+		}
 	}
 	m, err := newMember(proto.NodeID(cfg.ID), proto.NodeID(cfg.Root), tr, rec, jn)
 	if err != nil {

@@ -14,6 +14,25 @@
 // (seeded, so their virtual workloads are identical run to run). The
 // remaining benchmarks — ablations and parallelism sweeps — are
 // reported but not gated.
+//
+// Snapshots are recorded in different sessions on unpinned, shared
+// hardware, so the two snapshots never see the same machine: frequency
+// scaling, co-tenants and kernel version all move every ns/op number by
+// the same multiplicative factor. Comparing raw ns/op across sessions
+// therefore flags phantom regressions (or hides real ones) whenever the
+// machine state shifted between recordings. The gate instead estimates
+// that drift as the median new/old ratio across the *gated* benchmarks
+// and divides it out before applying -threshold, so only benchmarks
+// that slowed down relative to their own cohort fail the gate. The
+// gated set is the right drift sample because drift is not uniform
+// across benchmark classes: nanosecond-scale register loops (the
+// codec and counter benches) barely feel co-tenant cache and allocator
+// pressure, while the allocation-heavy hot paths all feel it together —
+// mixing the two biases the estimate low and flags phantom cohort-wide
+// regressions. The blind spot is a genuine slowdown spread evenly
+// across more than half of the gated benchmarks — indistinguishable
+// from drift without pinned hardware — which is why the drift factor is
+// printed prominently and -normalize=false restores raw gating.
 package main
 
 import (
@@ -87,6 +106,34 @@ func parseBench(raw string) map[string]float64 {
 	return out
 }
 
+// driftFactor estimates the machine-state drift between two recording
+// sessions as the median new/old ns/op ratio over the benchmarks that
+// are present in both snapshots and match gate (the cohort being
+// compared; nil means all shared benchmarks). The median (not the
+// mean) so that a few genuinely regressed benchmarks — the very thing
+// the gate exists to catch — cannot drag the estimate toward
+// themselves. Returns 1 when no shared benchmark matches.
+func driftFactor(oldBench, newBench map[string]float64, gate *regexp.Regexp) float64 {
+	var ratios []float64
+	for name, oldNs := range oldBench {
+		if gate != nil && !gate.MatchString(name) {
+			continue
+		}
+		if newNs, ok := newBench[name]; ok && oldNs > 0 {
+			ratios = append(ratios, newNs/oldNs)
+		}
+	}
+	if len(ratios) == 0 {
+		return 1
+	}
+	sort.Float64s(ratios)
+	mid := len(ratios) / 2
+	if len(ratios)%2 == 1 {
+		return ratios[mid]
+	}
+	return (ratios[mid-1] + ratios[mid]) / 2
+}
+
 func load(path string) (*snapshot, error) {
 	buf, err := os.ReadFile(path)
 	if err != nil {
@@ -107,7 +154,9 @@ func main() {
 		oldPath   = flag.String("old", "BENCH_pr7.json", "baseline snapshot")
 		newPath   = flag.String("new", "BENCH_pr8.json", "candidate snapshot")
 		threshold = flag.Float64("threshold", 0.10, "max allowed ns/op regression (fraction)")
-		filter    = flag.String("filter",
+		normalize = flag.Bool("normalize", true,
+			"divide out the median new/old ratio (cross-session machine drift) before gating")
+		filter = flag.String("filter",
 			"LocalAcquireRelease|RequestGrantRoundTrip|QueueChurn|Fingerprint|"+
 				"MemberMultiLockContended|MemberJournaledGrant|LiveClusterThroughput|"+
 				"Fig5MessageOverhead|Fig6LatencyFactor|Fig7Breakdown",
@@ -136,6 +185,19 @@ func main() {
 	fmt.Printf("benchcompare: %s (%s) -> %s (%s), gating on /%s/ at %+.0f%%\n",
 		*oldPath, rev(oldSnap), *newPath, rev(newSnap), *filter, *threshold*100)
 
+	drift := 1.0
+	if *normalize {
+		shared := 0
+		for name := range oldBench {
+			if _, ok := newBench[name]; ok && gate.MatchString(name) {
+				shared++
+			}
+		}
+		drift = driftFactor(oldBench, newBench, gate)
+		fmt.Printf("benchcompare: machine-drift factor x%.3f (median new/old over %d shared gated benchmarks); gating drift-adjusted deltas\n",
+			drift, shared)
+	}
+
 	names := make([]string, 0, len(oldBench))
 	for name := range oldBench {
 		names = append(names, name)
@@ -151,16 +213,17 @@ func main() {
 			continue
 		}
 		delta := (newNs - oldNs) / oldNs
+		adjusted := newNs/oldNs/drift - 1
 		gated := gate.MatchString(name)
 		status := "ok      "
-		if gated && delta > *threshold {
+		if gated && adjusted > *threshold {
 			status = "REGRESSED"
 			failed++
 		} else if !gated {
 			status = "info    "
 		}
-		fmt.Printf("  %s %-50s %10.1f -> %10.1f ns/op  (%+.1f%%)\n",
-			status, name, oldNs, newNs, delta*100)
+		fmt.Printf("  %s %-50s %10.1f -> %10.1f ns/op  (%+.1f%% raw, %+.1f%% vs drift)\n",
+			status, name, oldNs, newNs, delta*100, adjusted*100)
 	}
 	for name := range newBench {
 		if _, ok := oldBench[name]; !ok && gate.MatchString(name) {
@@ -168,7 +231,8 @@ func main() {
 		}
 	}
 	if failed > 0 {
-		fatalf("%d gated benchmark(s) regressed more than %.0f%%", failed, *threshold*100)
+		fatalf("%d gated benchmark(s) regressed more than %.0f%% beyond the x%.3f drift factor",
+			failed, *threshold*100, drift)
 	}
 	fmt.Println("benchcompare: no gated regressions")
 }

@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"regexp"
+	"testing"
+)
 
 func TestParseBenchStripsProcSuffix(t *testing.T) {
 	raw := `
@@ -65,5 +68,73 @@ BenchmarkContended/goroutines-16 	 1000000	       820.0 ns/op
 	got := parseBench(raw)
 	if got["BenchmarkContended/goroutines-1"] != 743 || got["BenchmarkContended/goroutines-16"] != 820 {
 		t.Fatalf("parseBench = %v", got)
+	}
+}
+
+// Snapshots come from different sessions on unpinned hardware; the
+// drift factor is the median new/old ratio so that the handful of
+// genuinely regressed benchmarks the gate exists to catch cannot drag
+// the estimate toward themselves.
+func TestDriftFactorIsMedianRatio(t *testing.T) {
+	oldB := map[string]float64{"a": 100, "b": 200, "c": 400}
+	newB := map[string]float64{"a": 120, "b": 240, "c": 600}
+	// Ratios 1.2, 1.2, 1.5 — the 1.5 outlier must not move the median.
+	if got := driftFactor(oldB, newB, nil); got != 1.2 {
+		t.Fatalf("driftFactor = %v, want 1.2", got)
+	}
+}
+
+func TestDriftFactorEvenCountAveragesMiddle(t *testing.T) {
+	oldB := map[string]float64{"a": 100, "b": 100}
+	newB := map[string]float64{"a": 110, "b": 130}
+	if got := driftFactor(oldB, newB, nil); got < 1.199 || got > 1.201 {
+		t.Fatalf("driftFactor = %v, want ~1.2", got)
+	}
+}
+
+// No shared benchmarks (or a zero baseline) must not divide by zero or
+// skew the gate: the factor degrades to 1, i.e. raw comparison.
+func TestDriftFactorDegradesToRaw(t *testing.T) {
+	if got := driftFactor(map[string]float64{"a": 100}, map[string]float64{"b": 90}, nil); got != 1 {
+		t.Fatalf("no overlap: driftFactor = %v, want 1", got)
+	}
+	if got := driftFactor(map[string]float64{"a": 0}, map[string]float64{"a": 90}, nil); got != 1 {
+		t.Fatalf("zero baseline: driftFactor = %v, want 1", got)
+	}
+}
+
+// The scenario that motivated normalization: every benchmark is ~20%
+// slower because the machine is (uniform drift), and one benchmark
+// additionally regressed for real. Adjusted deltas must clear the
+// uniform cohort and still flag the true outlier.
+func TestDriftAdjustedDeltaFlagsOnlyTrueOutlier(t *testing.T) {
+	oldB := map[string]float64{"a": 100, "b": 200, "c": 300, "d": 400, "outlier": 500}
+	newB := map[string]float64{"a": 120, "b": 240, "c": 360, "d": 480, "outlier": 800}
+	drift := driftFactor(oldB, newB, nil)
+	if drift != 1.2 {
+		t.Fatalf("driftFactor = %v, want 1.2", drift)
+	}
+	const threshold = 0.10
+	for name, oldNs := range oldB {
+		adjusted := newB[name]/oldNs/drift - 1
+		flagged := adjusted > threshold
+		if want := name == "outlier"; flagged != want {
+			t.Fatalf("%s: adjusted %+.3f flagged=%v, want %v", name, adjusted, flagged, want)
+		}
+	}
+}
+
+// The drift sample is the gated cohort: cheap register loops drift
+// differently from allocation-heavy hot paths, so ungated benchmarks
+// must not dilute the estimate for the set actually being gated.
+func TestDriftFactorUsesOnlyGatedCohort(t *testing.T) {
+	oldB := map[string]float64{"BenchmarkHot1": 100, "BenchmarkHot2": 200, "BenchmarkTinyLoop": 10}
+	newB := map[string]float64{"BenchmarkHot1": 120, "BenchmarkHot2": 240, "BenchmarkTinyLoop": 10}
+	gate := regexp.MustCompile("Hot")
+	if got := driftFactor(oldB, newB, gate); got != 1.2 {
+		t.Fatalf("gated driftFactor = %v, want 1.2 (TinyLoop ratio 1.0 must be excluded)", got)
+	}
+	if got := driftFactor(oldB, newB, regexp.MustCompile("NoSuchBenchmark")); got != 1 {
+		t.Fatalf("empty gated cohort: driftFactor = %v, want 1", got)
 	}
 }

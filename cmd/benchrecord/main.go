@@ -49,7 +49,7 @@ func main() {
 		warmup   = flag.Duration("warmup", 10*time.Second, "virtual warmup per cell")
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		bench    = flag.Bool("bench", true, "also run go test -bench over the hot-path packages")
-		count    = flag.Int("count", 3, "go test -count for the bench run (benchcompare gates on the best of N)")
+		count    = flag.Int("count", 6, "go test -count for the bench run (benchcompare gates on the best of N; on shared hardware the min needs several repeats to converge)")
 	)
 	flag.Parse()
 

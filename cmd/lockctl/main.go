@@ -179,6 +179,23 @@ func main() {
 		if !strings.HasPrefix(resp, "OK") {
 			os.Exit(1)
 		}
+	case "member":
+		// member list | member add <seed-addr> | member remove — runtime
+		// membership against the member behind -addr: add makes it join a
+		// running cluster via the seed's peer address, remove makes it
+		// hand off its tokens and leave. Addresses pass through verbatim.
+		if len(args) < 2 {
+			fatalf("usage: lockctl member list | member add <seed-addr> | member remove")
+		}
+		line := "MEMBER " + strings.ToUpper(args[1])
+		if len(args) > 2 {
+			line += " " + strings.Join(args[2:], " ")
+		}
+		resp := send(line)
+		fmt.Println(resp)
+		if !strings.HasPrefix(resp, "OK") {
+			os.Exit(1)
+		}
 	default:
 		fatalf("unknown command %q", args[0])
 	}

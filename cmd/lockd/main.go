@@ -48,6 +48,10 @@ func main() {
 		peers   = flag.String("peers", "", "peer map: id=host:port,id=host:port")
 		timeout = flag.Duration("timeout", 0, "per-request lock timeout (0 = wait forever)")
 
+		join      = flag.String("join", "", "join a running cluster via this seed member's peer address (requires -heartbeat; -peers may be empty, the cluster is learned from the seed)")
+		advertise = flag.String("advertise", "", "peer address other members should dial to reach this one (default: the -listen listener's actual address)")
+		joinWait  = flag.Duration("join-timeout", 30*time.Second, "give up on the -join handshake after this long")
+
 		leaseTTL   = flag.Duration("lease-ttl", 30*time.Second, "default session lease TTL; an expired lease force-releases the session's locks")
 		maxWaiters = flag.Int("max-waiters", 0, "cap per (resource, mode) admission queue; beyond it LOCK answers ERR busy (0 = unbounded)")
 		debug      = flag.String("debug", "", "debug HTTP listen address for /healthz, /stats, /metrics, /debug/health, /debug/trace, /debug/audit, /debug/locks, /debug/blackbox, /debug/profile and /debug/pprof (disabled if empty)")
@@ -102,10 +106,14 @@ func main() {
 	if err != nil {
 		fatal("bad -fsync", "err", err)
 	}
+	if *join != "" && *heartbeat <= 0 {
+		fatal("-join requires -heartbeat (membership rides the recovery machinery)")
+	}
 	m, err := hierlock.NewTCPMember(hierlock.TCPMemberConfig{
 		ID:                *id,
 		Root:              *root,
 		ListenAddr:        *listen,
+		AdvertiseAddr:     *advertise,
 		Peers:             peerMap,
 		Reliable:          *reliable,
 		QueueLimit:        *queueLimit,
@@ -127,6 +135,16 @@ func main() {
 		fatal("member start failed", "err", err)
 	}
 	defer m.Close()
+
+	if *join != "" {
+		ctx, cancel := context.WithTimeout(context.Background(), *joinWait)
+		err := m.Join(ctx, *join)
+		cancel()
+		if err != nil {
+			fatal("join failed", "seed", *join, "err", err)
+		}
+		logger.Info("joined cluster", "seed", *join, "members", len(m.Members()))
+	}
 
 	reg := metrics.NewRegistry()
 	var rec *trace.Recorder

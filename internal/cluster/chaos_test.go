@@ -166,7 +166,7 @@ func TestChaosAllProtocols(t *testing.T) {
 func TestChaosDeterministic(t *testing.T) {
 	type fingerprint struct {
 		faults  metrics.Faults
-		byKind  [10]uint64
+		byKind  [14]uint64
 		granted int
 		fired   uint64
 	}
@@ -430,7 +430,7 @@ func TestChaosTokenHolderCrashHangsWithoutRecovery(t *testing.T) {
 func TestChaosRecoveryDeterministic(t *testing.T) {
 	type fingerprint struct {
 		faults metrics.Faults
-		byKind [10]uint64
+		byKind [14]uint64
 		served int
 		lost   uint64
 		fired  uint64

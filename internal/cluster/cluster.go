@@ -153,6 +153,17 @@ type Cluster struct {
 	tel      telemetry
 	recovery *RecoveryOptions
 	died     map[proto.NodeID]bool
+
+	// cfg is the resolved construction config, kept so runtime joins can
+	// mint nodes identical to the originals (see membership.go).
+	cfg Config
+	// members is the current membership: node IDs admitted and not
+	// departed. Node slots in Nodes are never reused; a departed node
+	// stays in the slice but leaves this set.
+	members map[proto.NodeID]bool
+	// quorumAuto records that the recovery quorum was configured as
+	// "majority" (Quorum == 0), so membership changes recompute it.
+	quorumAuto bool
 }
 
 // New builds a cluster per cfg. Node 0 initially holds every token and is
@@ -182,10 +193,16 @@ func New(cfg Config) *Cluster {
 		switch {
 		case r.Quorum == 0:
 			r.Quorum = cfg.Nodes/2 + 1
+			c.quorumAuto = true
 		case r.Quorum < 0:
 			r.Quorum = 0
 		}
 		c.recovery = &r
+	}
+	c.cfg = cfg
+	c.members = make(map[proto.NodeID]bool, cfg.Nodes)
+	for i := 0; i < cfg.Nodes; i++ {
+		c.members[proto.NodeID(i)] = true
 	}
 	c.Net = NewNetwork(s, cfg.Latency)
 	c.Net.trace = cfg.Trace
@@ -507,10 +524,15 @@ func (c *Cluster) absentHolds(n *Node, lock proto.LockID, maxEpoch uint32) bool 
 	return n.ID == 0 && maxEpoch == 0
 }
 
-// NodeDown reports whether a node is inside a scheduled crash window at
-// the current virtual time (always false without a fault plan). Workloads
-// use it to pause issuing client operations on a downed node.
+// NodeDown reports whether a node is currently absent from the cluster:
+// inside a scheduled crash window, or gracefully departed via Leave.
+// Workloads use it to pause issuing client operations on a downed node;
+// the token-conservation and health checks use it to exclude state that
+// died (or left) with the process.
 func (c *Cluster) NodeDown(id proto.NodeID) bool {
+	if !c.members[id] {
+		return true
+	}
 	f := c.Net.Faults()
 	return f != nil && f.DownAt(int(id), c.Sim.Now())
 }
@@ -573,6 +595,11 @@ type Node struct {
 	// node runs as regenerator, the simulator's mirror of the member's
 	// roundStart map; HealthSample judges round ages from it.
 	roundStart map[proto.LockID]time.Duration
+
+	// left marks a gracefully departed node: its handler drops every
+	// frame still in flight to it, modelling the process that shut down
+	// after the hand-off (see Cluster.Leave).
+	left bool
 }
 
 // newTrace mints a cluster-unique causal trace ID for a client operation
@@ -642,10 +669,14 @@ func newNode(c *Cluster, id proto.NodeID, cfg Config) *Node {
 // — the old manager's seed table and round state died with the process.
 func (n *Node) newManager() *recovery.Manager {
 	c := n.c
-	peers := make([]proto.NodeID, n.nnodes)
-	for i := range peers {
-		peers[i] = proto.NodeID(i)
+	// Peers come from the cluster's current membership, not the boot-time
+	// node count: a manager rebuilt after a disk-loss restart must not
+	// resurrect departed members or miss runtime joiners.
+	peers := make([]proto.NodeID, 0, len(c.members))
+	for id := range c.members {
+		peers = append(peers, id)
 	}
+	sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
 	return recovery.NewManager(recovery.Config{
 		Self:             n.ID,
 		Nodes:            peers,
@@ -1089,6 +1120,9 @@ func (n *Node) HierEngine(lock proto.LockID) *hlock.Engine {
 func (n *Node) NaimiEngine(lock proto.LockID) *naimi.Engine { return n.naimi[lock] }
 
 func (n *Node) handle(msg *proto.Message) {
+	if n.left {
+		return
+	}
 	if n.mgr != nil && n.mgr.HandleMessage(msg) {
 		return
 	}

@@ -19,6 +19,9 @@
 //	HELD                          list locks held by this session
 //	STATS                         protocol message counters
 //	PEERS                         per-peer link health and queue depth
+//	MEMBER LIST                   this member's view of the cluster
+//	MEMBER ADD <seed-addr>        join a running cluster via the seed's peer address
+//	MEMBER REMOVE                 gracefully leave the cluster (hand off tokens)
 //	QUIT
 //
 // Replies are single lines starting with "OK" or "ERR".
@@ -399,10 +402,69 @@ func (se *connState) handle(line string) (string, bool) {
 			parts = append(parts, fmt.Sprintf("%d=%s/q%d", id, h.State, h.QueueLen))
 		}
 		return "OK " + strings.Join(parts, " "), false
+	case "MEMBER":
+		return se.memberCmd(fields[1:]), false
 	case "QUIT":
 		return "OK bye", true
 	default:
 		return fmt.Sprintf("ERR unknown command %s", strings.ToUpper(fields[0])), false
+	}
+}
+
+// membershipTimeout bounds the blocking MEMBER ADD/REMOVE handshakes.
+const membershipTimeout = 30 * time.Second
+
+// memberCmd handles the MEMBER subcommands: LIST renders this member's
+// current view of the cluster (self marked with *), ADD makes this
+// member join a running cluster through a seed member's peer address,
+// and REMOVE makes it leave gracefully — every held token is handed off
+// for regeneration among the survivors before the reply. The daemon
+// stays up after REMOVE (its engines are fenced out of the cluster);
+// shut it down once the reply confirms the hand-off.
+func (se *connState) memberCmd(args []string) string {
+	if len(args) == 0 {
+		return "ERR usage: MEMBER LIST | MEMBER ADD <seed-addr> | MEMBER REMOVE"
+	}
+	switch strings.ToUpper(args[0]) {
+	case "LIST":
+		if len(args) != 1 {
+			return "ERR usage: MEMBER LIST"
+		}
+		infos := se.srv.member.Members()
+		parts := make([]string, 0, len(infos))
+		for _, mi := range infos {
+			p := strconv.Itoa(mi.ID)
+			if mi.Addr != "" {
+				p += "=" + mi.Addr
+			}
+			if mi.Self {
+				p += "*"
+			}
+			parts = append(parts, p)
+		}
+		return "OK " + strings.Join(parts, " ")
+	case "ADD":
+		if len(args) != 2 {
+			return "ERR usage: MEMBER ADD <seed-addr>"
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), membershipTimeout)
+		defer cancel()
+		if err := se.srv.member.Join(ctx, args[1]); err != nil {
+			return fmt.Sprintf("ERR %v", err)
+		}
+		return fmt.Sprintf("OK joined via %s members=%d", args[1], len(se.srv.member.Members()))
+	case "REMOVE":
+		if len(args) != 1 {
+			return "ERR usage: MEMBER REMOVE"
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), membershipTimeout)
+		defer cancel()
+		if err := se.srv.member.Leave(ctx); err != nil {
+			return fmt.Sprintf("ERR %v", err)
+		}
+		return "OK left cluster (tokens handed off; shut this member down)"
+	default:
+		return fmt.Sprintf("ERR unknown MEMBER subcommand %s", strings.ToUpper(args[0]))
 	}
 }
 

@@ -20,7 +20,7 @@ import (
 
 // Messages counts protocol messages by kind.
 type Messages struct {
-	ByKind [10]uint64 // indexed by proto.Kind (through KindHeartbeat)
+	ByKind [14]uint64 // indexed by proto.Kind (through KindLeaveAck)
 	// Unknown counts messages whose kind is outside the known range —
 	// a decoding bug or a newer peer's message type. Keeping them in a
 	// dedicated overflow bucket guarantees Total never under-reports.

@@ -135,6 +135,21 @@ const (
 	// (each surfaced to its client as ErrLockLost).
 	MetricRecoveryLostHolds = "hierlock_recovery_lost_holds_total"
 
+	// MetricMembershipSize gauges the member's current view of the
+	// cluster size (configured nodes, itself included).
+	MetricMembershipSize = "hierlock_membership_size"
+	// MetricMembershipJoins counts peers this member admitted through the
+	// JOIN handshake (first admission per peer; re-announcements are not
+	// recounted).
+	MetricMembershipJoins = "hierlock_membership_joins_total"
+	// MetricMembershipLeaves counts graceful peer departures this member
+	// processed (LEAVE hand-offs; crash recoveries are counted by the
+	// recovery families instead).
+	MetricMembershipLeaves = "hierlock_membership_leaves_total"
+	// MetricMembershipHandoffLocks counts locks handed off by departing
+	// peers (the token locks each LEAVE nominated for regeneration).
+	MetricMembershipHandoffLocks = "hierlock_membership_handoff_locks_total"
+
 	// MetricBlackboxEvents counts structured events captured by the
 	// flight recorder's ring.
 	MetricBlackboxEvents = "hierlock_blackbox_events_total"

@@ -27,21 +27,31 @@ import (
 //	3 — appends the per-lock recovery epoch (uint32) to the fixed header
 //	    and admits the recovery/liveness message kinds (probe, claim,
 //	    recovered, heartbeat).
+//	4 — appends a length-prefixed endpoint address (uint16 length + raw
+//	    bytes) after the epoch and admits the membership kinds (join,
+//	    join_ack, leave, leave_ack).
 //
 // The encoder always emits the current version. The decoder additionally
-// accepts version-2 and version-1 frames, yielding a zero epoch (and,
-// for version 1, zero trace IDs), so an epoch-aware node can interoperate
-// with older peers during a rolling upgrade; any other version is
-// rejected with ErrBadVersion. Older versions cannot carry the recovery
-// kinds: a v1/v2 frame with a kind beyond freeze is malformed.
+// accepts version-3, version-2 and version-1 frames, yielding an empty
+// address (and, for v2 and below, a zero epoch; for v1, zero trace IDs),
+// so a membership-aware node can interoperate with older peers during a
+// rolling upgrade; any other version is rejected with ErrBadVersion.
+// Older versions cannot carry the kinds introduced after them: a v1/v2
+// frame with a kind beyond freeze, or a v3 frame with a kind beyond
+// heartbeat, is malformed.
 
 const (
-	wireVersion byte = 3
+	wireVersion byte = 4
 
 	// Prior versions the decoder still accepts (missing fields decode as
 	// zero).
+	wireVersionV3 byte = 3
 	wireVersionV2 byte = 2
 	wireVersionV1 byte = 1
+
+	// MaxAddrLen bounds the endpoint address accepted from the wire; any
+	// real host:port is far below this.
+	MaxAddrLen = 1 << 10
 
 	// MaxQueueLen bounds the queue length accepted from the wire; a token
 	// transfer can carry at most one outstanding request per node, so any
@@ -71,6 +81,14 @@ func AppendMessage(dst []byte, m *Message) []byte {
 	dst = append(dst, byte(m.Mode), byte(m.Owned), byte(m.Frozen))
 	dst = appendTrace(dst, m.Trace)
 	dst = binary.BigEndian.AppendUint32(dst, m.Epoch)
+	if len(m.Addr) > MaxAddrLen {
+		// A programming error, not a wire condition: no caller forms
+		// kilobyte addresses. Failing loudly beats emitting a frame every
+		// peer will reject.
+		panic("proto: message address exceeds MaxAddrLen")
+	}
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(m.Addr)))
+	dst = append(dst, m.Addr...)
 	dst = appendRequest(dst, m.Req)
 	dst = binary.BigEndian.AppendUint32(dst, uint32(len(m.Queue)))
 	for _, r := range m.Queue {
@@ -133,11 +151,12 @@ func PutMessage(m *Message) {
 }
 
 // DecodeMessage parses one message from buf (the full payload of a frame).
-// The current wire version and the two prior ones are accepted;
-// version-2 frames decode with a zero epoch, version-1 frames with zero
-// trace IDs and a zero epoch. The returned Message comes from the
-// message pool; callers that can bound its lifetime may return it with
-// PutMessage for an allocation-free steady state.
+// The current wire version and the three prior ones are accepted;
+// version-3 frames decode with an empty address, version-2 frames
+// additionally with a zero epoch, version-1 frames additionally with
+// zero trace IDs. The returned Message comes from the message pool;
+// callers that can bound its lifetime may return it with PutMessage for
+// an allocation-free steady state.
 func DecodeMessage(buf []byte) (*Message, error) {
 	m := GetMessage()
 	if err := decodeMessage(m, buf); err != nil {
@@ -154,16 +173,19 @@ func decodeMessage(m *Message, buf []byte) error {
 		return fmt.Errorf("%w: empty payload", ErrBadFrame)
 	}
 	hdrLen, reqLen := headerLen, requestLen
-	maxKind := KindHeartbeat
+	maxKind := KindLeaveAck
+	hasAddr := true
 	switch buf[0] {
 	case wireVersion:
+	case wireVersionV3:
+		maxKind, hasAddr = KindHeartbeat, false
 	case wireVersionV2:
-		hdrLen, maxKind = headerLenV2, KindFreeze
+		hdrLen, maxKind, hasAddr = headerLenV2, KindFreeze, false
 	case wireVersionV1:
-		hdrLen, reqLen, maxKind = headerLenV1, requestLenV1, KindFreeze
+		hdrLen, reqLen, maxKind, hasAddr = headerLenV1, requestLenV1, KindFreeze, false
 	default:
-		return fmt.Errorf("%w: got %d, want %d (or %d, %d)",
-			ErrBadVersion, buf[0], wireVersion, wireVersionV2, wireVersionV1)
+		return fmt.Errorf("%w: got %d, want %d (or %d, %d, %d)",
+			ErrBadVersion, buf[0], wireVersion, wireVersionV3, wireVersionV2, wireVersionV1)
 	}
 	if len(buf) < hdrLen+reqLen+4 {
 		return fmt.Errorf("%w: short payload (%d bytes)", ErrBadFrame, len(buf))
@@ -191,6 +213,23 @@ func decodeMessage(m *Message, buf []byte) error {
 	}
 	var err error
 	rest := buf[hdrLen:]
+	if hasAddr {
+		if len(rest) < 2 {
+			return fmt.Errorf("%w: missing address length", ErrBadFrame)
+		}
+		alen := int(binary.BigEndian.Uint16(rest))
+		rest = rest[2:]
+		if alen > MaxAddrLen {
+			return fmt.Errorf("%w: address of %d bytes", ErrTooLarge, alen)
+		}
+		if len(rest) < alen {
+			return fmt.Errorf("%w: truncated address", ErrBadFrame)
+		}
+		if alen > 0 {
+			m.Addr = string(rest[:alen])
+		}
+		rest = rest[alen:]
+	}
 	m.Req, rest, err = decodeRequest(rest, reqLen)
 	if err != nil {
 		return err

@@ -15,6 +15,7 @@ import (
 func FuzzDecodeMessage(f *testing.F) {
 	for _, m := range sampleMessages() {
 		f.Add(AppendMessage(nil, m))
+		f.Add(appendMessageV3(nil, m))
 		f.Add(appendMessageV2(nil, m))
 		f.Add(appendMessageV1(nil, m))
 	}
@@ -22,6 +23,7 @@ func FuzzDecodeMessage(f *testing.F) {
 	f.Add([]byte{1})
 	f.Add([]byte{2})
 	f.Add([]byte{3})
+	f.Add([]byte{4})
 	f.Add(bytes.Repeat([]byte{0xff}, 64))
 	// Corrupt-trace-field and corrupt-epoch corpora: current-version
 	// frames with the trace bytes (header and request) or the epoch bytes

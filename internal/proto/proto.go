@@ -78,10 +78,11 @@ func (c *Clock) Clone() *Clock {
 type Kind uint8
 
 // The protocol message kinds. The first five are exactly the message
-// types whose counts the paper breaks down in Figure 7; the remainder
+// types whose counts the paper breaks down in Figure 7; the next four
 // (wire version 3) belong to the crash-recovery subsystem and the
-// transport failure detector, and are handled outside the protocol
-// engines.
+// transport failure detector; the last four (wire version 4) implement
+// runtime membership change. All kinds past freeze are handled outside
+// the protocol engines.
 const (
 	KindInvalid Kind = iota
 	KindRequest      // lock request propagating toward a granter
@@ -94,6 +95,11 @@ const (
 	KindClaim     // recovery: survivor reports (epoch, held mode, token bit)
 	KindRecovered // recovery: regenerator announces the new epoch and root
 	KindHeartbeat // transport liveness beacon; filtered before the mailbox
+
+	KindJoin     // membership: joiner announces itself, carrying its address
+	KindJoinAck  // membership: member answers with the peer list, max epoch and seeds
+	KindLeave    // membership: graceful departure, nominating token-held locks
+	KindLeaveAck // membership: survivor acknowledges processing a departure
 )
 
 // String returns the figure-7 label for the message kind (and stable
@@ -118,6 +124,14 @@ func (k Kind) String() string {
 		return "recovered"
 	case KindHeartbeat:
 		return "heartbeat"
+	case KindJoin:
+		return "join"
+	case KindJoinAck:
+		return "join_ack"
+	case KindLeave:
+		return "leave"
+	case KindLeaveAck:
+		return "leave_ack"
 	default:
 		return "invalid"
 	}
@@ -209,16 +223,67 @@ func (r Request) Less(o Request) bool {
 // Message is one protocol message. A single struct (rather than an
 // interface per kind) keeps the simulator allocation-free on the hot path
 // and the codec trivial; unused fields are zero.
+//
+// Field order is layout-conscious, wide fields first and the sub-word
+// scalars (Epoch, From, To, Kind, Mode, Owned, Frozen) packed together
+// at the tail: this keeps the struct at 160 bytes — one malloc size
+// class below the 176 a naive ordering costs — which matters because
+// the simulator allocates one Message per delivery and the live path
+// copies them per hop. The codec writes fields explicitly, so the
+// declaration order has no wire significance.
 type Message struct {
-	Kind Kind
 	Lock LockID
-	From NodeID
-	To   NodeID
 	TS   Timestamp // sender's Lamport time at send
 
 	// KindRequest: the request being routed (Req.Origin may differ from
 	// From when the request has been forwarded).
 	Req Request
+
+	// Seq is a per-(granter, grantee) sequence number: on KindGrant it
+	// numbers the grant; on KindRelease it acknowledges the highest grant
+	// sequence the releasing child has received from the addressee. It
+	// lets a parent detect a release that crossed an in-flight grant and
+	// fold the granted mode back into the child's recorded owned mode
+	// (see internal/hlock). The Suzuki–Kasami baseline reuses it as the
+	// request sequence number.
+	Seq uint64
+
+	// Queue is the old token's outstanding queue on KindToken (see the
+	// Mode/Owned/Frozen comment below for the rest of the transfer
+	// payload).
+	Queue []Request
+
+	// Vec is an optional per-node counter vector, used by the
+	// Suzuki–Kasami baseline to ship the token's LN array. Empty for the
+	// hierarchical protocol.
+	Vec []uint64
+
+	// Addr is a transport endpoint address (wire version 4), used only
+	// by the membership kinds: on KindJoin it is the joiner's advertised
+	// listen address; on KindJoinAck it is the responder's full member
+	// list rendered in lockd's "id=host:port,..." peer syntax. Empty for
+	// every other kind and for frames from pre-membership (v1–v3) peers.
+	Addr string
+
+	// Trace is the causal context of this message: for KindRequest it
+	// equals Req.Trace; for KindGrant/KindToken it is the trace of the
+	// request being served by the grant or transfer; for KindRelease and
+	// KindFreeze it is the trace of the operation that triggered the
+	// release or freeze push. Zero when the sender predates tracing
+	// (wire version 1) or the operation was untraced.
+	Trace TraceID
+
+	// Epoch is the per-lock recovery epoch (wire version 3). Every token
+	// regeneration round after a node crash bumps it; engines stamp it on
+	// all protocol messages and fence (drop) frames whose epoch does not
+	// match their own, which is what invalidates stale pre-crash tokens
+	// and in-flight requests. Zero for locks that have never been through
+	// recovery and for frames from pre-epoch (v1/v2) peers.
+	Epoch uint32
+
+	From NodeID
+	To   NodeID
+	Kind Kind
 
 	// KindGrant: Mode is the granted mode; Frozen is the granter's frozen
 	// set, inherited by the new child.
@@ -231,35 +296,4 @@ type Message struct {
 	Mode   modes.Mode
 	Owned  modes.Mode
 	Frozen modes.Set
-	Queue  []Request
-
-	// Seq is a per-(granter, grantee) sequence number: on KindGrant it
-	// numbers the grant; on KindRelease it acknowledges the highest grant
-	// sequence the releasing child has received from the addressee. It
-	// lets a parent detect a release that crossed an in-flight grant and
-	// fold the granted mode back into the child's recorded owned mode
-	// (see internal/hlock). The Suzuki–Kasami baseline reuses it as the
-	// request sequence number.
-	Seq uint64
-
-	// Vec is an optional per-node counter vector, used by the
-	// Suzuki–Kasami baseline to ship the token's LN array. Empty for the
-	// hierarchical protocol.
-	Vec []uint64
-
-	// Epoch is the per-lock recovery epoch (wire version 3). Every token
-	// regeneration round after a node crash bumps it; engines stamp it on
-	// all protocol messages and fence (drop) frames whose epoch does not
-	// match their own, which is what invalidates stale pre-crash tokens
-	// and in-flight requests. Zero for locks that have never been through
-	// recovery and for frames from pre-epoch (v1/v2) peers.
-	Epoch uint32
-
-	// Trace is the causal context of this message: for KindRequest it
-	// equals Req.Trace; for KindGrant/KindToken it is the trace of the
-	// request being served by the grant or transfer; for KindRelease and
-	// KindFreeze it is the trace of the operation that triggered the
-	// release or freeze push. Zero when the sender predates tracing
-	// (wire version 1) or the operation was untraced.
-	Trace TraceID
 }

@@ -6,6 +6,7 @@ import (
 	"reflect"
 	"testing"
 	"testing/quick"
+	"unsafe"
 
 	"hierlock/internal/modes"
 )
@@ -82,6 +83,13 @@ func sampleMessages() []*Message {
 			Req:   Request{Origin: 0},
 			Queue: []Request{{Origin: 4, Mode: modes.R}}},
 		{Kind: KindHeartbeat, From: 3, To: 4, TS: 2003},
+		{Kind: KindJoin, From: 7, To: 0, TS: 3000, Addr: "10.0.0.7:8500"},
+		{Kind: KindJoinAck, From: 0, To: 7, TS: 3001, Epoch: 5,
+			Addr:  "0=h0:8500,1=h1:8500,7=h7:8500",
+			Queue: []Request{{Origin: 0, TS: 42}}},
+		{Kind: KindLeave, Lock: 3, From: 2, To: 0, TS: 3002, Epoch: 2,
+			Vec: []uint64{1, 2, 3}},
+		{Kind: KindLeaveAck, From: 0, To: 2, TS: 3003},
 		{Kind: KindRelease, Lock: 0, From: 2, To: 0, TS: 5, Owned: modes.None},
 		{Kind: KindFreeze, Lock: 88, From: 0, To: 6, TS: 42,
 			Frozen: modes.MakeSet(modes.IR, modes.R, modes.U, modes.IW, modes.W)},
@@ -130,15 +138,17 @@ func TestDecodeRejectsGarbage(t *testing.T) {
 	valid := AppendMessage(nil, sampleMessages()[0])
 
 	cases := map[string][]byte{
-		"empty":        {},
-		"short":        valid[:5],
-		"bad version":  append([]byte{99}, valid[1:]...),
-		"bad kind":     func() []byte { b := bytes.Clone(valid); b[1] = 200; return b }(),
-		"bad mode":     func() []byte { b := bytes.Clone(valid); b[34] = 77; return b }(),
-		"bad owned":    func() []byte { b := bytes.Clone(valid); b[35] = 77; return b }(),
-		"trailing":     append(bytes.Clone(valid), 0),
-		"truncated":    valid[:len(valid)-2],
-		"bad req mode": func() []byte { b := bytes.Clone(valid); b[headerLen+4] = 99; return b }(),
+		"empty":       {},
+		"short":       valid[:5],
+		"bad version": append([]byte{99}, valid[1:]...),
+		"bad kind":    func() []byte { b := bytes.Clone(valid); b[1] = 200; return b }(),
+		"bad mode":    func() []byte { b := bytes.Clone(valid); b[34] = 77; return b }(),
+		"bad owned":   func() []byte { b := bytes.Clone(valid); b[35] = 77; return b }(),
+		"trailing":    append(bytes.Clone(valid), 0),
+		"truncated":   valid[:len(valid)-2],
+		// The request starts after the (empty) address field: 2 length
+		// bytes past the fixed header; its mode byte is at offset 4.
+		"bad req mode": func() []byte { b := bytes.Clone(valid); b[headerLen+2+4] = 99; return b }(),
 	}
 	for name, buf := range cases {
 		if _, err := DecodeMessage(buf); err == nil {
@@ -235,5 +245,17 @@ func BenchmarkDecodeMessage(b *testing.B) {
 		if _, err := DecodeMessage(buf); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// Message's field order packs the sub-word scalars together to stay at
+// 160 bytes, one malloc size class below a naive layout: the simulator
+// allocates one per delivery and the live path copies them per hop, so
+// an accidental 16-byte growth shows up as a several-percent hit on
+// message-heavy protocols. If a new field genuinely needs the space,
+// update this bound together with the layout note on the struct.
+func TestMessageStaysInSizeClass(t *testing.T) {
+	if got := unsafe.Sizeof(Message{}); got > 160 {
+		t.Fatalf("proto.Message is %d bytes, budget 160: repack the field order (see the layout comment) or raise the budget deliberately", got)
 	}
 }

@@ -62,10 +62,43 @@ func appendMessageV2(dst []byte, m *Message) []byte {
 	return dst
 }
 
-// stripEpoch returns a copy of m with the epoch zeroed — what a
-// version-2 frame of m must decode to.
-func stripEpoch(m *Message) *Message {
+// appendMessageV3 encodes m in the retired version-3 layout (trace and
+// epoch fields, no address), exactly as a pre-membership peer would emit
+// it.
+func appendMessageV3(dst []byte, m *Message) []byte {
+	dst = append(dst, wireVersionV3, byte(m.Kind))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(m.Lock))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(m.From))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(m.To))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(m.TS))
+	dst = binary.BigEndian.AppendUint64(dst, m.Seq)
+	dst = append(dst, byte(m.Mode), byte(m.Owned), byte(m.Frozen))
+	dst = appendTrace(dst, m.Trace)
+	dst = binary.BigEndian.AppendUint32(dst, m.Epoch)
+	dst = appendRequest(dst, m.Req)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(m.Queue)))
+	for _, r := range m.Queue {
+		dst = appendRequest(dst, r)
+	}
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(m.Vec)))
+	for _, v := range m.Vec {
+		dst = binary.BigEndian.AppendUint64(dst, v)
+	}
+	return dst
+}
+
+// stripAddr returns a copy of m with the address cleared — what a
+// version-3 frame of m must decode to.
+func stripAddr(m *Message) *Message {
 	c := *m
+	c.Addr = ""
+	return &c
+}
+
+// stripEpoch returns a copy of m with the address cleared and the epoch
+// zeroed — what a version-2 frame of m must decode to.
+func stripEpoch(m *Message) *Message {
+	c := *stripAddr(m)
 	c.Epoch = 0
 	return &c
 }
@@ -96,6 +129,7 @@ func goldenMessage() *Message {
 		Frozen: modes.MakeSet(modes.IW, modes.W),
 		Trace:  TraceID{Node: 5, Seq: 77},
 		Epoch:  0x0a0b0c0d,
+		Addr:   "198.51.100.7:9404",
 		Req:    Request{Origin: 5, Mode: modes.W, TS: 70, Trace: TraceID{Node: 5, Seq: 77}},
 		Queue: []Request{
 			{Origin: 2, Mode: modes.R, TS: 80, Priority: 1, Trace: TraceID{Node: 2, Seq: 80}},
@@ -105,6 +139,12 @@ func goldenMessage() *Message {
 }
 
 const (
+	goldenFrameV4 = "0403112233445566778800000003000000090000000000001092" +
+		"000000000000000705013000000005000000000000004d" + // mode/owned/frozen, header trace
+		"0a0b0c0d" + // epoch
+		"00113139382e35312e3130302e373a39343034" + // addr "198.51.100.7:9404"
+		"000000050500000000000000004600000005000000000000004d" + // req + req trace
+		"0000000100000002020100000000000000500000000200000000000000500000000200000000000000010000000000000002"
 	goldenFrameV3 = "0303112233445566778800000003000000090000000000001092" +
 		"000000000000000705013000000005000000000000004d" + // mode/owned/frozen, header trace
 		"0a0b0c0d" + // epoch
@@ -120,14 +160,19 @@ const (
 		"0000000100000002020100000000000000500000000200000000000000010000000000000002"
 )
 
-// TestWireGoldenFrames pins the byte-exact encoding of all three wire
+// TestWireGoldenFrames pins the byte-exact encoding of all four wire
 // versions and checks each decodes back to the right message (the
-// version-2 frame loses the epoch, the version-1 frame additionally
-// loses its trace IDs, nothing else).
+// version-3 frame loses the address, the version-2 frame additionally
+// loses the epoch, the version-1 frame additionally loses its trace IDs,
+// nothing else).
 func TestWireGoldenFrames(t *testing.T) {
 	m := goldenMessage()
 
-	gotV3 := hex.EncodeToString(AppendMessage(nil, m))
+	gotV4 := hex.EncodeToString(AppendMessage(nil, m))
+	if gotV4 != goldenFrameV4 {
+		t.Errorf("v4 frame drifted:\n got: %s\nwant: %s", gotV4, goldenFrameV4)
+	}
+	gotV3 := hex.EncodeToString(appendMessageV3(nil, m))
 	if gotV3 != goldenFrameV3 {
 		t.Errorf("v3 frame drifted:\n got: %s\nwant: %s", gotV3, goldenFrameV3)
 	}
@@ -145,7 +190,8 @@ func TestWireGoldenFrames(t *testing.T) {
 		frame string
 		want  *Message
 	}{
-		{"v3", goldenFrameV3, m},
+		{"v4", goldenFrameV4, m},
+		{"v3", goldenFrameV3, stripAddr(m)},
 		{"v2", goldenFrameV2, stripEpoch(m)},
 		{"v1", goldenFrameV1, stripTraces(m)},
 	} {
@@ -200,14 +246,32 @@ func TestDecodeV2Compat(t *testing.T) {
 	}
 }
 
+// TestDecodeV3Compat round-trips every pre-membership sample fixture
+// through the version-3 encoding: the decoder must accept it and produce
+// the same message with an empty address, epoch and traces intact.
+func TestDecodeV3Compat(t *testing.T) {
+	for i, m := range sampleMessages() {
+		if m.Kind > KindHeartbeat {
+			continue
+		}
+		got, err := DecodeMessage(appendMessageV3(nil, m))
+		if err != nil {
+			t.Fatalf("msg %d: decode v3: %v", i, err)
+		}
+		if want := stripAddr(m); !reflect.DeepEqual(got, want) {
+			t.Errorf("msg %d: v3 compat mismatch:\n got: %+v\nwant: %+v", i, got, want)
+		}
+	}
+}
+
 // TestDecodeRejectsMixedVersions checks that frames from peers speaking
-// any version other than the current or the two previous ones fail fast
-// with ErrBadVersion — a version-4 (future) peer and garbage versions
-// alike — and that the version byte, not the frame length, selects the
-// layout.
+// any version other than the current or the three previous ones fail
+// fast with ErrBadVersion — a version-5 (future) peer and garbage
+// versions alike — and that the version byte, not the frame length,
+// selects the layout.
 func TestDecodeRejectsMixedVersions(t *testing.T) {
 	valid := AppendMessage(nil, goldenMessage())
-	for _, v := range []byte{0, 4, 5, 99, 0xff} {
+	for _, v := range []byte{0, 5, 6, 99, 0xff} {
 		frame := append([]byte{v}, valid[1:]...)
 		_, err := DecodeMessage(frame)
 		if !errors.Is(err, ErrBadVersion) {
@@ -217,7 +281,11 @@ func TestDecodeRejectsMixedVersions(t *testing.T) {
 	// A frame claiming the current version but carrying an older, shorter
 	// body must still parse as the current version (and fail): the version
 	// byte, not the length, selects the layout.
-	shortV2 := append([]byte{wireVersion}, appendMessageV2(nil, goldenMessage())[1:]...)
+	shortV3 := append([]byte{wireVersion}, appendMessageV3(nil, goldenMessage())[1:]...)
+	if _, err := DecodeMessage(shortV3); err == nil {
+		t.Error("v4 frame with v3-length body accepted")
+	}
+	shortV2 := append([]byte{wireVersionV3}, appendMessageV2(nil, goldenMessage())[1:]...)
 	if _, err := DecodeMessage(shortV2); err == nil {
 		t.Error("v3 frame with v2-length body accepted")
 	}
@@ -228,18 +296,22 @@ func TestDecodeRejectsMixedVersions(t *testing.T) {
 }
 
 // TestRecoveryKindsVersionGated checks that the recovery/liveness kinds
-// round-trip in the current version but are rejected when they appear in
-// a frame from an older peer, which could never legitimately emit them.
+// round-trip in the current version, decode from version-3 frames (the
+// version that introduced them), but are rejected when they appear in a
+// frame from an older peer, which could never legitimately emit them.
 func TestRecoveryKindsVersionGated(t *testing.T) {
 	for _, k := range []Kind{KindProbe, KindClaim, KindRecovered, KindHeartbeat} {
 		m := &Message{Kind: k, Lock: 4, From: 1, To: 2, TS: 9, Epoch: 3,
 			Req: Request{Origin: 1}}
 		got, err := DecodeMessage(AppendMessage(nil, m))
 		if err != nil {
-			t.Fatalf("kind %v: decode v3: %v", k, err)
+			t.Fatalf("kind %v: decode v4: %v", k, err)
 		}
 		if !reflect.DeepEqual(got, m) {
 			t.Errorf("kind %v: round trip mismatch: %+v vs %+v", k, got, m)
+		}
+		if _, err := DecodeMessage(appendMessageV3(nil, m)); err != nil {
+			t.Errorf("kind %v in v3 frame: err = %v, want accepted", k, err)
 		}
 		if _, err := DecodeMessage(appendMessageV2(nil, m)); !errors.Is(err, ErrBadFrame) {
 			t.Errorf("kind %v in v2 frame: err = %v, want ErrBadFrame", k, err)
@@ -249,9 +321,43 @@ func TestRecoveryKindsVersionGated(t *testing.T) {
 		}
 	}
 	// Kinds past the known range are rejected even in the current version.
-	m := &Message{Kind: KindHeartbeat + 1, Lock: 4, From: 1, To: 2}
+	m := &Message{Kind: KindLeaveAck + 1, Lock: 4, From: 1, To: 2}
 	if _, err := DecodeMessage(AppendMessage(nil, m)); !errors.Is(err, ErrBadFrame) {
-		t.Errorf("kind %d: err = %v, want ErrBadFrame", KindHeartbeat+1, err)
+		t.Errorf("kind %d: err = %v, want ErrBadFrame", KindLeaveAck+1, err)
+	}
+}
+
+// TestMembershipKindsVersionGated checks that the membership kinds
+// round-trip in the current version — address intact — but are rejected
+// when they appear in a frame from any older peer, which could never
+// legitimately emit them.
+func TestMembershipKindsVersionGated(t *testing.T) {
+	for _, k := range []Kind{KindJoin, KindJoinAck, KindLeave, KindLeaveAck} {
+		m := &Message{Kind: k, Lock: 4, From: 7, To: 2, TS: 9, Epoch: 3,
+			Addr: "10.1.2.3:8500", Req: Request{Origin: 7},
+			Vec: []uint64{11, 42}}
+		got, err := DecodeMessage(AppendMessage(nil, m))
+		if err != nil {
+			t.Fatalf("kind %v: decode v4: %v", k, err)
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Errorf("kind %v: round trip mismatch: %+v vs %+v", k, got, m)
+		}
+		if _, err := DecodeMessage(appendMessageV3(nil, m)); !errors.Is(err, ErrBadFrame) {
+			t.Errorf("kind %v in v3 frame: err = %v, want ErrBadFrame", k, err)
+		}
+		if _, err := DecodeMessage(appendMessageV2(nil, m)); !errors.Is(err, ErrBadFrame) {
+			t.Errorf("kind %v in v2 frame: err = %v, want ErrBadFrame", k, err)
+		}
+		if _, err := DecodeMessage(appendMessageV1(nil, m)); !errors.Is(err, ErrBadFrame) {
+			t.Errorf("kind %v in v1 frame: err = %v, want ErrBadFrame", k, err)
+		}
+	}
+	// An oversized address is rejected, not allocated.
+	raw := AppendMessage(nil, &Message{Kind: KindJoin, From: 1, To: 2})
+	binary.BigEndian.PutUint16(raw[headerLen:], MaxAddrLen+1)
+	if _, err := DecodeMessage(raw); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversized address: err = %v, want ErrTooLarge", err)
 	}
 }
 

@@ -93,6 +93,25 @@ func NewDetector(cfg DetectorConfig, now time.Time) *Detector {
 	return d
 }
 
+// Add starts watching a peer that joined at runtime; it begins healthy
+// as of now. Idempotent — re-adding a watched peer resets its silence
+// clock and state.
+func (d *Detector) Add(peer proto.NodeID, now time.Time) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.lastHeard[peer] = now
+	d.state[peer] = PeerHealthy
+}
+
+// Remove stops watching a peer that left gracefully: no further state
+// transitions fire for it. Idempotent.
+func (d *Detector) Remove(peer proto.NodeID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.lastHeard, peer)
+	delete(d.state, peer)
+}
+
 // Observe records proof of life from a peer (call on every inbound
 // frame). A suspect or confirmed peer transitions back to healthy and
 // OnAlive fires.

@@ -97,6 +97,36 @@ const coldClaimBit = uint64(1) << 63
 // nomination marker.
 func IsColdClaim(seq uint64) bool { return seq&coldClaimBit != 0 }
 
+// departClaimBit marks a nomination triggered by processing a peer's
+// graceful LEAVE; bits 33–48 carry the leaver's ID. The context lets
+// the regenerator tell a redundant nomination — it processed the same
+// LEAVE itself and already regenerated the lock among the survivors —
+// from one covering a LEAVE it never received. Without it, any
+// survivor whose copy of the LEAVE arrives after the depart round's
+// Recovered nominates at exactly the seed epoch, which reads as a
+// fresh event and forces a second, redundant round whose reseed races
+// grants issued under the first. Like coldClaimBit, the payload rides
+// above the epoch bits, so DecodeClaimSeq is unaffected.
+const (
+	departClaimBit    = uint64(1) << 62
+	departLeaverShift = 33
+)
+
+// encodeDepartClaim stamps a claim Seq as a departure nomination for
+// leaver. Node IDs are small dense integers; 16 bits is generous.
+func encodeDepartClaim(seq uint64, leaver proto.NodeID) uint64 {
+	return seq | departClaimBit | uint64(uint16(leaver))<<departLeaverShift
+}
+
+// departClaimLeaver extracts the departing peer from a departure-marked
+// nomination, reporting false for every other claim.
+func departClaimLeaver(seq uint64) (proto.NodeID, bool) {
+	if seq&departClaimBit == 0 {
+		return proto.NoNode, false
+	}
+	return proto.NodeID(uint16(seq >> departLeaverShift)), true
+}
+
 // Config wires a Manager to its host (the simulated cluster node or the
 // live member runtime). All callbacks are invoked synchronously from
 // Manager methods; they must not call back into the Manager except for
@@ -200,10 +230,15 @@ type Manager struct {
 	table   map[proto.LockID]Seed
 
 	rounds uint64 // completed regeneration rounds (stat)
+
+	// epochFloor lower-bounds the proposed epoch of every round this node
+	// starts (see SetEpochFloor; a joiner must never propose at or below
+	// an epoch the cluster has already burned).
+	epochFloor uint32
 }
 
-// NewManager creates the manager. The configured node set is fixed for
-// the manager's lifetime.
+// NewManager creates the manager. The configured node set changes only
+// through the membership methods (AddNode, RemoveNode, Depart).
 func NewManager(cfg Config) *Manager {
 	if cfg.ProbeTimeout <= 0 {
 		cfg.ProbeTimeout = time.Second
@@ -262,6 +297,17 @@ func (m *Manager) regenerator() proto.NodeID {
 		}
 	}
 	return m.cfg.Self
+}
+
+// isConfigured reports whether n is in the configured node set (dead
+// or alive — a gracefully departed node is not).
+func (m *Manager) isConfigured(n proto.NodeID) bool {
+	for _, node := range m.nodes {
+		if node == n {
+			return true
+		}
+	}
+	return false
 }
 
 // sortedLocks returns the tracked locks in ascending order for
@@ -475,6 +521,9 @@ func (m *Manager) startRound(lock proto.LockID) {
 	if s, ok := m.SeedFor(lock); ok && s.Epoch > proposed {
 		proposed = s.Epoch
 	}
+	if m.epochFloor > proposed {
+		proposed = m.epochFloor
+	}
 	proposed++
 	m.cfg.PrepareReseed(lock, proposed)
 
@@ -634,6 +683,19 @@ func (m *Manager) handleClaim(msg *proto.Message) {
 				m.pending[msg.Lock] = msg.Epoch
 			}
 			return
+		}
+		if leaver, departure := departClaimLeaver(msg.Seq); departure && !m.isConfigured(leaver) {
+			// A departure nomination for a LEAVE this node has already
+			// processed: Depart ran a round for every nominated lock with
+			// the leaver excluded, so a completed round at or above the
+			// nominator's epoch already covers this departure even when the
+			// epochs are equal (the nominator saw our Recovered before its
+			// own copy of the LEAVE). Regenerating again would churn the
+			// fence and race grants issued under the completed round.
+			if s, ok := m.SeedFor(msg.Lock); ok && s.Epoch >= msg.Epoch {
+				m.Hint(msg.Lock, msg.From)
+				return
+			}
 		}
 		if s, ok := m.SeedFor(msg.Lock); ok && msg.Epoch < s.Epoch {
 			// The nomination predates a round we already completed for this

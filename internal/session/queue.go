@@ -190,14 +190,25 @@ func (m *Manager) startLeaderLocked(k qkey, q *queue, acquire Acquirer) {
 		q.leading = false
 		q.leadCancel = nil
 		if err != nil {
-			// Fail everyone queued: they all waited on this one
-			// acquisition.
-			ws := q.waiters
-			q.waiters = nil
+			// Fail only the head waiter — the client whose turn this
+			// acquisition was. The others have independent deadlines:
+			// one acquisition failing (the head's timeout expiring on a
+			// contended lock, a transient recovery error) must not
+			// amplify into a failure for every parked client. A fresh
+			// leader re-acquires for the remainder; terminal errors
+			// (member closed) drain the queue one waiter per attempt.
+			var head *qwaiter
+			if len(q.waiters) > 0 {
+				head = q.waiters[0]
+				q.waiters = q.waiters[1:]
+			}
+			if len(q.waiters) > 0 {
+				m.startLeaderLocked(k, q, acquire)
+			}
 			m.deleteIfIdleLocked(k, q)
 			m.mu.Unlock()
-			for _, w := range ws {
-				w.ch <- qresult{err: err}
+			if head != nil {
+				head.ch <- qresult{err: err}
 			}
 			return
 		}

@@ -31,6 +31,8 @@ const (
 	OpDefer                 // fault injection: delivery deferred by a partition or crash
 	OpLost                  // fault injection: a frame destroyed for good by a crash (LoseOnCrash)
 	OpRestart               // a crashed node came back up (Epoch: rejoin epoch, 0 = disk lost)
+	OpJoin                  // a node joined the running cluster (Epoch: adopted epoch floor)
+	OpLeave                 // a node left gracefully (Lock count of handed-off tokens in Epoch)
 )
 
 // String names the op.
@@ -56,6 +58,10 @@ func (o Op) String() string {
 		return "lost"
 	case OpRestart:
 		return "restart"
+	case OpJoin:
+		return "join"
+	case OpLeave:
+		return "leave"
 	default:
 		// The zero Op (and any out-of-range value) is a corrupt or
 		// uninitialized entry; print the numeric value so it is

@@ -283,7 +283,12 @@ func (t *TCPTransport) heartbeatLoop() {
 		case <-t.ctx.Done():
 			return
 		case now := <-tick.C:
-			for _, peer := range t.hbPeers {
+			// Snapshot under the lock: AddPeer/RemovePeer mutate the
+			// fan-out list on live transports.
+			t.mu.Lock()
+			peers := append([]proto.NodeID(nil), t.hbPeers...)
+			t.mu.Unlock()
+			for _, peer := range peers {
 				if t.peerBacklogged(peer) {
 					continue
 				}
@@ -417,6 +422,16 @@ func (t *TCPTransport) readLoopReliable(conn net.Conn) {
 		}
 		t.framesRecv.Add(1)
 		t.observe(msg.From)
+		if seq == 0 {
+			// Unsequenced out-of-band frame (TCPTransport.SendTo): deliver
+			// without deduplication or acknowledgment, leaving the sender's
+			// link sequence space untouched. Writers never emit seq 0.
+			if err := t.box.put(msg); err != nil {
+				proto.PutMessage(msg)
+				return
+			}
+			continue
+		}
 		from := msg.From
 		t.recvMu.Lock()
 		last := t.recvSeq[from]
@@ -610,9 +625,11 @@ type peerWriter struct {
 	addr string
 
 	// notify wakes the writer for new messages; kick reports a dead
-	// connection discovered by the ack reader.
+	// connection discovered by the ack reader; stop retires the writer
+	// when its peer leaves the cluster (see TCPTransport.RemovePeer).
 	notify chan struct{}
 	kick   chan net.Conn
+	stop   chan struct{}
 
 	// The fields below are owned by the run goroutine exclusively.
 	conn net.Conn
@@ -642,11 +659,18 @@ func newPeerWriter(t *TCPTransport, peer proto.NodeID, addr string) *peerWriter 
 		addr:   addr,
 		notify: make(chan struct{}, 1),
 		kick:   make(chan net.Conn, 1),
+		stop:   make(chan struct{}),
 	}
 	t.wg.Add(1)
 	go w.run()
 	return w
 }
+
+// retire shuts the writer down, abandoning queued and unacknowledged
+// frames: the peer left the cluster, so there is nobody to deliver them
+// to. Must be called at most once (RemovePeer's map removal guarantees
+// it).
+func (w *peerWriter) retire() { close(w.stop) }
 
 // put enqueues one message, enforcing the configured bound across queued
 // plus unacknowledged messages.
@@ -698,6 +722,8 @@ func (w *peerWriter) run() {
 	for {
 		select {
 		case <-done:
+			return
+		case <-w.stop:
 			return
 		case <-w.notify:
 		case c := <-w.kick:

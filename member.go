@@ -31,6 +31,9 @@ var (
 	ErrReleased = errors.New("hierlock: lock already released")
 	// ErrNotUpgradable is returned by Upgrade on a lock not held in U.
 	ErrNotUpgradable = errors.New("hierlock: upgrade requires mode U")
+	// ErrLeaving is returned by Lock and Upgrade on a member that has
+	// started a graceful Leave: a departing member takes no new work.
+	ErrLeaving = errors.New("hierlock: member is leaving the cluster")
 	// ErrLockLost is returned when crash recovery determined a hold or a
 	// pending request did not survive a token regeneration round: Unlock
 	// returns it for a hold whose accounting was lost (the surviving
@@ -134,6 +137,34 @@ type Member struct {
 	// done is closed by Close; blocked clients select on it so Close
 	// fails every outstanding waiter with ErrClosed.
 	done chan struct{}
+	// leaving marks a graceful Leave in progress: new client operations
+	// fail with ErrLeaving so the hand-off broadcast sees a stable set of
+	// held tokens.
+	leaving atomic.Bool
+
+	// advertise is the address peers should dial to reach this member
+	// (carried in JOIN announcements; empty for in-process members, which
+	// have no runtime membership).
+	advertise string
+	// quorumAuto records that the recovery quorum was derived as a
+	// majority of the configured cluster rather than set explicitly, so
+	// membership changes recompute it for the new size.
+	quorumAuto bool
+	// ackMu guards the membership handshake channels: joinC/leaveC are
+	// non-nil only while a Join/Leave call is collecting acknowledgments.
+	ackMu  sync.Mutex
+	joinC  chan proto.NodeID
+	leaveC chan proto.NodeID
+
+	// timerMu guards the member's tracked time.AfterFunc timers
+	// (recovery retries, deferred peer retirements). Close stops every
+	// tracked timer and waits for in-flight callbacks, so none can fire
+	// into a torn-down member. Lock order: timerMu is leaf-only — a
+	// callback releases it before taking mgrMu.
+	timerMu       sync.Mutex
+	timers        map[*time.Timer]struct{}
+	timersStopped bool
+	timerWG       sync.WaitGroup
 
 	// mgr runs the crash-recovery protocol when the member was created
 	// with a failure detector (nil otherwise). mgrMu serializes every
@@ -248,6 +279,12 @@ type telemetry struct {
 	claimsRecv  *metrics.Counter
 	regenerated *metrics.Counter
 	recLost     *metrics.Counter
+
+	// Runtime-membership instrumentation (cluster size is a scrape-time
+	// collector; these count the handshake events themselves).
+	mJoins   *metrics.Counter
+	mLeaves  *metrics.Counter
+	mHandoff *metrics.Counter
 
 	// bb is the attached flight recorder (nil-safe).
 	bb *introspect.Recorder
@@ -369,6 +406,23 @@ func (m *Member) SetTelemetry(t Telemetry) {
 		"Locks reseeded into a recovered topology by completed rounds.", nil)
 	m.tel.recLost = reg.Counter(metrics.MetricRecoveryLostHolds,
 		"Client holds demolished by recovery reseeds (surfaced as ErrLockLost).", nil)
+
+	m.tel.mJoins = reg.Counter(metrics.MetricMembershipJoins,
+		"Peers admitted through the JOIN handshake.", nil)
+	m.tel.mLeaves = reg.Counter(metrics.MetricMembershipLeaves,
+		"Graceful peer departures processed (LEAVE hand-offs).", nil)
+	m.tel.mHandoff = reg.Counter(metrics.MetricMembershipHandoffLocks,
+		"Token locks handed off by departing peers.", nil)
+	if m.mgr != nil {
+		reg.Collect(metrics.MetricMembershipSize,
+			"This member's current view of the cluster size (itself included).",
+			"gauge", func(emit func(metrics.Labels, float64)) {
+				m.mgrMu.Lock()
+				n := len(m.mgr.Nodes())
+				m.mgrMu.Unlock()
+				emit(nil, float64(n))
+			})
+	}
 
 	m.registerLockCollectors(reg)
 	if m.jn != nil {
@@ -642,6 +696,13 @@ type memberRecovery struct {
 	// round needs to commit (0 disables the gate; see
 	// TCPMemberConfig.RecoveryQuorum for the host-level policy).
 	quorum int
+	// quorumAuto marks a quorum derived as a cluster majority (the
+	// RecoveryQuorum==0 policy): membership changes then recompute it for
+	// the new cluster size.
+	quorumAuto bool
+	// advertise is the address JOIN announcements carry for this member
+	// (empty disables runtime membership).
+	advertise string
 }
 
 // newMember wires a member to a started transport. jn, when non-nil,
@@ -663,6 +724,8 @@ func newMember(id, root proto.NodeID, tr transport.Transport, rec *memberRecover
 	}
 	if rec != nil {
 		m.recoveryTimeout = rec.opTimeout
+		m.quorumAuto = rec.quorumAuto
+		m.advertise = rec.advertise
 		m.roundStart = make(map[proto.LockID]time.Time)
 		m.mgr = recovery.NewManager(recovery.Config{
 			Self:             id,
@@ -888,9 +951,12 @@ func (m *Member) recoveryRoundDone(lock proto.LockID, final uint32) {
 }
 
 // afterRecovery schedules a recovery-protocol retry, serialized under
-// the manager mutex like every other manager entry point.
+// the manager mutex like every other manager entry point. The timer is
+// tracked so Close can stop it: an untracked retry firing after Close
+// would race the teardown (and, under a journal, could append to a
+// closed WAL).
 func (m *Member) afterRecovery(d time.Duration, fn func()) {
-	time.AfterFunc(d, func() {
+	m.afterTracked(d, func() {
 		if m.closed.Load() {
 			return
 		}
@@ -898,6 +964,51 @@ func (m *Member) afterRecovery(d time.Duration, fn func()) {
 		defer m.mgrMu.Unlock()
 		fn()
 	})
+}
+
+// afterTracked runs fn after d on a tracked timer: Close (stopTimers)
+// cancels timers that have not fired and waits for callbacks already in
+// flight, so no tracked callback ever runs concurrently with or after
+// teardown completes. Callbacks must not call stopTimers.
+func (m *Member) afterTracked(d time.Duration, fn func()) {
+	m.timerMu.Lock()
+	defer m.timerMu.Unlock()
+	if m.timersStopped {
+		return
+	}
+	m.timerWG.Add(1)
+	var t *time.Timer
+	t = time.AfterFunc(d, func() {
+		defer m.timerWG.Done()
+		m.timerMu.Lock()
+		if m.timersStopped {
+			m.timerMu.Unlock()
+			return
+		}
+		delete(m.timers, t)
+		m.timerMu.Unlock()
+		fn()
+	})
+	if m.timers == nil {
+		m.timers = make(map[*time.Timer]struct{})
+	}
+	m.timers[t] = struct{}{}
+}
+
+// stopTimers cancels every tracked timer and waits for callbacks that
+// already fired to finish. Timers whose Stop fails are mid-flight: their
+// callbacks observe timersStopped (or m.closed) and return.
+func (m *Member) stopTimers() {
+	m.timerMu.Lock()
+	m.timersStopped = true
+	for t := range m.timers {
+		if t.Stop() {
+			m.timerWG.Done()
+		}
+	}
+	m.timers = nil
+	m.timerMu.Unlock()
+	m.timerWG.Wait()
 }
 
 // detectorState returns the transport failure detector's current
@@ -1164,6 +1275,10 @@ func (m *Member) Close() error {
 		return nil
 	}
 	close(m.done)
+	// Stop tracked timers (recovery retries, deferred peer retirements)
+	// before tearing the transport down: a retry that already fired
+	// drains harmlessly (closed is set), and none remain after this.
+	m.stopTimers()
 	err := m.tr.Close()
 	if m.jn != nil {
 		// Final group sync: everything appended is durable at close.
@@ -1373,6 +1488,9 @@ func (m *Member) LockWithPriority(ctx context.Context, resource string, mode Mod
 	}
 	if m.closed.Load() {
 		return nil, ErrClosed
+	}
+	if m.leaving.Load() {
+		return nil, ErrLeaving
 	}
 	lockID := lockIDFor(resource)
 	m.tel.requests.Inc()
@@ -1713,6 +1831,10 @@ func (l *Lock) Upgrade(ctx context.Context) error {
 		abort()
 		return ErrClosed
 	}
+	if m.leaving.Load() {
+		abort()
+		return ErrLeaving
+	}
 	sh, ls := m.state(l.id, l.resource)
 	if h := ls.hold; h != nil {
 		h.upgrading = true // U is never shared, so refs == 1 here
@@ -1839,6 +1961,18 @@ func (m *Member) handle(msg *proto.Message) {
 			m.mgrMu.Unlock()
 		}
 		return
+	case proto.KindJoin:
+		m.handleJoin(msg)
+		return
+	case proto.KindJoinAck:
+		m.handleJoinAck(msg)
+		return
+	case proto.KindLeave:
+		m.handleLeave(msg)
+		return
+	case proto.KindLeaveAck:
+		m.handleLeaveAck(msg)
+		return
 	}
 	sh, ls := m.state(msg.Lock, "")
 	defer sh.mu.Unlock()
@@ -1945,6 +2079,24 @@ func (m *Member) dispatch(ls *lockState, out hlock.Out) {
 				metrics.Labels{"lock": ls.label(), "direction": "out"}).Inc()
 		}
 		if err := m.tr.Send(msg); err != nil && !m.closed.Load() {
+			if errors.Is(err, transport.ErrUnknown) && m.mgr != nil {
+				// The destination is no longer a member (it left after
+				// this engine last heard about the lock, so a probable-
+				// owner chain or parent pointer still threads through
+				// it). Not a protocol error: regenerate the lock among
+				// the current members instead. Asynchronous because the
+				// lock order is mgrMu before the shard mutex held here.
+				lock := msg.Lock
+				go func() {
+					if m.closed.Load() || m.mgr == nil {
+						return
+					}
+					m.mgrMu.Lock()
+					defer m.mgrMu.Unlock()
+					m.mgr.Regenerate(lock)
+				}()
+				continue
+			}
 			m.fail(fmt.Errorf("hierlock: send: %w", err))
 		}
 	}
